@@ -1,0 +1,108 @@
+//! Model of the FPGA-based GAN accelerator of Song et al. \[47\].
+//!
+//! That design's contribution is a dataflow that *removes zero operations
+//! and increases data reuse* — so, unlike the GPU, it is charged only the
+//! **useful** MACs of each workload. Its limits are the DSP budget (a
+//! couple of 16-bit TMAC/s against LerGAN's thousands of in-situ
+//! crossbars) and DDR-streamed weights. Its strength is power: a ~26 W
+//! board, which is how it stays within ~4 % of LerGAN's energy while
+//! being ~47× slower.
+
+use crate::calib::FpgaCalib;
+use crate::{iteration_phases, BaselineReport};
+use lergan_gan::GanSpec;
+
+/// The FPGA GAN accelerator model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpgaGan {
+    calib: FpgaCalib,
+}
+
+impl FpgaGan {
+    /// Creates the model with default (VCU118) calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the model with explicit calibration.
+    pub fn with_calib(calib: FpgaCalib) -> Self {
+        FpgaGan { calib }
+    }
+
+    /// Estimates one training iteration.
+    pub fn train_iteration(&self, gan: &GanSpec) -> BaselineReport {
+        let c = &self.calib;
+        let batch = gan.batch_size as f64;
+        let mut latency = 0.0f64;
+        for phases in iteration_phases() {
+            for phase in phases {
+                for w in gan.workloads(phase) {
+                    // Zero-skipping dataflow: only useful MACs execute.
+                    let macs = w.macs_useful as f64 * batch;
+                    let compute_ns = macs / (c.peak_macs * c.efficiency) * 1e9;
+                    // 16-bit traffic; weights stream per phase, zero-free
+                    // activations stream per sample.
+                    let bytes = 2.0
+                        * (w.moved_values_useful as f64 * batch
+                            + w.weight_values as f64
+                            + w.output_values as f64 * batch);
+                    let mem_ns = bytes / c.mem_bw * 1e9;
+                    latency += compute_ns.max(mem_ns) + c.layer_overhead_ns;
+                }
+            }
+        }
+        let energy_pj = latency * c.power_w;
+        BaselineReport {
+            name: "FPGA-GAN".to_string(),
+            iteration_latency_ns: latency,
+            iteration_energy_pj: energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuPlatform;
+    use lergan_gan::benchmarks;
+
+    #[test]
+    fn fpga_is_slower_but_leaner_than_gpu() {
+        let fpga = FpgaGan::new();
+        let gpu = GpuPlatform::new();
+        for gan in [benchmarks::dcgan(), benchmarks::cgan()] {
+            let f = fpga.train_iteration(&gan);
+            let g = gpu.train_iteration(&gan);
+            assert!(
+                f.iteration_latency_ns > g.iteration_latency_ns,
+                "{}: FPGA should trail the GPU in raw speed",
+                gan.name
+            );
+            assert!(
+                f.iteration_energy_pj < g.iteration_energy_pj,
+                "{}: FPGA should beat the GPU on energy",
+                gan.name
+            );
+        }
+    }
+
+    #[test]
+    fn zero_skipping_helps_tconv_heavy_gans() {
+        // The FPGA accelerator skips zeros, so its compute time tracks
+        // useful MACs: a T-CONV-heavy GAN costs it proportionally less
+        // than a dense model would predict.
+        let fpga = FpgaGan::new();
+        let gan = benchmarks::dcgan();
+        let r = fpga.train_iteration(&gan);
+        assert!(r.iteration_latency_ns > 0.0);
+        let dense_macs: u128 = gan.workloads(lergan_gan::Phase::GForward)
+            .iter()
+            .map(|w| w.macs_dense)
+            .sum();
+        let useful_macs: u128 = gan.workloads(lergan_gan::Phase::GForward)
+            .iter()
+            .map(|w| w.macs_useful)
+            .sum();
+        assert!(useful_macs * 2 < dense_macs);
+    }
+}

@@ -1,0 +1,114 @@
+//! Roofline model of GAN training on a Titan X-class GPU.
+//!
+//! The model charges what the paper's comparison hinges on:
+//!
+//! 1. **dense arithmetic** — cuDNN materialises the zero-inserted T-CONV
+//!    inputs (or algebraically equivalent dense work), so layers cost
+//!    their *dense* MAC counts;
+//! 2. **off-chip traffic** — weights, activations and gradients stream
+//!    through GDDR5X, and the generator↔discriminator intermediates make
+//!    an extra round trip through device memory;
+//! 3. **per-layer overhead** — kernel launches and framework glue.
+//!
+//! Each layer takes `max(compute, memory)` time (roofline), summed over
+//! the nine phase runs of an iteration.
+
+use crate::calib::GpuCalib;
+use crate::{iteration_phases, BaselineReport};
+use lergan_gan::GanSpec;
+
+/// The GPU platform model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuPlatform {
+    calib: GpuCalib,
+}
+
+impl GpuPlatform {
+    /// Creates the model with default (Titan X) calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the model with explicit calibration.
+    pub fn with_calib(calib: GpuCalib) -> Self {
+        GpuPlatform { calib }
+    }
+
+    /// Estimates one training iteration.
+    pub fn train_iteration(&self, gan: &GanSpec) -> BaselineReport {
+        let c = &self.calib;
+        let batch = gan.batch_size as f64;
+        let mut latency = 0.0f64;
+        for phases in iteration_phases() {
+            for phase in phases {
+                for w in gan.workloads(phase) {
+                    // Dense FLOPs: every MAC is two flops; zeros included.
+                    let flops = 2.0 * w.macs_dense as f64 * batch;
+                    let compute_ns = flops / (c.peak_flops * c.efficiency) * 1e9;
+                    // fp32 traffic: moving operand + weights + outputs.
+                    let bytes = 4.0
+                        * (w.moved_values_dense as f64 * batch
+                            + w.weight_values as f64
+                            + w.output_values as f64 * batch);
+                    let mem_ns = bytes / c.mem_bw * 1e9;
+                    latency += compute_ns.max(mem_ns) + c.layer_overhead_ns;
+                }
+            }
+            // The generator output crosses device memory to feed the
+            // discriminator (write + read).
+            let inter = gan
+                .generator
+                .layers
+                .last()
+                .map(|l| l.output_count(gan.generator.dims))
+                .unwrap_or(1) as f64
+                * batch
+                * 4.0
+                * 2.0;
+            latency += inter / c.mem_bw * 1e9;
+        }
+        let energy_pj = latency * c.power_w; // W × ns = pJ
+        BaselineReport {
+            name: "GPU".to_string(),
+            iteration_latency_ns: latency,
+            iteration_energy_pj: energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lergan_gan::benchmarks;
+
+    #[test]
+    fn bigger_gans_take_longer() {
+        let gpu = GpuPlatform::new();
+        let small = gpu.train_iteration(&benchmarks::magan_mnist());
+        let big = gpu.train_iteration(&benchmarks::dcgan());
+        assert!(big.iteration_latency_ns > small.iteration_latency_ns);
+        let volumetric = gpu.train_iteration(&benchmarks::threed_gan());
+        assert!(volumetric.iteration_latency_ns > big.iteration_latency_ns);
+    }
+
+    #[test]
+    fn energy_tracks_latency_linearly() {
+        let gpu = GpuPlatform::new();
+        let power = crate::calib::GpuCalib::default().power_w;
+        let r = gpu.train_iteration(&benchmarks::cgan());
+        assert!((r.iteration_energy_pj / r.iteration_latency_ns - power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_time_is_plausible() {
+        // A DCGAN iteration at batch 64 on a Titan X takes on the order of
+        // tens of milliseconds.
+        let gpu = GpuPlatform::new();
+        let r = gpu.train_iteration(&benchmarks::dcgan());
+        let ms = r.iteration_latency_ns / 1e6;
+        assert!(
+            (10.0..=3_000.0).contains(&ms),
+            "DCGAN iteration {ms:.2} ms out of plausible range"
+        );
+    }
+}

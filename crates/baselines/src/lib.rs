@@ -1,0 +1,100 @@
+//! Analytical GPU, FPGA-GAN and PRIME baseline models for the LerGAN
+//! evaluation (Sec. VI-A's comparison points).
+//!
+//! * [`prime`] — "GANs running on modified ReRAM-based NN accelerator:
+//!   PRIME": the *same* ReRAM tile and H-tree models as LerGAN, but with
+//!   normal (zero-inserted) reshaping and no 3D connection. The `NS`
+//!   variants grant PRIME the same CArray space LerGAN uses, spent on
+//!   plain weight duplication.
+//! * [`gpu`] — an NVIDIA Titan X-class roofline model: dense (zero
+//!   touching) FLOPs against peak throughput, and off-chip DRAM traffic
+//!   for weights, activations and the generator↔discriminator
+//!   intermediates.
+//! * [`fpga`] — the FPGA GAN accelerator of Song et al. \[47\] on a
+//!   VCU118-class part: zero-skipping dataflow (it removes zero
+//!   operations, like ZFDR) but DSP-limited throughput and DDR-streamed
+//!   weights; very low power, hence the paper's ≈1.04× energy parity with
+//!   LerGAN despite the 47.2× speed difference.
+//!
+//! Every model consumes the same per-(phase, layer) workload descriptions
+//! as the LerGAN simulator, so "who wins and why" falls out of workload
+//! structure; [`calib`] holds the (fleet-level, benchmark-independent)
+//! device constants.
+
+pub mod calib;
+pub mod fpga;
+pub mod gpu;
+pub mod prime;
+
+pub use fpga::FpgaGan;
+pub use gpu::GpuPlatform;
+pub use prime::Prime;
+
+/// A baseline's training-cost estimate, comparable with
+/// [`lergan_core::TrainingReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Model name.
+    pub name: String,
+    /// Latency of one training iteration (ns).
+    pub iteration_latency_ns: f64,
+    /// Energy of one training iteration (pJ).
+    pub iteration_energy_pj: f64,
+}
+
+impl BaselineReport {
+    /// Speedup of `other` over this baseline.
+    pub fn speedup_of(&self, other_latency_ns: f64) -> f64 {
+        self.iteration_latency_ns / other_latency_ns
+    }
+
+    /// Energy saving of `other` over this baseline.
+    pub fn energy_saving_of(&self, other_energy_pj: f64) -> f64 {
+        self.iteration_energy_pj / other_energy_pj
+    }
+}
+
+/// The two passes of one training iteration and the phases each runs, in
+/// the convention shared by the LerGAN simulator and every baseline: the
+/// discriminator half runs G→, D→, D←, D-w; the generator half runs G→,
+/// D→, D←, G←, G-w.
+pub fn iteration_phases() -> [Vec<lergan_gan::Phase>; 2] {
+    use lergan_gan::Phase;
+    [
+        vec![
+            Phase::GForward,
+            Phase::DForward,
+            Phase::DBackward,
+            Phase::DWeightGrad,
+        ],
+        vec![
+            Phase::GForward,
+            Phase::DForward,
+            Phase::DBackward,
+            Phase::GBackward,
+            Phase::GWeightGrad,
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ratios() {
+        let r = BaselineReport {
+            name: "x".into(),
+            iteration_latency_ns: 100.0,
+            iteration_energy_pj: 50.0,
+        };
+        assert_eq!(r.speedup_of(10.0), 10.0);
+        assert_eq!(r.energy_saving_of(5.0), 10.0);
+    }
+
+    #[test]
+    fn iteration_has_nine_phase_runs() {
+        let [a, b] = iteration_phases();
+        assert_eq!(a.len() + b.len(), 9);
+    }
+}

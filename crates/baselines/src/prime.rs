@@ -1,0 +1,111 @@
+//! PRIME: the ReRAM NN accelerator baseline.
+//!
+//! PRIME shares LerGAN's substrate — the same crossbars, tiles, Table IV
+//! timings and energies — but it predates GANs: it maps convolutions with
+//! **normal reshaping** (the zero-inserted operands of Fig. 4–6 are stored
+//! and scanned) and moves data over a plain **H-tree** with the shared
+//! bus between banks. That is exactly the configuration the paper
+//! evaluates as "GANs running on modified ReRAM-based NN accelerator".
+//!
+//! The *NS* (normalized-space) variant grants PRIME the same CArray space
+//! LerGAN occupies, spent on duplicating the zero-inserted weights for
+//! parallelism — the fair-space comparison of Fig. 19/20 that still leaves
+//! LerGAN 2.1× ahead (Sec. VI-E).
+
+use crate::BaselineReport;
+use lergan_core::{Connection, LerGan, ReplicaDegree, ReshapeScheme};
+use lergan_gan::GanSpec;
+
+/// The PRIME baseline model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prime {
+    /// Whether to equalise CArray space with LerGAN (the NS variants).
+    pub normalized_space: bool,
+}
+
+impl Prime {
+    /// Plain PRIME.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Space-equalised PRIME (`NS`).
+    pub fn normalized_space() -> Self {
+        Prime {
+            normalized_space: true,
+        }
+    }
+
+    /// Estimates one training iteration by running the shared accelerator
+    /// model with PRIME's mapping (normal reshape, H-tree interconnect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GAN cannot be mapped (all Table V benchmarks can).
+    pub fn train_iteration(&self, gan: &GanSpec) -> BaselineReport {
+        let scheme = if self.normalized_space {
+            ReshapeScheme::NormalSpaceEqualized
+        } else {
+            ReshapeScheme::Normal
+        };
+        let accel = LerGan::builder(gan)
+            .reshape_scheme(scheme)
+            .connection(Connection::HTree)
+            .replica_degree(ReplicaDegree::Low)
+            .build()
+            .expect("Table V benchmarks map onto PRIME");
+        let report = accel.train_iterations(1);
+        BaselineReport {
+            name: if self.normalized_space {
+                "PRIME-NS".to_string()
+            } else {
+                "PRIME".to_string()
+            },
+            iteration_latency_ns: report.iteration_latency_ns,
+            iteration_energy_pj: report.total_energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lergan_gan::benchmarks;
+
+    #[test]
+    fn lergan_beats_prime() {
+        let gan = benchmarks::dcgan();
+        let prime = Prime::new().train_iteration(&gan);
+        let lergan = LerGan::builder(&gan).build().unwrap().train_iterations(1);
+        assert!(
+            prime.iteration_latency_ns > 2.0 * lergan.iteration_latency_ns,
+            "PRIME {} vs LerGAN {}",
+            prime.iteration_latency_ns,
+            lergan.iteration_latency_ns
+        );
+        assert!(prime.iteration_energy_pj > lergan.total_energy_pj);
+    }
+
+    #[test]
+    fn ns_variant_stays_close_to_plain_prime() {
+        // Fig. 17's observation: "duplication achieves little speedup with
+        // H-tree connection" — extra copies win compute cycles but pay the
+        // tree's unicast distribution, so NS lands near plain PRIME.
+        let gan = benchmarks::dcgan();
+        let plain = Prime::new().train_iteration(&gan);
+        let ns = Prime::normalized_space().train_iteration(&gan);
+        let ratio = ns.iteration_latency_ns / plain.iteration_latency_ns;
+        assert!(
+            (0.4..=2.0).contains(&ratio),
+            "PRIME-NS/PRIME latency ratio {ratio:.2} out of the near-parity band"
+        );
+    }
+
+    #[test]
+    fn all_benchmarks_run_on_prime() {
+        for gan in benchmarks::all() {
+            let r = Prime::new().train_iteration(&gan);
+            assert!(r.iteration_latency_ns > 0.0, "{}", gan.name);
+        }
+    }
+}

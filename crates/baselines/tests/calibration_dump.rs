@@ -1,0 +1,115 @@
+//! Diagnostic: prints per-benchmark latency/energy for every platform.
+//! Run with `cargo test -p lergan-baselines --test calibration_dump -- --nocapture --ignored`.
+
+use lergan_baselines::{FpgaGan, GpuPlatform, Prime};
+use lergan_core::{Connection, LerGan, ReplicaDegree, ReshapeScheme};
+use lergan_gan::benchmarks;
+
+#[test]
+#[ignore = "diagnostic output only"]
+fn dump_platform_numbers() {
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "benchmark", "LerGAN(ms)", "PRIME(ms)", "GPU(ms)", "FPGA(ms)", "xPRIME", "xGPU", "xFPGA",
+        "eGPU", "eFPGA", "ePRIME"
+    );
+    let mut s_prime = 0.0;
+    let mut s_gpu = 0.0;
+    let mut s_fpga = 0.0;
+    let mut e_gpu = 0.0;
+    let mut e_fpga = 0.0;
+    let mut e_prime = 0.0;
+    let gans = benchmarks::all();
+    for gan in &gans {
+        let lergan = LerGan::builder(gan)
+            .replica_degree(ReplicaDegree::Low)
+            .build()
+            .unwrap()
+            .train_iterations(1);
+        let prime = Prime::new().train_iteration(gan);
+        let gpu = GpuPlatform::new().train_iteration(gan);
+        let fpga = FpgaGan::new().train_iteration(gan);
+        let sp = prime.iteration_latency_ns / lergan.iteration_latency_ns;
+        let sg = gpu.iteration_latency_ns / lergan.iteration_latency_ns;
+        let sf = fpga.iteration_latency_ns / lergan.iteration_latency_ns;
+        let eg = gpu.iteration_energy_pj / lergan.total_energy_pj;
+        let ef = lergan.total_energy_pj / fpga.iteration_energy_pj;
+        let ep = prime.iteration_energy_pj / lergan.total_energy_pj;
+        s_prime += sp;
+        s_gpu += sg;
+        s_fpga += sf;
+        e_gpu += eg;
+        e_fpga += ef;
+        e_prime += ep;
+        println!(
+            "{:<18} {:>12.3} {:>12.3} {:>12.3} {:>12.3} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
+            gan.name,
+            lergan.iteration_latency_ns / 1e6,
+            prime.iteration_latency_ns / 1e6,
+            gpu.iteration_latency_ns / 1e6,
+            fpga.iteration_latency_ns / 1e6,
+            sp,
+            sg,
+            sf,
+            eg,
+            ef,
+            ep
+        );
+    }
+    let n = gans.len() as f64;
+    println!(
+        "AVG: speedup vs PRIME {:.2} (paper 7.46), GPU {:.2} (21.42), FPGA {:.2} (47.2)",
+        s_prime / n,
+        s_gpu / n,
+        s_fpga / n
+    );
+    println!(
+        "AVG: energy saving vs GPU {:.2} (9.75), PRIME {:.2} (7.68); energy ratio vs FPGA {:.2} (1.04)",
+        e_gpu / n,
+        e_prime / n,
+        e_fpga / n
+    );
+
+    // ZFDR/3D decomposition (Fig. 17/18 shape).
+    let gan = benchmarks::dcgan();
+    for (label, scheme, conn) in [
+        ("ZFDR+3D", ReshapeScheme::Zfdr, Connection::ThreeD),
+        ("ZFDR+2D", ReshapeScheme::Zfdr, Connection::HTree),
+        ("NR+3D", ReshapeScheme::Normal, Connection::ThreeD),
+        ("NR+2D", ReshapeScheme::Normal, Connection::HTree),
+    ] {
+        let r = LerGan::builder(&gan)
+            .reshape_scheme(scheme)
+            .connection(conn)
+            .build()
+            .unwrap()
+            .train_iterations(1);
+        println!(
+            "DCGAN {label:<8}: {:.3} ms  (compute {:.1}%, comm {:.1}%, other {:.1}%)",
+            r.iteration_latency_ns / 1e6,
+            r.energy_breakdown.share("compute") * 100.0,
+            r.energy_breakdown.share("communication") * 100.0,
+            r.energy_breakdown.share("other") * 100.0
+        );
+        println!(
+            "          tile: adc {:.1}% switch {:.1}% other {:.1}%",
+            r.tile_breakdown.adc_share() * 100.0,
+            r.tile_breakdown.cell_switching_share() * 100.0,
+            r.tile_breakdown.other_share() * 100.0
+        );
+    }
+}
+
+#[test]
+#[ignore = "diagnostic output only"]
+fn dump_cgan_profile() {
+    let gan = benchmarks::cgan();
+    let r = LerGan::builder(&gan).build().unwrap().train_iterations(1);
+    println!("cGAN iteration: {:.3} ms", r.iteration_latency_ns / 1e6);
+    println!("{}", r.phase_latency);
+    println!("counts: {:?}", r.counts);
+    let gan = benchmarks::dcgan();
+    let r = LerGan::builder(&gan).build().unwrap().train_iterations(1);
+    println!("DCGAN iteration: {:.3} ms", r.iteration_latency_ns / 1e6);
+    println!("{}", r.phase_latency);
+}

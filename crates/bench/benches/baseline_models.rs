@@ -1,0 +1,25 @@
+//! Criterion benches for the analytical baseline models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lergan_baselines::{FpgaGan, GpuPlatform, Prime};
+use lergan_gan::benchmarks;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let gan = benchmarks::dcgan();
+    c.bench_function("gpu_estimate_dcgan", |b| {
+        let m = GpuPlatform::new();
+        b.iter(|| m.train_iteration(black_box(&gan)))
+    });
+    c.bench_function("fpga_estimate_dcgan", |b| {
+        let m = FpgaGan::new();
+        b.iter(|| m.train_iteration(black_box(&gan)))
+    });
+    c.bench_function("prime_estimate_dcgan", |b| {
+        let m = Prime::new();
+        b.iter(|| m.train_iteration(black_box(&gan)))
+    });
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

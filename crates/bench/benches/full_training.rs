@@ -1,0 +1,57 @@
+//! Criterion benches for the end-to-end simulator: compiling a GAN and
+//! simulating a full training iteration (the machinery behind Fig. 19–22).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lergan_core::{compiler, CompilerOptions, Connection, LerGan, ReplicaDegree, ReshapeScheme};
+use lergan_gan::benchmarks;
+use lergan_reram::ReramConfig;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let gan = benchmarks::dcgan();
+    let cfg = ReramConfig::default();
+    let mut g = c.benchmark_group("compile_dcgan");
+    g.bench_function("zfdr", |b| {
+        b.iter(|| {
+            compiler::compile(
+                black_box(&gan),
+                CompilerOptions {
+                    scheme: ReshapeScheme::Zfdr,
+                    degree: ReplicaDegree::Low,
+                    connection: Connection::ThreeD,
+                    phase_degrees: Default::default(),
+                },
+                &cfg,
+            )
+        })
+    });
+    g.bench_function("normal", |b| {
+        b.iter(|| {
+            compiler::compile(
+                black_box(&gan),
+                CompilerOptions {
+                    scheme: ReshapeScheme::Normal,
+                    degree: ReplicaDegree::Low,
+                    connection: Connection::HTree,
+                    phase_degrees: Default::default(),
+                },
+                &cfg,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_iteration");
+    for gan in [benchmarks::dcgan(), benchmarks::cgan(), benchmarks::magan_mnist()] {
+        let accel = LerGan::builder(&gan).build().unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(&gan.name), &accel, |b, a| {
+            b.iter(|| a.train_iterations(black_box(1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the interconnect models: route computation in
+//! Smode/Cmode, transfer-cost evaluation, and switch-conflict resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lergan_noc::{DcuPair, Endpoint, Flow, FlowSchedule, Mode, NocConfig, ThreeDcu};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let cfg = NocConfig::default();
+    let dcu = ThreeDcu::new(&cfg);
+    let pair = DcuPair::new(&cfg);
+    c.bench_function("route_smode_intra_bank", |b| {
+        b.iter(|| dcu.route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Smode))
+    });
+    c.bench_function("route_cmode_cross_bank", |b| {
+        b.iter(|| {
+            dcu.route(
+                Endpoint::tile(0, 3),
+                Endpoint::pair_tile(0, 2, 12),
+                Mode::Cmode,
+            )
+        })
+    });
+    c.bench_function("route_pair_bypass", |b| {
+        b.iter(|| {
+            pair.route(
+                Endpoint::pair_tile(0, 0, 0),
+                Endpoint::pair_tile(1, 0, 15),
+                Mode::Cmode,
+            )
+        })
+    });
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let cfg = NocConfig::default();
+    let dcu = ThreeDcu::new(&cfg);
+    let route = dcu
+        .route(Endpoint::tile(0, 0), Endpoint::tile(0, 15), Mode::Smode)
+        .unwrap();
+    c.bench_function("transfer_cost_1M_values", |b| {
+        b.iter(|| route.transfer(black_box(1_000_000), &cfg))
+    });
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let cfg = NocConfig::default();
+    let dcu = ThreeDcu::new(&cfg);
+    let mut sched = FlowSchedule::new();
+    for t in 0..16 {
+        let r = dcu
+            .route(
+                Endpoint::tile(0, t),
+                Endpoint::pair_tile(0, 1, t),
+                Mode::Cmode,
+            )
+            .unwrap();
+        sched.push(Flow::new(r, 4096));
+    }
+    c.bench_function("flow_schedule_16_vertical", |b| {
+        b.iter(|| sched.resolve(black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_transfer, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the ZFDR machinery (Fig. 16's substrate):
+//! zero-free execution vs the naive zero-insertion kernel, plan
+//! enumeration, and the closed-form counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lergan_core::zfdr::closed_form;
+use lergan_core::zfdr::exec::{execute_tconv, execute_wconv};
+use lergan_core::ZfdrPlan;
+use lergan_tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
+use lergan_tensor::{Tensor, TconvGeometry, WconvGeometry};
+use std::hint::black_box;
+
+fn det(shape: &[usize], seed: u32) -> Tensor {
+    let mut state = seed.wrapping_mul(747796405).wrapping_add(1);
+    Tensor::from_fn(shape, |_| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((state >> 16) as f32 / 65536.0) - 0.5
+    })
+}
+
+fn bench_tconv(c: &mut Criterion) {
+    // CONV1 geometry with reduced channels (full channels would bench
+    // memory bandwidth, not the algorithms).
+    let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+    let input = det(&[16, 4, 4], 1);
+    let weights = det(&[8, 16, 5, 5], 2);
+    let mut g = c.benchmark_group("tconv_conv1_16x8ch");
+    g.bench_function("zfdr_zero_free", |b| {
+        b.iter(|| execute_tconv(black_box(&input), black_box(&weights), &geom))
+    });
+    g.bench_function("naive_zero_insertion", |b| {
+        b.iter(|| tconv_forward_zero_insert(black_box(&input), black_box(&weights), &geom))
+    });
+    g.finish();
+}
+
+fn bench_wconv(c: &mut Criterion) {
+    let geom = WconvGeometry::new(8, 5, 2, 2).unwrap();
+    let input = det(&[8, 8, 8], 3);
+    let dout = det(&[8, 4, 4], 4);
+    let mut g = c.benchmark_group("wconv_8x8_8ch");
+    g.bench_function("zfdr_zero_free", |b| {
+        b.iter(|| execute_wconv(black_box(&input), black_box(&dout), &geom))
+    });
+    g.bench_function("naive_zero_insertion", |b| {
+        b.iter(|| wconv_weight_grad_zero_insert(black_box(&input), black_box(&dout), &geom))
+    });
+    g.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let geom = TconvGeometry::for_upsampling(32, 5, 2).unwrap();
+    c.bench_function("zfdr_plan_enumeration_32", |b| {
+        b.iter(|| ZfdrPlan::for_tconv(black_box(&geom)))
+    });
+    c.bench_function("zfdr_closed_form_32", |b| {
+        b.iter(|| closed_form::tconv_cases(black_box(&geom)))
+    });
+}
+
+criterion_group!(benches, bench_tconv, bench_wconv, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 16: performance of ZFDR in different GAN phases, and the SArray
+//! space saving (paper: up to 5.2x for DCGAN, 3.86x on average).
+
+use lergan_bench::figures;
+use lergan_bench::TextTable;
+
+fn main() {
+    println!("Fig. 16: ZFDR effectiveness per GAN phase\n");
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "phase",
+        "cycle speedup",
+        "MAC speedup",
+        "space saving",
+    ]);
+    for r in figures::fig16() {
+        t.row(&[
+            r.gan,
+            r.phase,
+            format!("{:.2}x", r.cycle_speedup),
+            format!("{:.2}x", r.mac_speedup),
+            format!("{:.2}x", r.space_saving),
+        ]);
+    }
+    t.print();
+    let (dcgan, avg) = figures::fig16_space_savings();
+    println!("\nDCGAN G-forward SArray saving: {dcgan:.2}x  (paper: 5.2x)");
+    println!("Average SArray saving:         {avg:.2}x  (paper: 3.86x)");
+}

@@ -1,0 +1,28 @@
+//! Fig. 17: 3D connection vs H-tree connection with ZFDR
+//! (speedups over the NR + H-tree baseline).
+
+use lergan_bench::figures;
+use lergan_bench::TextTable;
+
+fn main() {
+    println!("Fig. 17: 3D vs H-tree connection with ZFDR (speedup over NR+H-tree)\n");
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "ZFDR 2D no-dup",
+        "ZFDR 3D no-dup",
+        "ZFDR 2D low",
+        "ZFDR 3D low",
+    ]);
+    for r in figures::fig17_18() {
+        t.row(&[
+            r.gan,
+            format!("{:.2}x", r.zfdr_2d_nodup),
+            format!("{:.2}x", r.zfdr_3d_nodup),
+            format!("{:.2}x", r.zfdr_2d_low),
+            format!("{:.2}x", r.zfdr_3d_low),
+        ]);
+    }
+    t.print();
+    println!("\nPaper's observation: with H-tree the ZFDR speedup almost disappears;");
+    println!("with the 3D connection it is fully visible and duplication adds more.");
+}

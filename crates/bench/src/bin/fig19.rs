@@ -1,0 +1,29 @@
+//! Fig. 19: speedup of LerGAN (low/middle/high, plain and NS) over PRIME.
+
+use lergan_bench::figures;
+use lergan_bench::TextTable;
+
+fn main() {
+    println!("Fig. 19: LerGAN speedup over PRIME (10-iteration average, batch 64)\n");
+    let mut t = TextTable::new(&["benchmark", "low", "middle", "high", "low-NS", "mid-NS", "high-NS"]);
+    let rows = figures::fig19_20();
+    let mut avg = 0.0;
+    let mut n = 0.0;
+    for r in &rows {
+        for v in r.speedup.iter().chain(r.speedup_ns.iter()) {
+            avg += v;
+            n += 1.0;
+        }
+        t.row(&[
+            r.gan.clone(),
+            format!("{:.2}x", r.speedup[0]),
+            format!("{:.2}x", r.speedup[1]),
+            format!("{:.2}x", r.speedup[2]),
+            format!("{:.2}x", r.speedup_ns[0]),
+            format!("{:.2}x", r.speedup_ns[1]),
+            format!("{:.2}x", r.speedup_ns[2]),
+        ]);
+    }
+    t.print();
+    println!("\nOverall average speedup over PRIME: {:.2}x (paper: 7.46x)", avg / n);
+}

@@ -1,0 +1,30 @@
+//! Fig. 20: energy saving of LerGAN over PRIME.
+
+use lergan_bench::figures;
+use lergan_bench::TextTable;
+
+fn main() {
+    println!("Fig. 20: LerGAN energy saving over PRIME\n");
+    let mut t = TextTable::new(&["benchmark", "low", "middle", "high", "low-NS", "mid-NS", "high-NS"]);
+    let rows = figures::fig19_20();
+    let mut avg = 0.0;
+    let mut n = 0.0;
+    for r in &rows {
+        for v in r.energy_saving.iter().chain(r.energy_saving_ns.iter()) {
+            avg += v;
+            n += 1.0;
+        }
+        t.row(&[
+            r.gan.clone(),
+            format!("{:.2}x", r.energy_saving[0]),
+            format!("{:.2}x", r.energy_saving[1]),
+            format!("{:.2}x", r.energy_saving[2]),
+            format!("{:.2}x", r.energy_saving_ns[0]),
+            format!("{:.2}x", r.energy_saving_ns[1]),
+            format!("{:.2}x", r.energy_saving_ns[2]),
+        ]);
+    }
+    t.print();
+    println!("\nOverall average energy saving over PRIME: {:.2}x (paper: 7.68x)", avg / n);
+    println!("Higher duplication saves less energy (more update writes), as in the paper.");
+}

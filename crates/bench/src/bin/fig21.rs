@@ -1,0 +1,24 @@
+//! Fig. 21: performance vs the FPGA GAN accelerator and the GPU platform
+//! (paper averages: 47.2x and 21.42x).
+
+use lergan_bench::figures;
+use lergan_bench::TextTable;
+
+fn main() {
+    println!("Fig. 21: LerGAN speedup over FPGA-GAN and GPU\n");
+    let mut t = TextTable::new(&[
+        "benchmark", "vs FPGA (low)", "vs FPGA (high)", "vs GPU (low)", "vs GPU (high)",
+    ]);
+    for r in figures::fig21_22() {
+        t.row(&[
+            r.gan.clone(),
+            format!("{:.1}x", r.speedup_fpga[0]),
+            format!("{:.1}x", r.speedup_fpga[2]),
+            format!("{:.1}x", r.speedup_gpu[0]),
+            format!("{:.1}x", r.speedup_gpu[2]),
+        ]);
+    }
+    t.print();
+    let (sf, sg, _, _) = figures::headline_averages();
+    println!("\nAverage speedup: vs FPGA {sf:.1}x (paper 47.2x), vs GPU {sg:.1}x (paper 21.42x)");
+}

@@ -1,0 +1,25 @@
+//! Fig. 22: energy vs the FPGA GAN accelerator and the GPU platform
+//! (paper: 9.75x saving vs GPU; 1.04x of FPGA's energy).
+
+use lergan_bench::figures;
+use lergan_bench::TextTable;
+
+fn main() {
+    println!("Fig. 22: LerGAN energy saving over FPGA-GAN and GPU\n");
+    let mut t = TextTable::new(&[
+        "benchmark", "vs FPGA (low)", "vs FPGA (high)", "vs GPU (low)", "vs GPU (high)",
+    ]);
+    for r in figures::fig21_22() {
+        t.row(&[
+            r.gan.clone(),
+            format!("{:.2}x", r.energy_saving_fpga[0]),
+            format!("{:.2}x", r.energy_saving_fpga[2]),
+            format!("{:.2}x", r.energy_saving_gpu[0]),
+            format!("{:.2}x", r.energy_saving_gpu[2]),
+        ]);
+    }
+    t.print();
+    let (_, _, eg, ef) = figures::headline_averages();
+    println!("\nAverage energy saving vs GPU: {eg:.2}x (paper 9.75x)");
+    println!("Average LerGAN/FPGA energy ratio: {ef:.2}x (paper 1.04x)");
+}

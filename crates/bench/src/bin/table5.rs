@@ -1,0 +1,36 @@
+//! Prints Table V: the parsed topologies of the eight GAN benchmarks.
+
+use lergan_bench::TextTable;
+use lergan_gan::benchmarks;
+
+fn main() {
+    println!("Table V: Topologies of GAN benchmarks (parsed layer-exact)\n");
+    for gan in benchmarks::all() {
+        println!(
+            "{}  (item {:?}, batch {})",
+            gan.name, gan.item_size, gan.batch_size
+        );
+        for (label, net) in [("generator", &gan.generator), ("discriminator", &gan.discriminator)]
+        {
+            let mut t = TextTable::new(&[
+                "layer", "kind", "in-ch", "out-ch", "in-sp", "out-sp", "weights",
+            ]);
+            for (i, l) in net.layers.iter().enumerate() {
+                t.row(&[
+                    format!("{i}"),
+                    l.kind_tag().to_string(),
+                    l.fan_in_channels().to_string(),
+                    l.fan_out_channels().to_string(),
+                    l.in_spatial().to_string(),
+                    l.out_spatial().to_string(),
+                    l.weight_count(net.dims).to_string(),
+                ]);
+            }
+            println!("  {label} ({} layers, {} weights):", net.layers.len(), net.total_weights());
+            for line in t.render().lines() {
+                println!("    {line}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness regenerating every table and figure of the LerGAN
+//! evaluation (Sec. VI).
+//!
+//! Each `figures::figNN` function computes the *data* of the corresponding
+//! paper figure; the `fig16`…`fig24`, `table5` and `overhead` binaries
+//! print it in paper-style rows, and the Criterion benches under
+//! `benches/` time the underlying machinery. Absolute numbers come from
+//! the simulator; the paper's reported values are quoted alongside so the
+//! shape comparison is immediate (see `EXPERIMENTS.md` for the full
+//! paper-vs-measured record).
+
+pub mod figures;
+pub mod table;
+
+pub use table::TextTable;

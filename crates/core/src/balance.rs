@@ -1,0 +1,149 @@
+//! Runtime-balance analysis of a ZFDR plan (Sec. IV-A, last paragraph).
+//!
+//! "CornerReshape has no reuse of reshaped weights while InsideReshape
+//! tends to have more reuses than EdgeReshape does. This involves an
+//! unbalance in runtime because InsideReshape takes a long time to execute
+//! while CornerReshape is idle in most of the time. Such unbalance not
+//! only exists in the executing stage, but also in the I/O transmission."
+//!
+//! This module quantifies that imbalance — the busy fraction of each class
+//! kind against the layer's critical path — and shows how Table III's
+//! duplication restores balance.
+
+use crate::replica::ReplicaPlan;
+use crate::zfdr::plan::{ClassKind, ZfdrPlan};
+
+/// Balance report of one layer's ZFDR execution under a replica plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceReport {
+    /// Cycles each kind is busy: `⌈max reuse / replicas⌉` per kind.
+    pub busy_cycles: [u128; 3],
+    /// The critical path (the slowest kind).
+    pub critical_cycles: u128,
+    /// Idle fraction of each kind relative to the critical path.
+    pub idle_fraction: [f64; 3],
+    /// Overall imbalance: mean idle fraction across kinds that exist.
+    pub imbalance: f64,
+}
+
+impl BalanceReport {
+    /// Busy cycles of one kind.
+    pub fn busy(&self, kind: ClassKind) -> u128 {
+        self.busy_cycles[kind_index(kind)]
+    }
+
+    /// Idle fraction of one kind.
+    pub fn idle(&self, kind: ClassKind) -> f64 {
+        self.idle_fraction[kind_index(kind)]
+    }
+}
+
+fn kind_index(kind: ClassKind) -> usize {
+    ClassKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind enumerable")
+}
+
+/// Analyses the execution balance of a plan under a replica assignment.
+pub fn analyze(plan: &ZfdrPlan, dims: u32, replicas: &ReplicaPlan) -> BalanceReport {
+    let mut busy = [0u128; 3];
+    let mut exists = [false; 3];
+    for (i, kind) in ClassKind::ALL.into_iter().enumerate() {
+        let s = plan.kind(kind, dims);
+        if s.classes == 0 {
+            continue;
+        }
+        exists[i] = true;
+        busy[i] = s.max_reuse.div_ceil(replicas.for_kind(kind) as u128).max(1);
+    }
+    let critical = busy.iter().copied().max().unwrap_or(1).max(1);
+    let mut idle = [0.0f64; 3];
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for i in 0..3 {
+        if exists[i] {
+            idle[i] = 1.0 - busy[i] as f64 / critical as f64;
+            acc += idle[i];
+            n += 1;
+        }
+    }
+    BalanceReport {
+        busy_cycles: busy,
+        critical_cycles: critical,
+        idle_fraction: idle,
+        imbalance: if n == 0 { 0.0 } else { acc / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lergan_tensor::TconvGeometry;
+
+    fn conv1_plan() -> ZfdrPlan {
+        ZfdrPlan::for_tconv(&TconvGeometry::for_upsampling(4, 5, 2).unwrap())
+    }
+
+    #[test]
+    fn undupped_conv1_is_heavily_imbalanced() {
+        // Without duplication the corner matrices fire once and idle for
+        // the other 8 of 9 cycles — the paper's motivating observation.
+        let plan = conv1_plan();
+        let r = analyze(&plan, 2, &ReplicaPlan::unity());
+        assert_eq!(r.critical_cycles, 9);
+        assert_eq!(r.busy(ClassKind::Corner), 1);
+        assert!(r.idle(ClassKind::Corner) > 0.85);
+        assert!(r.idle(ClassKind::Inside) < 1e-9);
+        assert!(r.imbalance > 0.3);
+    }
+
+    #[test]
+    fn duplication_restores_balance() {
+        let plan = conv1_plan();
+        let before = analyze(&plan, 2, &ReplicaPlan::unity());
+        // Inside gets enough copies to finish with the edges.
+        let after = analyze(
+            &plan,
+            2,
+            &ReplicaPlan {
+                corner: 1,
+                edge: 3,
+                inside: 9,
+            },
+        );
+        assert!(after.imbalance < before.imbalance);
+        assert!(after.critical_cycles < before.critical_cycles);
+    }
+
+    #[test]
+    fn perfectly_replicated_plan_has_low_imbalance() {
+        let plan = conv1_plan();
+        // Replicate every kind down to one cycle.
+        let r = analyze(
+            &plan,
+            2,
+            &ReplicaPlan {
+                corner: 1,
+                edge: 3,
+                inside: 9,
+            },
+        );
+        assert_eq!(r.critical_cycles, 1);
+        assert!(r.imbalance < 1e-9);
+    }
+
+    #[test]
+    fn bigger_layers_are_more_imbalanced_without_duplication() {
+        // Interior reuse grows quadratically with the input extent, so the
+        // corner-idle problem worsens for later generator layers.
+        let small = analyze(&conv1_plan(), 2, &ReplicaPlan::unity());
+        let big = analyze(
+            &ZfdrPlan::for_tconv(&TconvGeometry::for_upsampling(16, 5, 2).unwrap()),
+            2,
+            &ReplicaPlan::unity(),
+        );
+        assert!(big.imbalance > small.imbalance);
+        assert!(big.critical_cycles > small.critical_cycles);
+    }
+}

@@ -1,0 +1,430 @@
+//! The memory controller's finite-state machine (Sec. V "Memory
+//! controller").
+//!
+//! The controller records data mappings and switch states and walks a
+//! training iteration through Fig. 13's two halves: train the
+//! discriminator (a), then train the generator (b). Each FSM state emits
+//! the events the 3DCU pair must execute — mode switches, phase mappings,
+//! phase execution, inter-model transfers, and updates — and the
+//! accelerator model replays those events as a task graph.
+
+use lergan_gan::Phase;
+use lergan_noc::Mode;
+
+/// A bank of the 3DCU pair: `side` 0 = generator unit (B1–B3), 1 =
+/// discriminator unit (B4–B6); `bank` 0 = top, 1 = middle, 2 = bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankId {
+    /// Which 3DCU of the pair.
+    pub side: usize,
+    /// Which stacked bank.
+    pub bank: usize,
+}
+
+impl BankId {
+    /// The bank a phase executes in: forward on top, ∇weight in the
+    /// middle ("it needs data transferred from either phases"), error
+    /// transfer at the bottom.
+    pub fn for_phase(phase: Phase) -> BankId {
+        let side = usize::from(!phase.is_generator_phase());
+        let bank = match phase {
+            Phase::GForward | Phase::DForward => 0,
+            Phase::GWeightGrad | Phase::DWeightGrad => 1,
+            Phase::GBackward | Phase::DBackward => 2,
+        };
+        BankId { side, bank }
+    }
+
+    /// Paper numbering B1–B6.
+    pub fn label(&self) -> String {
+        format!("B{}", self.side * 3 + self.bank + 1)
+    }
+}
+
+/// One event emitted by the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerEvent {
+    /// Reconfigure a bank's switches.
+    SetMode {
+        /// Target bank.
+        bank: BankId,
+        /// New mode.
+        mode: Mode,
+    },
+    /// Write a phase's operands (reshaped weights / cached activations)
+    /// into its bank.
+    MapPhase {
+        /// The phase whose operands are written.
+        phase: Phase,
+        /// Destination bank.
+        bank: BankId,
+    },
+    /// Execute a phase over all its layers.
+    RunPhase {
+        /// The phase to run.
+        phase: Phase,
+    },
+    /// Move the generator's minibatch output to the discriminator
+    /// (bypass B1→B4).
+    TransferSamples,
+    /// Move the output-layer error into the backward banks, or the
+    /// discriminator's input error to the generator (B6→B3).
+    TransferError {
+        /// Phase producing the error.
+        from: Phase,
+        /// Phase consuming it.
+        to: Phase,
+    },
+    /// Read accumulated ∇weights, compute the step on the CPU, write the
+    /// new weights back.
+    Update {
+        /// `true` for the generator, `false` for the discriminator.
+        generator: bool,
+    },
+}
+
+/// FSM states for one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FsmState {
+    /// Waiting for work; all banks in Smode.
+    #[default]
+    Idle,
+    /// Configuring and mapping for the discriminator half.
+    PrepareDiscTraining,
+    /// Running G→, transfer, D→ with concurrent D-w/D← mapping.
+    DiscForward,
+    /// Running D← and D-w interleaved.
+    DiscBackward,
+    /// Updating the discriminator (banks back in Smode).
+    UpdateDisc,
+    /// Configuring and mapping for the generator half.
+    PrepareGenTraining,
+    /// Running G→, transfer, D→, and the error path back to G.
+    GenForward,
+    /// Running G← and G-w interleaved.
+    GenBackward,
+    /// Updating the generator.
+    UpdateGen,
+}
+
+/// The memory controller: a finite-state machine emitting
+/// [`ControllerEvent`]s.
+#[derive(Debug, Default)]
+pub struct MemoryController {
+    state: FsmState,
+}
+
+impl MemoryController {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// Advances the FSM one step, returning the events of the new state,
+    /// or `None` when the iteration is complete (back to idle).
+    pub fn advance(&mut self) -> Option<Vec<ControllerEvent>> {
+        use ControllerEvent as E;
+        use FsmState as S;
+        let (next, events): (S, Vec<E>) = match self.state {
+            S::Idle => (
+                S::PrepareDiscTraining,
+                vec![
+                    // Fig. 13(a): B2 and B3 stay in Smode; the rest compute.
+                    E::SetMode {
+                        bank: BankId { side: 0, bank: 0 },
+                        mode: Mode::Cmode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 0 },
+                        mode: Mode::Cmode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 1 },
+                        mode: Mode::Cmode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 2 },
+                        mode: Mode::Cmode,
+                    },
+                ],
+            ),
+            S::PrepareDiscTraining => (
+                S::DiscForward,
+                vec![
+                    E::RunPhase {
+                        phase: Phase::GForward,
+                    },
+                    E::TransferSamples,
+                    E::RunPhase {
+                        phase: Phase::DForward,
+                    },
+                    // "we continue forward propagation of the discriminator
+                    // when we map D-w and D←".
+                    E::MapPhase {
+                        phase: Phase::DWeightGrad,
+                        bank: BankId::for_phase(Phase::DWeightGrad),
+                    },
+                    E::MapPhase {
+                        phase: Phase::DBackward,
+                        bank: BankId::for_phase(Phase::DBackward),
+                    },
+                ],
+            ),
+            S::DiscForward => (
+                S::DiscBackward,
+                vec![
+                    E::TransferError {
+                        from: Phase::DForward,
+                        to: Phase::DBackward,
+                    },
+                    E::RunPhase {
+                        phase: Phase::DBackward,
+                    },
+                    E::RunPhase {
+                        phase: Phase::DWeightGrad,
+                    },
+                ],
+            ),
+            S::DiscBackward => (
+                S::UpdateDisc,
+                vec![
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 0 },
+                        mode: Mode::Smode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 1 },
+                        mode: Mode::Smode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 2 },
+                        mode: Mode::Smode,
+                    },
+                    E::Update { generator: false },
+                ],
+            ),
+            S::UpdateDisc => (
+                S::PrepareGenTraining,
+                vec![
+                    // Fig. 13(b): everything computes; B1 is already in
+                    // Cmode from the first half.
+                    E::SetMode {
+                        bank: BankId { side: 0, bank: 1 },
+                        mode: Mode::Cmode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 0, bank: 2 },
+                        mode: Mode::Cmode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 0 },
+                        mode: Mode::Cmode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 1, bank: 2 },
+                        mode: Mode::Cmode,
+                    },
+                    E::MapPhase {
+                        phase: Phase::GWeightGrad,
+                        bank: BankId::for_phase(Phase::GWeightGrad),
+                    },
+                    E::MapPhase {
+                        phase: Phase::GBackward,
+                        bank: BankId::for_phase(Phase::GBackward),
+                    },
+                ],
+            ),
+            S::PrepareGenTraining => (
+                S::GenForward,
+                vec![
+                    E::RunPhase {
+                        phase: Phase::GForward,
+                    },
+                    E::TransferSamples,
+                    E::RunPhase {
+                        phase: Phase::DForward,
+                    },
+                    E::MapPhase {
+                        phase: Phase::DBackward,
+                        bank: BankId::for_phase(Phase::DBackward),
+                    },
+                ],
+            ),
+            S::GenForward => (
+                S::GenBackward,
+                vec![
+                    E::TransferError {
+                        from: Phase::DForward,
+                        to: Phase::DBackward,
+                    },
+                    E::RunPhase {
+                        phase: Phase::DBackward,
+                    },
+                    // B6 → B3 direct link carries the error to G←.
+                    E::TransferError {
+                        from: Phase::DBackward,
+                        to: Phase::GBackward,
+                    },
+                    E::RunPhase {
+                        phase: Phase::GBackward,
+                    },
+                    E::RunPhase {
+                        phase: Phase::GWeightGrad,
+                    },
+                ],
+            ),
+            S::GenBackward => (
+                S::UpdateGen,
+                vec![
+                    E::SetMode {
+                        bank: BankId { side: 0, bank: 0 },
+                        mode: Mode::Smode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 0, bank: 1 },
+                        mode: Mode::Smode,
+                    },
+                    E::SetMode {
+                        bank: BankId { side: 0, bank: 2 },
+                        mode: Mode::Smode,
+                    },
+                    E::Update { generator: true },
+                ],
+            ),
+            S::UpdateGen => (S::Idle, vec![]),
+        };
+        self.state = next;
+        if self.state == S::Idle {
+            None
+        } else {
+            Some(events)
+        }
+    }
+
+    /// Convenience: the full event script of one iteration.
+    pub fn iteration_script() -> Vec<ControllerEvent> {
+        let mut fsm = MemoryController::new();
+        let mut out = Vec::new();
+        while let Some(events) = fsm.advance() {
+            out.extend(events);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_map_to_fig13_banks() {
+        assert_eq!(BankId::for_phase(Phase::GForward).label(), "B1");
+        assert_eq!(BankId::for_phase(Phase::GWeightGrad).label(), "B2");
+        assert_eq!(BankId::for_phase(Phase::GBackward).label(), "B3");
+        assert_eq!(BankId::for_phase(Phase::DForward).label(), "B4");
+        assert_eq!(BankId::for_phase(Phase::DWeightGrad).label(), "B5");
+        assert_eq!(BankId::for_phase(Phase::DBackward).label(), "B6");
+    }
+
+    #[test]
+    fn fsm_walks_the_full_iteration_and_returns_to_idle() {
+        let mut fsm = MemoryController::new();
+        assert_eq!(fsm.state(), FsmState::Idle);
+        let mut steps = 0;
+        while fsm.advance().is_some() {
+            steps += 1;
+            assert!(steps < 32, "FSM must terminate");
+        }
+        assert_eq!(fsm.state(), FsmState::Idle);
+        assert_eq!(steps, 8);
+    }
+
+    #[test]
+    fn cmode_precedes_every_run() {
+        let script = MemoryController::iteration_script();
+        let mut cmode_banks: std::collections::HashSet<BankId> = Default::default();
+        for ev in &script {
+            match ev {
+                ControllerEvent::SetMode { bank, mode } => {
+                    if *mode == Mode::Cmode {
+                        cmode_banks.insert(*bank);
+                    } else {
+                        cmode_banks.remove(bank);
+                    }
+                }
+                ControllerEvent::RunPhase { phase } => {
+                    let bank = BankId::for_phase(*phase);
+                    assert!(
+                        cmode_banks.contains(&bank),
+                        "{phase} ran with {} not in Cmode",
+                        bank.label()
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn updates_happen_in_smode() {
+        let script = MemoryController::iteration_script();
+        let mut cmode_banks: std::collections::HashSet<BankId> = Default::default();
+        for ev in &script {
+            match ev {
+                ControllerEvent::SetMode { bank, mode } => {
+                    if *mode == Mode::Cmode {
+                        cmode_banks.insert(*bank);
+                    } else {
+                        cmode_banks.remove(bank);
+                    }
+                }
+                ControllerEvent::Update { generator } => {
+                    let side = usize::from(!generator);
+                    for bank in 0..3 {
+                        assert!(
+                            !cmode_banks.contains(&BankId { side, bank }),
+                            "update with side-{side} bank {bank} still in Cmode"
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn both_models_are_updated_once() {
+        let script = MemoryController::iteration_script();
+        let updates: Vec<bool> = script
+            .iter()
+            .filter_map(|e| match e {
+                ControllerEvent::Update { generator } => Some(*generator),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(updates, vec![false, true]);
+    }
+
+    #[test]
+    fn mapping_overlaps_with_forward_in_the_script() {
+        // MapPhase events for D-w / D← appear in the same FSM step as the
+        // forward runs (they overlap in the task graph).
+        let script = MemoryController::iteration_script();
+        let first_map = script
+            .iter()
+            .position(|e| matches!(e, ControllerEvent::MapPhase { .. }))
+            .unwrap();
+        let first_backward_run = script
+            .iter()
+            .position(
+                |e| matches!(e, ControllerEvent::RunPhase { phase } if *phase == Phase::DBackward),
+            )
+            .unwrap();
+        assert!(first_map < first_backward_run);
+    }
+}

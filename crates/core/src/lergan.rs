@@ -1,0 +1,923 @@
+//! The assembled LerGAN accelerator model.
+//!
+//! [`LerGan`] binds a compiled GAN (ZFDM mappings) to the 3D-connected PIM
+//! (or, for the comparison configurations, to plain H-tree banks), replays
+//! the memory controller's iteration script as a task graph on the
+//! discrete-event engine, and reports latency plus a full energy
+//! breakdown.
+//!
+//! ## Structure of one iteration (Fig. 13)
+//!
+//! Each phase becomes a chain of per-layer *compute* tasks (on the phase's
+//! crossbar group) interleaved with *transfer* tasks (on the wire resource
+//! of the phase's bank). Mapping tasks write the backward phases' operands
+//! while the forward runs — on *different* banks under the 3D connection
+//! (free overlap), on the *same* wire resources under the H-tree baseline
+//! (contention). Inter-model transfers ride the bypass links (3D) or the
+//! shared bus (H-tree).
+
+use crate::compiler::{self, CompiledGan, CompilerOptions, Connection, PhaseDegrees, ReshapeScheme};
+use crate::mapping::TileAllocation;
+use crate::controller::{BankId, MemoryController};
+use crate::replica::ReplicaDegree;
+use lergan_gan::{GanSpec, Phase};
+use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, Route};
+use lergan_reram::{EnergyCounts, EnergyModel, ReramConfig, TileEnergyBreakdown};
+use lergan_sim::engine::{Engine, ResourceId, TaskId, TaskSpec};
+use lergan_sim::Breakdown;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Additional cost constants not covered by Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Time to reconfigure a bank's switches (ns).
+    pub switch_config_ns: f64,
+    /// CPU time per weight value during an update (ns) — vectorised SGD.
+    pub cpu_update_ns_per_value: f64,
+    /// Fixed CPU/controller overhead per update (ns).
+    pub cpu_fixed_ns: f64,
+    /// Crossbar rows writable in parallel per tile (power-limited).
+    pub write_rows_parallel_per_tile: usize,
+    /// CPU energy per weight value updated (pJ).
+    pub cpu_pj_per_value: f64,
+    /// Off-chip I/O energy per byte moved during updates (pJ).
+    pub io_pj_per_byte: f64,
+    /// Fraction of a weight's cells that actually switch when its value
+    /// is *updated* in place (SGD deltas are small, so differential writes
+    /// flip roughly one cell in four).
+    pub update_write_cell_fraction: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            switch_config_ns: 50.0,
+            cpu_update_ns_per_value: 0.05,
+            cpu_fixed_ns: 1_000.0,
+            write_rows_parallel_per_tile: 2048,
+            cpu_pj_per_value: 2.0,
+            io_pj_per_byte: 20.0,
+            update_write_cell_fraction: 0.09,
+        }
+    }
+}
+
+/// Error returned when a GAN cannot be mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    message: String,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot build LerGAN mapping: {}", self.message)
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builder for [`LerGan`].
+#[derive(Debug, Clone)]
+pub struct LerGanBuilder {
+    gan: GanSpec,
+    degree: ReplicaDegree,
+    phase_degrees: PhaseDegrees,
+    scheme: ReshapeScheme,
+    connection: Connection,
+    reram: ReramConfig,
+    noc: NocConfig,
+    cost: CostModel,
+    energy: EnergyModel,
+}
+
+impl LerGanBuilder {
+    /// Sets the default duplication degree (default `Low`).
+    pub fn replica_degree(mut self, degree: ReplicaDegree) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Overrides the duplication degree for one phase — the paper's
+    /// heterogeneous acceleration levels (Sec. V).
+    pub fn phase_degree(mut self, phase: Phase, degree: ReplicaDegree) -> Self {
+        self.phase_degrees = self.phase_degrees.with(phase, degree);
+        self
+    }
+
+    /// Sets the reshape scheme (default ZFDR).
+    pub fn reshape_scheme(mut self, scheme: ReshapeScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the interconnect family (default 3D).
+    pub fn connection(mut self, connection: Connection) -> Self {
+        self.connection = connection;
+        self
+    }
+
+    /// Overrides the ReRAM configuration.
+    pub fn reram_config(mut self, config: ReramConfig) -> Self {
+        self.reram = config;
+        self
+    }
+
+    /// Overrides the interconnect configuration.
+    pub fn noc_config(mut self, config: NocConfig) -> Self {
+        self.noc = config;
+        self
+    }
+
+    /// Overrides the auxiliary cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the tile energy model.
+    pub fn energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Compiles and assembles the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if any single layer's mapping exceeds one
+    /// bank's CArray capacity (the compiler cannot split a single reshaped
+    /// matrix across banks).
+    pub fn build(self) -> Result<LerGan, BuildError> {
+        let options = CompilerOptions {
+            scheme: self.scheme,
+            degree: self.degree,
+            connection: self.connection,
+            phase_degrees: self.phase_degrees,
+        };
+        let compiled = compiler::compile(&self.gan, options, &self.reram);
+        let bank_tiles = self.reram.tiles_per_bank;
+        for phase in &compiled.phases {
+            for layer in &phase.layers {
+                if layer.tiles > bank_tiles {
+                    return Err(BuildError {
+                        message: format!(
+                            "{} layer {} needs {} tiles, more than one bank ({bank_tiles})",
+                            phase.phase, layer.workload.layer_index, layer.tiles
+                        ),
+                    });
+                }
+            }
+        }
+        let pair = DcuPair::new(&self.noc);
+        Ok(LerGan {
+            gan: self.gan,
+            compiled,
+            pair,
+            reram: self.reram,
+            noc: self.noc,
+            cost: self.cost,
+            energy: self.energy,
+        })
+    }
+}
+
+/// The assembled accelerator.
+#[derive(Debug)]
+pub struct LerGan {
+    gan: GanSpec,
+    compiled: CompiledGan,
+    pair: DcuPair,
+    reram: ReramConfig,
+    noc: NocConfig,
+    cost: CostModel,
+    energy: EnergyModel,
+}
+
+/// Latency/energy report of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Iterations simulated.
+    pub iterations: usize,
+    /// Latency of one iteration (ns).
+    pub iteration_latency_ns: f64,
+    /// Latency of the whole run (ns).
+    pub total_latency_ns: f64,
+    /// Energy of the whole run (pJ).
+    pub total_energy_pj: f64,
+    /// Fig. 23 buckets: `compute`, `communication`, `other`.
+    pub energy_breakdown: Breakdown,
+    /// Fig. 24 per-tile component breakdown.
+    pub tile_breakdown: TileEnergyBreakdown,
+    /// Raw operation counts.
+    pub counts: EnergyCounts,
+    /// Busy time attributed to each phase (ns, per iteration).
+    pub phase_latency: Breakdown,
+    /// Busy time of each simulated resource (compute groups, bank wires,
+    /// bus/bypass) per iteration (ns).
+    pub resource_busy: Breakdown,
+}
+
+impl LerGan {
+    /// Starts a builder for a GAN with default (paper) configurations.
+    pub fn builder(gan: &GanSpec) -> LerGanBuilder {
+        LerGanBuilder {
+            gan: gan.clone(),
+            degree: ReplicaDegree::Low,
+            phase_degrees: PhaseDegrees::none(),
+            scheme: ReshapeScheme::Zfdr,
+            connection: Connection::ThreeD,
+            reram: ReramConfig::default(),
+            noc: NocConfig::default(),
+            cost: CostModel::default(),
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// The compiled mapping.
+    pub fn compiled(&self) -> &CompiledGan {
+        &self.compiled
+    }
+
+    /// The GAN being trained.
+    pub fn gan(&self) -> &GanSpec {
+        &self.gan
+    }
+
+    /// Simulates `n` training iterations (the paper uses ten and averages).
+    pub fn train_iterations(&self, n: usize) -> TrainingReport {
+        let mut report = self.simulate_iteration();
+        report.iterations = n.max(1);
+        report.total_latency_ns = report.iteration_latency_ns * report.iterations as f64;
+        let scale = report.iterations as f64;
+        report.total_energy_pj *= scale;
+        let mut scaled = Breakdown::new();
+        for (k, v) in report.energy_breakdown.iter() {
+            scaled.add(k, v * scale);
+        }
+        report.energy_breakdown = scaled;
+        report
+    }
+
+    // ---- internal simulation ----
+
+    fn threed(&self) -> bool {
+        self.compiled.options.connection == Connection::ThreeD
+    }
+
+    /// Route for an intra-phase hop between two adjacent tiles of the
+    /// phase's bank.
+    fn neighbor_route(&self, bank: BankId, tile: usize) -> Route {
+        let (mode, side) = if self.threed() {
+            (Mode::Cmode, bank.side)
+        } else {
+            (Mode::Smode, bank.side)
+        };
+        let b = if self.threed() { bank.bank } else { 0 };
+        let t0 = tile % self.noc.tiles_per_bank;
+        let t1 = (tile + 1) % self.noc.tiles_per_bank;
+        self.pair
+            .route(
+                Endpoint::pair_tile(side, b, t0),
+                Endpoint::pair_tile(side, b, t1),
+                mode,
+            )
+            .expect("endpoints are valid")
+    }
+
+    /// Route through the shared bus out of (and back into) a bank — what
+    /// a phase pays when its allocation spills past the bank (Fig. 9's
+    /// inter-bank movement).
+    fn bus_route(&self, bank: BankId) -> Route {
+        let b = if self.threed() { bank.bank } else { 0 };
+        self.pair
+            .route(
+                Endpoint::pair_tile(bank.side, b, 0),
+                Endpoint::pair_tile(1 - bank.side, b, 0),
+                Mode::Smode,
+            )
+            .expect("bus route exists")
+    }
+
+    /// Route that carries cached data from a forward bank to a backward
+    /// bank of the same side (vertical hop in 3D, H-tree + bus otherwise).
+    fn cross_bank_route(&self, side: usize, from_bank: usize, to_bank: usize) -> Route {
+        if self.threed() {
+            self.pair
+                .route(
+                    Endpoint::pair_tile(side, from_bank, 0),
+                    Endpoint::pair_tile(side, to_bank, 0),
+                    Mode::Cmode,
+                )
+                .expect("endpoints are valid")
+        } else {
+            // H-tree baseline: the phases live in tile groups of a flat
+            // bank; data crosses the whole tree (and the shared bus when
+            // the model spills over a bank).
+            self.pair
+                .route(
+                    Endpoint::pair_tile(side, 0, 0),
+                    Endpoint::pair_tile(side, 0, self.noc.tiles_per_bank - 1),
+                    Mode::Smode,
+                )
+                .expect("endpoints are valid")
+        }
+    }
+
+    /// Route between the generator side and the discriminator side.
+    fn cross_side_route(&self, from_bank: usize, to_bank: usize) -> Route {
+        let mode = if self.threed() { Mode::Cmode } else { Mode::Smode };
+        self.pair
+            .route(
+                Endpoint::pair_tile(0, if self.threed() { from_bank } else { 0 }, 0),
+                Endpoint::pair_tile(1, if self.threed() { to_bank } else { 0 }, 0),
+                mode,
+            )
+            .expect("endpoints are valid")
+    }
+
+    /// Write time for `values` into a bank spanning `tiles` tiles.
+    fn write_time_ns(&self, values: u128, tiles: usize) -> f64 {
+        let per_tile_values_per_write =
+            (self.cost.write_rows_parallel_per_tile as u128) * 32;
+        let writes = values.div_ceil(per_tile_values_per_write.max(1));
+        let parallel = tiles.max(1) as u128;
+        writes.div_ceil(parallel) as f64 * self.reram.tile_write_latency_ns
+    }
+
+    fn simulate_iteration(&self) -> TrainingReport {
+        let batch = self.compiled.batch_size as u64;
+        let mut engine = Engine::new();
+        // Resources: per-phase compute groups, per-bank wires, bus, bypass.
+        let mut compute_res: HashMap<Phase, ResourceId> = HashMap::new();
+        let mut wire_res: HashMap<(usize, usize), ResourceId> = HashMap::new();
+        for phase in Phase::ALL {
+            compute_res.insert(phase, engine.add_resource(format!("compute {phase}"), 1));
+        }
+        if self.threed() {
+            for side in 0..2 {
+                for bank in 0..3 {
+                    wire_res.insert(
+                        (side, bank),
+                        engine.add_resource(format!("wires s{side}b{bank}"), 1),
+                    );
+                }
+            }
+        } else {
+            // H-tree baseline: one wire resource per side — mapping,
+            // compute streams and updates all contend for it.
+            for side in 0..2 {
+                let r = engine.add_resource(format!("wires side{side}"), 1);
+                for bank in 0..3 {
+                    wire_res.insert((side, bank), r);
+                }
+            }
+        }
+        let cross_res = engine.add_resource("bus/bypass", if self.threed() { 2 } else { 1 });
+
+        let mut counts = EnergyCounts::default();
+        let mut energy = Breakdown::new();
+        let mut phase_cost = Breakdown::new();
+
+        // ---- helpers -------------------------------------------------
+        let t_m = self.reram.mmv_latency_ns();
+
+        // Builds the chained layer tasks of one phase run; returns
+        // (first, last) task ids.
+        struct PhaseRun {
+            first: TaskId,
+            last: TaskId,
+        }
+        let run_phase = |engine: &mut Engine,
+                             phase: Phase,
+                             dep: Option<TaskId>,
+                             counts: &mut EnergyCounts,
+                             energy: &mut Breakdown,
+                             phase_cost: &mut Breakdown|
+         -> PhaseRun {
+            let bank = BankId::for_phase(phase);
+            let cp = self.compiled.phase(phase);
+            let comp_r = compute_res[&phase];
+            let wire_r = wire_res[&(bank.side, bank.bank)];
+            let alloc = TileAllocation::for_phase(cp, self.noc.tiles_per_bank);
+            let mut prev: Option<TaskId> = dep;
+            let mut first: Option<TaskId> = None;
+            for (li, layer) in cp.layers.iter().enumerate() {
+                // Transfer of this layer's operand stream to its tiles.
+                // The plain H-tree cannot multicast: every tile holding
+                // distinct reshaped matrices receives its own copy of the
+                // stream through the shared tree — which is why duplication
+                // "achieves little speedup with H-tree connection"
+                // (Fig. 17). The 3DCU's reconfigured horizontal/vertical
+                // wires distribute in parallel.
+                let zfdm = self.compiled.options.scheme == ReshapeScheme::Zfdr;
+                let per_sample = if self.threed() && zfdm {
+                    // ZFDM splits kernel weights so each part handles its
+                    // vertically-aligned partial results (Fig. 14); the
+                    // slices ride parallel short Cmode paths. Normal
+                    // mapping keeps one monolithic stream and gains none
+                    // of this.
+                    layer.moved_values_per_sample
+                        .div_ceil(self.noc.cmode_parallel_channels as u128)
+                } else if layer.zfdr.is_some() {
+                    // The H-tree unicasts each reshaped matrix its gathered
+                    // slice of the input; the total stream approaches the
+                    // im2col volume, bounded by the dense (zero-inserted)
+                    // stream it replaces.
+                    let gathered = layer.workload.macs_useful
+                        / layer.workload.out_channels.max(1) as u128;
+                    gathered.min(layer.workload.moved_values_dense)
+                } else {
+                    layer.moved_values_per_sample
+                        * (layer.tiles.min(self.noc.tiles_per_bank) as u128)
+                };
+                let moved = per_sample as u64 * batch;
+                // Fig. 14 hand-off: from the previous layer's last tile to
+                // this layer's first. A bank-boundary crossing (the phase
+                // spilled onto another 3DCU pair) pays the bus.
+                let from_tile = if li == 0 {
+                    alloc.range(0).tile(0, self.noc.tiles_per_bank)
+                } else {
+                    alloc.handoff(li - 1).0
+                };
+                let crosses = li > 0 && alloc.handoff_crosses_bank(li - 1);
+                let route = if crosses {
+                    self.bus_route(bank)
+                } else {
+                    self.neighbor_route(bank, from_tile)
+                };
+                let (lat, en) = route.transfer(moved, &self.noc);
+                let mut xfer = TaskSpec::new(
+                    format!("{phase} xfer L{}", layer.workload.layer_index),
+                    lat,
+                )
+                .on(wire_r);
+                if let Some(p) = prev {
+                    xfer = xfer.after(p);
+                }
+                let xfer_id = engine.add_task(xfer);
+                energy.add("communication", en);
+                counts.buffer_values += moved as u128;
+                phase_cost.add(&phase.to_string(), lat);
+
+                // Compute.
+                let dur = layer.cycles_per_sample as f64 * t_m * batch as f64;
+                let comp = TaskSpec::new(
+                    format!("{phase} comp L{}", layer.workload.layer_index),
+                    dur,
+                )
+                .on(comp_r)
+                .after(xfer_id);
+                let comp_id = engine.add_task(comp);
+                counts.crossbar_mmv_ops +=
+                    layer.crossbar_ops_per_sample * batch as u128;
+                phase_cost.add(&phase.to_string(), dur);
+
+                first.get_or_insert(xfer_id);
+                prev = Some(comp_id);
+            }
+            PhaseRun {
+                first: first.expect("phases have at least one layer"),
+                last: prev.expect("phases have at least one layer"),
+            }
+        };
+
+        // Mapping task: write a phase's operands into its bank.
+        let map_phase = |engine: &mut Engine,
+                         phase: Phase,
+                         dep: Option<TaskId>,
+                         counts: &mut EnergyCounts|
+         -> TaskId {
+            let bank = BankId::for_phase(phase);
+            let cp = self.compiled.phase(phase);
+            let wire_r = wire_res[&(bank.side, bank.bank)];
+            // ∇weight banks also stage one minibatch of cached
+            // activations alongside the reshaped operands.
+            let mut values = (cp.stored_values() as f64
+                * self.cost.update_write_cell_fraction)
+                .ceil() as u128;
+            if phase.is_weight_grad() {
+                values += cp.moved_values_per_sample() * batch as u128;
+            }
+            let dur = self.write_time_ns(values, cp.tiles());
+            // Cell-switching energy lands via the tile breakdown.
+            counts.weight_writes += values;
+            let mut t = TaskSpec::new(format!("map {phase}"), dur).on(wire_r);
+            if let Some(d) = dep {
+                t = t.after(d);
+            }
+            engine.add_task(t)
+        };
+
+        // Cross transfers.
+        let cross_task = |engine: &mut Engine,
+                          label: &str,
+                          route: &Route,
+                          values: u64,
+                          dep: TaskId,
+                          energy: &mut Breakdown|
+         -> TaskId {
+            let (lat, en) = route.transfer(values, &self.noc);
+            energy.add("communication", en);
+            engine.add_task(TaskSpec::new(label, lat).on(cross_res).after(dep))
+        };
+
+        // ---- replay the controller script as a task graph -------------
+        // The FSM defines ordering; here we instantiate it with real
+        // durations and the Fig. 13 overlaps.
+        let script = MemoryController::iteration_script();
+        debug_assert!(!script.is_empty());
+
+        let mode_switch = engine.add_task(TaskSpec::new(
+            "configure switches",
+            self.cost.switch_config_ns,
+        ));
+
+        // ===== half 1: train the discriminator =====
+        let gf = run_phase(
+            &mut engine,
+            Phase::GForward,
+            Some(mode_switch),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let g_out_values = batch
+            * self
+                .gan
+                .generator
+                .layers
+                .last()
+                .map(|l| l.output_count(self.gan.generator.dims))
+                .unwrap_or(1) as u64;
+        let to_d = self.cross_side_route(0, 0);
+        let xfer_gd = cross_task(
+            &mut engine,
+            "samples G->D",
+            &to_d,
+            g_out_values,
+            gf.last,
+            &mut energy,
+        );
+        let df = run_phase(
+            &mut engine,
+            Phase::DForward,
+            Some(xfer_gd),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        // Map D-w / D← while D→ runs (Fig. 13a).
+        let map_dw = map_phase(&mut engine, Phase::DWeightGrad, Some(xfer_gd), &mut counts);
+        let map_db = map_phase(&mut engine, Phase::DBackward, Some(mode_switch), &mut counts);
+        // Error at the output layer (CPU-local, small).
+        let err = engine.add_task(
+            TaskSpec::new("loss gradient", self.cost.cpu_fixed_ns).after(df.last),
+        );
+        // Activations hop from the forward bank down to D-w's bank.
+        let act_route = self.cross_bank_route(1, 0, 1);
+        let (act_lat, act_en) = act_route.transfer(
+            self.compiled
+                .phase(Phase::DWeightGrad)
+                .moved_values_per_sample() as u64
+                * batch,
+            &self.noc,
+        );
+        energy.add("communication", act_en);
+        let act_move =
+            engine.add_task(TaskSpec::new("activations D->D-w", act_lat).after(df.last));
+        let db_barrier =
+            engine.add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err, map_db]));
+        let db = run_phase(
+            &mut engine,
+            Phase::DBackward,
+            Some(db_barrier),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let dw_barrier = engine.add_task(
+            TaskSpec::new("D-w ready", 0.0).after_all(&[map_dw, act_move, db.first]),
+        );
+        let dw = run_phase(
+            &mut engine,
+            Phase::DWeightGrad,
+            Some(dw_barrier),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let update_d = self.update_task(
+            &mut engine,
+            false,
+            dw.last,
+            cross_res,
+            &mut counts,
+            &mut energy,
+        );
+
+        // ===== half 2: train the generator =====
+        let gf2 = run_phase(
+            &mut engine,
+            Phase::GForward,
+            Some(update_d),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let map_gw = map_phase(&mut engine, Phase::GWeightGrad, Some(update_d), &mut counts);
+        let map_gb = map_phase(&mut engine, Phase::GBackward, Some(update_d), &mut counts);
+        let xfer_gd2 = cross_task(
+            &mut engine,
+            "samples G->D (2)",
+            &to_d,
+            g_out_values,
+            gf2.last,
+            &mut energy,
+        );
+        let df2 = run_phase(
+            &mut engine,
+            Phase::DForward,
+            Some(xfer_gd2),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let map_db2 = map_phase(&mut engine, Phase::DBackward, Some(update_d), &mut counts);
+        let err2 = engine.add_task(
+            TaskSpec::new("loss gradient (2)", self.cost.cpu_fixed_ns).after(df2.last),
+        );
+        let err_barrier = engine
+            .add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err2, map_db2]));
+        let db2 = run_phase(
+            &mut engine,
+            Phase::DBackward,
+            Some(err_barrier),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        // Error crosses B6 -> B3.
+        let back_route = self.cross_side_route(2, 2);
+        let gen_in_err_values = batch
+            * (self
+                .gan
+                .generator
+                .layers
+                .last()
+                .map(|l| l.output_count(self.gan.generator.dims))
+                .unwrap_or(1) as u64);
+        let xfer_err = cross_task(
+            &mut engine,
+            "error D->G",
+            &back_route,
+            gen_in_err_values,
+            db2.last,
+            &mut energy,
+        );
+        let gb_barrier = engine
+            .add_task(TaskSpec::new("G← ready", 0.0).after_all(&[xfer_err, map_gb]));
+        let gb = run_phase(
+            &mut engine,
+            Phase::GBackward,
+            Some(gb_barrier),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let gw_barrier = engine
+            .add_task(TaskSpec::new("G-w ready", 0.0).after_all(&[gb.first, map_gw]));
+        let gw = run_phase(
+            &mut engine,
+            Phase::GWeightGrad,
+            Some(gw_barrier),
+            &mut counts,
+            &mut energy,
+            &mut phase_cost,
+        );
+        let _update_g = self.update_task(
+            &mut engine,
+            true,
+            gw.last,
+            cross_res,
+            &mut counts,
+            &mut energy,
+        );
+
+        let schedule = engine.run();
+        let iteration_latency_ns = schedule.makespan_ns();
+        let mut resource_busy = Breakdown::new();
+        for (label, busy) in schedule.resources() {
+            resource_busy.add(label, busy);
+        }
+
+        // ---- energy roll-up -------------------------------------------
+        let tile_breakdown = self.energy.breakdown(&counts);
+        energy.add("compute", tile_breakdown.total_pj());
+        // CPU + off-chip I/O for the two updates.
+        let weight_values = self.compiled.weight_values();
+        let io_bytes = weight_values as f64 * 2.0;
+        energy.add(
+            "other",
+            weight_values as f64 * self.cost.cpu_pj_per_value
+                + io_bytes * self.cost.io_pj_per_byte,
+        );
+        let total = energy.total();
+
+        TrainingReport {
+            iterations: 1,
+            iteration_latency_ns,
+            total_latency_ns: iteration_latency_ns,
+            total_energy_pj: total,
+            energy_breakdown: energy,
+            tile_breakdown,
+            counts,
+            phase_latency: phase_cost,
+            resource_busy,
+        }
+    }
+
+    fn update_task(
+        &self,
+        engine: &mut Engine,
+        generator: bool,
+        dep: TaskId,
+        cross_res: ResourceId,
+        counts: &mut EnergyCounts,
+        energy: &mut Breakdown,
+    ) -> TaskId {
+        let phases: [Phase; 3] = if generator {
+            [Phase::GForward, Phase::GBackward, Phase::GWeightGrad]
+        } else {
+            [Phase::DForward, Phase::DBackward, Phase::DWeightGrad]
+        };
+        // Every stored copy is rewritten with the new weights; gradients
+        // are read out of the ∇weight bank.
+        let stored: u128 = phases
+            .iter()
+            .map(|p| self.compiled.phase(*p).stored_values())
+            .sum();
+        let grads: u128 = self
+            .compiled
+            .phase(if generator {
+                Phase::GWeightGrad
+            } else {
+                Phase::DWeightGrad
+            })
+            .layers
+            .iter()
+            .map(|l| l.workload.output_values)
+            .sum();
+        let flipped =
+            (stored as f64 * self.cost.update_write_cell_fraction).ceil() as u128;
+        counts.weight_writes += flipped;
+        counts.sarray_read_values += grads;
+        counts.sarray_write_values += grads;
+        energy.add("other", grads as f64 * self.cost.cpu_pj_per_value);
+        let tiles: usize = phases
+            .iter()
+            .map(|p| self.compiled.phase(*p).tiles())
+            .sum();
+        let dur = self.write_time_ns(flipped, tiles)
+            + self.cost.cpu_fixed_ns
+            + grads as f64 * self.cost.cpu_update_ns_per_value
+            + self.reram.bank_read_latency_ns
+            + self.reram.bank_write_latency_ns;
+        let label = if generator {
+            "update generator"
+        } else {
+            "update discriminator"
+        };
+        engine.add_task(TaskSpec::new(label, dur).on(cross_res).after(dep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lergan_gan::benchmarks;
+
+    fn report(
+        gan: &GanSpec,
+        scheme: ReshapeScheme,
+        connection: Connection,
+        degree: ReplicaDegree,
+    ) -> TrainingReport {
+        LerGan::builder(gan)
+            .reshape_scheme(scheme)
+            .connection(connection)
+            .replica_degree(degree)
+            .build()
+            .expect("mapping fits")
+            .train_iterations(1)
+    }
+
+    #[test]
+    fn dcgan_trains_and_reports() {
+        let r = report(
+            &benchmarks::dcgan(),
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
+        assert!(r.iteration_latency_ns > 0.0);
+        assert!(r.total_energy_pj > 0.0);
+        assert!(r.counts.crossbar_mmv_ops > 0);
+        assert!(r.energy_breakdown.get("compute") > 0.0);
+        assert!(r.energy_breakdown.get("communication") > 0.0);
+        // Resource occupancy is reported for every fabric component.
+        assert!(!r.resource_busy.is_empty());
+        assert!(r.resource_busy.total() > 0.0);
+        let busiest: f64 = r.resource_busy.iter().map(|(_, v)| v).fold(0.0, f64::max);
+        assert!(busiest <= r.iteration_latency_ns * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn zfdr_3d_beats_nr_3d() {
+        // Fig. 18: ZFDR with 3D connection vs normal reshape with 3D.
+        let gan = benchmarks::dcgan();
+        let z = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let n = report(
+            &gan,
+            ReshapeScheme::Normal,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
+        assert!(
+            n.iteration_latency_ns > 1.5 * z.iteration_latency_ns,
+            "NR {} vs ZFDR {}",
+            n.iteration_latency_ns,
+            z.iteration_latency_ns
+        );
+    }
+
+    #[test]
+    fn threed_beats_htree_with_zfdr() {
+        // Fig. 17: the ZFDR speedup "almost disappears" on the H-tree.
+        let gan = benchmarks::dcgan();
+        let d3 = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let d2 = report(&gan, ReshapeScheme::Zfdr, Connection::HTree, ReplicaDegree::Low);
+        assert!(
+            d2.iteration_latency_ns > d3.iteration_latency_ns,
+            "H-tree {} should be slower than 3D {}",
+            d2.iteration_latency_ns,
+            d3.iteration_latency_ns
+        );
+    }
+
+    #[test]
+    fn more_duplication_trades_energy_for_speed() {
+        // Fig. 19/20: higher degrees gain (modest) speed and spend energy;
+        // at the top end the extra mapping writes can eat the compute win,
+        // so assert near-monotone latency and strictly growing writes.
+        let gan = benchmarks::dcgan();
+        let low = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let mid = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Middle);
+        let high = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::High);
+        assert!(mid.iteration_latency_ns <= low.iteration_latency_ns * 1.02);
+        assert!(high.iteration_latency_ns <= low.iteration_latency_ns * 1.05);
+        assert!(high.counts.weight_writes > low.counts.weight_writes);
+        assert!(high.total_energy_pj > low.total_energy_pj);
+    }
+
+    #[test]
+    fn ten_iterations_scale_linearly() {
+        let gan = benchmarks::cgan();
+        let one = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let accel = LerGan::builder(&gan).build().unwrap();
+        let ten = accel.train_iterations(10);
+        assert!((ten.total_latency_ns / one.iteration_latency_ns - 10.0).abs() < 1e-6);
+        assert!((ten.total_energy_pj / one.total_energy_pj - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_benchmarks_build_and_train() {
+        for gan in benchmarks::all() {
+            let r = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+            assert!(
+                r.iteration_latency_ns.is_finite() && r.iteration_latency_ns > 0.0,
+                "{}",
+                gan.name
+            );
+        }
+    }
+
+    #[test]
+    fn magan_gets_little_from_zfdr() {
+        // "MAGAN-MNIST shows nearly no speedup since its discriminator is
+        // fully-connected and its generator is small."
+        let gan = benchmarks::magan_mnist();
+        let z = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let n = report(&gan, ReshapeScheme::Normal, Connection::HTree, ReplicaDegree::Low);
+        let speedup = n.iteration_latency_ns / z.iteration_latency_ns;
+        let dcgan = benchmarks::dcgan();
+        let zd = report(&dcgan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let nd = report(&dcgan, ReshapeScheme::Normal, Connection::HTree, ReplicaDegree::Low);
+        let dcgan_speedup = nd.iteration_latency_ns / zd.iteration_latency_ns;
+        assert!(
+            speedup < dcgan_speedup,
+            "MAGAN speedup {speedup:.2} should trail DCGAN's {dcgan_speedup:.2}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! LerGAN core: Zero-Free Data Reshaping (ZFDR), the ZFDM compiler, the
+//! memory-controller FSM and the LerGAN accelerator model.
+//!
+//! This crate implements the paper's primary contribution (Sec. IV–V):
+//!
+//! * [`zfdr`] — ZFDR for T-CONV and W-CONV-S: exact pattern enumeration
+//!   (the functional ground truth, validated bit-for-bit against the naive
+//!   zero-insertion kernels), the paper's closed-form Case 1/2/3 counting
+//!   (Eq. 11–13), and a zero-free *executor* that really computes
+//!   convolutions as grouped MMVs over gathered inputs;
+//! * [`replica`] — the duplication machinery: `replica_e_max` /
+//!   `replica_i_max` selection under the transfer-versus-compute constraint
+//!   of Sec. V, the Table III degree presets, and Eq. 14's DataMapping
+//!   replicas;
+//! * [`compiler`] — ZFDM + DataMapping: maps every (phase, layer) workload
+//!   onto CArray storage and MMV cycles under a chosen reshape scheme and
+//!   duplication degree;
+//! * [`controller`] — the finite-state machine that sequences Fig. 13's
+//!   dataflows (mode switches, mappings, phase execution, updates);
+//! * [`lergan`] — the assembled accelerator: compiled GAN + 3D-connected
+//!   PIM + energy/latency reporting via the discrete-event engine.
+//!
+//! # Example
+//!
+//! ```
+//! use lergan_core::{LerGan, ReplicaDegree};
+//! use lergan_gan::benchmarks;
+//!
+//! let gan = benchmarks::cgan();
+//! let accel = LerGan::builder(&gan)
+//!     .replica_degree(ReplicaDegree::Low)
+//!     .build()
+//!     .expect("cGAN maps onto the default configuration");
+//! let report = accel.train_iterations(1);
+//! assert!(report.iteration_latency_ns > 0.0);
+//! ```
+
+pub mod balance;
+pub mod compiler;
+pub mod controller;
+pub mod lergan;
+pub mod mapping;
+pub mod replica;
+pub mod zfdr;
+
+pub use compiler::{CompiledGan, CompilerOptions, Connection, ReshapeScheme};
+pub use lergan::{LerGan, LerGanBuilder, TrainingReport};
+pub use replica::{ReplicaDegree, ReplicaPlan};
+pub use zfdr::{ZfdrPlan, ZfdrStats};

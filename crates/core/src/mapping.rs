@@ -1,0 +1,191 @@
+//! Tile allocation within a phase's bank (the vertical-alignment mapping
+//! of Fig. 14).
+//!
+//! ZFDM splits each layer's (possibly duplicated) reshaped matrices across
+//! consecutive tiles of the phase's bank, so that partial results flow in
+//! small steps between neighbouring tiles — and line up vertically with
+//! the corresponding slices of the ∇weight and error banks below. When a
+//! phase needs more tiles than one bank offers, the tail wraps onto the
+//! next 3DCU pair and the crossing pays the bus.
+
+use crate::compiler::CompiledPhase;
+
+/// The tile range one layer occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRange {
+    /// First tile index (before wrapping).
+    pub start: usize,
+    /// Number of tiles.
+    pub count: usize,
+}
+
+impl TileRange {
+    /// Physical tile of a slice index, wrapped into the bank.
+    pub fn tile(&self, slice: usize, tiles_per_bank: usize) -> usize {
+        (self.start + slice) % tiles_per_bank
+    }
+
+    /// Whether this range wraps past the end of the bank (spills onto the
+    /// next 3DCU pair).
+    pub fn wraps(&self, tiles_per_bank: usize) -> bool {
+        self.start / tiles_per_bank != (self.start + self.count - 1) / tiles_per_bank
+    }
+}
+
+/// The allocation of one compiled phase onto its bank's tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileAllocation {
+    ranges: Vec<TileRange>,
+    tiles_per_bank: usize,
+}
+
+impl TileAllocation {
+    /// Allocates a phase's layers onto consecutive tiles.
+    pub fn for_phase(phase: &CompiledPhase, tiles_per_bank: usize) -> Self {
+        let mut ranges = Vec::with_capacity(phase.layers.len());
+        let mut cursor = 0usize;
+        for layer in &phase.layers {
+            ranges.push(TileRange {
+                start: cursor,
+                count: layer.tiles.max(1),
+            });
+            cursor += layer.tiles.max(1);
+        }
+        TileAllocation {
+            ranges,
+            tiles_per_bank,
+        }
+    }
+
+    /// The range of a layer (by position within the phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn range(&self, layer: usize) -> TileRange {
+        self.ranges[layer]
+    }
+
+    /// Total tiles demanded by the phase (may exceed one bank).
+    pub fn tiles_demanded(&self) -> usize {
+        self.ranges
+            .last()
+            .map(|r| r.start + r.count)
+            .unwrap_or(0)
+    }
+
+    /// How many extra 3DCU pairs this phase spills onto.
+    pub fn overflow_pairs(&self) -> usize {
+        self.tiles_demanded().saturating_sub(1) / self.tiles_per_bank
+    }
+
+    /// The tile pair an inter-layer transfer crosses: the last tile of
+    /// `layer` and the first tile of `layer + 1` (both wrapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer + 1` is out of range.
+    pub fn handoff(&self, layer: usize) -> (usize, usize) {
+        let from = self.ranges[layer];
+        let to = self.ranges[layer + 1];
+        (
+            from.tile(from.count - 1, self.tiles_per_bank),
+            to.tile(0, self.tiles_per_bank),
+        )
+    }
+
+    /// Whether the hand-off between `layer` and `layer + 1` crosses a bank
+    /// boundary (and therefore the bus).
+    pub fn handoff_crosses_bank(&self, layer: usize) -> bool {
+        let from = self.ranges[layer];
+        let to = self.ranges[layer + 1];
+        let last = from.start + from.count - 1;
+        last / self.tiles_per_bank != to.start / self.tiles_per_bank
+    }
+
+    /// Number of layers allocated.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompilerOptions};
+    use lergan_gan::{benchmarks, Phase};
+    use lergan_reram::ReramConfig;
+
+    fn dcgan_gforward() -> CompiledPhase {
+        compile(
+            &benchmarks::dcgan(),
+            CompilerOptions::default(),
+            &ReramConfig::default(),
+        )
+        .phase(Phase::GForward)
+        .clone()
+    }
+
+    #[test]
+    fn ranges_are_consecutive_and_disjoint() {
+        let phase = dcgan_gforward();
+        let alloc = TileAllocation::for_phase(&phase, 16);
+        assert_eq!(alloc.len(), phase.layers.len());
+        let mut expected_start = 0;
+        for i in 0..alloc.len() {
+            let r = alloc.range(i);
+            assert_eq!(r.start, expected_start);
+            assert_eq!(r.count, phase.layers[i].tiles.max(1));
+            expected_start += r.count;
+        }
+        assert_eq!(alloc.tiles_demanded(), expected_start);
+    }
+
+    #[test]
+    fn handoffs_connect_adjacent_ranges() {
+        let phase = dcgan_gforward();
+        let alloc = TileAllocation::for_phase(&phase, 16);
+        for i in 0..alloc.len() - 1 {
+            let (from, to) = alloc.handoff(i);
+            assert!(from < 16 && to < 16);
+            // Consecutive allocation: the next layer starts right after.
+            assert_eq!(
+                (alloc.range(i).start + alloc.range(i).count) % 16,
+                to
+            );
+        }
+    }
+
+    #[test]
+    fn wrapping_is_detected() {
+        let r = TileRange { start: 14, count: 4 };
+        assert!(r.wraps(16));
+        assert_eq!(r.tile(0, 16), 14);
+        assert_eq!(r.tile(3, 16), 1);
+        let r = TileRange { start: 2, count: 3 };
+        assert!(!r.wraps(16));
+    }
+
+    #[test]
+    fn overflow_counts_extra_pairs() {
+        let phase = dcgan_gforward();
+        let alloc = TileAllocation::for_phase(&phase, 16);
+        if alloc.tiles_demanded() <= 16 {
+            assert_eq!(alloc.overflow_pairs(), 0);
+        } else {
+            assert!(alloc.overflow_pairs() >= 1);
+        }
+        // A phase squeezed into tiny banks must overflow.
+        let tiny = TileAllocation::for_phase(&phase, 2);
+        assert!(tiny.overflow_pairs() >= 1);
+        let crossings = (0..tiny.len() - 1)
+            .filter(|&i| tiny.handoff_crosses_bank(i))
+            .count();
+        assert!(crossings >= 1);
+    }
+}

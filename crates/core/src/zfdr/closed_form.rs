@@ -1,0 +1,242 @@
+//! The paper's closed-form ZFDR counting (Eq. 11–13 and the Case 1/2/3
+//! formulas of Sec. IV-A).
+//!
+//! These formulas predict, without enumeration, how many reshaped matrices
+//! each case needs and how often they are reused. The unit tests
+//! cross-validate every prediction against the exact enumeration in
+//! [`crate::zfdr::plan`]; where the published formulas are ambiguous (the
+//! Edge-count expression appears with a typo in the paper), the enumeration
+//! is authoritative and the discrepancy is documented in `EXPERIMENTS.md`.
+
+use lergan_tensor::{TconvGeometry, WconvGeometry};
+
+/// Loop length `LL` (Eq. 11): the period of the expanded input after
+/// which reshape patterns repeat.
+pub fn loop_length(geom: &TconvGeometry) -> usize {
+    let (i, s, p, r) = (
+        geom.input,
+        geom.converse_stride,
+        geom.insertion_pad,
+        geom.remainder,
+    );
+    if p >= s - 1 {
+        i * s + (s - 1)
+    } else if p + r >= s - 1 {
+        i * s
+    } else {
+        i * s - (s - 1)
+    }
+}
+
+/// `R₁` (Eq. 12): boundary classes contributed by the leading padding.
+pub fn r1(geom: &TconvGeometry) -> usize {
+    let (p, s) = (geom.insertion_pad, geom.converse_stride);
+    if p < s - 1 {
+        p
+    } else {
+        p - (s - 1)
+    }
+}
+
+/// `R₂` (Eq. 13): boundary classes contributed by the trailing padding
+/// plus remainder.
+pub fn r2(geom: &TconvGeometry) -> usize {
+    let (p, r, s) = (geom.insertion_pad, geom.remainder, geom.converse_stride);
+    if p + r >= s - 1 {
+        (p + r) - (s - 1)
+    } else {
+        p + r
+    }
+}
+
+/// Closed-form class counts for T-CONV ZFDR in two dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TconvCaseCounts {
+    /// Case 1 (CornerReshape) classes.
+    pub corner: usize,
+    /// Case 2 (EdgeReshape) classes.
+    pub edge: usize,
+    /// Case 3 (InsideReshape) classes.
+    pub inside: usize,
+}
+
+/// The Case 1–3 counts for a T-CONV geometry: corner `(R₁+R₂)²`, edge
+/// `2·(R₁+R₂)·S′`, inside `S′²`, with the interior-reuse window
+/// `⌊(LL−W+1)/S′⌋ … ⌊(LL−W+1)/S′⌋+1` (the paper's `t` set).
+pub fn tconv_cases(geom: &TconvGeometry) -> TconvCaseCounts {
+    let b = r1(geom) + r2(geom);
+    let s = geom.converse_stride;
+    TconvCaseCounts {
+        corner: b * b,
+        edge: 2 * b * s,
+        inside: s * s,
+    }
+}
+
+/// The paper's interior reuse quantum `⌊(LL − W + 1) / S′⌋`.
+pub fn interior_reuse_floor(geom: &TconvGeometry) -> usize {
+    let ll = loop_length(geom);
+    if ll + 1 <= geom.kernel {
+        return 0;
+    }
+    (ll - geom.kernel + 1) / geom.converse_stride
+}
+
+/// Closed-form class counts for W-CONV-S ZFDR in two dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WconvCaseCounts {
+    /// Case 1 (corner) classes.
+    pub corner: usize,
+    /// Case 2 (edge) classes.
+    pub edge: usize,
+    /// Case 3 (inside) classes — always 1.
+    pub inside: usize,
+}
+
+/// Case counts for a W-CONV-S geometry: with
+/// `b = ⌈P/S⌉ + ⌈(P−R)/S⌉` boundary classes per axis, corner `b²`,
+/// edge `2b`, inside `1`; the inside class is reused `[I−(O−1)S]²` times.
+pub fn wconv_cases(geom: &WconvGeometry) -> WconvCaseCounts {
+    let b = wconv_boundary_classes(geom);
+    WconvCaseCounts {
+        corner: b * b,
+        edge: 2 * b,
+        inside: 1,
+    }
+}
+
+/// Boundary axis classes of a W-CONV-S geometry:
+/// `⌈P/S⌉ + ⌈(P−R)/S⌉` (saturating when `R > P`).
+pub fn wconv_boundary_classes(geom: &WconvGeometry) -> usize {
+    let f = &geom.forward;
+    let lead = f.pad.div_ceil(f.stride);
+    let trail = f.pad.saturating_sub(f.remainder).div_ceil(f.stride);
+    lead + trail
+}
+
+/// The inside reuse of a W-CONV-S geometry along one axis: `I − (O−1)·S`.
+pub fn wconv_inside_reuse(geom: &WconvGeometry) -> usize {
+    let f = &geom.forward;
+    f.input.saturating_sub((f.output - 1) * f.stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zfdr::plan::{ClassKind, ZfdrPlan};
+
+    fn conv1() -> TconvGeometry {
+        TconvGeometry::for_upsampling(4, 5, 2).unwrap()
+    }
+
+    #[test]
+    fn conv1_loop_length_is_9() {
+        // P = 2 >= S'-1 = 1, so LL = I*S' + (S'-1) = 9.
+        assert_eq!(loop_length(&conv1()), 9);
+    }
+
+    #[test]
+    fn conv1_r1_r2() {
+        assert_eq!(r1(&conv1()), 1);
+        assert_eq!(r2(&conv1()), 2);
+    }
+
+    #[test]
+    fn conv1_cases_match_paper_and_enumeration() {
+        let g = conv1();
+        let c = tconv_cases(&g);
+        assert_eq!((c.corner, c.edge, c.inside), (9, 12, 4));
+        let plan = ZfdrPlan::for_tconv(&g);
+        assert_eq!(plan.kind(ClassKind::Corner, 2).classes as usize, c.corner);
+        assert_eq!(plan.kind(ClassKind::Edge, 2).classes as usize, c.edge);
+        assert_eq!(plan.kind(ClassKind::Inside, 2).classes as usize, c.inside);
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration_for_common_geometries() {
+        // The regime the paper targets: kernel >= stride, pad >= stride-1.
+        for (i, w, s) in [(4, 5, 2), (8, 5, 2), (16, 5, 2), (8, 4, 2), (16, 4, 2), (32, 4, 2)] {
+            let g = TconvGeometry::for_upsampling(i, w, s).unwrap();
+            if g.insertion_pad < s - 1 {
+                continue;
+            }
+            let c = tconv_cases(&g);
+            let plan = ZfdrPlan::for_tconv(&g);
+            assert_eq!(
+                plan.kind(ClassKind::Inside, 2).classes as usize,
+                c.inside,
+                "inside ({i},{w},{s})"
+            );
+            assert_eq!(
+                plan.axis_classes().len(),
+                r1(&g) + r2(&g) + s,
+                "axis classes ({i},{w},{s})"
+            );
+            assert_eq!(
+                plan.kind(ClassKind::Corner, 2).classes as usize,
+                c.corner,
+                "corner ({i},{w},{s})"
+            );
+            assert_eq!(
+                plan.kind(ClassKind::Edge, 2).classes as usize,
+                c.edge,
+                "edge ({i},{w},{s})"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_reuse_brackets_enumeration() {
+        for (i, w, s) in [(4, 5, 2), (8, 5, 2), (16, 4, 2), (32, 4, 2)] {
+            let g = TconvGeometry::for_upsampling(i, w, s).unwrap();
+            let floor = interior_reuse_floor(&g);
+            let plan = ZfdrPlan::for_tconv(&g);
+            for c in plan.axis_classes().iter().filter(|c| c.interior) {
+                assert!(
+                    c.reuse == floor || c.reuse == floor + 1,
+                    "interior reuse {} outside {{{floor}, {}}} for ({i},{w},{s})",
+                    c.reuse,
+                    floor + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv1_interior_reuse_floor_is_2() {
+        // t ∈ {4, 9, 6} = {2², 3², 2·3}.
+        assert_eq!(interior_reuse_floor(&conv1()), 2);
+    }
+
+    #[test]
+    fn wconv_cases_match_enumeration() {
+        for (i, w, s, p) in [(8, 5, 2, 2), (16, 4, 2, 1), (32, 4, 2, 1), (64, 5, 2, 2)] {
+            let g = WconvGeometry::new(i, w, s, p).unwrap();
+            let c = wconv_cases(&g);
+            let plan = ZfdrPlan::for_wconv(&g);
+            assert_eq!(
+                plan.boundary_axis_classes(),
+                wconv_boundary_classes(&g),
+                "boundary ({i},{w},{s},{p})"
+            );
+            assert_eq!(plan.interior_axis_classes(), 1, "interior ({i},{w},{s},{p})");
+            assert_eq!(
+                plan.kind(ClassKind::Corner, 2).classes as usize,
+                c.corner,
+                "corner ({i},{w},{s},{p})"
+            );
+            assert_eq!(
+                plan.kind(ClassKind::Edge, 2).classes as usize,
+                c.edge,
+                "edge ({i},{w},{s},{p})"
+            );
+            // Inside reuse per axis squared.
+            let reuse = wconv_inside_reuse(&g) as u128;
+            assert_eq!(
+                plan.kind(ClassKind::Inside, 2).max_reuse,
+                reuse * reuse,
+                "inside reuse ({i},{w},{s},{p})"
+            );
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Zero-free execution of T-CONV and W-CONV-S through reshaped matrices.
+//!
+//! This is the functional proof that ZFDR computes *exactly* what the
+//! naive zero-insertion convolutions compute, while materialising one
+//! reshaped matrix per pattern class (built lazily, reused across output
+//! positions) and feeding only gathered true values.
+
+use crate::zfdr::plan::ZfdrPlan;
+use lergan_tensor::tensor::mmv;
+use lergan_tensor::{Tensor, TconvGeometry, WconvGeometry};
+use std::collections::HashMap;
+
+/// Statistics from one zero-free execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZfdrStats {
+    /// Distinct reshaped matrices materialised.
+    pub reshaped_matrices: usize,
+    /// Logical MMVs issued (one per output position).
+    pub mmvs: usize,
+    /// Scalar multiplications actually performed.
+    pub multiplications: u128,
+    /// Input values gathered and fed (no zeros among them).
+    pub gathered_values: u128,
+}
+
+/// Executes a T-CONV through T-CONV ZFDR.
+///
+/// `input` is `[IC, I, I]`, `weights` are `[OC, IC, W, W]`; returns the
+/// `[OC, O, O]` output and the execution statistics.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches.
+pub fn execute_tconv(
+    input: &Tensor,
+    weights: &Tensor,
+    geom: &TconvGeometry,
+) -> (Tensor, ZfdrStats) {
+    let (oc, ic, w) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    assert_eq!(w, geom.kernel, "kernel extent mismatch");
+    assert_eq!(input.shape(), &[ic, geom.input, geom.input], "input shape");
+    let plan = ZfdrPlan::for_tconv(geom);
+    let o = geom.output;
+    let p = geom.insertion_pad;
+    let s = geom.converse_stride;
+    let mut out = Tensor::zeros(&[oc, o, o]);
+    let mut stats = ZfdrStats::default();
+    // Reshaped matrix per (row-class, col-class): [OC, |pr|*|pc|*IC].
+    let mut matrices: HashMap<(usize, usize), Tensor> = HashMap::new();
+
+    for oy in 0..o {
+        let rc = plan.class_at(oy);
+        let pr = plan.axis_classes()[rc].pattern.clone();
+        for ox in 0..o {
+            let cc = plan.class_at(ox);
+            let pc = plan.axis_classes()[cc].pattern.clone();
+            if pr.is_empty() || pc.is_empty() {
+                // The window covers only inserted zeros/padding: the
+                // output is exactly zero and no MMV is issued at all.
+                continue;
+            }
+            let matrix = matrices.entry((rc, cc)).or_insert_with(|| {
+                stats.reshaped_matrices += 1;
+                // Column order: (ky in pr) x (kx in pc) x ic.
+                let cols = pr.len() * pc.len() * ic;
+                Tensor::from_fn(&[oc, cols], |idx| {
+                    let (row, col) = (idx[0], idx[1]);
+                    let ci = col % ic;
+                    let kxi = (col / ic) % pc.len();
+                    let kyi = col / (ic * pc.len());
+                    weights[&[row, ci, pr[kyi], pc[kxi]]]
+                })
+            });
+            // Gather the matching true inputs.
+            let mut vec = Vec::with_capacity(pr.len() * pc.len() * ic);
+            for &ky in &pr {
+                let iy = (oy + ky - p) / s;
+                for &kx in &pc {
+                    let ix = (ox + kx - p) / s;
+                    for ci in 0..ic {
+                        vec.push(input[&[ci, iy, ix]]);
+                    }
+                }
+            }
+            let result = mmv(matrix, &vec);
+            stats.mmvs += 1;
+            stats.multiplications += (oc * vec.len()) as u128;
+            stats.gathered_values += vec.len() as u128;
+            for (co, &v) in result.iter().enumerate() {
+                out[&[co, oy, ox][..]] = v;
+            }
+        }
+    }
+    (out, stats)
+}
+
+/// Executes the discriminator weight-gradient convolution through
+/// W-CONV-S ZFDR: the zero-inserted `∇output` is reshaped per pattern
+/// class and only true-input windows are gathered.
+///
+/// `input` is `[IC, I, I]`, `dout` is `[OC, O, O]`; returns
+/// `[OC, IC, W, W]` and the statistics.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches.
+pub fn execute_wconv(
+    input: &Tensor,
+    dout: &Tensor,
+    geom: &WconvGeometry,
+) -> (Tensor, ZfdrStats) {
+    let f = geom.forward;
+    let (ic, oc) = (input.shape()[0], dout.shape()[0]);
+    assert_eq!(input.shape()[1], f.input, "input extent mismatch");
+    assert_eq!(dout.shape()[1], f.output, "∇output extent mismatch");
+    let plan = ZfdrPlan::for_wconv(geom);
+    let w = geom.gradient_extent();
+    let mut dw = Tensor::zeros(&[oc, ic, w, w]);
+    let mut stats = ZfdrStats::default();
+    // Reshaped ∇output per (row-class, col-class): [OC, |pr|*|pc|].
+    let mut matrices: HashMap<(usize, usize), Tensor> = HashMap::new();
+
+    for wy in 0..w {
+        let rc = plan.class_at(wy);
+        let pr = plan.axis_classes()[rc].pattern.clone();
+        for wx in 0..w {
+            let cc = plan.class_at(wx);
+            let pc = plan.axis_classes()[cc].pattern.clone();
+            if pr.is_empty() || pc.is_empty() {
+                // This ∇W entry multiplies only padding: it is exactly
+                // zero, so no reshaped matrix or MMV is needed.
+                continue;
+            }
+            let matrix = matrices.entry((rc, cc)).or_insert_with(|| {
+                stats.reshaped_matrices += 1;
+                Tensor::from_fn(&[oc, pr.len() * pc.len()], |idx| {
+                    let (row, col) = (idx[0], idx[1]);
+                    let oxi = col % pc.len();
+                    let oyi = col / pc.len();
+                    dout[&[row, pr[oyi], pc[oxi]]]
+                })
+            });
+            for ci in 0..ic {
+                // Gather the true-input window values this ∇W entry needs.
+                let mut vec = Vec::with_capacity(pr.len() * pc.len());
+                for &oh in &pr {
+                    let iy = wy + oh * f.stride - f.pad;
+                    for &ow in &pc {
+                        let ix = wx + ow * f.stride - f.pad;
+                        vec.push(input[&[ci, iy, ix]]);
+                    }
+                }
+                let result = mmv(matrix, &vec);
+                stats.mmvs += 1;
+                stats.multiplications += (oc * vec.len()) as u128;
+                stats.gathered_values += vec.len() as u128;
+                for (co, &v) in result.iter().enumerate() {
+                    dw[&[co, ci, wy, wx][..]] = v;
+                }
+            }
+        }
+    }
+    (dw, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lergan_tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
+    use lergan_tensor::{assert_tensors_close, Conv2d};
+
+    fn det(shape: &[usize], seed: u32) -> Tensor {
+        let mut state = seed.wrapping_mul(747796405).wrapping_add(1);
+        Tensor::from_fn(shape, |_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 16) as f32 / 65536.0) - 0.5
+        })
+    }
+
+    #[test]
+    fn tconv_zfdr_equals_zero_insertion_conv1() {
+        // A scaled-down CONV1: same geometry, fewer channels.
+        let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+        let input = det(&[8, 4, 4], 1);
+        let weights = det(&[4, 8, 5, 5], 2);
+        let (zf, stats) = execute_tconv(&input, &weights, &geom);
+        let naive = tconv_forward_zero_insert(&input, &weights, &geom);
+        assert_tensors_close(&zf, &naive, 1e-4);
+        // Exactly 25 reshaped matrices, one MMV per output position.
+        assert_eq!(stats.reshaped_matrices, 25);
+        assert_eq!(stats.mmvs, 64);
+        // Zero-free: multiplications match the analytic useful count.
+        assert_eq!(
+            stats.multiplications,
+            geom.useful_multiplications_per_channel() as u128 * 8 * 4
+        );
+    }
+
+    #[test]
+    fn tconv_zfdr_handles_stride3() {
+        let geom = TconvGeometry::for_upsampling(5, 5, 3).unwrap();
+        let input = det(&[2, 5, 5], 3);
+        let weights = det(&[3, 2, 5, 5], 4);
+        let (zf, _) = execute_tconv(&input, &weights, &geom);
+        let naive = tconv_forward_zero_insert(&input, &weights, &geom);
+        assert_tensors_close(&zf, &naive, 1e-4);
+    }
+
+    #[test]
+    fn tconv_zfdr_handles_asymmetric_end_pad() {
+        // ArtGAN-style same-size stride-1 even-kernel layer.
+        let geom = TconvGeometry::for_target(6, 4, 1, 6).unwrap();
+        assert_eq!(geom.extra_end_pad, 1);
+        let input = det(&[2, 6, 6], 5);
+        let weights = det(&[2, 2, 4, 4], 6);
+        let (zf, _) = execute_tconv(&input, &weights, &geom);
+        let naive = tconv_forward_zero_insert(&input, &weights, &geom);
+        assert_tensors_close(&zf, &naive, 1e-4);
+    }
+
+    #[test]
+    fn wconv_zfdr_equals_zero_insertion() {
+        let geom = WconvGeometry::new(8, 5, 2, 2).unwrap();
+        let input = det(&[3, 8, 8], 7);
+        let dout = det(&[2, 4, 4], 8);
+        let (zf, stats) = execute_wconv(&input, &dout, &geom);
+        let naive = wconv_weight_grad_zero_insert(&input, &dout, &geom);
+        assert_tensors_close(&zf, &naive, 1e-4);
+        // (boundary 2 + interior 1)^2 = 9 reshaped ∇outputs.
+        assert_eq!(stats.reshaped_matrices, 9);
+        assert_eq!(stats.mmvs, 5 * 5 * 3);
+    }
+
+    #[test]
+    fn wconv_zfdr_matches_defining_weight_grad() {
+        let conv = Conv2d::new(2, 2, 4, 2, 1).unwrap();
+        let geom = WconvGeometry::new(16, 4, 2, 1).unwrap();
+        let input = det(&[2, 16, 16], 9);
+        let dout = det(&[2, 8, 8], 10);
+        let (zf, _) = execute_wconv(&input, &dout, &geom);
+        let reference = conv.weight_grad(&input, &dout);
+        assert_tensors_close(&zf, &reference, 1e-3);
+    }
+
+    #[test]
+    fn zfdr_never_feeds_zero_padding() {
+        // gathered_values counts only true inputs: for the T-CONV case it
+        // must equal the useful multiplications divided by out-channels.
+        let geom = TconvGeometry::for_upsampling(8, 4, 2).unwrap();
+        let input = det(&[2, 8, 8], 11);
+        let weights = det(&[4, 2, 4, 4], 12);
+        let (_, stats) = execute_tconv(&input, &weights, &geom);
+        assert_eq!(stats.multiplications, stats.gathered_values * 4);
+    }
+}

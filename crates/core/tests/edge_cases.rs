@@ -1,0 +1,128 @@
+//! Edge-case topologies through the full compile-and-simulate stack:
+//! minimal GANs, FC-only models, stride-3 "future GANs", and volumetric
+//! corner cases must all map and train.
+
+use lergan_core::{Connection, LerGan, ReplicaDegree, ReshapeScheme};
+use lergan_gan::GanSpec;
+
+fn run(gan: &GanSpec) -> f64 {
+    LerGan::builder(gan)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", gan.name))
+        .train_iterations(1)
+        .iteration_latency_ns
+}
+
+#[test]
+fn minimal_single_layer_gan() {
+    let gan = GanSpec::parse("minimal", "16f-8t4k2s-t1", "1c4k2s-f1", &[16, 16]).unwrap();
+    assert_eq!(gan.generator.layers.len(), 2);
+    assert_eq!(gan.discriminator.layers.len(), 2);
+    assert!(run(&gan) > 0.0);
+}
+
+#[test]
+fn fully_connected_gan() {
+    // No convolutions anywhere: ZFDR has nothing to do, but the pipeline
+    // must still map, schedule and account.
+    let gan = GanSpec::parse("mlp", "32f-64f-f256", "256f-64f-f1", &[16, 16]).unwrap();
+    assert!(gan.generator.is_fully_connected());
+    assert!(gan.discriminator.is_fully_connected());
+    assert!(gan.zfdr_phases().is_empty());
+    let zfdr = run(&gan);
+    // With no zeros to remove, the ZFDR and normal mappings should cost
+    // the same compute; only the connection matters.
+    let normal = LerGan::builder(&gan)
+        .reshape_scheme(ReshapeScheme::Normal)
+        .connection(Connection::ThreeD)
+        .build()
+        .unwrap()
+        .train_iterations(1)
+        .iteration_latency_ns;
+    let ratio = normal / zfdr;
+    assert!(
+        (0.8..=1.6).contains(&ratio),
+        "FC-only GAN: NR/ZFDR ratio {ratio:.2} should be near 1"
+    );
+}
+
+#[test]
+fn stride_three_future_gan() {
+    // "capable of handling ... future GANs with larger stride (e.g. 3)".
+    let gan = GanSpec::parse(
+        "stride3",
+        "64f-(27t-9t)(5k3s)-t3",
+        "(3c-32c)(5k3s)-f1",
+        &[18, 18],
+    )
+    .unwrap();
+    let t = run(&gan);
+    assert!(t > 0.0);
+    // The ZFDR phases exist and win against normal reshape.
+    assert!(!gan.zfdr_phases().is_empty());
+    let normal = LerGan::builder(&gan)
+        .reshape_scheme(ReshapeScheme::Normal)
+        .connection(Connection::HTree)
+        .build()
+        .unwrap()
+        .train_iterations(1)
+        .iteration_latency_ns;
+    assert!(normal > t, "stride-3: NR {normal} should exceed ZFDR {t}");
+}
+
+#[test]
+fn volumetric_minimal_gan() {
+    let gan = GanSpec::parse("tiny3d", "8f-8t4k2s-t1", "1c4k2s-f1", &[8, 8, 8]).unwrap();
+    assert_eq!(gan.generator.dims, 3);
+    assert!(run(&gan) > 0.0);
+}
+
+#[test]
+fn every_degree_handles_the_minimal_gan() {
+    let gan = GanSpec::parse("minimal", "16f-8t4k2s-t1", "1c4k2s-f1", &[16, 16]).unwrap();
+    let mut prev_energy = 0.0;
+    for degree in [
+        ReplicaDegree::NoDuplication,
+        ReplicaDegree::Low,
+        ReplicaDegree::Middle,
+        ReplicaDegree::High,
+    ] {
+        let r = LerGan::builder(&gan)
+            .replica_degree(degree)
+            .build()
+            .unwrap()
+            .train_iterations(1);
+        assert!(r.iteration_latency_ns > 0.0, "{degree:?}");
+        assert!(r.total_energy_pj >= prev_energy, "{degree:?} energy dipped");
+        prev_energy = r.total_energy_pj;
+    }
+}
+
+#[test]
+fn asymmetric_image_rejected_cleanly() {
+    // Non-square/1-D item sizes are outside the paper's notation.
+    assert!(GanSpec::parse("bad", "16f-8t4k2s-t1", "1c4k2s-f1", &[16]).is_err());
+    assert!(GanSpec::parse("bad", "16f-8t4k2s-t1", "1c4k2s-f1", &[16, 16, 16, 16]).is_err());
+}
+
+#[test]
+fn unmappable_topology_is_reported() {
+    // A generator whose single layer cannot fit even one bank must fail
+    // with a descriptive BuildError rather than a panic.
+    let gan = GanSpec::parse(
+        "huge",
+        "100f-4096t5k2s-t4096",
+        "(3c-64c)(4k2s)-f1",
+        &[64, 64],
+    )
+    .unwrap();
+    let err = LerGan::builder(&gan)
+        .replica_degree(ReplicaDegree::High)
+        .build();
+    if let Err(e) = err {
+        let msg = e.to_string();
+        assert!(msg.contains("tiles"), "unexpected message: {msg}");
+    }
+    // (If it happens to fit after space clamping, that is fine too — the
+    // point is no panic.)
+}

@@ -1,0 +1,129 @@
+//! Zero analytics across networks and phases (Sec. III-A).
+//!
+//! These aggregates quantify the paper's motivating observation: the
+//! special convolutions of GAN training spend most of their multiplications
+//! and much of their storage/traffic on inserted zeros.
+
+use crate::phase::Phase;
+use crate::topology::GanSpec;
+use crate::workload::WorkloadKind;
+
+/// Zero-work summary of one phase of one GAN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseZeroSummary {
+    /// The phase summarised.
+    pub phase: Phase,
+    /// Naive multiply-accumulates (zeros included), per sample.
+    pub macs_dense: u128,
+    /// Useful multiply-accumulates, per sample.
+    pub macs_useful: u128,
+    /// Values moved per sample, zeros included.
+    pub moved_dense: u128,
+    /// Values moved per sample, zeros removed.
+    pub moved_useful: u128,
+    /// Number of layers whose workload inserts zeros.
+    pub zero_inserted_layers: usize,
+}
+
+impl PhaseZeroSummary {
+    /// Fraction of naive MACs that are zero-touching.
+    pub fn zero_mac_fraction(&self) -> f64 {
+        if self.macs_dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.macs_useful as f64 / self.macs_dense as f64
+    }
+
+    /// SArray space / traffic saving from dropping zeros (≥ 1).
+    pub fn space_saving(&self) -> f64 {
+        if self.moved_useful == 0 {
+            return 1.0;
+        }
+        self.moved_dense as f64 / self.moved_useful as f64
+    }
+}
+
+/// Summarises the zero structure of one phase.
+pub fn summarize_phase(gan: &GanSpec, phase: Phase) -> PhaseZeroSummary {
+    let ws = gan.workloads(phase);
+    PhaseZeroSummary {
+        phase,
+        macs_dense: ws.iter().map(|w| w.macs_dense).sum(),
+        macs_useful: ws.iter().map(|w| w.macs_useful).sum(),
+        moved_dense: ws.iter().map(|w| w.moved_values_dense).sum(),
+        moved_useful: ws.iter().map(|w| w.moved_values_useful).sum(),
+        zero_inserted_layers: ws
+            .iter()
+            .filter(|w| !matches!(w.kind, WorkloadKind::Dense))
+            .count(),
+    }
+}
+
+/// Summarises all six phases of a GAN.
+pub fn summarize_gan(gan: &GanSpec) -> Vec<PhaseZeroSummary> {
+    Phase::ALL
+        .into_iter()
+        .map(|p| summarize_phase(gan, p))
+        .collect()
+}
+
+/// Average SArray input-space saving across the phases that actually use
+/// ZFDR — the quantity Fig. 16 reports as "saves 3.86× SArray space on
+/// average".
+pub fn average_space_saving(gans: &[GanSpec]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for gan in gans {
+        for phase in gan.zfdr_phases() {
+            total += summarize_phase(gan, phase).space_saving();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dcgan_gforward_summary() {
+        let g = benchmarks::dcgan();
+        let s = summarize_phase(&g, Phase::GForward);
+        assert_eq!(s.zero_inserted_layers, 4);
+        assert!(s.zero_mac_fraction() > 0.5);
+        assert!((s.space_saving() - 5.2).abs() < 0.15);
+    }
+
+    #[test]
+    fn dense_phases_have_no_saving() {
+        let g = benchmarks::dcgan();
+        let s = summarize_phase(&g, Phase::DForward);
+        assert_eq!(s.zero_inserted_layers, 0);
+        assert_eq!(s.space_saving(), 1.0);
+        assert_eq!(s.zero_mac_fraction(), 0.0);
+    }
+
+    #[test]
+    fn average_saving_is_near_3_86() {
+        // Fig. 16: "saves 3.86x SArray space on average".
+        let saving = average_space_saving(&benchmarks::all());
+        assert!(
+            (2.5..=5.5).contains(&saving),
+            "average space saving {saving:.2} out of plausible range (paper: 3.86x)"
+        );
+    }
+
+    #[test]
+    fn summaries_cover_all_phases() {
+        let g = benchmarks::cgan();
+        let all = summarize_gan(&g);
+        assert_eq!(all.len(), 6);
+        assert!(all.iter().all(|s| s.macs_dense >= s.macs_useful));
+    }
+}

@@ -1,0 +1,234 @@
+//! Layer descriptors for the Table V networks.
+//!
+//! Layers are *descriptors*, not trainable objects (see [`crate::train`]
+//! for those): they carry exact spatial geometry so that the workload
+//! characterisation and ZFDR analysis downstream are layer-exact. All
+//! counting methods take the network dimensionality (`2` for images, `3`
+//! for 3D-GAN's volumes) so volumetric layers cube their spatial terms.
+
+use lergan_tensor::{SconvGeometry, TconvGeometry};
+
+/// A fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FcLayer {
+    /// Input unit count.
+    pub in_units: usize,
+    /// Output unit count.
+    pub out_units: usize,
+}
+
+/// A strided convolution layer (S-CONV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Input feature-map count.
+    pub in_channels: usize,
+    /// Output feature-map count.
+    pub out_channels: usize,
+    /// Spatial geometry (input extent, kernel, stride, pad, output extent).
+    pub geometry: SconvGeometry,
+}
+
+/// A transposed convolution layer (T-CONV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TconvLayer {
+    /// Input feature-map count.
+    pub in_channels: usize,
+    /// Output feature-map count.
+    pub out_channels: usize,
+    /// Spatial geometry including the zero-insertion parameters.
+    pub geometry: TconvGeometry,
+}
+
+/// Any layer of a Table V network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Fully connected.
+    Fc(FcLayer),
+    /// Strided convolution.
+    Conv(ConvLayer),
+    /// Transposed convolution.
+    Tconv(TconvLayer),
+}
+
+fn powd(base: usize, dims: u32) -> u128 {
+    (base as u128).pow(dims)
+}
+
+impl Layer {
+    /// Number of weight values (no biases; the paper's accounting ignores
+    /// them too, as they are negligible next to the kernels).
+    pub fn weight_count(&self, dims: u32) -> u128 {
+        match self {
+            Layer::Fc(f) => f.in_units as u128 * f.out_units as u128,
+            Layer::Conv(c) => {
+                c.in_channels as u128 * c.out_channels as u128 * powd(c.geometry.kernel, dims)
+            }
+            Layer::Tconv(t) => {
+                t.in_channels as u128 * t.out_channels as u128 * powd(t.geometry.kernel, dims)
+            }
+        }
+    }
+
+    /// Number of input activation values (pre zero-insertion).
+    pub fn input_count(&self, dims: u32) -> u128 {
+        match self {
+            Layer::Fc(f) => f.in_units as u128,
+            Layer::Conv(c) => c.in_channels as u128 * powd(c.geometry.input, dims),
+            Layer::Tconv(t) => t.in_channels as u128 * powd(t.geometry.input, dims),
+        }
+    }
+
+    /// Number of output activation values.
+    pub fn output_count(&self, dims: u32) -> u128 {
+        match self {
+            Layer::Fc(f) => f.out_units as u128,
+            Layer::Conv(c) => c.out_channels as u128 * powd(c.geometry.output, dims),
+            Layer::Tconv(t) => t.out_channels as u128 * powd(t.geometry.output, dims),
+        }
+    }
+
+    /// Dense forward multiply-accumulate count, *including* any
+    /// zero-touching work the naive formulation performs (T-CONV layers
+    /// count the full expanded-window scan).
+    pub fn forward_macs_dense(&self, dims: u32) -> u128 {
+        match self {
+            Layer::Fc(f) => f.in_units as u128 * f.out_units as u128,
+            Layer::Conv(c) => {
+                c.in_channels as u128
+                    * c.out_channels as u128
+                    * powd(c.geometry.output, dims)
+                    * powd(c.geometry.kernel, dims)
+            }
+            Layer::Tconv(t) => {
+                t.in_channels as u128
+                    * t.out_channels as u128
+                    * powd(t.geometry.output, dims)
+                    * powd(t.geometry.kernel, dims)
+            }
+        }
+    }
+
+    /// Forward multiply-accumulates that touch a useful (non-inserted)
+    /// value. Equal to the dense count except for T-CONV layers.
+    pub fn forward_macs_useful(&self, dims: u32) -> u128 {
+        match self {
+            Layer::Tconv(t) => {
+                t.in_channels as u128
+                    * t.out_channels as u128
+                    * (t.geometry.useful_row_weight_sum() as u128).pow(dims)
+            }
+            _ => self.forward_macs_dense(dims),
+        }
+    }
+
+    /// Human-oriented kind tag (`f`, `c` or `t`, as in the Table V
+    /// notation).
+    pub fn kind_tag(&self) -> char {
+        match self {
+            Layer::Fc(_) => 'f',
+            Layer::Conv(_) => 'c',
+            Layer::Tconv(_) => 't',
+        }
+    }
+
+    /// Input channels for conv-like layers, input units for FC.
+    pub fn fan_in_channels(&self) -> usize {
+        match self {
+            Layer::Fc(f) => f.in_units,
+            Layer::Conv(c) => c.in_channels,
+            Layer::Tconv(t) => t.in_channels,
+        }
+    }
+
+    /// Output channels for conv-like layers, output units for FC.
+    pub fn fan_out_channels(&self) -> usize {
+        match self {
+            Layer::Fc(f) => f.out_units,
+            Layer::Conv(c) => c.out_channels,
+            Layer::Tconv(t) => t.out_channels,
+        }
+    }
+
+    /// Spatial output extent (1 for FC layers).
+    pub fn out_spatial(&self) -> usize {
+        match self {
+            Layer::Fc(_) => 1,
+            Layer::Conv(c) => c.geometry.output,
+            Layer::Tconv(t) => t.geometry.output,
+        }
+    }
+
+    /// Spatial input extent (1 for FC layers).
+    pub fn in_spatial(&self) -> usize {
+        match self {
+            Layer::Fc(_) => 1,
+            Layer::Conv(c) => c.geometry.input,
+            Layer::Tconv(t) => t.geometry.input,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcgan_conv1() -> Layer {
+        Layer::Tconv(TconvLayer {
+            in_channels: 1024,
+            out_channels: 512,
+            geometry: TconvGeometry::for_upsampling(4, 5, 2).unwrap(),
+        })
+    }
+
+    #[test]
+    fn conv1_counts_match_paper() {
+        let l = dcgan_conv1();
+        assert_eq!(l.weight_count(2), 1024 * 512 * 25);
+        assert_eq!(l.input_count(2), 1024 * 16);
+        assert_eq!(l.output_count(2), 512 * 64);
+        // Dense vs useful MACs reproduce the 18.06% efficiency example.
+        let dense = l.forward_macs_dense(2);
+        let useful = l.forward_macs_useful(2);
+        assert_eq!(dense, 512 * 1024 * 64 * 25);
+        let eff = useful as f64 / dense as f64;
+        assert!((eff - 0.1806).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fc_counts() {
+        let l = Layer::Fc(FcLayer {
+            in_units: 100,
+            out_units: 16384,
+        });
+        assert_eq!(l.weight_count(2), 1_638_400);
+        assert_eq!(l.forward_macs_dense(2), l.forward_macs_useful(2));
+        assert_eq!(l.out_spatial(), 1);
+    }
+
+    #[test]
+    fn volumetric_counts_cube() {
+        let geom = TconvGeometry::for_upsampling(4, 4, 2).unwrap();
+        let l = Layer::Tconv(TconvLayer {
+            in_channels: 8,
+            out_channels: 4,
+            geometry: geom,
+        });
+        // dims=3 cubes spatial and kernel extents.
+        assert_eq!(l.weight_count(3), 8 * 4 * 64);
+        assert_eq!(l.input_count(3), 8 * 64);
+        assert_eq!(l.output_count(3), 4 * 512);
+        assert!(l.forward_macs_useful(3) < l.forward_macs_dense(3));
+    }
+
+    #[test]
+    fn conv_layer_counts() {
+        let l = Layer::Conv(ConvLayer {
+            in_channels: 3,
+            out_channels: 128,
+            geometry: SconvGeometry::new(64, 5, 2, 2).unwrap(),
+        });
+        assert_eq!(l.out_spatial(), 32);
+        assert_eq!(l.forward_macs_dense(2), 3 * 128 * 32 * 32 * 25);
+        assert_eq!(l.forward_macs_dense(2), l.forward_macs_useful(2));
+    }
+}

@@ -1,0 +1,46 @@
+//! GAN topologies, training dataflows and a functional training substrate
+//! for the LerGAN reproduction.
+//!
+//! The crate provides four things:
+//!
+//! * [`topology`] — a parser for the paper's compact Table V notation
+//!   (`100f-(1024t-512t-256t-128t)(5k2s)-t3`) producing layer-exact
+//!   [`NetworkSpec`]s, and [`benchmarks`] with the eight evaluated GANs.
+//! * [`phase`] / [`workload`] — the six training phases of Fig. 3
+//!   (G→, D→, D←, D-weight-grad, G←, G-weight-grad) and, for every
+//!   (phase, layer) pair, a [`workload::ConvWorkload`] characterising the
+//!   convolution it performs: dense, zero-inserted-input (T-CONV-like) or
+//!   zero-inserted-kernel (W-CONV-S) — the classification that decides which
+//!   ZFDR interface applies (Sec. V "Interface").
+//! * [`train`] — a small functional GAN trainer (forward/backward/SGD over
+//!   real `f32` tensors) proving the substrate end-to-end on synthetic data.
+//! * [`analysis`] — zero-fraction analytics per network and phase
+//!   (Sec. III-A).
+//!
+//! # Example
+//!
+//! ```
+//! use lergan_gan::benchmarks;
+//! use lergan_gan::phase::Phase;
+//!
+//! let dcgan = benchmarks::dcgan();
+//! assert_eq!(dcgan.generator.layers.len(), 5); // 1 FC + 4 T-CONV
+//! let fwd = dcgan.workloads(Phase::GForward);
+//! // Every generator T-CONV inserts zeros in its forward pass.
+//! assert!(fwd.iter().filter(|w| w.kind.is_zero_inserted_input()).count() >= 4);
+//! ```
+
+pub mod analysis;
+pub mod benchmarks;
+pub mod data;
+pub mod layer;
+pub mod phase;
+pub mod topology;
+pub mod train;
+pub mod workload;
+
+pub use layer::{ConvLayer, FcLayer, Layer, TconvLayer};
+pub use phase::Phase;
+pub use topology::{GanSpec, NetworkSpec, ParseTopologyError};
+pub use train::UpdateRule;
+pub use workload::{ConvWorkload, WorkloadKind};

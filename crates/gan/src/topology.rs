@@ -1,0 +1,876 @@
+//! Parser for the paper's compact Table V topology notation.
+//!
+//! The notation describes a network layer by layer with `-`-separated
+//! tokens:
+//!
+//! * `512c5k2s` — a convolution layer with **512 input feature maps**,
+//!   5×5 kernels and stride 2;
+//! * `512t5k2s` — a transposed convolution layer ("stride of 1/2");
+//! * `100f` — a fully-connected layer with a 100-unit input;
+//! * `f1` / `t3` — the final output width: a 1-unit FC output or a T-CONV
+//!   producing 3 output feature maps;
+//! * `(1024t-512t-256t-128t)(5k2s)` — factored common kernel/stride.
+//!
+//! Because tokens name layer *inputs*, each layer's output channel count is
+//! the next conv-like token's input count (or the trailing `tK`/`fK` spec).
+//!
+//! ## Under-determined details and how we resolve them
+//!
+//! The notation omits paddings and spatial sizes, so the parser
+//! reconstructs them:
+//!
+//! * Conv-chain spatial trajectories are anchored at the image: a chain at
+//!   the start of a network begins at the item extent; a chain at the end
+//!   finishes there. T-CONVs target `O = I·S′`, S-CONVs target
+//!   `O = ⌈I/S⌉`, stride-1 layers keep their extent; the padding that
+//!   realises each target exactly (Eq. 5 / Eq. 8) is then derived, allowing
+//!   one asymmetric end-pad zero where no symmetric padding exists.
+//! * A mid-network `Nf` token whose declared input width differs from the
+//!   incoming flattened size (DiscoGAN-5pairs' 100-unit bottleneck) expands
+//!   to two FC layers: a projection into the declared width followed by the
+//!   re-expansion the next conv chain requires.
+
+use crate::layer::{ConvLayer, FcLayer, Layer, TconvLayer};
+use crate::phase::Phase;
+use crate::workload::{phase_workloads, ConvWorkload};
+use lergan_tensor::{SconvGeometry, TconvGeometry};
+use std::error::Error;
+use std::fmt;
+
+/// A parsed network: an ordered list of layers plus the dimensionality the
+/// spatial extents live in (2 for images, 3 for 3D-GAN volumes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Human-readable name, e.g. `"DCGAN generator"`.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+    /// Spatial dimensionality (2 or 3).
+    pub dims: u32,
+}
+
+impl NetworkSpec {
+    /// Total weight count across all layers.
+    pub fn total_weights(&self) -> u128 {
+        self.layers.iter().map(|l| l.weight_count(self.dims)).sum()
+    }
+
+    /// Total dense forward MACs for one sample.
+    pub fn total_forward_macs_dense(&self) -> u128 {
+        self.layers
+            .iter()
+            .map(|l| l.forward_macs_dense(self.dims))
+            .sum()
+    }
+
+    /// Total useful (zero-free) forward MACs for one sample.
+    pub fn total_forward_macs_useful(&self) -> u128 {
+        self.layers
+            .iter()
+            .map(|l| l.forward_macs_useful(self.dims))
+            .sum()
+    }
+
+    /// Whether the network contains at least one T-CONV layer.
+    pub fn has_tconv(&self) -> bool {
+        self.layers.iter().any(|l| matches!(l, Layer::Tconv(_)))
+    }
+
+    /// Whether the network contains at least one S-CONV layer.
+    pub fn has_sconv(&self) -> bool {
+        self.layers.iter().any(|l| matches!(l, Layer::Conv(_)))
+    }
+
+    /// Whether the network is purely fully-connected (MAGAN's
+    /// discriminator).
+    pub fn is_fully_connected(&self) -> bool {
+        self.layers.iter().all(|l| matches!(l, Layer::Fc(_)))
+    }
+}
+
+/// A complete GAN benchmark: generator plus discriminator plus the item
+/// (sample) dimensions from Table V.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GanSpec {
+    /// Benchmark name as it appears in Table V.
+    pub name: String,
+    /// The generator network.
+    pub generator: NetworkSpec,
+    /// The discriminator network.
+    pub discriminator: NetworkSpec,
+    /// Item dimensions, e.g. `[64, 64]` or `[64, 64, 64]`.
+    pub item_size: Vec<usize>,
+    /// Minibatch size used in the evaluation (64 in the paper).
+    pub batch_size: usize,
+}
+
+impl GanSpec {
+    /// Parses a benchmark from its Table V row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTopologyError`] if either notation string is
+    /// malformed or geometrically unrealisable.
+    pub fn parse(
+        name: &str,
+        generator: &str,
+        discriminator: &str,
+        item_size: &[usize],
+    ) -> Result<Self, ParseTopologyError> {
+        let dims = item_size.len() as u32;
+        if !(2..=3).contains(&dims) {
+            return Err(ParseTopologyError::new(
+                name,
+                "item size must be 2- or 3-dimensional",
+            ));
+        }
+        let extent = item_size[0];
+        let generator = parse_network(
+            &format!("{name} generator"),
+            generator,
+            dims,
+            extent,
+        )?;
+        let discriminator = parse_network(
+            &format!("{name} discriminator"),
+            discriminator,
+            dims,
+            extent,
+        )?;
+        Ok(GanSpec {
+            name: name.to_string(),
+            generator,
+            discriminator,
+            item_size: item_size.to_vec(),
+            batch_size: 64,
+        })
+    }
+
+    /// The network a phase runs over.
+    pub fn network_for(&self, phase: Phase) -> &NetworkSpec {
+        if phase.is_generator_phase() {
+            &self.generator
+        } else {
+            &self.discriminator
+        }
+    }
+
+    /// Per-layer convolution workloads for a phase (see
+    /// [`crate::workload`]).
+    pub fn workloads(&self, phase: Phase) -> Vec<ConvWorkload> {
+        phase_workloads(self.network_for(phase), phase)
+    }
+
+    /// The phases of this GAN that benefit from ZFDR (contain at least one
+    /// zero-inserted workload). DiscoGAN-4pairs has five; a plain
+    /// T-CONV-generator GAN has four; MAGAN's FC discriminator contributes
+    /// none of its D-phases except through its generator.
+    pub fn zfdr_phases(&self) -> Vec<Phase> {
+        Phase::ALL
+            .into_iter()
+            .filter(|&p| {
+                self.workloads(p)
+                    .iter()
+                    .any(|w| !matches!(w.kind, crate::workload::WorkloadKind::Dense))
+            })
+            .collect()
+    }
+}
+
+/// Renders a parsed network back into (un-factored) Table V notation.
+///
+/// Group factoring is not reconstructed — every conv-like token carries
+/// its own `WkSs` suffix — so `parse → render → parse` is the identity on
+/// layers even though the string may differ from the original.
+pub fn render_notation(net: &NetworkSpec) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let layers = &net.layers;
+    let mut i = 0;
+    while i < layers.len() {
+        match &layers[i] {
+            Layer::Fc(f) => {
+                // A mid-network bottleneck (conv → FC → FC → conv, as in
+                // DiscoGAN-5pairs) renders as the single `Nf` token the
+                // parser expands back into the projection/expansion pair.
+                let is_bridge = i > 0
+                    && matches!(
+                        layers.get(i - 1),
+                        Some(Layer::Conv(_) | Layer::Tconv(_))
+                    )
+                    && matches!(layers.get(i + 1), Some(Layer::Fc(g)) if g.in_units == f.out_units)
+                    && matches!(
+                        layers.get(i + 2),
+                        Some(Layer::Conv(_) | Layer::Tconv(_))
+                    );
+                let terminal = i + 1 == layers.len();
+                if terminal {
+                    // The last FC needs both its input token and the
+                    // output-width spec (the parser folds `Nf-fK` into one
+                    // layer, and a bare `fK` after a conv chain flattens
+                    // implicitly, so either string round-trips).
+                    if matches!(
+                        layers.get(i.wrapping_sub(1)),
+                        Some(Layer::Conv(_) | Layer::Tconv(_))
+                    ) && i > 0
+                    {
+                        parts.push(format!("f{}", f.out_units));
+                    } else {
+                        parts.push(format!("{}f", f.in_units));
+                        parts.push(format!("f{}", f.out_units));
+                    }
+                } else if is_bridge {
+                    parts.push(format!("{}f", f.out_units));
+                    i += 1; // the expansion FC is implied
+                } else {
+                    parts.push(format!("{}f", f.in_units));
+                }
+            }
+            Layer::Conv(c) => {
+                parts.push(format!(
+                    "{}c{}k{}s",
+                    c.in_channels, c.geometry.kernel, c.geometry.stride
+                ));
+                if !matches!(layers.get(i + 1), Some(Layer::Conv(_) | Layer::Tconv(_))) {
+                    // Channel count of the final conv is implied (= input).
+                }
+            }
+            Layer::Tconv(tl) => {
+                parts.push(format!(
+                    "{}t{}k{}s",
+                    tl.in_channels, tl.geometry.kernel, tl.geometry.converse_stride
+                ));
+                let last_convlike =
+                    !matches!(layers.get(i + 1), Some(Layer::Conv(_) | Layer::Tconv(_)));
+                if last_convlike {
+                    parts.push(format!("t{}", tl.out_channels));
+                }
+            }
+        }
+        i += 1;
+    }
+    parts.join("-")
+}
+
+/// Error produced when a Table V notation string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    network: String,
+    message: String,
+}
+
+impl ParseTopologyError {
+    fn new(network: &str, message: impl Into<String>) -> Self {
+        ParseTopologyError {
+            network: network.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid topology for {}: {}", self.network, self.message)
+    }
+}
+
+impl Error for ParseTopologyError {}
+
+/// A raw token after group expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    /// `Nf` — fully connected layer with an `N`-unit input.
+    FcIn(usize),
+    /// `fK` — final FC output width.
+    FcOut(usize),
+    /// `NcWkSs` / `NtWkSs` — conv-like layer.
+    ConvLike {
+        in_channels: usize,
+        transposed: bool,
+        kernel: usize,
+        stride: usize,
+    },
+    /// `tK` — final T-CONV output channel count.
+    FinalChannels(usize),
+}
+
+fn parse_token(network: &str, tok: &str) -> Result<Token, ParseTopologyError> {
+    let err = |m: &str| ParseTopologyError::new(network, format!("token `{tok}`: {m}"));
+    let bytes = tok.as_bytes();
+    if bytes.is_empty() {
+        return Err(err("empty token"));
+    }
+    // fK / tK (leading letter).
+    if bytes[0] == b'f' || bytes[0] == b't' {
+        let n: usize = tok[1..].parse().map_err(|_| err("bad trailing count"))?;
+        return Ok(if bytes[0] == b'f' {
+            Token::FcOut(n)
+        } else {
+            Token::FinalChannels(n)
+        });
+    }
+    // Leading number.
+    let digits = tok.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 {
+        return Err(err("expected a leading count"));
+    }
+    let n: usize = tok[..digits].parse().map_err(|_| err("bad count"))?;
+    let rest = &tok[digits..];
+    match rest.chars().next() {
+        Some('f') if rest.len() == 1 => Ok(Token::FcIn(n)),
+        Some(k @ ('c' | 't')) => {
+            let ks = &rest[1..];
+            if ks.is_empty() {
+                return Err(err("conv token missing kernel/stride suffix"));
+            }
+            let (kernel, stride) = parse_kernel_stride(network, ks)?;
+            Ok(Token::ConvLike {
+                in_channels: n,
+                transposed: k == 't',
+                kernel,
+                stride,
+            })
+        }
+        _ => Err(err("unknown layer kind")),
+    }
+}
+
+/// Parses `WkSs` (e.g. `5k2s`).
+fn parse_kernel_stride(network: &str, s: &str) -> Result<(usize, usize), ParseTopologyError> {
+    let err = |m: &str| ParseTopologyError::new(network, format!("suffix `{s}`: {m}"));
+    let kpos = s.find('k').ok_or_else(|| err("missing `k`"))?;
+    let spos = s.find('s').ok_or_else(|| err("missing `s`"))?;
+    if spos != s.len() - 1 || kpos + 1 >= spos {
+        return Err(err("expected `<W>k<S>s`"));
+    }
+    let kernel = s[..kpos].parse().map_err(|_| err("bad kernel"))?;
+    let stride = s[kpos + 1..spos].parse().map_err(|_| err("bad stride"))?;
+    if kernel == 0 || stride == 0 {
+        return Err(err("kernel and stride must be positive"));
+    }
+    Ok((kernel, stride))
+}
+
+/// Splits a notation string into raw token strings, expanding
+/// `(A-B-C)(WkSs)` groups.
+fn tokenize(network: &str, s: &str) -> Result<Vec<String>, ParseTopologyError> {
+    let err = |m: &str| ParseTopologyError::new(network, m.to_string());
+    let mut out = Vec::new();
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '-' {
+            i += 1;
+            continue;
+        }
+        if chars[i] == '(' {
+            let close = (i + 1..chars.len())
+                .find(|&j| chars[j] == ')')
+                .ok_or_else(|| err("unbalanced `(`"))?;
+            let body: String = chars[i + 1..close].iter().collect();
+            // The group must be followed immediately by a `(WkSs)` suffix.
+            if close + 1 >= chars.len() || chars[close + 1] != '(' {
+                return Err(err("layer group must be followed by a (kernel/stride) group"));
+            }
+            let close2 = (close + 2..chars.len())
+                .find(|&j| chars[j] == ')')
+                .ok_or_else(|| err("unbalanced suffix `(`"))?;
+            let suffix: String = chars[close + 2..close2].iter().collect();
+            for part in body.split('-').filter(|p| !p.is_empty()) {
+                out.push(format!("{part}{suffix}"));
+            }
+            i = close2 + 1;
+        } else {
+            let end = (i..chars.len())
+                .find(|&j| chars[j] == '-' || chars[j] == '(')
+                .unwrap_or(chars.len());
+            if chars.get(end) == Some(&'(') {
+                return Err(err("unexpected `(` inside a token"));
+            }
+            out.push(chars[i..end].iter().collect());
+            i = end;
+        }
+    }
+    if out.is_empty() {
+        return Err(err("empty topology"));
+    }
+    Ok(out)
+}
+
+/// Parses one network side of a Table V row.
+///
+/// `dims` is the spatial dimensionality (2 or 3) and `item_extent` the
+/// image/volume edge length that anchors conv-chain spatial trajectories.
+///
+/// # Errors
+///
+/// Returns [`ParseTopologyError`] on malformed notation or unrealisable
+/// geometry.
+pub fn parse_network(
+    name: &str,
+    notation: &str,
+    dims: u32,
+    item_extent: usize,
+) -> Result<NetworkSpec, ParseTopologyError> {
+    let raw = tokenize(name, notation)?;
+    let tokens: Vec<Token> = raw
+        .iter()
+        .map(|t| parse_token(name, t))
+        .collect::<Result<_, _>>()?;
+
+    // --- Pass 1: spatial trajectory for every conv-like token. ---
+    // Conv-like tokens form contiguous segments separated by FC tokens.
+    let conv_positions: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t, Token::ConvLike { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let mut spatial_in = vec![0usize; tokens.len()];
+    let mut spatial_out = vec![0usize; tokens.len()];
+    let mut seg_start = 0;
+    while seg_start < conv_positions.len() {
+        // Find the contiguous run of conv positions.
+        let mut seg_end = seg_start;
+        while seg_end + 1 < conv_positions.len()
+            && conv_positions[seg_end + 1] == conv_positions[seg_end] + 1
+        {
+            seg_end += 1;
+        }
+        let seg: &[usize] = &conv_positions[seg_start..=seg_end];
+        let starts_network = seg[0] == 0;
+        let ends_network = {
+            // The segment ends the network if only output-spec tokens follow.
+            tokens[seg[seg.len() - 1] + 1..]
+                .iter()
+                .all(|t| matches!(t, Token::FinalChannels(_)))
+        };
+        if starts_network {
+            // Anchor at the start: the first conv consumes the item.
+            let mut cur = item_extent;
+            for &p in seg {
+                let Token::ConvLike {
+                    transposed, stride, ..
+                } = tokens[p]
+                else {
+                    unreachable!()
+                };
+                spatial_in[p] = cur;
+                cur = if transposed {
+                    cur * stride
+                } else {
+                    cur.div_ceil(stride)
+                };
+                spatial_out[p] = cur;
+            }
+        } else if ends_network {
+            // Anchor at the end: the last conv produces the item.
+            let mut cur = item_extent;
+            for &p in seg.iter().rev() {
+                let Token::ConvLike {
+                    transposed, stride, ..
+                } = tokens[p]
+                else {
+                    unreachable!()
+                };
+                spatial_out[p] = cur;
+                cur = if transposed {
+                    cur.div_ceil(stride)
+                } else {
+                    cur * stride
+                };
+                spatial_in[p] = cur;
+            }
+        } else {
+            return Err(ParseTopologyError::new(
+                name,
+                "a convolution chain must touch the start or the end of the network",
+            ));
+        }
+        seg_start = seg_end + 1;
+    }
+
+    // --- Pass 2: emit layers with channel chaining. ---
+    let mut layers = Vec::new();
+    let mut i = 0;
+    // Flattened width of the data currently flowing (None before any layer).
+    let mut flat: Option<u128> = None;
+    while i < tokens.len() {
+        match tokens[i] {
+            Token::ConvLike {
+                in_channels,
+                transposed,
+                kernel,
+                stride,
+            } => {
+                let out_channels = match tokens.get(i + 1) {
+                    Some(Token::ConvLike { in_channels, .. }) => *in_channels,
+                    Some(Token::FinalChannels(k)) => *k,
+                    _ => in_channels,
+                };
+                let (sin, sout) = (spatial_in[i], spatial_out[i]);
+                let layer = if transposed {
+                    let geometry = TconvGeometry::for_target(sin, kernel, stride, sout)
+                        .filter(|g| g.output == sout)
+                        .ok_or_else(|| {
+                            ParseTopologyError::new(
+                                name,
+                                format!(
+                                    "no T-CONV geometry realises {sin}->{sout} with \
+                                     kernel {kernel} stride 1/{stride}"
+                                ),
+                            )
+                        })?;
+                    Layer::Tconv(TconvLayer {
+                        in_channels,
+                        out_channels,
+                        geometry,
+                    })
+                } else {
+                    let geometry = (0..kernel)
+                        .filter_map(|p| SconvGeometry::new(sin, kernel, stride, p))
+                        .find(|g| g.output == sout)
+                        .ok_or_else(|| {
+                            ParseTopologyError::new(
+                                name,
+                                format!(
+                                    "no padding realises conv {sin}->{sout} with \
+                                     kernel {kernel} stride {stride}"
+                                ),
+                            )
+                        })?;
+                    Layer::Conv(ConvLayer {
+                        in_channels,
+                        out_channels,
+                        geometry,
+                    })
+                };
+                flat = Some(out_channels as u128 * (sout as u128).pow(dims));
+                layers.push(layer);
+                // Consume a FinalChannels spec if it closed this chain.
+                if matches!(tokens.get(i + 1), Some(Token::FinalChannels(_))) {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Token::FcIn(n) => {
+                // Bridge in if the incoming flat width disagrees (bottleneck
+                // FC, see module docs).
+                if let Some(f) = flat {
+                    if f != n as u128 {
+                        layers.push(Layer::Fc(FcLayer {
+                            in_units: f as usize,
+                            out_units: n,
+                        }));
+                    }
+                }
+                // Output width: what the next token needs.
+                let out_units = match tokens.get(i + 1) {
+                    Some(Token::ConvLike {
+                        in_channels: c, ..
+                    }) => *c as u128 * (spatial_in[i + 1] as u128).pow(dims),
+                    Some(Token::FcIn(m)) => *m as u128,
+                    Some(Token::FcOut(k)) => {
+                        // `Nf-fK`: this FC maps N directly to K.
+                        *k as u128
+                    }
+                    Some(Token::FinalChannels(_)) | None => {
+                        return Err(ParseTopologyError::new(
+                            name,
+                            "an FC layer needs a successor to size its output",
+                        ));
+                    }
+                };
+                layers.push(Layer::Fc(FcLayer {
+                    in_units: n,
+                    out_units: out_units as usize,
+                }));
+                flat = Some(out_units);
+                // `fK` right after is consumed as this layer's output spec.
+                if matches!(tokens.get(i + 1), Some(Token::FcOut(_))) {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Token::FcOut(k) => {
+                // A trailing `fK` after a conv chain: flatten and map to K.
+                let in_units = flat.ok_or_else(|| {
+                    ParseTopologyError::new(name, "`fK` cannot start a network")
+                })? as usize;
+                layers.push(Layer::Fc(FcLayer {
+                    in_units,
+                    out_units: k,
+                }));
+                flat = Some(k as u128);
+                i += 1;
+            }
+            Token::FinalChannels(_) => {
+                return Err(ParseTopologyError::new(
+                    name,
+                    "`tK` must directly follow a transposed-convolution chain",
+                ));
+            }
+        }
+    }
+
+    Ok(NetworkSpec {
+        name: name.to_string(),
+        layers,
+        dims,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_expands_groups() {
+        let t = tokenize("t", "100f-(1024t-512t-256t-128t)(5k2s)-t3").unwrap();
+        assert_eq!(
+            t,
+            vec!["100f", "1024t5k2s", "512t5k2s", "256t5k2s", "128t5k2s", "t3"]
+        );
+    }
+
+    #[test]
+    fn tokenize_rejects_unbalanced() {
+        assert!(tokenize("t", "(1024t-512t(5k2s)").is_err());
+        assert!(tokenize("t", "(1024t)").is_err());
+        assert!(tokenize("t", "").is_err());
+    }
+
+    #[test]
+    fn token_kinds() {
+        assert_eq!(parse_token("t", "100f").unwrap(), Token::FcIn(100));
+        assert_eq!(parse_token("t", "f11").unwrap(), Token::FcOut(11));
+        assert_eq!(parse_token("t", "t3").unwrap(), Token::FinalChannels(3));
+        assert_eq!(
+            parse_token("t", "512c5k2s").unwrap(),
+            Token::ConvLike {
+                in_channels: 512,
+                transposed: false,
+                kernel: 5,
+                stride: 2
+            }
+        );
+        assert_eq!(
+            parse_token("t", "128t4k1s").unwrap(),
+            Token::ConvLike {
+                in_channels: 128,
+                transposed: true,
+                kernel: 4,
+                stride: 1
+            }
+        );
+        assert!(parse_token("t", "128x").is_err());
+        assert!(parse_token("t", "128c").is_err());
+        assert!(parse_token("t", "").is_err());
+    }
+
+    #[test]
+    fn dcgan_generator_structure() {
+        let net = parse_network(
+            "DCGAN generator",
+            "100f-(1024t-512t-256t-128t)(5k2s)-t3",
+            2,
+            64,
+        )
+        .unwrap();
+        assert_eq!(net.layers.len(), 5);
+        // FC 100 -> 1024 x 4 x 4.
+        let Layer::Fc(fc) = net.layers[0] else {
+            panic!("expected FC first");
+        };
+        assert_eq!((fc.in_units, fc.out_units), (100, 1024 * 16));
+        // Channel chain 1024 -> 512 -> 256 -> 128 -> 3.
+        let chans: Vec<(usize, usize)> = net.layers[1..]
+            .iter()
+            .map(|l| (l.fan_in_channels(), l.fan_out_channels()))
+            .collect();
+        assert_eq!(
+            chans,
+            vec![(1024, 512), (512, 256), (256, 128), (128, 3)]
+        );
+        // Spatial chain 4 -> 8 -> 16 -> 32 -> 64.
+        let spatial: Vec<(usize, usize)> = net.layers[1..]
+            .iter()
+            .map(|l| (l.in_spatial(), l.out_spatial()))
+            .collect();
+        assert_eq!(spatial, vec![(4, 8), (8, 16), (16, 32), (32, 64)]);
+    }
+
+    #[test]
+    fn dcgan_discriminator_structure() {
+        let net = parse_network(
+            "DCGAN discriminator",
+            "(3c-128c-256c-512c-1024c)(5k2s)-f1",
+            2,
+            64,
+        )
+        .unwrap();
+        assert_eq!(net.layers.len(), 6);
+        let spatial: Vec<usize> = net.layers[..5].iter().map(|l| l.out_spatial()).collect();
+        assert_eq!(spatial, vec![32, 16, 8, 4, 2]);
+        let Layer::Fc(fc) = net.layers[5] else {
+            panic!("expected trailing FC");
+        };
+        assert_eq!(fc.out_units, 1);
+        assert_eq!(fc.in_units, 1024 * 4);
+    }
+
+    #[test]
+    fn magan_generator_structure() {
+        let net = parse_network("MAGAN generator", "50f-128t7k1s-64t4k2s-t1", 2, 28).unwrap();
+        assert_eq!(net.layers.len(), 3);
+        let Layer::Fc(fc) = net.layers[0] else {
+            panic!()
+        };
+        assert_eq!((fc.in_units, fc.out_units), (50, 128 * 14 * 14));
+        let Layer::Tconv(t1) = net.layers[1] else {
+            panic!()
+        };
+        assert_eq!((t1.geometry.input, t1.geometry.output), (14, 14));
+        let Layer::Tconv(t2) = net.layers[2] else {
+            panic!()
+        };
+        assert_eq!((t2.geometry.input, t2.geometry.output), (14, 28));
+        assert_eq!((t2.in_channels, t2.out_channels), (64, 1));
+    }
+
+    #[test]
+    fn magan_discriminator_is_fully_connected() {
+        let net =
+            parse_network("MAGAN discriminator", "784f-256f-256f-784f-f11", 2, 28).unwrap();
+        assert!(net.is_fully_connected());
+        let widths: Vec<(usize, usize)> = net
+            .layers
+            .iter()
+            .map(|l| (l.fan_in_channels(), l.fan_out_channels()))
+            .collect();
+        assert_eq!(
+            widths,
+            vec![(784, 256), (256, 256), (256, 784), (784, 11)]
+        );
+    }
+
+    #[test]
+    fn discogan_4pairs_generator_has_both_conv_kinds() {
+        let net = parse_network(
+            "DiscoGAN-4pairs generator",
+            "(3c-64c-128c-256c-512t-256t-128t-64t)(4k2s)-t3",
+            2,
+            64,
+        )
+        .unwrap();
+        assert_eq!(net.layers.len(), 8);
+        assert!(net.has_sconv() && net.has_tconv());
+        let spatial: Vec<usize> = net.layers.iter().map(|l| l.out_spatial()).collect();
+        assert_eq!(spatial, vec![32, 16, 8, 4, 8, 16, 32, 64]);
+        assert_eq!(net.layers[7].fan_out_channels(), 3);
+    }
+
+    #[test]
+    fn discogan_5pairs_has_bottleneck_fcs() {
+        let net = parse_network(
+            "DiscoGAN-5pairs generator",
+            "(3c-64c-128c-256c-512c)(4k2s)-100f-(512t-256t-128t-64t)(4k2s)-t3",
+            2,
+            64,
+        )
+        .unwrap();
+        // 5 convs + bridge FC (2048->100) + FC (100->8192) + 4 T-CONVs.
+        assert_eq!(net.layers.len(), 11);
+        let Layer::Fc(bridge) = net.layers[5] else {
+            panic!("expected bridging FC");
+        };
+        assert_eq!((bridge.in_units, bridge.out_units), (512 * 4, 100));
+        let Layer::Fc(expand) = net.layers[6] else {
+            panic!("expected expansion FC");
+        };
+        assert_eq!((expand.in_units, expand.out_units), (100, 512 * 16));
+        let Layer::Tconv(first_t) = net.layers[7] else {
+            panic!("expected T-CONV after FCs");
+        };
+        assert_eq!(first_t.geometry.input, 4);
+    }
+
+    #[test]
+    fn artgan_generator_handles_stride1_layers() {
+        let net = parse_network(
+            "ArtGAN generator",
+            "100f-1024t4k1s-512t4k2s-256t4k2s-128t4k2s-128t3k1s-t3",
+            2,
+            32,
+        )
+        .unwrap();
+        assert_eq!(net.layers.len(), 6);
+        let spatial: Vec<(usize, usize)> = net.layers[1..]
+            .iter()
+            .map(|l| (l.in_spatial(), l.out_spatial()))
+            .collect();
+        assert_eq!(spatial, vec![(4, 4), (4, 8), (8, 16), (16, 32), (32, 32)]);
+    }
+
+    #[test]
+    fn volumetric_3dgan_fc_sizes_cube() {
+        let net = parse_network(
+            "3D-GAN generator",
+            "100f-(512t-256t-128t)(4k2s)-t3",
+            3,
+            64,
+        )
+        .unwrap();
+        let Layer::Fc(fc) = net.layers[0] else {
+            panic!()
+        };
+        // 64 / 2^3 = 8 start extent, cubed for a volumetric network.
+        assert_eq!(fc.out_units, 512 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn gan_spec_parses_full_row() {
+        let g = GanSpec::parse(
+            "DCGAN",
+            "100f-(1024t-512t-256t-128t)(5k2s)-t3",
+            "(3c-128c-256c-512c-1024c)(5k2s)-f1",
+            &[64, 64],
+        )
+        .unwrap();
+        assert_eq!(g.batch_size, 64);
+        assert_eq!(g.generator.dims, 2);
+        assert!(g.generator.has_tconv());
+        assert!(!g.discriminator.has_tconv());
+    }
+
+    #[test]
+    fn render_round_trips_every_benchmark() {
+        use crate::benchmarks;
+        for gan in benchmarks::all() {
+            for net in [&gan.generator, &gan.discriminator] {
+                let notation = render_notation(net);
+                let reparsed = parse_network(
+                    &net.name,
+                    &notation,
+                    net.dims,
+                    // The item extent anchors spatial chains; recover it
+                    // from the network's own boundary layers.
+                    gan.item_size[0],
+                )
+                .unwrap_or_else(|e| panic!("{}: `{notation}`: {e}", net.name));
+                assert_eq!(
+                    reparsed.layers, net.layers,
+                    "{}: round trip through `{notation}`",
+                    net.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = parse_network("X", "100f", 2, 64).unwrap_err();
+        assert!(e.to_string().contains("successor"));
+        let e = parse_network("X", "f1-3c4k2s", 2, 64).unwrap_err();
+        assert!(e.to_string().contains("cannot start"));
+    }
+}

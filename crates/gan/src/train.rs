@@ -1,0 +1,1165 @@
+//! A functional GAN trainer: real forward/backward/SGD over `f32` tensors.
+//!
+//! The accelerator model in the rest of the workspace reasons about
+//! *shapes*; this module proves the substrate end-to-end by actually
+//! training the minimax objective of Eq. 1–2 with minibatch SGD, exactly
+//! the dataflow of Fig. 3: `G→`, `D→`, error computation at the output
+//! layer, `D←`/`D-w`, and — when training the generator — `G←`/`G-w`.
+//!
+//! The discriminator ends in a raw logit; both losses use the numerically
+//! stable sigmoid-BCE formulation, whose output-layer error is
+//! `σ(logit) − target`.
+
+use crate::layer::Layer;
+use crate::topology::NetworkSpec;
+use lergan_tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
+use lergan_tensor::zero_insert::expand_tconv_input;
+use lergan_tensor::{Conv2d, Tensor, TconvGeometry, WconvGeometry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A layer that can run forward, backward and SGD updates.
+///
+/// `forward` caches whatever `backward` needs; `backward` accumulates
+/// parameter gradients and returns the gradient w.r.t. the layer input.
+pub trait TrainableLayer {
+    /// Forward pass for a single sample, caching activations.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+    /// Backward pass; accumulates parameter gradients and returns `∇input`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Applies accumulated gradients through `rule` (with `step` counting
+    /// optimiser steps, for Adam's bias correction) and clears them.
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64);
+    /// Clears accumulated gradients without applying them.
+    fn zero_grads(&mut self);
+}
+
+fn he_init(rng: &mut StdRng, shape: &[usize], fan_in: usize) -> Tensor {
+    let scale = (2.0 / fan_in as f32).sqrt();
+    Tensor::from_fn(shape, |_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+}
+
+/// The update rule applied to accumulated gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateRule {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with heavy-ball momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (e.g. 0.9).
+        beta: f32,
+    },
+    /// Adam (the optimiser DCGAN training typically uses).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay (e.g. 0.9; DCGAN uses 0.5).
+        beta1: f32,
+        /// Second-moment decay (e.g. 0.999).
+        beta2: f32,
+        /// Numerical floor.
+        eps: f32,
+    },
+}
+
+impl UpdateRule {
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        UpdateRule::Sgd { lr }
+    }
+
+    /// DCGAN-style Adam (β₁ = 0.5, β₂ = 0.999).
+    pub fn dcgan_adam(lr: f32) -> Self {
+        UpdateRule::Adam {
+            lr,
+            beta1: 0.5,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Per-parameter optimiser state (moments), created lazily.
+#[derive(Debug, Default)]
+struct OptState {
+    m: Option<Tensor>,
+    v: Option<Tensor>,
+}
+
+impl OptState {
+    /// Applies `rule` to `weights` given the accumulated `grad`.
+    fn apply(&mut self, rule: &UpdateRule, step: u64, weights: &mut Tensor, grad: &Tensor) {
+        match *rule {
+            UpdateRule::Sgd { lr } => weights.axpy_in_place(-lr, grad),
+            UpdateRule::Momentum { lr, beta } => {
+                let m = self
+                    .m
+                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                m.scale_in_place(beta);
+                m.axpy_in_place(1.0, grad);
+                weights.axpy_in_place(-lr, m);
+            }
+            UpdateRule::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let m = self
+                    .m
+                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                m.scale_in_place(beta1);
+                m.axpy_in_place(1.0 - beta1, grad);
+                let v = self
+                    .v
+                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                let g2 = grad.map(|g| g * g);
+                v.scale_in_place(beta2);
+                v.axpy_in_place(1.0 - beta2, &g2);
+                let t = step.max(1) as i32;
+                let mc = 1.0 - beta1.powi(t);
+                let vc = 1.0 - beta2.powi(t);
+                let update = m.zip_with(v, |mi, vi| (mi / mc) / ((vi / vc).sqrt() + eps));
+                weights.axpy_in_place(-lr, &update);
+            }
+        }
+    }
+}
+
+/// Fully-connected trainable layer (flattens its input).
+#[derive(Debug)]
+pub struct DenseLayer {
+    weights: Tensor, // [out, in]
+    grad: Tensor,
+    cached_input: Option<Tensor>,
+    cached_shape: Vec<usize>,
+    opt: OptState,
+}
+
+impl DenseLayer {
+    /// Creates a dense layer with He-initialised weights.
+    pub fn new(in_units: usize, out_units: usize, rng: &mut StdRng) -> Self {
+        DenseLayer {
+            weights: he_init(rng, &[out_units, in_units], in_units),
+            grad: Tensor::zeros(&[out_units, in_units]),
+            cached_input: None,
+            cached_shape: Vec::new(),
+            opt: OptState::default(),
+        }
+    }
+
+    /// Output width.
+    pub fn out_units(&self) -> usize {
+        self.weights.shape()[0]
+    }
+}
+
+impl TrainableLayer for DenseLayer {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_shape = input.shape().to_vec();
+        let flat = input.reshaped(&[input.len()]);
+        let out = lergan_tensor::tensor::mmv(&self.weights, flat.data());
+        self.cached_input = Some(flat);
+        Tensor::from_vec(&[out.len()], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let (o, i) = (self.weights.shape()[0], self.weights.shape()[1]);
+        assert_eq!(grad_out.len(), o, "gradient width mismatch");
+        for oi in 0..o {
+            let g = grad_out.data()[oi];
+            for ii in 0..i {
+                self.grad.data_mut()[oi * i + ii] += g * input.data()[ii];
+            }
+        }
+        let mut din = vec![0.0f32; i];
+        for oi in 0..o {
+            let g = grad_out.data()[oi];
+            let row = &self.weights.data()[oi * i..(oi + 1) * i];
+            for (d, &w) in din.iter_mut().zip(row.iter()) {
+                *d += g * w;
+            }
+        }
+        Tensor::from_vec(&self.cached_shape, din)
+    }
+
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad);
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad = Tensor::zeros(self.grad.shape());
+    }
+}
+
+/// Strided-convolution trainable layer.
+#[derive(Debug)]
+pub struct ConvTrainLayer {
+    op: Conv2d,
+    weights: Tensor, // [oc, ic, k, k]
+    grad: Tensor,
+    cached_input: Option<Tensor>,
+    opt: OptState,
+}
+
+impl ConvTrainLayer {
+    /// Creates the layer; panics never (inputs validated by `Conv2d::new`).
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+    ) -> Option<Self> {
+        let op = Conv2d::new(in_channels, out_channels, kernel, stride, pad)?;
+        let shape = [out_channels, in_channels, kernel, kernel];
+        Some(ConvTrainLayer {
+            op,
+            weights: he_init(rng, &shape, in_channels * kernel * kernel),
+            grad: Tensor::zeros(&shape),
+            cached_input: None,
+            opt: OptState::default(),
+        })
+    }
+}
+
+impl TrainableLayer for ConvTrainLayer {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        self.op.forward(input, &self.weights)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        // D-w path: the zero-inserted-kernel W-CONV of Fig. 6.
+        let geom = WconvGeometry {
+            forward: self.op.geometry(input.shape()[1]),
+        };
+        let dw = wconv_weight_grad_zero_insert(input, grad_out, &geom);
+        self.grad.axpy_in_place(1.0, &dw);
+        self.op.input_grad(grad_out, &self.weights, input.shape()[1])
+    }
+
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad);
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad = Tensor::zeros(self.grad.shape());
+    }
+}
+
+/// Transposed-convolution trainable layer.
+#[derive(Debug)]
+pub struct TconvTrainLayer {
+    geometry: TconvGeometry,
+    inner: Conv2d, // stride-1 conv over the expanded input
+    weights: Tensor,
+    grad: Tensor,
+    cached_expanded: Option<Tensor>,
+    opt: OptState,
+}
+
+impl TconvTrainLayer {
+    /// Creates the layer for the given T-CONV geometry.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        geometry: TconvGeometry,
+        rng: &mut StdRng,
+    ) -> Self {
+        let k = geometry.kernel;
+        let inner =
+            Conv2d::new(in_channels, out_channels, k, 1, 0).expect("validated geometry");
+        let shape = [out_channels, in_channels, k, k];
+        TconvTrainLayer {
+            geometry,
+            inner,
+            weights: he_init(rng, &shape, in_channels * k * k),
+            grad: Tensor::zeros(&shape),
+            cached_expanded: None,
+            opt: OptState::default(),
+        }
+    }
+}
+
+impl TrainableLayer for TconvTrainLayer {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        // The naive zero-insertion realisation of Fig. 4; the zero-free
+        // equivalence is proven against it in lergan-core.
+        let out = tconv_forward_zero_insert(input, &self.weights, &self.geometry);
+        self.cached_expanded = Some(expand_tconv_input(input, &self.geometry));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let expanded = self
+            .cached_expanded
+            .as_ref()
+            .expect("backward before forward");
+        // G-w: ∇z scans the zero-inserted input.
+        let dw = self.inner.weight_grad(expanded, grad_out);
+        self.grad.axpy_in_place(1.0, &dw);
+        // G←: dense S-CONV back through the expansion, then gather.
+        let d_expanded = self
+            .inner
+            .input_grad(grad_out, &self.weights, expanded.shape()[1]);
+        let g = &self.geometry;
+        let ic = expanded.shape()[0];
+        Tensor::from_fn(&[ic, g.input, g.input], |idx| {
+            let p = g.insertion_pad;
+            let s = g.converse_stride;
+            d_expanded[&[idx[0], p + idx[1] * s, p + idx[2] * s]]
+        })
+    }
+
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad);
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad = Tensor::zeros(self.grad.shape());
+    }
+}
+
+/// Per-channel batch normalisation (DCGAN applies it after every
+/// conv/T-CONV except the output layers).
+///
+/// This single-sample variant normalises over each channel's spatial
+/// plane with running statistics for inference, and learns an affine
+/// (γ, β) per channel — the standard formulation restricted to the
+/// sample-at-a-time training loop this crate uses.
+#[derive(Debug)]
+pub struct BatchNorm {
+    gamma: Tensor, // [C]
+    beta: Tensor,  // [C]
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    opt_gamma: OptState,
+    opt_beta: OptState,
+    eps: f32,
+    momentum: f32,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // caches
+    normalized: Option<Tensor>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates the layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            opt_gamma: OptState::default(),
+            opt_beta: OptState::default(),
+            eps: 1e-5,
+            momentum: 0.1,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            normalized: None,
+            inv_std: vec![0.0; channels],
+        }
+    }
+
+    /// Running mean per channel (for inspection/inference).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+}
+
+impl TrainableLayer for BatchNorm {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "BatchNorm expects [C, H, W]");
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert_eq!(c, self.gamma.len(), "channel mismatch");
+        let n = (h * w) as f32;
+        let mut out = Tensor::zeros(&[c, h, w]);
+        let mut normalized = Tensor::zeros(&[c, h, w]);
+        for ci in 0..c {
+            let mut mean = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    mean += input[&[ci, y, x]];
+                }
+            }
+            mean /= n;
+            let mut var = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    let d = input[&[ci, y, x]] - mean;
+                    var += d * d;
+                }
+            }
+            var /= n;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[ci] = inv_std;
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+            let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
+            for y in 0..h {
+                for x in 0..w {
+                    let norm = (input[&[ci, y, x]] - mean) * inv_std;
+                    normalized[&[ci, y, x][..]] = norm;
+                    out[&[ci, y, x][..]] = g * norm + b;
+                }
+            }
+        }
+        self.normalized = Some(normalized);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let normalized = self
+            .normalized
+            .as_ref()
+            .expect("backward before forward");
+        let (c, h, w) = (
+            normalized.shape()[0],
+            normalized.shape()[1],
+            normalized.shape()[2],
+        );
+        let n = (h * w) as f32;
+        let mut din = Tensor::zeros(&[c, h, w]);
+        for ci in 0..c {
+            let mut sum_dy = 0.0;
+            let mut sum_dy_norm = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    let dy = grad_out[&[ci, y, x]];
+                    sum_dy += dy;
+                    sum_dy_norm += dy * normalized[&[ci, y, x]];
+                }
+            }
+            self.grad_beta.data_mut()[ci] += sum_dy;
+            self.grad_gamma.data_mut()[ci] += sum_dy_norm;
+            let g = self.gamma.data()[ci];
+            let inv_std = self.inv_std[ci];
+            for y in 0..h {
+                for x in 0..w {
+                    let dy = grad_out[&[ci, y, x]];
+                    let norm = normalized[&[ci, y, x]];
+                    din[&[ci, y, x][..]] = g * inv_std / n
+                        * (n * dy - sum_dy - norm * sum_dy_norm);
+                }
+            }
+        }
+        din
+    }
+
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
+        self.opt_gamma
+            .apply(rule, step, &mut self.gamma, &self.grad_gamma);
+        self.opt_beta
+            .apply(rule, step, &mut self.beta, &self.grad_beta);
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma = Tensor::zeros(self.grad_gamma.shape());
+        self.grad_beta = Tensor::zeros(self.grad_beta.shape());
+    }
+}
+
+/// Leaky-ReLU activation (the paper's DCGAN uses slope 0.2 in D).
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    cached_input: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates the activation with the given negative slope.
+    pub fn new(alpha: f32) -> Self {
+        LeakyRelu {
+            alpha,
+            cached_input: None,
+        }
+    }
+}
+
+impl TrainableLayer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        let a = self.alpha;
+        input.map(|x| if x > 0.0 { x } else { a * x })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let a = self.alpha;
+        input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { a * g })
+    }
+
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64) {}
+    fn zero_grads(&mut self) {}
+}
+
+/// Hyperbolic-tangent activation (generator output).
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TrainableLayer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward before forward");
+        out.zip_with(grad_out, |y, g| g * (1.0 - y * y))
+    }
+
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64) {}
+    fn zero_grads(&mut self) {}
+}
+
+/// Reshapes between flat FC outputs and `[C, H, W]` feature maps.
+#[derive(Debug)]
+pub struct Reshape {
+    from: Vec<usize>,
+    to: Vec<usize>,
+}
+
+impl Reshape {
+    /// Creates the reshape; `from` and `to` must have equal element counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn new(from: &[usize], to: &[usize]) -> Self {
+        assert_eq!(
+            from.iter().product::<usize>(),
+            to.iter().product::<usize>(),
+            "reshape must preserve element count"
+        );
+        Reshape {
+            from: from.to_vec(),
+            to: to.to_vec(),
+        }
+    }
+}
+
+impl TrainableLayer for Reshape {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        input.reshaped(&self.to)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshaped(&self.from)
+    }
+
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64) {}
+    fn zero_grads(&mut self) {}
+}
+
+/// A sequential stack of trainable layers.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn TrainableLayer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn TrainableLayer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Backward through all layers; returns `∇input`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// Applies and clears all accumulated gradients through `rule`.
+    pub fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
+        for l in &mut self.layers {
+            l.apply_update(rule, step);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+}
+
+/// Builds a trainable network from a parsed [`NetworkSpec`] (2-D networks
+/// only), inserting leaky-ReLU activations between layers and `tanh` after
+/// the final layer of a generator.
+///
+/// # Panics
+///
+/// Panics if the spec is volumetric (`dims != 2`).
+pub fn build_trainable(spec: &NetworkSpec, is_generator: bool, rng: &mut StdRng) -> Sequential {
+    build_trainable_with(spec, is_generator, false, rng)
+}
+
+/// [`build_trainable`] with optional DCGAN-style batch normalisation after
+/// every conv-like hidden layer.
+///
+/// # Panics
+///
+/// Panics if the spec is volumetric (`dims != 2`).
+pub fn build_trainable_with(
+    spec: &NetworkSpec,
+    is_generator: bool,
+    batch_norm: bool,
+    rng: &mut StdRng,
+) -> Sequential {
+    assert_eq!(spec.dims, 2, "functional training supports 2-D networks");
+    let mut net = Sequential::new();
+    let n = spec.layers.len();
+    for (i, layer) in spec.layers.iter().enumerate() {
+        match layer {
+            Layer::Fc(f) => {
+                net.push(Box::new(DenseLayer::new(f.in_units, f.out_units, rng)));
+                // If the next layer is conv-like, reshape to its input map.
+                if let Some(next) = spec.layers.get(i + 1) {
+                    if !matches!(next, Layer::Fc(_)) {
+                        let c = next.fan_in_channels();
+                        let s = next.in_spatial();
+                        net.push(Box::new(Reshape::new(&[f.out_units], &[c, s, s])));
+                    }
+                }
+            }
+            Layer::Conv(c) => {
+                let g = &c.geometry;
+                net.push(Box::new(
+                    ConvTrainLayer::new(
+                        c.in_channels,
+                        c.out_channels,
+                        g.kernel,
+                        g.stride,
+                        g.pad,
+                        rng,
+                    )
+                    .expect("spec geometry is valid"),
+                ));
+            }
+            Layer::Tconv(t) => {
+                net.push(Box::new(TconvTrainLayer::new(
+                    t.in_channels,
+                    t.out_channels,
+                    t.geometry,
+                    rng,
+                )));
+            }
+        }
+        let last = i + 1 == n;
+        if batch_norm && !last {
+            if let Layer::Conv(_) | Layer::Tconv(_) = layer {
+                net.push(Box::new(BatchNorm::new(layer.fan_out_channels())));
+            }
+        }
+        if last && is_generator {
+            net.push(Box::new(Tanh::new()));
+        } else if !last {
+            net.push(Box::new(LeakyRelu::new(0.2)));
+        }
+    }
+    net
+}
+
+/// Statistics from one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Discriminator BCE loss averaged over the batch.
+    pub d_loss: f32,
+    /// Generator non-saturating loss averaged over the batch.
+    pub g_loss: f32,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn bce_with_logit(logit: f32, target: f32) -> f32 {
+    // Numerically stable: max(x,0) - x*t + ln(1 + e^{-|x|}).
+    logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// A trainable GAN: generator + discriminator + optimisation state.
+#[derive(Debug)]
+pub struct Gan {
+    /// The generator stack.
+    pub generator: Sequential,
+    /// The discriminator stack (ends in a single raw logit).
+    pub discriminator: Sequential,
+    noise_dim: usize,
+    rule: UpdateRule,
+    step: u64,
+    rng: StdRng,
+}
+
+impl Gan {
+    /// Creates a GAN from two stacks.
+    pub fn new(
+        generator: Sequential,
+        discriminator: Sequential,
+        noise_dim: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
+        Gan {
+            generator,
+            discriminator,
+            noise_dim,
+            rule: UpdateRule::sgd(lr),
+            step: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Replaces the update rule (momentum, Adam, …).
+    pub fn with_optimizer(mut self, rule: UpdateRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Samples a uniform noise vector in `[-1, 1]`.
+    pub fn sample_noise(&mut self) -> Tensor {
+        let d = self.noise_dim;
+        let data: Vec<f32> = (0..d).map(|_| self.rng.gen::<f32>() * 2.0 - 1.0).collect();
+        Tensor::from_vec(&[d], data)
+    }
+
+    /// Generates one sample from fresh noise (no gradients retained).
+    pub fn generate(&mut self) -> Tensor {
+        let n = self.sample_noise();
+        self.generator.forward(&n)
+    }
+
+    /// Runs one minibatch training step (Fig. 3's full dataflow: train D on
+    /// real+fake, then train G through the frozen D).
+    pub fn train_step(&mut self, reals: &[Tensor]) -> StepStats {
+        let m = reals.len().max(1) as f32;
+        // ---- Train the discriminator (Eq. 1). ----
+        let mut d_loss = 0.0;
+        for real in reals {
+            // Real sample, target 1.
+            let logit = self.discriminator.forward(real);
+            let l = logit.data()[0];
+            d_loss += bce_with_logit(l, 1.0);
+            let grad = Tensor::from_vec(&[1], vec![(sigmoid(l) - 1.0) / m]);
+            self.discriminator.backward(&grad);
+            // Fake sample, target 0.
+            let fake = {
+                let n = self.sample_noise();
+                self.generator.forward(&n)
+            };
+            let logit = self.discriminator.forward(&fake);
+            let l = logit.data()[0];
+            d_loss += bce_with_logit(l, 0.0);
+            let grad = Tensor::from_vec(&[1], vec![sigmoid(l) / m]);
+            self.discriminator.backward(&grad);
+        }
+        self.step += 1;
+        self.discriminator.apply_update(&self.rule, self.step);
+        self.generator.zero_grads(); // G gradients from the D pass are discarded.
+
+        // ---- Train the generator (non-saturating form of Eq. 2). ----
+        let mut g_loss = 0.0;
+        for _ in 0..reals.len() {
+            let n = self.sample_noise();
+            let fake = self.generator.forward(&n);
+            let logit = self.discriminator.forward(&fake);
+            let l = logit.data()[0];
+            g_loss += bce_with_logit(l, 1.0);
+            let grad = Tensor::from_vec(&[1], vec![(sigmoid(l) - 1.0) / m]);
+            let d_input_grad = self.discriminator.backward(&grad);
+            self.generator.backward(&d_input_grad);
+        }
+        self.generator.apply_update(&self.rule, self.step);
+        self.discriminator.zero_grads(); // D gradients from the G pass are discarded.
+
+        StepStats {
+            d_loss: d_loss / (2.0 * m),
+            g_loss: g_loss / m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::parse_network;
+
+    fn tiny_generator(rng: &mut StdRng) -> Sequential {
+        let mut g = Sequential::new();
+        let geom = TconvGeometry::for_upsampling(4, 3, 2).unwrap();
+        g.push(Box::new(DenseLayer::new(4, 8 * 16, rng)));
+        g.push(Box::new(Reshape::new(&[8 * 16], &[8, 4, 4])));
+        g.push(Box::new(LeakyRelu::new(0.2)));
+        g.push(Box::new(TconvTrainLayer::new(8, 1, geom, rng)));
+        g.push(Box::new(Tanh::new()));
+        g
+    }
+
+    fn tiny_discriminator(rng: &mut StdRng) -> Sequential {
+        let mut d = Sequential::new();
+        d.push(Box::new(ConvTrainLayer::new(1, 4, 3, 2, 1, rng).unwrap()));
+        d.push(Box::new(LeakyRelu::new(0.2)));
+        d.push(Box::new(DenseLayer::new(4 * 16, 1, rng)));
+        d
+    }
+
+    fn blob_sample(rng: &mut StdRng) -> Tensor {
+        // "Real data": 8x8 images whose pixels are all ~0.6.
+        let v = 0.6 + (rng.gen::<f32>() - 0.5) * 0.1;
+        Tensor::filled(&[1, 8, 8], v)
+    }
+
+    #[test]
+    fn gan_learns_constant_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = tiny_generator(&mut rng);
+        let d = tiny_discriminator(&mut rng);
+        let mut gan = Gan::new(g, d, 4, 0.05, 42);
+
+        let initial_mean = {
+            let s = gan.generate();
+            s.sum() / s.len() as f32
+        };
+        for _ in 0..300 {
+            let reals: Vec<Tensor> = (0..4).map(|_| blob_sample(&mut rng)).collect();
+            gan.train_step(&reals);
+        }
+        let trained_mean = {
+            let mut acc = 0.0;
+            for _ in 0..8 {
+                let s = gan.generate();
+                acc += s.sum() / s.len() as f32;
+            }
+            acc / 8.0
+        };
+        // The generator's mean pixel should move toward 0.6.
+        assert!(
+            (trained_mean - 0.6).abs() < (initial_mean - 0.6).abs(),
+            "generator mean moved {initial_mean:.3} -> {trained_mean:.3}, away from 0.6"
+        );
+        assert!(
+            (trained_mean - 0.6).abs() < 0.3,
+            "generator mean {trained_mean:.3} should approach 0.6"
+        );
+    }
+
+    #[test]
+    fn discriminator_separates_obvious_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = tiny_discriminator(&mut rng);
+        // Train D alone: positives are +0.8 images, negatives are -0.8.
+        for _ in 0..80 {
+            let pos = Tensor::filled(&[1, 8, 8], 0.8);
+            let logit = d.forward(&pos).data()[0];
+            d.backward(&Tensor::from_vec(&[1], vec![sigmoid(logit) - 1.0]));
+            let neg = Tensor::filled(&[1, 8, 8], -0.8);
+            let logit = d.forward(&neg).data()[0];
+            d.backward(&Tensor::from_vec(&[1], vec![sigmoid(logit)]));
+            d.apply_update(&UpdateRule::sgd(0.05), 1);
+        }
+        let pos_logit = d.forward(&Tensor::filled(&[1, 8, 8], 0.8)).data()[0];
+        let neg_logit = d.forward(&Tensor::filled(&[1, 8, 8], -0.8)).data()[0];
+        assert!(
+            pos_logit > neg_logit + 1.0,
+            "D failed to separate: {pos_logit} vs {neg_logit}"
+        );
+    }
+
+    #[test]
+    fn dense_layer_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = DenseLayer::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(&[3], vec![0.5, -0.3, 0.8]);
+        let dout = Tensor::from_vec(&[2], vec![1.0, -0.5]);
+        let _ = l.forward(&x);
+        let din = l.backward(&dout);
+        // din = W^T dout.
+        let w = l.weights.clone();
+        for i in 0..3 {
+            let expect = w[&[0, i]] * 1.0 + w[&[1, i]] * (-0.5);
+            assert!((din.data()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tconv_layer_round_trip_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let geom = TconvGeometry::for_upsampling(4, 3, 2).unwrap();
+        let mut l = TconvTrainLayer::new(2, 3, geom, &mut rng);
+        let x = Tensor::ones(&[2, 4, 4]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[3, 8, 8]);
+        let din = l.backward(&Tensor::ones(&[3, 8, 8]));
+        assert_eq!(din.shape(), &[2, 4, 4]);
+    }
+
+    #[test]
+    fn build_trainable_with_batchnorm_runs() {
+        let spec = parse_network("tiny", "16f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = build_trainable_with(&spec, true, true, &mut rng);
+        let out = net.forward(&Tensor::ones(&[16]));
+        assert_eq!(out.shape(), &[1, 16, 16]);
+        let din = net.backward(&Tensor::ones(&[1, 16, 16]));
+        assert_eq!(din.len(), 16);
+        net.apply_update(&UpdateRule::sgd(0.01), 1);
+    }
+
+    #[test]
+    fn build_trainable_from_tiny_spec() {
+        // A miniature DCGAN-shaped generator spec.
+        let spec = parse_network("tiny", "16f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = build_trainable(&spec, true, &mut rng);
+        let noise = Tensor::ones(&[16]);
+        let out = net.forward(&noise);
+        assert_eq!(out.shape(), &[1, 16, 16]);
+        // tanh bounds the output.
+        assert!(out.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn batchnorm_normalizes_and_round_trips_gradients() {
+        let mut bn = BatchNorm::new(2);
+        let input = Tensor::from_fn(&[2, 4, 4], |i| {
+            (i[0] as f32 + 1.0) * (i[1] * 4 + i[2]) as f32 * 0.25 + 3.0
+        });
+        let out = bn.forward(&input);
+        // Each channel of the output is ~zero-mean, ~unit-variance
+        // (gamma=1, beta=0 initially).
+        for ci in 0..2 {
+            let mut mean = 0.0;
+            let mut var = 0.0;
+            for y in 0..4 {
+                for x in 0..4 {
+                    mean += out[&[ci, y, x]];
+                }
+            }
+            mean /= 16.0;
+            for y in 0..4 {
+                for x in 0..4 {
+                    let d = out[&[ci, y, x]] - mean;
+                    var += d * d;
+                }
+            }
+            var /= 16.0;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+        // Gradient of a constant loss w.r.t. input sums to ~zero per
+        // channel (normalisation removes the mean direction).
+        let din = bn.backward(&Tensor::ones(&[2, 4, 4]));
+        for ci in 0..2 {
+            let mut s = 0.0;
+            for y in 0..4 {
+                for x in 0..4 {
+                    s += din[&[ci, y, x]];
+                }
+            }
+            assert!(s.abs() < 1e-3, "channel {ci} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_check() {
+        let mut bn = BatchNorm::new(1);
+        let input = Tensor::from_fn(&[1, 3, 3], |i| ((i[1] * 3 + i[2]) as f32).sin());
+        let dout = Tensor::from_fn(&[1, 3, 3], |i| ((i[1] + i[2]) as f32).cos() * 0.5);
+        let _ = bn.forward(&input);
+        let din = bn.backward(&dout);
+        // Finite differences through the full normalise-and-scale path.
+        let loss = |inp: &Tensor| -> f32 {
+            let mut probe = BatchNorm::new(1);
+            probe.forward(inp).zip_with(&dout, |a, b| a * b).sum()
+        };
+        let eps = 1e-3;
+        for probe_idx in [[0usize, 0, 0], [0, 1, 2], [0, 2, 1]] {
+            let mut plus = input.clone();
+            plus[&probe_idx[..]] += eps;
+            let mut minus = input.clone();
+            minus[&probe_idx[..]] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (din[&probe_idx] - fd).abs() < 1e-2,
+                "analytic {} vs fd {fd} at {probe_idx:?}",
+                din[&probe_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_learns_affine_parameters() {
+        let mut bn = BatchNorm::new(1);
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as f32 * 0.1);
+        // Push outputs toward a constant 2.0: beta must rise.
+        for step in 1..=50u64 {
+            let out = bn.forward(&input);
+            let grad = out.map(|y| 2.0 * (y - 2.0) / 16.0);
+            let _ = bn.backward(&grad);
+            bn.apply_update(&UpdateRule::sgd(0.2), step);
+        }
+        let beta = bn.beta.data()[0];
+        assert!(beta > 1.0, "beta should approach 2.0, got {beta}");
+        assert!(bn.running_mean()[0] != 0.0);
+    }
+
+    #[test]
+    fn optimizers_all_reduce_a_simple_loss() {
+        // Fit y = W x to a fixed target with each rule; all must reduce
+        // the squared error, and the adaptive rules at least as fast as
+        // plain SGD on this conditioning.
+        for rule in [
+            UpdateRule::sgd(0.05),
+            UpdateRule::Momentum { lr: 0.05, beta: 0.9 },
+            UpdateRule::dcgan_adam(0.05),
+        ] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut layer = DenseLayer::new(4, 1, &mut rng);
+            let x = Tensor::from_vec(&[4], vec![0.5, -0.2, 0.8, 0.1]);
+            let target = 1.5f32;
+            let mut first_loss = None;
+            let mut last_loss = 0.0;
+            for step in 1..=60u64 {
+                let y = layer.forward(&x).data()[0];
+                let err = y - target;
+                last_loss = err * err;
+                first_loss.get_or_insert(last_loss);
+                layer.backward(&Tensor::from_vec(&[1], vec![2.0 * err]));
+                layer.apply_update(&rule, step);
+            }
+            assert!(
+                last_loss < first_loss.unwrap() * 0.05,
+                "{rule:?}: loss {} -> {last_loss}",
+                first_loss.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut layer = DenseLayer::new(2, 1, &mut rng);
+        let rule = UpdateRule::Momentum { lr: 0.1, beta: 0.9 };
+        let x = Tensor::from_vec(&[2], vec![1.0, 1.0]);
+        // Constant gradient direction: updates should grow while velocity
+        // accumulates (second step moves farther than the first).
+        let w0 = layer.weights.clone();
+        let _ = layer.forward(&x);
+        layer.backward(&Tensor::from_vec(&[1], vec![1.0]));
+        layer.apply_update(&rule, 1);
+        let w1 = layer.weights.clone();
+        let _ = layer.forward(&x);
+        layer.backward(&Tensor::from_vec(&[1], vec![1.0]));
+        layer.apply_update(&rule, 2);
+        let w2 = layer.weights.clone();
+        let d1 = (w1.data()[0] - w0.data()[0]).abs();
+        let d2 = (w2.data()[0] - w1.data()[0]).abs();
+        assert!(d2 > d1 * 1.5, "momentum should accelerate: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn gan_trains_with_adam() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = tiny_generator(&mut rng);
+        let d = tiny_discriminator(&mut rng);
+        let mut gan =
+            Gan::new(g, d, 4, 0.0, 43).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut rng)).collect();
+            last = gan.train_step(&reals).d_loss;
+        }
+        assert!(last.is_finite() && last > 0.0);
+    }
+
+    #[test]
+    fn sequential_backward_matches_layer_order() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = Sequential::new();
+        net.push(Box::new(DenseLayer::new(4, 4, &mut rng)));
+        net.push(Box::new(LeakyRelu::new(0.2)));
+        net.push(Box::new(DenseLayer::new(4, 1, &mut rng)));
+        assert_eq!(net.len(), 3);
+        let x = Tensor::from_vec(&[4], vec![0.1, 0.2, 0.3, 0.4]);
+        let y = net.forward(&x);
+        assert_eq!(y.len(), 1);
+        let din = net.backward(&Tensor::from_vec(&[1], vec![1.0]));
+        assert_eq!(din.len(), 4);
+    }
+}

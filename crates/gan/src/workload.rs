@@ -1,0 +1,408 @@
+//! Per-(phase, layer) convolution workloads.
+//!
+//! Each training phase performs one convolution-shaped operation per layer
+//! (Fig. 3, Eq. 3–4). What matters to the accelerator is *where the zeros
+//! are*:
+//!
+//! | phase | S-CONV layer | T-CONV layer | FC layer |
+//! |---|---|---|---|
+//! | forward | dense | zeros in input (T-CONV) | dense |
+//! | error transfer | zeros in input (T-CONV-shaped, Eq. 3) | dense (S-CONV-shaped) | dense |
+//! | ∇weight | zeros in kernel (W-CONV-S, Fig. 6) | zeros in input | dense |
+//!
+//! This matches Sec. V "Interface": a T-CONV generator with an S-CONV
+//! discriminator needs `ZFDR_T` for G→, G-w and D←, and `ZFDR_WS` for D-w;
+//! G← and D→ stay dense. A DiscoGAN-style generator containing both kinds
+//! needs ZFDR in five phases.
+
+use crate::layer::Layer;
+use crate::phase::Phase;
+use crate::topology::NetworkSpec;
+use lergan_tensor::{TconvGeometry, WconvGeometry};
+
+/// Where the zeros are in one convolution workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// No inserted zeros; a plain dense MMV workload.
+    Dense,
+    /// Zeros inserted in the *input* plane; removable by T-CONV ZFDR.
+    TconvInput(TconvGeometry),
+    /// Zeros inserted in the *kernel* (`∇output`); removable by W-CONV-S
+    /// ZFDR.
+    WconvKernel(WconvGeometry),
+}
+
+impl WorkloadKind {
+    /// Whether this workload inserts zeros into its input plane.
+    pub fn is_zero_inserted_input(&self) -> bool {
+        matches!(self, WorkloadKind::TconvInput(_))
+    }
+
+    /// Whether this workload inserts zeros into its kernel.
+    pub fn is_zero_inserted_kernel(&self) -> bool {
+        matches!(self, WorkloadKind::WconvKernel(_))
+    }
+}
+
+/// One convolution-shaped operation executed by a phase on a layer.
+///
+/// All counts are **per sample**; the simulator multiplies by the batch
+/// size. "Dense" quantities include all the zero-touching work of the
+/// naive formulation; "useful" quantities count only arithmetic and traffic
+/// on true values — the work that survives ZFDR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvWorkload {
+    /// The phase this workload belongs to.
+    pub phase: Phase,
+    /// Index of the layer inside its network.
+    pub layer_index: usize,
+    /// Zero structure.
+    pub kind: WorkloadKind,
+    /// Channels of the moving operand fed in.
+    pub in_channels: usize,
+    /// Channels of the produced result.
+    pub out_channels: usize,
+    /// Multiply-accumulates of the naive formulation.
+    pub macs_dense: u128,
+    /// Multiply-accumulates touching useful values only.
+    pub macs_useful: u128,
+    /// Values moved per sample (activations/gradients), zeros included.
+    pub moved_values_dense: u128,
+    /// Values moved per sample, zeros removed.
+    pub moved_values_useful: u128,
+    /// Stationary weight-like operand values held in CArrays.
+    pub weight_values: u128,
+    /// Result values produced per sample.
+    pub output_values: u128,
+    /// Spatial dimensionality inherited from the network.
+    pub dims: u32,
+}
+
+impl ConvWorkload {
+    /// Fraction of naive multiplications that touch only zeros.
+    pub fn zero_mac_fraction(&self) -> f64 {
+        if self.macs_dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.macs_useful as f64 / self.macs_dense as f64
+    }
+
+    /// Ratio of dense to useful moved values (the SArray space/traffic
+    /// saving ZFDR realises on this workload).
+    pub fn moved_saving(&self) -> f64 {
+        if self.moved_values_useful == 0 {
+            return 1.0;
+        }
+        self.moved_values_dense as f64 / self.moved_values_useful as f64
+    }
+}
+
+fn powd(v: usize, dims: u32) -> u128 {
+    (v as u128).pow(dims)
+}
+
+/// Builds the workload list for `phase` over `net`.
+///
+/// Backward phases list layers in reverse (dataflow) order.
+pub fn phase_workloads(net: &NetworkSpec, phase: Phase) -> Vec<ConvWorkload> {
+    let d = net.dims;
+    let mut out = Vec::with_capacity(net.layers.len());
+    let indices: Vec<usize> = if phase.is_forward() {
+        (0..net.layers.len()).collect()
+    } else {
+        (0..net.layers.len()).rev().collect()
+    };
+    for idx in indices {
+        let layer = &net.layers[idx];
+        let w = match (phase.is_forward(), phase.is_weight_grad(), layer) {
+            // ---- forward ----
+            (true, _, Layer::Fc(f)) => dense(
+                phase,
+                idx,
+                d,
+                f.in_units,
+                f.out_units,
+                f.in_units as u128 * f.out_units as u128,
+                f.in_units as u128,
+                f.in_units as u128 * f.out_units as u128,
+                f.out_units as u128,
+            ),
+            (true, _, Layer::Conv(c)) => {
+                let g = &c.geometry;
+                dense(
+                    phase,
+                    idx,
+                    d,
+                    c.in_channels,
+                    c.out_channels,
+                    c.in_channels as u128
+                        * c.out_channels as u128
+                        * powd(g.output, d)
+                        * powd(g.kernel, d),
+                    c.in_channels as u128 * powd(g.input, d),
+                    c.in_channels as u128 * c.out_channels as u128 * powd(g.kernel, d),
+                    c.out_channels as u128 * powd(g.output, d),
+                )
+            }
+            (true, _, Layer::Tconv(t)) => {
+                let g = t.geometry;
+                let pair = t.in_channels as u128 * t.out_channels as u128;
+                ConvWorkload {
+                    phase,
+                    layer_index: idx,
+                    kind: WorkloadKind::TconvInput(g),
+                    in_channels: t.in_channels,
+                    out_channels: t.out_channels,
+                    macs_dense: pair * powd(g.output, d) * powd(g.kernel, d),
+                    macs_useful: pair * (g.useful_row_weight_sum() as u128).pow(d),
+                    moved_values_dense: t.in_channels as u128 * powd(g.expanded(), d),
+                    moved_values_useful: t.in_channels as u128 * powd(g.input, d),
+                    weight_values: pair * powd(g.kernel, d),
+                    output_values: t.out_channels as u128 * powd(g.output, d),
+                    dims: d,
+                }
+            }
+            // ---- weight gradient ----
+            (false, true, Layer::Fc(f)) => dense(
+                phase,
+                idx,
+                d,
+                f.out_units,
+                f.in_units,
+                f.in_units as u128 * f.out_units as u128,
+                f.in_units as u128 + f.out_units as u128,
+                0,
+                f.in_units as u128 * f.out_units as u128,
+            ),
+            (false, true, Layer::Conv(c)) => {
+                // W-CONV-S: zero-inserted ∇output slides over the padded
+                // input (Fig. 6).
+                let g = WconvGeometry {
+                    forward: c.geometry,
+                };
+                let pair = c.in_channels as u128 * c.out_channels as u128;
+                let f = &g.forward;
+                ConvWorkload {
+                    phase,
+                    layer_index: idx,
+                    kind: WorkloadKind::WconvKernel(g),
+                    in_channels: c.out_channels, // the moving ∇output
+                    out_channels: c.in_channels,
+                    macs_dense: pair * g.total_multiplications_per_pair() as u128,
+                    macs_useful: pair * g.useful_multiplications_per_pair() as u128,
+                    moved_values_dense: c.in_channels as u128
+                        * powd(g.padded_input_extent(), d)
+                        + c.out_channels as u128 * powd(g.inserted_kernel_extent(), d),
+                    moved_values_useful: c.in_channels as u128 * powd(f.input, d)
+                        + c.out_channels as u128 * powd(f.output, d),
+                    weight_values: 0,
+                    output_values: pair * powd(f.kernel, d),
+                    dims: d,
+                }
+            }
+            (false, true, Layer::Tconv(t)) => {
+                // ∇W of a T-CONV: ∇z (dense) scans the zero-inserted input
+                // a^{l-1}; same zero structure as the forward T-CONV.
+                let g = t.geometry;
+                let pair = t.in_channels as u128 * t.out_channels as u128;
+                ConvWorkload {
+                    phase,
+                    layer_index: idx,
+                    kind: WorkloadKind::TconvInput(g),
+                    in_channels: t.in_channels,
+                    out_channels: t.out_channels,
+                    macs_dense: pair * powd(g.kernel, d) * powd(g.output, d),
+                    macs_useful: pair * (g.useful_row_weight_sum() as u128).pow(d),
+                    moved_values_dense: t.in_channels as u128 * powd(g.expanded(), d)
+                        + t.out_channels as u128 * powd(g.output, d),
+                    moved_values_useful: t.in_channels as u128 * powd(g.input, d)
+                        + t.out_channels as u128 * powd(g.output, d),
+                    weight_values: t.out_channels as u128 * powd(g.output, d),
+                    output_values: pair * powd(g.kernel, d),
+                    dims: d,
+                }
+            }
+            // ---- error transfer ----
+            (false, false, Layer::Fc(f)) => dense(
+                phase,
+                idx,
+                d,
+                f.out_units,
+                f.in_units,
+                f.in_units as u128 * f.out_units as u128,
+                f.out_units as u128,
+                f.in_units as u128 * f.out_units as u128,
+                f.in_units as u128,
+            ),
+            (false, false, Layer::Conv(c)) => {
+                // Error through an S-CONV is T-CONV-shaped (Eq. 3): the
+                // converse geometry always exists because Eq. 5 and Eq. 8
+                // are the same relation read in opposite directions.
+                let g = c.geometry;
+                let tg = TconvGeometry::new(g.output, g.input, g.kernel, g.stride, g.pad)
+                    .expect("converse T-CONV geometry must exist (Eq. 5 <=> Eq. 8)");
+                let pair = c.in_channels as u128 * c.out_channels as u128;
+                ConvWorkload {
+                    phase,
+                    layer_index: idx,
+                    kind: WorkloadKind::TconvInput(tg),
+                    in_channels: c.out_channels,
+                    out_channels: c.in_channels,
+                    macs_dense: pair * powd(tg.output, d) * powd(tg.kernel, d),
+                    macs_useful: pair * (tg.useful_row_weight_sum() as u128).pow(d),
+                    moved_values_dense: c.out_channels as u128 * powd(tg.expanded(), d),
+                    moved_values_useful: c.out_channels as u128 * powd(tg.input, d),
+                    weight_values: pair * powd(g.kernel, d),
+                    output_values: c.in_channels as u128 * powd(g.input, d),
+                    dims: d,
+                }
+            }
+            (false, false, Layer::Tconv(t)) => {
+                // Error through a T-CONV is a plain dense S-CONV.
+                let g = t.geometry;
+                let pair = t.in_channels as u128 * t.out_channels as u128;
+                dense(
+                    phase,
+                    idx,
+                    d,
+                    t.out_channels,
+                    t.in_channels,
+                    pair * powd(g.input, d) * powd(g.kernel, d),
+                    t.out_channels as u128 * powd(g.output, d),
+                    pair * powd(g.kernel, d),
+                    t.in_channels as u128 * powd(g.input, d),
+                )
+            }
+        };
+        out.push(w);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dense(
+    phase: Phase,
+    layer_index: usize,
+    dims: u32,
+    in_channels: usize,
+    out_channels: usize,
+    macs: u128,
+    moved: u128,
+    weights: u128,
+    outputs: u128,
+) -> ConvWorkload {
+    ConvWorkload {
+        phase,
+        layer_index,
+        kind: WorkloadKind::Dense,
+        in_channels,
+        out_channels,
+        macs_dense: macs,
+        macs_useful: macs,
+        moved_values_dense: moved,
+        moved_values_useful: moved,
+        weight_values: weights,
+        output_values: outputs,
+        dims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::parse_network;
+
+    fn dcgan_gen() -> NetworkSpec {
+        parse_network("g", "100f-(1024t-512t-256t-128t)(5k2s)-t3", 2, 64).unwrap()
+    }
+
+    fn dcgan_disc() -> NetworkSpec {
+        parse_network("d", "(3c-128c-256c-512c-1024c)(5k2s)-f1", 2, 64).unwrap()
+    }
+
+    #[test]
+    fn gforward_tconvs_are_zero_inserted() {
+        let ws = phase_workloads(&dcgan_gen(), Phase::GForward);
+        assert_eq!(ws.len(), 5);
+        assert!(matches!(ws[0].kind, WorkloadKind::Dense)); // the FC
+        for w in &ws[1..] {
+            assert!(w.kind.is_zero_inserted_input());
+            assert!(w.macs_useful < w.macs_dense);
+        }
+    }
+
+    #[test]
+    fn dcgan_gforward_space_saving_is_5_2x() {
+        // Fig. 16: "ZFDR saves up to 5.2x SArray space for storing inputs
+        // (in the case of DCGAN)".
+        let ws = phase_workloads(&dcgan_gen(), Phase::GForward);
+        let dense: u128 = ws.iter().map(|w| w.moved_values_dense).sum();
+        let useful: u128 = ws.iter().map(|w| w.moved_values_useful).sum();
+        let saving = dense as f64 / useful as f64;
+        assert!(
+            (saving - 5.2).abs() < 0.15,
+            "DCGAN G-forward input saving {saving:.2} (paper: 5.2x)"
+        );
+    }
+
+    #[test]
+    fn dforward_is_dense() {
+        let ws = phase_workloads(&dcgan_disc(), Phase::DForward);
+        assert!(ws.iter().all(|w| matches!(w.kind, WorkloadKind::Dense)));
+    }
+
+    #[test]
+    fn dbackward_is_tconv_shaped() {
+        let ws = phase_workloads(&dcgan_disc(), Phase::DBackward);
+        // Reverse order: FC first, then the five convs.
+        assert!(matches!(ws[0].kind, WorkloadKind::Dense));
+        let zero_ins = ws.iter().filter(|w| w.kind.is_zero_inserted_input()).count();
+        assert_eq!(zero_ins, 5);
+    }
+
+    #[test]
+    fn dweightgrad_is_wconv() {
+        let ws = phase_workloads(&dcgan_disc(), Phase::DWeightGrad);
+        let wconvs = ws.iter().filter(|w| w.kind.is_zero_inserted_kernel()).count();
+        assert_eq!(wconvs, 5);
+    }
+
+    #[test]
+    fn gbackward_is_dense_for_pure_tconv_generator() {
+        let ws = phase_workloads(&dcgan_gen(), Phase::GBackward);
+        assert!(ws.iter().all(|w| matches!(w.kind, WorkloadKind::Dense)));
+    }
+
+    #[test]
+    fn gweightgrad_is_zero_inserted_input() {
+        let ws = phase_workloads(&dcgan_gen(), Phase::GWeightGrad);
+        let zi = ws.iter().filter(|w| w.kind.is_zero_inserted_input()).count();
+        assert_eq!(zi, 4);
+    }
+
+    #[test]
+    fn backward_orders_layers_in_reverse() {
+        let ws = phase_workloads(&dcgan_gen(), Phase::GBackward);
+        let idx: Vec<usize> = ws.iter().map(|w| w.layer_index).collect();
+        assert_eq!(idx, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn zero_fraction_of_conv1_matches_paper() {
+        let ws = phase_workloads(&dcgan_gen(), Phase::GForward);
+        // Layer index 1 is CONV1 (after the FC).
+        let conv1 = ws.iter().find(|w| w.layer_index == 1).unwrap();
+        assert!((conv1.zero_mac_fraction() - (1.0 - 0.1806)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn moved_saving_at_least_one() {
+        for net in [dcgan_gen(), dcgan_disc()] {
+            for phase in Phase::ALL {
+                for w in phase_workloads(&net, phase) {
+                    assert!(w.moved_saving() >= 1.0, "{phase} layer {}", w.layer_index);
+                }
+            }
+        }
+    }
+}

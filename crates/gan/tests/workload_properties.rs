@@ -1,0 +1,130 @@
+//! Property tests for topology parsing and workload characterisation.
+
+use lergan_gan::topology::parse_network;
+use lergan_gan::workload::{phase_workloads, WorkloadKind};
+use lergan_gan::{benchmarks, Layer, Phase};
+use proptest::prelude::*;
+
+/// Random DCGAN-style generator notations: `Nf-(C1t-C2t-…)(WkSs)-tK`.
+fn generator_notation() -> impl Strategy<Value = (String, usize)> {
+    (
+        2usize..5,          // T-CONV layer count
+        1usize..4,          // channel scale
+        prop_oneof![Just(4usize), Just(5)],
+        Just(2usize),       // stride
+        prop_oneof![Just(1usize), Just(3)],
+    )
+        .prop_map(|(layers, scale, kernel, stride, out_ch)| {
+            let chans: Vec<String> = (0..layers)
+                .map(|i| format!("{}t", scale * 32 << (layers - 1 - i)))
+                .collect();
+            let item = 8 << layers; // start extent 8, doubled per layer
+            (
+                format!("100f-({})({kernel}k{stride}s)-t{out_ch}", chans.join("-")),
+                item,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_generators_parse_consistently((notation, item) in generator_notation()) {
+        let net = parse_network("prop", &notation, 2, item).unwrap();
+        // FC first, then T-CONVs chained by channels and doubling spatial.
+        prop_assert!(matches!(net.layers[0], Layer::Fc(_)));
+        let mut prev_out_ch = None;
+        let mut prev_out_sp = None;
+        for layer in &net.layers[1..] {
+            let Layer::Tconv(t) = layer else {
+                return Err(TestCaseError::fail("expected T-CONV"));
+            };
+            if let Some(c) = prev_out_ch {
+                prop_assert_eq!(t.in_channels, c);
+            }
+            if let Some(s) = prev_out_sp {
+                prop_assert_eq!(t.geometry.input, s);
+            }
+            prop_assert_eq!(t.geometry.output, t.geometry.input * 2);
+            prev_out_ch = Some(t.out_channels);
+            prev_out_sp = Some(t.geometry.output);
+        }
+        prop_assert_eq!(prev_out_sp.unwrap(), item);
+    }
+
+    #[test]
+    fn useful_never_exceeds_dense((notation, item) in generator_notation()) {
+        let net = parse_network("prop", &notation, 2, item).unwrap();
+        for phase in Phase::ALL {
+            for w in phase_workloads(&net, phase) {
+                prop_assert!(w.macs_useful <= w.macs_dense);
+                prop_assert!(w.moved_values_useful <= w.moved_values_dense);
+                prop_assert!(w.moved_saving() >= 1.0);
+                prop_assert!(w.output_values > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_workloads_have_equal_counts((notation, item) in generator_notation()) {
+        let net = parse_network("prop", &notation, 2, item).unwrap();
+        for phase in Phase::ALL {
+            for w in phase_workloads(&net, phase) {
+                if matches!(w.kind, WorkloadKind::Dense) {
+                    prop_assert_eq!(w.macs_useful, w.macs_dense);
+                    prop_assert_eq!(w.moved_values_useful, w.moved_values_dense);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_count_matches_layer_count((notation, item) in generator_notation()) {
+        let net = parse_network("prop", &notation, 2, item).unwrap();
+        for phase in Phase::ALL {
+            prop_assert_eq!(phase_workloads(&net, phase).len(), net.layers.len());
+        }
+    }
+}
+
+#[test]
+fn benchmark_backward_workloads_are_converse_shaped() {
+    // D← over an S-CONV layer must carry the converse T-CONV geometry:
+    // same kernel, swapped extents, identical remainder.
+    for gan in benchmarks::all() {
+        for w in gan.workloads(Phase::DBackward) {
+            let WorkloadKind::TconvInput(tg) = w.kind else {
+                continue;
+            };
+            let Layer::Conv(c) = gan.discriminator.layers[w.layer_index] else {
+                panic!("T-CONV-shaped backward workload on a non-conv layer");
+            };
+            assert_eq!(tg.kernel, c.geometry.kernel);
+            assert_eq!(tg.input, c.geometry.output);
+            assert_eq!(tg.output, c.geometry.input);
+            assert_eq!(tg.remainder, c.geometry.remainder, "{}", gan.name);
+        }
+    }
+}
+
+#[test]
+fn forward_and_weight_grad_share_zero_structure() {
+    // A T-CONV layer's forward and ∇weight workloads gather the same
+    // useful row-weight sum (the same expanded-input zero pattern).
+    let gan = benchmarks::dcgan();
+    let fwd = gan.workloads(Phase::GForward);
+    let wgrad = gan.workloads(Phase::GWeightGrad);
+    for f in fwd.iter().filter(|w| w.kind.is_zero_inserted_input()) {
+        let g = wgrad
+            .iter()
+            .find(|w| w.layer_index == f.layer_index)
+            .unwrap();
+        let (WorkloadKind::TconvInput(a), WorkloadKind::TconvInput(b)) = (&f.kind, &g.kind)
+        else {
+            panic!("expected matching T-CONV workloads");
+        };
+        assert_eq!(a, b);
+        assert_eq!(f.macs_useful, g.macs_useful);
+    }
+}

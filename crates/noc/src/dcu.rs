@@ -1,0 +1,633 @@
+//! The 3D data-wire connection unit (3DCU) and 3DCU pairs (Fig. 12–13).
+//!
+//! A 3DCU stacks three banks. On top of each bank's H-tree it adds:
+//!
+//! * **horizontal wires** between adjacent same-level routing nodes whose
+//!   parents differ (the MAERI-style shortcut of Fig. 12b);
+//! * **vertical wires** between corresponding routing nodes of adjacent
+//!   banks, as wide as the wire to their parent node.
+//!
+//! Switches gate the added wires: outer-bank nodes carry one switch
+//! (connect parent *or* horizontal *or* vertical), middle-bank nodes carry
+//! two (may face up and down simultaneously). In *Smode* the added wires
+//! are parked and the banks behave as plain H-tree memory reachable over
+//! the shared bus; in *Cmode* routing may use every wire.
+//!
+//! A [`DcuPair`] joins two 3DCUs with direct bypass links between their
+//! top banks (B1↔B4) and bottom banks (B3↔B6), letting generator outputs
+//! reach the discriminator without touching the bus or CPU (Fig. 13).
+
+use crate::config::NocConfig;
+use crate::htree::HTree;
+
+/// Interconnect operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Static H-tree connections; added wires parked (normal memory).
+    Smode,
+    /// Dynamically reconfigured connections for a dataflow.
+    Cmode,
+}
+
+/// Classification of a routing edge (used for statistics and switch
+/// accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Original H-tree parent-child wire.
+    Tree,
+    /// Added same-level horizontal wire.
+    Horizontal,
+    /// Added inter-bank vertical wire.
+    Vertical,
+    /// Direct bypass link between paired 3DCUs.
+    Bypass,
+    /// Shared bus through the memory controller.
+    Bus,
+}
+
+/// A location in the fabric: a routing node or tile leaf of some bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// 3DCU side: 0 = generator-side unit, 1 = discriminator-side unit.
+    /// Always 0 inside a single [`ThreeDcu`].
+    pub side: usize,
+    /// Bank within the 3DCU (0 = top, 1 = middle, 2 = bottom).
+    pub bank: usize,
+    /// Heap node id (leaves are `tiles .. 2*tiles`).
+    pub node: usize,
+}
+
+impl Endpoint {
+    /// Endpoint at a tile leaf of side 0.
+    pub fn tile(bank: usize, tile: usize) -> Self {
+        Endpoint {
+            side: 0,
+            bank,
+            node: 16 + tile,
+        }
+    }
+
+    /// Endpoint at a tile leaf of an explicit side (for [`DcuPair`]).
+    pub fn pair_tile(side: usize, bank: usize, tile: usize) -> Self {
+        Endpoint {
+            side,
+            bank,
+            node: 16 + tile,
+        }
+    }
+}
+
+/// A routed path with its aggregate cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Edge kinds traversed, in order.
+    pub edges: Vec<EdgeKind>,
+    /// Base path latency (head flit), ns.
+    pub latency_ns: f64,
+    /// Energy per 64-byte access across the whole path, pJ.
+    pub energy_pj_per_access: f64,
+    /// Narrowest wire on the path, bits.
+    pub min_width_bits: u32,
+    /// Endpoint nodes whose switches the added edges occupy, as
+    /// `(side, bank, node)` triples.
+    pub switch_nodes: Vec<(usize, usize, usize)>,
+}
+
+impl Route {
+    /// A zero-cost route (source equals destination).
+    pub fn nil() -> Self {
+        Route {
+            edges: Vec::new(),
+            latency_ns: 0.0,
+            energy_pj_per_access: 0.0,
+            min_width_bits: u32::MAX,
+            switch_nodes: Vec::new(),
+        }
+    }
+
+    /// Hop count.
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the route leaves the fabric through the shared bus.
+    pub fn uses_bus(&self) -> bool {
+        self.edges.contains(&EdgeKind::Bus)
+    }
+
+    /// Latency and energy to move `values` 16-bit values along this route.
+    ///
+    /// H-tree routers are store-and-forward (they are memory routing
+    /// nodes, not a pipelined NoC), so the serialisation cost of the
+    /// message is paid at *every* hop on the narrowest wire of the path —
+    /// exactly why Fig. 9's long routings hurt and the 3DCU's one-hop
+    /// vertical/horizontal wires help.
+    pub fn transfer(&self, values: u64, cfg: &NocConfig) -> (f64, f64) {
+        if self.edges.is_empty() || values == 0 {
+            return (0.0, 0.0);
+        }
+        let bits = values * 16;
+        let width = u64::from(self.min_width_bits.min(cfg.root_width_bits));
+        let flits = bits.div_ceil(width).max(1);
+        let serialization = (flits - 1) as f64 * cfg.wire_cycle_ns * self.edges.len() as f64;
+        let latency = self.latency_ns + serialization;
+        let accesses = values.div_ceil(u64::from(cfg.values_per_access)).max(1);
+        let energy = accesses as f64 * self.energy_pj_per_access;
+        (latency, energy)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    kind: EdgeKind,
+    latency_ns: f64,
+    energy_pj: f64,
+    width_bits: u32,
+}
+
+/// The routing fabric shared by [`ThreeDcu`] (one side) and [`DcuPair`]
+/// (two sides plus bypass links).
+#[derive(Debug, Clone)]
+struct Fabric {
+    cfg: NocConfig,
+    tree: HTree,
+    sides: usize,
+    /// Adjacency for Cmode (includes all wires) and Smode (tree + bus).
+    cmode: Vec<Vec<Edge>>,
+    smode: Vec<Vec<Edge>>,
+}
+
+const BANKS: usize = 3;
+
+impl Fabric {
+    fn nodes_per_bank(&self) -> usize {
+        2 * self.cfg.tiles_per_bank
+    }
+
+    /// Vertex id of an endpoint. The extra final vertex is the shared bus.
+    fn vertex(&self, e: Endpoint) -> usize {
+        debug_assert!(e.side < self.sides, "side out of range");
+        debug_assert!(e.bank < BANKS, "bank out of range");
+        debug_assert!(e.node >= 1 && e.node < self.nodes_per_bank());
+        (e.side * BANKS + e.bank) * self.nodes_per_bank() + e.node
+    }
+
+    fn endpoint_of(&self, v: usize) -> Option<Endpoint> {
+        let npb = self.nodes_per_bank();
+        if v >= self.sides * BANKS * npb {
+            return None; // the bus vertex
+        }
+        let node = v % npb;
+        let sb = v / npb;
+        Some(Endpoint {
+            side: sb / BANKS,
+            bank: sb % BANKS,
+            node,
+        })
+    }
+
+    fn bus_vertex(&self) -> usize {
+        self.sides * BANKS * self.nodes_per_bank()
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.bus_vertex() + 1
+    }
+
+    fn new(cfg: &NocConfig, sides: usize) -> Fabric {
+        let tree = HTree::new(cfg);
+        let mut fabric = Fabric {
+            cfg: cfg.clone(),
+            tree,
+            sides,
+            cmode: Vec::new(),
+            smode: Vec::new(),
+        };
+        let n = fabric.vertex_count();
+        let mut cmode = vec![Vec::new(); n];
+        let mut smode = vec![Vec::new(); n];
+        let cfg = &fabric.cfg;
+        let tree = &fabric.tree;
+        let tiles = cfg.tiles_per_bank;
+
+        let push_both =
+            |adj: &mut [Vec<Edge>], a: usize, b: usize, kind, lat: f64, en: f64, width| {
+                adj[a].push(Edge {
+                    to: b,
+                    kind,
+                    latency_ns: lat,
+                    energy_pj: en,
+                    width_bits: width,
+                });
+                adj[b].push(Edge {
+                    to: a,
+                    kind,
+                    latency_ns: lat,
+                    energy_pj: en,
+                    width_bits: width,
+                });
+            };
+
+        for side in 0..sides {
+            for bank in 0..BANKS {
+                // Tree edges.
+                for node in 2..2 * tiles {
+                    let parent = node / 2;
+                    let level = tree.level(node);
+                    let a = fabric.vertex(Endpoint { side, bank, node });
+                    let b = fabric.vertex(Endpoint {
+                        side,
+                        bank,
+                        node: parent,
+                    });
+                    let width = cfg.width_bits_at(level - 1);
+                    push_both(
+                        &mut cmode,
+                        a,
+                        b,
+                        EdgeKind::Tree,
+                        cfg.hop_latency_ns,
+                        cfg.hop_energy_pj,
+                        width,
+                    );
+                    push_both(
+                        &mut smode,
+                        a,
+                        b,
+                        EdgeKind::Tree,
+                        cfg.hop_latency_ns,
+                        cfg.hop_energy_pj,
+                        width,
+                    );
+                }
+                // Horizontal wires between internal same-level nodes with
+                // different parents (Cmode only).
+                for node in 2..tiles {
+                    let next = node + 1;
+                    if next < tiles && tree.horizontal_pair(node, next) {
+                        let level = tree.level(node);
+                        let a = fabric.vertex(Endpoint { side, bank, node });
+                        let b = fabric.vertex(Endpoint {
+                            side,
+                            bank,
+                            node: next,
+                        });
+                        push_both(
+                            &mut cmode,
+                            a,
+                            b,
+                            EdgeKind::Horizontal,
+                            cfg.hop_latency_ns * cfg.horizontal_latency_factor,
+                            cfg.hop_energy_pj * cfg.horizontal_energy_factor,
+                            cfg.width_bits_at(level.saturating_sub(1)),
+                        );
+                    }
+                }
+            }
+            // Vertical wires between corresponding internal nodes of
+            // adjacent banks (Cmode only).
+            for bank in 0..BANKS - 1 {
+                for node in 1..tiles {
+                    let level = tree.level(node);
+                    let a = fabric.vertex(Endpoint { side, bank, node });
+                    let b = fabric.vertex(Endpoint {
+                        side,
+                        bank: bank + 1,
+                        node,
+                    });
+                    push_both(
+                        &mut cmode,
+                        a,
+                        b,
+                        EdgeKind::Vertical,
+                        cfg.hop_latency_ns * cfg.vertical_latency_factor,
+                        cfg.hop_energy_pj * cfg.vertical_energy_factor,
+                        cfg.width_bits_at(level.saturating_sub(1)),
+                    );
+                }
+            }
+            // Bus edges from every bank's root (both modes).
+            for bank in 0..BANKS {
+                let root = fabric.vertex(Endpoint {
+                    side,
+                    bank,
+                    node: 1,
+                });
+                let bus = fabric.bus_vertex();
+                for adj in [&mut cmode, &mut smode] {
+                    push_both(
+                        adj,
+                        root,
+                        bus,
+                        EdgeKind::Bus,
+                        cfg.bus_latency_ns / 2.0,
+                        cfg.bus_energy_pj / 2.0,
+                        cfg.root_width_bits,
+                    );
+                }
+            }
+        }
+        // Bypass links between paired 3DCUs: B1<->B4 (top banks) and
+        // B3<->B6 (bottom banks), joined at the roots (Cmode only).
+        if sides == 2 {
+            for bank in [0usize, 2] {
+                let a = fabric.vertex(Endpoint {
+                    side: 0,
+                    bank,
+                    node: 1,
+                });
+                let b = fabric.vertex(Endpoint {
+                    side: 1,
+                    bank,
+                    node: 1,
+                });
+                push_both(
+                    &mut cmode,
+                    a,
+                    b,
+                    EdgeKind::Bypass,
+                    cfg.bypass_latency_ns,
+                    cfg.bypass_energy_pj,
+                    cfg.root_width_bits,
+                );
+            }
+        }
+        fabric.cmode = cmode;
+        fabric.smode = smode;
+        fabric
+    }
+
+    /// Dijkstra by latency. Small graphs (≤ ~200 vertices), so the O(V²)
+    /// scan is simplest and avoids float-ordering pitfalls.
+    fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Option<Route> {
+        let adj = match mode {
+            Mode::Cmode => &self.cmode,
+            Mode::Smode => &self.smode,
+        };
+        let (src, dst) = (self.vertex(from), self.vertex(to));
+        if src == dst {
+            return Some(Route::nil());
+        }
+        let n = self.vertex_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(usize, Edge)>> = vec![None; n];
+        let mut done = vec![false; n];
+        dist[src] = 0.0;
+        for _ in 0..n {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for v in 0..n {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            if u == dst {
+                break;
+            }
+            done[u] = true;
+            for e in &adj[u] {
+                let nd = dist[u] + e.latency_ns;
+                if nd < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev[e.to] = Some((u, *e));
+                }
+            }
+        }
+        if !dist[dst].is_finite() {
+            return None;
+        }
+        // Reconstruct.
+        let mut edges = Vec::new();
+        let mut energy = 0.0;
+        let mut min_width = u32::MAX;
+        let mut switch_nodes = Vec::new();
+        let mut v = dst;
+        while v != src {
+            let (u, e) = prev[v].expect("path reconstruction");
+            edges.push(e.kind);
+            energy += e.energy_pj;
+            min_width = min_width.min(e.width_bits);
+            if matches!(e.kind, EdgeKind::Horizontal | EdgeKind::Vertical) {
+                for vert in [u, v] {
+                    if let Some(ep) = self.endpoint_of(vert) {
+                        switch_nodes.push((ep.side, ep.bank, ep.node));
+                    }
+                }
+            }
+            v = u;
+        }
+        edges.reverse();
+        Some(Route {
+            edges,
+            latency_ns: dist[dst],
+            energy_pj_per_access: energy,
+            min_width_bits: min_width,
+            switch_nodes,
+        })
+    }
+}
+
+/// One 3D data-wire connection unit: three stacked banks.
+#[derive(Debug, Clone)]
+pub struct ThreeDcu {
+    fabric: Fabric,
+}
+
+impl ThreeDcu {
+    /// Builds a 3DCU for a configuration.
+    pub fn new(cfg: &NocConfig) -> Self {
+        ThreeDcu {
+            fabric: Fabric::new(cfg, 1),
+        }
+    }
+
+    /// The interconnect configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.fabric.cfg
+    }
+
+    /// Routes between two endpoints (side must be 0).
+    ///
+    /// Returns `None` only if an endpoint is unreachable (cannot happen for
+    /// valid endpoints).
+    pub fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Option<Route> {
+        self.fabric.route(from, to, mode)
+    }
+
+    /// Number of switches at a node: two on the middle bank, one
+    /// elsewhere ("only nodes in Bank 2 have two switches").
+    pub fn switches_at(bank: usize) -> usize {
+        if bank == 1 {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// Two 3DCUs joined by bypass links — the mapping unit for one GAN.
+#[derive(Debug, Clone)]
+pub struct DcuPair {
+    fabric: Fabric,
+}
+
+impl DcuPair {
+    /// Builds the pair.
+    pub fn new(cfg: &NocConfig) -> Self {
+        DcuPair {
+            fabric: Fabric::new(cfg, 2),
+        }
+    }
+
+    /// The interconnect configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.fabric.cfg
+    }
+
+    /// Routes between two endpoints of the pair.
+    pub fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Option<Route> {
+        self.fabric.route(from, to, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcu() -> ThreeDcu {
+        ThreeDcu::new(&NocConfig::default())
+    }
+
+    #[test]
+    fn same_tile_is_free() {
+        let d = dcu();
+        let r = d
+            .route(Endpoint::tile(0, 3), Endpoint::tile(0, 3), Mode::Smode)
+            .unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.latency_ns, 0.0);
+    }
+
+    #[test]
+    fn smode_follows_the_tree() {
+        let d = dcu();
+        let r = d
+            .route(Endpoint::tile(0, 0), Endpoint::tile(0, 15), Mode::Smode)
+            .unwrap();
+        assert_eq!(r.hops(), 8);
+        assert!(r.edges.iter().all(|e| *e == EdgeKind::Tree));
+        let cfg = NocConfig::default();
+        assert!((r.latency_ns - 8.0 * cfg.hop_latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmode_shortcuts_beat_the_tree() {
+        let d = dcu();
+        // Tiles 7 and 8: 8 tree hops, but horizontal wires cut across.
+        let s = d
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Smode)
+            .unwrap();
+        let c = d
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Cmode)
+            .unwrap();
+        assert!(c.latency_ns < s.latency_ns);
+        assert!(c.edges.contains(&EdgeKind::Horizontal));
+    }
+
+    #[test]
+    fn vertical_hop_reaches_the_bank_below() {
+        let d = dcu();
+        let r = d
+            .route(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 1, 0),
+                Mode::Cmode,
+            )
+            .unwrap();
+        assert!(r.edges.contains(&EdgeKind::Vertical));
+        assert!(!r.uses_bus());
+        // Smode must pay the bus instead.
+        let s = d
+            .route(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 1, 0),
+                Mode::Smode,
+            )
+            .unwrap();
+        assert!(s.uses_bus());
+        assert!(s.latency_ns > r.latency_ns);
+    }
+
+    #[test]
+    fn vertical_routes_record_switch_nodes() {
+        let d = dcu();
+        let r = d
+            .route(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 1, 0),
+                Mode::Cmode,
+            )
+            .unwrap();
+        assert!(!r.switch_nodes.is_empty());
+    }
+
+    #[test]
+    fn pair_bypass_avoids_the_bus() {
+        let p = DcuPair::new(&NocConfig::default());
+        let r = p
+            .route(
+                Endpoint::pair_tile(0, 0, 0),
+                Endpoint::pair_tile(1, 0, 0),
+                Mode::Cmode,
+            )
+            .unwrap();
+        assert!(r.edges.contains(&EdgeKind::Bypass));
+        assert!(!r.uses_bus());
+        // In Smode the pair's transfer crosses the bus.
+        let s = p
+            .route(
+                Endpoint::pair_tile(0, 0, 0),
+                Endpoint::pair_tile(1, 0, 0),
+                Mode::Smode,
+            )
+            .unwrap();
+        assert!(s.uses_bus());
+    }
+
+    #[test]
+    fn transfer_serialises_by_width() {
+        let d = dcu();
+        let r = d
+            .route(Endpoint::tile(0, 0), Endpoint::tile(0, 1), Mode::Smode)
+            .unwrap();
+        let cfg = NocConfig::default();
+        let (t_small, e_small) = r.transfer(4, &cfg);
+        let (t_big, e_big) = r.transfer(4096, &cfg);
+        assert!(t_big > t_small);
+        assert!(e_big > e_small);
+        // 4096 values * 16b over a 128-bit leaf wire = 512 flits, paid at
+        // both hops of the route.
+        assert!(t_big > 1000.0 * cfg.wire_cycle_ns);
+    }
+
+    #[test]
+    fn zero_values_cost_nothing() {
+        let d = dcu();
+        let r = d
+            .route(Endpoint::tile(0, 0), Endpoint::tile(0, 1), Mode::Smode)
+            .unwrap();
+        assert_eq!(r.transfer(0, &NocConfig::default()), (0.0, 0.0));
+    }
+
+    #[test]
+    fn switch_counts_by_bank() {
+        assert_eq!(ThreeDcu::switches_at(0), 1);
+        assert_eq!(ThreeDcu::switches_at(1), 2);
+        assert_eq!(ThreeDcu::switches_at(2), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! The baseline H-tree of one bank (Fig. 12a).
+//!
+//! Nodes use heap numbering: node 1 is the root, node `i` has children
+//! `2i` and `2i+1`, and for a 16-tile bank the leaves are nodes 16–31
+//! (tiles 0–15). Routing nodes alternate between *merging* (wire width
+//! halves) and *multiplexing* (width preserved) — the red/yellow vs
+//! green/blue nodes of Fig. 12.
+
+use crate::config::NocConfig;
+
+/// Kind of a routing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Connects data wires of the same width.
+    Multiplexing,
+    /// Divides the data wire width into two halves.
+    Merging,
+}
+
+/// The H-tree of one bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HTree {
+    tiles: usize,
+    levels: u32,
+}
+
+impl HTree {
+    /// Builds the tree for a configuration.
+    pub fn new(config: &NocConfig) -> Self {
+        HTree {
+            tiles: config.tiles_per_bank,
+            levels: config.levels(),
+        }
+    }
+
+    /// Number of tiles (leaves).
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Tree depth in levels (root = level 0, leaves = level `levels()`).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Heap id of a tile's leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile index is out of range.
+    pub fn leaf(&self, tile: usize) -> usize {
+        assert!(tile < self.tiles, "tile index out of range");
+        self.tiles + tile
+    }
+
+    /// Tile index of a leaf node, or `None` for internal nodes.
+    pub fn tile_of(&self, node: usize) -> Option<usize> {
+        (node >= self.tiles && node < 2 * self.tiles).then(|| node - self.tiles)
+    }
+
+    /// Level of a node (root = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics for node id 0 (unused in heap numbering).
+    pub fn level(&self, node: usize) -> u32 {
+        assert!(node >= 1, "heap node ids start at 1");
+        node.ilog2()
+    }
+
+    /// Kind of an internal routing node: levels alternate starting with a
+    /// merging root (Fig. 12's colour pattern).
+    pub fn kind(&self, node: usize) -> NodeKind {
+        if self.level(node) % 2 == 0 {
+            NodeKind::Merging
+        } else {
+            NodeKind::Multiplexing
+        }
+    }
+
+    /// All internal node ids (1 ..= tiles-1).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = usize> {
+        1..self.tiles
+    }
+
+    /// Parent of a node, or `None` for the root.
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        (node > 1).then_some(node / 2)
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            if a > b {
+                a /= 2;
+            } else {
+                b /= 2;
+            }
+        }
+        a
+    }
+
+    /// Hop count of the in-tree route between two nodes (up to the LCA and
+    /// back down).
+    pub fn tree_hops(&self, a: usize, b: usize) -> u32 {
+        let l = self.lca(a, b);
+        (self.level(a) - self.level(l)) + (self.level(b) - self.level(l))
+    }
+
+    /// Whether two same-level nodes are adjacent siblings *with different
+    /// parents* — the pairs the 3D design joins with horizontal wires.
+    pub fn horizontal_pair(&self, a: usize, b: usize) -> bool {
+        if self.level(a) != self.level(b) {
+            return false;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        hi == lo + 1 && lo / 2 != hi / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> HTree {
+        HTree::new(&NocConfig::default())
+    }
+
+    #[test]
+    fn leaves_and_levels() {
+        let t = tree();
+        assert_eq!(t.leaf(0), 16);
+        assert_eq!(t.leaf(15), 31);
+        assert_eq!(t.tile_of(16), Some(0));
+        assert_eq!(t.tile_of(5), None);
+        assert_eq!(t.level(1), 0);
+        assert_eq!(t.level(16), 4);
+    }
+
+    #[test]
+    fn lca_and_hops() {
+        let t = tree();
+        // Tiles 0 and 1 share a parent: 2 hops.
+        assert_eq!(t.tree_hops(t.leaf(0), t.leaf(1)), 2);
+        // Tiles 0 and 15 only meet at the root: 8 hops.
+        assert_eq!(t.lca(t.leaf(0), t.leaf(15)), 1);
+        assert_eq!(t.tree_hops(t.leaf(0), t.leaf(15)), 8);
+        // Tiles 7 and 8 are physically adjacent but tree-distant — the
+        // pathology of Fig. 9.
+        assert_eq!(t.tree_hops(t.leaf(7), t.leaf(8)), 8);
+    }
+
+    #[test]
+    fn horizontal_pairs_cross_parents() {
+        let t = tree();
+        // Nodes 5 and 6: same level, parents 2 and 3 — joined in 3D.
+        assert!(t.horizontal_pair(5, 6));
+        // Nodes 4 and 5 share parent 2 — already joined through it.
+        assert!(!t.horizontal_pair(4, 5));
+        // Different levels never pair.
+        assert!(!t.horizontal_pair(2, 5));
+    }
+
+    #[test]
+    fn kinds_alternate() {
+        let t = tree();
+        assert_eq!(t.kind(1), NodeKind::Merging);
+        assert_eq!(t.kind(2), NodeKind::Multiplexing);
+        assert_eq!(t.kind(4), NodeKind::Merging);
+    }
+
+    #[test]
+    fn internal_nodes_count() {
+        let t = tree();
+        assert_eq!(t.internal_nodes().count(), 15);
+    }
+}

@@ -1,0 +1,136 @@
+//! Partial-sum reduction through the 3DCU's bypassable adders.
+//!
+//! A weight matrix taller than one crossbar spans several row-tiles whose
+//! partial sums must merge before the result is usable. Fig. 12b adds "an
+//! adder into each node, which can also be bypassed": in Cmode the
+//! partials combine *in the network*, log-depth up the tree. The H-tree
+//! baseline has no in-network adders, so the partials serialise into one
+//! tile and add there.
+
+use crate::config::NocConfig;
+
+/// Cost of one reduction over `k` partial vectors of `values` elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionCost {
+    /// End-to-end latency (ns).
+    pub latency_ns: f64,
+    /// Total energy (pJ).
+    pub energy_pj: f64,
+    /// Node adders engaged (0 when nothing merges).
+    pub adders_used: usize,
+}
+
+/// Latency of one in-node vector add per value batch (ns) — pipelined
+/// behind the wire, so charged once per tree level.
+const ADD_LATENCY_NS: f64 = 0.8;
+/// Energy of adding one pair of 16-bit values (pJ).
+const ADD_ENERGY_PJ: f64 = 0.03;
+
+fn transfer_cost(values: u64, hops: usize, cfg: &NocConfig) -> (f64, f64) {
+    if values == 0 || hops == 0 {
+        return (0.0, 0.0);
+    }
+    let bits = values * 16;
+    let width = u64::from(cfg.width_bits_at(2)); // mid-tree wires
+    let flits = bits.div_ceil(width).max(1);
+    let latency =
+        hops as f64 * cfg.hop_latency_ns + (flits - 1) as f64 * cfg.wire_cycle_ns * hops as f64;
+    let accesses = values.div_ceil(u64::from(cfg.values_per_access)).max(1);
+    (latency, accesses as f64 * cfg.hop_energy_pj * hops as f64)
+}
+
+/// In-network (Cmode) reduction: the `k` partials pair up at the adders
+/// level by level — `⌈log₂ k⌉` levels, each one hop plus one add.
+pub fn tree_reduction(k: usize, values: u64, cfg: &NocConfig) -> ReductionCost {
+    if k <= 1 {
+        return ReductionCost {
+            latency_ns: 0.0,
+            energy_pj: 0.0,
+            adders_used: 0,
+        };
+    }
+    let depth = (k as f64).log2().ceil() as usize;
+    let (hop_lat, hop_en) = transfer_cost(values, 1, cfg);
+    ReductionCost {
+        latency_ns: depth as f64 * (hop_lat + ADD_LATENCY_NS),
+        // k-1 merges move one operand each and add once.
+        energy_pj: (k - 1) as f64 * (hop_en + values as f64 * ADD_ENERGY_PJ),
+        adders_used: k - 1,
+    }
+}
+
+/// H-tree (Smode) gather: the `k − 1` remote partials stream one after
+/// another into the owning tile (each crossing the tree) and add locally.
+pub fn gather_reduction(k: usize, values: u64, cfg: &NocConfig) -> ReductionCost {
+    if k <= 1 {
+        return ReductionCost {
+            latency_ns: 0.0,
+            energy_pj: 0.0,
+            adders_used: 0,
+        };
+    }
+    // Average tree distance between tiles of one bank: up and down half
+    // the depth on average — charge the full depth to stay conservative.
+    let hops = cfg.levels() as usize;
+    let (lat, en) = transfer_cost(values, hops, cfg);
+    ReductionCost {
+        latency_ns: (k - 1) as f64 * (lat + ADD_LATENCY_NS),
+        energy_pj: (k - 1) as f64 * (en + values as f64 * ADD_ENERGY_PJ),
+        adders_used: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partial_is_free() {
+        let cfg = NocConfig::default();
+        for f in [tree_reduction, gather_reduction] {
+            let c = f(1, 4096, &cfg);
+            assert_eq!(c.latency_ns, 0.0);
+            assert_eq!(c.energy_pj, 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_beats_gather_in_latency() {
+        let cfg = NocConfig::default();
+        for k in [2usize, 4, 8, 32] {
+            let t = tree_reduction(k, 512, &cfg);
+            let g = gather_reduction(k, 512, &cfg);
+            assert!(
+                t.latency_ns < g.latency_ns,
+                "k={k}: tree {} vs gather {}",
+                t.latency_ns,
+                g.latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn tree_latency_is_log_depth() {
+        let cfg = NocConfig::default();
+        let t2 = tree_reduction(2, 512, &cfg);
+        let t16 = tree_reduction(16, 512, &cfg);
+        assert!((t16.latency_ns / t2.latency_ns - 4.0).abs() < 1e-9);
+        assert_eq!(t16.adders_used, 15);
+    }
+
+    #[test]
+    fn gather_latency_is_linear() {
+        let cfg = NocConfig::default();
+        let g2 = gather_reduction(2, 512, &cfg);
+        let g8 = gather_reduction(8, 512, &cfg);
+        assert!((g8.latency_ns / g2.latency_ns - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_merge_count() {
+        let cfg = NocConfig::default();
+        let a = tree_reduction(4, 1024, &cfg);
+        let b = tree_reduction(8, 1024, &cfg);
+        assert!((b.energy_pj / a.energy_pj - 7.0 / 3.0).abs() < 1e-9);
+    }
+}

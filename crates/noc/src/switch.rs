@@ -1,0 +1,288 @@
+//! Switch states of the 3DCU routing nodes (Sec. IV-B, Fig. 12b).
+//!
+//! Every routing node carries a state set
+//! `s_set ⊆ {parent, horizontal, upper, down}` describing which wire its
+//! switch currently connects (the two child wires are fixed). Outer banks
+//! hold **one** switch per node; only middle-bank nodes hold **two**,
+//! letting them face the upper and lower banks simultaneously. Each node
+//! also hosts a bypassable adder for merging partial sums in flight.
+//!
+//! [`SwitchConfig`] validates and tracks a whole 3DCU's switch programme —
+//! the state the memory controller's FSM writes before running a phase —
+//! and can derive the programme a [`Route`] requires.
+
+use crate::dcu::{EdgeKind, Route};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// One connection a switch can make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SwitchState {
+    /// Connect the wire toward the parent node (the original H-tree path).
+    Parent,
+    /// Connect the added horizontal wire to the sibling-adjacent node.
+    Horizontal,
+    /// Connect the added vertical wire to the bank above.
+    Upper,
+    /// Connect the added vertical wire to the bank below.
+    Down,
+}
+
+impl SwitchState {
+    /// All states.
+    pub const ALL: [SwitchState; 4] = [
+        SwitchState::Parent,
+        SwitchState::Horizontal,
+        SwitchState::Upper,
+        SwitchState::Down,
+    ];
+
+    /// Whether a node in `bank` (0 = top, 1 = middle, 2 = bottom) can
+    /// take this state at all: the top bank has no bank above it and the
+    /// bottom bank none below.
+    pub fn available_in_bank(self, bank: usize) -> bool {
+        match self {
+            SwitchState::Upper => bank > 0,
+            SwitchState::Down => bank < 2,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for SwitchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SwitchState::Parent => "parent",
+            SwitchState::Horizontal => "horizontal",
+            SwitchState::Upper => "upper",
+            SwitchState::Down => "down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error raised when a switch programme is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchError {
+    message: String,
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid switch configuration: {}", self.message)
+    }
+}
+
+impl Error for SwitchError {}
+
+/// The switch programme of one 3DCU: the set of engaged states per
+/// `(bank, node)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwitchConfig {
+    engaged: HashMap<(usize, usize), Vec<SwitchState>>,
+}
+
+impl SwitchConfig {
+    /// An empty programme (Smode: every switch parked on `Parent`).
+    pub fn smode() -> Self {
+        Self::default()
+    }
+
+    /// Switch capacity of a node: two on the middle bank, one elsewhere.
+    pub fn capacity(bank: usize) -> usize {
+        if bank == 1 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Engages a state on a node's switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchError`] if the state is impossible in that bank
+    /// (e.g. `Upper` on the top bank), already engaged, or the node's
+    /// switches are exhausted — the constraint that makes concurrent
+    /// up+down traffic a middle-bank-only capability.
+    pub fn engage(
+        &mut self,
+        bank: usize,
+        node: usize,
+        state: SwitchState,
+    ) -> Result<(), SwitchError> {
+        if bank >= 3 {
+            return Err(SwitchError {
+                message: format!("bank {bank} does not exist"),
+            });
+        }
+        if !state.available_in_bank(bank) {
+            return Err(SwitchError {
+                message: format!("state `{state}` is impossible in bank {bank}"),
+            });
+        }
+        let states = self.engaged.entry((bank, node)).or_default();
+        if states.contains(&state) {
+            return Err(SwitchError {
+                message: format!("bank {bank} node {node} already engages `{state}`"),
+            });
+        }
+        // `Parent` uses the default position, not an extra switch; the
+        // added wires consume switch capacity.
+        let used = states
+            .iter()
+            .filter(|s| **s != SwitchState::Parent)
+            .count();
+        if state != SwitchState::Parent && used >= Self::capacity(bank) {
+            return Err(SwitchError {
+                message: format!(
+                    "bank {bank} node {node} has only {} switch(es)",
+                    Self::capacity(bank)
+                ),
+            });
+        }
+        states.push(state);
+        Ok(())
+    }
+
+    /// The engaged states of a node (empty = parked in the H-tree
+    /// position).
+    pub fn states(&self, bank: usize, node: usize) -> &[SwitchState] {
+        self.engaged
+            .get(&(bank, node))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of nodes with at least one engaged added wire.
+    pub fn engaged_nodes(&self) -> usize {
+        self.engaged
+            .values()
+            .filter(|v| v.iter().any(|s| *s != SwitchState::Parent))
+            .count()
+    }
+
+    /// Derives and applies the programme a route needs on this 3DCU side.
+    /// Walks the route's added edges and engages the matching states at
+    /// their endpoint switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchError`] when the route conflicts with states
+    /// already engaged (two dataflows demanding the same switch).
+    pub fn engage_route(&mut self, route: &Route) -> Result<(), SwitchError> {
+        // The route records the endpoint nodes of every added edge in
+        // order: (side, bank, node) pairs per Horizontal/Vertical edge.
+        let mut cursor = 0usize;
+        for kind in &route.edges {
+            match kind {
+                EdgeKind::Horizontal => {
+                    for _ in 0..2 {
+                        let (_, bank, node) = route.switch_nodes[cursor];
+                        cursor += 1;
+                        self.engage(bank, node, SwitchState::Horizontal)?;
+                    }
+                }
+                EdgeKind::Vertical => {
+                    let (a, b) = (route.switch_nodes[cursor], route.switch_nodes[cursor + 1]);
+                    cursor += 2;
+                    let (lo, hi) = if a.1 < b.1 { (a, b) } else { (b, a) };
+                    // The upper node faces down; the lower faces up.
+                    self.engage(lo.1, lo.2, SwitchState::Down)?;
+                    self.engage(hi.1, hi.2, SwitchState::Upper)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use crate::dcu::{Endpoint, Mode, ThreeDcu};
+
+    #[test]
+    fn capacities_match_the_paper() {
+        assert_eq!(SwitchConfig::capacity(0), 1);
+        assert_eq!(SwitchConfig::capacity(1), 2);
+        assert_eq!(SwitchConfig::capacity(2), 1);
+    }
+
+    #[test]
+    fn bank_constraints() {
+        assert!(!SwitchState::Upper.available_in_bank(0));
+        assert!(SwitchState::Upper.available_in_bank(1));
+        assert!(!SwitchState::Down.available_in_bank(2));
+        assert!(SwitchState::Parent.available_in_bank(0));
+    }
+
+    #[test]
+    fn outer_bank_switch_is_exclusive() {
+        let mut cfg = SwitchConfig::smode();
+        cfg.engage(0, 5, SwitchState::Horizontal).unwrap();
+        // The single switch is taken: no second added wire.
+        let err = cfg.engage(0, 5, SwitchState::Down).unwrap_err();
+        assert!(err.to_string().contains("only 1 switch"));
+        // Parent stays available (default position).
+        cfg.engage(0, 5, SwitchState::Parent).unwrap();
+    }
+
+    #[test]
+    fn middle_bank_faces_both_ways() {
+        // "only nodes in Bank 2 have two switches, which enable the nodes
+        // to connect both upper/down nodes at the same time."
+        let mut cfg = SwitchConfig::smode();
+        cfg.engage(1, 3, SwitchState::Upper).unwrap();
+        cfg.engage(1, 3, SwitchState::Down).unwrap();
+        assert_eq!(cfg.states(1, 3).len(), 2);
+        // A third added wire is impossible.
+        assert!(cfg.engage(1, 3, SwitchState::Horizontal).is_err());
+    }
+
+    #[test]
+    fn impossible_states_are_rejected() {
+        let mut cfg = SwitchConfig::smode();
+        assert!(cfg.engage(0, 2, SwitchState::Upper).is_err());
+        assert!(cfg.engage(2, 2, SwitchState::Down).is_err());
+        assert!(cfg.engage(3, 2, SwitchState::Parent).is_err());
+        // Double engagement of the same state is rejected too.
+        cfg.engage(1, 2, SwitchState::Upper).unwrap();
+        assert!(cfg.engage(1, 2, SwitchState::Upper).is_err());
+    }
+
+    #[test]
+    fn routes_program_their_switches() {
+        let noc = NocConfig::default();
+        let dcu = ThreeDcu::new(&noc);
+        let route = dcu
+            .route(Endpoint::tile(0, 0), Endpoint::pair_tile(0, 1, 0), Mode::Cmode)
+            .unwrap();
+        let mut cfg = SwitchConfig::smode();
+        cfg.engage_route(&route).unwrap();
+        assert!(cfg.engaged_nodes() >= 1);
+        // Programming the same vertical hop twice conflicts.
+        assert!(cfg.engage_route(&route).is_err());
+    }
+
+    #[test]
+    fn disjoint_routes_coexist() {
+        let noc = NocConfig::default();
+        let dcu = ThreeDcu::new(&noc);
+        let mut cfg = SwitchConfig::smode();
+        for tile in [0usize, 15] {
+            let route = dcu
+                .route(
+                    Endpoint::tile(0, tile),
+                    Endpoint::pair_tile(0, 1, tile),
+                    Mode::Cmode,
+                )
+                .unwrap();
+            cfg.engage_route(&route).unwrap();
+        }
+        assert!(cfg.engaged_nodes() >= 2);
+    }
+}

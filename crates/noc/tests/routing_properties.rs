@@ -1,0 +1,88 @@
+//! Property tests for the interconnect: route existence, symmetry, mode
+//! dominance and transfer-cost monotonicity.
+
+use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, ThreeDcu};
+use proptest::prelude::*;
+
+fn endpoint() -> impl Strategy<Value = Endpoint> {
+    (0usize..3, 0usize..16).prop_map(|(bank, tile)| Endpoint::pair_tile(0, bank, tile))
+}
+
+fn pair_endpoint() -> impl Strategy<Value = Endpoint> {
+    (0usize..2, 0usize..3, 0usize..16)
+        .prop_map(|(side, bank, tile)| Endpoint::pair_tile(side, bank, tile))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_tile_pairs_are_routable(a in endpoint(), b in endpoint()) {
+        let dcu = ThreeDcu::new(&NocConfig::default());
+        for mode in [Mode::Smode, Mode::Cmode] {
+            let r = dcu.route(a, b, mode);
+            prop_assert!(r.is_some(), "{a:?} -> {b:?} unroutable in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_cost(a in endpoint(), b in endpoint()) {
+        let dcu = ThreeDcu::new(&NocConfig::default());
+        for mode in [Mode::Smode, Mode::Cmode] {
+            let fwd = dcu.route(a, b, mode).unwrap();
+            let bwd = dcu.route(b, a, mode).unwrap();
+            prop_assert!((fwd.latency_ns - bwd.latency_ns).abs() < 1e-9);
+            prop_assert_eq!(fwd.hops(), bwd.hops());
+        }
+    }
+
+    #[test]
+    fn cmode_never_loses_to_smode(a in endpoint(), b in endpoint()) {
+        // Cmode's graph is a superset of Smode's, so the best route can
+        // only improve.
+        let dcu = ThreeDcu::new(&NocConfig::default());
+        let s = dcu.route(a, b, Mode::Smode).unwrap();
+        let c = dcu.route(a, b, Mode::Cmode).unwrap();
+        prop_assert!(c.latency_ns <= s.latency_ns + 1e-9);
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_in_values(a in endpoint(), b in endpoint(), v in 1u64..100_000) {
+        let cfg = NocConfig::default();
+        let dcu = ThreeDcu::new(&cfg);
+        let r = dcu.route(a, b, Mode::Cmode).unwrap();
+        let (t1, e1) = r.transfer(v, &cfg);
+        let (t2, e2) = r.transfer(v * 2, &cfg);
+        prop_assert!(t2 >= t1);
+        prop_assert!(e2 >= e1);
+        if a != b {
+            prop_assert!(t1 >= r.latency_ns);
+        }
+    }
+
+    #[test]
+    fn pair_routes_exist_across_sides(a in pair_endpoint(), b in pair_endpoint()) {
+        let pair = DcuPair::new(&NocConfig::default());
+        for mode in [Mode::Smode, Mode::Cmode] {
+            prop_assert!(pair.route(a, b, mode).is_some());
+        }
+        // Cross-side Cmode routes never pay the bus: the bypass links or
+        // vertical fabric always beat it.
+        if a.side != b.side {
+            let c = pair.route(a, b, Mode::Cmode).unwrap();
+            prop_assert!(!c.uses_bus(), "{a:?}->{b:?} used the bus in Cmode");
+        }
+    }
+
+    #[test]
+    fn smode_routes_use_only_tree_and_bus(a in pair_endpoint(), b in pair_endpoint()) {
+        use lergan_noc::dcu::EdgeKind;
+        let pair = DcuPair::new(&NocConfig::default());
+        let r = pair.route(a, b, Mode::Smode).unwrap();
+        prop_assert!(r
+            .edges
+            .iter()
+            .all(|e| matches!(e, EdgeKind::Tree | EdgeKind::Bus)));
+        prop_assert!(r.switch_nodes.is_empty());
+    }
+}

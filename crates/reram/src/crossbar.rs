@@ -1,0 +1,122 @@
+//! Crossbar-level mapping of weight matrices.
+//!
+//! A CArray executes a matrix-multiply-vector in one read cycle, but a real
+//! weight matrix rarely fits one 128×128 crossbar: rows beyond
+//! `crossbar_dim` need extra crossbars whose partial sums are accumulated,
+//! and each 16-bit weight occupies `cells_per_weight` adjacent columns.
+//! [`CrossbarLayout`] captures how a logical `rows × cols` matrix tiles
+//! onto physical crossbars and what one logical MMV therefore costs.
+
+use crate::config::ReramConfig;
+
+/// How a logical weight matrix maps onto physical crossbars.
+///
+/// `rows` is the input-vector length, `cols` the output width; both count
+/// 16-bit values.
+///
+/// # Example
+///
+/// ```
+/// use lergan_reram::{CrossbarLayout, ReramConfig};
+/// let cfg = ReramConfig::default();
+/// // DCGAN CONV1 reshaped matrix: 4096 inputs x 512 outputs.
+/// let l = CrossbarLayout::for_matrix(4096, 512, &cfg);
+/// assert_eq!(l.row_tiles, 32);
+/// assert_eq!(l.col_tiles, 16);
+/// assert_eq!(l.crossbars(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrossbarLayout {
+    /// Logical input length (16-bit values).
+    pub rows: usize,
+    /// Logical output width (16-bit values).
+    pub cols: usize,
+    /// Crossbars along the input dimension.
+    pub row_tiles: usize,
+    /// Crossbars along the output dimension.
+    pub col_tiles: usize,
+    /// Logical output values one crossbar produces.
+    pub cols_per_crossbar: usize,
+}
+
+impl CrossbarLayout {
+    /// Computes the layout of a `rows × cols` 16-bit matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn for_matrix(rows: usize, cols: usize, config: &ReramConfig) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let dim = config.crossbar_dim;
+        let cols_per_crossbar = dim / config.cells_per_weight();
+        CrossbarLayout {
+            rows,
+            cols,
+            row_tiles: rows.div_ceil(dim),
+            col_tiles: cols.div_ceil(cols_per_crossbar),
+            cols_per_crossbar,
+        }
+    }
+
+    /// Total physical crossbars the matrix occupies.
+    pub fn crossbars(&self) -> usize {
+        self.row_tiles * self.col_tiles
+    }
+
+    /// Crossbar read operations per logical MMV (all crossbars fire once;
+    /// partial sums along the row dimension merge in shift-and-add units).
+    pub fn ops_per_mmv(&self) -> usize {
+        self.crossbars()
+    }
+
+    /// Weight values stored, including padding of partially-filled
+    /// crossbars (the space the CArray actually reserves).
+    pub fn stored_weights(&self, config: &ReramConfig) -> u64 {
+        self.crossbars() as u64 * config.weights_per_crossbar() as u64
+    }
+
+    /// Occupancy: useful weights / reserved weight slots.
+    pub fn occupancy(&self, config: &ReramConfig) -> f64 {
+        (self.rows as u64 * self.cols as u64) as f64 / self.stored_weights(config) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_crossbar_fit() {
+        let cfg = ReramConfig::default();
+        let l = CrossbarLayout::for_matrix(128, 32, &cfg);
+        assert_eq!(l.crossbars(), 1);
+        assert_eq!(l.ops_per_mmv(), 1);
+        assert!((l.occupancy(&cfg) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_fill_rounds_up() {
+        let cfg = ReramConfig::default();
+        let l = CrossbarLayout::for_matrix(129, 33, &cfg);
+        assert_eq!(l.row_tiles, 2);
+        assert_eq!(l.col_tiles, 2);
+        assert_eq!(l.crossbars(), 4);
+        assert!(l.occupancy(&cfg) < 0.27);
+    }
+
+    #[test]
+    fn fc_layer_of_dcgan() {
+        // 100 -> 16384 FC: 1 row tile, 512 col tiles.
+        let cfg = ReramConfig::default();
+        let l = CrossbarLayout::for_matrix(100, 16384, &cfg);
+        assert_eq!(l.row_tiles, 1);
+        assert_eq!(l.col_tiles, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let cfg = ReramConfig::default();
+        let _ = CrossbarLayout::for_matrix(0, 4, &cfg);
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-tile energy accounting and the Fig. 24 breakdown.
+//!
+//! Table IV publishes aggregate read/write energies; Fig. 24 breaks a
+//! ReRAM tile's consumption into cell switching (40.16 %), ADC (45.14 %),
+//! and a ~14.7 % remainder (DAC, shift-and-add, buffers). The per-component
+//! constants below are ISAAC-class values calibrated (see `EXPERIMENTS.md`)
+//! so that the *simulated* GAN-training operation mix reproduces those
+//! shares; they are deliberately exposed so the Sec. VI-D what-if analysis
+//! (1-pJ cell switching \[66\], 60 % ADC saving \[37\] ⇒ ≈3× power reduction)
+//! can be replayed by swapping constants.
+
+/// Per-operation energy constants of one ReRAM tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// ADC energy per crossbar read operation (pJ).
+    pub adc_pj_per_op: f64,
+    /// DAC / wordline-driver energy per crossbar read operation (pJ).
+    pub dac_pj_per_op: f64,
+    /// Crossbar array read (cell current) energy per operation (pJ).
+    pub array_pj_per_op: f64,
+    /// Shift-and-add merge energy per crossbar read operation (pJ).
+    pub shift_add_pj_per_op: f64,
+    /// Cell-switching energy per ReRAM cell written (pJ).
+    pub cell_switch_pj_per_cell: f64,
+    /// Cells written per 16-bit weight (4 with 4-bit cells).
+    pub cells_per_weight: u32,
+    /// BArray buffer energy per 16-bit value accessed (pJ).
+    pub buffer_pj_per_value: f64,
+    /// SArray read energy per 16-bit value (pJ).
+    pub sarray_read_pj_per_value: f64,
+    /// SArray write energy per 16-bit value (pJ).
+    pub sarray_write_pj_per_value: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            adc_pj_per_op: 37.2,
+            dac_pj_per_op: 3.6,
+            array_pj_per_op: 3.6,
+            shift_add_pj_per_op: 1.4,
+            cell_switch_pj_per_cell: 10.0,
+            cells_per_weight: 4,
+            buffer_pj_per_value: 0.4,
+            sarray_read_pj_per_value: 0.6,
+            sarray_write_pj_per_value: 1.05,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// The Sec. VI-D what-if configuration: 1-pJ cell switching \[66\] and a
+    /// 60 %-cheaper ADC \[37\].
+    pub fn optimistic_whatif(&self) -> Self {
+        EnergyModel {
+            adc_pj_per_op: self.adc_pj_per_op * 0.4,
+            cell_switch_pj_per_cell: 1.0,
+            ..*self
+        }
+    }
+
+    /// Computes the energy breakdown of an operation mix.
+    pub fn breakdown(&self, counts: &EnergyCounts) -> TileEnergyBreakdown {
+        let ops = counts.crossbar_mmv_ops as f64;
+        TileEnergyBreakdown {
+            adc_pj: ops * self.adc_pj_per_op,
+            dac_pj: ops * self.dac_pj_per_op,
+            array_pj: ops * self.array_pj_per_op,
+            shift_add_pj: ops * self.shift_add_pj_per_op,
+            cell_switching_pj: counts.weight_writes as f64
+                * self.cell_switch_pj_per_cell
+                * self.cells_per_weight as f64,
+            buffer_pj: counts.buffer_values as f64 * self.buffer_pj_per_value
+                + counts.sarray_read_values as f64 * self.sarray_read_pj_per_value
+                + counts.sarray_write_values as f64 * self.sarray_write_pj_per_value,
+        }
+    }
+}
+
+/// Operation counts accumulated over a simulation, all tile-local.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounts {
+    /// Crossbar read operations (one per crossbar per logical MMV).
+    pub crossbar_mmv_ops: u128,
+    /// 16-bit weight values written into CArrays (mapping + updates).
+    pub weight_writes: u128,
+    /// 16-bit values staged through BArray buffers.
+    pub buffer_values: u128,
+    /// 16-bit values read from SArrays.
+    pub sarray_read_values: u128,
+    /// 16-bit values written to SArrays.
+    pub sarray_write_values: u128,
+}
+
+impl EnergyCounts {
+    /// Accumulates another count set into this one.
+    pub fn accumulate(&mut self, other: &EnergyCounts) {
+        self.crossbar_mmv_ops += other.crossbar_mmv_ops;
+        self.weight_writes += other.weight_writes;
+        self.buffer_values += other.buffer_values;
+        self.sarray_read_values += other.sarray_read_values;
+        self.sarray_write_values += other.sarray_write_values;
+    }
+}
+
+/// The Fig. 24 energy breakdown of a ReRAM tile (picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TileEnergyBreakdown {
+    /// Analog-to-digital conversion.
+    pub adc_pj: f64,
+    /// Digital-to-analog conversion and wordline drivers.
+    pub dac_pj: f64,
+    /// Crossbar array read current.
+    pub array_pj: f64,
+    /// Shift-and-add partial-sum merging.
+    pub shift_add_pj: f64,
+    /// ReRAM cell switching (writes).
+    pub cell_switching_pj: f64,
+    /// BArray/SArray buffer traffic.
+    pub buffer_pj: f64,
+}
+
+impl TileEnergyBreakdown {
+    /// Total tile energy.
+    pub fn total_pj(&self) -> f64 {
+        self.adc_pj
+            + self.dac_pj
+            + self.array_pj
+            + self.shift_add_pj
+            + self.cell_switching_pj
+            + self.buffer_pj
+    }
+
+    /// Fraction contributed by the ADC (Fig. 24 reports 45.14 %).
+    pub fn adc_share(&self) -> f64 {
+        self.adc_pj / self.total_pj()
+    }
+
+    /// Fraction contributed by cell switching (Fig. 24 reports 40.16 %).
+    pub fn cell_switching_share(&self) -> f64 {
+        self.cell_switching_pj / self.total_pj()
+    }
+
+    /// Everything else (DAC + shift-add + array + buffers).
+    pub fn other_share(&self) -> f64 {
+        1.0 - self.adc_share() - self.cell_switching_share()
+    }
+
+    /// Component-wise sum of two breakdowns.
+    pub fn accumulate(&mut self, other: &TileEnergyBreakdown) {
+        self.adc_pj += other.adc_pj;
+        self.dac_pj += other.dac_pj;
+        self.array_pj += other.array_pj;
+        self.shift_add_pj += other.shift_add_pj;
+        self.cell_switching_pj += other.cell_switching_pj;
+        self.buffer_pj += other.buffer_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical_mix() -> EnergyCounts {
+        // A GAN-training-like mix: many MMVs, weights rewritten once per
+        // iteration, activations staged through buffers.
+        EnergyCounts {
+            crossbar_mmv_ops: 1_000_000,
+            weight_writes: 830_000,
+            buffer_values: 2_000_000,
+            sarray_read_values: 1_000_000,
+            sarray_write_values: 1_500_000,
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let m = EnergyModel::default();
+        let b = m.breakdown(&canonical_mix());
+        let share_sum = b.adc_share() + b.cell_switching_share() + b.other_share();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+        assert!(b.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn canonical_mix_matches_fig24_shape() {
+        // ADC and cell switching must dominate, in Fig. 24's proportions.
+        let m = EnergyModel::default();
+        let b = m.breakdown(&canonical_mix());
+        assert!(
+            (b.adc_share() - 0.4514).abs() < 0.05,
+            "ADC share {:.3}",
+            b.adc_share()
+        );
+        assert!(
+            (b.cell_switching_share() - 0.4016).abs() < 0.05,
+            "cell switching share {:.3}",
+            b.cell_switching_share()
+        );
+    }
+
+    #[test]
+    fn whatif_reduces_power_about_3x() {
+        // Sec. VI-D: 1-pJ cell switching + 60% ADC saving => ~3x reduction.
+        let base = EnergyModel::default();
+        let opt = base.optimistic_whatif();
+        let mix = canonical_mix();
+        let ratio = base.breakdown(&mix).total_pj() / opt.breakdown(&mix).total_pj();
+        assert!(
+            (2.3..=3.7).contains(&ratio),
+            "what-if power reduction {ratio:.2} (paper: nearly 3x)"
+        );
+    }
+
+    #[test]
+    fn accumulate_adds_components() {
+        let m = EnergyModel::default();
+        let b1 = m.breakdown(&canonical_mix());
+        let mut acc = TileEnergyBreakdown::default();
+        acc.accumulate(&b1);
+        acc.accumulate(&b1);
+        assert!((acc.total_pj() - 2.0 * b1.total_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = EnergyCounts::default();
+        c.accumulate(&canonical_mix());
+        c.accumulate(&canonical_mix());
+        assert_eq!(c.crossbar_mmv_ops, 2_000_000);
+        assert_eq!(c.weight_writes, 1_660_000);
+    }
+}

@@ -1,0 +1,116 @@
+//! Tile and bank organisation derived from the configuration.
+//!
+//! A tile is the unit that computes (its CArray crossbars fire in
+//! parallel), buffers (BArray) and stores (SArray); a bank is 16 tiles
+//! behind an H-tree. These specs answer the capacity questions the
+//! ZFDM compiler asks: how many weights fit where, and how many logical
+//! MMVs can proceed per cycle.
+
+use crate::config::ReramConfig;
+use crate::crossbar::CrossbarLayout;
+
+/// Static description of one tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSpec {
+    /// Crossbars available in the CArray.
+    pub crossbars: usize,
+    /// 16-bit weight capacity of the CArray.
+    pub carray_weights: u64,
+    /// 16-bit value capacity of the BArray.
+    pub barray_values: u64,
+    /// 16-bit value capacity of the SArray.
+    pub sarray_values: u64,
+}
+
+impl TileSpec {
+    /// Derives the spec from a configuration.
+    pub fn new(config: &ReramConfig) -> Self {
+        let value_bytes = (config.data_bits / 8) as u64;
+        TileSpec {
+            crossbars: config.crossbars_per_tile(),
+            carray_weights: config.weights_per_tile(),
+            barray_values: config.barray_bytes / value_bytes,
+            sarray_values: config.sarray_bytes / value_bytes,
+        }
+    }
+
+    /// Whether a weight matrix fits in this tile's CArray.
+    pub fn fits(&self, layout: &CrossbarLayout) -> bool {
+        layout.crossbars() <= self.crossbars
+    }
+
+    /// How many copies of a matrix the CArray can hold (its replication
+    /// headroom for the duplication degrees of Table III).
+    pub fn copies_of(&self, layout: &CrossbarLayout) -> usize {
+        if layout.crossbars() == 0 {
+            return 0;
+        }
+        self.crossbars / layout.crossbars()
+    }
+}
+
+/// Static description of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankSpec {
+    /// Tiles in the bank (16).
+    pub tiles: usize,
+    /// Per-tile spec.
+    pub tile: TileSpec,
+}
+
+impl BankSpec {
+    /// Derives the spec from a configuration.
+    pub fn new(config: &ReramConfig) -> Self {
+        BankSpec {
+            tiles: config.tiles_per_bank,
+            tile: TileSpec::new(config),
+        }
+    }
+
+    /// Total CArray weight capacity of the bank.
+    pub fn carray_weights(&self) -> u64 {
+        self.tiles as u64 * self.tile.carray_weights
+    }
+
+    /// Total crossbars in the bank.
+    pub fn crossbars(&self) -> usize {
+        self.tiles * self.tile.crossbars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_spec_from_table_iv() {
+        let spec = TileSpec::new(&ReramConfig::default());
+        assert_eq!(spec.crossbars, 8192);
+        assert_eq!(spec.carray_weights, 32 << 20);
+        assert_eq!(spec.barray_values, 1 << 20);
+        assert_eq!(spec.sarray_values, 62 * (1 << 20) / 2);
+    }
+
+    #[test]
+    fn bank_capacity() {
+        let cfg = ReramConfig::default();
+        let bank = BankSpec::new(&cfg);
+        assert_eq!(bank.tiles, 16);
+        assert_eq!(bank.carray_weights(), 16 * (32 << 20));
+        assert_eq!(bank.crossbars(), 16 * 8192);
+    }
+
+    #[test]
+    fn fits_and_copies() {
+        let cfg = ReramConfig::default();
+        let tile = TileSpec::new(&cfg);
+        // DCGAN CONV1 reshaped matrix occupies 512 crossbars.
+        let layout = CrossbarLayout::for_matrix(4096, 512, &cfg);
+        assert!(tile.fits(&layout));
+        assert_eq!(tile.copies_of(&layout), 16);
+        // Something enormous does not fit.
+        let huge = CrossbarLayout::for_matrix(1 << 20, 1 << 14, &cfg);
+        assert!(!tile.fits(&huge));
+        assert_eq!(tile.copies_of(&huge), 0);
+    }
+}

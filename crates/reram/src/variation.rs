@@ -1,0 +1,175 @@
+//! Cell-conductance variation and its effect on analog MMVs.
+//!
+//! ReRAM cells are analog devices; programmed conductances deviate from
+//! their targets. Yu et al. \[66\] (the study the Sec. VI-D what-if cites)
+//! characterise synaptic devices with sub-pJ switching *and tolerance to
+//! variability* — this module provides the Monte-Carlo machinery to ask
+//! how much output error a given per-cell deviation causes on the 4-bit
+//! slices of a 16-bit weight, deterministically (a counter-based LCG, no
+//! RNG dependency in library code).
+
+use crate::bitslice::slice_weight;
+use crate::config::ReramConfig;
+
+/// A deterministic per-cell disturbance model: each programmed cell level
+/// deviates by a uniform offset in `[-max_level_error, +max_level_error]`
+/// (in units of one 4-bit level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Maximum deviation in cell levels (e.g. 0.3 = under a third of one
+    /// 4-bit level; devices in \[66\] stay well below one level).
+    pub max_level_error: f64,
+    /// Seed for the deterministic disturbance sequence.
+    pub seed: u64,
+}
+
+impl VariationModel {
+    /// Creates a model.
+    pub fn new(max_level_error: f64, seed: u64) -> Self {
+        VariationModel {
+            max_level_error,
+            seed,
+        }
+    }
+
+    /// Deterministic uniform deviate in `[-max, +max]` for cell `index`.
+    fn deviation(&self, index: u64) -> f64 {
+        // SplitMix64: uncorrelated per-index values without state.
+        let mut z = self.seed.wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (unit * 2.0 - 1.0) * self.max_level_error
+    }
+
+    /// The *analog* value of a weight as the crossbar would read it: each
+    /// slice disturbed by its cell's deviation, recombined with slice
+    /// significance (sign handled as in [`crate::bitslice::sliced_dot`]).
+    pub fn perceived_weight(&self, code: i32, cell_base_index: u64, config: &ReramConfig) -> f64 {
+        let slices = slice_weight(code, config);
+        let mut v = 0.0f64;
+        for (i, &s) in slices.iter().enumerate() {
+            let dev = self.deviation(cell_base_index + i as u64);
+            v += (s as f64 + dev) * f64::from(1u32 << (i as u32 * config.cell_bits));
+        }
+        if code < 0 {
+            v -= f64::from(1u32 << config.data_bits) as f64;
+        }
+        v
+    }
+
+    /// Monte-Carlo dot-product error: computes the disturbed analog dot
+    /// product of `weights · inputs` and returns `(exact, perceived)`.
+    pub fn disturbed_dot(
+        &self,
+        weights: &[i32],
+        inputs: &[i32],
+        config: &ReramConfig,
+    ) -> (i64, f64) {
+        assert_eq!(weights.len(), inputs.len(), "operand length mismatch");
+        let exact: i64 = weights
+            .iter()
+            .zip(inputs.iter())
+            .map(|(&w, &x)| w as i64 * x as i64)
+            .sum();
+        let cells = config.cells_per_weight() as u64;
+        let perceived: f64 = weights
+            .iter()
+            .zip(inputs.iter())
+            .enumerate()
+            .map(|(i, (&w, &x))| self.perceived_weight(w, i as u64 * cells, config) * x as f64)
+            .sum();
+        (exact, perceived)
+    }
+
+    /// Normalised RMS error of the disturbed dot product over `trials`
+    /// random operand sets of length `n` (deterministic in the seed):
+    /// `sqrt(Σ(perceived − exact)² / Σ exact²)`. Normalising by the
+    /// aggregate magnitude avoids the blow-up of per-sample relative error
+    /// when an individual dot product happens to be near zero.
+    pub fn relative_rms_error(&self, n: usize, trials: usize, config: &ReramConfig) -> f64 {
+        let mut err2 = 0.0f64;
+        let mut mag2 = 0.0f64;
+        // An independent deterministic stream for operand synthesis.
+        let synth = VariationModel::new(1.0, self.seed ^ 0xD1B54A32D192ED03);
+        for t in 0..trials {
+            let base = (t as u64 + 1) * 1_000_003;
+            let weights: Vec<i32> = (0..n)
+                .map(|i| ((synth.deviation(base + i as u64) * 1e6) as i64 % 30000) as i32)
+                .collect();
+            let inputs: Vec<i32> = (0..n)
+                .map(|i| ((synth.deviation(base + (n + i) as u64) * 1e6) as i64 % 200) as i32)
+                .collect();
+            let (exact, perceived) = self.disturbed_dot(&weights, &inputs, config);
+            err2 += (perceived - exact as f64).powi(2);
+            mag2 += (exact as f64).powi(2);
+        }
+        if mag2 == 0.0 {
+            0.0
+        } else {
+            (err2 / mag2).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_variation_is_exact() {
+        let cfg = ReramConfig::default();
+        let m = VariationModel::new(0.0, 1);
+        let w = [1234, -5678, 32000, -7];
+        let x = [3, -2, 1, 9];
+        let (exact, perceived) = m.disturbed_dot(&w, &x, &cfg);
+        assert!((perceived - exact as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perceived_weight_error_is_bounded() {
+        let cfg = ReramConfig::default();
+        let m = VariationModel::new(0.5, 7);
+        for code in [-30000, -1, 0, 123, 30000] {
+            let p = m.perceived_weight(code, 99, &cfg);
+            // Worst case: every slice off by 0.5 level, weighted by
+            // significance: 0.5 * (1 + 16 + 256 + 4096).
+            let bound = 0.5 * (1.0 + 16.0 + 256.0 + 4096.0);
+            assert!(
+                (p - code as f64).abs() <= bound + 1e-9,
+                "code {code}: perceived {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_with_variation() {
+        let cfg = ReramConfig::default();
+        let small = VariationModel::new(0.1, 3).relative_rms_error(64, 20, &cfg);
+        let large = VariationModel::new(1.0, 3).relative_rms_error(64, 20, &cfg);
+        assert!(
+            large > small,
+            "rms error should grow with variation: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn variation_is_deterministic_in_seed() {
+        let cfg = ReramConfig::default();
+        let a = VariationModel::new(0.3, 11).relative_rms_error(32, 10, &cfg);
+        let b = VariationModel::new(0.3, 11).relative_rms_error(32, 10, &cfg);
+        assert_eq!(a, b);
+        let c = VariationModel::new(0.3, 12).relative_rms_error(32, 10, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sub_level_variation_keeps_error_small() {
+        // \[66\]-class devices (well under one level of deviation) keep the
+        // dot-product error in the low percents.
+        let cfg = ReramConfig::default();
+        let rms = VariationModel::new(0.25, 5).relative_rms_error(128, 30, &cfg);
+        assert!(rms < 0.05, "rms error {rms} too large for 0.25-level cells");
+    }
+}

@@ -1,0 +1,377 @@
+//! Deterministic discrete-event DAG scheduler.
+//!
+//! Tasks declare a fixed duration, dependencies, and at most one resource
+//! (with integer capacity). A task becomes *ready* when all dependencies
+//! have finished; ready tasks acquire their resource in deterministic
+//! (ready-time, insertion-order) order. This is classic list scheduling —
+//! enough to model pipelined GAN-training phases contending for banks and
+//! links.
+
+/// Identifier of a task inside one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+/// Identifier of a resource inside one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+/// Specification of one task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Human-readable label (appears in schedules and debugging output).
+    pub label: String,
+    /// Fixed execution time in nanoseconds.
+    pub duration_ns: f64,
+    /// Tasks that must finish before this one starts.
+    pub deps: Vec<TaskId>,
+    /// Resource this task occupies (one capacity unit) while running.
+    pub resource: Option<ResourceId>,
+}
+
+impl TaskSpec {
+    /// Creates a task with no dependencies and no resource.
+    pub fn new(label: impl Into<String>, duration_ns: f64) -> Self {
+        TaskSpec {
+            label: label.into(),
+            duration_ns,
+            deps: Vec::new(),
+            resource: None,
+        }
+    }
+
+    /// Binds the task to a resource.
+    pub fn on(mut self, r: ResourceId) -> Self {
+        self.resource = Some(r);
+        self
+    }
+
+    /// Adds a dependency.
+    pub fn after(mut self, t: TaskId) -> Self {
+        self.deps.push(t);
+        self
+    }
+
+    /// Adds many dependencies.
+    pub fn after_all(mut self, ts: &[TaskId]) -> Self {
+        self.deps.extend_from_slice(ts);
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    label: String,
+    capacity: usize,
+}
+
+/// The scheduler.
+#[derive(Debug, Default)]
+pub struct Engine {
+    tasks: Vec<TaskSpec>,
+    resources: Vec<Resource>,
+}
+
+/// The result of running an engine: per-task start/finish times and
+/// per-resource occupancy.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    starts: Vec<f64>,
+    finishes: Vec<f64>,
+    labels: Vec<String>,
+    resource_busy: Vec<f64>,
+    resource_labels: Vec<String>,
+}
+
+impl Schedule {
+    /// Start time of a task (ns).
+    pub fn start_ns(&self, t: TaskId) -> f64 {
+        self.starts[t.0]
+    }
+
+    /// Finish time of a task (ns).
+    pub fn finish_ns(&self, t: TaskId) -> f64 {
+        self.finishes[t.0]
+    }
+
+    /// Completion time of the whole DAG (ns).
+    pub fn makespan_ns(&self) -> f64 {
+        self.finishes.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Label of a task.
+    pub fn label(&self, t: TaskId) -> &str {
+        &self.labels[t.0]
+    }
+
+    /// Number of scheduled tasks.
+    pub fn len(&self) -> usize {
+        self.finishes.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.finishes.is_empty()
+    }
+
+    /// Total busy time (occupancy-seconds) of a resource across the run.
+    pub fn resource_busy_ns(&self, r: ResourceId) -> f64 {
+        self.resource_busy[r.0]
+    }
+
+    /// Utilisation of a resource: busy time over the makespan (can exceed
+    /// 1.0 for capacities above one).
+    pub fn resource_utilization(&self, r: ResourceId) -> f64 {
+        let span = self.makespan_ns();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.resource_busy[r.0] / span
+        }
+    }
+
+    /// Iterates `(label, busy_ns)` over all resources, in creation order.
+    pub fn resources(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.resource_labels
+            .iter()
+            .map(|l| l.as_str())
+            .zip(self.resource_busy.iter().copied())
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn add_resource(&mut self, label: impl Into<String>, capacity: usize) -> ResourceId {
+        assert!(capacity > 0, "resource capacity must be positive");
+        self.resources.push(Resource {
+            label: label.into(),
+            capacity,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency or resource id does not exist, or the
+    /// duration is negative/NaN.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        assert!(
+            spec.duration_ns >= 0.0 && spec.duration_ns.is_finite(),
+            "task duration must be finite and non-negative"
+        );
+        for d in &spec.deps {
+            assert!(d.0 < self.tasks.len(), "dependency on unknown task");
+        }
+        if let Some(r) = spec.resource {
+            assert!(r.0 < self.resources.len(), "unknown resource");
+        }
+        self.tasks.push(spec);
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Runs the schedule to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dependency graph contains a cycle.
+    pub fn run(&self) -> Schedule {
+        let n = self.tasks.len();
+        let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                dependents[d.0].push(i);
+            }
+        }
+        let mut ready_at: Vec<f64> = vec![0.0; n];
+        let mut starts = vec![f64::NAN; n];
+        let mut finishes = vec![f64::NAN; n];
+        // Per-resource list of occupancy intervals (start, finish).
+        let mut busy: Vec<Vec<(f64, f64)>> = self.resources.iter().map(|_| Vec::new()).collect();
+        // Ready queue ordered by (ready time, insertion index).
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
+        let mut scheduled = 0usize;
+        while scheduled < n {
+            assert!(
+                !ready.is_empty(),
+                "dependency cycle: no ready task among the remaining ones"
+            );
+            // Deterministic pick: smallest (ready time, index).
+            let pos = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    ready_at[a]
+                        .partial_cmp(&ready_at[b])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                })
+                .map(|(p, _)| p)
+                .expect("non-empty ready queue");
+            let i = ready.swap_remove(pos);
+            let spec = &self.tasks[i];
+            let mut start = ready_at[i];
+            if let Some(r) = spec.resource {
+                let q = &mut busy[r.0];
+                let cap = self.resources[r.0].capacity;
+                // Earliest time >= start with fewer than `cap` overlapping
+                // occupancies: advance to the next finish among overlaps
+                // until a slot frees up.
+                loop {
+                    let overlapping: Vec<f64> = q
+                        .iter()
+                        .filter(|&&(s, f)| s <= start && start < f)
+                        .map(|&(_, f)| f)
+                        .collect();
+                    if overlapping.len() < cap {
+                        break;
+                    }
+                    start = overlapping.iter().copied().fold(f64::INFINITY, f64::min);
+                }
+                q.push((start, start + spec.duration_ns));
+            }
+            let finish = start + spec.duration_ns;
+            starts[i] = start;
+            finishes[i] = finish;
+            scheduled += 1;
+            for &dep in &dependents[i] {
+                remaining_deps[dep] -= 1;
+                ready_at[dep] = ready_at[dep].max(finish);
+                if remaining_deps[dep] == 0 {
+                    ready.push(dep);
+                }
+            }
+        }
+        let resource_busy: Vec<f64> = busy
+            .iter()
+            .map(|intervals| intervals.iter().map(|(s, f)| f - s).sum())
+            .collect();
+        Schedule {
+            starts,
+            finishes,
+            labels: self.tasks.iter().map(|t| t.label.clone()).collect(),
+            resource_busy,
+            resource_labels: self.resources.iter().map(|r| r.label.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_accumulates() {
+        let mut e = Engine::new();
+        let a = e.add_task(TaskSpec::new("a", 10.0));
+        let b = e.add_task(TaskSpec::new("b", 5.0).after(a));
+        let c = e.add_task(TaskSpec::new("c", 1.0).after(b));
+        let s = e.run();
+        assert_eq!(s.finish_ns(a), 10.0);
+        assert_eq!(s.finish_ns(b), 15.0);
+        assert_eq!(s.finish_ns(c), 16.0);
+        assert_eq!(s.makespan_ns(), 16.0);
+    }
+
+    #[test]
+    fn independent_tasks_overlap() {
+        let mut e = Engine::new();
+        let a = e.add_task(TaskSpec::new("a", 10.0));
+        let b = e.add_task(TaskSpec::new("b", 7.0));
+        let s = e.run();
+        assert_eq!(s.start_ns(a), 0.0);
+        assert_eq!(s.start_ns(b), 0.0);
+        assert_eq!(s.makespan_ns(), 10.0);
+    }
+
+    #[test]
+    fn resource_capacity_serialises() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bank", 1);
+        let a = e.add_task(TaskSpec::new("a", 10.0).on(r));
+        let b = e.add_task(TaskSpec::new("b", 10.0).on(r));
+        let s = e.run();
+        assert_eq!(s.finish_ns(a).min(s.finish_ns(b)), 10.0);
+        assert_eq!(s.makespan_ns(), 20.0);
+    }
+
+    #[test]
+    fn capacity_two_runs_pairs() {
+        let mut e = Engine::new();
+        let r = e.add_resource("link", 2);
+        let ids: Vec<TaskId> = (0..4)
+            .map(|i| e.add_task(TaskSpec::new(format!("t{i}"), 10.0).on(r)))
+            .collect();
+        let s = e.run();
+        assert_eq!(s.makespan_ns(), 20.0);
+        let early = ids
+            .iter()
+            .filter(|&&t| s.start_ns(t) == 0.0)
+            .count();
+        assert_eq!(early, 2);
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let mut e = Engine::new();
+        let a = e.add_task(TaskSpec::new("a", 5.0));
+        let b = e.add_task(TaskSpec::new("b", 10.0).after(a));
+        let c = e.add_task(TaskSpec::new("c", 3.0).after(a));
+        let d = e.add_task(TaskSpec::new("d", 1.0).after_all(&[b, c]));
+        let s = e.run();
+        assert_eq!(s.start_ns(d), 15.0);
+        assert_eq!(s.makespan_ns(), 16.0);
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_fine() {
+        let mut e = Engine::new();
+        let a = e.add_task(TaskSpec::new("barrier", 0.0));
+        let b = e.add_task(TaskSpec::new("b", 2.0).after(a));
+        let s = e.run();
+        assert_eq!(s.finish_ns(b), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency on unknown task")]
+    fn unknown_dependency_rejected() {
+        let mut e = Engine::new();
+        let _ = e.add_task(TaskSpec::new("x", 1.0).after(TaskId(7)));
+    }
+
+    #[test]
+    fn resource_utilization_is_tracked() {
+        let mut e = Engine::new();
+        let r = e.add_resource("bank", 1);
+        let idle = e.add_resource("idle", 1);
+        let a = e.add_task(TaskSpec::new("a", 10.0).on(r));
+        let _b = e.add_task(TaskSpec::new("b", 10.0).on(r).after(a));
+        let _c = e.add_task(TaskSpec::new("c", 5.0));
+        let s = e.run();
+        assert_eq!(s.resource_busy_ns(r), 20.0);
+        assert_eq!(s.resource_busy_ns(idle), 0.0);
+        assert!((s.resource_utilization(r) - 1.0).abs() < 1e-12);
+        let names: Vec<&str> = s.resources().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["bank", "idle"]);
+    }
+
+    #[test]
+    fn labels_survive() {
+        let mut e = Engine::new();
+        let a = e.add_task(TaskSpec::new("G-forward", 1.0));
+        let s = e.run();
+        assert_eq!(s.label(a), "G-forward");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

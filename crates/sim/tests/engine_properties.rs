@@ -1,0 +1,118 @@
+//! Property tests for the discrete-event scheduler: dependency honesty,
+//! critical-path and work-conservation bounds, and determinism.
+
+use lergan_sim::engine::{Engine, TaskId, TaskSpec};
+use proptest::prelude::*;
+
+/// A random DAG: `durations[i]` plus edges only from lower to higher
+/// indices (guaranteed acyclic).
+#[derive(Debug, Clone)]
+struct RandomDag {
+    durations: Vec<f64>,
+    edges: Vec<(usize, usize)>,
+    capacity: usize,
+}
+
+fn dag() -> impl Strategy<Value = RandomDag> {
+    (2usize..14, 1usize..4).prop_flat_map(|(n, capacity)| {
+        let durations = proptest::collection::vec(0.0f64..50.0, n);
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..2 * n).prop_map(
+            move |pairs| {
+                pairs
+                    .into_iter()
+                    .filter(|(a, b)| a < b)
+                    .collect::<Vec<_>>()
+            },
+        );
+        (durations, edges).prop_map(move |(durations, edges)| RandomDag {
+            durations,
+            edges,
+            capacity,
+        })
+    })
+}
+
+fn build_and_run(dag: &RandomDag, on_resource: bool) -> (Vec<f64>, Vec<f64>, f64, f64) {
+    let mut e = Engine::new();
+    let r = e.add_resource("shared", dag.capacity);
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); dag.durations.len()];
+    for &(a, b) in &dag.edges {
+        deps[b].push(a);
+    }
+    let mut ids: Vec<TaskId> = Vec::new();
+    for (i, &d) in dag.durations.iter().enumerate() {
+        let mut spec = TaskSpec::new(format!("t{i}"), d);
+        if on_resource {
+            spec = spec.on(r);
+        }
+        for &p in &deps[i] {
+            spec = spec.after(ids[p]);
+        }
+        ids.push(e.add_task(spec));
+    }
+    let s = e.run();
+    let starts: Vec<f64> = ids.iter().map(|&t| s.start_ns(t)).collect();
+    let finishes: Vec<f64> = ids.iter().map(|&t| s.finish_ns(t)).collect();
+    (starts, finishes, s.makespan_ns(), s.resource_busy_ns(r))
+}
+
+/// Longest dependency chain (critical path) of the DAG.
+fn critical_path(dag: &RandomDag) -> f64 {
+    let n = dag.durations.len();
+    let mut longest = vec![0.0f64; n];
+    for i in 0..n {
+        let mut best = 0.0f64;
+        for &(a, b) in &dag.edges {
+            if b == i {
+                best = best.max(longest[a]);
+            }
+        }
+        longest[i] = best + dag.durations[i];
+    }
+    longest.iter().copied().fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dependencies_are_honoured(dag in dag()) {
+        let (starts, finishes, _, _) = build_and_run(&dag, true);
+        for &(a, b) in &dag.edges {
+            prop_assert!(
+                starts[b] >= finishes[a] - 1e-9,
+                "task {b} started at {} before {a} finished at {}",
+                starts[b],
+                finishes[a]
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path(dag in dag()) {
+        let (_, _, makespan, _) = build_and_run(&dag, true);
+        prop_assert!(makespan >= critical_path(&dag) - 1e-9);
+    }
+
+    #[test]
+    fn makespan_at_least_work_over_capacity(dag in dag()) {
+        let (_, _, makespan, busy) = build_and_run(&dag, true);
+        let work: f64 = dag.durations.iter().sum();
+        prop_assert!((busy - work).abs() < 1e-6, "busy {busy} vs work {work}");
+        prop_assert!(makespan >= work / dag.capacity as f64 - 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_makespan_equals_critical_path(dag in dag()) {
+        let (_, _, makespan, _) = build_and_run(&dag, false);
+        prop_assert!((makespan - critical_path(&dag)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn runs_are_deterministic(dag in dag()) {
+        let a = build_and_run(&dag, true);
+        let b = build_and_run(&dag, true);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert!((a.2 - b.2).abs() < 1e-12);
+    }
+}

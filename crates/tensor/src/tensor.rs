@@ -1,0 +1,361 @@
+//! A minimal dense, row-major, `f32` n-dimensional tensor.
+//!
+//! The accelerator simulation only needs shapes, but the functional GAN
+//! substrate and the ZFDR correctness proofs need real arithmetic, so this
+//! module provides just enough of an ndarray: construction, indexing,
+//! element-wise maps, and a couple of linear-algebra helpers.
+
+use std::fmt;
+
+/// Dense row-major `f32` tensor.
+///
+/// # Example
+///
+/// ```
+/// use lergan_tensor::Tensor;
+/// let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t[&[1, 2]], 5.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tensor")
+            .field("shape", &self.shape)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or any dimension is zero.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::filled(shape, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dim");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be non-zero: {shape:?}"
+        );
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            strides: strides_for(shape),
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from an existing flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "buffer length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            strides: strides_for(shape),
+            data,
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        let mut idx = vec![0usize; shape.len()];
+        for flat in 0..t.data.len() {
+            t.unflatten(flat, &mut idx);
+            t.data[flat] = f(&idx);
+        }
+        t
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (d, (&i, (&dim, &stride))) in idx
+            .iter()
+            .zip(self.shape.iter().zip(self.strides.iter()))
+            .enumerate()
+        {
+            assert!(i < dim, "index {i} out of bounds for dim {d} (size {dim})");
+            off += i * stride;
+        }
+        off
+    }
+
+    fn unflatten(&self, mut flat: usize, out: &mut [usize]) {
+        for (o, &stride) in out.iter_mut().zip(self.strides.iter()) {
+            *o = flat / stride;
+            flat %= stride;
+        }
+    }
+
+    /// Returns a reshaped copy sharing the same data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise binary combination of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_with shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Number of elements equal to exactly `0.0`.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&x| x == 0.0).count()
+    }
+
+    /// Scales every element in place.
+    pub fn scale_in_place(&mut self, k: f32) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+
+    /// Adds `k * other` into `self` (AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy_in_place(&mut self, k: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += k * b;
+        }
+    }
+}
+
+impl std::ops::Index<&[usize]> for Tensor {
+    type Output = f32;
+    fn index(&self, idx: &[usize]) -> &f32 {
+        &self.data[self.offset(idx)]
+    }
+}
+
+impl std::ops::IndexMut<&[usize]> for Tensor {
+    fn index_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+}
+
+impl std::ops::Index<&[usize; 2]> for Tensor {
+    type Output = f32;
+    fn index(&self, idx: &[usize; 2]) -> &f32 {
+        &self.data[self.offset(idx.as_slice())]
+    }
+}
+
+impl std::ops::Index<&[usize; 3]> for Tensor {
+    type Output = f32;
+    fn index(&self, idx: &[usize; 3]) -> &f32 {
+        &self.data[self.offset(idx.as_slice())]
+    }
+}
+
+impl std::ops::Index<&[usize; 4]> for Tensor {
+    type Output = f32;
+    fn index(&self, idx: &[usize; 4]) -> &f32 {
+        &self.data[self.offset(idx.as_slice())]
+    }
+}
+
+/// Matrix-multiply-vector: `m` is `[rows, cols]`, `v` has `cols` elements.
+///
+/// This is the primitive the ReRAM CArray executes in one read cycle; the
+/// functional ZFDR execution path is built out of calls to it.
+///
+/// # Panics
+///
+/// Panics if `m` is not rank-2 or the vector length does not match.
+pub fn mmv(m: &Tensor, v: &[f32]) -> Vec<f32> {
+    assert_eq!(m.shape().len(), 2, "mmv expects a rank-2 matrix");
+    let (rows, cols) = (m.shape()[0], m.shape()[1]);
+    assert_eq!(v.len(), cols, "mmv vector length mismatch");
+    let mut out = vec![0.0; rows];
+    for r in 0..rows {
+        let row = &m.data()[r * cols..(r + 1) * cols];
+        out[r] = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.count_zeros(), 24);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let t = Tensor::from_fn(&[3, 4, 5], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        assert_eq!(t[&[2, 3, 4]], 234.0);
+        assert_eq!(t[&[0, 0, 0]], 0.0);
+    }
+
+    #[test]
+    fn index_mut_writes() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t[&[1, 0][..]] = 7.0;
+        assert_eq!(t[&[1, 0]], 7.0);
+        assert_eq!(t.sum(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t[&[2, 0]];
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.data(), &[2.0, 4.0, 6.0]);
+        let c = a.zip_with(&b, |x, y| y - x);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[2, 2]);
+        let b = Tensor::filled(&[2, 2], 3.0);
+        a.axpy_in_place(0.5, &b);
+        assert_eq!(a.data(), &[2.5, 2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn mmv_matches_manual() {
+        let m = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = mmv(&m, &[1.0, 0.0, -1.0]);
+        assert_eq!(out, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(&[2, 6], |idx| (idx[0] * 6 + idx[1]) as f32);
+        let r = t.reshaped(&[3, 4]);
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.data(), t.data());
+    }
+}

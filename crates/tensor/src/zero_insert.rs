@@ -1,0 +1,153 @@
+//! Zero-insertion transformations (Fig. 4 and Fig. 6 of the paper).
+//!
+//! These build the *naive* expanded operands that a conventional accelerator
+//! (or GPU library) would materialise: the zero-inserted input of a T-CONV
+//! and the zero-inserted `∇output` kernel of a W-CONV. They serve as the
+//! reference against which the zero-free ZFDR path is validated, and as the
+//! cost model for the baselines that do move all those zeros around.
+
+use crate::geometry::{TconvGeometry, WconvGeometry};
+use crate::tensor::Tensor;
+
+/// Pads every plane of a `[C, H, W]` tensor with `pad` zeros on each side.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-3.
+pub fn pad_planes(t: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(t.shape().len(), 3, "pad_planes expects [C, H, W]");
+    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+    let mut out = Tensor::zeros(&[c, h + 2 * pad, w + 2 * pad]);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out[&[ci, y + pad, x + pad][..]] = t[&[ci, y, x]];
+            }
+        }
+    }
+    out
+}
+
+/// Expands a `[C, I, I]` T-CONV input into the `[C, E, E]` zero-inserted and
+/// padded plane of Fig. 4: `S′−1` zeros between adjacent elements, `R`
+/// trailing zeros, and `P` padding on every side.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-3 or its spatial extent differs from
+/// `geom.input`.
+pub fn expand_tconv_input(t: &Tensor, geom: &TconvGeometry) -> Tensor {
+    assert_eq!(t.shape().len(), 3, "expand_tconv_input expects [C, I, I]");
+    let c = t.shape()[0];
+    assert_eq!(t.shape()[1], geom.input, "input height mismatch");
+    assert_eq!(t.shape()[2], geom.input, "input width mismatch");
+    let e = geom.expanded();
+    let mut out = Tensor::zeros(&[c, e, e]);
+    for ci in 0..c {
+        for ey in 0..e {
+            let Some(y) = geom.original_of_expanded(ey) else {
+                continue;
+            };
+            for ex in 0..e {
+                if let Some(x) = geom.original_of_expanded(ex) {
+                    out[&[ci, ey, ex][..]] = t[&[ci, y, x]];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Expands a `[C, O, O]` `∇output` into the `[C, K, K]` zero-inserted kernel
+/// of Fig. 6 (`S−1` zeros between elements plus `R` trailing zeros).
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-3 or its spatial extent differs from the
+/// forward output.
+pub fn insert_wconv_kernel(dout: &Tensor, geom: &WconvGeometry) -> Tensor {
+    assert_eq!(dout.shape().len(), 3, "insert_wconv_kernel expects [C, O, O]");
+    let c = dout.shape()[0];
+    let o = geom.forward.output;
+    assert_eq!(dout.shape()[1], o, "∇output height mismatch");
+    assert_eq!(dout.shape()[2], o, "∇output width mismatch");
+    let k = geom.inserted_kernel_extent();
+    let mut out = Tensor::zeros(&[c, k, k]);
+    for ci in 0..c {
+        for ky in 0..k {
+            let Some(oy) = geom.original_of_inserted(ky) else {
+                continue;
+            };
+            for kx in 0..k {
+                if let Some(ox) = geom.original_of_inserted(kx) {
+                    out[&[ci, ky, kx][..]] = dout[&[ci, oy, ox]];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{TconvGeometry, WconvGeometry};
+
+    #[test]
+    fn pad_preserves_interior() {
+        let t = Tensor::from_fn(&[1, 2, 2], |i| (i[1] * 2 + i[2] + 1) as f32);
+        let p = pad_planes(&t, 1);
+        assert_eq!(p.shape(), &[1, 4, 4]);
+        assert_eq!(p[&[0, 1, 1]], 1.0);
+        assert_eq!(p[&[0, 2, 2]], 4.0);
+        assert_eq!(p[&[0, 0, 0]], 0.0);
+        assert_eq!(p.sum(), t.sum());
+    }
+
+    #[test]
+    fn expand_conv1_layout_matches_fig4() {
+        // 4x4 input with S'=2, R=1, P=2 => 12x12 expanded plane.
+        let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+        let t = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2] + 1) as f32);
+        let e = expand_tconv_input(&t, &geom);
+        assert_eq!(e.shape(), &[1, 12, 12]);
+        // Original values sit at pad + 2*index.
+        assert_eq!(e[&[0, 2, 2]], 1.0);
+        assert_eq!(e[&[0, 2, 4]], 2.0);
+        assert_eq!(e[&[0, 8, 8]], 16.0);
+        // Everything between is zero; totals agree.
+        assert_eq!(e.sum(), t.sum());
+        assert_eq!(e.count_zeros(), geom.zeros_per_plane());
+    }
+
+    #[test]
+    fn expand_zero_count_matches_eq7() {
+        for (i, w, s) in [(4, 5, 2), (8, 4, 2), (16, 4, 2), (5, 5, 3)] {
+            let geom = TconvGeometry::for_upsampling(i, w, s).unwrap();
+            let t = Tensor::ones(&[2, i, i]);
+            let e = expand_tconv_input(&t, &geom);
+            assert_eq!(e.count_zeros(), 2 * geom.zeros_per_plane(), "({i},{w},{s})");
+        }
+    }
+
+    #[test]
+    fn insert_kernel_positions() {
+        let geom = WconvGeometry::new(8, 5, 2, 2).unwrap();
+        let dout = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2] + 1) as f32);
+        let k = insert_wconv_kernel(&dout, &geom);
+        assert_eq!(k.shape(), &[1, 8, 8]);
+        assert_eq!(k[&[0, 0, 0]], 1.0);
+        assert_eq!(k[&[0, 0, 2]], 2.0);
+        assert_eq!(k[&[0, 6, 6]], 16.0);
+        assert_eq!(k[&[0, 1, 1]], 0.0);
+        assert_eq!(k.sum(), dout.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "input height mismatch")]
+    fn expand_rejects_wrong_extent() {
+        let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+        let t = Tensor::ones(&[1, 5, 5]);
+        let _ = expand_tconv_input(&t, &geom);
+    }
+}

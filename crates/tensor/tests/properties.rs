@@ -1,0 +1,109 @@
+//! Property-based tests for the reference kernels and geometry algebra.
+
+use lergan_tensor::conv::{
+    tconv_forward_direct, tconv_forward_zero_insert, wconv_weight_grad_zero_insert,
+};
+use lergan_tensor::zero_insert::expand_tconv_input;
+use lergan_tensor::{assert_tensors_close, Conv2d, SconvGeometry, Tensor, TconvGeometry, WconvGeometry};
+use proptest::prelude::*;
+
+fn small_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let len: usize = shape.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, len)
+        .prop_map(move |data| Tensor::from_vec(&shape, data))
+}
+
+/// Valid T-CONV upsampling configs: (input, kernel, converse stride).
+fn tconv_config() -> impl Strategy<Value = TconvGeometry> {
+    (2usize..8, 2usize..6, 2usize..4)
+        .prop_filter_map("geometry must exist", |(i, w, s)| {
+            TconvGeometry::for_upsampling(i, w, s)
+        })
+}
+
+/// Valid S-CONV configs: (input, kernel, stride, pad) with an output.
+fn sconv_config() -> impl Strategy<Value = SconvGeometry> {
+    (4usize..12, 2usize..6, 1usize..4, 0usize..3)
+        .prop_filter_map("geometry must exist", |(i, w, s, p)| {
+            SconvGeometry::new(i, w, s, p).filter(|g| g.output >= 1)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tconv_zero_insert_agrees_with_direct(geom in tconv_config(), seed in 0u64..1000) {
+        let ic = 1 + (seed % 3) as usize;
+        let oc = 1 + (seed % 2) as usize;
+        let input = Tensor::from_fn(&[ic, geom.input, geom.input], |idx| {
+            ((idx[0] * 31 + idx[1] * 7 + idx[2] * 3 + seed as usize) % 13) as f32 - 6.0
+        });
+        let weights = Tensor::from_fn(&[oc, ic, geom.kernel, geom.kernel], |idx| {
+            ((idx[0] * 17 + idx[1] * 5 + idx[2] * 11 + idx[3] + seed as usize) % 7) as f32 - 3.0
+        });
+        let a = tconv_forward_zero_insert(&input, &weights, &geom);
+        let b = tconv_forward_direct(&input, &weights, &geom);
+        assert_tensors_close(&a, &b, 1e-4);
+    }
+
+    #[test]
+    fn expanded_zero_count_matches_eq7(geom in tconv_config()) {
+        // Use strictly non-zero inputs so every zero in the expansion is an
+        // inserted/padding zero.
+        let input = Tensor::from_fn(&[1, geom.input, geom.input], |idx| {
+            1.0 + (idx[1] * geom.input + idx[2]) as f32
+        });
+        let e = expand_tconv_input(&input, &geom);
+        prop_assert_eq!(e.count_zeros(), geom.zeros_per_plane());
+        prop_assert_eq!(e.shape()[1] - geom.kernel + 1, geom.output);
+    }
+
+    #[test]
+    fn conv_forward_is_linear(geom in sconv_config(), a in small_tensor(vec![2usize, 6, 6]), b in small_tensor(vec![2usize, 6, 6])) {
+        // Restrict to a fixed 6x6 input so tensors can be generated eagerly.
+        prop_assume!(geom.input == 6 || SconvGeometry::new(6, geom.kernel, geom.stride, geom.pad).is_some());
+        let g = SconvGeometry::new(6, geom.kernel, geom.stride, geom.pad).unwrap();
+        let conv = Conv2d::new(2, 3, g.kernel, g.stride, g.pad).unwrap();
+        let w = Tensor::from_fn(&[3, 2, g.kernel, g.kernel], |idx| {
+            ((idx[0] + idx[1] * 2 + idx[2] * 3 + idx[3] * 5) % 9) as f32 * 0.25 - 1.0
+        });
+        let sum = a.zip_with(&b, |x, y| x + y);
+        let lhs = conv.forward(&sum, &w);
+        let rhs = conv.forward(&a, &w).zip_with(&conv.forward(&b, &w), |x, y| x + y);
+        assert_tensors_close(&lhs, &rhs, 1e-3);
+    }
+
+    #[test]
+    fn wconv_zero_insert_agrees_with_defining_sum(geom in sconv_config(), seed in 0u64..1000) {
+        let wg = WconvGeometry::new(geom.input, geom.kernel, geom.stride, geom.pad).unwrap();
+        let conv = Conv2d::new(2, 2, geom.kernel, geom.stride, geom.pad).unwrap();
+        let input = Tensor::from_fn(&[2, geom.input, geom.input], |idx| {
+            ((idx[0] * 13 + idx[1] * 3 + idx[2] + seed as usize) % 11) as f32 * 0.5 - 2.5
+        });
+        let dout = Tensor::from_fn(&[2, geom.output, geom.output], |idx| {
+            ((idx[0] * 7 + idx[1] * 5 + idx[2] * 2 + seed as usize) % 9) as f32 * 0.5 - 2.0
+        });
+        let a = conv.weight_grad(&input, &dout);
+        let b = wconv_weight_grad_zero_insert(&input, &dout, &wg);
+        assert_tensors_close(&a, &b, 1e-3);
+    }
+
+    #[test]
+    fn sconv_geometry_window_fits(geom in sconv_config()) {
+        // The last window must fit inside the padded input.
+        let span = geom.input + 2 * geom.pad;
+        prop_assert!((geom.output - 1) * geom.stride + geom.kernel <= span);
+        prop_assert_eq!((span - geom.kernel) % geom.stride, geom.remainder);
+    }
+
+    #[test]
+    fn tconv_useful_mults_never_exceed_total(geom in tconv_config()) {
+        prop_assert!(geom.useful_multiplications_per_channel()
+            <= geom.total_multiplications_per_channel());
+        // At least the windows anchored on true inputs do useful work. (When
+        // the kernel is smaller than the converse stride some interior
+        // windows cover only inserted zeros, so not *every* window counts.)
+        prop_assert!(geom.useful_multiplications_per_channel() >= geom.input * geom.input);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: map DCGAN onto LerGAN, simulate ten training iterations,
+//! and compare against the paper's three baselines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lergan::baselines::{FpgaGan, GpuPlatform, Prime};
+use lergan::core::{LerGan, ReplicaDegree};
+use lergan::gan::benchmarks;
+
+fn main() {
+    let gan = benchmarks::dcgan();
+    println!(
+        "Benchmark: {} ({} generator layers, {} discriminator layers, batch {})",
+        gan.name,
+        gan.generator.layers.len(),
+        gan.discriminator.layers.len(),
+        gan.batch_size
+    );
+
+    // Build the accelerator: ZFDR reshaping + 3D-connected PIM.
+    let accel = LerGan::builder(&gan)
+        .replica_degree(ReplicaDegree::Low)
+        .build()
+        .expect("DCGAN maps onto the default 3DCU pair");
+    let report = accel.train_iterations(10);
+
+    println!("\nLerGAN (ZFDR + 3D connection, low duplication):");
+    println!(
+        "  one iteration: {:.3} ms,  energy {:.2} mJ",
+        report.iteration_latency_ns / 1e6,
+        report.total_energy_pj / report.iterations as f64 / 1e9
+    );
+    println!("  energy distribution:");
+    for (k, v) in report.energy_breakdown.iter() {
+        println!(
+            "    {k:<14} {:6.2}%",
+            v / report.energy_breakdown.total() * 100.0
+        );
+    }
+    println!(
+        "  ReRAM tile: ADC {:.1}%, cell switching {:.1}%, other {:.1}%",
+        report.tile_breakdown.adc_share() * 100.0,
+        report.tile_breakdown.cell_switching_share() * 100.0,
+        report.tile_breakdown.other_share() * 100.0
+    );
+
+    println!("\nBaselines (one iteration):");
+    let lergan_e = report.total_energy_pj / report.iterations as f64;
+    for (name, latency, energy) in [
+        {
+            let r = Prime::new().train_iteration(&gan);
+            ("PRIME (ReRAM, normal reshape, H-tree)", r.iteration_latency_ns, r.iteration_energy_pj)
+        },
+        {
+            let r = GpuPlatform::new().train_iteration(&gan);
+            ("GPU (Titan X class)", r.iteration_latency_ns, r.iteration_energy_pj)
+        },
+        {
+            let r = FpgaGan::new().train_iteration(&gan);
+            ("FPGA GAN accelerator (VCU118 class)", r.iteration_latency_ns, r.iteration_energy_pj)
+        },
+    ] {
+        println!(
+            "  {name:<40} {:9.2} ms   speedup {:5.1}x   energy saving {:5.2}x",
+            latency / 1e6,
+            latency / report.iteration_latency_ns,
+            energy / lergan_e
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Functional GAN training on synthetic data: proves the substrate the
+//! accelerator model reasons about is a *real* GAN — Fig. 3's full
+//! dataflow (G→, D→, D←, D-w, G←, G-w) with minibatch SGD on the
+//! minimax objective of Eq. 1–2.
+//!
+//! Real data: 12×12 single-channel "stripe" images. The DCGAN-miniature
+//! generator (FC + two stride-1/2 T-CONVs) must learn to produce them
+//! from 8-dimensional noise.
+//!
+//! ```text
+//! cargo run --release --example train_synthetic_gan
+//! ```
+
+use lergan::gan::train::{
+    build_trainable, Gan,
+};
+use lergan::gan::topology::parse_network;
+use lergan::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A horizontal-stripe image: rows alternate between ~0.8 and ~-0.8 with
+/// small noise.
+fn stripe_sample(rng: &mut StdRng) -> Tensor {
+    let jitter = (rng.gen::<f32>() - 0.5) * 0.1;
+    Tensor::from_fn(&[1, 12, 12], |idx| {
+        let base = if idx[1] % 2 == 0 { 0.8 } else { -0.8 };
+        base + jitter
+    })
+}
+
+/// Row-alternation score: high for stripe-like images, ~0 for noise.
+fn stripeness(img: &Tensor) -> f32 {
+    let mut score = 0.0;
+    for y in 0..11 {
+        for x in 0..12 {
+            score += (img[&[0, y, x]] - img[&[0, y + 1, x]]).abs();
+        }
+    }
+    score / (11.0 * 12.0)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2018);
+
+    // Parse miniature Table V-style topologies and build trainable stacks.
+    let gen_spec = parse_network("mini generator", "8f-(8t-4t)(3k2s)-t1", 2, 12).unwrap();
+    let disc_spec = parse_network("mini discriminator", "(1c-8c)(3k2s)-f1", 2, 12).unwrap();
+    let generator = build_trainable(&gen_spec, true, &mut rng);
+    let discriminator = build_trainable(&disc_spec, false, &mut rng);
+    let mut gan = Gan::new(generator, discriminator, 8, 0.03, 7);
+
+    let initial = {
+        let mut s = 0.0;
+        for _ in 0..8 {
+            s += stripeness(&gan.generate());
+        }
+        s / 8.0
+    };
+    let real_score = {
+        let mut s = 0.0;
+        for _ in 0..8 {
+            s += stripeness(&stripe_sample(&mut rng));
+        }
+        s / 8.0
+    };
+    println!("stripeness: real data {real_score:.3}, untrained generator {initial:.3}");
+
+    for step in 0..400 {
+        let reals: Vec<Tensor> = (0..4).map(|_| stripe_sample(&mut rng)).collect();
+        let stats = gan.train_step(&reals);
+        if step % 80 == 0 {
+            println!(
+                "step {step:>4}: D loss {:.3}, G loss {:.3}, generator stripeness {:.3}",
+                stats.d_loss,
+                stats.g_loss,
+                stripeness(&gan.generate())
+            );
+        }
+    }
+
+    let trained = {
+        let mut s = 0.0;
+        for _ in 0..8 {
+            s += stripeness(&gan.generate());
+        }
+        s / 8.0
+    };
+    println!("\nstripeness after training: {trained:.3} (target ~{real_score:.3})");
+    assert!(
+        trained > initial,
+        "training should increase stripe structure ({initial:.3} -> {trained:.3})"
+    );
+    println!("the generator learned the stripe structure ✓");
+
+    // Render one generated sample as ASCII art.
+    let sample = gan.generate();
+    println!("\na generated 12x12 sample:");
+    for y in 0..12 {
+        let row: String = (0..12)
+            .map(|x| {
+                let v = sample[&[0, y, x]];
+                if v > 0.33 {
+                    '#'
+                } else if v < -0.33 {
+                    '.'
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        println!("  {row}");
+    }
+}

@@ -1,0 +1,36 @@
+//! LerGAN — a reproduction of *"LerGAN: A Zero-Free, Low Data Movement and
+//! PIM-Based GAN Architecture"* (MICRO 2018).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense tensors and reference convolution kernels,
+//! * [`gan`] — GAN topologies, functional training, dataflow graphs,
+//! * [`reram`] — ReRAM crossbar / tile / bank timing-energy models,
+//! * [`noc`] — H-tree and 3D-connected PIM interconnect,
+//! * [`core`] — ZFDR, the ZFDM compiler and the LerGAN accelerator,
+//! * [`sim`] — the discrete-event execution engine,
+//! * [`baselines`] — analytical GPU / FPGA-GAN / PRIME comparators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lergan::gan::benchmarks;
+//! use lergan::core::{LerGan, ReplicaDegree};
+//!
+//! let dcgan = benchmarks::dcgan();
+//! let accel = LerGan::builder(&dcgan)
+//!     .replica_degree(ReplicaDegree::Low)
+//!     .build()
+//!     .expect("DCGAN maps onto the default LerGAN configuration");
+//! let report = accel.train_iterations(1);
+//! assert!(report.total_latency_ns > 0.0);
+//! ```
+
+pub use lergan_baselines as baselines;
+pub use lergan_core as core;
+pub use lergan_gan as gan;
+pub use lergan_noc as noc;
+pub use lergan_reram as reram;
+pub use lergan_sim as sim;
+pub use lergan_tensor as tensor;

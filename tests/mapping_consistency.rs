@@ -1,0 +1,177 @@
+//! Cross-crate consistency checks: compiled mappings vs workloads vs the
+//! hardware models, and the controller script vs the simulation.
+
+use lergan::core::compiler::{self, CompilerOptions};
+use lergan::core::controller::{BankId, ControllerEvent, MemoryController};
+use lergan::core::{Connection, LerGan, ReplicaDegree, ReshapeScheme};
+use lergan::gan::{benchmarks, Phase};
+use lergan::reram::{CrossbarLayout, ReramConfig, TileSpec};
+
+#[test]
+fn compiled_storage_fits_tile_accounting() {
+    let cfg = ReramConfig::default();
+    let tile = TileSpec::new(&cfg);
+    for gan in benchmarks::all() {
+        let compiled = compiler::compile(
+            &gan,
+            CompilerOptions {
+                scheme: ReshapeScheme::Zfdr,
+                degree: ReplicaDegree::High,
+                connection: Connection::ThreeD,
+                phase_degrees: Default::default(),
+            },
+            &cfg,
+        );
+        for phase in &compiled.phases {
+            for layer in &phase.layers {
+                // The declared tile span must cover the stored values.
+                let capacity = layer.tiles as u128 * tile.carray_weights as u128;
+                assert!(
+                    capacity >= layer.stored_values,
+                    "{} {} layer {}: {} values in {} tiles",
+                    gan.name,
+                    phase.phase,
+                    layer.workload.layer_index,
+                    layer.stored_values,
+                    layer.tiles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zfdr_never_loses_to_normal_on_cycles() {
+    let cfg = ReramConfig::default();
+    for gan in benchmarks::all() {
+        let z = compiler::compile(
+            &gan,
+            CompilerOptions {
+                scheme: ReshapeScheme::Zfdr,
+                degree: ReplicaDegree::Low,
+                connection: Connection::ThreeD,
+                phase_degrees: Default::default(),
+            },
+            &cfg,
+        );
+        let n = compiler::compile(
+            &gan,
+            CompilerOptions {
+                scheme: ReshapeScheme::Normal,
+                degree: ReplicaDegree::Low,
+                connection: Connection::ThreeD,
+                phase_degrees: Default::default(),
+            },
+            &cfg,
+        );
+        for phase in Phase::ALL {
+            let zc = z.phase(phase).cycles_per_sample();
+            let nc = n.phase(phase).cycles_per_sample();
+            assert!(
+                zc <= nc,
+                "{} {phase}: ZFDR {zc} cycles vs normal {nc}",
+                gan.name
+            );
+        }
+    }
+}
+
+#[test]
+fn controller_script_covers_all_phases_and_updates() {
+    let script = MemoryController::iteration_script();
+    let runs: Vec<Phase> = script
+        .iter()
+        .filter_map(|e| match e {
+            ControllerEvent::RunPhase { phase } => Some(*phase),
+            _ => None,
+        })
+        .collect();
+    // Both halves run G→ and D→; every phase appears at least once.
+    for phase in Phase::ALL {
+        assert!(runs.contains(&phase), "{phase} never runs");
+    }
+    assert_eq!(runs.iter().filter(|p| **p == Phase::GForward).count(), 2);
+    assert_eq!(runs.iter().filter(|p| **p == Phase::DForward).count(), 2);
+    // Bank assignment is the Fig. 13 layout.
+    assert_eq!(BankId::for_phase(Phase::GForward).label(), "B1");
+    assert_eq!(BankId::for_phase(Phase::DBackward).label(), "B6");
+}
+
+#[test]
+fn crossbar_layouts_are_consistent_with_config() {
+    let cfg = ReramConfig::default();
+    // A layout's stored weights must cover its logical matrix.
+    for (rows, cols) in [(100, 16384), (4096, 512), (25600, 1024), (1, 1)] {
+        let l = CrossbarLayout::for_matrix(rows, cols, &cfg);
+        assert!(l.stored_weights(&cfg) >= (rows * cols) as u64);
+        assert!(l.occupancy(&cfg) <= 1.0 + 1e-12);
+        assert_eq!(l.ops_per_mmv(), l.crossbars());
+    }
+}
+
+#[test]
+fn training_reports_are_internally_consistent() {
+    for gan in [benchmarks::dcgan(), benchmarks::magan_mnist()] {
+        let r = LerGan::builder(&gan).build().unwrap().train_iterations(3);
+        // Totals scale with iterations.
+        assert!(
+            (r.total_latency_ns - 3.0 * r.iteration_latency_ns).abs()
+                < 1e-6 * r.total_latency_ns
+        );
+        // The Fig. 23 buckets sum to the total energy.
+        assert!(
+            (r.energy_breakdown.total() - r.total_energy_pj).abs()
+                < 1e-6 * r.total_energy_pj
+        );
+        // Compute bucket equals the tile breakdown (for one iteration,
+        // scaled by 3).
+        let tile = r.tile_breakdown.total_pj() * 3.0;
+        assert!(
+            (r.energy_breakdown.get("compute") - tile).abs() < 1e-6 * tile,
+            "{}: compute bucket {} vs tile total {}",
+            gan.name,
+            r.energy_breakdown.get("compute"),
+            tile
+        );
+        // Phase latencies are positive for every phase.
+        for phase in Phase::ALL {
+            assert!(
+                r.phase_latency.get(&phase.to_string()) > 0.0,
+                "{}: no latency recorded for {phase}",
+                gan.name
+            );
+        }
+    }
+}
+
+#[test]
+fn space_equalization_factor_reflects_zfdr_footprint() {
+    let cfg = ReramConfig::default();
+    let gan = benchmarks::dcgan();
+    let z = compiler::compile(
+        &gan,
+        CompilerOptions {
+            scheme: ReshapeScheme::Zfdr,
+            degree: ReplicaDegree::Low,
+            connection: Connection::ThreeD,
+            phase_degrees: Default::default(),
+        },
+        &cfg,
+    );
+    let n = compiler::compile(
+        &gan,
+        CompilerOptions {
+            scheme: ReshapeScheme::Normal,
+            degree: ReplicaDegree::Low,
+            connection: Connection::HTree,
+            phase_degrees: Default::default(),
+        },
+        &cfg,
+    );
+    let factor = compiler::space_equalization_factor(&z, &n);
+    // ZFDR stores roughly 2-6x the plain weights for the Table V nets.
+    assert!(
+        (2..=8).contains(&factor),
+        "space factor {factor} out of the expected band"
+    );
+}

@@ -1,0 +1,121 @@
+//! Cross-crate functional tests: the zero-free ZFDR executor must agree
+//! with the naive kernels on every geometry that occurs in the Table V
+//! benchmarks, and with the trainable layers of the functional GAN.
+
+use lergan::core::zfdr::exec::{execute_tconv, execute_wconv};
+use lergan::gan::{benchmarks, Layer};
+use lergan::tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
+use lergan::tensor::{assert_tensors_close, Tensor, WconvGeometry};
+use proptest::prelude::*;
+
+fn det(shape: &[usize], seed: u32) -> Tensor {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(99);
+    Tensor::from_fn(shape, |_| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((state >> 16) as f32 / 65536.0) - 0.5
+    })
+}
+
+/// Every distinct T-CONV geometry in the Table V benchmarks, exercised
+/// with reduced channels.
+#[test]
+fn zfdr_matches_naive_on_every_benchmark_tconv_geometry() {
+    let mut seen = std::collections::HashSet::new();
+    let mut exercised = 0;
+    for gan in benchmarks::all() {
+        if gan.generator.dims != 2 {
+            continue; // the executor is 2-D; 3D-GAN is counted analytically
+        }
+        for net in [&gan.generator, &gan.discriminator] {
+            for layer in &net.layers {
+                let Layer::Tconv(t) = layer else { continue };
+                if !seen.insert(t.geometry) {
+                    continue;
+                }
+                // Skip the largest extents to keep the test quick; the
+                // geometry classes repeat with the spatial period anyway.
+                if t.geometry.output > 16 {
+                    continue;
+                }
+                let input = det(&[3, t.geometry.input, t.geometry.input], exercised + 1);
+                let weights = det(
+                    &[2, 3, t.geometry.kernel, t.geometry.kernel],
+                    exercised + 77,
+                );
+                let (zf, stats) = execute_tconv(&input, &weights, &t.geometry);
+                let naive = tconv_forward_zero_insert(&input, &weights, &t.geometry);
+                assert_tensors_close(&zf, &naive, 1e-3);
+                assert!(stats.reshaped_matrices > 0);
+                exercised += 1;
+            }
+        }
+    }
+    assert!(exercised >= 4, "expected several distinct geometries");
+}
+
+/// Every distinct S-CONV geometry's weight-gradient (W-CONV-S) direction.
+#[test]
+fn wconv_zfdr_matches_naive_on_benchmark_geometries() {
+    let mut seen = std::collections::HashSet::new();
+    let mut exercised = 0;
+    for gan in benchmarks::all() {
+        if gan.discriminator.dims != 2 {
+            continue;
+        }
+        for net in [&gan.generator, &gan.discriminator] {
+            for layer in &net.layers {
+                let Layer::Conv(c) = layer else { continue };
+                if c.geometry.input > 16 || !seen.insert(c.geometry) {
+                    continue;
+                }
+                let geom = WconvGeometry { forward: c.geometry };
+                let input = det(&[2, c.geometry.input, c.geometry.input], exercised + 5);
+                let dout = det(&[3, c.geometry.output, c.geometry.output], exercised + 50);
+                let (zf, _) = execute_wconv(&input, &dout, &geom);
+                let naive = wconv_weight_grad_zero_insert(&input, &dout, &geom);
+                assert_tensors_close(&zf, &naive, 1e-3);
+                exercised += 1;
+            }
+        }
+    }
+    assert!(exercised >= 2, "expected several distinct geometries");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random valid geometries: ZFDR execution equals the zero-insertion
+    /// reference (the core correctness property of the paper).
+    #[test]
+    fn zfdr_tconv_equivalence_random(i in 2usize..8, w in 2usize..6, s in 2usize..4, seed in 0u32..500) {
+        prop_assume!(w >= s); // avoid output holes (degenerate for GANs)
+        let Some(geom) = lergan::tensor::TconvGeometry::for_upsampling(i, w, s) else {
+            return Ok(());
+        };
+        let input = det(&[2, i, i], seed);
+        let weights = det(&[2, 2, w, w], seed + 1000);
+        let (zf, stats) = execute_tconv(&input, &weights, &geom);
+        let naive = tconv_forward_zero_insert(&input, &weights, &geom);
+        assert_tensors_close(&zf, &naive, 1e-3);
+        // Zero-free invariant: multiplication count equals the analytic
+        // useful-MAC count.
+        prop_assert_eq!(
+            stats.multiplications,
+            geom.useful_multiplications_per_channel() as u128 * 2 * 2
+        );
+    }
+
+    /// Random valid W-CONV-S geometries.
+    #[test]
+    fn zfdr_wconv_equivalence_random(i in 4usize..12, w in 2usize..6, s in 1usize..3, p in 0usize..3, seed in 0u32..500) {
+        let Some(geom) = WconvGeometry::new(i, w, s, p) else {
+            return Ok(());
+        };
+        prop_assume!(geom.forward.output >= 1);
+        let input = det(&[2, i, i], seed);
+        let dout = det(&[2, geom.forward.output, geom.forward.output], seed + 2000);
+        let (zf, _) = execute_wconv(&input, &dout, &geom);
+        let naive = wconv_weight_grad_zero_insert(&input, &dout, &geom);
+        assert_tensors_close(&zf, &naive, 1e-3);
+    }
+}
