@@ -68,7 +68,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_are_physical()  {
+    fn defaults_are_physical() {
         let g = GpuCalib::default();
         assert!(g.peak_flops > 1e12 && g.efficiency < 1.0);
         let f = FpgaCalib::default();

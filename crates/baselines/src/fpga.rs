@@ -95,11 +95,13 @@ mod tests {
         let gan = benchmarks::dcgan();
         let r = fpga.train_iteration(&gan);
         assert!(r.iteration_latency_ns > 0.0);
-        let dense_macs: u128 = gan.workloads(lergan_gan::Phase::GForward)
+        let dense_macs: u128 = gan
+            .workloads(lergan_gan::Phase::GForward)
             .iter()
             .map(|w| w.macs_dense)
             .sum();
-        let useful_macs: u128 = gan.workloads(lergan_gan::Phase::GForward)
+        let useful_macs: u128 = gan
+            .workloads(lergan_gan::Phase::GForward)
             .iter()
             .map(|w| w.macs_useful)
             .sum();

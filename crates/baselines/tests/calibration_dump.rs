@@ -10,8 +10,17 @@ use lergan_gan::benchmarks;
 fn dump_platform_numbers() {
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "benchmark", "LerGAN(ms)", "PRIME(ms)", "GPU(ms)", "FPGA(ms)", "xPRIME", "xGPU", "xFPGA",
-        "eGPU", "eFPGA", "ePRIME"
+        "benchmark",
+        "LerGAN(ms)",
+        "PRIME(ms)",
+        "GPU(ms)",
+        "FPGA(ms)",
+        "xPRIME",
+        "xGPU",
+        "xFPGA",
+        "eGPU",
+        "eFPGA",
+        "ePRIME"
     );
     let mut s_prime = 0.0;
     let mut s_gpu = 0.0;

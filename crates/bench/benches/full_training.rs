@@ -44,7 +44,11 @@ fn bench_compile(c: &mut Criterion) {
 
 fn bench_iteration(c: &mut Criterion) {
     let mut g = c.benchmark_group("train_iteration");
-    for gan in [benchmarks::dcgan(), benchmarks::cgan(), benchmarks::magan_mnist()] {
+    for gan in [
+        benchmarks::dcgan(),
+        benchmarks::cgan(),
+        benchmarks::magan_mnist(),
+    ] {
         let accel = LerGan::builder(&gan).build().unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(&gan.name), &accel, |b, a| {
             b.iter(|| a.train_iterations(black_box(1)))

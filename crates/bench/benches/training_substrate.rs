@@ -55,5 +55,10 @@ fn bench_quantized_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_train_step, bench_batchnorm, bench_quantized_path);
+criterion_group!(
+    benches,
+    bench_train_step,
+    bench_batchnorm,
+    bench_quantized_path
+);
 criterion_main!(benches);

@@ -1,13 +1,16 @@
 //! Criterion benches for the ZFDR machinery (Fig. 16's substrate):
-//! zero-free execution vs the naive zero-insertion kernel, plan
-//! enumeration, and the closed-form counting.
+//! zero-free execution — batched one-GEMM-per-pattern-class vs the
+//! per-position reference — against the naive zero-insertion kernel,
+//! plus plan enumeration and the closed-form counting.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lergan_core::zfdr::closed_form;
-use lergan_core::zfdr::exec::{execute_tconv, execute_wconv};
+use lergan_core::zfdr::exec::{
+    execute_tconv, execute_tconv_reference, execute_wconv, execute_wconv_reference,
+};
 use lergan_core::ZfdrPlan;
 use lergan_tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
-use lergan_tensor::{Tensor, TconvGeometry, WconvGeometry};
+use lergan_tensor::{TconvGeometry, Tensor, WconvGeometry};
 use std::hint::black_box;
 
 fn det(shape: &[usize], seed: u32) -> Tensor {
@@ -25,11 +28,30 @@ fn bench_tconv(c: &mut Criterion) {
     let input = det(&[16, 4, 4], 1);
     let weights = det(&[8, 16, 5, 5], 2);
     let mut g = c.benchmark_group("tconv_conv1_16x8ch");
-    g.bench_function("zfdr_zero_free", |b| {
+    g.bench_function("zfdr_batched_gemm", |b| {
         b.iter(|| execute_tconv(black_box(&input), black_box(&weights), &geom))
+    });
+    g.bench_function("zfdr_per_position", |b| {
+        b.iter(|| execute_tconv_reference(black_box(&input), black_box(&weights), &geom))
     });
     g.bench_function("naive_zero_insertion", |b| {
         b.iter(|| tconv_forward_zero_insert(black_box(&input), black_box(&weights), &geom))
+    });
+    g.finish();
+}
+
+fn bench_tconv_wide(c: &mut Criterion) {
+    // CONV3-like upsampling stage at realistic channel counts: the
+    // regime where batching per pattern class amortises matrix reuse.
+    let geom = TconvGeometry::for_upsampling(16, 5, 2).unwrap();
+    let input = det(&[64, 16, 16], 5);
+    let weights = det(&[32, 64, 5, 5], 6);
+    let mut g = c.benchmark_group("tconv_16to32_64x32ch");
+    g.bench_function("zfdr_batched_gemm", |b| {
+        b.iter(|| execute_tconv(black_box(&input), black_box(&weights), &geom))
+    });
+    g.bench_function("zfdr_per_position", |b| {
+        b.iter(|| execute_tconv_reference(black_box(&input), black_box(&weights), &geom))
     });
     g.finish();
 }
@@ -39,8 +61,11 @@ fn bench_wconv(c: &mut Criterion) {
     let input = det(&[8, 8, 8], 3);
     let dout = det(&[8, 4, 4], 4);
     let mut g = c.benchmark_group("wconv_8x8_8ch");
-    g.bench_function("zfdr_zero_free", |b| {
+    g.bench_function("zfdr_batched_gemm", |b| {
         b.iter(|| execute_wconv(black_box(&input), black_box(&dout), &geom))
+    });
+    g.bench_function("zfdr_per_position", |b| {
+        b.iter(|| execute_wconv_reference(black_box(&input), black_box(&dout), &geom))
     });
     g.bench_function("naive_zero_insertion", |b| {
         b.iter(|| wconv_weight_grad_zero_insert(black_box(&input), black_box(&dout), &geom))
@@ -58,5 +83,11 @@ fn bench_plan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tconv, bench_wconv, bench_plan);
+criterion_group!(
+    benches,
+    bench_tconv,
+    bench_tconv_wide,
+    bench_wconv,
+    bench_plan
+);
 criterion_main!(benches);

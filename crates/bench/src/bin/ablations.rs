@@ -93,7 +93,10 @@ fn main() {
         ReplicaDegree::Middle,
         ReplicaDegree::High,
     ] {
-        let accel = LerGan::builder(&gan).replica_degree(degree).build().unwrap();
+        let accel = LerGan::builder(&gan)
+            .replica_degree(degree)
+            .build()
+            .unwrap();
         let r = accel.train_iterations(1);
         t.row(&[
             degree.label().to_string(),

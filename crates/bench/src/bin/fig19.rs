@@ -5,7 +5,15 @@ use lergan_bench::TextTable;
 
 fn main() {
     println!("Fig. 19: LerGAN speedup over PRIME (10-iteration average, batch 64)\n");
-    let mut t = TextTable::new(&["benchmark", "low", "middle", "high", "low-NS", "mid-NS", "high-NS"]);
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "low",
+        "middle",
+        "high",
+        "low-NS",
+        "mid-NS",
+        "high-NS",
+    ]);
     let rows = figures::fig19_20();
     let mut avg = 0.0;
     let mut n = 0.0;
@@ -25,5 +33,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nOverall average speedup over PRIME: {:.2}x (paper: 7.46x)", avg / n);
+    println!(
+        "\nOverall average speedup over PRIME: {:.2}x (paper: 7.46x)",
+        avg / n
+    );
 }

@@ -5,7 +5,15 @@ use lergan_bench::TextTable;
 
 fn main() {
     println!("Fig. 20: LerGAN energy saving over PRIME\n");
-    let mut t = TextTable::new(&["benchmark", "low", "middle", "high", "low-NS", "mid-NS", "high-NS"]);
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "low",
+        "middle",
+        "high",
+        "low-NS",
+        "mid-NS",
+        "high-NS",
+    ]);
     let rows = figures::fig19_20();
     let mut avg = 0.0;
     let mut n = 0.0;
@@ -25,6 +33,9 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nOverall average energy saving over PRIME: {:.2}x (paper: 7.68x)", avg / n);
+    println!(
+        "\nOverall average energy saving over PRIME: {:.2}x (paper: 7.68x)",
+        avg / n
+    );
     println!("Higher duplication saves less energy (more update writes), as in the paper.");
 }

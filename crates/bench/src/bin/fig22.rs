@@ -7,7 +7,11 @@ use lergan_bench::TextTable;
 fn main() {
     println!("Fig. 22: LerGAN energy saving over FPGA-GAN and GPU\n");
     let mut t = TextTable::new(&[
-        "benchmark", "vs FPGA (low)", "vs FPGA (high)", "vs GPU (low)", "vs GPU (high)",
+        "benchmark",
+        "vs FPGA (low)",
+        "vs FPGA (high)",
+        "vs GPU (low)",
+        "vs GPU (high)",
     ]);
     for r in figures::fig21_22() {
         t.row(&[

@@ -8,7 +8,10 @@ fn main() {
     let (adc, switching, other, reduction) = figures::fig24();
     println!("Fig. 24: ReRAM tile energy breakdown (training operation mix)\n");
     println!("ADC             {:6.2}%   (paper: 45.14%)", adc * 100.0);
-    println!("cell switching  {:6.2}%   (paper: 40.16%)", switching * 100.0);
+    println!(
+        "cell switching  {:6.2}%   (paper: 40.16%)",
+        switching * 100.0
+    );
     println!("other           {:6.2}%   (paper: ~14.7%)", other * 100.0);
     println!("\nWhat-if (1-pJ cell switching [66] + 60% ADC saving [37]):");
     println!("power reduction {reduction:.2}x   (paper: nearly 3x)");

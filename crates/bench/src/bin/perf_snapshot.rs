@@ -1,0 +1,353 @@
+//! Wall-clock performance snapshot of the ZFDR execution paths and the
+//! training substrate, written to `BENCH_zfdr.json`.
+//!
+//! Times four workloads with `std::time::Instant`:
+//!
+//! * T-CONV ZFDR (batched one-GEMM-per-pattern-class, the per-position
+//!   reference oracle, and a faithful copy of the original lazy
+//!   per-position implementation pinned below as the baseline),
+//! * W-CONV-S ZFDR (same three variants),
+//! * S-CONV through im2col + GEMM,
+//! * one full DCGAN training step on the reduced 16 px networks.
+//!
+//! Each ZFDR workload is timed at one worker thread and at the
+//! configured thread count (`LERGAN_THREADS` or the host parallelism),
+//! so the snapshot records both algorithmic and threading speedups.
+//!
+//! Usage: `perf_snapshot [output.json]` (default `BENCH_zfdr.json`).
+
+use lergan_core::zfdr::exec::{
+    execute_tconv, execute_tconv_reference, execute_wconv, execute_wconv_reference,
+};
+use lergan_core::ZfdrPlan;
+use lergan_gan::topology::parse_network;
+use lergan_gan::train::{build_trainable_with, Gan, UpdateRule};
+use lergan_tensor::im2col::conv2d_gemm;
+use lergan_tensor::tensor::mmv;
+use lergan_tensor::{parallel, SconvGeometry, TconvGeometry, Tensor, WconvGeometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn det(shape: &[usize], seed: u32) -> Tensor {
+    let mut state = seed.wrapping_mul(747796405).wrapping_add(1);
+    Tensor::from_fn(shape, |_| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((state >> 16) as f32 / 65536.0) - 0.5
+    })
+}
+
+/// Mean nanoseconds per iteration: one warmup call, then enough
+/// iterations to fill ~200 ms of wall clock.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        let per = (elapsed.as_nanos() as f64 / iters as f64).max(1.0);
+        if elapsed >= Duration::from_millis(200) || iters >= 1_000_000 {
+            return per;
+        }
+        iters = ((2.0e8 / per).ceil() as u64).clamp(iters * 2, 1_000_000);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Faithful copy of the original per-position ZFDR implementation (lazy
+// HashMap materialisation, per-position pattern clones, bounds-checked
+// multi-index gathers). Kept verbatim so the snapshot always measures
+// the batched path against the same baseline, independent of how the
+// library's reference path evolves.
+// ---------------------------------------------------------------------
+
+fn seed_tconv(input: &Tensor, weights: &Tensor, geom: &TconvGeometry) -> Tensor {
+    let (oc, ic) = (weights.shape()[0], weights.shape()[1]);
+    let plan = ZfdrPlan::for_tconv(geom);
+    let o = geom.output;
+    let p = geom.insertion_pad;
+    let s = geom.converse_stride;
+    let mut out = Tensor::zeros(&[oc, o, o]);
+    let mut matrices: HashMap<(usize, usize), Tensor> = HashMap::new();
+    for oy in 0..o {
+        let rc = plan.class_at(oy);
+        let pr = plan.axis_classes()[rc].pattern.clone();
+        for ox in 0..o {
+            let cc = plan.class_at(ox);
+            let pc = plan.axis_classes()[cc].pattern.clone();
+            if pr.is_empty() || pc.is_empty() {
+                continue;
+            }
+            let matrix = matrices.entry((rc, cc)).or_insert_with(|| {
+                let cols = pr.len() * pc.len() * ic;
+                Tensor::from_fn(&[oc, cols], |idx| {
+                    let (row, col) = (idx[0], idx[1]);
+                    let ci = col % ic;
+                    let kxi = (col / ic) % pc.len();
+                    let kyi = col / (ic * pc.len());
+                    weights[&[row, ci, pr[kyi], pc[kxi]]]
+                })
+            });
+            let mut vec = Vec::with_capacity(pr.len() * pc.len() * ic);
+            for &ky in &pr {
+                let iy = (oy + ky - p) / s;
+                for &kx in &pc {
+                    let ix = (ox + kx - p) / s;
+                    for ci in 0..ic {
+                        vec.push(input[&[ci, iy, ix]]);
+                    }
+                }
+            }
+            let result = mmv(matrix, &vec);
+            for (co, &v) in result.iter().enumerate() {
+                out[&[co, oy, ox][..]] = v;
+            }
+        }
+    }
+    out
+}
+
+fn seed_wconv(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> Tensor {
+    let f = geom.forward;
+    let (ic, oc) = (input.shape()[0], dout.shape()[0]);
+    let plan = ZfdrPlan::for_wconv(geom);
+    let w = geom.gradient_extent();
+    let mut dw = Tensor::zeros(&[oc, ic, w, w]);
+    let mut matrices: HashMap<(usize, usize), Tensor> = HashMap::new();
+    for wy in 0..w {
+        let rc = plan.class_at(wy);
+        let pr = plan.axis_classes()[rc].pattern.clone();
+        for wx in 0..w {
+            let cc = plan.class_at(wx);
+            let pc = plan.axis_classes()[cc].pattern.clone();
+            if pr.is_empty() || pc.is_empty() {
+                continue;
+            }
+            let matrix = matrices.entry((rc, cc)).or_insert_with(|| {
+                Tensor::from_fn(&[oc, pr.len() * pc.len()], |idx| {
+                    let (row, col) = (idx[0], idx[1]);
+                    let oxi = col % pc.len();
+                    let oyi = col / pc.len();
+                    dout[&[row, pr[oyi], pc[oxi]]]
+                })
+            });
+            for ci in 0..ic {
+                let mut vec = Vec::with_capacity(pr.len() * pc.len());
+                for &oh in &pr {
+                    let iy = wy + oh * f.stride - f.pad;
+                    for &ow in &pc {
+                        let ix = wx + ow * f.stride - f.pad;
+                        vec.push(input[&[ci, iy, ix]]);
+                    }
+                }
+                let result = mmv(matrix, &vec);
+                for (co, &v) in result.iter().enumerate() {
+                    dw[&[co, ci, wy, wx][..]] = v;
+                }
+            }
+        }
+    }
+    dw
+}
+
+struct Entry {
+    name: &'static str,
+    threads: usize,
+    ns: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_zfdr.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = parallel::current_threads();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut record = |name: &'static str, t: usize, ns: f64| {
+        println!("{name:44} threads={t}  {ns:>12.0} ns/iter");
+        entries.push(Entry {
+            name,
+            threads: t,
+            ns,
+        });
+    };
+
+    // T-CONV at the CONV1 bench geometry (16 in / 8 out channels).
+    let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+    let input = det(&[16, 4, 4], 1);
+    let weights = det(&[8, 16, 5, 5], 2);
+    let ns = time_ns(|| {
+        black_box(seed_tconv(black_box(&input), black_box(&weights), &geom));
+    });
+    record("tconv_conv1_16x8ch/seed_per_position", 1, ns);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(execute_tconv_reference(
+                    black_box(&input),
+                    black_box(&weights),
+                    &geom,
+                ));
+            })
+        });
+        record("tconv_conv1_16x8ch/reference", t, ns);
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(execute_tconv(black_box(&input), black_box(&weights), &geom));
+            })
+        });
+        record("tconv_conv1_16x8ch/batched", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+
+    // T-CONV at realistic mid-network channel counts.
+    let geom_w = TconvGeometry::for_upsampling(16, 5, 2).unwrap();
+    let input_w = det(&[64, 16, 16], 5);
+    let weights_w = det(&[32, 64, 5, 5], 6);
+    let ns = time_ns(|| {
+        black_box(seed_tconv(
+            black_box(&input_w),
+            black_box(&weights_w),
+            &geom_w,
+        ));
+    });
+    record("tconv_16to32_64x32ch/seed_per_position", 1, ns);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(execute_tconv(
+                    black_box(&input_w),
+                    black_box(&weights_w),
+                    &geom_w,
+                ));
+            })
+        });
+        record("tconv_16to32_64x32ch/batched", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+
+    // W-CONV-S weight gradient.
+    let geom_g = WconvGeometry::new(8, 5, 2, 2).unwrap();
+    let input_g = det(&[8, 8, 8], 3);
+    let dout_g = det(&[8, 4, 4], 4);
+    let ns = time_ns(|| {
+        black_box(seed_wconv(black_box(&input_g), black_box(&dout_g), &geom_g));
+    });
+    record("wconv_8x8_8ch/seed_per_position", 1, ns);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(execute_wconv_reference(
+                    black_box(&input_g),
+                    black_box(&dout_g),
+                    &geom_g,
+                ));
+            })
+        });
+        record("wconv_8x8_8ch/reference", t, ns);
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(execute_wconv(
+                    black_box(&input_g),
+                    black_box(&dout_g),
+                    &geom_g,
+                ));
+            })
+        });
+        record("wconv_8x8_8ch/batched", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+
+    // S-CONV through im2col + GEMM (discriminator-style layer).
+    let geom_s = SconvGeometry::new(16, 5, 2, 2).unwrap();
+    let input_s = det(&[32, 16, 16], 7);
+    let weights_s = det(&[32, 32, 5, 5], 8);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(conv2d_gemm(
+                    black_box(&input_s),
+                    black_box(&weights_s),
+                    &geom_s,
+                ));
+            })
+        });
+        record("sconv_16px_32x32ch/im2col_gemm", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+
+    // One full DCGAN training step on the reduced 16 px networks.
+    let mut rng = StdRng::seed_from_u64(1);
+    let gen_spec = parse_network("g", "8f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+    let disc_spec = parse_network("d", "(1c-8c)(3k2s)-f1", 2, 16).unwrap();
+    let g = build_trainable_with(&gen_spec, true, false, &mut rng);
+    let d = build_trainable_with(&disc_spec, false, false, &mut rng);
+    let mut gan = Gan::new(g, d, 8, 0.01, 2).with_optimizer(UpdateRule::dcgan_adam(0.01));
+    let reals: Vec<Tensor> = (0..2).map(|_| Tensor::filled(&[1, 16, 16], 0.5)).collect();
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(gan.train_step(black_box(&reals)));
+            })
+        });
+        record("gan_train_step_16px/full", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+
+    let find = |name: &str, t: usize| {
+        entries
+            .iter()
+            .find(|e| e.name == name && e.threads == t)
+            .map(|e| e.ns)
+    };
+    let seed_conv1 = find("tconv_conv1_16x8ch/seed_per_position", 1);
+    let batched_conv1 = find("tconv_conv1_16x8ch/batched", 1);
+    let speedup_conv1 = match (seed_conv1, batched_conv1) {
+        (Some(s), Some(b)) if b > 0.0 => s / b,
+        _ => 0.0,
+    };
+    let batched_multi = find("tconv_conv1_16x8ch/batched", threads);
+    let thread_speedup = match (batched_conv1, batched_multi) {
+        (Some(one), Some(multi)) if multi > 0.0 => one / multi,
+        _ => 1.0,
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"host\": {{ \"cores\": {cores}, \"configured_threads\": {threads} }},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0} }}{}\n",
+            e.name,
+            e.threads,
+            e.ns,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_speedup:.2}\n  }}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("\nbatched vs seed per-position (CONV1, 1 thread): {speedup_conv1:.2}x");
+    println!("batched {threads} threads vs 1 thread (CONV1):    {thread_speedup:.2}x");
+    println!("wrote {out_path}");
+}

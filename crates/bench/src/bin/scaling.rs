@@ -34,7 +34,12 @@ fn family(item: usize, base_channels: usize) -> GanSpec {
 fn main() {
     println!("Scaling study: DCGAN-shaped family, batch 64\n");
     let mut t = TextTable::new(&[
-        "item", "base-ch", "weights (M)", "LerGAN (ms)", "vs PRIME", "vs GPU",
+        "item",
+        "base-ch",
+        "weights (M)",
+        "LerGAN (ms)",
+        "vs PRIME",
+        "vs GPU",
     ]);
     for item in [16usize, 32, 64] {
         for base in [32usize, 64, 128] {
@@ -52,8 +57,14 @@ fn main() {
                 base.to_string(),
                 format!("{weights:.2}"),
                 format!("{:.3}", lergan.iteration_latency_ns / 1e6),
-                format!("{:.2}x", prime.iteration_latency_ns / lergan.iteration_latency_ns),
-                format!("{:.2}x", gpu.iteration_latency_ns / lergan.iteration_latency_ns),
+                format!(
+                    "{:.2}x",
+                    prime.iteration_latency_ns / lergan.iteration_latency_ns
+                ),
+                format!(
+                    "{:.2}x",
+                    gpu.iteration_latency_ns / lergan.iteration_latency_ns
+                ),
             ]);
         }
     }

@@ -10,8 +10,10 @@ fn main() {
             "{}  (item {:?}, batch {})",
             gan.name, gan.item_size, gan.batch_size
         );
-        for (label, net) in [("generator", &gan.generator), ("discriminator", &gan.discriminator)]
-        {
+        for (label, net) in [
+            ("generator", &gan.generator),
+            ("discriminator", &gan.discriminator),
+        ] {
             let mut t = TextTable::new(&[
                 "layer", "kind", "in-ch", "out-ch", "in-sp", "out-sp", "weights",
             ]);
@@ -26,7 +28,11 @@ fn main() {
                     l.weight_count(net.dims).to_string(),
                 ]);
             }
-            println!("  {label} ({} layers, {} weights):", net.layers.len(), net.total_weights());
+            println!(
+                "  {label} ({} layers, {} weights):",
+                net.layers.len(),
+                net.total_weights()
+            );
             for line in t.render().lines() {
                 println!("    {line}");
             }

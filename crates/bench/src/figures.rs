@@ -166,7 +166,11 @@ pub fn fig17_18() -> Vec<ConnectionRow> {
                 ),
                 zfdr_2d_low: s(ReshapeScheme::Zfdr, Connection::HTree, ReplicaDegree::Low),
                 zfdr_3d_low: s(ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low),
-                nr_3d: s(ReshapeScheme::Normal, Connection::ThreeD, ReplicaDegree::Low),
+                nr_3d: s(
+                    ReshapeScheme::Normal,
+                    Connection::ThreeD,
+                    ReplicaDegree::Low,
+                ),
                 gan: gan.name,
             }
         })
@@ -285,7 +289,11 @@ pub fn headline_averages() -> (f64, f64, f64, f64) {
     let sf = rows.iter().map(|r| r.speedup_fpga[0]).sum::<f64>() / n;
     let sg = rows.iter().map(|r| r.speedup_gpu[0]).sum::<f64>() / n;
     let eg = rows.iter().map(|r| r.energy_saving_gpu[0]).sum::<f64>() / n;
-    let ef = rows.iter().map(|r| 1.0 / r.energy_saving_fpga[0]).sum::<f64>() / n;
+    let ef = rows
+        .iter()
+        .map(|r| 1.0 / r.energy_saving_fpga[0])
+        .sum::<f64>()
+        / n;
     (sf, sg, eg, ef)
 }
 
@@ -471,7 +479,10 @@ mod tests {
             "compute share {compute:.3} (paper 0.704)"
         );
         assert!((0.05..=0.25).contains(&comm), "comm {comm:.3} (paper 0.16)");
-        assert!((0.05..=0.25).contains(&other), "other {other:.3} (paper 0.136)");
+        assert!(
+            (0.05..=0.25).contains(&other),
+            "other {other:.3} (paper 0.136)"
+        );
     }
 
     #[test]

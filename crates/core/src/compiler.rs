@@ -254,10 +254,7 @@ fn map_layer(
     let pairs = workload.in_channels as u128 * workload.out_channels as u128;
     let (plan, positions_dense): (Option<ZfdrPlan>, u128) = match &workload.kind {
         WorkloadKind::Dense => (None, dense_positions(&workload)),
-        WorkloadKind::TconvInput(g) => (
-            Some(ZfdrPlan::for_tconv(g)),
-            (g.output as u128).pow(dims),
-        ),
+        WorkloadKind::TconvInput(g) => (Some(ZfdrPlan::for_tconv(g)), (g.output as u128).pow(dims)),
         WorkloadKind::WconvKernel(g) => (
             Some(ZfdrPlan::for_wconv(g)),
             (g.gradient_extent() as u128).pow(dims),
@@ -307,9 +304,17 @@ fn map_layer(
                 return;
             }
             let (rows, cols, mmv_factor) = if is_wconv {
-                (volume, workload.in_channels as u128, workload.out_channels as u128)
+                (
+                    volume,
+                    workload.in_channels as u128,
+                    workload.out_channels as u128,
+                )
             } else {
-                (volume * workload.in_channels as u128, workload.out_channels as u128, 1)
+                (
+                    volume * workload.in_channels as u128,
+                    workload.out_channels as u128,
+                    1,
+                )
             };
             let layout = CrossbarLayout::for_matrix(
                 (rows.min(usize::MAX as u128) as usize).max(1),
@@ -339,17 +344,13 @@ fn map_layer(
         // Space-aware clamp: one layer's copies must fit a bank.
         let base = workload.weight_values.max(dense_operand_values(&workload));
         let bank_values = config.weights_per_tile() as u128 * config.tiles_per_bank as u128;
-        if base > 0 {
-            replicas = replicas.min((bank_values / base).max(1) as usize);
+        if let Some(fit) = bank_values.checked_div(base) {
+            replicas = replicas.min(fit.max(1) as usize);
         }
         let stored = base * replicas as u128;
         let cycles = positions_dense.div_ceil(replicas as u128).max(1);
         let rows = dense_matrix_rows(&workload);
-        let layout = CrossbarLayout::for_matrix(
-            rows.max(1),
-            workload.out_channels.max(1),
-            config,
-        );
+        let layout = CrossbarLayout::for_matrix(rows.max(1), workload.out_channels.max(1), config);
         let ops = positions_dense * layout.crossbars() as u128;
         let moved = if options.scheme == ReshapeScheme::Zfdr {
             // ZFDR runs never move inserted zeros, even on dense phases
@@ -401,12 +402,8 @@ fn dense_matrix_rows(w: &ConvWorkload) -> usize {
                 (w.weight_values / w.out_channels.max(1) as u128).max(1) as usize
             }
         }
-        WorkloadKind::TconvInput(g) => {
-            (g.kernel as u128).pow(w.dims) as usize * w.in_channels
-        }
-        WorkloadKind::WconvKernel(g) => {
-            (g.inserted_kernel_extent() as u128).pow(w.dims) as usize
-        }
+        WorkloadKind::TconvInput(g) => (g.kernel as u128).pow(w.dims) as usize * w.in_channels,
+        WorkloadKind::WconvKernel(g) => (g.inserted_kernel_extent() as u128).pow(w.dims) as usize,
     }
 }
 
@@ -602,10 +599,7 @@ mod tests {
         assert_eq!(conv1_n.cycles_per_sample, 64);
         let conv1_z = &z.phase(Phase::GForward).layers[1];
         assert!(conv1_z.cycles_per_sample <= 9);
-        assert_eq!(
-            conv1_z.zfdr.as_ref().unwrap().distinct_classes,
-            25
-        );
+        assert_eq!(conv1_z.zfdr.as_ref().unwrap().distinct_classes, 25);
     }
 
     #[test]
@@ -621,7 +615,11 @@ mod tests {
         let n = dcgan_compiled(ReshapeScheme::Normal, ReplicaDegree::Low);
         let zm = z.phase(Phase::GForward).moved_values_per_sample();
         let nm = n.phase(Phase::GForward).moved_values_per_sample();
-        assert!((nm as f64 / zm as f64) > 4.0, "saving {}x", nm as f64 / zm as f64);
+        assert!(
+            (nm as f64 / zm as f64) > 4.0,
+            "saving {}x",
+            nm as f64 / zm as f64
+        );
     }
 
     #[test]
@@ -694,7 +692,10 @@ mod tests {
             hetero.options.degree_for(Phase::GForward),
             ReplicaDegree::High
         );
-        assert_eq!(hetero.options.degree_for(Phase::DForward), ReplicaDegree::Low);
+        assert_eq!(
+            hetero.options.degree_for(Phase::DForward),
+            ReplicaDegree::Low
+        );
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! (contention). Inter-model transfers ride the bypass links (3D) or the
 //! shared bus (H-tree).
 
-use crate::compiler::{self, CompiledGan, CompilerOptions, Connection, PhaseDegrees, ReshapeScheme};
-use crate::mapping::TileAllocation;
+use crate::compiler::{
+    self, CompiledGan, CompilerOptions, Connection, PhaseDegrees, ReshapeScheme,
+};
 use crate::controller::{BankId, MemoryController};
+use crate::mapping::TileAllocation;
 use crate::replica::ReplicaDegree;
 use lergan_gan::{GanSpec, Phase};
 use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, Route};
@@ -327,7 +329,11 @@ impl LerGan {
 
     /// Route between the generator side and the discriminator side.
     fn cross_side_route(&self, from_bank: usize, to_bank: usize) -> Route {
-        let mode = if self.threed() { Mode::Cmode } else { Mode::Smode };
+        let mode = if self.threed() {
+            Mode::Cmode
+        } else {
+            Mode::Smode
+        };
         self.pair
             .route(
                 Endpoint::pair_tile(0, if self.threed() { from_bank } else { 0 }, 0),
@@ -339,8 +345,7 @@ impl LerGan {
 
     /// Write time for `values` into a bank spanning `tiles` tiles.
     fn write_time_ns(&self, values: u128, tiles: usize) -> f64 {
-        let per_tile_values_per_write =
-            (self.cost.write_rows_parallel_per_tile as u128) * 32;
+        let per_tile_values_per_write = (self.cost.write_rows_parallel_per_tile as u128) * 32;
         let writes = values.div_ceil(per_tile_values_per_write.max(1));
         let parallel = tiles.max(1) as u128;
         writes.div_ceil(parallel) as f64 * self.reram.tile_write_latency_ns
@@ -390,11 +395,11 @@ impl LerGan {
             last: TaskId,
         }
         let run_phase = |engine: &mut Engine,
-                             phase: Phase,
-                             dep: Option<TaskId>,
-                             counts: &mut EnergyCounts,
-                             energy: &mut Breakdown,
-                             phase_cost: &mut Breakdown|
+                         phase: Phase,
+                         dep: Option<TaskId>,
+                         counts: &mut EnergyCounts,
+                         energy: &mut Breakdown,
+                         phase_cost: &mut Breakdown|
          -> PhaseRun {
             let bank = BankId::for_phase(phase);
             let cp = self.compiled.phase(phase);
@@ -418,15 +423,16 @@ impl LerGan {
                     // slices ride parallel short Cmode paths. Normal
                     // mapping keeps one monolithic stream and gains none
                     // of this.
-                    layer.moved_values_per_sample
+                    layer
+                        .moved_values_per_sample
                         .div_ceil(self.noc.cmode_parallel_channels as u128)
                 } else if layer.zfdr.is_some() {
                     // The H-tree unicasts each reshaped matrix its gathered
                     // slice of the input; the total stream approaches the
                     // im2col volume, bounded by the dense (zero-inserted)
                     // stream it replaces.
-                    let gathered = layer.workload.macs_useful
-                        / layer.workload.out_channels.max(1) as u128;
+                    let gathered =
+                        layer.workload.macs_useful / layer.workload.out_channels.max(1) as u128;
                     gathered.min(layer.workload.moved_values_dense)
                 } else {
                     layer.moved_values_per_sample
@@ -448,11 +454,9 @@ impl LerGan {
                     self.neighbor_route(bank, from_tile)
                 };
                 let (lat, en) = route.transfer(moved, &self.noc);
-                let mut xfer = TaskSpec::new(
-                    format!("{phase} xfer L{}", layer.workload.layer_index),
-                    lat,
-                )
-                .on(wire_r);
+                let mut xfer =
+                    TaskSpec::new(format!("{phase} xfer L{}", layer.workload.layer_index), lat)
+                        .on(wire_r);
                 if let Some(p) = prev {
                     xfer = xfer.after(p);
                 }
@@ -463,15 +467,12 @@ impl LerGan {
 
                 // Compute.
                 let dur = layer.cycles_per_sample as f64 * t_m * batch as f64;
-                let comp = TaskSpec::new(
-                    format!("{phase} comp L{}", layer.workload.layer_index),
-                    dur,
-                )
-                .on(comp_r)
-                .after(xfer_id);
+                let comp =
+                    TaskSpec::new(format!("{phase} comp L{}", layer.workload.layer_index), dur)
+                        .on(comp_r)
+                        .after(xfer_id);
                 let comp_id = engine.add_task(comp);
-                counts.crossbar_mmv_ops +=
-                    layer.crossbar_ops_per_sample * batch as u128;
+                counts.crossbar_mmv_ops += layer.crossbar_ops_per_sample * batch as u128;
                 phase_cost.add(&phase.to_string(), dur);
 
                 first.get_or_insert(xfer_id);
@@ -494,9 +495,8 @@ impl LerGan {
             let wire_r = wire_res[&(bank.side, bank.bank)];
             // ∇weight banks also stage one minibatch of cached
             // activations alongside the reshaped operands.
-            let mut values = (cp.stored_values() as f64
-                * self.cost.update_write_cell_fraction)
-                .ceil() as u128;
+            let mut values =
+                (cp.stored_values() as f64 * self.cost.update_write_cell_fraction).ceil() as u128;
             if phase.is_weight_grad() {
                 values += cp.moved_values_per_sample() * batch as u128;
             }
@@ -570,11 +570,15 @@ impl LerGan {
         );
         // Map D-w / D← while D→ runs (Fig. 13a).
         let map_dw = map_phase(&mut engine, Phase::DWeightGrad, Some(xfer_gd), &mut counts);
-        let map_db = map_phase(&mut engine, Phase::DBackward, Some(mode_switch), &mut counts);
-        // Error at the output layer (CPU-local, small).
-        let err = engine.add_task(
-            TaskSpec::new("loss gradient", self.cost.cpu_fixed_ns).after(df.last),
+        let map_db = map_phase(
+            &mut engine,
+            Phase::DBackward,
+            Some(mode_switch),
+            &mut counts,
         );
+        // Error at the output layer (CPU-local, small).
+        let err =
+            engine.add_task(TaskSpec::new("loss gradient", self.cost.cpu_fixed_ns).after(df.last));
         // Activations hop from the forward bank down to D-w's bank.
         let act_route = self.cross_bank_route(1, 0, 1);
         let (act_lat, act_en) = act_route.transfer(
@@ -585,10 +589,8 @@ impl LerGan {
             &self.noc,
         );
         energy.add("communication", act_en);
-        let act_move =
-            engine.add_task(TaskSpec::new("activations D->D-w", act_lat).after(df.last));
-        let db_barrier =
-            engine.add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err, map_db]));
+        let act_move = engine.add_task(TaskSpec::new("activations D->D-w", act_lat).after(df.last));
+        let db_barrier = engine.add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err, map_db]));
         let db = run_phase(
             &mut engine,
             Phase::DBackward,
@@ -597,9 +599,8 @@ impl LerGan {
             &mut energy,
             &mut phase_cost,
         );
-        let dw_barrier = engine.add_task(
-            TaskSpec::new("D-w ready", 0.0).after_all(&[map_dw, act_move, db.first]),
-        );
+        let dw_barrier = engine
+            .add_task(TaskSpec::new("D-w ready", 0.0).after_all(&[map_dw, act_move, db.first]));
         let dw = run_phase(
             &mut engine,
             Phase::DWeightGrad,
@@ -645,11 +646,10 @@ impl LerGan {
             &mut phase_cost,
         );
         let map_db2 = map_phase(&mut engine, Phase::DBackward, Some(update_d), &mut counts);
-        let err2 = engine.add_task(
-            TaskSpec::new("loss gradient (2)", self.cost.cpu_fixed_ns).after(df2.last),
-        );
-        let err_barrier = engine
-            .add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err2, map_db2]));
+        let err2 = engine
+            .add_task(TaskSpec::new("loss gradient (2)", self.cost.cpu_fixed_ns).after(df2.last));
+        let err_barrier =
+            engine.add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err2, map_db2]));
         let db2 = run_phase(
             &mut engine,
             Phase::DBackward,
@@ -676,8 +676,8 @@ impl LerGan {
             db2.last,
             &mut energy,
         );
-        let gb_barrier = engine
-            .add_task(TaskSpec::new("G← ready", 0.0).after_all(&[xfer_err, map_gb]));
+        let gb_barrier =
+            engine.add_task(TaskSpec::new("G← ready", 0.0).after_all(&[xfer_err, map_gb]));
         let gb = run_phase(
             &mut engine,
             Phase::GBackward,
@@ -686,8 +686,8 @@ impl LerGan {
             &mut energy,
             &mut phase_cost,
         );
-        let gw_barrier = engine
-            .add_task(TaskSpec::new("G-w ready", 0.0).after_all(&[gb.first, map_gw]));
+        let gw_barrier =
+            engine.add_task(TaskSpec::new("G-w ready", 0.0).after_all(&[gb.first, map_gw]));
         let gw = run_phase(
             &mut engine,
             Phase::GWeightGrad,
@@ -720,8 +720,7 @@ impl LerGan {
         let io_bytes = weight_values as f64 * 2.0;
         energy.add(
             "other",
-            weight_values as f64 * self.cost.cpu_pj_per_value
-                + io_bytes * self.cost.io_pj_per_byte,
+            weight_values as f64 * self.cost.cpu_pj_per_value + io_bytes * self.cost.io_pj_per_byte,
         );
         let total = energy.total();
 
@@ -769,16 +768,12 @@ impl LerGan {
             .iter()
             .map(|l| l.workload.output_values)
             .sum();
-        let flipped =
-            (stored as f64 * self.cost.update_write_cell_fraction).ceil() as u128;
+        let flipped = (stored as f64 * self.cost.update_write_cell_fraction).ceil() as u128;
         counts.weight_writes += flipped;
         counts.sarray_read_values += grads;
         counts.sarray_write_values += grads;
         energy.add("other", grads as f64 * self.cost.cpu_pj_per_value);
-        let tiles: usize = phases
-            .iter()
-            .map(|p| self.compiled.phase(*p).tiles())
-            .sum();
+        let tiles: usize = phases.iter().map(|p| self.compiled.phase(*p).tiles()).sum();
         let dur = self.write_time_ns(flipped, tiles)
             + self.cost.cpu_fixed_ns
             + grads as f64 * self.cost.cpu_update_ns_per_value
@@ -837,7 +832,12 @@ mod tests {
     fn zfdr_3d_beats_nr_3d() {
         // Fig. 18: ZFDR with 3D connection vs normal reshape with 3D.
         let gan = benchmarks::dcgan();
-        let z = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let z = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
         let n = report(
             &gan,
             ReshapeScheme::Normal,
@@ -856,8 +856,18 @@ mod tests {
     fn threed_beats_htree_with_zfdr() {
         // Fig. 17: the ZFDR speedup "almost disappears" on the H-tree.
         let gan = benchmarks::dcgan();
-        let d3 = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
-        let d2 = report(&gan, ReshapeScheme::Zfdr, Connection::HTree, ReplicaDegree::Low);
+        let d3 = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
+        let d2 = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::HTree,
+            ReplicaDegree::Low,
+        );
         assert!(
             d2.iteration_latency_ns > d3.iteration_latency_ns,
             "H-tree {} should be slower than 3D {}",
@@ -872,9 +882,24 @@ mod tests {
         // at the top end the extra mapping writes can eat the compute win,
         // so assert near-monotone latency and strictly growing writes.
         let gan = benchmarks::dcgan();
-        let low = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
-        let mid = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Middle);
-        let high = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::High);
+        let low = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
+        let mid = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Middle,
+        );
+        let high = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::High,
+        );
         assert!(mid.iteration_latency_ns <= low.iteration_latency_ns * 1.02);
         assert!(high.iteration_latency_ns <= low.iteration_latency_ns * 1.05);
         assert!(high.counts.weight_writes > low.counts.weight_writes);
@@ -884,7 +909,12 @@ mod tests {
     #[test]
     fn ten_iterations_scale_linearly() {
         let gan = benchmarks::cgan();
-        let one = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+        let one = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
         let accel = LerGan::builder(&gan).build().unwrap();
         let ten = accel.train_iterations(10);
         assert!((ten.total_latency_ns / one.iteration_latency_ns - 10.0).abs() < 1e-6);
@@ -894,7 +924,12 @@ mod tests {
     #[test]
     fn all_benchmarks_build_and_train() {
         for gan in benchmarks::all() {
-            let r = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
+            let r = report(
+                &gan,
+                ReshapeScheme::Zfdr,
+                Connection::ThreeD,
+                ReplicaDegree::Low,
+            );
             assert!(
                 r.iteration_latency_ns.is_finite() && r.iteration_latency_ns > 0.0,
                 "{}",
@@ -908,12 +943,32 @@ mod tests {
         // "MAGAN-MNIST shows nearly no speedup since its discriminator is
         // fully-connected and its generator is small."
         let gan = benchmarks::magan_mnist();
-        let z = report(&gan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
-        let n = report(&gan, ReshapeScheme::Normal, Connection::HTree, ReplicaDegree::Low);
+        let z = report(
+            &gan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
+        let n = report(
+            &gan,
+            ReshapeScheme::Normal,
+            Connection::HTree,
+            ReplicaDegree::Low,
+        );
         let speedup = n.iteration_latency_ns / z.iteration_latency_ns;
         let dcgan = benchmarks::dcgan();
-        let zd = report(&dcgan, ReshapeScheme::Zfdr, Connection::ThreeD, ReplicaDegree::Low);
-        let nd = report(&dcgan, ReshapeScheme::Normal, Connection::HTree, ReplicaDegree::Low);
+        let zd = report(
+            &dcgan,
+            ReshapeScheme::Zfdr,
+            Connection::ThreeD,
+            ReplicaDegree::Low,
+        );
+        let nd = report(
+            &dcgan,
+            ReshapeScheme::Normal,
+            Connection::HTree,
+            ReplicaDegree::Low,
+        );
         let dcgan_speedup = nd.iteration_latency_ns / zd.iteration_latency_ns;
         assert!(
             speedup < dcgan_speedup,

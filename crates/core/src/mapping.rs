@@ -68,10 +68,7 @@ impl TileAllocation {
 
     /// Total tiles demanded by the phase (may exceed one bank).
     pub fn tiles_demanded(&self) -> usize {
-        self.ranges
-            .last()
-            .map(|r| r.start + r.count)
-            .unwrap_or(0)
+        self.ranges.last().map(|r| r.start + r.count).unwrap_or(0)
     }
 
     /// How many extra 3DCU pairs this phase spills onto.
@@ -154,16 +151,16 @@ mod tests {
             let (from, to) = alloc.handoff(i);
             assert!(from < 16 && to < 16);
             // Consecutive allocation: the next layer starts right after.
-            assert_eq!(
-                (alloc.range(i).start + alloc.range(i).count) % 16,
-                to
-            );
+            assert_eq!((alloc.range(i).start + alloc.range(i).count) % 16, to);
         }
     }
 
     #[test]
     fn wrapping_is_detected() {
-        let r = TileRange { start: 14, count: 4 };
+        let r = TileRange {
+            start: 14,
+            count: 4,
+        };
         assert!(r.wraps(16));
         assert_eq!(r.tile(0, 16), 14);
         assert_eq!(r.tile(3, 16), 1);

@@ -29,8 +29,11 @@ pub enum ReplicaDegree {
 
 impl ReplicaDegree {
     /// The Table III degrees in increasing parallelism order.
-    pub const ALL: [ReplicaDegree; 3] =
-        [ReplicaDegree::Low, ReplicaDegree::Middle, ReplicaDegree::High];
+    pub const ALL: [ReplicaDegree; 3] = [
+        ReplicaDegree::Low,
+        ReplicaDegree::Middle,
+        ReplicaDegree::High,
+    ];
 
     /// Short label used in figure outputs.
     pub fn label(self) -> &'static str {

@@ -76,7 +76,7 @@ pub fn tconv_cases(geom: &TconvGeometry) -> TconvCaseCounts {
 /// The paper's interior reuse quantum `⌊(LL − W + 1) / S′⌋`.
 pub fn interior_reuse_floor(geom: &TconvGeometry) -> usize {
     let ll = loop_length(geom);
-    if ll + 1 <= geom.kernel {
+    if ll < geom.kernel {
         return 0;
     }
     (ll - geom.kernel + 1) / geom.converse_stride
@@ -155,7 +155,14 @@ mod tests {
     #[test]
     fn closed_form_matches_enumeration_for_common_geometries() {
         // The regime the paper targets: kernel >= stride, pad >= stride-1.
-        for (i, w, s) in [(4, 5, 2), (8, 5, 2), (16, 5, 2), (8, 4, 2), (16, 4, 2), (32, 4, 2)] {
+        for (i, w, s) in [
+            (4, 5, 2),
+            (8, 5, 2),
+            (16, 5, 2),
+            (8, 4, 2),
+            (16, 4, 2),
+            (32, 4, 2),
+        ] {
             let g = TconvGeometry::for_upsampling(i, w, s).unwrap();
             if g.insertion_pad < s - 1 {
                 continue;
@@ -219,7 +226,11 @@ mod tests {
                 wconv_boundary_classes(&g),
                 "boundary ({i},{w},{s},{p})"
             );
-            assert_eq!(plan.interior_axis_classes(), 1, "interior ({i},{w},{s},{p})");
+            assert_eq!(
+                plan.interior_axis_classes(),
+                1,
+                "interior ({i},{w},{s},{p})"
+            );
             assert_eq!(
                 plan.kind(ClassKind::Corner, 2).classes as usize,
                 c.corner,

@@ -2,13 +2,31 @@
 //!
 //! This is the functional proof that ZFDR computes *exactly* what the
 //! naive zero-insertion convolutions compute, while materialising one
-//! reshaped matrix per pattern class (built lazily, reused across output
-//! positions) and feeding only gathered true values.
+//! reshaped matrix per pattern class and feeding only gathered true values.
+//!
+//! Two execution paths share the same plan, the same pre-materialised
+//! reshaped matrices, and the same [`ZfdrStats`] accounting:
+//!
+//! * **Batched (default)** — [`execute_tconv`] / [`execute_wconv`] group
+//!   all output positions sharing a `(row-class, col-class)` pattern pair,
+//!   gather their input columns into one matrix, and run **one GEMM per
+//!   pattern class** (the paper's "one reshaped matrix per pattern", Fig. 7,
+//!   realised as a matrix-matrix product over the class's whole reuse set).
+//!   Class batches run in parallel on the `lergan_tensor::parallel`
+//!   substrate.
+//! * **Per-position reference** — [`execute_tconv_reference`] /
+//!   [`execute_wconv_reference`] issue one `mmv` per output position, the
+//!   way a single ReRAM CArray read cycle would. This is the oracle the
+//!   batched path is property-tested against.
+//!
+//! Both paths accumulate every output element in the same ascending
+//! gather order from an f32 zero, so they agree **bit-for-bit**, and both
+//! report identical logical statistics (MMVs are counted per output
+//! position even when the batched path fuses them into one GEMM).
 
-use crate::zfdr::plan::ZfdrPlan;
-use lergan_tensor::tensor::mmv;
-use lergan_tensor::{Tensor, TconvGeometry, WconvGeometry};
-use std::collections::HashMap;
+use crate::zfdr::plan::{AxisClass, ZfdrPlan};
+use lergan_tensor::tensor::{gemm, gemm_nt, mmv};
+use lergan_tensor::{parallel, TconvGeometry, Tensor, WconvGeometry};
 
 /// Statistics from one zero-free execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,10 +41,170 @@ pub struct ZfdrStats {
     pub gathered_values: u128,
 }
 
-/// Executes a T-CONV through T-CONV ZFDR.
+/// Output positions per axis class, ascending within each class.
+fn positions_by_class(plan: &ZfdrPlan, positions: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); plan.axis_classes().len()];
+    for pos in 0..positions {
+        groups[plan.class_at(pos)].push(pos);
+    }
+    groups
+}
+
+/// All `(row-class, col-class)` pairs whose patterns are both non-empty —
+/// the pairs that materialise a reshaped matrix. Pairs where either axis
+/// pattern is empty cover only inserted zeros/padding: their outputs are
+/// exactly zero and no matrix or MMV exists for them.
+fn class_pairs(classes: &[AxisClass]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (rc, row) in classes.iter().enumerate() {
+        if row.pattern.is_empty() {
+            continue;
+        }
+        for (cc, col) in classes.iter().enumerate() {
+            if !col.pattern.is_empty() {
+                pairs.push((rc, cc));
+            }
+        }
+    }
+    pairs
+}
+
+/// The analytic statistics both T-CONV paths report: per class pair, one
+/// reshaped matrix and one logical MMV of `|pr|·|pc|·ic` gathered values
+/// per covered output position.
+fn tconv_stats(
+    classes: &[AxisClass],
+    groups: &[Vec<usize>],
+    pairs: &[(usize, usize)],
+    ic: usize,
+    oc: usize,
+) -> ZfdrStats {
+    let mut stats = ZfdrStats {
+        reshaped_matrices: pairs.len(),
+        ..ZfdrStats::default()
+    };
+    for &(rc, cc) in pairs {
+        let npos = groups[rc].len() * groups[cc].len();
+        let veclen = classes[rc].pattern.len() * classes[cc].pattern.len() * ic;
+        stats.mmvs += npos;
+        stats.multiplications += (npos * oc * veclen) as u128;
+        stats.gathered_values += (npos * veclen) as u128;
+    }
+    stats
+}
+
+/// The analytic statistics both W-CONV-S paths report: one logical MMV of
+/// `|pr|·|pc|` gathered values per `(position, in-channel)`.
+fn wconv_stats(
+    classes: &[AxisClass],
+    groups: &[Vec<usize>],
+    pairs: &[(usize, usize)],
+    ic: usize,
+    oc: usize,
+) -> ZfdrStats {
+    let mut stats = ZfdrStats {
+        reshaped_matrices: pairs.len(),
+        ..ZfdrStats::default()
+    };
+    for &(rc, cc) in pairs {
+        let npos = groups[rc].len() * groups[cc].len() * ic;
+        let veclen = classes[rc].pattern.len() * classes[cc].pattern.len();
+        stats.mmvs += npos;
+        stats.multiplications += (npos * oc * veclen) as u128;
+        stats.gathered_values += (npos * veclen) as u128;
+    }
+    stats
+}
+
+/// Pre-materialises the T-CONV reshaped weight matrix of every class pair:
+/// `[OC, |pr|·|pc|·IC]` with column order `(ky in pr) × (kx in pc) × ic`.
+///
+/// The weights are first transposed once into one `[OC, IC]` slab per
+/// kernel tap, so every pair matrix row is a concatenation of contiguous
+/// `IC`-length slab runs instead of `|pr|·|pc|·IC` strided scalar reads.
+fn tconv_class_matrices(
+    weights: &Tensor,
+    classes: &[AxisClass],
+    pairs: &[(usize, usize)],
+) -> Vec<Option<Tensor>> {
+    let (oc, ic, w) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    let wdata = weights.data();
+    let mut slabs = vec![0.0f32; w * w * oc * ic];
+    for row in 0..oc {
+        for ci in 0..ic {
+            let kbase = (row * ic + ci) * w * w;
+            let sbase = row * ic + ci;
+            for tap in 0..w * w {
+                slabs[tap * oc * ic + sbase] = wdata[kbase + tap];
+            }
+        }
+    }
+    let n = classes.len();
+    let mut matrices = vec![None; n * n];
+    for &(rc, cc) in pairs {
+        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+        let cols = pr.len() * pc.len() * ic;
+        let mut data = Vec::with_capacity(oc * cols);
+        for row in 0..oc {
+            for &ky in pr {
+                for &kx in pc {
+                    let sbase = (ky * w + kx) * oc * ic + row * ic;
+                    data.extend_from_slice(&slabs[sbase..sbase + ic]);
+                }
+            }
+        }
+        matrices[rc * n + cc] = Some(Tensor::from_vec(&[oc, cols], data));
+    }
+    matrices
+}
+
+/// Column count from which the blocked row-major [`gemm`] (vectorised over
+/// columns) overtakes the scalar-dot [`gemm_nt`] kernel. Both accumulate
+/// each output element over `l` ascending from `0.0`, so the choice never
+/// affects results, only speed.
+const BLOCKED_GEMM_MIN_COLS: usize = 32;
+
+/// Pre-materialises the W-CONV-S reshaped `∇output` matrix of every class
+/// pair: `[OC, |pr|·|pc|]` with column order `(oy in pr) × (ox in pc)`.
+fn wconv_class_matrices(
+    dout: &Tensor,
+    classes: &[AxisClass],
+    pairs: &[(usize, usize)],
+) -> Vec<Option<Tensor>> {
+    let (oc, o) = (dout.shape()[0], dout.shape()[1]);
+    let ddata = dout.data();
+    let n = classes.len();
+    let mut matrices = vec![None; n * n];
+    for &(rc, cc) in pairs {
+        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+        let cols = pr.len() * pc.len();
+        let mut data = Vec::with_capacity(oc * cols);
+        for row in 0..oc {
+            let rbase = row * o * o;
+            for &oy in pr {
+                for &ox in pc {
+                    data.push(ddata[rbase + oy * o + ox]);
+                }
+            }
+        }
+        matrices[rc * n + cc] = Some(Tensor::from_vec(&[oc, cols], data));
+    }
+    matrices
+}
+
+fn check_tconv_operands(input: &Tensor, weights: &Tensor, geom: &TconvGeometry) -> (usize, usize) {
+    let (oc, ic, w) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    assert_eq!(w, geom.kernel, "kernel extent mismatch");
+    assert_eq!(input.shape(), &[ic, geom.input, geom.input], "input shape");
+    (oc, ic)
+}
+
+/// Executes a T-CONV through T-CONV ZFDR, batching every pattern class
+/// into one GEMM over its whole reuse set.
 ///
 /// `input` is `[IC, I, I]`, `weights` are `[OC, IC, W, W]`; returns the
-/// `[OC, O, O]` output and the execution statistics.
+/// `[OC, O, O]` output and the execution statistics. Bit-identical to
+/// [`execute_tconv_reference`] with identical statistics.
 ///
 /// # Panics
 ///
@@ -36,131 +214,328 @@ pub fn execute_tconv(
     weights: &Tensor,
     geom: &TconvGeometry,
 ) -> (Tensor, ZfdrStats) {
-    let (oc, ic, w) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
-    assert_eq!(w, geom.kernel, "kernel extent mismatch");
-    assert_eq!(input.shape(), &[ic, geom.input, geom.input], "input shape");
+    let (oc, ic) = check_tconv_operands(input, weights, geom);
     let plan = ZfdrPlan::for_tconv(geom);
+    let classes = plan.axis_classes();
     let o = geom.output;
     let p = geom.insertion_pad;
     let s = geom.converse_stride;
+    let i_ext = geom.input;
+    let groups = positions_by_class(&plan, o);
+    let pairs = class_pairs(classes);
+    let matrices = tconv_class_matrices(weights, classes, &pairs);
+    let n = classes.len();
+    let idata = input.data();
+    let iplane = i_ext * i_ext;
+
+    // One gather + one GEMM per pattern class, classes in parallel. The
+    // gather matrix is built transposed — one contiguous row per output
+    // position, in the reshaped matrix's column order — so `gemm_nt`
+    // computes, per output element, the same ascending-order dot product
+    // the reference path's `mmv` computes: the results are bit-identical.
+    let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
+        let (rc, cc) = pairs[pi];
+        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+        let (rows, cols) = (&groups[rc], &groups[cc]);
+        let npos = rows.len() * cols.len();
+        let dim = pr.len() * pc.len() * ic;
+        let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
+        if npos >= BLOCKED_GEMM_MIN_COLS {
+            // Wide class: row-major gather `[dim, npos]`, blocked GEMM.
+            let mut gathered = vec![0.0f32; dim * npos];
+            let mut r = 0;
+            for &ky in pr {
+                for &kx in pc {
+                    for ci in 0..ic {
+                        let cbase = ci * iplane;
+                        let grow = &mut gathered[r * npos..(r + 1) * npos];
+                        let mut col = 0;
+                        for &oy in rows {
+                            let rbase = cbase + (oy + ky - p) / s * i_ext;
+                            for &ox in cols {
+                                grow[col] = idata[rbase + (ox + kx - p) / s];
+                                col += 1;
+                            }
+                        }
+                        r += 1;
+                    }
+                }
+            }
+            gemm(matrix, &Tensor::from_vec(&[dim, npos], gathered))
+        } else {
+            // Narrow class: transposed gather `[npos, dim]`, dot kernel.
+            let mut gathered = Vec::with_capacity(npos * dim);
+            for &oy in rows {
+                for &ox in cols {
+                    for &ky in pr {
+                        let rbase = (oy + ky - p) / s * i_ext;
+                        for &kx in pc {
+                            let off = rbase + (ox + kx - p) / s;
+                            for ci in 0..ic {
+                                gathered.push(idata[ci * iplane + off]);
+                            }
+                        }
+                    }
+                }
+            }
+            gemm_nt(matrix, &Tensor::from_vec(&[npos, dim], gathered))
+        }
+    });
+
     let mut out = Tensor::zeros(&[oc, o, o]);
-    let mut stats = ZfdrStats::default();
-    // Reshaped matrix per (row-class, col-class): [OC, |pr|*|pc|*IC].
-    let mut matrices: HashMap<(usize, usize), Tensor> = HashMap::new();
+    let odata = out.data_mut();
+    for (pi, &(rc, cc)) in pairs.iter().enumerate() {
+        let (rows, cols) = (&groups[rc], &groups[cc]);
+        let npos = rows.len() * cols.len();
+        let rdata = results[pi].data();
+        for co in 0..oc {
+            let obase = co * o * o;
+            let rbase = co * npos;
+            let mut col = 0;
+            for &oy in rows {
+                for &ox in cols {
+                    odata[obase + oy * o + ox] = rdata[rbase + col];
+                    col += 1;
+                }
+            }
+        }
+    }
+    (out, tconv_stats(classes, &groups, &pairs, ic, oc))
+}
+
+/// Executes a T-CONV through T-CONV ZFDR, one MMV per output position —
+/// the reference oracle mirroring a single CArray read cycle per position.
+///
+/// Same operands, output, and statistics as [`execute_tconv`].
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches.
+pub fn execute_tconv_reference(
+    input: &Tensor,
+    weights: &Tensor,
+    geom: &TconvGeometry,
+) -> (Tensor, ZfdrStats) {
+    let (oc, ic) = check_tconv_operands(input, weights, geom);
+    let plan = ZfdrPlan::for_tconv(geom);
+    let classes = plan.axis_classes();
+    let o = geom.output;
+    let p = geom.insertion_pad;
+    let s = geom.converse_stride;
+    let i_ext = geom.input;
+    let groups = positions_by_class(&plan, o);
+    let pairs = class_pairs(classes);
+    let matrices = tconv_class_matrices(weights, classes, &pairs);
+    let n = classes.len();
+    let idata = input.data();
+    let iplane = i_ext * i_ext;
+    let mut out = Tensor::zeros(&[oc, o, o]);
+    let mut vec = Vec::new();
 
     for oy in 0..o {
         let rc = plan.class_at(oy);
-        let pr = plan.axis_classes()[rc].pattern.clone();
+        let pr = &classes[rc].pattern;
+        if pr.is_empty() {
+            continue;
+        }
         for ox in 0..o {
             let cc = plan.class_at(ox);
-            let pc = plan.axis_classes()[cc].pattern.clone();
-            if pr.is_empty() || pc.is_empty() {
+            let pc = &classes[cc].pattern;
+            if pc.is_empty() {
                 // The window covers only inserted zeros/padding: the
                 // output is exactly zero and no MMV is issued at all.
                 continue;
             }
-            let matrix = matrices.entry((rc, cc)).or_insert_with(|| {
-                stats.reshaped_matrices += 1;
-                // Column order: (ky in pr) x (kx in pc) x ic.
-                let cols = pr.len() * pc.len() * ic;
-                Tensor::from_fn(&[oc, cols], |idx| {
-                    let (row, col) = (idx[0], idx[1]);
-                    let ci = col % ic;
-                    let kxi = (col / ic) % pc.len();
-                    let kyi = col / (ic * pc.len());
-                    weights[&[row, ci, pr[kyi], pc[kxi]]]
-                })
-            });
-            // Gather the matching true inputs.
-            let mut vec = Vec::with_capacity(pr.len() * pc.len() * ic);
-            for &ky in &pr {
-                let iy = (oy + ky - p) / s;
-                for &kx in &pc {
-                    let ix = (ox + kx - p) / s;
+            let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
+            vec.clear();
+            vec.reserve(pr.len() * pc.len() * ic);
+            for &ky in pr {
+                let rbase = (oy + ky - p) / s * i_ext;
+                for &kx in pc {
+                    let off = rbase + (ox + kx - p) / s;
                     for ci in 0..ic {
-                        vec.push(input[&[ci, iy, ix]]);
+                        vec.push(idata[ci * iplane + off]);
                     }
                 }
             }
             let result = mmv(matrix, &vec);
-            stats.mmvs += 1;
-            stats.multiplications += (oc * vec.len()) as u128;
-            stats.gathered_values += vec.len() as u128;
             for (co, &v) in result.iter().enumerate() {
                 out[&[co, oy, ox][..]] = v;
             }
         }
     }
-    (out, stats)
+    (out, tconv_stats(classes, &groups, &pairs, ic, oc))
 }
 
-/// Executes the discriminator weight-gradient convolution through
-/// W-CONV-S ZFDR: the zero-inserted `∇output` is reshaped per pattern
-/// class and only true-input windows are gathered.
-///
-/// `input` is `[IC, I, I]`, `dout` is `[OC, O, O]`; returns
-/// `[OC, IC, W, W]` and the statistics.
-///
-/// # Panics
-///
-/// Panics on operand shape mismatches.
-pub fn execute_wconv(
-    input: &Tensor,
-    dout: &Tensor,
-    geom: &WconvGeometry,
-) -> (Tensor, ZfdrStats) {
+fn check_wconv_operands(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> (usize, usize) {
     let f = geom.forward;
     let (ic, oc) = (input.shape()[0], dout.shape()[0]);
     assert_eq!(input.shape()[1], f.input, "input extent mismatch");
     assert_eq!(dout.shape()[1], f.output, "∇output extent mismatch");
+    (ic, oc)
+}
+
+/// Executes the discriminator weight-gradient convolution through
+/// W-CONV-S ZFDR, batching every pattern class into one GEMM over all of
+/// its `(position, in-channel)` columns.
+///
+/// `input` is `[IC, I, I]`, `dout` is `[OC, O, O]`; returns
+/// `[OC, IC, W, W]` and the statistics. Bit-identical to
+/// [`execute_wconv_reference`] with identical statistics.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches.
+pub fn execute_wconv(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> (Tensor, ZfdrStats) {
+    let (ic, oc) = check_wconv_operands(input, dout, geom);
+    let f = geom.forward;
     let plan = ZfdrPlan::for_wconv(geom);
+    let classes = plan.axis_classes();
     let w = geom.gradient_extent();
+    let i_ext = f.input;
+    let groups = positions_by_class(&plan, w);
+    let pairs = class_pairs(classes);
+    let matrices = wconv_class_matrices(dout, classes, &pairs);
+    let n = classes.len();
+    let idata = input.data();
+    let iplane = i_ext * i_ext;
+
+    // Transposed gather: one contiguous row per (position, in-channel)
+    // column, in `(oy in pr) × (ox in pc)` order — the reshaped matrix's
+    // column order — so each output element is the reference `mmv` dot
+    // product, bit for bit.
+    let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
+        let (rc, cc) = pairs[pi];
+        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+        let (rows, cols) = (&groups[rc], &groups[cc]);
+        let ncols = rows.len() * cols.len() * ic;
+        let dim = pr.len() * pc.len();
+        let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
+        if ncols >= BLOCKED_GEMM_MIN_COLS {
+            // Wide class: row-major gather `[dim, ncols]`, blocked GEMM.
+            let mut gathered = vec![0.0f32; dim * ncols];
+            for (oyi, &oh) in pr.iter().enumerate() {
+                for (oxi, &ow) in pc.iter().enumerate() {
+                    let r = oyi * pc.len() + oxi;
+                    let grow = &mut gathered[r * ncols..(r + 1) * ncols];
+                    let mut col = 0;
+                    for &wy in rows {
+                        let rbase = (wy + oh * f.stride - f.pad) * i_ext;
+                        for &wx in cols {
+                            let off = rbase + wx + ow * f.stride - f.pad;
+                            for ci in 0..ic {
+                                grow[col] = idata[ci * iplane + off];
+                                col += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            gemm(matrix, &Tensor::from_vec(&[dim, ncols], gathered))
+        } else {
+            // Narrow class: transposed gather `[ncols, dim]`, dot kernel.
+            let mut gathered = Vec::with_capacity(ncols * dim);
+            for &wy in rows {
+                for &wx in cols {
+                    for ci in 0..ic {
+                        let cbase = ci * iplane;
+                        for &oh in pr {
+                            let rbase = cbase + (wy + oh * f.stride - f.pad) * i_ext;
+                            for &ow in pc {
+                                gathered.push(idata[rbase + wx + ow * f.stride - f.pad]);
+                            }
+                        }
+                    }
+                }
+            }
+            gemm_nt(matrix, &Tensor::from_vec(&[ncols, dim], gathered))
+        }
+    });
+
     let mut dw = Tensor::zeros(&[oc, ic, w, w]);
-    let mut stats = ZfdrStats::default();
-    // Reshaped ∇output per (row-class, col-class): [OC, |pr|*|pc|].
-    let mut matrices: HashMap<(usize, usize), Tensor> = HashMap::new();
+    let ddata = dw.data_mut();
+    for (pi, &(rc, cc)) in pairs.iter().enumerate() {
+        let (rows, cols) = (&groups[rc], &groups[cc]);
+        let ncols = rows.len() * cols.len() * ic;
+        let rdata = results[pi].data();
+        for co in 0..oc {
+            let rbase = co * ncols;
+            let obase = co * ic * w * w;
+            let mut col = 0;
+            for &wy in rows {
+                for &wx in cols {
+                    for ci in 0..ic {
+                        ddata[obase + ci * w * w + wy * w + wx] = rdata[rbase + col];
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    (dw, wconv_stats(classes, &groups, &pairs, ic, oc))
+}
+
+/// Executes the W-CONV-S weight gradient one MMV per
+/// `(position, in-channel)` — the reference oracle.
+///
+/// Same operands, output, and statistics as [`execute_wconv`].
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches.
+pub fn execute_wconv_reference(
+    input: &Tensor,
+    dout: &Tensor,
+    geom: &WconvGeometry,
+) -> (Tensor, ZfdrStats) {
+    let (ic, oc) = check_wconv_operands(input, dout, geom);
+    let f = geom.forward;
+    let plan = ZfdrPlan::for_wconv(geom);
+    let classes = plan.axis_classes();
+    let w = geom.gradient_extent();
+    let i_ext = f.input;
+    let groups = positions_by_class(&plan, w);
+    let pairs = class_pairs(classes);
+    let matrices = wconv_class_matrices(dout, classes, &pairs);
+    let n = classes.len();
+    let idata = input.data();
+    let iplane = i_ext * i_ext;
+    let mut dw = Tensor::zeros(&[oc, ic, w, w]);
+    let mut vec = Vec::new();
 
     for wy in 0..w {
         let rc = plan.class_at(wy);
-        let pr = plan.axis_classes()[rc].pattern.clone();
+        let pr = &classes[rc].pattern;
+        if pr.is_empty() {
+            continue;
+        }
         for wx in 0..w {
             let cc = plan.class_at(wx);
-            let pc = plan.axis_classes()[cc].pattern.clone();
-            if pr.is_empty() || pc.is_empty() {
+            let pc = &classes[cc].pattern;
+            if pc.is_empty() {
                 // This ∇W entry multiplies only padding: it is exactly
                 // zero, so no reshaped matrix or MMV is needed.
                 continue;
             }
-            let matrix = matrices.entry((rc, cc)).or_insert_with(|| {
-                stats.reshaped_matrices += 1;
-                Tensor::from_fn(&[oc, pr.len() * pc.len()], |idx| {
-                    let (row, col) = (idx[0], idx[1]);
-                    let oxi = col % pc.len();
-                    let oyi = col / pc.len();
-                    dout[&[row, pr[oyi], pc[oxi]]]
-                })
-            });
+            let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
             for ci in 0..ic {
-                // Gather the true-input window values this ∇W entry needs.
-                let mut vec = Vec::with_capacity(pr.len() * pc.len());
-                for &oh in &pr {
-                    let iy = wy + oh * f.stride - f.pad;
-                    for &ow in &pc {
-                        let ix = wx + ow * f.stride - f.pad;
-                        vec.push(input[&[ci, iy, ix]]);
+                let cbase = ci * iplane;
+                vec.clear();
+                vec.reserve(pr.len() * pc.len());
+                for &oh in pr {
+                    let rbase = cbase + (wy + oh * f.stride - f.pad) * i_ext;
+                    for &ow in pc {
+                        vec.push(idata[rbase + wx + ow * f.stride - f.pad]);
                     }
                 }
                 let result = mmv(matrix, &vec);
-                stats.mmvs += 1;
-                stats.multiplications += (oc * vec.len()) as u128;
-                stats.gathered_values += vec.len() as u128;
                 for (co, &v) in result.iter().enumerate() {
                     dw[&[co, ci, wy, wx][..]] = v;
                 }
             }
         }
     }
-    (dw, stats)
+    (dw, wconv_stats(classes, &groups, &pairs, ic, oc))
 }
 
 #[cfg(test)]
@@ -197,6 +572,20 @@ mod tests {
     }
 
     #[test]
+    fn tconv_batched_is_bit_identical_to_reference() {
+        for (i, w, s, ic, oc, seed) in [(4, 5, 2, 8, 4, 1), (5, 5, 3, 2, 3, 3), (8, 4, 2, 3, 2, 5)]
+        {
+            let geom = TconvGeometry::for_upsampling(i, w, s).unwrap();
+            let input = det(&[ic, i, i], seed);
+            let weights = det(&[oc, ic, w, w], seed + 1);
+            let (batched, bstats) = execute_tconv(&input, &weights, &geom);
+            let (reference, rstats) = execute_tconv_reference(&input, &weights, &geom);
+            assert_eq!(batched.data(), reference.data(), "({i},{w},{s})");
+            assert_eq!(bstats, rstats, "({i},{w},{s})");
+        }
+    }
+
+    #[test]
     fn tconv_zfdr_handles_stride3() {
         let geom = TconvGeometry::for_upsampling(5, 5, 3).unwrap();
         let input = det(&[2, 5, 5], 3);
@@ -229,6 +618,24 @@ mod tests {
         // (boundary 2 + interior 1)^2 = 9 reshaped ∇outputs.
         assert_eq!(stats.reshaped_matrices, 9);
         assert_eq!(stats.mmvs, 5 * 5 * 3);
+    }
+
+    #[test]
+    fn wconv_batched_is_bit_identical_to_reference() {
+        for (i, w, s, p, ic, oc, seed) in [
+            (8, 5, 2, 2, 3, 2, 7),
+            (16, 4, 2, 1, 2, 2, 9),
+            (9, 3, 1, 1, 2, 3, 11),
+        ] {
+            let geom = WconvGeometry::new(i, w, s, p).unwrap();
+            let o = geom.forward.output;
+            let input = det(&[ic, i, i], seed);
+            let dout = det(&[oc, o, o], seed + 1);
+            let (batched, bstats) = execute_wconv(&input, &dout, &geom);
+            let (reference, rstats) = execute_wconv_reference(&input, &dout, &geom);
+            assert_eq!(batched.data(), reference.data(), "({i},{w},{s},{p})");
+            assert_eq!(bstats, rstats, "({i},{w},{s},{p})");
+        }
     }
 
     #[test]

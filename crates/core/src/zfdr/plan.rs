@@ -206,7 +206,7 @@ impl ZfdrPlan {
             if classes == 0 {
                 continue;
             }
-            let max_reuse = combos.min(1).max(1) * int.1.pow(k) * bnd.1.max(1).pow(dims - k);
+            let max_reuse = int.1.pow(k) * bnd.1.max(1).pow(dims - k);
             let positions = combos * int.2.pow(k) * bnd.2.pow(dims - k);
             let volume = combos * int.3.pow(k) * bnd.3.pow(dims - k);
             let kind = Self::kind_of(k, dims);
@@ -296,8 +296,7 @@ impl ZfdrPlan {
                 } else {
                     for cc in &self.axis_classes {
                         let reuse = (ca.reuse * cb.reuse * cc.reuse) as u128;
-                        let vol =
-                            (ca.pattern.len() * cb.pattern.len() * cc.pattern.len()) as u128;
+                        let vol = (ca.pattern.len() * cb.pattern.len() * cc.pattern.len()) as u128;
                         f(
                             reuse,
                             vol,
@@ -435,7 +434,10 @@ mod tests {
         assert_eq!(plan.interior_axis_classes(), 1);
         let f = geom.forward;
         let expected = (f.input - (f.output - 1) * f.stride) as u128;
-        assert_eq!(plan.kind(ClassKind::Inside, 2).max_reuse, expected * expected);
+        assert_eq!(
+            plan.kind(ClassKind::Inside, 2).max_reuse,
+            expected * expected
+        );
         assert_eq!(plan.kind(ClassKind::Inside, 2).classes, 1);
     }
 

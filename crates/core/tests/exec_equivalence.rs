@@ -1,0 +1,128 @@
+//! Property tests for the ZFDR execution paths: across randomized
+//! geometries the batched one-GEMM-per-pattern-class path, the
+//! per-position reference path, and the naive zero-insertion kernels all
+//! agree, the two zero-free paths report identical statistics, and both
+//! are bit-deterministic across worker-thread counts.
+
+use lergan_core::zfdr::exec::{
+    execute_tconv, execute_tconv_reference, execute_wconv, execute_wconv_reference,
+};
+use lergan_tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
+use lergan_tensor::{parallel, TconvGeometry, Tensor, WconvGeometry};
+use proptest::prelude::*;
+
+fn det(shape: &[usize], seed: u32) -> Tensor {
+    let mut state = seed.wrapping_mul(747796405).wrapping_add(1);
+    Tensor::from_fn(shape, |_| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((state >> 16) as f32 / 65536.0) - 0.5
+    })
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0) <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tconv_paths_agree(
+        i in 2usize..9,
+        w in 2usize..6,
+        s in 1usize..4,
+        ic in 1usize..4,
+        oc in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let geom = match TconvGeometry::for_upsampling(i, w, s) {
+            Some(g) => g,
+            None => return Ok(()),
+        };
+        let input = det(&[ic, i, i], seed);
+        let weights = det(&[oc, ic, w, w], seed.wrapping_add(1));
+        let (batched, bstats) = execute_tconv(&input, &weights, &geom);
+        let (reference, rstats) = execute_tconv_reference(&input, &weights, &geom);
+        // Batched and per-position reference are bit-identical twins.
+        prop_assert_eq!(batched.data(), reference.data());
+        prop_assert_eq!(bstats, rstats);
+        // Both equal the naive zero-insertion formulation numerically.
+        let naive = tconv_forward_zero_insert(&input, &weights, &geom);
+        prop_assert!(close(&batched, &naive, 1e-4));
+    }
+
+    #[test]
+    fn wconv_paths_agree(
+        i in 4usize..13,
+        w in 2usize..6,
+        s in 1usize..4,
+        p in 0usize..3,
+        ic in 1usize..4,
+        oc in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let geom = match WconvGeometry::new(i, w, s, p) {
+            Some(g) => g,
+            None => return Ok(()),
+        };
+        let o = geom.forward.output;
+        let input = det(&[ic, i, i], seed);
+        let dout = det(&[oc, o, o], seed.wrapping_add(1));
+        let (batched, bstats) = execute_wconv(&input, &dout, &geom);
+        let (reference, rstats) = execute_wconv_reference(&input, &dout, &geom);
+        prop_assert_eq!(batched.data(), reference.data());
+        prop_assert_eq!(bstats, rstats);
+        let naive = wconv_weight_grad_zero_insert(&input, &dout, &geom);
+        prop_assert!(close(&batched, &naive, 1e-4));
+    }
+
+    #[test]
+    fn tconv_is_bit_deterministic_across_thread_counts(
+        i in 2usize..8,
+        w in 2usize..6,
+        s in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let geom = match TconvGeometry::for_upsampling(i, w, s) {
+            Some(g) => g,
+            None => return Ok(()),
+        };
+        let input = det(&[3, i, i], seed);
+        let weights = det(&[2, 3, w, w], seed.wrapping_add(1));
+        let one = parallel::with_threads(1, || execute_tconv(&input, &weights, &geom));
+        let two = parallel::with_threads(2, || execute_tconv(&input, &weights, &geom));
+        let eight = parallel::with_threads(8, || execute_tconv(&input, &weights, &geom));
+        prop_assert_eq!(one.0.data(), two.0.data());
+        prop_assert_eq!(one.0.data(), eight.0.data());
+        prop_assert_eq!(one.1, two.1);
+        prop_assert_eq!(one.1, eight.1);
+    }
+
+    #[test]
+    fn wconv_is_bit_deterministic_across_thread_counts(
+        i in 4usize..12,
+        w in 2usize..6,
+        s in 1usize..4,
+        p in 0usize..3,
+        seed in 0u32..1000,
+    ) {
+        let geom = match WconvGeometry::new(i, w, s, p) {
+            Some(g) => g,
+            None => return Ok(()),
+        };
+        let o = geom.forward.output;
+        let input = det(&[3, i, i], seed);
+        let dout = det(&[2, o, o], seed.wrapping_add(1));
+        let one = parallel::with_threads(1, || execute_wconv(&input, &dout, &geom));
+        let two = parallel::with_threads(2, || execute_wconv(&input, &dout, &geom));
+        let eight = parallel::with_threads(8, || execute_wconv(&input, &dout, &geom));
+        prop_assert_eq!(one.0.data(), two.0.data());
+        prop_assert_eq!(one.0.data(), eight.0.data());
+        prop_assert_eq!(one.1, two.1);
+        prop_assert_eq!(one.1, eight.1);
+    }
+}

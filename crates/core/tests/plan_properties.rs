@@ -18,7 +18,9 @@ fn tconv_geom() -> impl Strategy<Value = TconvGeometry> {
 
 fn wconv_geom() -> impl Strategy<Value = WconvGeometry> {
     (4usize..20, 2usize..6, 1usize..4, 0usize..3)
-        .prop_filter_map("valid geometry", |(i, w, s, p)| WconvGeometry::new(i, w, s, p))
+        .prop_filter_map("valid geometry", |(i, w, s, p)| {
+            WconvGeometry::new(i, w, s, p)
+        })
 }
 
 proptest! {

@@ -139,7 +139,9 @@ mod tests {
         assert_eq!(g.generator.dims, 3);
         assert_eq!(g.item_size, vec![64, 64, 64]);
         // Volumetric MAC counts dwarf the 2-D networks'.
-        assert!(g.generator.total_forward_macs_dense() > dcgan().generator.total_forward_macs_dense());
+        assert!(
+            g.generator.total_forward_macs_dense() > dcgan().generator.total_forward_macs_dense()
+        );
     }
 
     #[test]

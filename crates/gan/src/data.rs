@@ -90,15 +90,13 @@ impl Sampler {
                 }
                 Distribution::Checkerboard => {
                     let tile = (n / 4).max(1);
-                    if (y / tile + x / tile) % 2 == 0 {
+                    if (y / tile + x / tile).is_multiple_of(2) {
                         amp
                     } else {
                         -amp
                     }
                 }
-                Distribution::Gradient => {
-                    -amp + 2.0 * amp * (y as f32 / (n as f32 - 1.0))
-                }
+                Distribution::Gradient => -amp + 2.0 * amp * (y as f32 / (n as f32 - 1.0)),
             };
             v + phase * 0.1
         })
@@ -200,10 +198,7 @@ mod tests {
             let mut s = Sampler::new(d, 12, 0.05, 42);
             let sample = s.sample();
             let real = s.signature(&sample);
-            assert!(
-                sig < real * 0.8,
-                "{d:?}: noise {sig} vs real {real}"
-            );
+            assert!(sig < real * 0.8, "{d:?}: noise {sig} vs real {real}");
         }
     }
 

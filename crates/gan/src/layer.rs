@@ -121,6 +121,28 @@ impl Layer {
         }
     }
 
+    /// The `[m, k] × [k, n]` shape of the im2col GEMM this layer's forward
+    /// pass executes (T-CONV as the stride-1 S-CONV over the zero-inserted
+    /// input, so `m·k·n` always equals [`Layer::forward_macs_dense`]).
+    ///
+    /// FC layers are their own GEMV: `m` output units, `k` input units,
+    /// one column.
+    pub fn forward_gemm_shape(&self, dims: u32) -> (u128, u128, u128) {
+        match self {
+            Layer::Fc(f) => (f.out_units as u128, f.in_units as u128, 1),
+            Layer::Conv(c) => (
+                c.out_channels as u128,
+                c.in_channels as u128 * powd(c.geometry.kernel, dims),
+                powd(c.geometry.output, dims),
+            ),
+            Layer::Tconv(t) => (
+                t.out_channels as u128,
+                t.in_channels as u128 * powd(t.geometry.kernel, dims),
+                powd(t.geometry.output, dims),
+            ),
+        }
+    }
+
     /// Human-oriented kind tag (`f`, `c` or `t`, as in the Table V
     /// notation).
     pub fn kind_tag(&self) -> char {
@@ -192,6 +214,28 @@ mod tests {
         assert_eq!(dense, 512 * 1024 * 64 * 25);
         let eff = useful as f64 / dense as f64;
         assert!((eff - 0.1806).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gemm_shape_volume_equals_dense_macs() {
+        let layers = [
+            dcgan_conv1(),
+            Layer::Fc(FcLayer {
+                in_units: 100,
+                out_units: 16384,
+            }),
+            Layer::Conv(ConvLayer {
+                in_channels: 3,
+                out_channels: 128,
+                geometry: SconvGeometry::new(64, 5, 2, 2).unwrap(),
+            }),
+        ];
+        for l in layers {
+            for dims in [2, 3] {
+                let (m, k, n) = l.forward_gemm_shape(dims);
+                assert_eq!(m * k * n, l.forward_macs_dense(dims), "{l:?}");
+            }
+        }
     }
 
     #[test]

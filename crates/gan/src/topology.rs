@@ -125,12 +125,7 @@ impl GanSpec {
             ));
         }
         let extent = item_size[0];
-        let generator = parse_network(
-            &format!("{name} generator"),
-            generator,
-            dims,
-            extent,
-        )?;
+        let generator = parse_network(&format!("{name} generator"), generator, dims, extent)?;
         let discriminator = parse_network(
             &format!("{name} discriminator"),
             discriminator,
@@ -193,15 +188,9 @@ pub fn render_notation(net: &NetworkSpec) -> String {
                 // DiscoGAN-5pairs) renders as the single `Nf` token the
                 // parser expands back into the projection/expansion pair.
                 let is_bridge = i > 0
-                    && matches!(
-                        layers.get(i - 1),
-                        Some(Layer::Conv(_) | Layer::Tconv(_))
-                    )
+                    && matches!(layers.get(i - 1), Some(Layer::Conv(_) | Layer::Tconv(_)))
                     && matches!(layers.get(i + 1), Some(Layer::Fc(g)) if g.in_units == f.out_units)
-                    && matches!(
-                        layers.get(i + 2),
-                        Some(Layer::Conv(_) | Layer::Tconv(_))
-                    );
+                    && matches!(layers.get(i + 2), Some(Layer::Conv(_) | Layer::Tconv(_)));
                 let terminal = i + 1 == layers.len();
                 if terminal {
                     // The last FC needs both its input token and the
@@ -369,7 +358,9 @@ fn tokenize(network: &str, s: &str) -> Result<Vec<String>, ParseTopologyError> {
             let body: String = chars[i + 1..close].iter().collect();
             // The group must be followed immediately by a `(WkSs)` suffix.
             if close + 1 >= chars.len() || chars[close + 1] != '(' {
-                return Err(err("layer group must be followed by a (kernel/stride) group"));
+                return Err(err(
+                    "layer group must be followed by a (kernel/stride) group",
+                ));
             }
             let close2 = (close + 2..chars.len())
                 .find(|&j| chars[j] == ')')
@@ -565,9 +556,9 @@ pub fn parse_network(
                 }
                 // Output width: what the next token needs.
                 let out_units = match tokens.get(i + 1) {
-                    Some(Token::ConvLike {
-                        in_channels: c, ..
-                    }) => *c as u128 * (spatial_in[i + 1] as u128).pow(dims),
+                    Some(Token::ConvLike { in_channels: c, .. }) => {
+                        *c as u128 * (spatial_in[i + 1] as u128).pow(dims)
+                    }
                     Some(Token::FcIn(m)) => *m as u128,
                     Some(Token::FcOut(k)) => {
                         // `Nf-fK`: this FC maps N directly to K.
@@ -593,9 +584,9 @@ pub fn parse_network(
             }
             Token::FcOut(k) => {
                 // A trailing `fK` after a conv chain: flatten and map to K.
-                let in_units = flat.ok_or_else(|| {
-                    ParseTopologyError::new(name, "`fK` cannot start a network")
-                })? as usize;
+                let in_units = flat
+                    .ok_or_else(|| ParseTopologyError::new(name, "`fK` cannot start a network"))?
+                    as usize;
                 layers.push(Layer::Fc(FcLayer {
                     in_units,
                     out_units: k,
@@ -628,7 +619,14 @@ mod tests {
         let t = tokenize("t", "100f-(1024t-512t-256t-128t)(5k2s)-t3").unwrap();
         assert_eq!(
             t,
-            vec!["100f", "1024t5k2s", "512t5k2s", "256t5k2s", "128t5k2s", "t3"]
+            vec![
+                "100f",
+                "1024t5k2s",
+                "512t5k2s",
+                "256t5k2s",
+                "128t5k2s",
+                "t3"
+            ]
         );
     }
 
@@ -687,10 +685,7 @@ mod tests {
             .iter()
             .map(|l| (l.fan_in_channels(), l.fan_out_channels()))
             .collect();
-        assert_eq!(
-            chans,
-            vec![(1024, 512), (512, 256), (256, 128), (128, 3)]
-        );
+        assert_eq!(chans, vec![(1024, 512), (512, 256), (256, 128), (128, 3)]);
         // Spatial chain 4 -> 8 -> 16 -> 32 -> 64.
         let spatial: Vec<(usize, usize)> = net.layers[1..]
             .iter()
@@ -739,18 +734,14 @@ mod tests {
 
     #[test]
     fn magan_discriminator_is_fully_connected() {
-        let net =
-            parse_network("MAGAN discriminator", "784f-256f-256f-784f-f11", 2, 28).unwrap();
+        let net = parse_network("MAGAN discriminator", "784f-256f-256f-784f-f11", 2, 28).unwrap();
         assert!(net.is_fully_connected());
         let widths: Vec<(usize, usize)> = net
             .layers
             .iter()
             .map(|l| (l.fan_in_channels(), l.fan_out_channels()))
             .collect();
-        assert_eq!(
-            widths,
-            vec![(784, 256), (256, 256), (256, 784), (784, 11)]
-        );
+        assert_eq!(widths, vec![(784, 256), (256, 256), (256, 784), (784, 11)]);
     }
 
     #[test]
@@ -813,13 +804,8 @@ mod tests {
 
     #[test]
     fn volumetric_3dgan_fc_sizes_cube() {
-        let net = parse_network(
-            "3D-GAN generator",
-            "100f-(512t-256t-128t)(4k2s)-t3",
-            3,
-            64,
-        )
-        .unwrap();
+        let net =
+            parse_network("3D-GAN generator", "100f-(512t-256t-128t)(4k2s)-t3", 3, 64).unwrap();
         let Layer::Fc(fc) = net.layers[0] else {
             panic!()
         };

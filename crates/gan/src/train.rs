@@ -12,9 +12,10 @@
 
 use crate::layer::Layer;
 use crate::topology::NetworkSpec;
-use lergan_tensor::conv::{tconv_forward_zero_insert, wconv_weight_grad_zero_insert};
+use lergan_tensor::conv::wconv_weight_grad_zero_insert;
+use lergan_tensor::im2col::conv2d_gemm;
 use lergan_tensor::zero_insert::expand_tconv_input;
-use lergan_tensor::{Conv2d, Tensor, TconvGeometry, WconvGeometry};
+use lergan_tensor::{Conv2d, SconvGeometry, TconvGeometry, Tensor, WconvGeometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,9 +98,7 @@ impl OptState {
         match *rule {
             UpdateRule::Sgd { lr } => weights.axpy_in_place(-lr, grad),
             UpdateRule::Momentum { lr, beta } => {
-                let m = self
-                    .m
-                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                let m = self.m.get_or_insert_with(|| Tensor::zeros(grad.shape()));
                 m.scale_in_place(beta);
                 m.axpy_in_place(1.0, grad);
                 weights.axpy_in_place(-lr, m);
@@ -110,14 +109,10 @@ impl OptState {
                 beta2,
                 eps,
             } => {
-                let m = self
-                    .m
-                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                let m = self.m.get_or_insert_with(|| Tensor::zeros(grad.shape()));
                 m.scale_in_place(beta1);
                 m.axpy_in_place(1.0 - beta1, grad);
-                let v = self
-                    .v
-                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                let v = self.v.get_or_insert_with(|| Tensor::zeros(grad.shape()));
                 let g2 = grad.map(|g| g * g);
                 v.scale_in_place(beta2);
                 v.axpy_in_place(1.0 - beta2, &g2);
@@ -169,10 +164,7 @@ impl TrainableLayer for DenseLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let (o, i) = (self.weights.shape()[0], self.weights.shape()[1]);
         assert_eq!(grad_out.len(), o, "gradient width mismatch");
         for oi in 0..o {
@@ -237,21 +229,24 @@ impl ConvTrainLayer {
 impl TrainableLayer for ConvTrainLayer {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
-        self.op.forward(input, &self.weights)
+        // im2col + GEMM realisation of the loop-nest `Conv2d::forward`:
+        // both accumulate (ci, ky, kx) ascending per output element, so
+        // the results are bit-identical and the GEMM runs on the
+        // thread-parallel blocked kernel.
+        let geom = self.op.geometry(input.shape()[1]);
+        conv2d_gemm(input, &self.weights, &geom)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         // D-w path: the zero-inserted-kernel W-CONV of Fig. 6.
         let geom = WconvGeometry {
             forward: self.op.geometry(input.shape()[1]),
         };
         let dw = wconv_weight_grad_zero_insert(input, grad_out, &geom);
         self.grad.axpy_in_place(1.0, &dw);
-        self.op.input_grad(grad_out, &self.weights, input.shape()[1])
+        self.op
+            .input_grad(grad_out, &self.weights, input.shape()[1])
     }
 
     fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
@@ -284,8 +279,7 @@ impl TconvTrainLayer {
         rng: &mut StdRng,
     ) -> Self {
         let k = geometry.kernel;
-        let inner =
-            Conv2d::new(in_channels, out_channels, k, 1, 0).expect("validated geometry");
+        let inner = Conv2d::new(in_channels, out_channels, k, 1, 0).expect("validated geometry");
         let shape = [out_channels, in_channels, k, k];
         TconvTrainLayer {
             geometry,
@@ -300,10 +294,15 @@ impl TconvTrainLayer {
 
 impl TrainableLayer for TconvTrainLayer {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        // The naive zero-insertion realisation of Fig. 4; the zero-free
-        // equivalence is proven against it in lergan-core.
-        let out = tconv_forward_zero_insert(input, &self.weights, &self.geometry);
-        self.cached_expanded = Some(expand_tconv_input(input, &self.geometry));
+        // The zero-insertion realisation of Fig. 4 (the zero-free
+        // equivalence is proven against it in lergan-core), executed as a
+        // stride-1 im2col + GEMM over the expanded input — bit-identical
+        // to `tconv_forward_zero_insert`.
+        let expanded = expand_tconv_input(input, &self.geometry);
+        let geom = SconvGeometry::new(expanded.shape()[1], self.geometry.kernel, 1, 0)
+            .expect("validated geometry");
+        let out = conv2d_gemm(&expanded, &self.weights, &geom);
+        self.cached_expanded = Some(expanded);
         out
     }
 
@@ -431,10 +430,7 @@ impl TrainableLayer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let normalized = self
-            .normalized
-            .as_ref()
-            .expect("backward before forward");
+        let normalized = self.normalized.as_ref().expect("backward before forward");
         let (c, h, w) = (
             normalized.shape()[0],
             normalized.shape()[1],
@@ -460,8 +456,7 @@ impl TrainableLayer for BatchNorm {
                 for x in 0..w {
                     let dy = grad_out[&[ci, y, x]];
                     let norm = normalized[&[ci, y, x]];
-                    din[&[ci, y, x][..]] = g * inv_std / n
-                        * (n * dy - sum_dy - norm * sum_dy_norm);
+                    din[&[ci, y, x][..]] = g * inv_std / n * (n * dy - sum_dy - norm * sum_dy_norm);
                 }
             }
         }
@@ -507,10 +502,7 @@ impl TrainableLayer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let a = self.alpha;
         input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { a * g })
     }
@@ -1086,7 +1078,10 @@ mod tests {
         // plain SGD on this conditioning.
         for rule in [
             UpdateRule::sgd(0.05),
-            UpdateRule::Momentum { lr: 0.05, beta: 0.9 },
+            UpdateRule::Momentum {
+                lr: 0.05,
+                beta: 0.9,
+            },
             UpdateRule::dcgan_adam(0.05),
         ] {
             let mut rng = StdRng::seed_from_u64(11);
@@ -1138,8 +1133,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let g = tiny_generator(&mut rng);
         let d = tiny_discriminator(&mut rng);
-        let mut gan =
-            Gan::new(g, d, 4, 0.0, 43).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let mut gan = Gan::new(g, d, 4, 0.0, 43).with_optimizer(UpdateRule::dcgan_adam(0.01));
         let mut last = 0.0;
         for _ in 0..30 {
             let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut rng)).collect();

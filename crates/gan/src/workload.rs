@@ -190,8 +190,7 @@ pub fn phase_workloads(net: &NetworkSpec, phase: Phase) -> Vec<ConvWorkload> {
                     out_channels: c.in_channels,
                     macs_dense: pair * g.total_multiplications_per_pair() as u128,
                     macs_useful: pair * g.useful_multiplications_per_pair() as u128,
-                    moved_values_dense: c.in_channels as u128
-                        * powd(g.padded_input_extent(), d)
+                    moved_values_dense: c.in_channels as u128 * powd(g.padded_input_extent(), d)
                         + c.out_channels as u128 * powd(g.inserted_kernel_extent(), d),
                     moved_values_useful: c.in_channels as u128 * powd(f.input, d)
                         + c.out_channels as u128 * powd(f.output, d),
@@ -356,14 +355,20 @@ mod tests {
         let ws = phase_workloads(&dcgan_disc(), Phase::DBackward);
         // Reverse order: FC first, then the five convs.
         assert!(matches!(ws[0].kind, WorkloadKind::Dense));
-        let zero_ins = ws.iter().filter(|w| w.kind.is_zero_inserted_input()).count();
+        let zero_ins = ws
+            .iter()
+            .filter(|w| w.kind.is_zero_inserted_input())
+            .count();
         assert_eq!(zero_ins, 5);
     }
 
     #[test]
     fn dweightgrad_is_wconv() {
         let ws = phase_workloads(&dcgan_disc(), Phase::DWeightGrad);
-        let wconvs = ws.iter().filter(|w| w.kind.is_zero_inserted_kernel()).count();
+        let wconvs = ws
+            .iter()
+            .filter(|w| w.kind.is_zero_inserted_kernel())
+            .count();
         assert_eq!(wconvs, 5);
     }
 
@@ -376,7 +381,10 @@ mod tests {
     #[test]
     fn gweightgrad_is_zero_inserted_input() {
         let ws = phase_workloads(&dcgan_gen(), Phase::GWeightGrad);
-        let zi = ws.iter().filter(|w| w.kind.is_zero_inserted_input()).count();
+        let zi = ws
+            .iter()
+            .filter(|w| w.kind.is_zero_inserted_input())
+            .count();
         assert_eq!(zi, 4);
     }
 

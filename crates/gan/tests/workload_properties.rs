@@ -8,15 +8,15 @@ use proptest::prelude::*;
 /// Random DCGAN-style generator notations: `Nf-(C1t-C2t-…)(WkSs)-tK`.
 fn generator_notation() -> impl Strategy<Value = (String, usize)> {
     (
-        2usize..5,          // T-CONV layer count
-        1usize..4,          // channel scale
+        2usize..5, // T-CONV layer count
+        1usize..4, // channel scale
         prop_oneof![Just(4usize), Just(5)],
-        Just(2usize),       // stride
+        Just(2usize), // stride
         prop_oneof![Just(1usize), Just(3)],
     )
         .prop_map(|(layers, scale, kernel, stride, out_ch)| {
             let chans: Vec<String> = (0..layers)
-                .map(|i| format!("{}t", scale * 32 << (layers - 1 - i)))
+                .map(|i| format!("{}t", (scale * 32) << (layers - 1 - i)))
                 .collect();
             let item = 8 << layers; // start extent 8, doubled per layer
             (
@@ -120,8 +120,7 @@ fn forward_and_weight_grad_share_zero_structure() {
             .iter()
             .find(|w| w.layer_index == f.layer_index)
             .unwrap();
-        let (WorkloadKind::TconvInput(a), WorkloadKind::TconvInput(b)) = (&f.kind, &g.kind)
-        else {
+        let (WorkloadKind::TconvInput(a), WorkloadKind::TconvInput(b)) = (&f.kind, &g.kind) else {
             panic!("expected matching T-CONV workloads");
         };
         assert_eq!(a, b);

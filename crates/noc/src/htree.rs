@@ -71,7 +71,7 @@ impl HTree {
     /// Kind of an internal routing node: levels alternate starting with a
     /// merging root (Fig. 12's colour pattern).
     pub fn kind(&self, node: usize) -> NodeKind {
-        if self.level(node) % 2 == 0 {
+        if self.level(node).is_multiple_of(2) {
             NodeKind::Merging
         } else {
             NodeKind::Multiplexing

@@ -130,10 +130,7 @@ impl SwitchConfig {
         }
         // `Parent` uses the default position, not an extra switch; the
         // added wires consume switch capacity.
-        let used = states
-            .iter()
-            .filter(|s| **s != SwitchState::Parent)
-            .count();
+        let used = states.iter().filter(|s| **s != SwitchState::Parent).count();
         if state != SwitchState::Parent && used >= Self::capacity(bank) {
             return Err(SwitchError {
                 message: format!(
@@ -259,7 +256,11 @@ mod tests {
         let noc = NocConfig::default();
         let dcu = ThreeDcu::new(&noc);
         let route = dcu
-            .route(Endpoint::tile(0, 0), Endpoint::pair_tile(0, 1, 0), Mode::Cmode)
+            .route(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 1, 0),
+                Mode::Cmode,
+            )
             .unwrap();
         let mut cfg = SwitchConfig::smode();
         cfg.engage_route(&route).unwrap();

@@ -35,7 +35,9 @@ impl VariationModel {
     /// Deterministic uniform deviate in `[-max, +max]` for cell `index`.
     fn deviation(&self, index: u64) -> f64 {
         // SplitMix64: uncorrelated per-index values without state.
-        let mut z = self.seed.wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut z = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^= z >> 31;
@@ -54,7 +56,7 @@ impl VariationModel {
             v += (s as f64 + dev) * f64::from(1u32 << (i as u32 * config.cell_bits));
         }
         if code < 0 {
-            v -= f64::from(1u32 << config.data_bits) as f64;
+            v -= f64::from(1u32 << config.data_bits);
         }
         v
     }

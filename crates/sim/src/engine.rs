@@ -314,10 +314,7 @@ mod tests {
             .collect();
         let s = e.run();
         assert_eq!(s.makespan_ns(), 20.0);
-        let early = ids
-            .iter()
-            .filter(|&&t| s.start_ns(t) == 0.0)
-            .count();
+        let early = ids.iter().filter(|&&t| s.start_ns(t) == 0.0).count();
         assert_eq!(early, 2);
     }
 

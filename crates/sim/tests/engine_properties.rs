@@ -16,14 +16,8 @@ struct RandomDag {
 fn dag() -> impl Strategy<Value = RandomDag> {
     (2usize..14, 1usize..4).prop_flat_map(|(n, capacity)| {
         let durations = proptest::collection::vec(0.0f64..50.0, n);
-        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..2 * n).prop_map(
-            move |pairs| {
-                pairs
-                    .into_iter()
-                    .filter(|(a, b)| a < b)
-                    .collect::<Vec<_>>()
-            },
-        );
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..2 * n)
+            .prop_map(move |pairs| pairs.into_iter().filter(|(a, b)| a < b).collect::<Vec<_>>());
         (durations, edges).prop_map(move |(durations, edges)| RandomDag {
             durations,
             edges,

@@ -94,11 +94,7 @@ impl Conv2d {
 
     fn check_operands(&self, input: &Tensor, weights: &Tensor) -> (usize, SconvGeometry) {
         assert_eq!(input.shape().len(), 3, "input must be [C, H, W]");
-        assert_eq!(
-            input.shape()[0],
-            self.in_channels,
-            "input channel mismatch"
-        );
+        assert_eq!(input.shape()[0], self.in_channels, "input channel mismatch");
         assert_eq!(input.shape()[1], input.shape()[2], "input must be square");
         assert_eq!(
             weights.shape(),
@@ -143,24 +139,38 @@ impl Conv2d {
         );
         let padded_extent = input_extent + 2 * self.pad;
         let mut dpad = Tensor::zeros(&[self.in_channels, padded_extent, padded_extent]);
-        for oc in 0..self.out_channels {
-            for oy in 0..geom.output {
-                for ox in 0..geom.output {
-                    let g = dout[&[oc, oy, ox]];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    for ic in 0..self.in_channels {
-                        for ky in 0..self.geometry_kernel {
-                            for kx in 0..self.geometry_kernel {
-                                dpad[&[ic, oy * self.stride + ky, ox * self.stride + kx][..]] +=
-                                    g * weights[&[oc, ic, ky, kx]];
+        // One worker per block of input-channel planes: each ∇pad plane is
+        // written by exactly one worker, and for a fixed element the
+        // additions still arrive in ascending (oc, oy, ox, ky, kx) order —
+        // the same order as the serial oc-outer loop — so the result is
+        // bit-identical for every thread count.
+        let k = self.geometry_kernel;
+        let flops_per_plane = self.out_channels * geom.output * geom.output * k * k;
+        let min_planes = (crate::tensor::MIN_PARALLEL_FLOPS / flops_per_plane.max(1)).max(1);
+        let plane = padded_extent * padded_extent;
+        let mut planes: Vec<&mut [f32]> = dpad.data_mut().chunks_mut(plane).collect();
+        crate::parallel::for_each_chunk_mut(&mut planes, min_planes, |ic0, planes| {
+            for (d, plane) in planes.iter_mut().enumerate() {
+                let ic = ic0 + d;
+                for oc in 0..self.out_channels {
+                    for oy in 0..geom.output {
+                        for ox in 0..geom.output {
+                            let g = dout[&[oc, oy, ox]];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..k {
+                                let row = (oy * self.stride + ky) * padded_extent;
+                                for kx in 0..k {
+                                    plane[row + ox * self.stride + kx] +=
+                                        g * weights[&[oc, ic, ky, kx]];
+                                }
                             }
                         }
                     }
                 }
             }
-        }
+        });
         // Crop the padding back off.
         Tensor::from_fn(&[self.in_channels, input_extent, input_extent], |i| {
             dpad[&[i[0], i[1] + self.pad, i[2] + self.pad]]
@@ -190,22 +200,34 @@ impl Conv2d {
             self.geometry_kernel,
             self.geometry_kernel,
         ]);
-        for oc in 0..self.out_channels {
-            for ic in 0..self.in_channels {
-                for ky in 0..self.geometry_kernel {
-                    for kx in 0..self.geometry_kernel {
-                        let mut acc = 0.0;
-                        for oy in 0..geom.output {
-                            for ox in 0..geom.output {
-                                acc += dout[&[oc, oy, ox]]
-                                    * padded[&[ic, oy * self.stride + ky, ox * self.stride + kx]];
+        // Each worker owns a block of out-channel gradient slabs; the inner
+        // accumulation per ∇W element is untouched, so the split cannot
+        // change any floating-point result.
+        let k = self.geometry_kernel;
+        let slab = self.in_channels * k * k;
+        let flops_per_slab = slab * geom.output * geom.output;
+        let min_slabs = (crate::tensor::MIN_PARALLEL_FLOPS / flops_per_slab.max(1)).max(1);
+        let mut slabs: Vec<&mut [f32]> = dw.data_mut().chunks_mut(slab).collect();
+        crate::parallel::for_each_chunk_mut(&mut slabs, min_slabs, |oc0, slabs| {
+            for (d, slab) in slabs.iter_mut().enumerate() {
+                let oc = oc0 + d;
+                for ic in 0..self.in_channels {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let mut acc = 0.0;
+                            for oy in 0..geom.output {
+                                for ox in 0..geom.output {
+                                    acc += dout[&[oc, oy, ox]]
+                                        * padded
+                                            [&[ic, oy * self.stride + ky, ox * self.stride + kx]];
+                                }
                             }
+                            slab[ic * k * k + ky * k + kx] = acc;
                         }
-                        dw[&[oc, ic, ky, kx][..]] = acc;
                     }
                 }
             }
-        }
+        });
         dw
     }
 }
@@ -217,22 +239,31 @@ fn conv_stride(padded: &Tensor, weights: &Tensor, stride: usize, out: usize) -> 
     let oc = weights.shape()[0];
     assert_eq!(padded.shape()[0], c, "channel mismatch in conv_stride");
     let mut result = Tensor::zeros(&[oc, out, out]);
-    for o in 0..oc {
-        for oy in 0..out {
-            for ox in 0..out {
-                let mut acc = 0.0;
-                for ci in 0..c {
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            acc += padded[&[ci, oy * stride + ky, ox * stride + kx]]
-                                * weights[&[o, ci, ky, kx]];
+    // Out-channel planes are independent, so workers own disjoint planes
+    // and the per-element accumulation order is exactly the serial one.
+    let plane = out * out;
+    let flops_per_plane = plane * c * k * k;
+    let min_planes = (crate::tensor::MIN_PARALLEL_FLOPS / flops_per_plane.max(1)).max(1);
+    let mut planes: Vec<&mut [f32]> = result.data_mut().chunks_mut(plane).collect();
+    crate::parallel::for_each_chunk_mut(&mut planes, min_planes, |o0, planes| {
+        for (d, plane) in planes.iter_mut().enumerate() {
+            let o = o0 + d;
+            for oy in 0..out {
+                for ox in 0..out {
+                    let mut acc = 0.0;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                acc += padded[&[ci, oy * stride + ky, ox * stride + kx]]
+                                    * weights[&[o, ci, ky, kx]];
+                            }
                         }
                     }
+                    plane[oy * out + ox] = acc;
                 }
-                result[&[o, oy, ox][..]] = acc;
             }
         }
-    }
+    });
     result
 }
 
@@ -433,9 +464,8 @@ mod tests {
         in_plus[&probe[..]] += eps;
         let mut in_minus = input.clone();
         in_minus[&probe[..]] -= eps;
-        let loss = |inp: &Tensor| -> f32 {
-            conv.forward(inp, &w).zip_with(&dout, |a, b| a * b).sum()
-        };
+        let loss =
+            |inp: &Tensor| -> f32 { conv.forward(inp, &w).zip_with(&dout, |a, b| a * b).sum() };
         let fd = (loss(&in_plus) - loss(&in_minus)) / (2.0 * eps);
         assert!(
             (din[&probe] - fd).abs() < 1e-2,
@@ -447,8 +477,12 @@ mod tests {
 
     #[test]
     fn tconv_zero_insert_equals_direct() {
-        for (i, w, s, ic, oc) in [(4, 5, 2, 3, 2), (8, 4, 2, 2, 4), (5, 5, 3, 1, 1), (7, 4, 2, 2, 2)]
-        {
+        for (i, w, s, ic, oc) in [
+            (4, 5, 2, 3, 2),
+            (8, 4, 2, 2, 4),
+            (5, 5, 3, 1, 1),
+            (7, 4, 2, 2, 2),
+        ] {
             let geom = TconvGeometry::for_upsampling(i, w, s).unwrap();
             let input = det_tensor(&[ic, i, i], 10 + i as u32);
             let weights = det_tensor(&[oc, ic, w, w], 20 + w as u32);

@@ -279,7 +279,7 @@ impl TconvGeometry {
             return None;
         }
         let rel = e - p;
-        if rel % self.converse_stride == 0 && rel / self.converse_stride < self.input {
+        if rel.is_multiple_of(self.converse_stride) && rel / self.converse_stride < self.input {
             Some(rel / self.converse_stride)
         } else {
             None
@@ -370,7 +370,7 @@ impl WconvGeometry {
             "inserted-kernel coordinate out of range"
         );
         let s = self.forward.stride;
-        if k % s == 0 && k / s < self.forward.output {
+        if k.is_multiple_of(s) && k / s < self.forward.output {
             Some(k / s)
         } else {
             None
@@ -539,16 +539,7 @@ mod tests {
             .collect();
         assert_eq!(
             orig,
-            vec![
-                Some(0),
-                None,
-                Some(1),
-                None,
-                Some(2),
-                None,
-                Some(3),
-                None
-            ]
+            vec![Some(0), None, Some(1), None, Some(2), None, Some(3), None]
         );
     }
 

@@ -62,30 +62,21 @@ pub fn kernels_to_matrix(weights: &Tensor) -> Tensor {
     })
 }
 
-/// Plain matrix multiply `[m, k] × [k, n] → [m, n]`.
+/// Matrix multiply `[m, k] × [k, n] → [m, n]` through the blocked,
+/// thread-parallel [`crate::tensor::gemm`] kernel.
 ///
 /// # Panics
 ///
 /// Panics on inner-dimension mismatch.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 2, "matmul expects rank-2 operands");
-    assert_eq!(b.shape().len(), 2, "matmul expects rank-2 operands");
-    let (m, ka) = (a.shape()[0], a.shape()[1]);
-    let (kb, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(ka, kb, "inner dimensions disagree");
-    let mut out = Tensor::zeros(&[m, n]);
-    for i in 0..m {
-        for l in 0..ka {
-            let av = a[&[i, l]];
-            if av == 0.0 {
-                continue;
-            }
-            for j in 0..n {
-                out[&[i, j][..]] += av * b[&[l, j]];
-            }
-        }
-    }
-    out
+    assert_eq!(
+        a.shape()[1],
+        b.shape()[0],
+        "inner dimensions disagree: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    crate::tensor::gemm(a, b)
 }
 
 /// Convolution through im2col + GEMM; identical to
@@ -118,9 +109,12 @@ mod tests {
 
     #[test]
     fn gemm_conv_equals_loop_nest() {
-        for (i, k, s, p, ic, oc) in
-            [(8, 3, 1, 1, 2, 3), (8, 5, 2, 2, 3, 4), (16, 4, 2, 1, 2, 2), (6, 3, 3, 0, 1, 1)]
-        {
+        for (i, k, s, p, ic, oc) in [
+            (8, 3, 1, 1, 2, 3),
+            (8, 5, 2, 2, 3, 4),
+            (16, 4, 2, 1, 2, 2),
+            (6, 3, 3, 0, 1, 1),
+        ] {
             let geom = SconvGeometry::new(i, k, s, p).unwrap();
             let conv = Conv2d::new(ic, oc, k, s, p).unwrap();
             let input = det(&[ic, i, i], i as u32);

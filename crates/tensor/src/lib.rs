@@ -25,13 +25,14 @@
 pub mod conv;
 pub mod geometry;
 pub mod im2col;
+pub mod parallel;
 pub mod quant;
 pub mod tensor;
 pub mod zero_insert;
 
 pub use conv::Conv2d;
 pub use geometry::{SconvGeometry, TconvGeometry, WconvGeometry};
-pub use tensor::Tensor;
+pub use tensor::{gemm, gemm_nt, Tensor};
 
 /// Absolute tolerance used by test helpers when comparing two floating point
 /// tensors produced by algebraically equivalent computations.

@@ -1,0 +1,245 @@
+//! Scoped-thread worker substrate for the compute kernels.
+//!
+//! All data-parallel kernels in the workspace (GEMM row blocks, per-channel
+//! convolution loops, per-pattern-class ZFDR batches) funnel through the
+//! helpers here, so one knob controls the whole workspace:
+//!
+//! * `LERGAN_THREADS` — environment override for the worker count
+//!   (default: [`std::thread::available_parallelism`]);
+//! * [`with_threads`] — a thread-local override for tests and benches that
+//!   must compare thread counts without racing on the environment.
+//!
+//! Threads are plain [`std::thread::scope`] workers: no pool is kept alive
+//! between calls, there are no locks, and every helper partitions its
+//! output disjointly. Each parallel element is computed exactly as the
+//! serial code would compute it (same per-element accumulation order), so
+//! results are **bit-identical for every thread count** — determinism tests
+//! assert this.
+//!
+//! Nested parallel regions run serially: a worker spawned here that calls
+//! back into these helpers executes inline rather than spawning a second
+//! generation of threads, which bounds the total thread count at the
+//! configured width.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside worker closures so nested regions run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var("LERGAN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Worker count the next parallel region will use: the [`with_threads`]
+/// override if present, else `LERGAN_THREADS`, else the machine's available
+/// parallelism. Returns 1 inside a worker (nested regions are serial).
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    OVERRIDE.with(Cell::get).unwrap_or_else(configured_threads)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread.
+///
+/// This is how equivalence and determinism tests compare thread counts:
+/// unlike mutating `LERGAN_THREADS`, concurrent test threads cannot race on
+/// it. Zero is clamped to one.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let result = f();
+    OVERRIDE.with(|c| c.set(prev));
+    result
+}
+
+/// Runs `f` marked as inside a worker, so nested regions stay serial.
+fn run_as_worker<R>(f: impl FnOnce() -> R) -> R {
+    let prev = IN_WORKER.with(|c| c.replace(true));
+    let result = f();
+    IN_WORKER.with(|c| c.set(prev));
+    result
+}
+
+/// Splits `0..len` into at most [`current_threads`] contiguous ranges of at
+/// least `min_chunk` items and runs `f` on each, in parallel.
+///
+/// `f` must only touch state disjoint per range (the callers here write
+/// through raw disjoint output partitions or locals). The calling thread
+/// executes the first range itself.
+pub fn for_each_range(len: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+    if len == 0 {
+        return;
+    }
+    let max_workers = len.div_ceil(min_chunk.max(1));
+    let threads = current_threads().min(max_workers).max(1);
+    if threads == 1 {
+        f(0..len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for t in 1..threads {
+            let (start, end) = (t * chunk, ((t + 1) * chunk).min(len));
+            if start < end {
+                scope.spawn(move || run_as_worker(|| f(start..end)));
+            }
+        }
+        run_as_worker(|| f(0..chunk.min(len)));
+    });
+}
+
+/// Splits `data` into at most [`current_threads`] contiguous chunks of at
+/// least `min_chunk` elements and runs `f(offset, chunk)` on each, in
+/// parallel. `offset` is the chunk's start index within `data`.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    min_chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let max_workers = len.div_ceil(min_chunk.max(1));
+    let threads = current_threads().min(max_workers).max(1);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut offset = 0;
+        let mut first: Option<&mut [T]> = None;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            if offset == 0 {
+                first = Some(head);
+            } else {
+                scope.spawn(move || run_as_worker(|| f(offset, head)));
+            }
+            offset += take;
+            rest = tail;
+        }
+        if let Some(head) = first {
+            run_as_worker(|| f(0, head));
+        }
+    });
+}
+
+/// Computes `f(i)` for `i in 0..n` in parallel, preserving order.
+pub fn map_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for_each_chunk_mut(&mut slots, 1, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(offset + i));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outside);
+    }
+
+    #[test]
+    fn for_each_range_covers_everything_once() {
+        for threads in [1, 2, 5, 8] {
+            let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+            with_threads(threads, || {
+                for_each_range(hits.len(), 1, |r| {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_offsets_are_consistent() {
+        for threads in [1, 2, 8] {
+            let mut data = vec![0usize; 57];
+            with_threads(threads, || {
+                for_each_chunk_mut(&mut data, 1, |offset, chunk| {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = offset + i;
+                    }
+                });
+            });
+            assert_eq!(data, (0..57).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 8] {
+            let out = with_threads(threads, || map_indexed(41, |i| i * i));
+            assert_eq!(out, (0..41).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        with_threads(4, || {
+            for_each_range(4, 1, |_r| {
+                // Inside a worker the nested region must report width 1.
+                assert_eq!(current_threads(), 1);
+            });
+        });
+    }
+
+    #[test]
+    fn min_chunk_limits_worker_count() {
+        // 10 items with min_chunk 8 admits at most 2 workers; the chunks
+        // must still cover everything exactly once.
+        let mut data = vec![0u8; 10];
+        with_threads(8, || {
+            for_each_chunk_mut(&mut data, 8, |_, chunk| {
+                for x in chunk {
+                    *x += 1;
+                }
+            });
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+}

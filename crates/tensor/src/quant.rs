@@ -139,7 +139,10 @@ pub fn quantized_mmv(
 /// given the operand formats.
 pub fn dequantize_products(products: &[i64], weights: FixedPoint, inputs: FixedPoint) -> Vec<f32> {
     let scale = (2.0f64).powi(-((weights.frac_bits + inputs.frac_bits) as i32));
-    products.iter().map(|&p| (p as f64 * scale) as f32).collect()
+    products
+        .iter()
+        .map(|&p| (p as f64 * scale) as f32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -186,10 +189,7 @@ mod tests {
         let exact = crate::tensor::mmv(&m, v.data());
         for (a, e) in approx.iter().zip(exact.iter()) {
             // Worst case: 8 products each off by ~(|a|+|b|)*step/2.
-            assert!(
-                (a - e).abs() < 8.0 * q.step(),
-                "quantised {a} vs exact {e}"
-            );
+            assert!((a - e).abs() < 8.0 * q.step(), "quantised {a} vs exact {e}");
         }
     }
 

@@ -273,11 +273,126 @@ pub fn mmv(m: &Tensor, v: &[f32]) -> Vec<f32> {
     let (rows, cols) = (m.shape()[0], m.shape()[1]);
     assert_eq!(v.len(), cols, "mmv vector length mismatch");
     let mut out = vec![0.0; rows];
-    for r in 0..rows {
-        let row = &m.data()[r * cols..(r + 1) * cols];
-        out[r] = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
-    }
+    // Rows are independent, so the parallel split cannot change any
+    // per-element accumulation order: results are bit-identical for every
+    // thread count. The chunk floor keeps small products serial.
+    let min_rows = (MIN_PARALLEL_FLOPS / cols.max(1)).max(1);
+    crate::parallel::for_each_chunk_mut(&mut out, min_rows, |row0, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let r = row0 + i;
+            let row = &m.data()[r * cols..(r + 1) * cols];
+            *slot = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+        }
+    });
     out
+}
+
+/// Work floor (multiply-adds) below which kernels stay single-threaded:
+/// spawning scoped threads costs more than this much arithmetic.
+pub(crate) const MIN_PARALLEL_FLOPS: usize = 32 * 1024;
+
+/// Inner-kernel K-blocking factor: one `[KC]`-deep panel of `b` stays in
+/// cache while a block of output rows streams over it.
+const GEMM_KC: usize = 256;
+
+/// Blocked matrix-matrix product: `a` is `[m, k]`, `b` is `[k, n]`,
+/// returning `[m, n]`.
+///
+/// This is the batched-execution primitive behind the ZFDR
+/// one-GEMM-per-pattern-class path and the im2col convolution. The kernel
+/// accumulates along `k` in ascending order exactly like [`mmv`] does, so
+/// for any column vector `b` the two agree bit-for-bit; row blocks are
+/// distributed over the [`crate::parallel`] substrate with each worker
+/// owning disjoint output rows, so results are bit-identical for every
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or the inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use lergan_tensor::tensor::gemm;
+/// use lergan_tensor::Tensor;
+/// let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+/// assert_eq!(gemm(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "gemm expects rank-2 operands");
+    assert_eq!(b.shape().len(), 2, "gemm expects rank-2 operands");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "gemm inner dimensions disagree");
+    let mut out = Tensor::zeros(&[m, n]);
+    // Split output rows across workers; each chunk of rows is written by
+    // exactly one worker with the serial kernel, so the accumulation order
+    // per element never depends on the thread count.
+    let min_rows = (MIN_PARALLEL_FLOPS / (k * n).max(1)).max(1);
+    let mut rows: Vec<&mut [f32]> = out.data.chunks_mut(n).collect();
+    crate::parallel::for_each_chunk_mut(&mut rows, min_rows, |row0, out_rows| {
+        gemm_rows(out_rows, row0, a.data(), b.data(), k, n);
+    });
+    out
+}
+
+/// GEMM with a pre-transposed right operand:
+/// `[m, k] × ([n, k])ᵀ → [m, n]`, each output element one contiguous dot
+/// product.
+///
+/// Every element accumulates over `l` ascending from `0.0` with the same
+/// expression as [`mmv`], so `gemm_nt(a, bt)` column `j` is bit-identical
+/// to `mmv(a, bt_row_j)` — the property the batched ZFDR execution relies
+/// on. Prefer this over [`gemm`] when the right operand is naturally
+/// gathered row-per-column (few columns, long inner dimension).
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or the inner dimensions (the
+/// *second* extent of both operands) disagree.
+pub fn gemm_nt(a: &Tensor, bt: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "gemm_nt expects rank-2 operands");
+    assert_eq!(bt.shape().len(), 2, "gemm_nt expects rank-2 operands");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, kb) = (bt.shape()[0], bt.shape()[1]);
+    assert_eq!(k, kb, "gemm_nt inner dimensions disagree");
+    let mut out = Tensor::zeros(&[m, n]);
+    let adata = a.data.as_slice();
+    let bdata = bt.data.as_slice();
+    let min_rows = (MIN_PARALLEL_FLOPS / (k * n).max(1)).max(1);
+    let mut rows: Vec<&mut [f32]> = out.data.chunks_mut(n.max(1)).collect();
+    crate::parallel::for_each_chunk_mut(&mut rows, min_rows, |row0, out_rows| {
+        for (i, orow) in out_rows.iter_mut().enumerate() {
+            let abase = (row0 + i) * k;
+            let arow = &adata[abase..abase + k];
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let brow = &bdata[j * k..j * k + k];
+                *slot = arow.iter().zip(brow.iter()).map(|(&x, &y)| x * y).sum();
+            }
+        }
+    });
+    out
+}
+
+/// Serial kernel: accumulates `out_rows[i] += a[row0+i, :] * b` with `k`
+/// blocked into panels of [`GEMM_KC`]. The `j` loop is an iterator-free
+/// indexed loop over two equal-length slices, which LLVM autovectorizes.
+fn gemm_rows(out_rows: &mut [&mut [f32]], row0: usize, a: &[f32], b: &[f32], k: usize, n: usize) {
+    for kb in (0..k).step_by(GEMM_KC) {
+        let kend = (kb + GEMM_KC).min(k);
+        for (i, orow) in out_rows.iter_mut().enumerate() {
+            let abase = (row0 + i) * k;
+            let arow = &a[abase..abase + k];
+            let orow = &mut orow[..n];
+            for (l, &av) in arow.iter().enumerate().take(kend).skip(kb) {
+                let brow = &b[l * n..l * n + n];
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +416,9 @@ mod tests {
 
     #[test]
     fn indexing_round_trip() {
-        let t = Tensor::from_fn(&[3, 4, 5], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        let t = Tensor::from_fn(&[3, 4, 5], |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32
+        });
         assert_eq!(t[&[2, 3, 4]], 234.0);
         assert_eq!(t[&[0, 0, 0]], 0.0);
     }

@@ -66,7 +66,11 @@ pub fn expand_tconv_input(t: &Tensor, geom: &TconvGeometry) -> Tensor {
 /// Panics if the tensor is not rank-3 or its spatial extent differs from the
 /// forward output.
 pub fn insert_wconv_kernel(dout: &Tensor, geom: &WconvGeometry) -> Tensor {
-    assert_eq!(dout.shape().len(), 3, "insert_wconv_kernel expects [C, O, O]");
+    assert_eq!(
+        dout.shape().len(),
+        3,
+        "insert_wconv_kernel expects [C, O, O]"
+    );
     let c = dout.shape()[0];
     let o = geom.forward.output;
     assert_eq!(dout.shape()[1], o, "∇output height mismatch");

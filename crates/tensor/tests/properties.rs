@@ -4,7 +4,9 @@ use lergan_tensor::conv::{
     tconv_forward_direct, tconv_forward_zero_insert, wconv_weight_grad_zero_insert,
 };
 use lergan_tensor::zero_insert::expand_tconv_input;
-use lergan_tensor::{assert_tensors_close, Conv2d, SconvGeometry, Tensor, TconvGeometry, WconvGeometry};
+use lergan_tensor::{
+    assert_tensors_close, Conv2d, SconvGeometry, TconvGeometry, Tensor, WconvGeometry,
+};
 use proptest::prelude::*;
 
 fn small_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
@@ -15,10 +17,9 @@ fn small_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
 
 /// Valid T-CONV upsampling configs: (input, kernel, converse stride).
 fn tconv_config() -> impl Strategy<Value = TconvGeometry> {
-    (2usize..8, 2usize..6, 2usize..4)
-        .prop_filter_map("geometry must exist", |(i, w, s)| {
-            TconvGeometry::for_upsampling(i, w, s)
-        })
+    (2usize..8, 2usize..6, 2usize..4).prop_filter_map("geometry must exist", |(i, w, s)| {
+        TconvGeometry::for_upsampling(i, w, s)
+    })
 }
 
 /// Valid S-CONV configs: (input, kernel, stride, pad) with an output.

@@ -30,7 +30,10 @@ fn main() {
         );
     };
 
-    show("uniform low", LerGan::builder(&gan).replica_degree(ReplicaDegree::Low));
+    show(
+        "uniform low",
+        LerGan::builder(&gan).replica_degree(ReplicaDegree::Low),
+    );
     show(
         "uniform high",
         LerGan::builder(&gan).replica_degree(ReplicaDegree::High),

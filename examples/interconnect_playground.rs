@@ -32,10 +32,18 @@ fn main() {
 
     println!("\n--- vertical alignment: forward bank to ∇weight bank ---");
     let vertical = dcu
-        .route(Endpoint::tile(0, 5), Endpoint::pair_tile(0, 1, 5), Mode::Cmode)
+        .route(
+            Endpoint::tile(0, 5),
+            Endpoint::pair_tile(0, 1, 5),
+            Mode::Cmode,
+        )
         .unwrap();
     let smode_fallback = dcu
-        .route(Endpoint::tile(0, 5), Endpoint::pair_tile(0, 1, 5), Mode::Smode)
+        .route(
+            Endpoint::tile(0, 5),
+            Endpoint::pair_tile(0, 1, 5),
+            Mode::Smode,
+        )
         .unwrap();
     println!(
         "Cmode: {} hops, {:.1} ns (vertical wire); Smode memory path: {} hops, \
@@ -77,7 +85,11 @@ fn main() {
     let mut disjoint = FlowSchedule::new();
     for t in 0..16 {
         let r = dcu
-            .route(Endpoint::tile(0, t), Endpoint::pair_tile(0, 1, t), Mode::Cmode)
+            .route(
+                Endpoint::tile(0, t),
+                Endpoint::pair_tile(0, 1, t),
+                Mode::Cmode,
+            )
             .unwrap();
         disjoint.push(Flow::new(r, 4096));
     }
@@ -106,7 +118,11 @@ fn main() {
     // Sixteen flows through the same tile's switches: serialised.
     let mut clashing = FlowSchedule::new();
     let r = dcu
-        .route(Endpoint::tile(0, 0), Endpoint::pair_tile(0, 1, 0), Mode::Cmode)
+        .route(
+            Endpoint::tile(0, 0),
+            Endpoint::pair_tile(0, 1, 0),
+            Mode::Cmode,
+        )
         .unwrap();
     for _ in 0..16 {
         clashing.push(Flow::new(r.clone(), 4096));

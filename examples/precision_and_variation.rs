@@ -7,12 +7,12 @@
 //! ```
 
 use lergan::core::zfdr::exec::execute_tconv;
-use lergan::reram::bitslice::{sliced_dot, slice_weight, unslice_weight};
+use lergan::reram::bitslice::{slice_weight, sliced_dot, unslice_weight};
 use lergan::reram::variation::VariationModel;
 use lergan::reram::{EnergyModel, ReramConfig};
 use lergan::tensor::conv::tconv_forward_zero_insert;
 use lergan::tensor::quant::FixedPoint;
-use lergan::tensor::{Tensor, TconvGeometry};
+use lergan::tensor::{TconvGeometry, Tensor};
 
 fn main() {
     let reram = ReramConfig::default();
@@ -26,9 +26,12 @@ fn main() {
         q.step(),
         q.max_value()
     );
-    for v in [0.75f32, -0.001, 3.14159] {
+    for v in [0.75f32, -0.001, std::f32::consts::PI] {
         let code = q.quantize(v);
-        println!("  {v:>9.5} -> code {code:>6} -> {:>9.5}", q.dequantize(code));
+        println!(
+            "  {v:>9.5} -> code {code:>6} -> {:>9.5}",
+            q.dequantize(code)
+        );
     }
 
     println!("\n--- 4-bit cell slicing (4 cells per 16-bit weight) ---");
@@ -42,7 +45,11 @@ fn main() {
     }
     let w = [1234i32, -5678, 30000, -7];
     let x = [3i32, -2, 1, 9];
-    let direct: i64 = w.iter().zip(x.iter()).map(|(&a, &b)| a as i64 * b as i64).sum();
+    let direct: i64 = w
+        .iter()
+        .zip(x.iter())
+        .map(|(&a, &b)| a as i64 * b as i64)
+        .sum();
     println!(
         "  sliced dot == direct dot: {} == {}",
         sliced_dot(&w, &x, &reram),
@@ -71,7 +78,10 @@ fn main() {
     println!("\n--- cell-conductance variation (the [66] tolerance question) ---");
     for level in [0.05f64, 0.15, 0.25, 0.5, 1.0] {
         let rms = VariationModel::new(level, 5).relative_rms_error(128, 30, &reram);
-        println!("  ±{level:.2} cell levels -> {:.2}% aggregate dot-product error", rms * 100.0);
+        println!(
+            "  ±{level:.2} cell levels -> {:.2}% aggregate dot-product error",
+            rms * 100.0
+        );
     }
 
     println!("\n--- the Sec. VI-D energy what-if replayed on this data path ---");
@@ -79,6 +89,9 @@ fn main() {
     let opt = base.optimistic_whatif();
     println!(
         "  ADC energy {:.1} -> {:.1} pJ/op; cell switching {:.1} -> {:.1} pJ/cell",
-        base.adc_pj_per_op, opt.adc_pj_per_op, base.cell_switch_pj_per_cell, opt.cell_switch_pj_per_cell
+        base.adc_pj_per_op,
+        opt.adc_pj_per_op,
+        base.cell_switch_pj_per_cell,
+        opt.cell_switch_pj_per_cell
     );
 }

@@ -51,15 +51,27 @@ fn main() {
     for (name, latency, energy) in [
         {
             let r = Prime::new().train_iteration(&gan);
-            ("PRIME (ReRAM, normal reshape, H-tree)", r.iteration_latency_ns, r.iteration_energy_pj)
+            (
+                "PRIME (ReRAM, normal reshape, H-tree)",
+                r.iteration_latency_ns,
+                r.iteration_energy_pj,
+            )
         },
         {
             let r = GpuPlatform::new().train_iteration(&gan);
-            ("GPU (Titan X class)", r.iteration_latency_ns, r.iteration_energy_pj)
+            (
+                "GPU (Titan X class)",
+                r.iteration_latency_ns,
+                r.iteration_energy_pj,
+            )
         },
         {
             let r = FpgaGan::new().train_iteration(&gan);
-            ("FPGA GAN accelerator (VCU118 class)", r.iteration_latency_ns, r.iteration_energy_pj)
+            (
+                "FPGA GAN accelerator (VCU118 class)",
+                r.iteration_latency_ns,
+                r.iteration_energy_pj,
+            )
         },
     ] {
         println!(

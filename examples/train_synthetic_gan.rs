@@ -11,10 +11,8 @@
 //! cargo run --release --example train_synthetic_gan
 //! ```
 
-use lergan::gan::train::{
-    build_trainable, Gan,
-};
 use lergan::gan::topology::parse_network;
+use lergan::gan::train::{build_trainable, Gan};
 use lergan::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -7,13 +7,13 @@
 //! cargo run --release --example zfdr_explorer
 //! ```
 
+use lergan::core::replica::ReplicaPlan;
 use lergan::core::zfdr::closed_form;
 use lergan::core::zfdr::exec::execute_tconv;
 use lergan::core::zfdr::plan::ClassKind;
-use lergan::core::replica::ReplicaPlan;
 use lergan::core::ZfdrPlan;
 use lergan::tensor::conv::tconv_forward_zero_insert;
-use lergan::tensor::{assert_tensors_close, Tensor, TconvGeometry};
+use lergan::tensor::{assert_tensors_close, TconvGeometry, Tensor};
 
 fn main() {
     // CONV1 of the DCGAN generator: a 4x4x1024 input transposed-convolved

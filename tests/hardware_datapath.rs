@@ -10,7 +10,7 @@ use lergan::reram::variation::VariationModel;
 use lergan::reram::ReramConfig;
 use lergan::tensor::conv::tconv_forward_zero_insert;
 use lergan::tensor::quant::FixedPoint;
-use lergan::tensor::{Tensor, TconvGeometry};
+use lergan::tensor::{TconvGeometry, Tensor};
 
 fn det(shape: &[usize], seed: u32) -> Tensor {
     let mut state = seed.wrapping_mul(2654435761).wrapping_add(3);
@@ -97,8 +97,12 @@ fn variation_degrades_gracefully_on_zfdr_gathers() {
     // disturbance magnitude.
     let reram = ReramConfig::default();
     let q = FixedPoint::paper_default();
-    let weights: Vec<i32> = (0..100).map(|i| q.quantize(((i * 37 % 101) as f32 - 50.0) / 60.0)).collect();
-    let inputs: Vec<i32> = (0..100).map(|i| q.quantize(((i * 53 % 89) as f32 - 44.0) / 55.0)).collect();
+    let weights: Vec<i32> = (0..100)
+        .map(|i| q.quantize(((i * 37 % 101) as f32 - 50.0) / 60.0))
+        .collect();
+    let inputs: Vec<i32> = (0..100)
+        .map(|i| q.quantize(((i * 53 % 89) as f32 - 44.0) / 55.0))
+        .collect();
     let mut prev = 0.0f64;
     for level in [0.05f64, 0.2, 0.8] {
         let m = VariationModel::new(level, 99);
@@ -138,6 +142,9 @@ fn quantization_noise_does_not_break_pattern_structure() {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f32, f32::max);
     // 16 kernel taps x 2 channels, each off by at most step/2 x |w|<=0.5.
-    assert!(max_dev <= 32.0 * q.step() * 0.5 + 1e-4, "max deviation {max_dev}");
+    assert!(
+        max_dev <= 32.0 * q.step() * 0.5 + 1e-4,
+        "max deviation {max_dev}"
+    );
     let _ = plan; // geometry-only: construction succeeded for both uses
 }

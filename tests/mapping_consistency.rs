@@ -115,14 +115,10 @@ fn training_reports_are_internally_consistent() {
         let r = LerGan::builder(&gan).build().unwrap().train_iterations(3);
         // Totals scale with iterations.
         assert!(
-            (r.total_latency_ns - 3.0 * r.iteration_latency_ns).abs()
-                < 1e-6 * r.total_latency_ns
+            (r.total_latency_ns - 3.0 * r.iteration_latency_ns).abs() < 1e-6 * r.total_latency_ns
         );
         // The Fig. 23 buckets sum to the total energy.
-        assert!(
-            (r.energy_breakdown.total() - r.total_energy_pj).abs()
-                < 1e-6 * r.total_energy_pj
-        );
+        assert!((r.energy_breakdown.total() - r.total_energy_pj).abs() < 1e-6 * r.total_energy_pj);
         // Compute bucket equals the tile breakdown (for one iteration,
         // scaled by 3).
         let tile = r.tile_breakdown.total_pj() * 3.0;

@@ -86,7 +86,10 @@ fn fleet_average_energy_lands_in_paper_bands() {
     }
     let (e_gpu, e_fpga_ratio, e_prime) = (e_gpu / n, e_fpga_ratio / n, e_prime / n);
     // Paper: 9.75x saving vs GPU; 1.04x of FPGA's energy; 7.68x vs PRIME.
-    assert!((4.8..=20.0).contains(&e_gpu), "vs GPU {e_gpu:.2} (paper 9.75)");
+    assert!(
+        (4.8..=20.0).contains(&e_gpu),
+        "vs GPU {e_gpu:.2} (paper 9.75)"
+    );
     assert!(
         (0.5..=2.1).contains(&e_fpga_ratio),
         "LerGAN/FPGA {e_fpga_ratio:.2} (paper 1.04)"

@@ -68,7 +68,9 @@ fn wconv_zfdr_matches_naive_on_benchmark_geometries() {
                 if c.geometry.input > 16 || !seen.insert(c.geometry) {
                     continue;
                 }
-                let geom = WconvGeometry { forward: c.geometry };
+                let geom = WconvGeometry {
+                    forward: c.geometry,
+                };
                 let input = det(&[2, c.geometry.input, c.geometry.input], exercised + 5);
                 let dout = det(&[3, c.geometry.output, c.geometry.output], exercised + 50);
                 let (zf, _) = execute_wconv(&input, &dout, &geom);

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate provides a
+//! minimal benchmark harness with criterion's API shape (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros).
+//! Timing is a plain warmup-then-mean measurement over `std::time::Instant`
+//! — no outlier analysis, no plots, no saved baselines. Each benchmark
+//! prints one line: `bench <id> ... <mean>/iter (<n> iters)`.
+//!
+//! The measurement window is ~`CRITERION_STUB_MS` milliseconds per
+//! benchmark (default 300), overridable via that environment variable to
+//! keep `cargo bench` runs short in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for the measurement window and records the mean
+    /// wall-clock time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        std::hint::black_box(f());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let window = measure_window();
+        let target_iters = (window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        let mut done = 0u64;
+        while done < target_iters && start.elapsed() < 2 * window {
+            std::hint::black_box(f());
+            done += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / done as f64;
+        self.iters = done;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming both a function and its parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id naming only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+fn run_one(full_id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {full_id:<48} {:>12}/iter ({} iters)",
+        format_ns(b.mean_ns),
+        b.iters
+    );
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (ids print as `group/id`).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_STUB_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(3) * 2));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &7u32, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("dcgan").id, "dcgan");
+    }
+}

@@ -1,0 +1,546 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate provides a
+//! small, deterministic, std-only property-testing harness exposing the
+//! subset of the proptest 1.x API the workspace uses: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map` / `prop_filter_map` /
+//! `prop_flat_map`, range and tuple strategies, [`strategy::Just`],
+//! [`prop_oneof!`], [`collection::vec`], and the `prop_assert*` family.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the generated inputs'
+//!   assertion message, but is not minimised;
+//! * the random stream is derived deterministically from the test's module
+//!   path and name, so runs are reproducible without a persistence file;
+//! * rejected samples (`prop_filter_map`, `prop_assume!`) are retried up to
+//!   a bounded factor of the case count, then the harness panics.
+
+pub mod test_runner {
+    //! Deterministic run configuration and case-level error plumbing.
+
+    use std::fmt;
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The inputs were unsuitable; draw new ones.
+        Reject(String),
+        /// The property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (retried) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary name (FNV-1a).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Attempts per sample before a filtering strategy gives up.
+    const FILTER_RETRIES: usize = 64;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// `try_sample` returns `None` when the strategy's filters could not
+    /// produce a value; the harness then retries with fresh randomness.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value, or `None` if filtered out.
+        fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `Some`, unwrapping them.
+        fn prop_filter_map<R, U, F>(self, _reason: R, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and samples it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.try_sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<U> {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = self.inner.try_sample(rng).and_then(&self.f) {
+                    return Some(v);
+                }
+            }
+            None
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<T::Value> {
+            let mid = self.inner.try_sample(rng)?;
+            (self.f)(mid).try_sample(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn try_sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (built by [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// An empty union; sampling one panics, so always `push` onto it.
+        pub fn empty() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds an alternative.
+        pub fn push(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+            self.options.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<T> {
+            assert!(!self.options.is_empty(), "prop_oneof! of zero strategies");
+            let i = rng.below(self.options.len());
+            self.options[i].try_sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    Some(self.start + (rng.next_u64() % span) as $t)
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<f32> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + rng.unit_f64() as f32 * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($s,)+) = self;
+                    Some(($($s.try_sample(rng)?,)+))
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait SizeRange {
+        /// `(min, max)` half-open bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Generates `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec length range");
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn try_sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.min + rng.below(self.max - self.min);
+            (0..len)
+                .map(|_| self.element.try_sample(rng))
+                .collect::<Option<Vec<_>>>()
+        }
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports the upstream surface the workspace uses: an optional
+/// `#![proptest_config(...)]` header and `#[test] fn name(pat in strategy,
+/// ...) { ... }` items whose bodies may `return
+/// Err(TestCaseError::...)`/`Ok(())` and use the `prop_assert*` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(1000),
+                    "proptest {}: too many rejected samples ({} accepted of {} wanted)",
+                    stringify!($name),
+                    accepted,
+                    config.cases,
+                );
+                let sample = $crate::strategy::Strategy::try_sample(&strategy, &mut rng);
+                let ::std::option::Option::Some(($($pat,)+)) = sample else {
+                    continue;
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed: {}", stringify!($name), msg)
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", lhs, rhs, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.push($strat))+
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3usize..9).try_sample(&mut rng).unwrap();
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).try_sample(&mut rng).unwrap();
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn filter_map_and_flat_map_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = (1usize..5)
+            .prop_filter_map("even only", |n| (n % 2 == 0).then_some(n))
+            .prop_flat_map(|n| collection::vec(0u32..10, n));
+        for _ in 0..200 {
+            let v = s.try_sample(&mut rng).unwrap();
+            assert!(v.len() == 2 || v.len() == 4);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(s.try_sample(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn harness_runs_and_binds_tuples((a, b) in (0usize..10, 0usize..10), c in 0u32..5) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c, c);
+            if a == usize::MAX {
+                return Err(TestCaseError::fail("unreachable"));
+            }
+        }
+    }
+}
