@@ -1,0 +1,150 @@
+//! Seeded fault sweep over stuck-at rates, written to `BENCH_faults.json`.
+//!
+//! For each stuck-at cell rate in {0%, 0.1%, 1%} the sweep measures two
+//! things on a CONV1-class weight block and on the full DCGAN mapping:
+//!
+//! * **programming cost** — write-and-verify pulses needed to program the
+//!   block through the pre-faulted cell array (retries + quarantines), and
+//! * **system degradation** — iteration latency/energy of the DCGAN
+//!   accelerator rebuilt around the scenario (non-zero rates also lose one
+//!   tile and one horizontal added wire, per the robustness acceptance
+//!   scenario) versus its fault-free twin.
+//!
+//! Everything is seeded; running the sweep twice produces byte-identical
+//! JSON. Usage: `fault_sweep [output.json]` (default `BENCH_faults.json`).
+
+use lergan_core::{LerGan, SystemFaults};
+use lergan_gan::{benchmarks, Phase};
+use lergan_reram::{FaultMap, ReramConfig, WritePolicy};
+
+struct SweepRow {
+    rate: f64,
+    stuck_pre: usize,
+    dead_tiles: usize,
+    broken_wires: usize,
+    pulses: u64,
+    pulses_per_weight: f64,
+    quarantined: u64,
+    unprogrammable: usize,
+    fault_free_latency_ns: f64,
+    degraded_latency_ns: f64,
+    slowdown: f64,
+    energy_overhead: f64,
+    shed_stored_values: u128,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let cfg = ReramConfig::default();
+    let spec = benchmarks::dcgan();
+
+    // CONV1-class block: 512 x 512 weights (one crossbar-tiling of the
+    // first discriminator convolution's unrolled matrix), 4 cells each.
+    let (rows, cols) = (512usize, 512usize);
+    let weights: Vec<i32> = (0..rows * cols).map(|i| (i % 15) as i32 - 7).collect();
+    let cells = (weights.len() * cfg.cells_per_weight()) as u64;
+
+    let mut sweep = Vec::new();
+    for &rate in &[0.0, 0.001, 0.01] {
+        // Pre-existing stuck-at population at this rate.
+        let seeded = FaultMap::seeded(0xFA11_5EED, rate, cells);
+        let stuck_pre = seeded.stuck_cells();
+
+        // Programming cost through the faulted array.
+        let mut map = seeded.clone();
+        let policy = WritePolicy::with_fail_rate(0.02, 0xBEEF);
+        let report = map.program_matrix(&weights, &cfg, &policy);
+
+        // System scenario: the same cell map on the G-forward bank; at
+        // non-zero rates the scenario also loses a tile and a wire.
+        let mut faults = SystemFaults::none();
+        *faults.bank_mut(Phase::GForward) = seeded;
+        if rate > 0.0 {
+            faults.bank_mut(Phase::GForward).kill_tile(3);
+            faults.links_mut().break_horizontal(0, 0, 2);
+        }
+        let dead_tiles = faults.dead_tiles();
+        let broken_wires = faults.links().broken_wires();
+        let accel = LerGan::builder(&spec)
+            .faults(faults)
+            .build()
+            .expect("sweep scenarios stay within surviving capacity");
+        let (ff_lat, dg_lat, slowdown, energy_overhead, shed) = match accel.degradation_report() {
+            Some(r) => (
+                r.fault_free_latency_ns,
+                r.degraded_latency_ns,
+                r.slowdown(),
+                r.energy_overhead(),
+                r.shed_stored_values(),
+            ),
+            None => {
+                // Zero-rate scenario: the build *is* the fault-free plan.
+                let r = accel.train_iterations(1);
+                (r.iteration_latency_ns, r.iteration_latency_ns, 1.0, 1.0, 0)
+            }
+        };
+
+        println!(
+            "rate {:>5.2}%: {:>6} stuck pre, {:>7} pulses ({:.3}/weight), \
+             {:>4} quarantined, {:>4} unprogrammable, slowdown {:.4}x",
+            rate * 100.0,
+            stuck_pre,
+            report.attempts,
+            report.attempts as f64 / weights.len() as f64,
+            report.newly_stuck,
+            report.failed_cells.len(),
+            slowdown
+        );
+        sweep.push(SweepRow {
+            rate,
+            stuck_pre,
+            dead_tiles,
+            broken_wires,
+            pulses: report.attempts,
+            pulses_per_weight: report.attempts as f64 / weights.len() as f64,
+            quarantined: report.newly_stuck,
+            unprogrammable: report.failed_cells.len(),
+            fault_free_latency_ns: ff_lat,
+            degraded_latency_ns: dg_lat,
+            slowdown,
+            energy_overhead,
+            shed_stored_values: shed,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"benchmark\": \"dcgan\", \"block_weights\": {}, \"cells_per_weight\": {}, \"write_fail_rate\": 0.02 }},\n",
+        weights.len(),
+        cfg.cells_per_weight()
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"stuck_rate\": {}, \"stuck_cells_preexisting\": {}, \"dead_tiles\": {}, \
+             \"broken_wires\": {}, \"program_pulses\": {}, \"pulses_per_weight\": {:.4}, \
+             \"cells_quarantined\": {}, \"cells_unprogrammable\": {}, \
+             \"fault_free_latency_ns\": {:.0}, \"degraded_latency_ns\": {:.0}, \
+             \"slowdown\": {:.6}, \"energy_overhead\": {:.6}, \"shed_stored_values\": {} }}{}\n",
+            r.rate,
+            r.stuck_pre,
+            r.dead_tiles,
+            r.broken_wires,
+            r.pulses,
+            r.pulses_per_weight,
+            r.quarantined,
+            r.unprogrammable,
+            r.fault_free_latency_ns,
+            r.degraded_latency_ns,
+            r.slowdown,
+            r.energy_overhead,
+            r.shed_stored_values,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write sweep");
+    println!("wrote {out_path}");
+}

@@ -210,16 +210,32 @@ impl CompiledGan {
 
 /// Compiles a GAN under the given options.
 pub fn compile(gan: &GanSpec, options: CompilerOptions, config: &ReramConfig) -> CompiledGan {
+    compile_with_bank_tiles(gan, options, config, &|_| config.tiles_per_bank)
+}
+
+/// Compiles a GAN onto banks whose usable tile count varies per phase —
+/// the fault-aware entry point. `bank_tiles_for` reports how many healthy
+/// tiles each phase's bank retains; the space-aware replica clamp then
+/// sheds duplication degrees against the *surviving* capacity, so a bank
+/// that lost tiles rebalances its copies instead of overcommitting. With
+/// every phase at full capacity this is exactly [`compile`].
+pub fn compile_with_bank_tiles(
+    gan: &GanSpec,
+    options: CompilerOptions,
+    config: &ReramConfig,
+    bank_tiles_for: &dyn Fn(Phase) -> usize,
+) -> CompiledGan {
     let start = Instant::now();
     // Neighbour-tile transfer time used by the replica_e_max constraint:
     // one hop up and one down.
     let tile_transfer_ns = 2.0 * config.htree_hop_latency_ns();
     let mut phases = Vec::with_capacity(6);
     for phase in Phase::ALL {
+        let bank_tiles = bank_tiles_for(phase).max(1);
         let layers = gan
             .workloads(phase)
             .into_iter()
-            .map(|w| map_layer(w, phase, options, config, tile_transfer_ns))
+            .map(|w| map_layer(w, phase, options, config, tile_transfer_ns, bank_tiles))
             .collect();
         phases.push(CompiledPhase { phase, layers });
     }
@@ -248,6 +264,7 @@ fn map_layer(
     options: CompilerOptions,
     config: &ReramConfig,
     tile_transfer_ns: f64,
+    bank_tiles: usize,
 ) -> MappedLayer {
     let degree = options.degree_for(phase);
     let dims = workload.dims;
@@ -282,8 +299,9 @@ fn map_layer(
         );
         // Space-aware clamp (Sec. V factor 1, "programmers' demand /
         // space demands"): a single layer's reshaped matrices must fit
-        // one bank, so shed inside then edge replicas until they do.
-        let bank_values = config.weights_per_tile() as u128 * config.tiles_per_bank as u128;
+        // one bank's *healthy* tiles, so shed inside then edge replicas
+        // until they do.
+        let bank_values = config.weights_per_tile() as u128 * bank_tiles as u128;
         while replicas.storage_values(&plan, dims, channel_factor) > bank_values
             && (replicas.inside > 1 || replicas.edge > 1)
         {
@@ -341,9 +359,10 @@ fn map_layer(
         // zero-inserted ones under Normal/NS schemes).
         let mut replicas =
             dense_scheme_replicas(&workload, degree, options, config, tile_transfer_ns);
-        // Space-aware clamp: one layer's copies must fit a bank.
+        // Space-aware clamp: one layer's copies must fit a bank's healthy
+        // tiles.
         let base = workload.weight_values.max(dense_operand_values(&workload));
-        let bank_values = config.weights_per_tile() as u128 * config.tiles_per_bank as u128;
+        let bank_values = config.weights_per_tile() as u128 * bank_tiles as u128;
         if let Some(fit) = bank_values.checked_div(base) {
             replicas = replicas.min(fit.max(1) as usize);
         }
@@ -695,6 +714,60 @@ mod tests {
         assert_eq!(
             hetero.options.degree_for(Phase::DForward),
             ReplicaDegree::Low
+        );
+    }
+
+    #[test]
+    fn full_capacity_degraded_compile_is_identical() {
+        let gan = benchmarks::dcgan();
+        let cfg = ReramConfig::default();
+        let options = CompilerOptions {
+            scheme: ReshapeScheme::Zfdr,
+            degree: ReplicaDegree::High,
+            connection: Connection::ThreeD,
+            phase_degrees: Default::default(),
+        };
+        let clean = compile(&gan, options, &cfg);
+        let degraded = compile_with_bank_tiles(&gan, options, &cfg, &|_| cfg.tiles_per_bank);
+        // Bit-identical plans (compile_time_ns is wall-clock, not a plan).
+        assert_eq!(clean.phases, degraded.phases);
+    }
+
+    #[test]
+    fn lost_tiles_shed_replicas() {
+        let gan = benchmarks::dcgan();
+        let cfg = ReramConfig::default();
+        let options = CompilerOptions {
+            scheme: ReshapeScheme::Zfdr,
+            degree: ReplicaDegree::High,
+            connection: Connection::ThreeD,
+            phase_degrees: Default::default(),
+        };
+        let clean = compile(&gan, options, &cfg);
+        // Starve the generator-forward bank down to two tiles: its layers
+        // must rebalance duplication to fit the surviving capacity.
+        let degraded = compile_with_bank_tiles(&gan, options, &cfg, &|p| {
+            if p == Phase::GForward {
+                2
+            } else {
+                cfg.tiles_per_bank
+            }
+        });
+        let clean_gf = clean.phase(Phase::GForward).stored_values();
+        let degraded_gf = degraded.phase(Phase::GForward).stored_values();
+        assert!(
+            degraded_gf < clean_gf,
+            "shed replicas: {degraded_gf} should undercut {clean_gf}"
+        );
+        // Fewer copies cost cycles — the graceful-degradation trade.
+        assert!(
+            degraded.phase(Phase::GForward).cycles_per_sample()
+                >= clean.phase(Phase::GForward).cycles_per_sample()
+        );
+        // Untouched phases compile identically.
+        assert_eq!(
+            clean.phase(Phase::DForward).layers,
+            degraded.phase(Phase::DForward).layers
         );
     }
 

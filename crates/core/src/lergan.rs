@@ -20,14 +20,15 @@ use crate::compiler::{
     self, CompiledGan, CompilerOptions, Connection, PhaseDegrees, ReshapeScheme,
 };
 use crate::controller::{BankId, MemoryController};
-use crate::mapping::TileAllocation;
+use crate::fault::{DegradationReport, FaultError, SystemFaults};
+use crate::mapping::{MappingError, TileAllocation};
 use crate::replica::ReplicaDegree;
 use lergan_gan::{GanSpec, Phase};
 use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, Route};
 use lergan_reram::{EnergyCounts, EnergyModel, ReramConfig, TileEnergyBreakdown};
 use lergan_sim::engine::{Engine, ResourceId, TaskId, TaskSpec};
 use lergan_sim::Breakdown;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -68,17 +69,59 @@ impl Default for CostModel {
 
 /// Error returned when a GAN cannot be mapped.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BuildError {
-    message: String,
+pub enum BuildError {
+    /// A single layer's mapping exceeds one (fault-free) bank's CArray
+    /// capacity — the compiler cannot split one reshaped matrix across
+    /// banks.
+    LayerExceedsBank {
+        /// The phase holding the layer.
+        phase: Phase,
+        /// Layer index within the model.
+        layer: usize,
+        /// Tiles the mapping needs.
+        tiles: usize,
+        /// Tiles one bank offers.
+        bank_tiles: usize,
+    },
+    /// The fault scenario leaves too little capacity (dead bank, or a
+    /// layer that no longer fits the surviving tiles).
+    Fault(FaultError),
+    /// Tile allocation failed.
+    Mapping(MappingError),
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot build LerGAN mapping: {}", self.message)
+        write!(f, "cannot build LerGAN mapping: ")?;
+        match self {
+            BuildError::LayerExceedsBank {
+                phase,
+                layer,
+                tiles,
+                bank_tiles,
+            } => write!(
+                f,
+                "{phase} layer {layer} needs {tiles} tiles, more than one bank ({bank_tiles})"
+            ),
+            BuildError::Fault(e) => write!(f, "{e}"),
+            BuildError::Mapping(e) => write!(f, "{e}"),
+        }
     }
 }
 
 impl Error for BuildError {}
+
+impl From<FaultError> for BuildError {
+    fn from(e: FaultError) -> Self {
+        BuildError::Fault(e)
+    }
+}
+
+impl From<MappingError> for BuildError {
+    fn from(e: MappingError) -> Self {
+        BuildError::Mapping(e)
+    }
+}
 
 /// Builder for [`LerGan`].
 #[derive(Debug, Clone)]
@@ -92,6 +135,7 @@ pub struct LerGanBuilder {
     noc: NocConfig,
     cost: CostModel,
     energy: EnergyModel,
+    faults: SystemFaults,
 }
 
 impl LerGanBuilder {
@@ -144,6 +188,16 @@ impl LerGanBuilder {
         self
     }
 
+    /// Injects a fault scenario (default: none). The build degrades
+    /// gracefully — dead tiles shrink the capacity replicas are sized
+    /// against and the allocator maps around them; broken wires re-route
+    /// over the H-tree — or returns a typed error when the surviving
+    /// capacity is genuinely insufficient.
+    pub fn faults(mut self, faults: SystemFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Compiles and assembles the accelerator.
     ///
     /// # Errors
@@ -158,21 +212,61 @@ impl LerGanBuilder {
             connection: self.connection,
             phase_degrees: self.phase_degrees,
         };
-        let compiled = compiler::compile(&self.gan, options, &self.reram);
         let bank_tiles = self.reram.tiles_per_bank;
+        // Surviving capacity per phase bank (B1–B6 are phase-owned).
+        let mut healthy: HashMap<Phase, usize> = HashMap::new();
+        for phase in Phase::ALL {
+            let dead = self.faults.dead_tiles_in(phase);
+            if dead >= bank_tiles {
+                return Err(FaultError::BankDead { phase }.into());
+            }
+            healthy.insert(phase, bank_tiles - dead);
+        }
+        // Replicas are sized against what actually survives.
+        let compiled =
+            compiler::compile_with_bank_tiles(&self.gan, options, &self.reram, &|p| healthy[&p]);
         for phase in &compiled.phases {
+            let alive = healthy[&phase.phase];
             for layer in &phase.layers {
-                if layer.tiles > bank_tiles {
-                    return Err(BuildError {
-                        message: format!(
-                            "{} layer {} needs {} tiles, more than one bank ({bank_tiles})",
-                            phase.phase, layer.workload.layer_index, layer.tiles
-                        ),
+                if layer.tiles > alive {
+                    // Distinguish a genuinely oversized layer from one a
+                    // fault scenario starved of spare tiles.
+                    return Err(if layer.tiles > bank_tiles {
+                        BuildError::LayerExceedsBank {
+                            phase: phase.phase,
+                            layer: layer.workload.layer_index,
+                            tiles: layer.tiles,
+                            bank_tiles,
+                        }
+                    } else {
+                        FaultError::InsufficientTiles {
+                            phase: phase.phase,
+                            layer: layer.workload.layer_index,
+                            needed: layer.tiles,
+                            healthy: alive,
+                        }
+                        .into()
                     });
                 }
             }
         }
-        let pair = DcuPair::new(&self.noc);
+        // Fault-aware tile allocation, fixed at build time: layers map
+        // around the dead tiles of their phase's bank.
+        let mut allocs: HashMap<Phase, TileAllocation> = HashMap::new();
+        for phase in Phase::ALL {
+            let dead: BTreeSet<usize> = self
+                .faults
+                .bank(phase)
+                .map(|m| m.dead_tiles().collect())
+                .unwrap_or_default();
+            let alloc = TileAllocation::for_phase_avoiding(
+                compiled.phase(phase),
+                self.noc.tiles_per_bank,
+                &dead,
+            )?;
+            allocs.insert(phase, alloc);
+        }
+        let pair = DcuPair::with_faults(&self.noc, self.faults.links());
         Ok(LerGan {
             gan: self.gan,
             compiled,
@@ -181,6 +275,8 @@ impl LerGanBuilder {
             noc: self.noc,
             cost: self.cost,
             energy: self.energy,
+            faults: self.faults,
+            allocs,
         })
     }
 }
@@ -195,6 +291,8 @@ pub struct LerGan {
     noc: NocConfig,
     cost: CostModel,
     energy: EnergyModel,
+    faults: SystemFaults,
+    allocs: HashMap<Phase, TileAllocation>,
 }
 
 /// Latency/energy report of a training run.
@@ -234,6 +332,7 @@ impl LerGan {
             noc: NocConfig::default(),
             cost: CostModel::default(),
             energy: EnergyModel::default(),
+            faults: SystemFaults::none(),
         }
     }
 
@@ -245,6 +344,53 @@ impl LerGan {
     /// The GAN being trained.
     pub fn gan(&self) -> &GanSpec {
         &self.gan
+    }
+
+    /// The fault scenario this accelerator was built under.
+    pub fn faults(&self) -> &SystemFaults {
+        &self.faults
+    }
+
+    /// The (fault-aware) tile allocation of a phase.
+    pub fn allocation(&self, phase: Phase) -> &TileAllocation {
+        &self.allocs[&phase]
+    }
+
+    /// Quantifies what the fault scenario costs: rebuilds the same model
+    /// fault-free, simulates one iteration of each, and compares. `None`
+    /// when no faults were injected. Deterministic — both simulations are.
+    pub fn degradation_report(&self) -> Option<DegradationReport> {
+        if self.faults.is_empty() {
+            return None;
+        }
+        let clean = LerGanBuilder {
+            gan: self.gan.clone(),
+            degree: self.compiled.options.degree,
+            phase_degrees: self.compiled.options.phase_degrees,
+            scheme: self.compiled.options.scheme,
+            connection: self.compiled.options.connection,
+            reram: self.reram.clone(),
+            noc: self.noc.clone(),
+            cost: self.cost.clone(),
+            energy: self.energy,
+            faults: SystemFaults::none(),
+        }
+        .build()
+        .expect("the faulty build succeeded, so the fault-free twin must");
+        let base = clean.train_iterations(1);
+        let mine = self.train_iterations(1);
+        Some(DegradationReport {
+            fault_free_latency_ns: base.iteration_latency_ns,
+            degraded_latency_ns: mine.iteration_latency_ns,
+            fault_free_energy_pj: base.total_energy_pj,
+            degraded_energy_pj: mine.total_energy_pj,
+            fault_free_stored_values: clean.compiled.total_stored_values(),
+            degraded_stored_values: self.compiled.total_stored_values(),
+            dead_tiles: self.faults.dead_tiles(),
+            broken_wires: self.faults.links().broken_wires(),
+            stuck_switches: self.faults.links().stuck_switches(),
+            stuck_cells: self.faults.stuck_cells(),
+        })
     }
 
     /// Simulates `n` training iterations (the paper uses ten and averages).
@@ -405,7 +551,7 @@ impl LerGan {
             let cp = self.compiled.phase(phase);
             let comp_r = compute_res[&phase];
             let wire_r = wire_res[&(bank.side, bank.bank)];
-            let alloc = TileAllocation::for_phase(cp, self.noc.tiles_per_bank);
+            let alloc = &self.allocs[&phase];
             let mut prev: Option<TaskId> = dep;
             let mut first: Option<TaskId> = None;
             for (li, layer) in cp.layers.iter().enumerate() {
@@ -443,11 +589,14 @@ impl LerGan {
                 // this layer's first. A bank-boundary crossing (the phase
                 // spilled onto another 3DCU pair) pays the bus.
                 let from_tile = if li == 0 {
-                    alloc.range(0).tile(0, self.noc.tiles_per_bank)
+                    alloc.tile_for(0, 0).expect("phase has a first layer")
                 } else {
-                    alloc.handoff(li - 1).0
+                    alloc.handoff(li - 1).expect("layers are consecutive").0
                 };
-                let crosses = li > 0 && alloc.handoff_crosses_bank(li - 1);
+                let crosses = li > 0
+                    && alloc
+                        .handoff_crosses_bank(li - 1)
+                        .expect("layers are consecutive");
                 let route = if crosses {
                     self.bus_route(bank)
                 } else {
@@ -936,6 +1085,116 @@ mod tests {
                 gan.name
             );
         }
+    }
+
+    #[test]
+    fn empty_fault_scenario_is_bit_identical() {
+        let gan = benchmarks::dcgan();
+        let clean = LerGan::builder(&gan).build().unwrap();
+        let faulted = LerGan::builder(&gan)
+            .faults(SystemFaults::none())
+            .build()
+            .unwrap();
+        assert_eq!(clean.compiled().phases, faulted.compiled().phases);
+        for phase in Phase::ALL {
+            assert_eq!(clean.allocation(phase), faulted.allocation(phase));
+        }
+        let a = clean.train_iterations(1);
+        let b = faulted.train_iterations(1);
+        assert_eq!(a.iteration_latency_ns.to_bits(), b.iteration_latency_ns.to_bits());
+        assert_eq!(a.total_energy_pj.to_bits(), b.total_energy_pj.to_bits());
+        assert!(faulted.degradation_report().is_none());
+    }
+
+    #[test]
+    fn dead_tile_remaps_and_reports_degradation() {
+        let gan = benchmarks::dcgan();
+        let mut faults = SystemFaults::none();
+        faults.bank_mut(Phase::GForward).kill_tile(0).kill_tile(3);
+        let accel = LerGan::builder(&gan).faults(faults).build().unwrap();
+        // The allocation avoids the dead tiles.
+        let alloc = accel.allocation(Phase::GForward);
+        assert_eq!(alloc.healthy_tiles(), 14);
+        for layer in 0..alloc.len() {
+            let t = alloc.tile_for(layer, 0).unwrap();
+            assert!(t != 0 && t != 3);
+        }
+        let report = accel.degradation_report().expect("faults were injected");
+        assert_eq!(report.dead_tiles, 2);
+        assert!(report.slowdown() >= 1.0 - 1e-12);
+        assert!(report.degraded_latency_ns.is_finite());
+    }
+
+    #[test]
+    fn broken_wires_slow_the_iteration() {
+        let gan = benchmarks::dcgan();
+        let clean = LerGan::builder(&gan).build().unwrap().train_iterations(1);
+        let mut faults = SystemFaults::none();
+        // Sever every horizontal and vertical wire on both sides: all the
+        // Cmode shortcuts disappear, so transfers pay tree/bus detours.
+        for side in 0..2 {
+            for bank in 0..3 {
+                for node in 2..16 {
+                    faults.links_mut().break_horizontal(side, bank, node);
+                }
+            }
+            for bank in 0..2 {
+                for node in 1..16 {
+                    faults.links_mut().break_vertical(side, bank, node);
+                }
+            }
+        }
+        let accel = LerGan::builder(&gan).faults(faults).build().unwrap();
+        let degraded = accel.train_iterations(1);
+        assert!(
+            degraded.iteration_latency_ns > clean.iteration_latency_ns,
+            "wire loss must cost latency: {} vs {}",
+            degraded.iteration_latency_ns,
+            clean.iteration_latency_ns
+        );
+        let report = accel.degradation_report().unwrap();
+        assert!(report.slowdown() > 1.0);
+        assert!(report.broken_wires > 0);
+    }
+
+    #[test]
+    fn dead_bank_is_a_typed_error() {
+        let gan = benchmarks::dcgan();
+        let mut faults = SystemFaults::none();
+        for tile in 0..16 {
+            faults.bank_mut(Phase::DForward).kill_tile(tile);
+        }
+        let err = LerGan::builder(&gan).faults(faults).build().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::Fault(crate::fault::FaultError::BankDead {
+                phase: Phase::DForward
+            })
+        );
+    }
+
+    #[test]
+    fn degradation_report_is_deterministic() {
+        let gan = benchmarks::cgan();
+        let scenario = || {
+            let mut f = SystemFaults::none();
+            f.bank_mut(Phase::GForward).kill_tile(5);
+            f.links_mut().break_horizontal(0, 0, 4);
+            f
+        };
+        let a = LerGan::builder(&gan)
+            .faults(scenario())
+            .build()
+            .unwrap()
+            .degradation_report()
+            .unwrap();
+        let b = LerGan::builder(&gan)
+            .faults(scenario())
+            .build()
+            .unwrap()
+            .degradation_report()
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

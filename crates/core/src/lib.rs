@@ -38,12 +38,15 @@
 pub mod balance;
 pub mod compiler;
 pub mod controller;
+pub mod fault;
 pub mod lergan;
 pub mod mapping;
 pub mod replica;
 pub mod zfdr;
 
 pub use compiler::{CompiledGan, CompilerOptions, Connection, ReshapeScheme};
-pub use lergan::{LerGan, LerGanBuilder, TrainingReport};
+pub use fault::{DegradationReport, FaultError, SystemFaults};
+pub use lergan::{BuildError, LerGan, LerGanBuilder, TrainingReport};
+pub use mapping::{MappingError, TileAllocation};
 pub use replica::{ReplicaDegree, ReplicaPlan};
 pub use zfdr::{ZfdrPlan, ZfdrStats};

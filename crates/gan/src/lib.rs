@@ -42,5 +42,5 @@ pub mod workload;
 pub use layer::{ConvLayer, FcLayer, Layer, TconvLayer};
 pub use phase::Phase;
 pub use topology::{GanSpec, NetworkSpec, ParseTopologyError};
-pub use train::UpdateRule;
+pub use train::{CheckpointError, Gan, GanCheckpoint, LayerState, Sequential, UpdateRule};
 pub use workload::{ConvWorkload, WorkloadKind};

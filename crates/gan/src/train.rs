@@ -33,7 +33,170 @@ pub trait TrainableLayer {
     fn apply_update(&mut self, rule: &UpdateRule, step: u64);
     /// Clears accumulated gradients without applying them.
     fn zero_grads(&mut self);
+
+    /// Snapshots every persistent parameter of the layer: weights, affine
+    /// parameters, running statistics and lazily created optimiser moments.
+    /// Activation caches and accumulated gradients are *not* captured —
+    /// checkpoints are taken at step boundaries, where both are dead.
+    /// Stateless layers return an empty state.
+    fn capture_state(&self) -> LayerState {
+        LayerState::empty()
+    }
+
+    /// Restores a state captured by [`capture_state`]. `layer` is the
+    /// layer's position in its stack, used only for error reporting.
+    /// Stateless layers accept only an empty state.
+    ///
+    /// [`capture_state`]: TrainableLayer::capture_state
+    fn restore_state(&mut self, state: &LayerState, layer: usize) -> Result<(), CheckpointError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(CheckpointError::UnexpectedEntries {
+                layer,
+                count: state.len(),
+            })
+        }
+    }
 }
+
+/// The persistent state of one layer as named tensors.
+///
+/// Keys are layer-defined ("weights", "opt.m", "running_mean", …);
+/// optional state — Adam moments that have not been created yet — is
+/// encoded by absence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerState {
+    entries: Vec<(String, Tensor)>,
+}
+
+impl LayerState {
+    /// A state with no entries (stateless layers).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the state holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of named tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records `tensor` under `key`.
+    pub fn push(&mut self, key: &str, tensor: Tensor) {
+        self.entries.push((key.to_string(), tensor));
+    }
+
+    /// The tensor stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Tensor> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, t)| t)
+    }
+
+    /// Clones the tensor under `key`, requiring it to exist with `shape`.
+    fn require(&self, layer: usize, key: &str, shape: &[usize]) -> Result<Tensor, CheckpointError> {
+        match self.optional(layer, key, shape)? {
+            Some(t) => Ok(t),
+            None => Err(CheckpointError::MissingEntry {
+                layer,
+                key: key.to_string(),
+            }),
+        }
+    }
+
+    /// Clones the tensor under `key` if present, checking its shape.
+    fn optional(
+        &self,
+        layer: usize,
+        key: &str,
+        shape: &[usize],
+    ) -> Result<Option<Tensor>, CheckpointError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(t) if t.shape() == shape => Ok(Some(t.clone())),
+            Some(t) => Err(CheckpointError::ShapeMismatch {
+                layer,
+                key: key.to_string(),
+                expected: shape.to_vec(),
+                actual: t.shape().to_vec(),
+            }),
+        }
+    }
+}
+
+/// Typed error for checkpoints that do not fit the network they are
+/// restored into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint holds state for a different number of layers.
+    LayerCountMismatch {
+        /// Layers in the receiving stack.
+        expected: usize,
+        /// Layer states in the checkpoint.
+        actual: usize,
+    },
+    /// A layer's state lacks a tensor the layer needs.
+    MissingEntry {
+        /// Layer index in the stack.
+        layer: usize,
+        /// The missing key.
+        key: String,
+    },
+    /// A stored tensor's shape disagrees with the receiving parameter.
+    ShapeMismatch {
+        /// Layer index in the stack.
+        layer: usize,
+        /// The offending key.
+        key: String,
+        /// Shape of the receiving parameter.
+        expected: Vec<usize>,
+        /// Shape stored in the checkpoint.
+        actual: Vec<usize>,
+    },
+    /// A stateless layer received a non-empty state.
+    UnexpectedEntries {
+        /// Layer index in the stack.
+        layer: usize,
+        /// Entries the state carried.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::LayerCountMismatch { expected, actual } => write!(
+                f,
+                "checkpoint mismatch: stack has {expected} layer(s), checkpoint has {actual}"
+            ),
+            CheckpointError::MissingEntry { layer, key } => {
+                write!(f, "checkpoint mismatch: layer {layer} lacks \"{key}\"")
+            }
+            CheckpointError::ShapeMismatch {
+                layer,
+                key,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checkpoint mismatch: layer {layer} \"{key}\" has shape {actual:?}, \
+                 expected {expected:?}"
+            ),
+            CheckpointError::UnexpectedEntries { layer, count } => write!(
+                f,
+                "checkpoint mismatch: stateless layer {layer} received {count} tensor(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 fn he_init(rng: &mut StdRng, shape: &[usize], fan_in: usize) -> Tensor {
     let scale = (2.0 / fan_in as f32).sqrt();
@@ -93,6 +256,30 @@ struct OptState {
 }
 
 impl OptState {
+    /// Records the moments that exist under `prefix.m` / `prefix.v`.
+    fn capture_into(&self, prefix: &str, state: &mut LayerState) {
+        if let Some(m) = &self.m {
+            state.push(&format!("{prefix}.m"), m.clone());
+        }
+        if let Some(v) = &self.v {
+            state.push(&format!("{prefix}.v"), v.clone());
+        }
+    }
+
+    /// Restores moments from `prefix.m` / `prefix.v`; absence means the
+    /// moment had not been created yet at capture time.
+    fn restore_from(
+        &mut self,
+        prefix: &str,
+        state: &LayerState,
+        layer: usize,
+        shape: &[usize],
+    ) -> Result<(), CheckpointError> {
+        self.m = state.optional(layer, &format!("{prefix}.m"), shape)?;
+        self.v = state.optional(layer, &format!("{prefix}.v"), shape)?;
+        Ok(())
+    }
+
     /// Applies `rule` to `weights` given the accumulated `grad`.
     fn apply(&mut self, rule: &UpdateRule, step: u64, weights: &mut Tensor, grad: &Tensor) {
         match *rule {
@@ -192,6 +379,23 @@ impl TrainableLayer for DenseLayer {
     fn zero_grads(&mut self) {
         self.grad = Tensor::zeros(self.grad.shape());
     }
+
+    fn capture_state(&self) -> LayerState {
+        let mut s = LayerState::empty();
+        s.push("weights", self.weights.clone());
+        self.opt.capture_into("opt", &mut s);
+        s
+    }
+
+    fn restore_state(&mut self, state: &LayerState, layer: usize) -> Result<(), CheckpointError> {
+        self.weights = state.require(layer, "weights", self.weights.shape())?;
+        self.opt
+            .restore_from("opt", state, layer, self.weights.shape())?;
+        self.grad = Tensor::zeros(self.grad.shape());
+        self.cached_input = None;
+        self.cached_shape.clear();
+        Ok(())
+    }
 }
 
 /// Strided-convolution trainable layer.
@@ -256,6 +460,22 @@ impl TrainableLayer for ConvTrainLayer {
 
     fn zero_grads(&mut self) {
         self.grad = Tensor::zeros(self.grad.shape());
+    }
+
+    fn capture_state(&self) -> LayerState {
+        let mut s = LayerState::empty();
+        s.push("weights", self.weights.clone());
+        self.opt.capture_into("opt", &mut s);
+        s
+    }
+
+    fn restore_state(&mut self, state: &LayerState, layer: usize) -> Result<(), CheckpointError> {
+        self.weights = state.require(layer, "weights", self.weights.shape())?;
+        self.opt
+            .restore_from("opt", state, layer, self.weights.shape())?;
+        self.grad = Tensor::zeros(self.grad.shape());
+        self.cached_input = None;
+        Ok(())
     }
 }
 
@@ -334,6 +554,22 @@ impl TrainableLayer for TconvTrainLayer {
 
     fn zero_grads(&mut self) {
         self.grad = Tensor::zeros(self.grad.shape());
+    }
+
+    fn capture_state(&self) -> LayerState {
+        let mut s = LayerState::empty();
+        s.push("weights", self.weights.clone());
+        self.opt.capture_into("opt", &mut s);
+        s
+    }
+
+    fn restore_state(&mut self, state: &LayerState, layer: usize) -> Result<(), CheckpointError> {
+        self.weights = state.require(layer, "weights", self.weights.shape())?;
+        self.opt
+            .restore_from("opt", state, layer, self.weights.shape())?;
+        self.grad = Tensor::zeros(self.grad.shape());
+        self.cached_expanded = None;
+        Ok(())
     }
 }
 
@@ -474,6 +710,38 @@ impl TrainableLayer for BatchNorm {
     fn zero_grads(&mut self) {
         self.grad_gamma = Tensor::zeros(self.grad_gamma.shape());
         self.grad_beta = Tensor::zeros(self.grad_beta.shape());
+    }
+
+    fn capture_state(&self) -> LayerState {
+        let c = self.gamma.len();
+        let mut s = LayerState::empty();
+        s.push("gamma", self.gamma.clone());
+        s.push("beta", self.beta.clone());
+        s.push(
+            "running_mean",
+            Tensor::from_vec(&[c], self.running_mean.clone()),
+        );
+        s.push(
+            "running_var",
+            Tensor::from_vec(&[c], self.running_var.clone()),
+        );
+        self.opt_gamma.capture_into("opt_gamma", &mut s);
+        self.opt_beta.capture_into("opt_beta", &mut s);
+        s
+    }
+
+    fn restore_state(&mut self, state: &LayerState, layer: usize) -> Result<(), CheckpointError> {
+        let shape = self.gamma.shape().to_vec();
+        self.gamma = state.require(layer, "gamma", &shape)?;
+        self.beta = state.require(layer, "beta", &shape)?;
+        self.running_mean = state.require(layer, "running_mean", &shape)?.data().to_vec();
+        self.running_var = state.require(layer, "running_var", &shape)?.data().to_vec();
+        self.opt_gamma
+            .restore_from("opt_gamma", state, layer, &shape)?;
+        self.opt_beta.restore_from("opt_beta", state, layer, &shape)?;
+        self.zero_grads();
+        self.normalized = None;
+        Ok(())
     }
 }
 
@@ -649,6 +917,47 @@ impl Sequential {
             l.zero_grads();
         }
     }
+
+    /// Snapshots the persistent state of every layer, in stack order.
+    pub fn capture_state(&self) -> Vec<LayerState> {
+        self.layers.iter().map(|l| l.capture_state()).collect()
+    }
+
+    /// Restores a snapshot taken by [`capture_state`] into this stack.
+    /// Fails with a typed [`CheckpointError`] — leaving already-restored
+    /// layers restored — when the snapshot does not fit the architecture.
+    ///
+    /// [`capture_state`]: Sequential::capture_state
+    pub fn restore_state(&mut self, states: &[LayerState]) -> Result<(), CheckpointError> {
+        if states.len() != self.layers.len() {
+            return Err(CheckpointError::LayerCountMismatch {
+                expected: self.layers.len(),
+                actual: states.len(),
+            });
+        }
+        for (i, (layer, state)) in self.layers.iter_mut().zip(states).enumerate() {
+            layer.restore_state(state, i)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full trainer snapshot: both stacks' parameters and optimiser moments,
+/// the optimiser step counter and the noise RNG position. Restoring one
+/// into an architecturally identical [`Gan`] resumes training bit-exactly —
+/// the property that lets a fault-triggered remap checkpoint mid-epoch,
+/// rebuild the hardware mapping around the fault, and continue instead of
+/// restarting (see `lergan_core::SystemFaults`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanCheckpoint {
+    /// Per-layer state of the generator stack.
+    pub generator: Vec<LayerState>,
+    /// Per-layer state of the discriminator stack.
+    pub discriminator: Vec<LayerState>,
+    /// Optimiser steps taken (drives Adam's bias correction).
+    pub step: u64,
+    /// Noise-generator position (SplitMix64 state).
+    pub rng_state: u64,
 }
 
 /// Builds a trainable network from a parsed [`NetworkSpec`] (2-D networks
@@ -782,6 +1091,42 @@ impl Gan {
     pub fn with_optimizer(mut self, rule: UpdateRule) -> Self {
         self.rule = rule;
         self
+    }
+
+    /// Optimiser steps taken so far.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Snapshots the full trainer state. Call between [`train_step`]s:
+    /// gradients and activation caches are dead there, so parameters,
+    /// optimiser moments, the step counter and the RNG position are the
+    /// complete state of the computation.
+    ///
+    /// [`train_step`]: Gan::train_step
+    pub fn checkpoint(&self) -> GanCheckpoint {
+        GanCheckpoint {
+            generator: self.generator.capture_state(),
+            discriminator: self.discriminator.capture_state(),
+            step: self.step,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Restores a [`checkpoint`] into this trainer. The receiving GAN must
+    /// have the same architecture (it may have different weights — they are
+    /// overwritten). After a successful restore the next [`train_step`]
+    /// produces bit-identical results to the one that would have followed
+    /// the checkpoint.
+    ///
+    /// [`checkpoint`]: Gan::checkpoint
+    /// [`train_step`]: Gan::train_step
+    pub fn restore(&mut self, ckpt: &GanCheckpoint) -> Result<(), CheckpointError> {
+        self.generator.restore_state(&ckpt.generator)?;
+        self.discriminator.restore_state(&ckpt.discriminator)?;
+        self.step = ckpt.step;
+        self.rng.set_state(ckpt.rng_state);
+        Ok(())
     }
 
     /// Samples a uniform noise vector in `[-1, 1]`.
@@ -1140,6 +1485,134 @@ mod tests {
             last = gan.train_step(&reals).d_loss;
         }
         assert!(last.is_finite() && last > 0.0);
+    }
+
+    fn loss_bits(stats: &StepStats) -> (u32, u32) {
+        (stats.d_loss.to_bits(), stats.g_loss.to_bits())
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_exactly() {
+        // Reference run: 5 Adam steps straight through.
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = tiny_generator(&mut rng);
+        let d = tiny_discriminator(&mut rng);
+        let mut reference = Gan::new(g, d, 4, 0.0, 77).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let mut data_rng = StdRng::seed_from_u64(500);
+        let mut reference_tail = Vec::new();
+        for step in 0..5 {
+            let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut data_rng)).collect();
+            let stats = reference.train_step(&reals);
+            if step >= 2 {
+                reference_tail.push(loss_bits(&stats));
+            }
+        }
+
+        // Checkpointed run: 2 steps, snapshot, restore into a GAN built
+        // with *different* init and noise seeds (everything must come from
+        // the checkpoint), then 3 more steps on the same data stream.
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = tiny_generator(&mut rng);
+        let d = tiny_discriminator(&mut rng);
+        let mut gan = Gan::new(g, d, 4, 0.0, 77).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let mut data_rng = StdRng::seed_from_u64(500);
+        let mut consumed = Vec::new();
+        for _ in 0..2 {
+            let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut data_rng)).collect();
+            gan.train_step(&reals);
+            consumed.push(reals);
+        }
+        let ckpt = gan.checkpoint();
+        assert_eq!(ckpt.step, 2);
+        drop(gan);
+
+        let mut other_rng = StdRng::seed_from_u64(999);
+        let g = tiny_generator(&mut other_rng);
+        let d = tiny_discriminator(&mut other_rng);
+        let mut resumed =
+            Gan::new(g, d, 4, 0.0, 12345).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        resumed.restore(&ckpt).expect("architectures match");
+        assert_eq!(resumed.step(), 2);
+        let mut resumed_tail = Vec::new();
+        for _ in 0..3 {
+            let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut data_rng)).collect();
+            resumed_tail.push(loss_bits(&resumed.train_step(&reals)));
+        }
+        assert_eq!(
+            reference_tail, resumed_tail,
+            "resume after restore must be bit-exact"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_batchnorm_running_stats() {
+        let spec = parse_network("tiny", "16f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut net = build_trainable_with(&spec, true, true, &mut rng);
+        // A few updates so running stats, moments and affines all move.
+        for step in 1..=3u64 {
+            let out = net.forward(&Tensor::ones(&[16]));
+            net.backward(&out.map(|y| y * 0.1));
+            net.apply_update(&UpdateRule::dcgan_adam(0.05), step);
+        }
+        let probe = net.forward(&Tensor::filled(&[16], 0.5));
+        let snapshot = net.capture_state();
+
+        let mut other_rng = StdRng::seed_from_u64(4242);
+        let mut twin = build_trainable_with(&spec, true, true, &mut other_rng);
+        twin.restore_state(&snapshot).expect("same architecture");
+        let twin_probe = twin.forward(&Tensor::filled(&[16], 0.5));
+        // BatchNorm's forward updates running stats, so equality of this
+        // output proves gamma/beta/moments *and* the running statistics all
+        // round-tripped bit-exactly.
+        let lhs: Vec<u32> = probe.data().iter().map(|v| v.to_bits()).collect();
+        let rhs: Vec<u32> = twin_probe.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut small = Sequential::new();
+        small.push(Box::new(DenseLayer::new(4, 2, &mut rng)));
+        let snapshot = small.capture_state();
+
+        // Wrong layer count.
+        let mut deeper = Sequential::new();
+        deeper.push(Box::new(DenseLayer::new(4, 2, &mut rng)));
+        deeper.push(Box::new(LeakyRelu::new(0.2)));
+        assert_eq!(
+            deeper.restore_state(&snapshot),
+            Err(CheckpointError::LayerCountMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+
+        // Wrong parameter shape.
+        let mut wider = Sequential::new();
+        wider.push(Box::new(DenseLayer::new(8, 2, &mut rng)));
+        match wider.restore_state(&snapshot) {
+            Err(CheckpointError::ShapeMismatch { layer: 0, key, .. }) => {
+                assert_eq!(key, "weights");
+            }
+            other => panic!("expected a shape mismatch, got {other:?}"),
+        }
+
+        // State offered to a stateless layer.
+        let mut stateless = Sequential::new();
+        stateless.push(Box::new(LeakyRelu::new(0.2)));
+        assert_eq!(
+            stateless.restore_state(&snapshot),
+            Err(CheckpointError::UnexpectedEntries { layer: 0, count: 1 })
+        );
+
+        // Errors render as readable messages.
+        let err = CheckpointError::MissingEntry {
+            layer: 3,
+            key: "weights".into(),
+        };
+        assert!(err.to_string().contains("layer 3"));
     }
 
     #[test]

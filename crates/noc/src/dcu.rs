@@ -18,6 +18,7 @@
 //! reach the discriminator without touching the bus or CPU (Fig. 13).
 
 use crate::config::NocConfig;
+use crate::fault::LinkFaults;
 use crate::htree::HTree;
 
 /// Interconnect operating mode.
@@ -195,7 +196,10 @@ impl Fabric {
         self.bus_vertex() + 1
     }
 
-    fn new(cfg: &NocConfig, sides: usize) -> Fabric {
+    /// Builds the adjacency, omitting every added wire `faults` severs or
+    /// gates behind a frozen switch. With an empty fault set the graph is
+    /// identical to the pristine fabric, edge for edge.
+    fn new(cfg: &NocConfig, sides: usize, faults: &LinkFaults) -> Fabric {
         let tree = HTree::new(cfg);
         let mut fabric = Fabric {
             cfg: cfg.clone(),
@@ -265,7 +269,10 @@ impl Fabric {
                 // different parents (Cmode only).
                 for node in 2..tiles {
                     let next = node + 1;
-                    if next < tiles && tree.horizontal_pair(node, next) {
+                    if next < tiles
+                        && tree.horizontal_pair(node, next)
+                        && !faults.blocks_horizontal(side, bank, node)
+                    {
                         let level = tree.level(node);
                         let a = fabric.vertex(Endpoint { side, bank, node });
                         let b = fabric.vertex(Endpoint {
@@ -289,6 +296,9 @@ impl Fabric {
             // adjacent banks (Cmode only).
             for bank in 0..BANKS - 1 {
                 for node in 1..tiles {
+                    if faults.blocks_vertical(side, bank, node) {
+                        continue;
+                    }
                     let level = tree.level(node);
                     let a = fabric.vertex(Endpoint { side, bank, node });
                     let b = fabric.vertex(Endpoint {
@@ -441,8 +451,15 @@ pub struct ThreeDcu {
 impl ThreeDcu {
     /// Builds a 3DCU for a configuration.
     pub fn new(cfg: &NocConfig) -> Self {
+        Self::with_faults(cfg, &LinkFaults::none())
+    }
+
+    /// Builds a 3DCU whose added wires are degraded by `faults`: flows
+    /// that would have used a severed wire reroute over the H-tree parent
+    /// path (the Smode fallback) with the detour's full hop/energy cost.
+    pub fn with_faults(cfg: &NocConfig, faults: &LinkFaults) -> Self {
         ThreeDcu {
-            fabric: Fabric::new(cfg, 1),
+            fabric: Fabric::new(cfg, 1, faults),
         }
     }
 
@@ -479,8 +496,16 @@ pub struct DcuPair {
 impl DcuPair {
     /// Builds the pair.
     pub fn new(cfg: &NocConfig) -> Self {
+        Self::with_faults(cfg, &LinkFaults::none())
+    }
+
+    /// Builds the pair over a degraded fabric (see
+    /// [`ThreeDcu::with_faults`]). Bypass, bus and tree wires are never
+    /// faultable, so every endpoint stays reachable — faults only lengthen
+    /// routes.
+    pub fn with_faults(cfg: &NocConfig, faults: &LinkFaults) -> Self {
         DcuPair {
-            fabric: Fabric::new(cfg, 2),
+            fabric: Fabric::new(cfg, 2, faults),
         }
     }
 
@@ -622,6 +647,127 @@ mod tests {
             .route(Endpoint::tile(0, 0), Endpoint::tile(0, 1), Mode::Smode)
             .unwrap();
         assert_eq!(r.transfer(0, &NocConfig::default()), (0.0, 0.0));
+    }
+
+    #[test]
+    fn empty_fault_set_routes_identically() {
+        let cfg = NocConfig::default();
+        let clean = ThreeDcu::new(&cfg);
+        let faulted = ThreeDcu::with_faults(&cfg, &LinkFaults::none());
+        for (a, b) in [(0usize, 15usize), (7, 8), (3, 12)] {
+            for mode in [Mode::Smode, Mode::Cmode] {
+                assert_eq!(
+                    clean.route(Endpoint::tile(0, a), Endpoint::tile(0, b), mode),
+                    faulted.route(Endpoint::tile(0, a), Endpoint::tile(0, b), mode),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broken_horizontal_wire_falls_back_to_the_tree() {
+        let cfg = NocConfig::default();
+        let clean = ThreeDcu::new(&cfg);
+        let good = clean
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Cmode)
+            .unwrap();
+        assert!(good.edges.contains(&EdgeKind::Horizontal));
+        // Sever one bank's horizontal wires: the router detours through a
+        // *neighbouring bank's* horizontal wire via vertical hops.
+        let mut partial = LinkFaults::none();
+        for node in 2..cfg.tiles_per_bank {
+            partial.break_horizontal(0, 0, node);
+        }
+        let sidestep = ThreeDcu::with_faults(&cfg, &partial)
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Cmode)
+            .unwrap();
+        assert!(sidestep.edges.contains(&EdgeKind::Vertical));
+        // Sever every bank's horizontal wires: the Cmode route must fall
+        // back to the H-tree parent path (Smode fallback).
+        let mut faults = LinkFaults::none();
+        for bank in 0..3 {
+            for node in 2..cfg.tiles_per_bank {
+                faults.break_horizontal(0, bank, node);
+            }
+        }
+        let degraded = ThreeDcu::with_faults(&cfg, &faults);
+        let detour = degraded
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Cmode)
+            .unwrap();
+        assert!(!detour.edges.contains(&EdgeKind::Horizontal));
+        assert!(detour.latency_ns > good.latency_ns);
+        assert!(detour.hops() > good.hops());
+        // The detour equals the plain Smode tree route.
+        let smode = degraded
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Smode)
+            .unwrap();
+        assert_eq!(detour.latency_ns, smode.latency_ns);
+    }
+
+    #[test]
+    fn broken_vertical_wire_pays_a_longer_crossing() {
+        let cfg = NocConfig::default();
+        let clean = ThreeDcu::new(&cfg);
+        let good = clean
+            .route(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 1, 0),
+                Mode::Cmode,
+            )
+            .unwrap();
+        // Break every vertical wire between banks 0 and 1; the crossing
+        // survives (bus always works) but costs more.
+        let mut faults = LinkFaults::none();
+        for node in 1..cfg.tiles_per_bank {
+            faults.break_vertical(0, 0, node);
+        }
+        let degraded = ThreeDcu::with_faults(&cfg, &faults);
+        let detour = degraded
+            .route(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 1, 0),
+                Mode::Cmode,
+            )
+            .unwrap();
+        assert!(detour.latency_ns > good.latency_ns);
+        assert!(detour.energy_pj_per_access > good.energy_pj_per_access);
+    }
+
+    #[test]
+    fn stuck_switch_disables_its_nodes_added_wires() {
+        let cfg = NocConfig::default();
+        let clean = ThreeDcu::new(&cfg);
+        let good = clean
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Cmode)
+            .unwrap();
+        // Find which nodes the shortcut's switches sit on and freeze one.
+        let (_, bank, node) = good.switch_nodes[0];
+        let mut faults = LinkFaults::none();
+        faults.stick_switch(0, bank, node);
+        let degraded = ThreeDcu::with_faults(&cfg, &faults);
+        let detour = degraded
+            .route(Endpoint::tile(0, 7), Endpoint::tile(0, 8), Mode::Cmode)
+            .unwrap();
+        assert!(detour
+            .switch_nodes
+            .iter()
+            .all(|&(_, b, n)| (b, n) != (bank, node)));
+        assert!(detour.latency_ns >= good.latency_ns);
+    }
+
+    #[test]
+    fn faulted_routes_are_deterministic() {
+        let cfg = NocConfig::default();
+        let mut faults = LinkFaults::none();
+        faults.break_horizontal(0, 0, 4).break_vertical(0, 1, 2);
+        let a = ThreeDcu::with_faults(&cfg, &faults);
+        let b = ThreeDcu::with_faults(&cfg, &faults);
+        for t in 0..16 {
+            assert_eq!(
+                a.route(Endpoint::tile(0, 0), Endpoint::tile(0, t), Mode::Cmode),
+                b.route(Endpoint::tile(0, 0), Endpoint::tile(0, t), Mode::Cmode),
+            );
+        }
     }
 
     #[test]

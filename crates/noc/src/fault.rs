@@ -1,0 +1,142 @@
+//! Interconnect hard faults: broken added wires and stuck switches.
+//!
+//! The 3DCU's horizontal/vertical wires and their gating switches are the
+//! added hardware of Sec. IV — and the part a manufacturing defect or
+//! electromigration failure takes out first (the base H-tree is plain
+//! memory wiring, exercised and repairable by standard DRAM-style
+//! redundancy). [`LinkFaults`] records which added wires are severed and
+//! which switches are frozen in their parked position; a fabric built with
+//! a fault set simply omits the corresponding Cmode edges, so Dijkstra
+//! reroutes every affected flow through the H-tree parent path (the Smode
+//! fallback) or the shared bus, and the detour's extra hops and energy
+//! fall out of the ordinary cost model — no special-case accounting.
+//!
+//! Like every fault structure in this reproduction, the set is an explicit
+//! value (no hidden RNG): callers build it by hand or derive it from a
+//! seed, and the same set always produces the same routes.
+
+use std::collections::BTreeSet;
+
+/// A set of dead added wires and stuck switches, keyed by
+/// `(side, bank, node)` coordinates matching [`crate::dcu::Endpoint`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Broken horizontal wires, keyed by the *lower-numbered* endpoint of
+    /// the `(node, node + 1)` pair.
+    horizontal: BTreeSet<(usize, usize, usize)>,
+    /// Broken vertical wires, keyed by the *upper* bank of the
+    /// `(bank, bank + 1)` pair.
+    vertical: BTreeSet<(usize, usize, usize)>,
+    /// Switches frozen in the parked (parent) position: every added wire
+    /// at the node is unusable, though tree traffic still flows.
+    stuck: BTreeSet<(usize, usize, usize)>,
+}
+
+impl LinkFaults {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the set holds no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.horizontal.is_empty() && self.vertical.is_empty() && self.stuck.is_empty()
+    }
+
+    /// Severs the horizontal wire between `node` and `node + 1`.
+    pub fn break_horizontal(&mut self, side: usize, bank: usize, node: usize) -> &mut Self {
+        self.horizontal.insert((side, bank, node));
+        self
+    }
+
+    /// Severs the vertical wire between `bank` and `bank + 1` at `node`.
+    pub fn break_vertical(&mut self, side: usize, bank: usize, node: usize) -> &mut Self {
+        self.vertical.insert((side, bank, node));
+        self
+    }
+
+    /// Freezes the switch at a node in its parked position.
+    pub fn stick_switch(&mut self, side: usize, bank: usize, node: usize) -> &mut Self {
+        self.stuck.insert((side, bank, node));
+        self
+    }
+
+    /// Whether the switch at a node is frozen.
+    pub fn switch_is_stuck(&self, side: usize, bank: usize, node: usize) -> bool {
+        self.stuck.contains(&(side, bank, node))
+    }
+
+    /// Whether the horizontal wire `node ↔ node + 1` is unusable — severed
+    /// outright, or gated by a frozen switch at either endpoint.
+    pub fn blocks_horizontal(&self, side: usize, bank: usize, node: usize) -> bool {
+        self.horizontal.contains(&(side, bank, node))
+            || self.switch_is_stuck(side, bank, node)
+            || self.switch_is_stuck(side, bank, node + 1)
+    }
+
+    /// Whether the vertical wire `bank ↔ bank + 1` at `node` is unusable.
+    pub fn blocks_vertical(&self, side: usize, bank: usize, node: usize) -> bool {
+        self.vertical.contains(&(side, bank, node))
+            || self.switch_is_stuck(side, bank, node)
+            || self.switch_is_stuck(side, bank + 1, node)
+    }
+
+    /// Count of broken wires (horizontal + vertical, excluding stuck
+    /// switches).
+    pub fn broken_wires(&self) -> usize {
+        self.horizontal.len() + self.vertical.len()
+    }
+
+    /// Count of frozen switches.
+    pub fn stuck_switches(&self) -> usize {
+        self.stuck.len()
+    }
+
+    /// The frozen switch coordinates, ascending.
+    pub fn stuck_nodes(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.stuck.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_blocks_nothing() {
+        let f = LinkFaults::none();
+        assert!(f.is_empty());
+        assert!(!f.blocks_horizontal(0, 0, 4));
+        assert!(!f.blocks_vertical(0, 1, 3));
+        assert_eq!(f.broken_wires(), 0);
+    }
+
+    #[test]
+    fn broken_wires_block_their_edge_only() {
+        let mut f = LinkFaults::none();
+        f.break_horizontal(0, 0, 4).break_vertical(0, 1, 3);
+        assert!(f.blocks_horizontal(0, 0, 4));
+        assert!(!f.blocks_horizontal(0, 0, 5));
+        assert!(!f.blocks_horizontal(0, 1, 4));
+        assert!(f.blocks_vertical(0, 1, 3));
+        assert!(!f.blocks_vertical(0, 0, 3));
+        assert_eq!(f.broken_wires(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn stuck_switch_blocks_every_added_wire_at_its_node() {
+        let mut f = LinkFaults::none();
+        f.stick_switch(0, 1, 5);
+        // Horizontal wires on either side of node 5…
+        assert!(f.blocks_horizontal(0, 1, 5));
+        assert!(f.blocks_horizontal(0, 1, 4));
+        // …and vertical wires above and below bank 1 at node 5.
+        assert!(f.blocks_vertical(0, 1, 5));
+        assert!(f.blocks_vertical(0, 0, 5));
+        // Other nodes unaffected.
+        assert!(!f.blocks_horizontal(0, 1, 6));
+        assert_eq!(f.stuck_switches(), 1);
+        assert_eq!(f.broken_wires(), 0);
+    }
+}

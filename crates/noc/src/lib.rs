@@ -33,6 +33,7 @@
 
 pub mod config;
 pub mod dcu;
+pub mod fault;
 pub mod flows;
 pub mod htree;
 pub mod reduction;
@@ -40,6 +41,7 @@ pub mod switch;
 
 pub use config::NocConfig;
 pub use dcu::{DcuPair, Endpoint, Mode, Route, ThreeDcu};
+pub use fault::LinkFaults;
 pub use flows::{Flow, FlowSchedule};
 pub use htree::HTree;
-pub use switch::{SwitchConfig, SwitchState};
+pub use switch::{SwitchConfig, SwitchError, SwitchState};

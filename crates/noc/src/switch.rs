@@ -12,7 +12,7 @@
 //! and can derive the programme a [`Route`] requires.
 
 use crate::dcu::{EdgeKind, Route};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -64,13 +64,80 @@ impl fmt::Display for SwitchState {
 
 /// Error raised when a switch programme is invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SwitchError {
-    message: String,
+pub enum SwitchError {
+    /// The addressed bank does not exist (3DCUs stack exactly three).
+    NoSuchBank {
+        /// The offending bank index.
+        bank: usize,
+    },
+    /// The state is physically impossible in that bank (e.g. `Upper` on
+    /// the top bank).
+    Unavailable {
+        /// The requested state.
+        state: SwitchState,
+        /// The bank it was requested in.
+        bank: usize,
+    },
+    /// The node already engages this exact state.
+    AlreadyEngaged {
+        /// Bank of the node.
+        bank: usize,
+        /// Node id.
+        node: usize,
+        /// The duplicated state.
+        state: SwitchState,
+    },
+    /// The node's switches are all in use by other added wires.
+    Exhausted {
+        /// Bank of the node.
+        bank: usize,
+        /// Node id.
+        node: usize,
+        /// Switch capacity of the node (1 or 2).
+        capacity: usize,
+    },
+    /// The node's switch is frozen in the parked position (hard fault):
+    /// no added wire can engage, though parent traffic still flows.
+    Stuck {
+        /// Bank of the node.
+        bank: usize,
+        /// Node id.
+        node: usize,
+    },
+    /// A route's switch-node list is shorter than its added-edge list
+    /// requires — the route did not come from this fabric's router.
+    MalformedRoute {
+        /// Switch-node entries the route's edges require.
+        expected: usize,
+        /// Entries actually present.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for SwitchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid switch configuration: {}", self.message)
+        write!(f, "invalid switch configuration: ")?;
+        match self {
+            SwitchError::NoSuchBank { bank } => write!(f, "bank {bank} does not exist"),
+            SwitchError::Unavailable { state, bank } => {
+                write!(f, "state `{state}` is impossible in bank {bank}")
+            }
+            SwitchError::AlreadyEngaged { bank, node, state } => {
+                write!(f, "bank {bank} node {node} already engages `{state}`")
+            }
+            SwitchError::Exhausted {
+                bank,
+                node,
+                capacity,
+            } => write!(f, "bank {bank} node {node} has only {capacity} switch(es)"),
+            SwitchError::Stuck { bank, node } => {
+                write!(f, "bank {bank} node {node} switch is stuck in place")
+            }
+            SwitchError::MalformedRoute { expected, actual } => write!(
+                f,
+                "route needs {expected} switch node(s) but records {actual}"
+            ),
+        }
     }
 }
 
@@ -81,6 +148,7 @@ impl Error for SwitchError {}
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SwitchConfig {
     engaged: HashMap<(usize, usize), Vec<SwitchState>>,
+    stuck: BTreeSet<(usize, usize)>,
 }
 
 impl SwitchConfig {
@@ -113,34 +181,44 @@ impl SwitchConfig {
         state: SwitchState,
     ) -> Result<(), SwitchError> {
         if bank >= 3 {
-            return Err(SwitchError {
-                message: format!("bank {bank} does not exist"),
-            });
+            return Err(SwitchError::NoSuchBank { bank });
         }
         if !state.available_in_bank(bank) {
-            return Err(SwitchError {
-                message: format!("state `{state}` is impossible in bank {bank}"),
-            });
+            return Err(SwitchError::Unavailable { state, bank });
+        }
+        if state != SwitchState::Parent && self.stuck.contains(&(bank, node)) {
+            return Err(SwitchError::Stuck { bank, node });
         }
         let states = self.engaged.entry((bank, node)).or_default();
         if states.contains(&state) {
-            return Err(SwitchError {
-                message: format!("bank {bank} node {node} already engages `{state}`"),
-            });
+            return Err(SwitchError::AlreadyEngaged { bank, node, state });
         }
         // `Parent` uses the default position, not an extra switch; the
         // added wires consume switch capacity.
         let used = states.iter().filter(|s| **s != SwitchState::Parent).count();
         if state != SwitchState::Parent && used >= Self::capacity(bank) {
-            return Err(SwitchError {
-                message: format!(
-                    "bank {bank} node {node} has only {} switch(es)",
-                    Self::capacity(bank)
-                ),
+            return Err(SwitchError::Exhausted {
+                bank,
+                node,
+                capacity: Self::capacity(bank),
             });
         }
         states.push(state);
         Ok(())
+    }
+
+    /// Marks a node's switch as frozen in the parked position (a hard
+    /// fault): subsequent [`Self::engage`] calls for its added wires
+    /// return [`SwitchError::Stuck`]. `Parent` remains engageable — the
+    /// parked position *is* the parent position.
+    pub fn mark_stuck(&mut self, bank: usize, node: usize) -> &mut Self {
+        self.stuck.insert((bank, node));
+        self
+    }
+
+    /// Whether a node's switch is frozen.
+    pub fn is_stuck(&self, bank: usize, node: usize) -> bool {
+        self.stuck.contains(&(bank, node))
     }
 
     /// The engaged states of a node (empty = parked in the H-tree
@@ -171,6 +249,17 @@ impl SwitchConfig {
     pub fn engage_route(&mut self, route: &Route) -> Result<(), SwitchError> {
         // The route records the endpoint nodes of every added edge in
         // order: (side, bank, node) pairs per Horizontal/Vertical edge.
+        let expected = 2 * route
+            .edges
+            .iter()
+            .filter(|k| matches!(k, EdgeKind::Horizontal | EdgeKind::Vertical))
+            .count();
+        if route.switch_nodes.len() < expected {
+            return Err(SwitchError::MalformedRoute {
+                expected,
+                actual: route.switch_nodes.len(),
+            });
+        }
         let mut cursor = 0usize;
         for kind in &route.edges {
             match kind {
@@ -249,6 +338,73 @@ mod tests {
         // Double engagement of the same state is rejected too.
         cfg.engage(1, 2, SwitchState::Upper).unwrap();
         assert!(cfg.engage(1, 2, SwitchState::Upper).is_err());
+    }
+
+    #[test]
+    fn errors_are_typed_and_inspectable() {
+        let mut cfg = SwitchConfig::smode();
+        assert_eq!(
+            cfg.engage(3, 2, SwitchState::Parent),
+            Err(SwitchError::NoSuchBank { bank: 3 })
+        );
+        assert_eq!(
+            cfg.engage(0, 2, SwitchState::Upper),
+            Err(SwitchError::Unavailable {
+                state: SwitchState::Upper,
+                bank: 0
+            })
+        );
+        cfg.engage(0, 5, SwitchState::Horizontal).unwrap();
+        assert_eq!(
+            cfg.engage(0, 5, SwitchState::Horizontal),
+            Err(SwitchError::AlreadyEngaged {
+                bank: 0,
+                node: 5,
+                state: SwitchState::Horizontal
+            })
+        );
+        assert_eq!(
+            cfg.engage(0, 5, SwitchState::Down),
+            Err(SwitchError::Exhausted {
+                bank: 0,
+                node: 5,
+                capacity: 1
+            })
+        );
+    }
+
+    #[test]
+    fn stuck_switches_refuse_added_wires() {
+        let mut cfg = SwitchConfig::smode();
+        cfg.mark_stuck(1, 4);
+        assert!(cfg.is_stuck(1, 4));
+        assert_eq!(
+            cfg.engage(1, 4, SwitchState::Upper),
+            Err(SwitchError::Stuck { bank: 1, node: 4 })
+        );
+        // Parked position is the parent position: still engageable.
+        cfg.engage(1, 4, SwitchState::Parent).unwrap();
+        // Other nodes unaffected.
+        cfg.engage(1, 5, SwitchState::Upper).unwrap();
+    }
+
+    #[test]
+    fn malformed_routes_are_rejected_not_panicked() {
+        let mut cfg = SwitchConfig::smode();
+        let bogus = Route {
+            edges: vec![EdgeKind::Horizontal],
+            latency_ns: 1.0,
+            energy_pj_per_access: 1.0,
+            min_width_bits: 128,
+            switch_nodes: Vec::new(), // should hold two entries
+        };
+        assert_eq!(
+            cfg.engage_route(&bogus),
+            Err(SwitchError::MalformedRoute {
+                expected: 2,
+                actual: 0
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Hard-fault model: stuck-at cells, dead tiles, endurance wear-out and a
+//! write-and-verify programming loop.
+//!
+//! [`crate::variation`] models the *analog* non-ideality the paper's
+//! Sec. VI-D what-if covers — every cell still works, it is merely
+//! imprecise. Real TaOx/TiO₂ arrays additionally suffer *hard* failures:
+//! cells stuck at the lowest or highest conductance level, whole tiles lost
+//! to peripheral defects, and bounded write endurance that turns healthy
+//! cells into stuck ones as training rewrites weights. [`FaultMap`] is the
+//! deterministic, seeded record of those failures, composable with
+//! [`VariationModel`] (a stuck cell's level is exact — hard faults dominate
+//! analog deviation), and [`FaultMap::program_weight`] is the
+//! write-and-verify loop real controllers run: program, read back, retry
+//! with bounded backoff, and report the cells that could not be programmed
+//! (their retries exhausted, they enter the fault map).
+//!
+//! Determinism contract: every random decision (which cells start stuck,
+//! whether a write attempt takes, which polarity a worn-out cell freezes
+//! at) is a pure function of a user-supplied seed and the cell index —
+//! SplitMix64-hashed, never stateful — so any fault scenario replays
+//! bit-identically.
+
+use crate::bitslice::slice_weight;
+use crate::config::ReramConfig;
+use crate::variation::VariationModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stateless SplitMix64 hash used for every seeded fault decision.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` deviate from a seeded hash.
+fn unit(seed: u64, index: u64) -> f64 {
+    (mix(seed, index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The polarity a hard-failed cell is frozen at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StuckAt {
+    /// Stuck at the lowest conductance (level 0).
+    Zero,
+    /// Stuck at the highest conductance (level `2^cell_bits - 1`).
+    One,
+}
+
+impl StuckAt {
+    /// The cell level the fault pins, for `cell_bits`-bit cells.
+    pub fn level(self, cell_bits: u32) -> u8 {
+        match self {
+            StuckAt::Zero => 0,
+            StuckAt::One => ((1u32 << cell_bits) - 1) as u8,
+        }
+    }
+}
+
+/// Policy of the write-and-verify programming loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WritePolicy {
+    /// Verify-and-retry attempts after the initial write (bounded backoff:
+    /// each retry costs one extra write pulse).
+    pub max_retries: u32,
+    /// Per-attempt transient failure probability (deterministic in the
+    /// seed; a failed attempt leaves the cell unverified and retries).
+    pub transient_fail_rate: f64,
+    /// Write pulses after which a cell wears out and freezes (0 disables
+    /// endurance wear-out).
+    pub endurance_limit: u64,
+    /// Seed of the per-(cell, pulse) attempt outcomes.
+    pub seed: u64,
+}
+
+impl Default for WritePolicy {
+    fn default() -> Self {
+        WritePolicy {
+            max_retries: 3,
+            transient_fail_rate: 0.0,
+            endurance_limit: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl WritePolicy {
+    /// A policy with a transient failure rate and the default bounds.
+    pub fn with_fail_rate(rate: f64, seed: u64) -> Self {
+        WritePolicy {
+            transient_fail_rate: rate,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of programming one weight (all of its cell slices).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Write pulses issued across all slices, including retries.
+    pub attempts: u64,
+    /// Cells (absolute indices) whose target level could not be
+    /// established: stuck at a different level, or retries exhausted.
+    pub failed_cells: Vec<u64>,
+    /// Cells that wore out (or exhausted retries) during this call and
+    /// were added to the fault map.
+    pub newly_stuck: u64,
+}
+
+impl WriteReport {
+    /// Whether every cell verified at its target level.
+    pub fn succeeded(&self) -> bool {
+        self.failed_cells.is_empty()
+    }
+
+    /// Merges another report into this one (for matrix-level programming).
+    pub fn absorb(&mut self, other: WriteReport) {
+        self.attempts += other.attempts;
+        self.failed_cells.extend(other.failed_cells);
+        self.newly_stuck += other.newly_stuck;
+    }
+}
+
+/// Deterministic record of hard faults in one bank's crossbar array:
+/// stuck-at cells (by absolute cell index), dead tiles (by tile index
+/// within the bank), and per-cell endurance counters.
+///
+/// An empty (pristine) map is a strict no-op: every composition hook
+/// reproduces the fault-free computation bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMap {
+    stuck: BTreeMap<u64, StuckAt>,
+    dead_tiles: BTreeSet<usize>,
+    wear: BTreeMap<u64, u64>,
+}
+
+impl FaultMap {
+    /// A map with no faults at all.
+    pub fn pristine() -> Self {
+        Self::default()
+    }
+
+    /// Whether the map holds no faults (stuck cells or dead tiles).
+    pub fn is_pristine(&self) -> bool {
+        self.stuck.is_empty() && self.dead_tiles.is_empty()
+    }
+
+    /// Seeds stuck-at faults over `cells` cell indices at `rate`
+    /// (probability per cell). Polarity is an independent coin per faulty
+    /// cell. Deterministic: the same `(seed, rate, cells)` always yields
+    /// the same map.
+    pub fn seeded(seed: u64, rate: f64, cells: u64) -> Self {
+        let mut map = FaultMap::pristine();
+        if rate <= 0.0 {
+            return map;
+        }
+        for cell in 0..cells {
+            if unit(seed, cell) < rate {
+                let polarity = if mix(seed ^ 0xA5A5_A5A5_5A5A_5A5A, cell) & 1 == 0 {
+                    StuckAt::Zero
+                } else {
+                    StuckAt::One
+                };
+                map.stuck.insert(cell, polarity);
+            }
+        }
+        map
+    }
+
+    /// Marks one cell stuck.
+    pub fn set_stuck(&mut self, cell: u64, polarity: StuckAt) -> &mut Self {
+        self.stuck.insert(cell, polarity);
+        self
+    }
+
+    /// The stuck polarity of a cell, if any.
+    pub fn stuck_at(&self, cell: u64) -> Option<StuckAt> {
+        self.stuck.get(&cell).copied()
+    }
+
+    /// Number of stuck cells.
+    pub fn stuck_cells(&self) -> usize {
+        self.stuck.len()
+    }
+
+    /// Marks a tile dead (peripheral failure: its whole CArray is lost).
+    pub fn kill_tile(&mut self, tile: usize) -> &mut Self {
+        self.dead_tiles.insert(tile);
+        self
+    }
+
+    /// Whether a tile is dead.
+    pub fn tile_is_dead(&self, tile: usize) -> bool {
+        self.dead_tiles.contains(&tile)
+    }
+
+    /// The dead tiles, ascending.
+    pub fn dead_tiles(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dead_tiles.iter().copied()
+    }
+
+    /// Number of dead tiles.
+    pub fn dead_tile_count(&self) -> usize {
+        self.dead_tiles.len()
+    }
+
+    /// Write pulses a cell has absorbed so far.
+    pub fn wear_of(&self, cell: u64) -> u64 {
+        self.wear.get(&cell).copied().unwrap_or(0)
+    }
+
+    // ---- composition with the analog variation model -------------------
+
+    /// The *analog* value of a weight as the crossbar would read it, under
+    /// both hard faults and (optional) analog variation: healthy cells
+    /// deviate per `variation`, stuck cells sit exactly at their pinned
+    /// level — hard faults dominate deviation.
+    ///
+    /// With a pristine map this reproduces
+    /// [`VariationModel::perceived_weight`] bit-for-bit (and the exact
+    /// sliced value when `variation` is `None`).
+    pub fn perceived_weight(
+        &self,
+        variation: Option<&VariationModel>,
+        code: i32,
+        cell_base_index: u64,
+        config: &ReramConfig,
+    ) -> f64 {
+        let slices = slice_weight(code, config);
+        let mut v = 0.0f64;
+        for (i, &s) in slices.iter().enumerate() {
+            let cell = cell_base_index + i as u64;
+            let level = match self.stuck_at(cell) {
+                Some(polarity) => f64::from(polarity.level(config.cell_bits)),
+                None => {
+                    let dev = variation.map_or(0.0, |m| m.deviation_at(cell));
+                    s as f64 + dev
+                }
+            };
+            v += level * f64::from(1u32 << (i as u32 * config.cell_bits));
+        }
+        if code < 0 {
+            v -= f64::from(1u32 << config.data_bits);
+        }
+        v
+    }
+
+    /// Dot-product under hard faults + variation: returns
+    /// `(exact, perceived)`, mirroring [`VariationModel::disturbed_dot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    pub fn disturbed_dot(
+        &self,
+        variation: Option<&VariationModel>,
+        weights: &[i32],
+        inputs: &[i32],
+        config: &ReramConfig,
+    ) -> (i64, f64) {
+        assert_eq!(weights.len(), inputs.len(), "operand length mismatch");
+        let exact: i64 = weights
+            .iter()
+            .zip(inputs.iter())
+            .map(|(&w, &x)| w as i64 * x as i64)
+            .sum();
+        let cells = config.cells_per_weight() as u64;
+        let perceived: f64 = weights
+            .iter()
+            .zip(inputs.iter())
+            .enumerate()
+            .map(|(i, (&w, &x))| {
+                self.perceived_weight(variation, w, i as u64 * cells, config) * x as f64
+            })
+            .sum();
+        (exact, perceived)
+    }
+
+    // ---- write-and-verify programming ----------------------------------
+
+    /// Programs one weight's cell slices with write-and-verify: each slice
+    /// is pulsed, read back, and re-pulsed up to `policy.max_retries`
+    /// times. A cell already stuck at a level other than its target is
+    /// unprogrammable immediately; a cell whose retries run out — or whose
+    /// cumulative wear crosses `policy.endurance_limit` — freezes at a
+    /// seeded polarity and *enters this fault map*, so later programming
+    /// passes see it as hard-failed.
+    ///
+    /// Deterministic: outcomes depend only on `policy.seed`, the absolute
+    /// cell index and that cell's wear count.
+    pub fn program_weight(
+        &mut self,
+        code: i32,
+        cell_base_index: u64,
+        config: &ReramConfig,
+        policy: &WritePolicy,
+    ) -> WriteReport {
+        let slices = slice_weight(code, config);
+        let mut report = WriteReport::default();
+        for (i, &target) in slices.iter().enumerate() {
+            let cell = cell_base_index + i as u64;
+            if let Some(polarity) = self.stuck_at(cell) {
+                if polarity.level(config.cell_bits) != target {
+                    report.failed_cells.push(cell);
+                }
+                continue;
+            }
+            let mut verified = false;
+            for attempt in 0..=policy.max_retries {
+                let pulse = {
+                    let w = self.wear.entry(cell).or_insert(0);
+                    *w += 1;
+                    *w
+                };
+                report.attempts += 1;
+                if policy.endurance_limit > 0 && pulse > policy.endurance_limit {
+                    self.freeze(cell, policy.seed);
+                    report.newly_stuck += 1;
+                    break;
+                }
+                let _ = attempt;
+                let outcome = unit(policy.seed ^ 0x57A7_1C5E_ED5E_ED00, mix(cell, pulse));
+                if outcome >= policy.transient_fail_rate {
+                    verified = true;
+                    break;
+                }
+            }
+            if !verified {
+                if self.stuck_at(cell).is_none() {
+                    // Retries exhausted on a transiently-failing cell: the
+                    // controller gives up and quarantines it.
+                    self.freeze(cell, policy.seed);
+                    report.newly_stuck += 1;
+                }
+                report.failed_cells.push(cell);
+            }
+        }
+        report
+    }
+
+    /// Programs `weights` as a contiguous matrix (weight `i` at cell base
+    /// `i × cells_per_weight`), absorbing the per-weight reports.
+    pub fn program_matrix(
+        &mut self,
+        weights: &[i32],
+        config: &ReramConfig,
+        policy: &WritePolicy,
+    ) -> WriteReport {
+        let cells = config.cells_per_weight() as u64;
+        let mut report = WriteReport::default();
+        for (i, &w) in weights.iter().enumerate() {
+            report.absorb(self.program_weight(w, i as u64 * cells, config, policy));
+        }
+        report
+    }
+
+    /// Freezes a cell at a seeded polarity (wear-out / give-up path).
+    fn freeze(&mut self, cell: u64, seed: u64) {
+        let polarity = if mix(seed ^ 0xF0F0_F0F0_0F0F_0F0F, cell) & 1 == 0 {
+            StuckAt::Zero
+        } else {
+            StuckAt::One
+        };
+        self.stuck.insert(cell, polarity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_map_has_no_faults() {
+        let m = FaultMap::pristine();
+        assert!(m.is_pristine());
+        assert_eq!(m.stuck_cells(), 0);
+        assert_eq!(m.dead_tile_count(), 0);
+        assert_eq!(m.stuck_at(42), None);
+        assert!(!m.tile_is_dead(3));
+    }
+
+    #[test]
+    fn seeded_maps_are_deterministic_and_rate_scaled() {
+        let a = FaultMap::seeded(7, 0.01, 100_000);
+        let b = FaultMap::seeded(7, 0.01, 100_000);
+        assert_eq!(a, b);
+        let c = FaultMap::seeded(8, 0.01, 100_000);
+        assert_ne!(a, c);
+        // ~1% of 100k cells, generously bounded.
+        assert!(a.stuck_cells() > 500 && a.stuck_cells() < 2000);
+        let denser = FaultMap::seeded(7, 0.1, 100_000);
+        assert!(denser.stuck_cells() > 5 * a.stuck_cells());
+        assert!(FaultMap::seeded(7, 0.0, 100_000).is_pristine());
+    }
+
+    #[test]
+    fn stuck_levels_pin_the_extremes() {
+        assert_eq!(StuckAt::Zero.level(4), 0);
+        assert_eq!(StuckAt::One.level(4), 15);
+    }
+
+    #[test]
+    fn dead_tiles_round_trip() {
+        let mut m = FaultMap::pristine();
+        m.kill_tile(5).kill_tile(2).kill_tile(5);
+        assert_eq!(m.dead_tile_count(), 2);
+        assert!(m.tile_is_dead(2) && m.tile_is_dead(5));
+        assert_eq!(m.dead_tiles().collect::<Vec<_>>(), vec![2, 5]);
+        assert!(!m.is_pristine());
+    }
+
+    #[test]
+    fn pristine_perceived_weight_is_exact_without_variation() {
+        let cfg = ReramConfig::default();
+        let m = FaultMap::pristine();
+        for code in [-30000, -1, 0, 123, 30000] {
+            assert_eq!(m.perceived_weight(None, code, 0, &cfg), code as f64);
+        }
+    }
+
+    #[test]
+    fn stuck_at_one_inflates_low_slices() {
+        let cfg = ReramConfig::default();
+        let mut m = FaultMap::pristine();
+        // Weight 0 at cell base 0: pin the least-significant slice high.
+        m.set_stuck(0, StuckAt::One);
+        let p = m.perceived_weight(None, 0, 0, &cfg);
+        assert_eq!(p, 15.0);
+        // The most significant slice weighs 4096 per level.
+        let mut m2 = FaultMap::pristine();
+        m2.set_stuck(3, StuckAt::One);
+        assert_eq!(m2.perceived_weight(None, 0, 0, &cfg), 15.0 * 4096.0);
+    }
+
+    #[test]
+    fn write_verify_programs_healthy_cells_in_one_pulse_each() {
+        let cfg = ReramConfig::default();
+        let mut m = FaultMap::pristine();
+        let report = m.program_weight(1234, 0, &cfg, &WritePolicy::default());
+        assert!(report.succeeded());
+        assert_eq!(report.attempts, cfg.cells_per_weight() as u64);
+        assert_eq!(report.newly_stuck, 0);
+        assert_eq!(m.wear_of(0), 1);
+    }
+
+    #[test]
+    fn transient_failures_cost_retries_deterministically() {
+        let cfg = ReramConfig::default();
+        let policy = WritePolicy::with_fail_rate(0.5, 11);
+        let mut a = FaultMap::pristine();
+        let ra = a.program_matrix(&[1, -2, 3, 40, 500, -600], &cfg, &policy);
+        let mut b = FaultMap::pristine();
+        let rb = b.program_matrix(&[1, -2, 3, 40, 500, -600], &cfg, &policy);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+        // Half the pulses fail: more attempts than cells.
+        assert!(ra.attempts > 6 * cfg.cells_per_weight() as u64);
+    }
+
+    #[test]
+    fn exhausted_retries_enter_the_fault_map() {
+        let cfg = ReramConfig::default();
+        // Every attempt fails: all cells quarantine after 1 + max_retries.
+        let policy = WritePolicy {
+            max_retries: 2,
+            transient_fail_rate: 1.0,
+            endurance_limit: 0,
+            seed: 3,
+        };
+        let mut m = FaultMap::pristine();
+        let report = m.program_weight(77, 0, &cfg, &policy);
+        assert!(!report.succeeded());
+        assert_eq!(report.failed_cells.len(), cfg.cells_per_weight());
+        assert_eq!(report.newly_stuck, cfg.cells_per_weight() as u64);
+        assert_eq!(report.attempts, 3 * cfg.cells_per_weight() as u64);
+        assert_eq!(m.stuck_cells(), cfg.cells_per_weight());
+    }
+
+    #[test]
+    fn endurance_wearout_freezes_cells() {
+        let cfg = ReramConfig::default();
+        let policy = WritePolicy {
+            max_retries: 0,
+            transient_fail_rate: 0.0,
+            endurance_limit: 4,
+            seed: 5,
+        };
+        let mut m = FaultMap::pristine();
+        // Four updates fit the endurance budget…
+        for _ in 0..4 {
+            assert!(m.program_weight(9, 0, &cfg, &policy).succeeded());
+        }
+        // …the fifth wears the cells out.
+        let report = m.program_weight(9, 0, &cfg, &policy);
+        assert!(!report.succeeded());
+        assert_eq!(m.stuck_cells(), cfg.cells_per_weight());
+    }
+
+    #[test]
+    fn stuck_cell_matching_target_is_not_a_failure() {
+        let cfg = ReramConfig::default();
+        let mut m = FaultMap::pristine();
+        // Weight 0 slices to all-zero levels; a stuck-at-zero cell agrees.
+        m.set_stuck(0, StuckAt::Zero);
+        let report = m.program_weight(0, 0, &cfg, &WritePolicy::default());
+        assert!(report.succeeded());
+        // Stuck cells absorb no pulses.
+        assert_eq!(report.attempts, (cfg.cells_per_weight() - 1) as u64);
+    }
+}

@@ -25,10 +25,13 @@ pub mod bitslice;
 pub mod config;
 pub mod crossbar;
 pub mod energy;
+pub mod fault;
 pub mod tile;
 pub mod variation;
 
 pub use config::ReramConfig;
 pub use crossbar::CrossbarLayout;
 pub use energy::{EnergyCounts, EnergyModel, TileEnergyBreakdown};
+pub use fault::{FaultMap, StuckAt, WritePolicy, WriteReport};
 pub use tile::{BankSpec, TileSpec};
+pub use variation::VariationModel;

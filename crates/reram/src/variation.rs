@@ -33,6 +33,14 @@ impl VariationModel {
     }
 
     /// Deterministic uniform deviate in `[-max, +max]` for cell `index`.
+    ///
+    /// Public so [`crate::fault::FaultMap`] can compose hard faults with
+    /// this analog model: healthy cells take exactly this deviation, stuck
+    /// cells ignore it.
+    pub fn deviation_at(&self, index: u64) -> f64 {
+        self.deviation(index)
+    }
+
     fn deviation(&self, index: u64) -> f64 {
         // SplitMix64: uncorrelated per-index values without state.
         let mut z = self
@@ -164,6 +172,71 @@ mod tests {
         assert_eq!(a, b);
         let c = VariationModel::new(0.3, 12).relative_rms_error(32, 10, &cfg);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pristine_fault_map_is_bit_identical_to_variation_alone() {
+        use crate::fault::FaultMap;
+        let cfg = ReramConfig::default();
+        let m = VariationModel::new(0.4, 21);
+        let faults = FaultMap::pristine();
+        for code in [-30000, -1, 0, 123, 30000] {
+            let alone = m.perceived_weight(code, 17, &cfg);
+            let composed = faults.perceived_weight(Some(&m), code, 17, &cfg);
+            assert_eq!(alone.to_bits(), composed.to_bits());
+        }
+        let w = [1234, -5678, 32000, -7];
+        let x = [3, -2, 1, 9];
+        let (ea, pa) = m.disturbed_dot(&w, &x, &cfg);
+        let (eb, pb) = faults.disturbed_dot(Some(&m), &w, &x, &cfg);
+        assert_eq!(ea, eb);
+        assert_eq!(pa.to_bits(), pb.to_bits());
+    }
+
+    #[test]
+    fn stuck_at_dominates_analog_deviation() {
+        use crate::fault::{FaultMap, StuckAt};
+        let cfg = ReramConfig::default();
+        // Huge analog deviation everywhere…
+        let m = VariationModel::new(3.0, 9);
+        let mut faults = FaultMap::pristine();
+        for cell in 0..cfg.cells_per_weight() as u64 {
+            faults.set_stuck(cell, StuckAt::Zero);
+        }
+        // …yet a fully stuck-at-zero weight reads exactly as code 0 does:
+        // the pinned level ignores the deviation entirely.
+        let p = faults.perceived_weight(Some(&m), 123, 0, &cfg);
+        assert_eq!(p, 0.0);
+        let mut high = FaultMap::pristine();
+        for cell in 0..cfg.cells_per_weight() as u64 {
+            high.set_stuck(cell, StuckAt::One);
+        }
+        // All slices pinned to 15: 15 * (1 + 16 + 256 + 4096), exactly.
+        let p = high.perceived_weight(Some(&m), 123, 0, &cfg);
+        assert_eq!(p, 15.0 * (1.0 + 16.0 + 256.0 + 4096.0));
+    }
+
+    #[test]
+    fn partial_stuck_weight_mixes_pinned_and_deviated_slices() {
+        use crate::fault::{FaultMap, StuckAt};
+        let cfg = ReramConfig::default();
+        let m = VariationModel::new(0.2, 13);
+        let mut faults = FaultMap::pristine();
+        faults.set_stuck(2, StuckAt::One);
+        let composed = faults.perceived_weight(Some(&m), 500, 0, &cfg);
+        // Reconstruct by hand: slices 0,1,3 deviate per the model, slice 2
+        // is pinned at 15 × 256.
+        let slices = crate::bitslice::slice_weight(500, &cfg);
+        let mut expect = 0.0f64;
+        for (i, &s) in slices.iter().enumerate() {
+            let scale = f64::from(1u32 << (i as u32 * cfg.cell_bits));
+            if i == 2 {
+                expect += 15.0 * scale;
+            } else {
+                expect += (s as f64 + m.deviation_at(i as u64)) * scale;
+            }
+        }
+        assert_eq!(composed.to_bits(), expect.to_bits());
     }
 
     #[test]

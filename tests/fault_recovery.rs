@@ -1,0 +1,160 @@
+//! End-to-end fault recovery: checkpoint the trainer, lose hardware,
+//! remap around the damage, and resume bit-exactly.
+//!
+//! This is the workflow the fault subsystem exists for. Training state
+//! lives in `lergan_gan::train` (pure f32 math); the hardware mapping
+//! lives in `lergan_core` (tiles, replicas, interconnect). A tile death
+//! mid-epoch therefore costs *throughput*, never *correctness*: the
+//! trainer checkpoints, the accelerator rebuilds with a `SystemFaults`
+//! scenario (dead tiles skipped, replicas shed, broken wires rerouted),
+//! and the restored trainer continues the exact numeric trajectory it
+//! would have followed uninterrupted.
+
+use lergan::core::{LerGan, SystemFaults};
+use lergan::gan::topology::parse_network;
+use lergan::gan::train::{build_trainable_with, Gan, UpdateRule};
+use lergan::gan::{benchmarks, Phase};
+use lergan::reram::FaultMap;
+use lergan::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small 16 px DCGAN-shaped trainer (the perf-snapshot geometry).
+fn small_gan(init_seed: u64, noise_seed: u64) -> Gan {
+    let gen_spec = parse_network("g", "8f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+    let disc_spec = parse_network("d", "(1c-8c)(3k2s)-f1", 2, 16).unwrap();
+    let mut rng = StdRng::seed_from_u64(init_seed);
+    let g = build_trainable_with(&gen_spec, true, false, &mut rng);
+    let d = build_trainable_with(&disc_spec, false, false, &mut rng);
+    Gan::new(g, d, 8, 0.0, noise_seed).with_optimizer(UpdateRule::dcgan_adam(0.01))
+}
+
+fn batch(data_rng: &mut StdRng) -> Vec<Tensor> {
+    (0..2)
+        .map(|_| {
+            let v = 0.5 + (data_rng.gen::<f32>() - 0.5) * 0.2;
+            Tensor::filled(&[1, 16, 16], v)
+        })
+        .collect()
+}
+
+/// A fault scenario plausible for a mid-epoch hardware event: one tile
+/// dies in the G→ bank, a sprinkling of cells sticks, one added
+/// horizontal wire severs.
+fn tile_loss_scenario() -> SystemFaults {
+    let mut faults = SystemFaults::none();
+    *faults.bank_mut(Phase::GForward) = FaultMap::seeded(0xFA17, 0.001, 100_000);
+    faults.bank_mut(Phase::GForward).kill_tile(5);
+    faults.links_mut().break_horizontal(0, 0, 2);
+    faults
+}
+
+#[test]
+fn checkpoint_remap_restore_resumes_bit_exactly() {
+    // Reference trajectory: five uninterrupted steps.
+    let mut reference = small_gan(31, 77);
+    let mut data_rng = StdRng::seed_from_u64(900);
+    let mut reference_tail = Vec::new();
+    for step in 0..5 {
+        let stats = reference.train_step(&batch(&mut data_rng));
+        if step >= 2 {
+            reference_tail.push((stats.d_loss.to_bits(), stats.g_loss.to_bits()));
+        }
+    }
+
+    // Interrupted run: two steps, then the "hardware event".
+    let mut gan = small_gan(31, 77);
+    let mut data_rng = StdRng::seed_from_u64(900);
+    for _ in 0..2 {
+        gan.train_step(&batch(&mut data_rng));
+    }
+    let ckpt = gan.checkpoint();
+    drop(gan);
+
+    // The accelerator mapped the workload fault-free...
+    let spec = benchmarks::dcgan();
+    let healthy = LerGan::builder(&spec).build().expect("fault-free build");
+    assert!(healthy.degradation_report().is_none());
+
+    // ...then loses a tile: rebuild around the damage instead of failing.
+    let degraded = LerGan::builder(&spec)
+        .faults(tile_loss_scenario())
+        .build()
+        .expect("one dead tile of sixteen is absorbable");
+    let alloc = degraded.allocation(Phase::GForward);
+    assert_eq!(alloc.healthy_tiles(), 15);
+    let report = degraded
+        .degradation_report()
+        .expect("a faulted build quantifies its degradation");
+    assert_eq!(report.dead_tiles, 1);
+    assert_eq!(report.broken_wires, 1);
+    // Degradation is quantified, not assumed: losing a tile sheds replica
+    // copies, which can trade update traffic against MMV parallelism, so
+    // the report's job is to be finite and deterministic, not monotone.
+    assert!(report.slowdown().is_finite() && report.slowdown() > 0.0);
+
+    // Resume on the remapped hardware: a *fresh* trainer (different init
+    // and noise seeds — everything must come from the checkpoint) picks
+    // up the trajectory bit-for-bit.
+    let mut resumed = small_gan(9999, 1);
+    resumed.restore(&ckpt).expect("same architecture");
+    let mut resumed_tail = Vec::new();
+    for _ in 0..3 {
+        let stats = resumed.train_step(&batch(&mut data_rng));
+        resumed_tail.push((stats.d_loss.to_bits(), stats.g_loss.to_bits()));
+    }
+    assert_eq!(
+        reference_tail, resumed_tail,
+        "remap-and-resume must not perturb the training trajectory"
+    );
+}
+
+#[test]
+fn seeded_fault_sweep_is_deterministic_and_panic_free() {
+    let spec = benchmarks::dcgan();
+    for &rate in &[0.001, 0.01] {
+        let scenario = || {
+            let mut faults = SystemFaults::none();
+            *faults.bank_mut(Phase::GForward) = FaultMap::seeded(0xBEEF, rate, 200_000);
+            *faults.bank_mut(Phase::DForward) = FaultMap::seeded(0xCAFE, rate, 200_000);
+            faults.bank_mut(Phase::GForward).kill_tile(3);
+            faults.links_mut().break_horizontal(1, 2, 4);
+            faults.links_mut().break_vertical(0, 1, 7);
+            faults
+        };
+        let run = || {
+            LerGan::builder(&spec)
+                .faults(scenario())
+                .build()
+                .expect("sweep scenarios stay within capacity")
+                .degradation_report()
+                .expect("non-empty scenario yields a report")
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "rate {rate}: reports must be deterministic");
+        assert!(first.stuck_cells > 0, "rate {rate} must stick some cells");
+        assert_eq!(first.dead_tiles, 1);
+        assert_eq!(first.broken_wires, 2);
+        assert!(first.degraded_latency_ns.is_finite() && first.degraded_latency_ns > 0.0);
+        assert!(first.degraded_energy_pj.is_finite() && first.degraded_energy_pj > 0.0);
+    }
+}
+
+#[test]
+fn empty_fault_scenario_changes_nothing_end_to_end() {
+    let spec = benchmarks::dcgan();
+    let clean = LerGan::builder(&spec).build().unwrap();
+    let noop = LerGan::builder(&spec)
+        .faults(SystemFaults::none())
+        .build()
+        .unwrap();
+    let a = clean.train_iterations(2);
+    let b = noop.train_iterations(2);
+    assert_eq!(
+        a.iteration_latency_ns.to_bits(),
+        b.iteration_latency_ns.to_bits()
+    );
+    assert_eq!(a.total_energy_pj.to_bits(), b.total_energy_pj.to_bits());
+    assert!(noop.degradation_report().is_none());
+}
