@@ -1,11 +1,10 @@
 //! Fig. 16: performance of ZFDR in different GAN phases, and the SArray
 //! space saving (paper: up to 5.2x for DCGAN, 3.86x on average).
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 16: ZFDR effectiveness per GAN phase\n");
     let mut t = TextTable::new(&[
         "benchmark",
         "phase",
@@ -22,8 +21,15 @@ fn main() {
             format!("{:.2}x", r.space_saving),
         ]);
     }
-    t.print();
     let (dcgan, avg) = figures::fig16_space_savings();
-    println!("\nDCGAN G-forward SArray saving: {dcgan:.2}x  (paper: 5.2x)");
-    println!("Average SArray saving:         {avg:.2}x  (paper: 3.86x)");
+    let report = Report::new("Fig. 16: ZFDR effectiveness per GAN phase").section(
+        Section::new()
+            .table(t)
+            .fact(
+                "DCGAN G-forward SArray saving",
+                format!("{dcgan:.2}x (paper: 5.2x)"),
+            )
+            .fact("Average SArray saving", format!("{avg:.2}x (paper: 3.86x)")),
+    );
+    harness::run(&report);
 }

@@ -1,11 +1,10 @@
 //! Fig. 17: 3D connection vs H-tree connection with ZFDR
 //! (speedups over the NR + H-tree baseline).
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 17: 3D vs H-tree connection with ZFDR (speedup over NR+H-tree)\n");
     let mut t = TextTable::new(&[
         "benchmark",
         "ZFDR 2D no-dup",
@@ -22,7 +21,12 @@ fn main() {
             format!("{:.2}x", r.zfdr_3d_low),
         ]);
     }
-    t.print();
-    println!("\nPaper's observation: with H-tree the ZFDR speedup almost disappears;");
-    println!("with the 3D connection it is fully visible and duplication adds more.");
+    let report = Report::new("Fig. 17: 3D vs H-tree connection with ZFDR (speedup over NR+H-tree)")
+        .section(
+            Section::new()
+                .table(t)
+                .note("Paper's observation: with H-tree the ZFDR speedup almost disappears;")
+                .note("with the 3D connection it is fully visible and duplication adds more."),
+        );
+    harness::run(&report);
 }

@@ -1,11 +1,10 @@
 //! Fig. 18: ZFDR vs normal reshape under the 3D connection
 //! (paper averages: 5.11x with duplication, 2.77x without, NR 1.31x).
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 18: ZFDR vs normal reshape with 3D connection (speedup over NR+H-tree)\n");
     let mut t = TextTable::new(&["benchmark", "ZFDR+dup", "ZFDR no-dup", "NR 3D"]);
     for r in figures::fig17_18() {
         t.row(&[
@@ -15,7 +14,16 @@ fn main() {
             format!("{:.2}x", r.nr_3d),
         ]);
     }
-    t.print();
     let (dup, nodup, nr) = figures::fig18_averages();
-    println!("\nAverages: ZFDR+dup {dup:.2}x (paper 5.11x), ZFDR no-dup {nodup:.2}x (paper 2.77x), NR {nr:.2}x (paper 1.31x)");
+    let report = Report::new(
+        "Fig. 18: ZFDR vs normal reshape with 3D connection (speedup over NR+H-tree)",
+    )
+    .section(
+        Section::new()
+            .table(t)
+            .fact("Average ZFDR+dup", format!("{dup:.2}x (paper 5.11x)"))
+            .fact("Average ZFDR no-dup", format!("{nodup:.2}x (paper 2.77x)"))
+            .fact("Average NR 3D", format!("{nr:.2}x (paper 1.31x)")),
+    );
+    harness::run(&report);
 }

@@ -1,10 +1,9 @@
 //! Fig. 19: speedup of LerGAN (low/middle/high, plain and NS) over PRIME.
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 19: LerGAN speedup over PRIME (10-iteration average, batch 64)\n");
     let mut t = TextTable::new(&[
         "benchmark",
         "low",
@@ -32,9 +31,10 @@ fn main() {
             format!("{:.2}x", r.speedup_ns[2]),
         ]);
     }
-    t.print();
-    println!(
-        "\nOverall average speedup over PRIME: {:.2}x (paper: 7.46x)",
-        avg / n
-    );
+    let report = Report::new("Fig. 19: LerGAN speedup over PRIME (10-iteration average, batch 64)")
+        .section(Section::new().table(t).fact(
+            "Overall average speedup over PRIME",
+            format!("{:.2}x (paper: 7.46x)", avg / n),
+        ));
+    harness::run(&report);
 }

@@ -1,10 +1,9 @@
 //! Fig. 20: energy saving of LerGAN over PRIME.
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 20: LerGAN energy saving over PRIME\n");
     let mut t = TextTable::new(&[
         "benchmark",
         "low",
@@ -32,10 +31,14 @@ fn main() {
             format!("{:.2}x", r.energy_saving_ns[2]),
         ]);
     }
-    t.print();
-    println!(
-        "\nOverall average energy saving over PRIME: {:.2}x (paper: 7.68x)",
-        avg / n
+    let report = Report::new("Fig. 20: LerGAN energy saving over PRIME").section(
+        Section::new()
+            .table(t)
+            .fact(
+                "Overall average energy saving over PRIME",
+                format!("{:.2}x (paper: 7.68x)", avg / n),
+            )
+            .note("Higher duplication saves less energy (more update writes), as in the paper."),
     );
-    println!("Higher duplication saves less energy (more update writes), as in the paper.");
+    harness::run(&report);
 }

@@ -1,11 +1,10 @@
 //! Fig. 21: performance vs the FPGA GAN accelerator and the GPU platform
 //! (paper averages: 47.2x and 21.42x).
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 21: LerGAN speedup over FPGA-GAN and GPU\n");
     let mut t = TextTable::new(&[
         "benchmark",
         "vs FPGA (low)",
@@ -22,7 +21,12 @@ fn main() {
             format!("{:.1}x", r.speedup_gpu[2]),
         ]);
     }
-    t.print();
     let (sf, sg, _, _) = figures::headline_averages();
-    println!("\nAverage speedup: vs FPGA {sf:.1}x (paper 47.2x), vs GPU {sg:.1}x (paper 21.42x)");
+    let report = Report::new("Fig. 21: LerGAN speedup over FPGA-GAN and GPU").section(
+        Section::new()
+            .table(t)
+            .fact("Average speedup vs FPGA", format!("{sf:.1}x (paper 47.2x)"))
+            .fact("Average speedup vs GPU", format!("{sg:.1}x (paper 21.42x)")),
+    );
+    harness::run(&report);
 }

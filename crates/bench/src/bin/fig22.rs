@@ -1,11 +1,10 @@
 //! Fig. 22: energy vs the FPGA GAN accelerator and the GPU platform
 //! (paper: 9.75x saving vs GPU; 1.04x of FPGA's energy).
 
-use lergan_bench::figures;
-use lergan_bench::TextTable;
+use lergan_bench::harness::{self, Report, Section};
+use lergan_bench::{figures, TextTable};
 
 fn main() {
-    println!("Fig. 22: LerGAN energy saving over FPGA-GAN and GPU\n");
     let mut t = TextTable::new(&[
         "benchmark",
         "vs FPGA (low)",
@@ -22,8 +21,18 @@ fn main() {
             format!("{:.2}x", r.energy_saving_gpu[2]),
         ]);
     }
-    t.print();
     let (_, _, eg, ef) = figures::headline_averages();
-    println!("\nAverage energy saving vs GPU: {eg:.2}x (paper 9.75x)");
-    println!("Average LerGAN/FPGA energy ratio: {ef:.2}x (paper 1.04x)");
+    let report = Report::new("Fig. 22: LerGAN energy saving over FPGA-GAN and GPU").section(
+        Section::new()
+            .table(t)
+            .fact(
+                "Average energy saving vs GPU",
+                format!("{eg:.2}x (paper 9.75x)"),
+            )
+            .fact(
+                "Average LerGAN/FPGA energy ratio",
+                format!("{ef:.2}x (paper 1.04x)"),
+            ),
+    );
+    harness::run(&report);
 }

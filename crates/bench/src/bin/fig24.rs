@@ -3,16 +3,27 @@
 //! 1-pJ cell switching and a 60%-cheaper ADC).
 
 use lergan_bench::figures;
+use lergan_bench::harness::{self, Report, Section};
 
 fn main() {
     let (adc, switching, other, reduction) = figures::fig24();
-    println!("Fig. 24: ReRAM tile energy breakdown (training operation mix)\n");
-    println!("ADC             {:6.2}%   (paper: 45.14%)", adc * 100.0);
-    println!(
-        "cell switching  {:6.2}%   (paper: 40.16%)",
-        switching * 100.0
-    );
-    println!("other           {:6.2}%   (paper: ~14.7%)", other * 100.0);
-    println!("\nWhat-if (1-pJ cell switching [66] + 60% ADC saving [37]):");
-    println!("power reduction {reduction:.2}x   (paper: nearly 3x)");
+    let report = Report::new("Fig. 24: ReRAM tile energy breakdown (training operation mix)")
+        .section(
+            Section::new()
+                .fact("ADC", format!("{:.2}% (paper: 45.14%)", adc * 100.0))
+                .fact(
+                    "cell switching",
+                    format!("{:.2}% (paper: 40.16%)", switching * 100.0),
+                )
+                .fact("other", format!("{:.2}% (paper: ~14.7%)", other * 100.0)),
+        )
+        .section(
+            Section::new()
+                .heading("What-if (1-pJ cell switching [66] + 60% ADC saving [37])")
+                .fact(
+                    "power reduction",
+                    format!("{reduction:.2}x (paper: nearly 3x)"),
+                ),
+        );
+    harness::run(&report);
 }

@@ -2,20 +2,24 @@
 //! (+13.3%), and the same-space speedup over PRIME (2.1x).
 
 use lergan_bench::figures;
+use lergan_bench::harness::{self, Report, Section};
 
 fn main() {
     let o = figures::overhead();
-    println!("Sec. VI-E: LerGAN overheads\n");
-    println!(
-        "software: ZFDR/ZFDM compile-time overhead  {:+.2}%   (paper: +32.52%)",
-        o.compile_overhead * 100.0
+    let report = Report::new("Sec. VI-E: LerGAN overheads").section(
+        Section::new()
+            .fact(
+                "software: ZFDR/ZFDM compile-time overhead",
+                format!("{:+.2}% (paper: +32.52%)", o.compile_overhead * 100.0),
+            )
+            .fact(
+                "hardware: 3D switch/wire area overhead",
+                format!("{:+.2}% (paper: +13.3%)", o.area_overhead * 100.0),
+            )
+            .fact(
+                "same-CArray-space speedup over PRIME",
+                format!("{:.2}x (paper: 2.1x)", o.same_space_speedup),
+            ),
     );
-    println!(
-        "hardware: 3D switch/wire area overhead     {:+.2}%   (paper: +13.3%)",
-        o.area_overhead * 100.0
-    );
-    println!(
-        "same-CArray-space speedup over PRIME        {:.2}x   (paper: 2.1x)",
-        o.same_space_speedup
-    );
+    harness::run(&report);
 }

@@ -9,6 +9,7 @@
 //! ```
 
 use lergan_baselines::{GpuPlatform, Prime};
+use lergan_bench::harness::{self, Report, Section};
 use lergan_bench::TextTable;
 use lergan_core::LerGan;
 use lergan_gan::GanSpec;
@@ -32,7 +33,6 @@ fn family(item: usize, base_channels: usize) -> GanSpec {
 }
 
 fn main() {
-    println!("Scaling study: DCGAN-shaped family, batch 64\n");
     let mut t = TextTable::new(&[
         "item",
         "base-ch",
@@ -68,7 +68,11 @@ fn main() {
             ]);
         }
     }
-    t.print();
-    println!("\nLarger models widen the gap against the off-chip platforms, as the");
-    println!("paper's DiscoGAN observation predicts.");
+    let report = Report::new("Scaling study: DCGAN-shaped family, batch 64").section(
+        Section::new()
+            .table(t)
+            .note("Larger models widen the gap against the off-chip platforms, as the")
+            .note("paper's DiscoGAN observation predicts."),
+    );
+    harness::run(&report);
 }

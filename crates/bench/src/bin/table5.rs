@@ -1,15 +1,12 @@
 //! Prints Table V: the parsed topologies of the eight GAN benchmarks.
 
+use lergan_bench::harness::{self, Report, Section};
 use lergan_bench::TextTable;
 use lergan_gan::benchmarks;
 
 fn main() {
-    println!("Table V: Topologies of GAN benchmarks (parsed layer-exact)\n");
+    let mut report = Report::new("Table V: Topologies of GAN benchmarks (parsed layer-exact)");
     for gan in benchmarks::all() {
-        println!(
-            "{}  (item {:?}, batch {})",
-            gan.name, gan.item_size, gan.batch_size
-        );
         for (label, net) in [
             ("generator", &gan.generator),
             ("discriminator", &gan.discriminator),
@@ -28,15 +25,19 @@ fn main() {
                     l.weight_count(net.dims).to_string(),
                 ]);
             }
-            println!(
-                "  {label} ({} layers, {} weights):",
-                net.layers.len(),
-                net.total_weights()
+            report = report.section(
+                Section::new()
+                    .heading(format!(
+                        "{} {label} (item {:?}, batch {}, {} layers, {} weights)",
+                        gan.name,
+                        gan.item_size,
+                        gan.batch_size,
+                        net.layers.len(),
+                        net.total_weights()
+                    ))
+                    .table(t),
             );
-            for line in t.render().lines() {
-                println!("    {line}");
-            }
         }
-        println!();
     }
+    harness::run(&report);
 }

@@ -2,14 +2,17 @@
 //! evaluation (Sec. VI).
 //!
 //! Each `figures::figNN` function computes the *data* of the corresponding
-//! paper figure; the `fig16`…`fig24`, `table5` and `overhead` binaries
-//! print it in paper-style rows, and the Criterion benches under
-//! `benches/` time the underlying machinery. Absolute numbers come from
+//! paper figure; the `fig16`…`fig24`, `table5`, `scaling` and `overhead`
+//! binaries build a [`harness::Report`] from it and emit text, markdown or
+//! JSON (`--format text|md|json [--out PATH]`), and the Criterion benches
+//! under `benches/` time the underlying machinery. Absolute numbers come from
 //! the simulator; the paper's reported values are quoted alongside so the
 //! shape comparison is immediate (see `EXPERIMENTS.md` for the full
 //! paper-vs-measured record).
 
 pub mod figures;
+pub mod harness;
 pub mod table;
 
+pub use harness::{Format, Report, Section};
 pub use table::TextTable;

@@ -17,6 +17,7 @@
 
 use crate::replica::{self, ReplicaDegree, ReplicaPlan};
 use crate::zfdr::plan::ZfdrPlan;
+use lergan_gan::ir::{OpGraph, OpId, PhaseOp};
 use lergan_gan::workload::{ConvWorkload, WorkloadKind};
 use lergan_gan::{GanSpec, Phase};
 use lergan_reram::{CrossbarLayout, ReramConfig};
@@ -116,6 +117,9 @@ pub struct ZfdrMapping {
 /// One compiled (phase, layer) mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MappedLayer {
+    /// The op-graph node this mapping realises (an id into
+    /// [`CompiledGan::graph`]).
+    pub op: OpId,
     /// The underlying workload.
     pub workload: ConvWorkload,
     /// ZFDR details when the scheme reshapes this workload.
@@ -173,6 +177,9 @@ impl CompiledPhase {
 pub struct CompiledGan {
     /// Options the plan was compiled with.
     pub options: CompilerOptions,
+    /// The op graph the plan was lowered from: every [`MappedLayer`]
+    /// carries the [`OpId`] of its node here.
+    pub graph: OpGraph,
     /// All six phases in [`Phase::ALL`] order.
     pub phases: Vec<CompiledPhase>,
     /// Wall-clock compile time (measures the Sec. VI-E software overhead).
@@ -229,13 +236,14 @@ pub fn compile_with_bank_tiles(
     // Neighbour-tile transfer time used by the replica_e_max constraint:
     // one hop up and one down.
     let tile_transfer_ns = 2.0 * config.htree_hop_latency_ns();
+    let graph = OpGraph::build(gan);
     let mut phases = Vec::with_capacity(6);
     for phase in Phase::ALL {
         let bank_tiles = bank_tiles_for(phase).max(1);
-        let layers = gan
-            .workloads(phase)
-            .into_iter()
-            .map(|w| map_layer(w, phase, options, config, tile_transfer_ns, bank_tiles))
+        let layers = graph
+            .phase_ops(phase)
+            .iter()
+            .map(|op| map_layer(op, options, config, tile_transfer_ns, bank_tiles))
             .collect();
         phases.push(CompiledPhase { phase, layers });
     }
@@ -244,6 +252,7 @@ pub fn compile_with_bank_tiles(
     // else to do here.
     CompiledGan {
         options,
+        graph,
         phases,
         compile_time_ns: start.elapsed().as_nanos(),
         batch_size: gan.batch_size,
@@ -259,14 +268,14 @@ pub fn space_equalization_factor(lergan: &CompiledGan, prime: &CompiledGan) -> u
 }
 
 fn map_layer(
-    workload: ConvWorkload,
-    phase: Phase,
+    op: &PhaseOp,
     options: CompilerOptions,
     config: &ReramConfig,
     tile_transfer_ns: f64,
     bank_tiles: usize,
 ) -> MappedLayer {
-    let degree = options.degree_for(phase);
+    let workload = op.workload.clone();
+    let degree = options.degree_for(op.phase);
     let dims = workload.dims;
     let pairs = workload.in_channels as u128 * workload.out_channels as u128;
     let (plan, positions_dense): (Option<ZfdrPlan>, u128) = match &workload.kind {
@@ -343,6 +352,7 @@ fn map_layer(
         });
         let tiles = stored.div_ceil(config.weights_per_tile() as u128) as usize;
         MappedLayer {
+            op: op.id,
             zfdr: Some(ZfdrMapping {
                 distinct_classes: plan.distinct_classes(dims),
                 replicas,
@@ -380,6 +390,7 @@ fn map_layer(
         };
         let tiles = stored.div_ceil(config.weights_per_tile() as u128) as usize;
         MappedLayer {
+            op: op.id,
             zfdr: None,
             cycles_per_sample: cycles,
             stored_values: stored.max(1),

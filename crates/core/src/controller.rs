@@ -24,15 +24,14 @@ pub struct BankId {
 impl BankId {
     /// The bank a phase executes in: forward on top, ∇weight in the
     /// middle ("it needs data transferred from either phases"), error
-    /// transfer at the bottom.
+    /// transfer at the bottom. Delegates to the op-graph IR's
+    /// [`lergan_gan::ir::BankSlot`], the single source of the B1–B6 map.
     pub fn for_phase(phase: Phase) -> BankId {
-        let side = usize::from(!phase.is_generator_phase());
-        let bank = match phase {
-            Phase::GForward | Phase::DForward => 0,
-            Phase::GWeightGrad | Phase::DWeightGrad => 1,
-            Phase::GBackward | Phase::DBackward => 2,
-        };
-        BankId { side, bank }
+        let slot = lergan_gan::ir::BankSlot::for_phase(phase);
+        BankId {
+            side: slot.side,
+            bank: slot.bank,
+        }
     }
 
     /// Paper numbering B1–B6.

@@ -19,14 +19,13 @@
 use crate::compiler::{
     self, CompiledGan, CompilerOptions, Connection, PhaseDegrees, ReshapeScheme,
 };
-use crate::controller::{BankId, MemoryController};
 use crate::fault::{DegradationReport, FaultError, SystemFaults};
 use crate::mapping::{MappingError, TileAllocation};
 use crate::replica::ReplicaDegree;
+use crate::schedule::{self, ScheduleContext};
 use lergan_gan::{GanSpec, Phase};
-use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, Route};
+use lergan_noc::{DcuPair, NocConfig};
 use lergan_reram::{EnergyCounts, EnergyModel, ReramConfig, TileEnergyBreakdown};
-use lergan_sim::engine::{Engine, ResourceId, TaskId, TaskSpec};
 use lergan_sim::Breakdown;
 use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
@@ -317,6 +316,14 @@ pub struct TrainingReport {
     /// Busy time of each simulated resource (compute groups, bank wires,
     /// bus/bypass) per iteration (ns).
     pub resource_busy: Breakdown,
+    /// Busy time of each op (ns, per iteration), keyed by the schedule's
+    /// per-op labels (`"G→ L0"`, …). A phase that runs twice per
+    /// iteration contributes both runs to its ops' buckets.
+    pub op_latency: Breakdown,
+    /// Energy attributed to each op (pJ, per iteration): its transfers'
+    /// interconnect energy plus a crossbar-op-weighted share of the tile
+    /// compute energy. Same keys as [`op_latency`](Self::op_latency).
+    pub op_energy: Breakdown,
 }
 
 impl LerGan {
@@ -410,456 +417,26 @@ impl LerGan {
 
     // ---- internal simulation ----
 
-    fn threed(&self) -> bool {
-        self.compiled.options.connection == Connection::ThreeD
-    }
-
-    /// Route for an intra-phase hop between two adjacent tiles of the
-    /// phase's bank.
-    fn neighbor_route(&self, bank: BankId, tile: usize) -> Route {
-        let (mode, side) = if self.threed() {
-            (Mode::Cmode, bank.side)
-        } else {
-            (Mode::Smode, bank.side)
-        };
-        let b = if self.threed() { bank.bank } else { 0 };
-        let t0 = tile % self.noc.tiles_per_bank;
-        let t1 = (tile + 1) % self.noc.tiles_per_bank;
-        self.pair
-            .route(
-                Endpoint::pair_tile(side, b, t0),
-                Endpoint::pair_tile(side, b, t1),
-                mode,
-            )
-            .expect("endpoints are valid")
-    }
-
-    /// Route through the shared bus out of (and back into) a bank — what
-    /// a phase pays when its allocation spills past the bank (Fig. 9's
-    /// inter-bank movement).
-    fn bus_route(&self, bank: BankId) -> Route {
-        let b = if self.threed() { bank.bank } else { 0 };
-        self.pair
-            .route(
-                Endpoint::pair_tile(bank.side, b, 0),
-                Endpoint::pair_tile(1 - bank.side, b, 0),
-                Mode::Smode,
-            )
-            .expect("bus route exists")
-    }
-
-    /// Route that carries cached data from a forward bank to a backward
-    /// bank of the same side (vertical hop in 3D, H-tree + bus otherwise).
-    fn cross_bank_route(&self, side: usize, from_bank: usize, to_bank: usize) -> Route {
-        if self.threed() {
-            self.pair
-                .route(
-                    Endpoint::pair_tile(side, from_bank, 0),
-                    Endpoint::pair_tile(side, to_bank, 0),
-                    Mode::Cmode,
-                )
-                .expect("endpoints are valid")
-        } else {
-            // H-tree baseline: the phases live in tile groups of a flat
-            // bank; data crosses the whole tree (and the shared bus when
-            // the model spills over a bank).
-            self.pair
-                .route(
-                    Endpoint::pair_tile(side, 0, 0),
-                    Endpoint::pair_tile(side, 0, self.noc.tiles_per_bank - 1),
-                    Mode::Smode,
-                )
-                .expect("endpoints are valid")
-        }
-    }
-
-    /// Route between the generator side and the discriminator side.
-    fn cross_side_route(&self, from_bank: usize, to_bank: usize) -> Route {
-        let mode = if self.threed() {
-            Mode::Cmode
-        } else {
-            Mode::Smode
-        };
-        self.pair
-            .route(
-                Endpoint::pair_tile(0, if self.threed() { from_bank } else { 0 }, 0),
-                Endpoint::pair_tile(1, if self.threed() { to_bank } else { 0 }, 0),
-                mode,
-            )
-            .expect("endpoints are valid")
-    }
-
-    /// Write time for `values` into a bank spanning `tiles` tiles.
-    fn write_time_ns(&self, values: u128, tiles: usize) -> f64 {
-        let per_tile_values_per_write = (self.cost.write_rows_parallel_per_tile as u128) * 32;
-        let writes = values.div_ceil(per_tile_values_per_write.max(1));
-        let parallel = tiles.max(1) as u128;
-        writes.div_ceil(parallel) as f64 * self.reram.tile_write_latency_ns
-    }
-
     fn simulate_iteration(&self) -> TrainingReport {
-        let batch = self.compiled.batch_size as u64;
-        let mut engine = Engine::new();
-        // Resources: per-phase compute groups, per-bank wires, bus, bypass.
-        let mut compute_res: HashMap<Phase, ResourceId> = HashMap::new();
-        let mut wire_res: HashMap<(usize, usize), ResourceId> = HashMap::new();
-        for phase in Phase::ALL {
-            compute_res.insert(phase, engine.add_resource(format!("compute {phase}"), 1));
-        }
-        if self.threed() {
-            for side in 0..2 {
-                for bank in 0..3 {
-                    wire_res.insert(
-                        (side, bank),
-                        engine.add_resource(format!("wires s{side}b{bank}"), 1),
-                    );
-                }
-            }
-        } else {
-            // H-tree baseline: one wire resource per side — mapping,
-            // compute streams and updates all contend for it.
-            for side in 0..2 {
-                let r = engine.add_resource(format!("wires side{side}"), 1);
-                for bank in 0..3 {
-                    wire_res.insert((side, bank), r);
-                }
-            }
-        }
-        let cross_res = engine.add_resource("bus/bypass", if self.threed() { 2 } else { 1 });
-
-        let mut counts = EnergyCounts::default();
-        let mut energy = Breakdown::new();
-        let mut phase_cost = Breakdown::new();
-
-        // ---- helpers -------------------------------------------------
-        let t_m = self.reram.mmv_latency_ns();
-
-        // Builds the chained layer tasks of one phase run; returns
-        // (first, last) task ids.
-        struct PhaseRun {
-            first: TaskId,
-            last: TaskId,
-        }
-        let run_phase = |engine: &mut Engine,
-                         phase: Phase,
-                         dep: Option<TaskId>,
-                         counts: &mut EnergyCounts,
-                         energy: &mut Breakdown,
-                         phase_cost: &mut Breakdown|
-         -> PhaseRun {
-            let bank = BankId::for_phase(phase);
-            let cp = self.compiled.phase(phase);
-            let comp_r = compute_res[&phase];
-            let wire_r = wire_res[&(bank.side, bank.bank)];
-            let alloc = &self.allocs[&phase];
-            let mut prev: Option<TaskId> = dep;
-            let mut first: Option<TaskId> = None;
-            for (li, layer) in cp.layers.iter().enumerate() {
-                // Transfer of this layer's operand stream to its tiles.
-                // The plain H-tree cannot multicast: every tile holding
-                // distinct reshaped matrices receives its own copy of the
-                // stream through the shared tree — which is why duplication
-                // "achieves little speedup with H-tree connection"
-                // (Fig. 17). The 3DCU's reconfigured horizontal/vertical
-                // wires distribute in parallel.
-                let zfdm = self.compiled.options.scheme == ReshapeScheme::Zfdr;
-                let per_sample = if self.threed() && zfdm {
-                    // ZFDM splits kernel weights so each part handles its
-                    // vertically-aligned partial results (Fig. 14); the
-                    // slices ride parallel short Cmode paths. Normal
-                    // mapping keeps one monolithic stream and gains none
-                    // of this.
-                    layer
-                        .moved_values_per_sample
-                        .div_ceil(self.noc.cmode_parallel_channels as u128)
-                } else if layer.zfdr.is_some() {
-                    // The H-tree unicasts each reshaped matrix its gathered
-                    // slice of the input; the total stream approaches the
-                    // im2col volume, bounded by the dense (zero-inserted)
-                    // stream it replaces.
-                    let gathered =
-                        layer.workload.macs_useful / layer.workload.out_channels.max(1) as u128;
-                    gathered.min(layer.workload.moved_values_dense)
-                } else {
-                    layer.moved_values_per_sample
-                        * (layer.tiles.min(self.noc.tiles_per_bank) as u128)
-                };
-                let moved = per_sample as u64 * batch;
-                // Fig. 14 hand-off: from the previous layer's last tile to
-                // this layer's first. A bank-boundary crossing (the phase
-                // spilled onto another 3DCU pair) pays the bus.
-                let from_tile = if li == 0 {
-                    alloc.tile_for(0, 0).expect("phase has a first layer")
-                } else {
-                    alloc.handoff(li - 1).expect("layers are consecutive").0
-                };
-                let crosses = li > 0
-                    && alloc
-                        .handoff_crosses_bank(li - 1)
-                        .expect("layers are consecutive");
-                let route = if crosses {
-                    self.bus_route(bank)
-                } else {
-                    self.neighbor_route(bank, from_tile)
-                };
-                let (lat, en) = route.transfer(moved, &self.noc);
-                let mut xfer =
-                    TaskSpec::new(format!("{phase} xfer L{}", layer.workload.layer_index), lat)
-                        .on(wire_r);
-                if let Some(p) = prev {
-                    xfer = xfer.after(p);
-                }
-                let xfer_id = engine.add_task(xfer);
-                energy.add("communication", en);
-                counts.buffer_values += moved as u128;
-                phase_cost.add(&phase.to_string(), lat);
-
-                // Compute.
-                let dur = layer.cycles_per_sample as f64 * t_m * batch as f64;
-                let comp =
-                    TaskSpec::new(format!("{phase} comp L{}", layer.workload.layer_index), dur)
-                        .on(comp_r)
-                        .after(xfer_id);
-                let comp_id = engine.add_task(comp);
-                counts.crossbar_mmv_ops += layer.crossbar_ops_per_sample * batch as u128;
-                phase_cost.add(&phase.to_string(), dur);
-
-                first.get_or_insert(xfer_id);
-                prev = Some(comp_id);
-            }
-            PhaseRun {
-                first: first.expect("phases have at least one layer"),
-                last: prev.expect("phases have at least one layer"),
-            }
+        let ctx = ScheduleContext {
+            gan: &self.gan,
+            compiled: &self.compiled,
+            allocs: &self.allocs,
+            pair: &self.pair,
+            reram: &self.reram,
+            noc: &self.noc,
+            cost: &self.cost,
         };
-
-        // Mapping task: write a phase's operands into its bank.
-        let map_phase = |engine: &mut Engine,
-                         phase: Phase,
-                         dep: Option<TaskId>,
-                         counts: &mut EnergyCounts|
-         -> TaskId {
-            let bank = BankId::for_phase(phase);
-            let cp = self.compiled.phase(phase);
-            let wire_r = wire_res[&(bank.side, bank.bank)];
-            // ∇weight banks also stage one minibatch of cached
-            // activations alongside the reshaped operands.
-            let mut values =
-                (cp.stored_values() as f64 * self.cost.update_write_cell_fraction).ceil() as u128;
-            if phase.is_weight_grad() {
-                values += cp.moved_values_per_sample() * batch as u128;
-            }
-            let dur = self.write_time_ns(values, cp.tiles());
-            // Cell-switching energy lands via the tile breakdown.
-            counts.weight_writes += values;
-            let mut t = TaskSpec::new(format!("map {phase}"), dur).on(wire_r);
-            if let Some(d) = dep {
-                t = t.after(d);
-            }
-            engine.add_task(t)
-        };
-
-        // Cross transfers.
-        let cross_task = |engine: &mut Engine,
-                          label: &str,
-                          route: &Route,
-                          values: u64,
-                          dep: TaskId,
-                          energy: &mut Breakdown|
-         -> TaskId {
-            let (lat, en) = route.transfer(values, &self.noc);
-            energy.add("communication", en);
-            engine.add_task(TaskSpec::new(label, lat).on(cross_res).after(dep))
-        };
-
-        // ---- replay the controller script as a task graph -------------
-        // The FSM defines ordering; here we instantiate it with real
-        // durations and the Fig. 13 overlaps.
-        let script = MemoryController::iteration_script();
-        debug_assert!(!script.is_empty());
-
-        let mode_switch = engine.add_task(TaskSpec::new(
-            "configure switches",
-            self.cost.switch_config_ns,
-        ));
-
-        // ===== half 1: train the discriminator =====
-        let gf = run_phase(
-            &mut engine,
-            Phase::GForward,
-            Some(mode_switch),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let g_out_values = batch
-            * self
-                .gan
-                .generator
-                .layers
-                .last()
-                .map(|l| l.output_count(self.gan.generator.dims))
-                .unwrap_or(1) as u64;
-        let to_d = self.cross_side_route(0, 0);
-        let xfer_gd = cross_task(
-            &mut engine,
-            "samples G->D",
-            &to_d,
-            g_out_values,
-            gf.last,
-            &mut energy,
-        );
-        let df = run_phase(
-            &mut engine,
-            Phase::DForward,
-            Some(xfer_gd),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        // Map D-w / D← while D→ runs (Fig. 13a).
-        let map_dw = map_phase(&mut engine, Phase::DWeightGrad, Some(xfer_gd), &mut counts);
-        let map_db = map_phase(
-            &mut engine,
-            Phase::DBackward,
-            Some(mode_switch),
-            &mut counts,
-        );
-        // Error at the output layer (CPU-local, small).
-        let err =
-            engine.add_task(TaskSpec::new("loss gradient", self.cost.cpu_fixed_ns).after(df.last));
-        // Activations hop from the forward bank down to D-w's bank.
-        let act_route = self.cross_bank_route(1, 0, 1);
-        let (act_lat, act_en) = act_route.transfer(
-            self.compiled
-                .phase(Phase::DWeightGrad)
-                .moved_values_per_sample() as u64
-                * batch,
-            &self.noc,
-        );
-        energy.add("communication", act_en);
-        let act_move = engine.add_task(TaskSpec::new("activations D->D-w", act_lat).after(df.last));
-        let db_barrier = engine.add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err, map_db]));
-        let db = run_phase(
-            &mut engine,
-            Phase::DBackward,
-            Some(db_barrier),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let dw_barrier = engine
-            .add_task(TaskSpec::new("D-w ready", 0.0).after_all(&[map_dw, act_move, db.first]));
-        let dw = run_phase(
-            &mut engine,
-            Phase::DWeightGrad,
-            Some(dw_barrier),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let update_d = self.update_task(
-            &mut engine,
-            false,
-            dw.last,
-            cross_res,
-            &mut counts,
-            &mut energy,
-        );
-
-        // ===== half 2: train the generator =====
-        let gf2 = run_phase(
-            &mut engine,
-            Phase::GForward,
-            Some(update_d),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let map_gw = map_phase(&mut engine, Phase::GWeightGrad, Some(update_d), &mut counts);
-        let map_gb = map_phase(&mut engine, Phase::GBackward, Some(update_d), &mut counts);
-        let xfer_gd2 = cross_task(
-            &mut engine,
-            "samples G->D (2)",
-            &to_d,
-            g_out_values,
-            gf2.last,
-            &mut energy,
-        );
-        let df2 = run_phase(
-            &mut engine,
-            Phase::DForward,
-            Some(xfer_gd2),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let map_db2 = map_phase(&mut engine, Phase::DBackward, Some(update_d), &mut counts);
-        let err2 = engine
-            .add_task(TaskSpec::new("loss gradient (2)", self.cost.cpu_fixed_ns).after(df2.last));
-        let err_barrier =
-            engine.add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err2, map_db2]));
-        let db2 = run_phase(
-            &mut engine,
-            Phase::DBackward,
-            Some(err_barrier),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        // Error crosses B6 -> B3.
-        let back_route = self.cross_side_route(2, 2);
-        let gen_in_err_values = batch
-            * (self
-                .gan
-                .generator
-                .layers
-                .last()
-                .map(|l| l.output_count(self.gan.generator.dims))
-                .unwrap_or(1) as u64);
-        let xfer_err = cross_task(
-            &mut engine,
-            "error D->G",
-            &back_route,
-            gen_in_err_values,
-            db2.last,
-            &mut energy,
-        );
-        let gb_barrier =
-            engine.add_task(TaskSpec::new("G← ready", 0.0).after_all(&[xfer_err, map_gb]));
-        let gb = run_phase(
-            &mut engine,
-            Phase::GBackward,
-            Some(gb_barrier),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let gw_barrier =
-            engine.add_task(TaskSpec::new("G-w ready", 0.0).after_all(&[gb.first, map_gw]));
-        let gw = run_phase(
-            &mut engine,
-            Phase::GWeightGrad,
-            Some(gw_barrier),
-            &mut counts,
-            &mut energy,
-            &mut phase_cost,
-        );
-        let _update_g = self.update_task(
-            &mut engine,
-            true,
-            gw.last,
-            cross_res,
-            &mut counts,
-            &mut energy,
-        );
-
-        let schedule = engine.run();
+        let lowered = schedule::lower_iteration(&ctx);
+        let schedule = lowered.engine.run();
         let iteration_latency_ns = schedule.makespan_ns();
         let mut resource_busy = Breakdown::new();
         for (label, busy) in schedule.resources() {
             resource_busy.add(label, busy);
         }
+
+        let mut energy = lowered.energy;
+        let counts = lowered.counts;
 
         // ---- energy roll-up -------------------------------------------
         let tile_breakdown = self.energy.breakdown(&counts);
@@ -873,6 +450,25 @@ impl LerGan {
         );
         let total = energy.total();
 
+        // ---- per-op attribution ---------------------------------------
+        // Separate accumulators: the totals above are computed exactly as
+        // before the op-graph refactor and stay bit-identical.
+        let mut op_latency = Breakdown::new();
+        let mut op_energy = Breakdown::new();
+        let total_crossbar_ops: u128 = lowered.op_tasks.iter().map(|t| t.crossbar_ops).sum();
+        let compute_pj = tile_breakdown.total_pj();
+        for t in &lowered.op_tasks {
+            let busy = (schedule.finish_ns(t.xfer) - schedule.start_ns(t.xfer))
+                + (schedule.finish_ns(t.compute) - schedule.start_ns(t.compute));
+            op_latency.add(&t.label, busy);
+            let share = if total_crossbar_ops == 0 {
+                0.0
+            } else {
+                t.crossbar_ops as f64 / total_crossbar_ops as f64
+            };
+            op_energy.add(&t.label, t.comm_energy_pj + compute_pj * share);
+        }
+
         TrainingReport {
             iterations: 1,
             iteration_latency_ns,
@@ -881,59 +477,11 @@ impl LerGan {
             energy_breakdown: energy,
             tile_breakdown,
             counts,
-            phase_latency: phase_cost,
+            phase_latency: lowered.phase_cost,
             resource_busy,
+            op_latency,
+            op_energy,
         }
-    }
-
-    fn update_task(
-        &self,
-        engine: &mut Engine,
-        generator: bool,
-        dep: TaskId,
-        cross_res: ResourceId,
-        counts: &mut EnergyCounts,
-        energy: &mut Breakdown,
-    ) -> TaskId {
-        let phases: [Phase; 3] = if generator {
-            [Phase::GForward, Phase::GBackward, Phase::GWeightGrad]
-        } else {
-            [Phase::DForward, Phase::DBackward, Phase::DWeightGrad]
-        };
-        // Every stored copy is rewritten with the new weights; gradients
-        // are read out of the ∇weight bank.
-        let stored: u128 = phases
-            .iter()
-            .map(|p| self.compiled.phase(*p).stored_values())
-            .sum();
-        let grads: u128 = self
-            .compiled
-            .phase(if generator {
-                Phase::GWeightGrad
-            } else {
-                Phase::DWeightGrad
-            })
-            .layers
-            .iter()
-            .map(|l| l.workload.output_values)
-            .sum();
-        let flipped = (stored as f64 * self.cost.update_write_cell_fraction).ceil() as u128;
-        counts.weight_writes += flipped;
-        counts.sarray_read_values += grads;
-        counts.sarray_write_values += grads;
-        energy.add("other", grads as f64 * self.cost.cpu_pj_per_value);
-        let tiles: usize = phases.iter().map(|p| self.compiled.phase(*p).tiles()).sum();
-        let dur = self.write_time_ns(flipped, tiles)
-            + self.cost.cpu_fixed_ns
-            + grads as f64 * self.cost.cpu_update_ns_per_value
-            + self.reram.bank_read_latency_ns
-            + self.reram.bank_write_latency_ns;
-        let label = if generator {
-            "update generator"
-        } else {
-            "update discriminator"
-        };
-        engine.add_task(TaskSpec::new(label, dur).on(cross_res).after(dep))
     }
 }
 

@@ -17,6 +17,9 @@
 //!   duplication degree;
 //! * [`controller`] — the finite-state machine that sequences Fig. 13's
 //!   dataflows (mode switches, mappings, phase execution, updates);
+//! * [`schedule`] — the generic lowering from the shared op graph
+//!   ([`lergan_gan::ir::OpGraph`]) plus tile allocations and fault state to
+//!   the discrete-event task graph, with per-op task labels;
 //! * [`lergan`] — the assembled accelerator: compiled GAN + 3D-connected
 //!   PIM + energy/latency reporting via the discrete-event engine.
 //!
@@ -42,6 +45,7 @@ pub mod fault;
 pub mod lergan;
 pub mod mapping;
 pub mod replica;
+pub mod schedule;
 pub mod zfdr;
 
 pub use compiler::{CompiledGan, CompilerOptions, Connection, ReshapeScheme};
@@ -49,4 +53,5 @@ pub use fault::{DegradationReport, FaultError, SystemFaults};
 pub use lergan::{BuildError, LerGan, LerGanBuilder, TrainingReport};
 pub use mapping::{MappingError, TileAllocation};
 pub use replica::{ReplicaDegree, ReplicaPlan};
+pub use schedule::{LoweredIteration, OpTask, ScheduleContext};
 pub use zfdr::{ZfdrPlan, ZfdrStats};

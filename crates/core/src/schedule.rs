@@ -1,0 +1,531 @@
+//! Generic lowering of an op graph onto the discrete-event engine.
+//!
+//! This module turns the op-graph IR ([`lergan_gan::ir::OpGraph`], carried
+//! inside a [`CompiledGan`]) plus a tile allocation and the (fault-aware)
+//! interconnect into the labelled `lergan-sim` task graph of one training
+//! iteration — the Fig. 13 script: per-op transfer/compute chains on each
+//! phase's bank, mapping writes overlapped with sibling phases, inter-model
+//! transfers on the bypass/bus, and the two weight updates.
+//!
+//! It is the third consumer of the IR (after the analytic workload view and
+//! the functional trainer): every compute/transfer task is labelled with
+//! its op, so callers can join schedule times back to individual
+//! [`PhaseOp`](lergan_gan::ir::PhaseOp)s — per-op latency/energy instead of
+//! per-phase aggregates. [`LerGan`](crate::LerGan) drives this lowering and
+//! rolls the result into a [`TrainingReport`](crate::TrainingReport);
+//! alternative schedules (pipelined, batched, dual-generator) can reuse the
+//! same entry point with a different script.
+
+use crate::compiler::{CompiledGan, Connection, ReshapeScheme};
+use crate::controller::MemoryController;
+use crate::lergan::CostModel;
+use crate::mapping::TileAllocation;
+use lergan_gan::ir::{BankSlot, OpId};
+use lergan_gan::{GanSpec, Phase};
+use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, Route};
+use lergan_reram::{EnergyCounts, ReramConfig};
+use lergan_sim::engine::{Engine, ResourceId, TaskId, TaskSpec};
+use lergan_sim::Breakdown;
+use std::collections::HashMap;
+
+/// Everything a lowering needs, borrowed from the assembled accelerator.
+#[derive(Debug)]
+pub struct ScheduleContext<'a> {
+    /// The GAN being trained (for boundary transfer volumes).
+    pub gan: &'a GanSpec,
+    /// The compiled mapping, including the op graph it was lowered from.
+    pub compiled: &'a CompiledGan,
+    /// The (fault-aware) tile allocation of each phase.
+    pub allocs: &'a HashMap<Phase, TileAllocation>,
+    /// The (fault-aware) interconnect.
+    pub pair: &'a DcuPair,
+    /// ReRAM timing/size parameters.
+    pub reram: &'a ReramConfig,
+    /// Interconnect parameters.
+    pub noc: &'a NocConfig,
+    /// Auxiliary cost constants.
+    pub cost: &'a CostModel,
+}
+
+/// The engine tasks realising one [`PhaseOp`](lergan_gan::ir::PhaseOp)
+/// occurrence in the schedule (a phase that runs twice per iteration
+/// yields two `OpTask`s per op).
+#[derive(Debug, Clone)]
+pub struct OpTask {
+    /// The op (an id into [`CompiledGan::graph`]).
+    pub op: OpId,
+    /// Join label, `"{phase} L{layer}"` — stable across runs.
+    pub label: String,
+    /// The operand-transfer task.
+    pub xfer: TaskId,
+    /// The MMV compute task.
+    pub compute: TaskId,
+    /// Interconnect energy this op's transfer spent (pJ).
+    pub comm_energy_pj: f64,
+    /// Physical crossbar reads this op's compute fired.
+    pub crossbar_ops: u128,
+}
+
+/// A lowered iteration: the populated engine plus the accumulators the
+/// lowering filled while emitting tasks.
+#[derive(Debug)]
+pub struct LoweredIteration {
+    /// The task graph, ready to [`run`](Engine::run).
+    pub engine: Engine,
+    /// Raw operation counts (for the energy model).
+    pub counts: EnergyCounts,
+    /// Energy accumulated while lowering (`communication`, `other`).
+    pub energy: Breakdown,
+    /// Busy time attributed to each phase (ns).
+    pub phase_cost: Breakdown,
+    /// Every per-op task emitted, in emission order.
+    pub op_tasks: Vec<OpTask>,
+}
+
+/// Lowers one training iteration of `ctx`'s op graph into an engine task
+/// graph following the Fig. 13 controller script.
+pub fn lower_iteration(ctx: &ScheduleContext<'_>) -> LoweredIteration {
+    Lowering::new(ctx).build()
+}
+
+/// (first, last) task ids of one phase run's chain.
+struct PhaseRun {
+    first: TaskId,
+    last: TaskId,
+}
+
+struct Lowering<'a> {
+    ctx: &'a ScheduleContext<'a>,
+    engine: Engine,
+    counts: EnergyCounts,
+    energy: Breakdown,
+    phase_cost: Breakdown,
+    op_tasks: Vec<OpTask>,
+    compute_res: HashMap<Phase, ResourceId>,
+    wire_res: HashMap<(usize, usize), ResourceId>,
+    cross_res: ResourceId,
+    batch: u64,
+    t_m: f64,
+}
+
+impl<'a> Lowering<'a> {
+    fn new(ctx: &'a ScheduleContext<'a>) -> Self {
+        let threed = ctx.compiled.options.connection == Connection::ThreeD;
+        let mut engine = Engine::new();
+        // Resources: per-phase compute groups, per-bank wires, bus, bypass.
+        let mut compute_res: HashMap<Phase, ResourceId> = HashMap::new();
+        let mut wire_res: HashMap<(usize, usize), ResourceId> = HashMap::new();
+        for phase in Phase::ALL {
+            compute_res.insert(phase, engine.add_resource(format!("compute {phase}"), 1));
+        }
+        if threed {
+            for side in 0..2 {
+                for bank in 0..3 {
+                    wire_res.insert(
+                        (side, bank),
+                        engine.add_resource(format!("wires s{side}b{bank}"), 1),
+                    );
+                }
+            }
+        } else {
+            // H-tree baseline: one wire resource per side — mapping,
+            // compute streams and updates all contend for it.
+            for side in 0..2 {
+                let r = engine.add_resource(format!("wires side{side}"), 1);
+                for bank in 0..3 {
+                    wire_res.insert((side, bank), r);
+                }
+            }
+        }
+        let cross_res = engine.add_resource("bus/bypass", if threed { 2 } else { 1 });
+        Lowering {
+            engine,
+            counts: EnergyCounts::default(),
+            energy: Breakdown::new(),
+            phase_cost: Breakdown::new(),
+            op_tasks: Vec::new(),
+            compute_res,
+            wire_res,
+            cross_res,
+            batch: ctx.compiled.batch_size as u64,
+            t_m: ctx.reram.mmv_latency_ns(),
+            ctx,
+        }
+    }
+
+    fn threed(&self) -> bool {
+        self.ctx.compiled.options.connection == Connection::ThreeD
+    }
+
+    // ---- routes ---------------------------------------------------------
+
+    /// Route for an intra-phase hop between two adjacent tiles of the
+    /// phase's bank.
+    fn neighbor_route(&self, bank: BankSlot, tile: usize) -> Route {
+        let (mode, side) = if self.threed() {
+            (Mode::Cmode, bank.side)
+        } else {
+            (Mode::Smode, bank.side)
+        };
+        let b = if self.threed() { bank.bank } else { 0 };
+        let t0 = tile % self.ctx.noc.tiles_per_bank;
+        let t1 = (tile + 1) % self.ctx.noc.tiles_per_bank;
+        self.ctx
+            .pair
+            .route(
+                Endpoint::pair_tile(side, b, t0),
+                Endpoint::pair_tile(side, b, t1),
+                mode,
+            )
+            .expect("endpoints are valid")
+    }
+
+    /// Route through the shared bus out of (and back into) a bank — what
+    /// a phase pays when its allocation spills past the bank (Fig. 9's
+    /// inter-bank movement).
+    fn bus_route(&self, bank: BankSlot) -> Route {
+        let b = if self.threed() { bank.bank } else { 0 };
+        self.ctx
+            .pair
+            .route(
+                Endpoint::pair_tile(bank.side, b, 0),
+                Endpoint::pair_tile(1 - bank.side, b, 0),
+                Mode::Smode,
+            )
+            .expect("bus route exists")
+    }
+
+    /// Route that carries cached data from a forward bank to a backward
+    /// bank of the same side (vertical hop in 3D, H-tree + bus otherwise).
+    fn cross_bank_route(&self, side: usize, from_bank: usize, to_bank: usize) -> Route {
+        if self.threed() {
+            self.ctx
+                .pair
+                .route(
+                    Endpoint::pair_tile(side, from_bank, 0),
+                    Endpoint::pair_tile(side, to_bank, 0),
+                    Mode::Cmode,
+                )
+                .expect("endpoints are valid")
+        } else {
+            // H-tree baseline: the phases live in tile groups of a flat
+            // bank; data crosses the whole tree (and the shared bus when
+            // the model spills over a bank).
+            self.ctx
+                .pair
+                .route(
+                    Endpoint::pair_tile(side, 0, 0),
+                    Endpoint::pair_tile(side, 0, self.ctx.noc.tiles_per_bank - 1),
+                    Mode::Smode,
+                )
+                .expect("endpoints are valid")
+        }
+    }
+
+    /// Route between the generator side and the discriminator side.
+    fn cross_side_route(&self, from_bank: usize, to_bank: usize) -> Route {
+        let mode = if self.threed() {
+            Mode::Cmode
+        } else {
+            Mode::Smode
+        };
+        self.ctx
+            .pair
+            .route(
+                Endpoint::pair_tile(0, if self.threed() { from_bank } else { 0 }, 0),
+                Endpoint::pair_tile(1, if self.threed() { to_bank } else { 0 }, 0),
+                mode,
+            )
+            .expect("endpoints are valid")
+    }
+
+    /// Write time for `values` into a bank spanning `tiles` tiles.
+    fn write_time_ns(&self, values: u128, tiles: usize) -> f64 {
+        let per_tile_values_per_write = (self.ctx.cost.write_rows_parallel_per_tile as u128) * 32;
+        let writes = values.div_ceil(per_tile_values_per_write.max(1));
+        let parallel = tiles.max(1) as u128;
+        writes.div_ceil(parallel) as f64 * self.ctx.reram.tile_write_latency_ns
+    }
+
+    // ---- task emitters --------------------------------------------------
+
+    /// Emits the chained per-op transfer/compute tasks of one phase run.
+    fn run_phase(&mut self, phase: Phase, dep: Option<TaskId>) -> PhaseRun {
+        let cp = self.ctx.compiled.phase(phase);
+        let ops = self.ctx.compiled.graph.phase_ops(phase);
+        debug_assert_eq!(ops.len(), cp.layers.len(), "graph and mapping agree");
+        let comp_r = self.compute_res[&phase];
+        let alloc = &self.ctx.allocs[&phase];
+        let mut prev: Option<TaskId> = dep;
+        let mut first: Option<TaskId> = None;
+        for (li, (op, layer)) in ops.iter().zip(&cp.layers).enumerate() {
+            debug_assert_eq!(op.id, layer.op, "mapping binds the same op");
+            let wire_r = self.wire_res[&(op.bank.side, op.bank.bank)];
+            // Transfer of this layer's operand stream to its tiles.
+            // The plain H-tree cannot multicast: every tile holding
+            // distinct reshaped matrices receives its own copy of the
+            // stream through the shared tree — which is why duplication
+            // "achieves little speedup with H-tree connection"
+            // (Fig. 17). The 3DCU's reconfigured horizontal/vertical
+            // wires distribute in parallel.
+            let zfdm = self.ctx.compiled.options.scheme == ReshapeScheme::Zfdr;
+            let per_sample = if self.threed() && zfdm {
+                // ZFDM splits kernel weights so each part handles its
+                // vertically-aligned partial results (Fig. 14); the
+                // slices ride parallel short Cmode paths. Normal
+                // mapping keeps one monolithic stream and gains none
+                // of this.
+                layer
+                    .moved_values_per_sample
+                    .div_ceil(self.ctx.noc.cmode_parallel_channels as u128)
+            } else if layer.zfdr.is_some() {
+                // The H-tree unicasts each reshaped matrix its gathered
+                // slice of the input; the total stream approaches the
+                // im2col volume, bounded by the dense (zero-inserted)
+                // stream it replaces.
+                let gathered =
+                    layer.workload.macs_useful / layer.workload.out_channels.max(1) as u128;
+                gathered.min(layer.workload.moved_values_dense)
+            } else {
+                layer.moved_values_per_sample
+                    * (layer.tiles.min(self.ctx.noc.tiles_per_bank) as u128)
+            };
+            let moved = per_sample as u64 * self.batch;
+            // Fig. 14 hand-off: from the previous layer's last tile to
+            // this layer's first. A bank-boundary crossing (the phase
+            // spilled onto another 3DCU pair) pays the bus.
+            let from_tile = if li == 0 {
+                alloc.tile_for(0, 0).expect("phase has a first layer")
+            } else {
+                alloc.handoff(li - 1).expect("layers are consecutive").0
+            };
+            let crosses = li > 0
+                && alloc
+                    .handoff_crosses_bank(li - 1)
+                    .expect("layers are consecutive");
+            let route = if crosses {
+                self.bus_route(op.bank)
+            } else {
+                self.neighbor_route(op.bank, from_tile)
+            };
+            let (lat, en) = route.transfer(moved, self.ctx.noc);
+            let mut xfer = TaskSpec::new(format!("{phase} xfer L{}", op.layer_index), lat).on(wire_r);
+            if let Some(p) = prev {
+                xfer = xfer.after(p);
+            }
+            let xfer_id = self.engine.add_task(xfer);
+            self.energy.add("communication", en);
+            self.counts.buffer_values += moved as u128;
+            self.phase_cost.add(&phase.to_string(), lat);
+
+            // Compute.
+            let dur = layer.cycles_per_sample as f64 * self.t_m * self.batch as f64;
+            let comp = TaskSpec::new(format!("{phase} comp L{}", op.layer_index), dur)
+                .on(comp_r)
+                .after(xfer_id);
+            let comp_id = self.engine.add_task(comp);
+            let crossbar_ops = layer.crossbar_ops_per_sample * self.batch as u128;
+            self.counts.crossbar_mmv_ops += crossbar_ops;
+            self.phase_cost.add(&phase.to_string(), dur);
+
+            self.op_tasks.push(OpTask {
+                op: op.id,
+                label: format!("{phase} L{}", op.layer_index),
+                xfer: xfer_id,
+                compute: comp_id,
+                comm_energy_pj: en,
+                crossbar_ops,
+            });
+
+            first.get_or_insert(xfer_id);
+            prev = Some(comp_id);
+        }
+        PhaseRun {
+            first: first.expect("phases have at least one layer"),
+            last: prev.expect("phases have at least one layer"),
+        }
+    }
+
+    /// Mapping task: write a phase's operands into its bank.
+    fn map_phase(&mut self, phase: Phase, dep: Option<TaskId>) -> TaskId {
+        let bank = BankSlot::for_phase(phase);
+        let cp = self.ctx.compiled.phase(phase);
+        let wire_r = self.wire_res[&(bank.side, bank.bank)];
+        // ∇weight banks also stage one minibatch of cached
+        // activations alongside the reshaped operands.
+        let mut values =
+            (cp.stored_values() as f64 * self.ctx.cost.update_write_cell_fraction).ceil() as u128;
+        if phase.is_weight_grad() {
+            values += cp.moved_values_per_sample() * self.batch as u128;
+        }
+        let dur = self.write_time_ns(values, cp.tiles());
+        // Cell-switching energy lands via the tile breakdown.
+        self.counts.weight_writes += values;
+        let mut t = TaskSpec::new(format!("map {phase}"), dur).on(wire_r);
+        if let Some(d) = dep {
+            t = t.after(d);
+        }
+        self.engine.add_task(t)
+    }
+
+    /// Cross transfer on the bus/bypass resource.
+    fn cross_task(&mut self, label: &str, route: &Route, values: u64, dep: TaskId) -> TaskId {
+        let (lat, en) = route.transfer(values, self.ctx.noc);
+        self.energy.add("communication", en);
+        self.engine
+            .add_task(TaskSpec::new(label, lat).on(self.cross_res).after(dep))
+    }
+
+    /// Weight update of one model (rewrite every stored copy, stream the
+    /// gradients out through the CPU).
+    fn update_task(&mut self, generator: bool, dep: TaskId) -> TaskId {
+        let phases: [Phase; 3] = if generator {
+            [Phase::GForward, Phase::GBackward, Phase::GWeightGrad]
+        } else {
+            [Phase::DForward, Phase::DBackward, Phase::DWeightGrad]
+        };
+        // Every stored copy is rewritten with the new weights; gradients
+        // are read out of the ∇weight bank.
+        let stored: u128 = phases
+            .iter()
+            .map(|p| self.ctx.compiled.phase(*p).stored_values())
+            .sum();
+        let grads: u128 = self
+            .ctx
+            .compiled
+            .phase(if generator {
+                Phase::GWeightGrad
+            } else {
+                Phase::DWeightGrad
+            })
+            .layers
+            .iter()
+            .map(|l| l.workload.output_values)
+            .sum();
+        let flipped = (stored as f64 * self.ctx.cost.update_write_cell_fraction).ceil() as u128;
+        self.counts.weight_writes += flipped;
+        self.counts.sarray_read_values += grads;
+        self.counts.sarray_write_values += grads;
+        self.energy
+            .add("other", grads as f64 * self.ctx.cost.cpu_pj_per_value);
+        let tiles: usize = phases
+            .iter()
+            .map(|p| self.ctx.compiled.phase(*p).tiles())
+            .sum();
+        let dur = self.write_time_ns(flipped, tiles)
+            + self.ctx.cost.cpu_fixed_ns
+            + grads as f64 * self.ctx.cost.cpu_update_ns_per_value
+            + self.ctx.reram.bank_read_latency_ns
+            + self.ctx.reram.bank_write_latency_ns;
+        let label = if generator {
+            "update generator"
+        } else {
+            "update discriminator"
+        };
+        self.engine
+            .add_task(TaskSpec::new(label, dur).on(self.cross_res).after(dep))
+    }
+
+    // ---- the Fig. 13 script ---------------------------------------------
+
+    fn build(mut self) -> LoweredIteration {
+        // The FSM defines ordering; here we instantiate it with real
+        // durations and the Fig. 13 overlaps.
+        let script = MemoryController::iteration_script();
+        debug_assert!(!script.is_empty());
+
+        let mode_switch = self.engine.add_task(TaskSpec::new(
+            "configure switches",
+            self.ctx.cost.switch_config_ns,
+        ));
+
+        // ===== half 1: train the discriminator =====
+        let gf = self.run_phase(Phase::GForward, Some(mode_switch));
+        let g_out_values = self.batch
+            * self
+                .ctx
+                .gan
+                .generator
+                .layers
+                .last()
+                .map(|l| l.output_count(self.ctx.gan.generator.dims))
+                .unwrap_or(1) as u64;
+        let to_d = self.cross_side_route(0, 0);
+        let xfer_gd = self.cross_task("samples G->D", &to_d, g_out_values, gf.last);
+        let df = self.run_phase(Phase::DForward, Some(xfer_gd));
+        // Map D-w / D← while D→ runs (Fig. 13a).
+        let map_dw = self.map_phase(Phase::DWeightGrad, Some(xfer_gd));
+        let map_db = self.map_phase(Phase::DBackward, Some(mode_switch));
+        // Error at the output layer (CPU-local, small).
+        let err = self.engine.add_task(
+            TaskSpec::new("loss gradient", self.ctx.cost.cpu_fixed_ns).after(df.last),
+        );
+        // Activations hop from the forward bank down to D-w's bank.
+        let act_route = self.cross_bank_route(1, 0, 1);
+        let (act_lat, act_en) = act_route.transfer(
+            self.ctx
+                .compiled
+                .phase(Phase::DWeightGrad)
+                .moved_values_per_sample() as u64
+                * self.batch,
+            self.ctx.noc,
+        );
+        self.energy.add("communication", act_en);
+        let act_move = self
+            .engine
+            .add_task(TaskSpec::new("activations D->D-w", act_lat).after(df.last));
+        let db_barrier = self
+            .engine
+            .add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err, map_db]));
+        let db = self.run_phase(Phase::DBackward, Some(db_barrier));
+        let dw_barrier = self
+            .engine
+            .add_task(TaskSpec::new("D-w ready", 0.0).after_all(&[map_dw, act_move, db.first]));
+        let dw = self.run_phase(Phase::DWeightGrad, Some(dw_barrier));
+        let update_d = self.update_task(false, dw.last);
+
+        // ===== half 2: train the generator =====
+        let gf2 = self.run_phase(Phase::GForward, Some(update_d));
+        let map_gw = self.map_phase(Phase::GWeightGrad, Some(update_d));
+        let map_gb = self.map_phase(Phase::GBackward, Some(update_d));
+        let xfer_gd2 = self.cross_task("samples G->D (2)", &to_d, g_out_values, gf2.last);
+        let df2 = self.run_phase(Phase::DForward, Some(xfer_gd2));
+        let map_db2 = self.map_phase(Phase::DBackward, Some(update_d));
+        let err2 = self.engine.add_task(
+            TaskSpec::new("loss gradient (2)", self.ctx.cost.cpu_fixed_ns).after(df2.last),
+        );
+        let err_barrier = self
+            .engine
+            .add_task(TaskSpec::new("D← ready", 0.0).after_all(&[err2, map_db2]));
+        let db2 = self.run_phase(Phase::DBackward, Some(err_barrier));
+        // Error crosses B6 -> B3.
+        let back_route = self.cross_side_route(2, 2);
+        let gen_in_err_values = self.batch
+            * (self
+                .ctx
+                .gan
+                .generator
+                .layers
+                .last()
+                .map(|l| l.output_count(self.ctx.gan.generator.dims))
+                .unwrap_or(1) as u64);
+        let xfer_err = self.cross_task("error D->G", &back_route, gen_in_err_values, db2.last);
+        let gb_barrier = self
+            .engine
+            .add_task(TaskSpec::new("G← ready", 0.0).after_all(&[xfer_err, map_gb]));
+        let gb = self.run_phase(Phase::GBackward, Some(gb_barrier));
+        let gw_barrier = self
+            .engine
+            .add_task(TaskSpec::new("G-w ready", 0.0).after_all(&[gb.first, map_gw]));
+        let gw = self.run_phase(Phase::GWeightGrad, Some(gw_barrier));
+        let _update_g = self.update_task(true, gw.last);
+
+        LoweredIteration {
+            engine: self.engine,
+            counts: self.counts,
+            energy: self.energy,
+            phase_cost: self.phase_cost,
+            op_tasks: self.op_tasks,
+        }
+    }
+}

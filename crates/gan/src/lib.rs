@@ -1,11 +1,16 @@
 //! GAN topologies, training dataflows and a functional training substrate
 //! for the LerGAN reproduction.
 //!
-//! The crate provides four things:
+//! The crate provides five things:
 //!
 //! * [`topology`] — a parser for the paper's compact Table V notation
 //!   (`100f-(1024t-512t-256t-128t)(5k2s)-t3`) producing layer-exact
 //!   [`NetworkSpec`]s, and [`benchmarks`] with the eight evaluated GANs.
+//! * [`ir`] — the shared op-graph IR: one [`ir::OpGraph`] per GAN, built
+//!   once from the [`GanSpec`], whose [`ir::PhaseOp`] nodes carry the phase,
+//!   layer, zero structure, GEMM shape, B1–B6 bank and dataflow edges. The
+//!   analytic workloads, the functional trainer and `lergan-core`'s
+//!   compiler/schedule are all lowered from it.
 //! * [`phase`] / [`workload`] — the six training phases of Fig. 3
 //!   (G→, D→, D←, D-weight-grad, G←, G-weight-grad) and, for every
 //!   (phase, layer) pair, a [`workload::ConvWorkload`] characterising the
@@ -33,14 +38,18 @@
 pub mod analysis;
 pub mod benchmarks;
 pub mod data;
+pub mod ir;
 pub mod layer;
 pub mod phase;
 pub mod topology;
 pub mod train;
 pub mod workload;
 
+pub use ir::{BankSlot, GemmShape, OpGraph, OpId, PhaseOp};
 pub use layer::{ConvLayer, FcLayer, Layer, TconvLayer};
 pub use phase::Phase;
 pub use topology::{GanSpec, NetworkSpec, ParseTopologyError};
-pub use train::{CheckpointError, Gan, GanCheckpoint, LayerState, Sequential, UpdateRule};
+pub use train::{
+    CheckpointError, Gan, GanCheckpoint, LayerState, OpBinding, Sequential, UpdateRule,
+};
 pub use workload::{ConvWorkload, WorkloadKind};

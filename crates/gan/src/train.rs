@@ -10,7 +10,9 @@
 //! stable sigmoid-BCE formulation, whose output-layer error is
 //! `σ(logit) − target`.
 
+use crate::ir::{GemmShape, OpId};
 use crate::layer::Layer;
+use crate::phase::Phase;
 use crate::topology::NetworkSpec;
 use lergan_tensor::conv::wconv_weight_grad_zero_insert;
 use lergan_tensor::im2col::conv2d_gemm;
@@ -57,6 +59,14 @@ pub trait TrainableLayer {
                 count: state.len(),
             })
         }
+    }
+
+    /// The im2col GEMM this layer's forward pass executes, when known
+    /// statically: `m` output positions × `k` reduction length × `n` output
+    /// channels. `None` for layers that run no GEMM (activations, reshapes,
+    /// normalisation) or whose input extent is only fixed at run time.
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        None
     }
 }
 
@@ -396,12 +406,23 @@ impl TrainableLayer for DenseLayer {
         self.cached_shape.clear();
         Ok(())
     }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        Some(GemmShape {
+            m: 1,
+            k: self.weights.shape()[1] as u128,
+            n: self.weights.shape()[0] as u128,
+        })
+    }
 }
 
 /// Strided-convolution trainable layer.
 #[derive(Debug)]
 pub struct ConvTrainLayer {
     op: Conv2d,
+    /// The spec geometry (fixes the input extent), when built from one —
+    /// lets [`TrainableLayer::gemm_shape`] answer statically.
+    declared: Option<SconvGeometry>,
     weights: Tensor, // [oc, ic, k, k]
     grad: Tensor,
     cached_input: Option<Tensor>,
@@ -422,11 +443,32 @@ impl ConvTrainLayer {
         let shape = [out_channels, in_channels, kernel, kernel];
         Some(ConvTrainLayer {
             op,
+            declared: None,
             weights: he_init(rng, &shape, in_channels * kernel * kernel),
             grad: Tensor::zeros(&shape),
             cached_input: None,
             opt: OptState::default(),
         })
+    }
+
+    /// [`new`](ConvTrainLayer::new) from a full spec geometry, pinning the
+    /// input extent so the layer's GEMM shape is known statically.
+    pub fn from_geometry(
+        in_channels: usize,
+        out_channels: usize,
+        geometry: SconvGeometry,
+        rng: &mut StdRng,
+    ) -> Option<Self> {
+        let mut l = Self::new(
+            in_channels,
+            out_channels,
+            geometry.kernel,
+            geometry.stride,
+            geometry.pad,
+            rng,
+        )?;
+        l.declared = Some(geometry);
+        Some(l)
     }
 }
 
@@ -476,6 +518,16 @@ impl TrainableLayer for ConvTrainLayer {
         self.grad = Tensor::zeros(self.grad.shape());
         self.cached_input = None;
         Ok(())
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        let g = self.declared?;
+        let k = self.weights.shape()[3];
+        Some(GemmShape {
+            m: (g.output as u128).pow(2),
+            k: (self.weights.shape()[1] * k * k) as u128,
+            n: self.weights.shape()[0] as u128,
+        })
     }
 }
 
@@ -570,6 +622,17 @@ impl TrainableLayer for TconvTrainLayer {
         self.grad = Tensor::zeros(self.grad.shape());
         self.cached_expanded = None;
         Ok(())
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        // The stride-1 conv over the expanded input: output positions ×
+        // (in_channels · kernel²) reduction × out_channels.
+        let g = &self.geometry;
+        Some(GemmShape {
+            m: (g.output as u128).pow(2),
+            k: (self.weights.shape()[1] * g.kernel * g.kernel) as u128,
+            n: self.weights.shape()[0] as u128,
+        })
     }
 }
 
@@ -886,6 +949,11 @@ impl Sequential {
         self.layers.is_empty()
     }
 
+    /// The layer at stack position `index` (see [`OpBinding::train_index`]).
+    pub fn layer(&self, index: usize) -> &dyn TrainableLayer {
+        &*self.layers[index]
+    }
+
     /// Forward through all layers.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
@@ -983,10 +1051,57 @@ pub fn build_trainable_with(
     batch_norm: bool,
     rng: &mut StdRng,
 ) -> Sequential {
+    build_trainable_bound(spec, is_generator, batch_norm, rng).0
+}
+
+/// Binding from one forward-phase [`PhaseOp`](crate::ir::PhaseOp) to the
+/// trainer layer realising it inside a [`Sequential`] stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpBinding {
+    /// Id of the op inside its per-phase op list
+    /// ([`crate::ir::network_ops`] of the network's forward phase).
+    pub op: OpId,
+    /// Index of the layer inside the parsed [`NetworkSpec`].
+    pub layer_index: usize,
+    /// Stack position of the realising parameterised layer inside the
+    /// returned [`Sequential`] (reshapes/activations/norms occupy the
+    /// positions in between).
+    pub train_index: usize,
+}
+
+/// [`build_trainable_with`], additionally returning the stable
+/// op-id ↔ train-layer correspondence: the `Sequential` is constructed by
+/// walking the forward ops of the op-graph IR, and each op's realising
+/// layer is recorded in an [`OpBinding`]. This is what lets per-op
+/// schedule statistics be joined against the functional trainer.
+///
+/// # Panics
+///
+/// Panics if the spec is volumetric (`dims != 2`).
+pub fn build_trainable_bound(
+    spec: &NetworkSpec,
+    is_generator: bool,
+    batch_norm: bool,
+    rng: &mut StdRng,
+) -> (Sequential, Vec<OpBinding>) {
     assert_eq!(spec.dims, 2, "functional training supports 2-D networks");
+    let phase = if is_generator {
+        Phase::GForward
+    } else {
+        Phase::DForward
+    };
+    let ops = crate::ir::network_ops(spec, phase);
     let mut net = Sequential::new();
+    let mut bindings = Vec::with_capacity(ops.len());
     let n = spec.layers.len();
-    for (i, layer) in spec.layers.iter().enumerate() {
+    for op in &ops {
+        let i = op.layer_index;
+        let layer = &spec.layers[i];
+        bindings.push(OpBinding {
+            op: op.id,
+            layer_index: i,
+            train_index: net.len(),
+        });
         match layer {
             Layer::Fc(f) => {
                 net.push(Box::new(DenseLayer::new(f.in_units, f.out_units, rng)));
@@ -1000,17 +1115,9 @@ pub fn build_trainable_with(
                 }
             }
             Layer::Conv(c) => {
-                let g = &c.geometry;
                 net.push(Box::new(
-                    ConvTrainLayer::new(
-                        c.in_channels,
-                        c.out_channels,
-                        g.kernel,
-                        g.stride,
-                        g.pad,
-                        rng,
-                    )
-                    .expect("spec geometry is valid"),
+                    ConvTrainLayer::from_geometry(c.in_channels, c.out_channels, c.geometry, rng)
+                        .expect("spec geometry is valid"),
                 ));
             }
             Layer::Tconv(t) => {
@@ -1034,7 +1141,7 @@ pub fn build_trainable_with(
             net.push(Box::new(LeakyRelu::new(0.2)));
         }
     }
-    net
+    (net, bindings)
 }
 
 /// Statistics from one training step.

@@ -15,7 +15,6 @@
 //! G← and D→ stay dense. A DiscoGAN-style generator containing both kinds
 //! needs ZFDR in five phases.
 
-use crate::layer::Layer;
 use crate::phase::Phase;
 use crate::topology::NetworkSpec;
 use lergan_tensor::{TconvGeometry, WconvGeometry};
@@ -97,213 +96,16 @@ impl ConvWorkload {
     }
 }
 
-fn powd(v: usize, dims: u32) -> u128 {
-    (v as u128).pow(dims)
-}
-
 /// Builds the workload list for `phase` over `net`.
 ///
-/// Backward phases list layers in reverse (dataflow) order.
+/// Backward phases list layers in reverse (dataflow) order. This is the
+/// analytic projection of the op-graph IR: each [`crate::ir::PhaseOp`]
+/// contributes its [`ConvWorkload`], in dataflow order.
 pub fn phase_workloads(net: &NetworkSpec, phase: Phase) -> Vec<ConvWorkload> {
-    let d = net.dims;
-    let mut out = Vec::with_capacity(net.layers.len());
-    let indices: Vec<usize> = if phase.is_forward() {
-        (0..net.layers.len()).collect()
-    } else {
-        (0..net.layers.len()).rev().collect()
-    };
-    for idx in indices {
-        let layer = &net.layers[idx];
-        let w = match (phase.is_forward(), phase.is_weight_grad(), layer) {
-            // ---- forward ----
-            (true, _, Layer::Fc(f)) => dense(
-                phase,
-                idx,
-                d,
-                f.in_units,
-                f.out_units,
-                f.in_units as u128 * f.out_units as u128,
-                f.in_units as u128,
-                f.in_units as u128 * f.out_units as u128,
-                f.out_units as u128,
-            ),
-            (true, _, Layer::Conv(c)) => {
-                let g = &c.geometry;
-                dense(
-                    phase,
-                    idx,
-                    d,
-                    c.in_channels,
-                    c.out_channels,
-                    c.in_channels as u128
-                        * c.out_channels as u128
-                        * powd(g.output, d)
-                        * powd(g.kernel, d),
-                    c.in_channels as u128 * powd(g.input, d),
-                    c.in_channels as u128 * c.out_channels as u128 * powd(g.kernel, d),
-                    c.out_channels as u128 * powd(g.output, d),
-                )
-            }
-            (true, _, Layer::Tconv(t)) => {
-                let g = t.geometry;
-                let pair = t.in_channels as u128 * t.out_channels as u128;
-                ConvWorkload {
-                    phase,
-                    layer_index: idx,
-                    kind: WorkloadKind::TconvInput(g),
-                    in_channels: t.in_channels,
-                    out_channels: t.out_channels,
-                    macs_dense: pair * powd(g.output, d) * powd(g.kernel, d),
-                    macs_useful: pair * (g.useful_row_weight_sum() as u128).pow(d),
-                    moved_values_dense: t.in_channels as u128 * powd(g.expanded(), d),
-                    moved_values_useful: t.in_channels as u128 * powd(g.input, d),
-                    weight_values: pair * powd(g.kernel, d),
-                    output_values: t.out_channels as u128 * powd(g.output, d),
-                    dims: d,
-                }
-            }
-            // ---- weight gradient ----
-            (false, true, Layer::Fc(f)) => dense(
-                phase,
-                idx,
-                d,
-                f.out_units,
-                f.in_units,
-                f.in_units as u128 * f.out_units as u128,
-                f.in_units as u128 + f.out_units as u128,
-                0,
-                f.in_units as u128 * f.out_units as u128,
-            ),
-            (false, true, Layer::Conv(c)) => {
-                // W-CONV-S: zero-inserted ∇output slides over the padded
-                // input (Fig. 6).
-                let g = WconvGeometry {
-                    forward: c.geometry,
-                };
-                let pair = c.in_channels as u128 * c.out_channels as u128;
-                let f = &g.forward;
-                ConvWorkload {
-                    phase,
-                    layer_index: idx,
-                    kind: WorkloadKind::WconvKernel(g),
-                    in_channels: c.out_channels, // the moving ∇output
-                    out_channels: c.in_channels,
-                    macs_dense: pair * g.total_multiplications_per_pair() as u128,
-                    macs_useful: pair * g.useful_multiplications_per_pair() as u128,
-                    moved_values_dense: c.in_channels as u128 * powd(g.padded_input_extent(), d)
-                        + c.out_channels as u128 * powd(g.inserted_kernel_extent(), d),
-                    moved_values_useful: c.in_channels as u128 * powd(f.input, d)
-                        + c.out_channels as u128 * powd(f.output, d),
-                    weight_values: 0,
-                    output_values: pair * powd(f.kernel, d),
-                    dims: d,
-                }
-            }
-            (false, true, Layer::Tconv(t)) => {
-                // ∇W of a T-CONV: ∇z (dense) scans the zero-inserted input
-                // a^{l-1}; same zero structure as the forward T-CONV.
-                let g = t.geometry;
-                let pair = t.in_channels as u128 * t.out_channels as u128;
-                ConvWorkload {
-                    phase,
-                    layer_index: idx,
-                    kind: WorkloadKind::TconvInput(g),
-                    in_channels: t.in_channels,
-                    out_channels: t.out_channels,
-                    macs_dense: pair * powd(g.kernel, d) * powd(g.output, d),
-                    macs_useful: pair * (g.useful_row_weight_sum() as u128).pow(d),
-                    moved_values_dense: t.in_channels as u128 * powd(g.expanded(), d)
-                        + t.out_channels as u128 * powd(g.output, d),
-                    moved_values_useful: t.in_channels as u128 * powd(g.input, d)
-                        + t.out_channels as u128 * powd(g.output, d),
-                    weight_values: t.out_channels as u128 * powd(g.output, d),
-                    output_values: pair * powd(g.kernel, d),
-                    dims: d,
-                }
-            }
-            // ---- error transfer ----
-            (false, false, Layer::Fc(f)) => dense(
-                phase,
-                idx,
-                d,
-                f.out_units,
-                f.in_units,
-                f.in_units as u128 * f.out_units as u128,
-                f.out_units as u128,
-                f.in_units as u128 * f.out_units as u128,
-                f.in_units as u128,
-            ),
-            (false, false, Layer::Conv(c)) => {
-                // Error through an S-CONV is T-CONV-shaped (Eq. 3): the
-                // converse geometry always exists because Eq. 5 and Eq. 8
-                // are the same relation read in opposite directions.
-                let g = c.geometry;
-                let tg = TconvGeometry::new(g.output, g.input, g.kernel, g.stride, g.pad)
-                    .expect("converse T-CONV geometry must exist (Eq. 5 <=> Eq. 8)");
-                let pair = c.in_channels as u128 * c.out_channels as u128;
-                ConvWorkload {
-                    phase,
-                    layer_index: idx,
-                    kind: WorkloadKind::TconvInput(tg),
-                    in_channels: c.out_channels,
-                    out_channels: c.in_channels,
-                    macs_dense: pair * powd(tg.output, d) * powd(tg.kernel, d),
-                    macs_useful: pair * (tg.useful_row_weight_sum() as u128).pow(d),
-                    moved_values_dense: c.out_channels as u128 * powd(tg.expanded(), d),
-                    moved_values_useful: c.out_channels as u128 * powd(tg.input, d),
-                    weight_values: pair * powd(g.kernel, d),
-                    output_values: c.in_channels as u128 * powd(g.input, d),
-                    dims: d,
-                }
-            }
-            (false, false, Layer::Tconv(t)) => {
-                // Error through a T-CONV is a plain dense S-CONV.
-                let g = t.geometry;
-                let pair = t.in_channels as u128 * t.out_channels as u128;
-                dense(
-                    phase,
-                    idx,
-                    d,
-                    t.out_channels,
-                    t.in_channels,
-                    pair * powd(g.input, d) * powd(g.kernel, d),
-                    t.out_channels as u128 * powd(g.output, d),
-                    pair * powd(g.kernel, d),
-                    t.in_channels as u128 * powd(g.input, d),
-                )
-            }
-        };
-        out.push(w);
-    }
-    out
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dense(
-    phase: Phase,
-    layer_index: usize,
-    dims: u32,
-    in_channels: usize,
-    out_channels: usize,
-    macs: u128,
-    moved: u128,
-    weights: u128,
-    outputs: u128,
-) -> ConvWorkload {
-    ConvWorkload {
-        phase,
-        layer_index,
-        kind: WorkloadKind::Dense,
-        in_channels,
-        out_channels,
-        macs_dense: macs,
-        macs_useful: macs,
-        moved_values_dense: moved,
-        moved_values_useful: moved,
-        weight_values: weights,
-        output_values: outputs,
-        dims,
-    }
+    crate::ir::network_ops(net, phase)
+        .into_iter()
+        .map(|op| op.workload)
+        .collect()
 }
 
 #[cfg(test)]

@@ -64,6 +64,31 @@ struct Resource {
     capacity: usize,
 }
 
+/// Heap key for the ready queue: `(ready time, insertion index)`, popped
+/// smallest-first. `ready_ns` is finite (task durations are validated), so
+/// `total_cmp` agrees with the `partial_cmp` the linear scan uses.
+#[derive(Debug, PartialEq)]
+struct ReadyKey {
+    ready_ns: f64,
+    index: usize,
+}
+
+impl Eq for ReadyKey {}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ready_ns
+            .total_cmp(&other.ready_ns)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The scheduler.
 #[derive(Debug, Default)]
 pub struct Engine {
@@ -181,22 +206,75 @@ impl Engine {
 
     /// Runs the schedule to completion.
     ///
+    /// The ready queue is a binary heap keyed `(ready time, insertion
+    /// index)`. A task's ready time is *final* by the time it enters the
+    /// queue — tasks are pushed only when their last dependency resolves,
+    /// and `ready_at` is never written afterwards — so the key frozen at
+    /// push time equals the value a linear min-scan would read at pop time
+    /// and the heap schedule is identical to
+    /// [`run_linear_reference`](Self::run_linear_reference) (the property
+    /// test `scheduler_equivalence` checks this on random DAGs).
+    ///
     /// # Panics
     ///
     /// Panics if the dependency graph contains a cycle.
     pub fn run(&self) -> Schedule {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
         let n = self.tasks.len();
         let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, t) in self.tasks.iter().enumerate() {
-            for d in &t.deps {
-                dependents[d.0].push(i);
-            }
-        }
+        let dependents = self.dependents();
         let mut ready_at: Vec<f64> = vec![0.0; n];
         let mut starts = vec![f64::NAN; n];
         let mut finishes = vec![f64::NAN; n];
         // Per-resource list of occupancy intervals (start, finish).
+        let mut busy: Vec<Vec<(f64, f64)>> = self.resources.iter().map(|_| Vec::new()).collect();
+        // Ready queue popped in (ready time, insertion index) order.
+        let mut ready: BinaryHeap<Reverse<ReadyKey>> = (0..n)
+            .filter(|&i| remaining_deps[i] == 0)
+            .map(|i| {
+                Reverse(ReadyKey {
+                    ready_ns: 0.0,
+                    index: i,
+                })
+            })
+            .collect();
+        let mut scheduled = 0usize;
+        while scheduled < n {
+            let Some(Reverse(key)) = ready.pop() else {
+                panic!("dependency cycle: no ready task among the remaining ones");
+            };
+            let i = key.index;
+            let (start, finish) = self.place(i, ready_at[i], &mut busy);
+            starts[i] = start;
+            finishes[i] = finish;
+            scheduled += 1;
+            for &dep in &dependents[i] {
+                remaining_deps[dep] -= 1;
+                ready_at[dep] = ready_at[dep].max(finish);
+                if remaining_deps[dep] == 0 {
+                    ready.push(Reverse(ReadyKey {
+                        ready_ns: ready_at[dep],
+                        index: dep,
+                    }));
+                }
+            }
+        }
+        self.collect(starts, finishes, &busy)
+    }
+
+    /// The original O(n²) scheduler — a linear min-scan over a `Vec` ready
+    /// queue. Kept as the oracle for the heap-equivalence property test;
+    /// produces bit-identical schedules to [`run`](Self::run).
+    #[doc(hidden)]
+    pub fn run_linear_reference(&self) -> Schedule {
+        let n = self.tasks.len();
+        let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let dependents = self.dependents();
+        let mut ready_at: Vec<f64> = vec![0.0; n];
+        let mut starts = vec![f64::NAN; n];
+        let mut finishes = vec![f64::NAN; n];
         let mut busy: Vec<Vec<(f64, f64)>> = self.resources.iter().map(|_| Vec::new()).collect();
         // Ready queue ordered by (ready time, insertion index).
         let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
@@ -219,28 +297,7 @@ impl Engine {
                 .map(|(p, _)| p)
                 .expect("non-empty ready queue");
             let i = ready.swap_remove(pos);
-            let spec = &self.tasks[i];
-            let mut start = ready_at[i];
-            if let Some(r) = spec.resource {
-                let q = &mut busy[r.0];
-                let cap = self.resources[r.0].capacity;
-                // Earliest time >= start with fewer than `cap` overlapping
-                // occupancies: advance to the next finish among overlaps
-                // until a slot frees up.
-                loop {
-                    let overlapping: Vec<f64> = q
-                        .iter()
-                        .filter(|&&(s, f)| s <= start && start < f)
-                        .map(|&(_, f)| f)
-                        .collect();
-                    if overlapping.len() < cap {
-                        break;
-                    }
-                    start = overlapping.iter().copied().fold(f64::INFINITY, f64::min);
-                }
-                q.push((start, start + spec.duration_ns));
-            }
-            let finish = start + spec.duration_ns;
+            let (start, finish) = self.place(i, ready_at[i], &mut busy);
             starts[i] = start;
             finishes[i] = finish;
             scheduled += 1;
@@ -252,6 +309,48 @@ impl Engine {
                 }
             }
         }
+        self.collect(starts, finishes, &busy)
+    }
+
+    /// Reverse dependency lists, indexed by producer.
+    fn dependents(&self) -> Vec<Vec<usize>> {
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                dependents[d.0].push(i);
+            }
+        }
+        dependents
+    }
+
+    /// Places task `i` at the earliest time `>= ready_ns` its resource
+    /// admits, records the occupancy, and returns `(start, finish)`.
+    fn place(&self, i: usize, ready_ns: f64, busy: &mut [Vec<(f64, f64)>]) -> (f64, f64) {
+        let spec = &self.tasks[i];
+        let mut start = ready_ns;
+        if let Some(r) = spec.resource {
+            let q = &mut busy[r.0];
+            let cap = self.resources[r.0].capacity;
+            // Earliest time >= start with fewer than `cap` overlapping
+            // occupancies: advance to the next finish among overlaps
+            // until a slot frees up.
+            loop {
+                let overlapping: Vec<f64> = q
+                    .iter()
+                    .filter(|&&(s, f)| s <= start && start < f)
+                    .map(|&(_, f)| f)
+                    .collect();
+                if overlapping.len() < cap {
+                    break;
+                }
+                start = overlapping.iter().copied().fold(f64::INFINITY, f64::min);
+            }
+            q.push((start, start + spec.duration_ns));
+        }
+        (start, start + spec.duration_ns)
+    }
+
+    fn collect(&self, starts: Vec<f64>, finishes: Vec<f64>, busy: &[Vec<(f64, f64)>]) -> Schedule {
         let resource_busy: Vec<f64> = busy
             .iter()
             .map(|intervals| intervals.iter().map(|(s, f)| f - s).sum())

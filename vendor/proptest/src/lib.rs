@@ -319,7 +319,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
     /// half-open `Range<usize>`.
     pub trait SizeRange {
         /// `(min, max)` half-open bounds.
@@ -345,7 +345,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
