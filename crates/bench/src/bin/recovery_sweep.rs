@@ -1,0 +1,189 @@
+//! Self-healing runtime sweep over wear rates, written to
+//! `BENCH_recovery.json`.
+//!
+//! Each row trains the same seeded DCGAN-class trainer under the
+//! [`SelfHealingRuntime`] while a different endurance distribution breaks
+//! cells of the ABFT-monitored block mid-run. The sweep reports what the
+//! online detection-and-recovery loop costs:
+//!
+//! * **detection overhead** — the checksum column's extra read work as a
+//!   fraction of compute (constant `1/cols`, paid even when nothing fails),
+//! * **MTTR** — mean recovery latency per detected fault (backoff, scans,
+//!   reprograms, remap switch epochs, rollback replays),
+//! * **rollback frequency** — how often the ladder exhausted relocation
+//!   and remap and had to restore a checkpoint, and
+//! * **slowdown** — total wall-clock versus the fault-free twin, which is
+//!   `>= 1` by construction.
+//!
+//! Everything is seeded; running the sweep twice produces byte-identical
+//! JSON. Usage: `recovery_sweep [output.json]` (default
+//! `BENCH_recovery.json`).
+
+use lergan_core::{RecoveryPolicy, SelfHealingRuntime, SystemFaults};
+use lergan_gan::topology::parse_network;
+use lergan_gan::train::{build_trainable_with, Gan, UpdateRule};
+use lergan_gan::{benchmarks, Phase};
+use lergan_reram::{FaultMap, WearModel};
+use lergan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STEPS: u64 = 30;
+
+fn trainer() -> Gan {
+    let g_spec = parse_network("g", "8f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+    let d_spec = parse_network("d", "(1c-8c)(3k2s)-f1", 2, 16).unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = build_trainable_with(&g_spec, true, false, &mut rng);
+    let d = build_trainable_with(&d_spec, false, false, &mut rng);
+    Gan::new(g, d, 8, 0.0, 77).with_optimizer(UpdateRule::dcgan_adam(0.01))
+}
+
+fn batch(rng: &mut StdRng) -> Vec<Tensor> {
+    (0..2)
+        .map(|_| {
+            let v = 0.5 + (rng.gen::<f32>() - 0.5) * 0.2;
+            Tensor::filled(&[1, 16, 16], v)
+        })
+        .collect()
+}
+
+struct Scenario {
+    label: &'static str,
+    wear: WearModel,
+    /// Pre-existing stuck-at rate seeded across the bank.
+    stuck_rate: f64,
+    /// Tiles already dead before the run starts.
+    dead_tiles: usize,
+    /// Stuck cells across the hosting tile that condemn it.
+    tile_kill_cells: usize,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let spec = benchmarks::dcgan();
+
+    // Endurance means span "barely wears out inside the run" down to "the
+    // block dies twice per checkpoint interval". The dirty-bank scenario
+    // adds a pre-damaged cell array so relocation retries tend to fail;
+    // the exhausted-capacity scenario leaves too few healthy tiles for a
+    // remap, forcing the checkpoint-rollback arm of the ladder.
+    let default_kill = RecoveryPolicy::default().tile_kill_cells;
+    let scenarios = [
+        Scenario {
+            label: "no_wear",
+            wear: WearModel::disabled(),
+            stuck_rate: 0.0,
+            dead_tiles: 0,
+            tile_kill_cells: default_kill,
+        },
+        Scenario {
+            label: "mild_wear",
+            wear: WearModel::new(25, 1.5, 0xD1E),
+            stuck_rate: 0.0,
+            dead_tiles: 0,
+            tile_kill_cells: default_kill,
+        },
+        Scenario {
+            label: "harsh_wear",
+            wear: WearModel::new(15, 1.3, 0xFEED),
+            stuck_rate: 0.0,
+            dead_tiles: 0,
+            tile_kill_cells: default_kill,
+        },
+        Scenario {
+            label: "harsh_wear_dirty_bank",
+            wear: WearModel::new(10, 1.2, 0xACE),
+            stuck_rate: 0.0005,
+            dead_tiles: 0,
+            tile_kill_cells: default_kill,
+        },
+        Scenario {
+            label: "harsh_wear_no_spare_tiles",
+            wear: WearModel::new(10, 1.2, 0xACE),
+            stuck_rate: 0.0,
+            dead_tiles: 14,
+            tile_kill_cells: 64,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for sc in &scenarios {
+        let mut faults = SystemFaults::none();
+        if sc.stuck_rate > 0.0 {
+            *faults.bank_mut(Phase::GForward) =
+                FaultMap::seeded(0x5EED, sc.stuck_rate, 300_000);
+        }
+        for t in 1..=sc.dead_tiles {
+            faults.bank_mut(Phase::GForward).kill_tile(t);
+        }
+        let policy = RecoveryPolicy {
+            tile_kill_cells: sc.tile_kill_cells,
+            ..RecoveryPolicy::default()
+        };
+        let mut rt = SelfHealingRuntime::new(&spec, trainer(), faults, policy, sc.wear)
+            .expect("sweep scenarios stay within surviving capacity");
+        let mut rng = StdRng::seed_from_u64(3);
+        rt.run(STEPS, |_| batch(&mut rng))
+            .expect("self-healing run completes");
+        let r = rt.report().clone();
+        assert!(
+            r.slowdown() >= 1.0,
+            "degraded runs can never beat the clean baseline"
+        );
+
+        println!(
+            "{:<22} detected {:>2}, corrected {:>2}, remapped {:>2}, rolled back {:>2}, \
+             overhead {:.3}%, mttr {:>12.0} ns, slowdown {:.4}x",
+            sc.label,
+            r.detected,
+            r.corrected,
+            r.remapped,
+            r.rolled_back,
+            r.detection_overhead_frac() * 100.0,
+            r.mttr_ns(),
+            r.slowdown()
+        );
+        rows.push((sc, r));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"benchmark\": \"dcgan\", \"steps\": {STEPS}, \
+         \"checkpoint_interval\": {}, \"monitored_block\": \"32x32+checksum\" }},\n",
+        RecoveryPolicy::default().checkpoint_interval
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, (sc, r)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"scenario\": \"{}\", \"endurance_mean\": {}, \"stuck_rate\": {}, \
+             \"detected\": {}, \"corrected\": {}, \"remapped\": {}, \"rolled_back\": {}, \
+             \"retries\": {}, \"wear_broken_cells\": {}, \"quarantined_cells\": {}, \
+             \"checkpoints_taken\": {}, \"replayed_steps\": {}, \
+             \"detection_overhead_pct\": {:.4}, \"mttr_ns\": {:.0}, \
+             \"rollback_rate\": {:.6}, \"slowdown\": {:.6} }}{}\n",
+            sc.label,
+            sc.wear.endurance_mean,
+            sc.stuck_rate,
+            r.detected,
+            r.corrected,
+            r.remapped,
+            r.rolled_back,
+            r.retries,
+            r.wear_broken_cells,
+            r.quarantined_cells,
+            r.checkpoints_taken,
+            r.replayed_steps,
+            r.detection_overhead_frac() * 100.0,
+            r.mttr_ns(),
+            r.rollback_rate(),
+            r.slowdown(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write sweep");
+    println!("wrote {out_path}");
+}

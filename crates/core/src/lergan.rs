@@ -428,7 +428,12 @@ impl LerGan {
             cost: &self.cost,
         };
         let lowered = schedule::lower_iteration(&ctx);
-        let schedule = lowered.engine.run();
+        // The lowering emits dependencies strictly from earlier to later
+        // tasks, so the DAG is acyclic by construction.
+        let schedule = lowered
+            .engine
+            .run()
+            .expect("iteration DAG is acyclic by construction");
         let iteration_latency_ns = schedule.makespan_ns();
         let mut resource_busy = Breakdown::new();
         for (label, busy) in schedule.resources() {

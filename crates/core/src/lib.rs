@@ -44,6 +44,7 @@ pub mod controller;
 pub mod fault;
 pub mod lergan;
 pub mod mapping;
+pub mod recovery;
 pub mod replica;
 pub mod schedule;
 pub mod zfdr;
@@ -52,6 +53,9 @@ pub use compiler::{CompiledGan, CompilerOptions, Connection, ReshapeScheme};
 pub use fault::{DegradationReport, FaultError, SystemFaults};
 pub use lergan::{BuildError, LerGan, LerGanBuilder, TrainingReport};
 pub use mapping::{MappingError, TileAllocation};
+pub use recovery::{
+    RecoveryError, RecoveryPolicy, RecoveryReport, SelfHealingRuntime, StepReport,
+};
 pub use replica::{ReplicaDegree, ReplicaPlan};
 pub use schedule::{LoweredIteration, OpTask, ScheduleContext};
 pub use zfdr::{ZfdrPlan, ZfdrStats};

@@ -9,11 +9,19 @@
 //! next 3DCU pair and the crossing pays the bus.
 //!
 //! The allocation is *fault-aware*: [`TileAllocation::for_phase_avoiding`]
-//! maps layers onto the bank's **healthy** tiles only, skipping dead ones
-//! (a bank's spare capacity is simply its surviving tiles). Logical slice
-//! indices stay contiguous; only the logical→physical translation changes,
-//! so with zero dead tiles the allocation is identical — slot for slot —
-//! to the fault-free mapping.
+//! maps layers onto the bank's **healthy** tiles only, skipping dead ones.
+//! The translation is *position-preserving*: a slice whose nominal tile is
+//! healthy stays exactly where the fault-free mapping put it, and only
+//! slices that landed on a dead tile are relocated to spare tiles beyond
+//! the phase's footprint. Preserving positions keeps the dataflow chain's
+//! hop distances identical wherever no fault forced a move, so a degraded
+//! bank can never *gain* latency from a remap (relocated hops only grow) —
+//! the `slowdown >= 1.0` invariant the degradation twin relies on. The
+//! earlier compaction scheme (shift everything left over the survivors)
+//! violated that: shifting layer boundaries off expensive H-tree crossings
+//! made some faulted runs measurably faster than fault-free ones. With
+//! zero dead tiles the translation is the identity and the allocation is
+//! bit-identical to the fault-free mapping.
 
 use crate::compiler::CompiledPhase;
 use std::collections::BTreeSet;
@@ -87,10 +95,14 @@ impl TileRange {
 pub struct TileAllocation {
     ranges: Vec<TileRange>,
     tiles_per_bank: usize,
-    /// Healthy physical tiles, ascending. Logical tile `i` lives on
-    /// physical tile `slots[i % slots.len()]`; with no dead tiles this is
-    /// the identity map.
-    slots: Vec<usize>,
+    /// Number of healthy tiles in the bank.
+    healthy: usize,
+    /// Position-preserving logical→physical translation, indexed by the
+    /// nominal position `logical % tiles_per_bank`. Healthy positions map
+    /// to themselves; dead positions map to spare healthy tiles outside
+    /// the phase's footprint (cycling over all survivors once spares run
+    /// out). With no dead tiles this is the identity map.
+    table: Vec<usize>,
 }
 
 impl TileAllocation {
@@ -102,10 +114,12 @@ impl TileAllocation {
     }
 
     /// Allocates a phase's layers onto the bank's healthy tiles, skipping
-    /// the `dead` ones. Layers keep their consecutive logical ranges; the
-    /// physical translation compacts onto survivors, so losing tiles
-    /// shrinks the effective bank (and may push the tail onto the next
-    /// 3DCU pair) without leaving holes in the dataflow chain.
+    /// the `dead` ones. Layers keep their consecutive logical ranges and
+    /// their fault-free physical positions; only slices whose nominal tile
+    /// is dead relocate to spare tiles past the phase's footprint (lowest
+    /// spare first, then cycling over all survivors). Capacity still
+    /// shrinks with every dead tile, so a degraded allocation can overflow
+    /// onto the next 3DCU pair where the fault-free one fit.
     ///
     /// # Errors
     ///
@@ -116,10 +130,10 @@ impl TileAllocation {
         tiles_per_bank: usize,
         dead: &BTreeSet<usize>,
     ) -> Result<Self, MappingError> {
-        let slots: Vec<usize> = (0..tiles_per_bank)
+        let survivors: Vec<usize> = (0..tiles_per_bank)
             .filter(|t| !dead.contains(t))
             .collect();
-        if slots.is_empty() {
+        if survivors.is_empty() {
             return Err(MappingError::NoHealthyTiles {
                 tiles_per_bank,
                 dead: dead.len(),
@@ -134,16 +148,38 @@ impl TileAllocation {
             });
             cursor += layer.tiles.max(1);
         }
+        // Position-preserving translation: the phase's footprint covers
+        // nominal positions 0..min(demanded, bank); spares are the healthy
+        // tiles beyond it. Dead positions (footprint or not) take the next
+        // spare, falling back to cycling over the survivors when demand
+        // leaves no tile unused.
+        let footprint = cursor.min(tiles_per_bank);
+        let mut spares = (footprint..tiles_per_bank).filter(|t| !dead.contains(t));
+        let mut overflow = 0usize;
+        let table = (0..tiles_per_bank)
+            .map(|p| {
+                if !dead.contains(&p) {
+                    p
+                } else if let Some(s) = spares.next() {
+                    s
+                } else {
+                    let s = survivors[overflow % survivors.len()];
+                    overflow += 1;
+                    s
+                }
+            })
+            .collect();
         Ok(TileAllocation {
             ranges,
             tiles_per_bank,
-            slots,
+            healthy: survivors.len(),
+            table,
         })
     }
 
     /// Healthy tiles per bank (equals `tiles_per_bank` when fault-free).
     pub fn healthy_tiles(&self) -> usize {
-        self.slots.len()
+        self.healthy
     }
 
     /// The range of a layer (by position within the phase).
@@ -168,7 +204,7 @@ impl TileAllocation {
     /// Returns [`MappingError::LayerOutOfRange`] for a bad layer index.
     pub fn tile_for(&self, layer: usize, slice: usize) -> Result<usize, MappingError> {
         let r = self.range(layer)?;
-        Ok(self.slots[(r.start + slice) % self.slots.len()])
+        Ok(self.table[(r.start + slice) % self.tiles_per_bank])
     }
 
     /// Total tiles demanded by the phase (may exceed one bank).
@@ -180,7 +216,7 @@ impl TileAllocation {
     /// the effective bank, so a degraded allocation can overflow where the
     /// fault-free one fit.
     pub fn overflow_pairs(&self) -> usize {
-        self.tiles_demanded().saturating_sub(1) / self.slots.len()
+        self.tiles_demanded().saturating_sub(1) / self.healthy
     }
 
     /// The physical tile pair an inter-layer transfer crosses: the last
@@ -194,10 +230,10 @@ impl TileAllocation {
     pub fn handoff(&self, layer: usize) -> Result<(usize, usize), MappingError> {
         let from = self.range(layer)?;
         let to = self.range(layer + 1)?;
-        let n = self.slots.len();
+        let n = self.tiles_per_bank;
         Ok((
-            self.slots[(from.start + from.count.max(1) - 1) % n],
-            self.slots[to.start % n],
+            self.table[(from.start + from.count.max(1) - 1) % n],
+            self.table[to.start % n],
         ))
     }
 
@@ -211,7 +247,8 @@ impl TileAllocation {
     pub fn handoff_crosses_bank(&self, layer: usize) -> Result<bool, MappingError> {
         let from = self.range(layer)?;
         let to = self.range(layer + 1)?;
-        let n = self.slots.len();
+        // Capacity-based wrap: losing tiles shrinks the effective bank.
+        let n = self.healthy;
         let last = from.start + from.count.max(1) - 1;
         Ok(last / n != to.start / n)
     }
@@ -357,6 +394,38 @@ mod tests {
         for layer in 0..alloc.len() - 1 {
             let (from, to) = alloc.handoff(layer).unwrap();
             assert!(!dead.contains(&from) && !dead.contains(&to));
+        }
+    }
+
+    #[test]
+    fn remap_preserves_positions_and_substitutes_spares() {
+        let phase = dcgan_gforward();
+        let clean = TileAllocation::for_phase(&phase, 16);
+        let demanded = clean.tiles_demanded();
+        assert!(demanded < 16, "test assumes the phase leaves spare tiles");
+        let dead: BTreeSet<usize> = [3usize].into_iter().collect();
+        let alloc = TileAllocation::for_phase_avoiding(&phase, 16, &dead).unwrap();
+        for layer in 0..alloc.len() {
+            let r = alloc.range(layer).unwrap();
+            for slice in 0..r.count {
+                let nominal = clean.tile_for(layer, slice).unwrap();
+                let got = alloc.tile_for(layer, slice).unwrap();
+                if nominal == 3 {
+                    // Relocated to the lowest spare beyond the footprint.
+                    assert_eq!(got, demanded, "layer {layer} slice {slice}");
+                } else {
+                    // Everything else stays exactly where it was.
+                    assert_eq!(got, nominal, "layer {layer} slice {slice}");
+                }
+            }
+        }
+        // Hand-offs not involving the dead tile are untouched.
+        for layer in 0..alloc.len() - 1 {
+            let (cf, ct) = clean.handoff(layer).unwrap();
+            let (df, dt) = alloc.handoff(layer).unwrap();
+            if cf != 3 && ct != 3 {
+                assert_eq!((df, dt), (cf, ct), "handoff after layer {layer}");
+            }
         }
     }
 

@@ -1,0 +1,763 @@
+//! The self-healing training runtime: online ABFT detection, mid-run
+//! remap, and checkpoint-rollback recovery.
+//!
+//! Everything the fault stack could do before this module was *static*:
+//! a [`SystemFaults`] scenario was fixed before the build, and
+//! [`crate::LerGan::degradation_report`] quantified its cost. Real
+//! hardware does not hold still — training *writes* weights every step,
+//! write endurance is finite, and a cell that verified at step *k* can be
+//! stuck at step *k + 1*, silently corrupting MMV outputs until something
+//! notices. [`SelfHealingRuntime`] closes that loop online:
+//!
+//! 1. **Detect** — the runtime keeps a monitored weight block with an
+//!    ABFT checksum column ([`lergan_reram::AbftBlock`]) on the `G→`
+//!    bank. Every step the training update pulses the block's cells
+//!    ([`lergan_reram::FaultMap::advance_wear`] against a seeded
+//!    [`WearModel`]), and the following checked MMV yields a residual.
+//!    A residual above [`RecoveryPolicy::residual_threshold`] raises a
+//!    [`FaultEvent`].
+//! 2. **Quarantine + retry** — the suspect cells pinned by the diagnostic
+//!    read-back are already frozen in the live [`lergan_reram::FaultMap`]; the
+//!    controller relocates the block to the next spare region and
+//!    replays, up to [`RecoveryPolicy::max_retries`] attempts with
+//!    exponential backoff, charging every reprogram's latency and energy.
+//!    A clean replay resolves the event as [`RecoveryAction::Corrected`].
+//! 3. **Remap** — a *burst* of quarantined cells
+//!    (≥ [`RecoveryPolicy::tile_kill_cells`]) condemns the hosting tile:
+//!    the runtime kills it in the live fault map and rebuilds the
+//!    accelerator, which re-runs `TileAllocation::for_phase_avoiding`
+//!    for the affected bank (the other banks' dead sets are unchanged,
+//!    so their allocations come out identical). The iteration latency is
+//!    re-simulated on the degraded mapping —
+//!    [`RecoveryAction::Remapped`].
+//! 4. **Roll back** — when the retry budget exhausts without a clean
+//!    replay, or the remap is impossible (a typed [`BuildError`]), the
+//!    trainer restores the last periodic checkpoint
+//!    ([`lergan_gan::train::AutoCheckpoint`]) and replays the buffered
+//!    batches — [`RecoveryAction::RolledBack`]. Because the functional
+//!    trainer is pure `f32` math and the replayed batches are the same,
+//!    the resumed trajectory is **bit-exact** against a never-faulted
+//!    run; hardware faults cost throughput, never correctness.
+//!
+//! Every decision is deterministic (seeded wear limits, seeded freeze
+//! polarities, explicit fault state), so a recovery run replays
+//! bit-identically — including the [`RecoveryReport`]'s latency and
+//! energy accounting.
+
+use crate::fault::SystemFaults;
+use crate::lergan::{BuildError, LerGan, LerGanBuilder};
+use lergan_gan::train::{AutoCheckpoint, CheckpointError, Gan, StepStats};
+use lergan_gan::{GanSpec, Phase};
+use lergan_reram::{AbftBlock, ReramConfig, WearModel, WritePolicy};
+use lergan_sim::{FaultEvent, FaultEventKind, RecoveryAction};
+use lergan_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Knobs of the online detection-and-recovery loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Steps between periodic trainer checkpoints (rollback granularity).
+    pub checkpoint_interval: u64,
+    /// Relocate-and-replay attempts before a fault is uncorrectable.
+    pub max_retries: u32,
+    /// First retry's backoff (ns); attempt `a` waits `base · 2^(a-1)`.
+    pub backoff_base_ns: f64,
+    /// ABFT residual magnitude above which an MMV is flagged.
+    pub residual_threshold: f64,
+    /// Stuck cells accumulated across the hosting tile's monitored cell
+    /// space that condemn the tile: past this density the tile is a lost
+    /// cause and relocation within it just burns spare regions.
+    pub tile_kill_cells: usize,
+    /// Write pulses each training step charges against the monitored
+    /// block's cells (differential updates rewrite the block once).
+    pub pulses_per_step: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: 4,
+            max_retries: 3,
+            backoff_base_ns: 200.0,
+            residual_threshold: 0.5,
+            tile_kill_cells: 512,
+            pulses_per_step: 1,
+        }
+    }
+}
+
+/// Typed error of the recovery loop itself.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The initial accelerator build failed (pre-existing faults exceed
+    /// capacity).
+    Build(BuildError),
+    /// No spare region of the monitored bank verifies clean: the bank's
+    /// cell population is too damaged to host the block anywhere.
+    NoCleanRegion {
+        /// Candidate regions examined before giving up.
+        scanned: usize,
+    },
+    /// Restoring the rollback checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Build(e) => write!(f, "recovery build failed: {e}"),
+            RecoveryError::NoCleanRegion { scanned } => {
+                write!(f, "no clean spare region among {scanned} candidates")
+            }
+            RecoveryError::Checkpoint(e) => write!(f, "rollback restore failed: {e}"),
+        }
+    }
+}
+
+impl Error for RecoveryError {}
+
+impl From<BuildError> for RecoveryError {
+    fn from(e: BuildError) -> Self {
+        RecoveryError::Build(e)
+    }
+}
+
+impl From<CheckpointError> for RecoveryError {
+    fn from(e: CheckpointError) -> Self {
+        RecoveryError::Checkpoint(e)
+    }
+}
+
+/// What one [`SelfHealingRuntime::step`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Trainer losses of the step.
+    pub stats: StepStats,
+    /// ABFT residual the post-step check observed.
+    pub residual: f64,
+    /// Cells wear broke during this step's write.
+    pub wear_broken: usize,
+    /// Recovery action, when the residual flagged.
+    pub action: Option<RecoveryAction>,
+}
+
+/// Cumulative accounting of a self-healing run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Training steps completed.
+    pub steps: u64,
+    /// Residual detections (fault events that triggered the ladder).
+    pub detected: u64,
+    /// Events resolved by quarantine + relocate + replay.
+    pub corrected: u64,
+    /// Tile-kill remaps committed (a rollback may also remap first).
+    pub remapped: u64,
+    /// Events resolved by checkpoint rollback (remap impossible or retry
+    /// budget exhausted).
+    pub rolled_back: u64,
+    /// Relocate-and-replay attempts across all events.
+    pub retries: u64,
+    /// Periodic checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Trainer steps replayed after rollbacks.
+    pub replayed_steps: u64,
+    /// Cells newly broken by wear during the run.
+    pub wear_broken_cells: u64,
+    /// Suspect cells quarantined across all events.
+    pub quarantined_cells: u64,
+    /// Spare regions scanned while relocating.
+    pub regions_scanned: u64,
+    /// Fault-free per-iteration latency of the same workload (ns).
+    pub clean_iteration_ns: f64,
+    /// Productive compute time: Σ per-step iteration latency (ns).
+    pub compute_latency_ns: f64,
+    /// ABFT checksum-column overhead charged on every step (ns).
+    pub detection_overhead_ns: f64,
+    /// Time spent in the recovery ladder: backoffs, scans, reprograms,
+    /// remaps and rollback replays (ns).
+    pub recovery_latency_ns: f64,
+    /// Energy of recovery reprogramming (pJ).
+    pub recovery_energy_pj: f64,
+    /// Every fault event, in detection order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl RecoveryReport {
+    /// Wall-clock of the run: compute + detection + recovery (ns).
+    pub fn total_latency_ns(&self) -> f64 {
+        self.compute_latency_ns + self.detection_overhead_ns + self.recovery_latency_ns
+    }
+
+    /// Detection overhead as a fraction of productive compute.
+    pub fn detection_overhead_frac(&self) -> f64 {
+        if self.compute_latency_ns > 0.0 {
+            self.detection_overhead_ns / self.compute_latency_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean time to repair: recovery time per detected fault (ns; 0 when
+    /// nothing was detected).
+    pub fn mttr_ns(&self) -> f64 {
+        if self.detected > 0 {
+            self.recovery_latency_ns / self.detected as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Rollbacks per step (rollback frequency).
+    pub fn rollback_rate(&self) -> f64 {
+        if self.steps > 0 {
+            self.rolled_back as f64 / self.steps as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock versus an ideal fault-free run of the same length.
+    /// ≥ 1.0 by construction: per-step latency never beats the clean
+    /// mapping (position-preserving remap) and every overhead adds.
+    pub fn slowdown(&self) -> f64 {
+        let clean = self.clean_iteration_ns * self.steps as f64;
+        if clean > 0.0 {
+            self.total_latency_ns() / clean
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Geometry of the monitored ABFT block: 32 × 32 weights + the checksum
+/// column, and the spare-region layout carved out of the `G→` bank.
+const BLOCK_ROWS: usize = 32;
+const BLOCK_COLS: usize = 32;
+/// Spare regions per tile of the monitored bank (region size = block
+/// cells; the region index ↦ tile mapping is what lets quarantine density
+/// condemn a specific tile).
+const REGIONS_PER_TILE: usize = 4;
+
+/// A training loop wrapped in the online detect → quarantine → remap →
+/// rollback ladder. See the module docs for the state machine.
+#[derive(Debug)]
+pub struct SelfHealingRuntime {
+    spec: GanSpec,
+    trainer: Gan,
+    cadence: AutoCheckpoint,
+    buffered: Vec<Vec<Tensor>>,
+    faults: SystemFaults,
+    policy: RecoveryPolicy,
+    wear: WearModel,
+    reram: ReramConfig,
+    weights: Vec<i32>,
+    inputs: Vec<i32>,
+    region: usize,
+    tiles: usize,
+    iteration_ns: f64,
+    detect_ns: f64,
+    report: RecoveryReport,
+}
+
+impl SelfHealingRuntime {
+    /// Assembles the runtime: builds the accelerator under the starting
+    /// fault scenario, places the monitored block in the first clean
+    /// spare region of the `G→` bank, and programs it.
+    pub fn new(
+        spec: &GanSpec,
+        trainer: Gan,
+        faults: SystemFaults,
+        policy: RecoveryPolicy,
+        wear: WearModel,
+    ) -> Result<Self, RecoveryError> {
+        let reram = ReramConfig::default();
+        let weights: Vec<i32> = (0..BLOCK_ROWS * BLOCK_COLS)
+            .map(|i| ((i as i32 * 37) % 201) - 100)
+            .collect();
+        let inputs: Vec<i32> = (0..BLOCK_ROWS).map(|i| ((i as i32 * 13) % 15) - 7).collect();
+        let mut rt = SelfHealingRuntime {
+            spec: spec.clone(),
+            cadence: AutoCheckpoint::every(policy.checkpoint_interval),
+            trainer,
+            buffered: Vec::new(),
+            faults,
+            policy,
+            wear,
+            reram,
+            weights,
+            inputs,
+            region: 0,
+            tiles: 0,
+            iteration_ns: 0.0,
+            detect_ns: 0.0,
+            report: RecoveryReport::default(),
+        };
+        let accel = rt.build()?;
+        rt.tiles = rt.reram.tiles_per_bank.max(1);
+        rt.refresh_latency(&accel);
+        rt.report.clean_iteration_ns = rt.clean_iteration_ns()?;
+        rt.region = rt.find_clean_region(0)?;
+        rt.program_block();
+        // Placing the block is setup, not recovery: reset the ledger so
+        // the report accounts the run only.
+        rt.report.recovery_latency_ns = 0.0;
+        rt.report.recovery_energy_pj = 0.0;
+        rt.report.regions_scanned = 0;
+        Ok(rt)
+    }
+
+    /// The live fault state (grows as wear breaks cells and tiles die).
+    pub fn faults(&self) -> &SystemFaults {
+        &self.faults
+    }
+
+    /// The cumulative recovery accounting.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The wrapped trainer.
+    pub fn trainer(&self) -> &Gan {
+        &self.trainer
+    }
+
+    /// Consumes the runtime, returning the trainer (for bit-exactness
+    /// comparison against a reference run).
+    pub fn into_trainer(self) -> Gan {
+        self.trainer
+    }
+
+    /// One self-healed training step: checkpoint if due, train, charge
+    /// compute + detection overhead, advance wear, run the checked MMV,
+    /// and walk the recovery ladder if the residual flags.
+    pub fn step(&mut self, reals: &[Tensor]) -> Result<StepReport, RecoveryError> {
+        if self.cadence.maybe_take(&self.trainer) {
+            self.report.checkpoints_taken += 1;
+            self.buffered.clear();
+        }
+        self.buffered.push(reals.to_vec());
+        let stats = self.trainer.train_step(reals);
+        self.report.compute_latency_ns += self.iteration_ns;
+        self.report.detection_overhead_ns += self.detect_ns;
+
+        // The update rewrote the monitored block: wear its cells.
+        let step = self.report.steps;
+        let block = self.block();
+        let range = block.cell_base..block.cell_base + block.cells(&self.reram);
+        let newly = self.faults.bank_mut(Phase::GForward).advance_wear(
+            range,
+            self.policy.pulses_per_step,
+            &self.wear,
+        );
+        let wear_broken = newly.len();
+        if wear_broken > 0 {
+            self.report.wear_broken_cells += wear_broken as u64;
+            self.push_event(step, "G→ abft", FaultEventKind::WearBreak { cells: wear_broken });
+        }
+
+        // Checked MMV: the residual is the detector.
+        let obs = self.check();
+        let mut action = None;
+        if obs > self.policy.residual_threshold {
+            self.report.detected += 1;
+            self.push_event(step, "G→ abft", FaultEventKind::ResidualFlagged { residual: obs });
+            action = Some(self.recover()?);
+        }
+        self.report.steps += 1;
+        Ok(StepReport {
+            stats,
+            residual: obs,
+            wear_broken,
+            action,
+        })
+    }
+
+    /// Runs `steps` steps over batches supplied per step index.
+    pub fn run(
+        &mut self,
+        steps: u64,
+        mut batch_for: impl FnMut(u64) -> Vec<Tensor>,
+    ) -> Result<(), RecoveryError> {
+        for s in 0..steps {
+            self.step(&batch_for(s))?;
+        }
+        Ok(())
+    }
+
+    // ---- recovery ladder ------------------------------------------------
+
+    /// Resolves one flagged residual. See the module docs' state machine.
+    fn recover(&mut self) -> Result<RecoveryAction, RecoveryError> {
+        let block = self.block();
+        let region_cells = block.cells(&self.reram);
+        let tile = self.region / REGIONS_PER_TILE;
+        let tile_base = (tile * REGIONS_PER_TILE) as u64 * region_cells;
+        let tile_cells = REGIONS_PER_TILE as u64 * region_cells;
+        let map = self.faults.bank_mut(Phase::GForward);
+        let suspects = block.suspect_cells(map, &self.reram).len();
+        let tile_stuck = map.stuck_cells_in(tile_base..tile_base + tile_cells).count();
+        self.report.quarantined_cells += suspects as u64;
+
+        // A tile this dirty is a lost cause: condemn it outright.
+        if tile_stuck >= self.policy.tile_kill_cells {
+            if self.try_remap()? {
+                return Ok(RecoveryAction::Remapped);
+            }
+            self.rollback()?;
+            return Ok(RecoveryAction::RolledBack);
+        }
+
+        // Bounded relocate-and-replay with exponential backoff.
+        for attempt in 1..=self.policy.max_retries {
+            self.report.retries += 1;
+            self.report.recovery_latency_ns +=
+                self.policy.backoff_base_ns * f64::from(1u32 << (attempt - 1));
+            if !self.advance_region() {
+                break; // spare space exhausted: escalate
+            }
+            self.program_block();
+            if self.check() <= self.policy.residual_threshold {
+                self.report.corrected += 1;
+                return Ok(RecoveryAction::Corrected);
+            }
+        }
+
+        // Uncorrectable: the corrupt window is untrusted. Remap if the
+        // capacity allows, then roll the trainer back and replay.
+        let _ = self.try_remap()?;
+        self.rollback()?;
+        Ok(RecoveryAction::RolledBack)
+    }
+
+    /// Tentatively kills the tile hosting the block and rebuilds; commits
+    /// only on success (an uncommitted kill would strand capacity).
+    fn try_remap(&mut self) -> Result<bool, RecoveryError> {
+        let tile = self.region / REGIONS_PER_TILE;
+        let mut tentative = self.faults.clone();
+        tentative.bank_mut(Phase::GForward).kill_tile(tile);
+        let built = self.builder_for(tentative.clone()).build();
+        match built {
+            Ok(accel) => {
+                self.faults = tentative;
+                self.refresh_latency(&accel);
+                // Remap + reconfiguration cost: one switch epoch per bank.
+                self.report.recovery_latency_ns += 6.0 * 50.0;
+                self.region = self.find_clean_region((tile + 1) * REGIONS_PER_TILE)?;
+                self.program_block();
+                self.report.remapped += 1;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Restores the last periodic checkpoint, relocates the block to a
+    /// clean region, and replays the buffered batches bit-exactly.
+    fn rollback(&mut self) -> Result<(), RecoveryError> {
+        // Make sure the block sits somewhere clean before resuming.
+        if self.check() > self.policy.residual_threshold {
+            self.region = self.find_clean_region(self.region + 1)?;
+            self.program_block();
+        }
+        let ckpt = self
+            .cadence
+            .last()
+            .expect("the first step checkpoints before training")
+            .clone();
+        self.trainer.restore(&ckpt)?;
+        let replay = std::mem::take(&mut self.buffered);
+        self.report.replayed_steps += replay.len() as u64;
+        self.report.recovery_latency_ns += self.iteration_ns * replay.len() as f64;
+        for batch in &replay {
+            self.trainer.train_step(batch);
+        }
+        self.buffered = replay;
+        self.report.rolled_back += 1;
+        Ok(())
+    }
+
+    // ---- placement and checking -----------------------------------------
+
+    fn block(&self) -> AbftBlock {
+        let cells = AbftBlock::new(BLOCK_ROWS, BLOCK_COLS, 0).cells(&self.reram);
+        AbftBlock::new(BLOCK_ROWS, BLOCK_COLS, self.region as u64 * cells)
+    }
+
+    /// Residual of the checked MMV at the current placement.
+    fn check(&mut self) -> f64 {
+        let block = self.block();
+        let map = self.faults.bank_mut(Phase::GForward);
+        block
+            .checked_mmv(map, None, &self.weights, &self.inputs, &self.reram)
+            .residual
+    }
+
+    /// Advances the region cursor past dead tiles; false when the bank's
+    /// spare space is exhausted.
+    fn advance_region(&mut self) -> bool {
+        let total = self.tiles * REGIONS_PER_TILE;
+        let map = self.faults.bank_mut(Phase::GForward);
+        let mut r = self.region + 1;
+        while r < total && map.tile_is_dead(r / REGIONS_PER_TILE) {
+            r += 1;
+        }
+        if r < total {
+            self.region = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// First region at or after `from` (skipping dead tiles) whose
+    /// read-back scan finds no stuck cells. Charges one row-parallel scan
+    /// per candidate.
+    fn find_clean_region(&mut self, from: usize) -> Result<usize, RecoveryError> {
+        let total = self.tiles * REGIONS_PER_TILE;
+        let cells = AbftBlock::new(BLOCK_ROWS, BLOCK_COLS, 0).cells(&self.reram);
+        let scan_ns = BLOCK_ROWS as f64 * self.reram.tile_read_latency_ns;
+        let mut scanned = 0usize;
+        for r in from..total {
+            let map = self.faults.bank_mut(Phase::GForward);
+            if map.tile_is_dead(r / REGIONS_PER_TILE) {
+                continue;
+            }
+            scanned += 1;
+            self.report.regions_scanned += 1;
+            self.report.recovery_latency_ns += scan_ns;
+            let base = r as u64 * cells;
+            if map.stuck_cells_in(base..base + cells).next().is_none() {
+                return Ok(r);
+            }
+        }
+        Err(RecoveryError::NoCleanRegion { scanned })
+    }
+
+    /// Programs the monitored block at the current region, charging the
+    /// reprogram's latency (row-parallel writes) and energy.
+    fn program_block(&mut self) {
+        let block = self.block();
+        let map = self.faults.bank_mut(Phase::GForward);
+        let _ = block.program(map, &self.weights, &self.reram, &WritePolicy::default());
+        self.report.recovery_latency_ns += BLOCK_ROWS as f64 * self.reram.tile_write_latency_ns;
+        self.report.recovery_energy_pj +=
+            block.stored_values() as f64 * self.reram.tile_write_energy_pj;
+    }
+
+    // ---- accelerator plumbing -------------------------------------------
+
+    fn builder_for(&self, faults: SystemFaults) -> LerGanBuilder {
+        LerGan::builder(&self.spec).faults(faults)
+    }
+
+    fn build(&self) -> Result<LerGan, RecoveryError> {
+        Ok(self.builder_for(self.faults.clone()).build()?)
+    }
+
+    /// Per-iteration latency on the current mapping, plus the ABFT
+    /// detection overhead: the checksum column adds `1/cols` extra read
+    /// work to the monitored phase's compute.
+    fn refresh_latency(&mut self, accel: &LerGan) {
+        let r = accel.train_iterations(1);
+        self.iteration_ns = r.iteration_latency_ns;
+        let phase_ns = r.phase_latency.get(&Phase::GForward.to_string());
+        self.detect_ns = phase_ns * AbftBlock::new(BLOCK_ROWS, BLOCK_COLS, 0).overhead();
+    }
+
+    fn clean_iteration_ns(&self) -> Result<f64, RecoveryError> {
+        let clean = self.builder_for(SystemFaults::none()).build()?;
+        Ok(clean.train_iterations(1).iteration_latency_ns)
+    }
+
+    fn push_event(&mut self, step: u64, label: &str, kind: FaultEventKind) {
+        self.report.events.push(FaultEvent {
+            step,
+            time_ns: self.report.total_latency_ns(),
+            label: label.to_string(),
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lergan_gan::benchmarks;
+    use lergan_gan::topology::parse_network;
+    use lergan_reram::FaultMap;
+    use lergan_gan::train::{build_trainable_with, UpdateRule};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_trainer(init_seed: u64, noise_seed: u64) -> Gan {
+        let g_spec = parse_network("g", "8f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+        let d_spec = parse_network("d", "(1c-8c)(3k2s)-f1", 2, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(init_seed);
+        let g = build_trainable_with(&g_spec, true, false, &mut rng);
+        let d = build_trainable_with(&d_spec, false, false, &mut rng);
+        Gan::new(g, d, 8, 0.0, noise_seed).with_optimizer(UpdateRule::dcgan_adam(0.01))
+    }
+
+    fn batch(rng: &mut StdRng) -> Vec<Tensor> {
+        (0..2)
+            .map(|_| {
+                let v = 0.5 + (rng.gen::<f32>() - 0.5) * 0.2;
+                Tensor::filled(&[1, 16, 16], v)
+            })
+            .collect()
+    }
+
+    fn runtime(wear: WearModel, faults: SystemFaults) -> SelfHealingRuntime {
+        runtime_with(RecoveryPolicy::default(), wear, faults)
+    }
+
+    fn runtime_with(
+        policy: RecoveryPolicy,
+        wear: WearModel,
+        faults: SystemFaults,
+    ) -> SelfHealingRuntime {
+        SelfHealingRuntime::new(&benchmarks::dcgan(), small_trainer(31, 77), faults, policy, wear)
+            .expect("runtime assembles")
+    }
+
+    #[test]
+    fn fault_free_run_detects_nothing_and_has_unit_slowdown_floor() {
+        let mut rt = runtime(WearModel::disabled(), SystemFaults::none());
+        let mut rng = StdRng::seed_from_u64(1);
+        rt.run(6, |_| batch(&mut rng)).unwrap();
+        let r = rt.report();
+        assert_eq!(r.detected, 0);
+        assert_eq!(r.wear_broken_cells, 0);
+        assert_eq!(r.rolled_back, 0);
+        assert_eq!(r.steps, 6);
+        // Checkpoints at steps 0 and 4 under the default cadence.
+        assert_eq!(r.checkpoints_taken, 2);
+        // Detection rides along even when nothing fails…
+        assert!(r.detection_overhead_ns > 0.0);
+        assert!(r.detection_overhead_frac() > 0.0 && r.detection_overhead_frac() < 0.1);
+        // …and the slowdown floor is exactly the detection overhead.
+        assert!(r.slowdown() >= 1.0);
+        assert_eq!(r.recovery_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn wear_break_is_detected_and_corrected_online() {
+        // Aggressive wear: cells die after ~20 pulses, far inside the run.
+        let wear = WearModel::new(20, 1.5, 0xD1E);
+        let mut rt = runtime(wear, SystemFaults::none());
+        let mut rng = StdRng::seed_from_u64(2);
+        rt.run(40, |_| batch(&mut rng)).unwrap();
+        let r = rt.report();
+        assert!(r.wear_broken_cells > 0, "wear must break cells mid-run");
+        assert!(r.detected > 0, "ABFT must notice the broken cells");
+        assert!(
+            r.corrected + r.remapped + r.rolled_back >= r.detected,
+            "every detection resolves"
+        );
+        assert!(r.corrected > 0, "relocation heals pristine-bank breaks");
+        assert!(r.quarantined_cells > 0);
+        assert!(r.mttr_ns() > 0.0);
+        assert!(r.slowdown() > 1.0);
+        // The event stream interleaves wear breaks and detections.
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::WearBreak { .. })));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::ResidualFlagged { .. })));
+    }
+
+    #[test]
+    fn healed_run_matches_clean_trainer_bit_exactly() {
+        // Reference: same trainer seeds, no hardware at all.
+        let mut reference = small_trainer(31, 77);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            reference.train_step(&batch(&mut rng));
+        }
+
+        // Healed run: wear breaks cells mid-run, the ladder heals them.
+        let wear = WearModel::new(15, 1.3, 0xFEED);
+        let mut rt = runtime(wear, SystemFaults::none());
+        let mut rng = StdRng::seed_from_u64(3);
+        rt.run(30, |_| batch(&mut rng)).unwrap();
+        assert!(rt.report().detected > 0, "the run must actually fault");
+
+        let healed = rt.into_trainer();
+        assert_eq!(
+            healed.checkpoint(),
+            reference.checkpoint(),
+            "self-healing must not perturb the training trajectory"
+        );
+    }
+
+    #[test]
+    fn dirty_bank_escalates_to_remap_or_rollback() {
+        // A pre-damaged bank plus a strict condemnation threshold: the
+        // first wear burst (hundreds of cells) exceeds `tile_kill_cells`,
+        // so the ladder skips relocation and condemns the tile.
+        let mut faults = SystemFaults::none();
+        *faults.bank_mut(Phase::GForward) = FaultMap::seeded(0x5EED, 0.0005, 300_000);
+        let wear = WearModel::new(10, 1.2, 0xACE);
+        let policy = RecoveryPolicy {
+            tile_kill_cells: 64,
+            ..RecoveryPolicy::default()
+        };
+        let mut rt = runtime_with(policy, wear, faults);
+        let mut rng = StdRng::seed_from_u64(4);
+        rt.run(25, |_| batch(&mut rng)).unwrap();
+        let r = rt.report();
+        assert!(r.detected > 0);
+        assert!(
+            r.remapped + r.rolled_back > 0,
+            "a dirty bank must force escalation: {r:?}"
+        );
+        assert!(r.slowdown() >= 1.0);
+    }
+
+    #[test]
+    fn remap_impossible_forces_checkpoint_rollback() {
+        // Only two healthy tiles remain, so condemning the hosting tile
+        // would leave too few to map the GAN: `try_remap` must fail and
+        // the ladder must fall through to checkpoint rollback.
+        let mut faults = SystemFaults::none();
+        for t in 1..15 {
+            faults.bank_mut(Phase::GForward).kill_tile(t);
+        }
+        let wear = WearModel::new(10, 1.2, 0xACE);
+        let policy = RecoveryPolicy {
+            tile_kill_cells: 64,
+            ..RecoveryPolicy::default()
+        };
+        let mut rt = runtime_with(policy, wear, faults);
+        let mut rng = StdRng::seed_from_u64(5);
+        rt.run(15, |_| batch(&mut rng)).unwrap();
+        let r = rt.report();
+        assert!(r.detected > 0);
+        assert_eq!(r.remapped, 0, "no tile to spare: remap must be refused");
+        assert!(r.rolled_back > 0, "uncorrectable fault must roll back: {r:?}");
+        assert!(r.replayed_steps > 0, "rollback replays the buffered steps");
+        assert!(r.slowdown() > 1.0);
+    }
+
+    #[test]
+    fn recovery_runs_replay_bit_identically() {
+        let run = || {
+            let wear = WearModel::new(18, 1.4, 0xB0B);
+            let mut faults = SystemFaults::none();
+            *faults.bank_mut(Phase::GForward) = FaultMap::seeded(0x7777, 0.0005, 300_000);
+            let mut rt = runtime(wear, faults);
+            let mut rng = StdRng::seed_from_u64(5);
+            rt.run(20, |_| batch(&mut rng)).unwrap();
+            let trainer_state = rt.trainer().checkpoint();
+            (rt.report().clone(), trainer_state)
+        };
+        let (ra, ta) = run();
+        let (rb, tb) = run();
+        assert_eq!(ra, rb, "recovery accounting must be deterministic");
+        assert_eq!(ta, tb, "trainer trajectory must be deterministic");
+    }
+}

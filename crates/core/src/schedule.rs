@@ -159,17 +159,19 @@ impl<'a> Lowering<'a> {
 
     // ---- routes ---------------------------------------------------------
 
-    /// Route for an intra-phase hop between two adjacent tiles of the
-    /// phase's bank.
-    fn neighbor_route(&self, bank: BankSlot, tile: usize) -> Route {
+    /// Route for an intra-phase hop between two physical tiles of the
+    /// phase's bank. Fault-free hand-offs are always between adjacent
+    /// tiles; a fault-aware remap can relocate either endpoint, and the
+    /// route then pays the real (longer) detour.
+    fn tile_route(&self, bank: BankSlot, from: usize, to: usize) -> Route {
         let (mode, side) = if self.threed() {
             (Mode::Cmode, bank.side)
         } else {
             (Mode::Smode, bank.side)
         };
         let b = if self.threed() { bank.bank } else { 0 };
-        let t0 = tile % self.ctx.noc.tiles_per_bank;
-        let t1 = (tile + 1) % self.ctx.noc.tiles_per_bank;
+        let t0 = from % self.ctx.noc.tiles_per_bank;
+        let t1 = to % self.ctx.noc.tiles_per_bank;
         self.ctx
             .pair
             .route(
@@ -292,12 +294,15 @@ impl<'a> Lowering<'a> {
             };
             let moved = per_sample as u64 * self.batch;
             // Fig. 14 hand-off: from the previous layer's last tile to
-            // this layer's first. A bank-boundary crossing (the phase
-            // spilled onto another 3DCU pair) pays the bus.
-            let from_tile = if li == 0 {
-                alloc.tile_for(0, 0).expect("phase has a first layer")
+            // this layer's first — the *physical* pair, so a fault-aware
+            // relocation pays its real detour instead of a nominal
+            // adjacent hop. A bank-boundary crossing (the phase spilled
+            // onto another 3DCU pair) pays the bus.
+            let (from_tile, to_tile) = if li == 0 {
+                let entry = alloc.tile_for(0, 0).expect("phase has a first layer");
+                (entry, (entry + 1) % self.ctx.noc.tiles_per_bank)
             } else {
-                alloc.handoff(li - 1).expect("layers are consecutive").0
+                alloc.handoff(li - 1).expect("layers are consecutive")
             };
             let crosses = li > 0
                 && alloc
@@ -306,7 +311,7 @@ impl<'a> Lowering<'a> {
             let route = if crosses {
                 self.bus_route(op.bank)
             } else {
-                self.neighbor_route(op.bank, from_tile)
+                self.tile_route(op.bank, from_tile, to_tile)
             };
             let (lat, en) = route.transfer(moved, self.ctx.noc);
             let mut xfer = TaskSpec::new(format!("{phase} xfer L{}", op.layer_index), lat).on(wire_r);

@@ -1028,6 +1028,64 @@ pub struct GanCheckpoint {
     pub rng_state: u64,
 }
 
+/// Periodic checkpoint cadence: retains the most recent [`GanCheckpoint`],
+/// refreshed every `every` optimiser steps.
+///
+/// This is the policy half of checkpoint-rollback recovery: a runtime
+/// calls [`maybe_take`](Self::maybe_take) at every step boundary, and on
+/// an uncorrectable hardware fault restores [`last`](Self::last) and
+/// replays the steps since — the cadence bounds how much work a rollback
+/// can lose.
+#[derive(Debug, Clone)]
+pub struct AutoCheckpoint {
+    every: u64,
+    taken: u64,
+    last: Option<GanCheckpoint>,
+}
+
+impl AutoCheckpoint {
+    /// A cadence of one checkpoint every `every` steps (the first call to
+    /// [`maybe_take`](Self::maybe_take) always snapshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn every(every: u64) -> Self {
+        assert!(every > 0, "checkpoint cadence must be at least 1 step");
+        AutoCheckpoint {
+            every,
+            taken: 0,
+            last: None,
+        }
+    }
+
+    /// Snapshots `gan` if the cadence is due: no checkpoint exists yet, or
+    /// `every` steps have passed since the last one. Call at a step
+    /// boundary (between [`Gan::train_step`]s). Returns whether a
+    /// checkpoint was taken.
+    pub fn maybe_take(&mut self, gan: &Gan) -> bool {
+        let due = match &self.last {
+            None => true,
+            Some(prev) => gan.step() >= prev.step + self.every,
+        };
+        if due {
+            self.last = Some(gan.checkpoint());
+            self.taken += 1;
+        }
+        due
+    }
+
+    /// The most recent checkpoint, if any was taken.
+    pub fn last(&self) -> Option<&GanCheckpoint> {
+        self.last.as_ref()
+    }
+
+    /// Checkpoints taken so far.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+}
+
 /// Builds a trainable network from a parsed [`NetworkSpec`] (2-D networks
 /// only), inserting leaky-ReLU activations between layers and `tanh` after
 /// the final layer of a generator.
@@ -1382,6 +1440,39 @@ mod tests {
         assert!(
             pos_logit > neg_logit + 1.0,
             "D failed to separate: {pos_logit} vs {neg_logit}"
+        );
+    }
+
+    #[test]
+    fn auto_checkpoint_cadence_and_rollback_replay() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = tiny_generator(&mut rng);
+        let d = tiny_discriminator(&mut rng);
+        let mut gan = Gan::new(g, d, 4, 0.05, 17);
+        let mut cadence = AutoCheckpoint::every(3);
+
+        // Reference: 7 uninterrupted steps, checkpoints at steps 0, 3, 6.
+        let mut data_rng = StdRng::seed_from_u64(100);
+        let mut batches = Vec::new();
+        for _ in 0..7 {
+            assert_eq!(cadence.maybe_take(&gan), gan.step().is_multiple_of(3));
+            let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut data_rng)).collect();
+            batches.push(reals.clone());
+            gan.train_step(&reals);
+        }
+        assert_eq!(cadence.taken(), 3);
+        let last = cadence.last().expect("cadence took checkpoints");
+        assert_eq!(last.step, 6);
+        let reference = gan.checkpoint();
+
+        // Rollback: restore the last checkpoint and replay the step since.
+        gan.restore(last).unwrap();
+        assert_eq!(gan.step(), 6);
+        gan.train_step(&batches[6]);
+        assert_eq!(
+            gan.checkpoint(),
+            reference,
+            "replay from the cadence checkpoint must be bit-exact"
         );
     }
 

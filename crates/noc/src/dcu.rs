@@ -78,6 +78,36 @@ impl Endpoint {
     }
 }
 
+/// Typed routing failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouteError {
+    /// No path connects the endpoints: the fabric is partitioned (only
+    /// possible when tree links are severed beyond redundancy — added-wire
+    /// faults alone always leave the H-tree fallback).
+    Unreachable {
+        /// Source endpoint.
+        from: Endpoint,
+        /// Destination endpoint.
+        to: Endpoint,
+        /// Mode the route was attempted in.
+        mode: Mode,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unreachable { from, to, mode } => write!(
+                f,
+                "no route from (s{},b{},n{}) to (s{},b{},n{}) in {mode:?}: fabric partitioned",
+                from.side, from.bank, from.node, to.side, to.bank, to.node
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// A routed path with its aggregate cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Route {
@@ -235,8 +265,12 @@ impl Fabric {
 
         for side in 0..sides {
             for bank in 0..BANKS {
-                // Tree edges.
+                // Tree edges (omitting severed parent links — the
+                // beyond-redundancy failure that can partition a leaf).
                 for node in 2..2 * tiles {
+                    if faults.blocks_tree(side, bank, node) {
+                        continue;
+                    }
                     let parent = node / 2;
                     let level = tree.level(node);
                     let a = fabric.vertex(Endpoint { side, bank, node });
@@ -370,14 +404,14 @@ impl Fabric {
 
     /// Dijkstra by latency. Small graphs (≤ ~200 vertices), so the O(V²)
     /// scan is simplest and avoids float-ordering pitfalls.
-    fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Option<Route> {
+    fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Result<Route, RouteError> {
         let adj = match mode {
             Mode::Cmode => &self.cmode,
             Mode::Smode => &self.smode,
         };
         let (src, dst) = (self.vertex(from), self.vertex(to));
         if src == dst {
-            return Some(Route::nil());
+            return Ok(Route::nil());
         }
         let n = self.vertex_count();
         let mut dist = vec![f64::INFINITY; n];
@@ -409,7 +443,10 @@ impl Fabric {
             }
         }
         if !dist[dst].is_finite() {
-            return None;
+            // Dijkstra exhausted the reachable set without touching the
+            // destination: the fabric is partitioned. Terminate with a
+            // typed error rather than retrying or spinning.
+            return Err(RouteError::Unreachable { from, to, mode });
         }
         // Reconstruct.
         let mut edges = Vec::new();
@@ -432,7 +469,7 @@ impl Fabric {
             v = u;
         }
         edges.reverse();
-        Some(Route {
+        Ok(Route {
             edges,
             latency_ns: dist[dst],
             energy_pj_per_access: energy,
@@ -470,9 +507,12 @@ impl ThreeDcu {
 
     /// Routes between two endpoints (side must be 0).
     ///
-    /// Returns `None` only if an endpoint is unreachable (cannot happen for
-    /// valid endpoints).
-    pub fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Option<Route> {
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Unreachable`] when severed tree links have
+    /// partitioned an endpoint off the fabric (added-wire faults alone
+    /// never do — the H-tree fallback always remains).
+    pub fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Result<Route, RouteError> {
         self.fabric.route(from, to, mode)
     }
 
@@ -500,9 +540,10 @@ impl DcuPair {
     }
 
     /// Builds the pair over a degraded fabric (see
-    /// [`ThreeDcu::with_faults`]). Bypass, bus and tree wires are never
-    /// faultable, so every endpoint stays reachable — faults only lengthen
-    /// routes.
+    /// [`ThreeDcu::with_faults`]). Bypass and bus wires are never
+    /// faultable, and tree wires only through the explicit
+    /// [`LinkFaults::sever_tree`] beyond-redundancy escape hatch — so
+    /// added-wire faults only lengthen routes, never break reachability.
     pub fn with_faults(cfg: &NocConfig, faults: &LinkFaults) -> Self {
         DcuPair {
             fabric: Fabric::new(cfg, 2, faults),
@@ -515,7 +556,12 @@ impl DcuPair {
     }
 
     /// Routes between two endpoints of the pair.
-    pub fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Option<Route> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Unreachable`] when severed tree links have
+    /// partitioned an endpoint off the fabric.
+    pub fn route(&self, from: Endpoint, to: Endpoint, mode: Mode) -> Result<Route, RouteError> {
         self.fabric.route(from, to, mode)
     }
 }

@@ -30,6 +30,12 @@ pub struct LinkFaults {
     /// Switches frozen in the parked (parent) position: every added wire
     /// at the node is unusable, though tree traffic still flows.
     stuck: BTreeSet<(usize, usize, usize)>,
+    /// Severed H-tree parent links, keyed by the *child* node. Tree wiring
+    /// is normally repaired by DRAM-style redundancy; this models the
+    /// beyond-repair case, which can fully partition an endpoint (leaves
+    /// carry no added wires), so routing returns a typed error instead of
+    /// a detour.
+    tree: BTreeSet<(usize, usize, usize)>,
 }
 
 impl LinkFaults {
@@ -40,7 +46,10 @@ impl LinkFaults {
 
     /// Whether the set holds no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.horizontal.is_empty() && self.vertical.is_empty() && self.stuck.is_empty()
+        self.horizontal.is_empty()
+            && self.vertical.is_empty()
+            && self.stuck.is_empty()
+            && self.tree.is_empty()
     }
 
     /// Severs the horizontal wire between `node` and `node + 1`.
@@ -59,6 +68,25 @@ impl LinkFaults {
     pub fn stick_switch(&mut self, side: usize, bank: usize, node: usize) -> &mut Self {
         self.stuck.insert((side, bank, node));
         self
+    }
+
+    /// Severs the H-tree wire between `node` and its parent — a
+    /// beyond-redundancy tree failure. Unlike added-wire faults this can
+    /// *partition* the fabric (a leaf's only wire is its parent link);
+    /// routing to a partitioned endpoint returns a typed error.
+    pub fn sever_tree(&mut self, side: usize, bank: usize, node: usize) -> &mut Self {
+        self.tree.insert((side, bank, node));
+        self
+    }
+
+    /// Whether the tree wire from `node` up to its parent is severed.
+    pub fn blocks_tree(&self, side: usize, bank: usize, node: usize) -> bool {
+        self.tree.contains(&(side, bank, node))
+    }
+
+    /// Count of severed tree links.
+    pub fn severed_tree_links(&self) -> usize {
+        self.tree.len()
     }
 
     /// Whether the switch at a node is frozen.

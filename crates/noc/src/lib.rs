@@ -40,7 +40,7 @@ pub mod reduction;
 pub mod switch;
 
 pub use config::NocConfig;
-pub use dcu::{DcuPair, Endpoint, Mode, Route, ThreeDcu};
+pub use dcu::{DcuPair, Endpoint, Mode, Route, RouteError, ThreeDcu};
 pub use fault::LinkFaults;
 pub use flows::{Flow, FlowSchedule};
 pub use htree::HTree;

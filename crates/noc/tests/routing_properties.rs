@@ -1,7 +1,9 @@
 //! Property tests for the interconnect: route existence, symmetry, mode
-//! dominance and transfer-cost monotonicity.
+//! dominance, transfer-cost monotonicity, and fault rerouting under
+//! *combined* link faults (broken horizontal + vertical wires + frozen
+//! switches at once).
 
-use lergan_noc::{DcuPair, Endpoint, Mode, NocConfig, ThreeDcu};
+use lergan_noc::{DcuPair, Endpoint, LinkFaults, Mode, NocConfig, RouteError, ThreeDcu};
 use proptest::prelude::*;
 
 fn endpoint() -> impl Strategy<Value = Endpoint> {
@@ -21,7 +23,7 @@ proptest! {
         let dcu = ThreeDcu::new(&NocConfig::default());
         for mode in [Mode::Smode, Mode::Cmode] {
             let r = dcu.route(a, b, mode);
-            prop_assert!(r.is_some(), "{a:?} -> {b:?} unroutable in {mode:?}");
+            prop_assert!(r.is_ok(), "{a:?} -> {b:?} unroutable in {mode:?}");
         }
     }
 
@@ -64,7 +66,7 @@ proptest! {
     fn pair_routes_exist_across_sides(a in pair_endpoint(), b in pair_endpoint()) {
         let pair = DcuPair::new(&NocConfig::default());
         for mode in [Mode::Smode, Mode::Cmode] {
-            prop_assert!(pair.route(a, b, mode).is_some());
+            prop_assert!(pair.route(a, b, mode).is_ok());
         }
         // Cross-side Cmode routes never pay the bus: the bypass links or
         // vertical fabric always beat it.
@@ -84,5 +86,138 @@ proptest! {
             .iter()
             .all(|e| matches!(e, EdgeKind::Tree | EdgeKind::Bus)));
         prop_assert!(r.switch_nodes.is_empty());
+    }
+}
+
+/// A random *combined* fault set over both sides of a pair: horizontal
+/// breaks (internal nodes 2..15), vertical breaks (nodes 1..15, bank
+/// boundaries 0/1), and frozen switches, all at once.
+fn combined_faults() -> impl Strategy<Value = LinkFaults> {
+    let horizontal = proptest::collection::vec((0usize..2, 0usize..3, 2usize..15), 0..12);
+    let vertical = proptest::collection::vec((0usize..2, 0usize..2, 1usize..15), 0..12);
+    let stuck = proptest::collection::vec((0usize..2, 0usize..3, 1usize..15), 0..4);
+    (horizontal, vertical, stuck).prop_map(|(h, v, s)| {
+        let mut f = LinkFaults::none();
+        for (side, bank, node) in h {
+            f.break_horizontal(side, bank, node);
+        }
+        for (side, bank, node) in v {
+            f.break_vertical(side, bank, node);
+        }
+        for (side, bank, node) in s {
+            f.stick_switch(side, bank, node);
+        }
+        f
+    })
+}
+
+/// Reconstructs the added wires a route used from its `switch_nodes` list
+/// (pushed as one `(u, v)` endpoint pair per horizontal/vertical edge) and
+/// asserts none of them is blocked by `faults`.
+fn assert_no_blocked_wire(
+    route: &lergan_noc::Route,
+    faults: &LinkFaults,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(route.switch_nodes.len() % 2, 0);
+    for pair in route.switch_nodes.chunks_exact(2) {
+        let (s0, b0, n0) = pair[0];
+        let (s1, b1, n1) = pair[1];
+        prop_assert_eq!(s0, s1, "an added wire never crosses sides");
+        if b0 == b1 {
+            // Horizontal wire between (node, node + 1).
+            let lo = n0.min(n1);
+            prop_assert_eq!(n0.max(n1), lo + 1);
+            prop_assert!(
+                !faults.blocks_horizontal(s0, b0, lo),
+                "route used broken horizontal wire ({s0},{b0},{lo})"
+            );
+        } else {
+            // Vertical wire between (bank, bank + 1) at the same node.
+            prop_assert_eq!(n0, n1);
+            let lo = b0.min(b1);
+            prop_assert_eq!(b0.max(b1), lo + 1);
+            prop_assert!(
+                !faults.blocks_vertical(s0, lo, n0),
+                "route used broken vertical wire ({s0},{lo},{n0})"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn combined_faults_never_break_reachability(
+        faults in combined_faults(),
+        a in pair_endpoint(),
+        b in pair_endpoint(),
+    ) {
+        // Added-wire faults (in any combination) leave the H-tree + bus
+        // fallback intact: every pair stays routable in both modes.
+        let pair = DcuPair::with_faults(&NocConfig::default(), &faults);
+        for mode in [Mode::Smode, Mode::Cmode] {
+            prop_assert!(
+                pair.route(a, b, mode).is_ok(),
+                "{a:?} -> {b:?} unroutable in {mode:?} under {faults:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detours_never_traverse_broken_wires(
+        faults in combined_faults(),
+        a in pair_endpoint(),
+        b in pair_endpoint(),
+    ) {
+        let pair = DcuPair::with_faults(&NocConfig::default(), &faults);
+        let route = pair.route(a, b, Mode::Cmode).unwrap();
+        assert_no_blocked_wire(&route, &faults)?;
+    }
+
+    #[test]
+    fn faulted_detours_cost_at_least_the_clean_route(
+        faults in combined_faults(),
+        a in pair_endpoint(),
+        b in pair_endpoint(),
+    ) {
+        // Removing edges can only lengthen a shortest path.
+        let cfg = NocConfig::default();
+        let clean = DcuPair::new(&cfg).route(a, b, Mode::Cmode).unwrap();
+        let detour = DcuPair::with_faults(&cfg, &faults)
+            .route(a, b, Mode::Cmode)
+            .unwrap();
+        prop_assert!(detour.latency_ns >= clean.latency_ns - 1e-9);
+    }
+
+    #[test]
+    fn partitioned_fabric_is_a_typed_error(
+        faults in combined_faults(),
+        bank in 0usize..3,
+        tile in 0usize..16,
+        other in 0usize..16,
+    ) {
+        // Severing a leaf's only wire (its tree parent link) partitions
+        // that tile no matter which added-wire faults also apply; routing
+        // must return the typed error, not loop or panic.
+        prop_assume!(tile != other);
+        let mut faults = faults;
+        faults.sever_tree(0, bank, 16 + tile);
+        let dcu = ThreeDcu::with_faults(&NocConfig::default(), &faults);
+        let from = Endpoint::pair_tile(0, bank, other);
+        let to = Endpoint::pair_tile(0, bank, tile);
+        for mode in [Mode::Smode, Mode::Cmode] {
+            let err = dcu.route(from, to, mode).unwrap_err();
+            prop_assert_eq!(err, RouteError::Unreachable { from, to, mode });
+        }
+        // The rest of the fabric still routes around the lost leaf.
+        prop_assert!(dcu
+            .route(
+                Endpoint::pair_tile(0, bank, other),
+                Endpoint::pair_tile(0, (bank + 1) % 3, other),
+                Mode::Cmode
+            )
+            .is_ok());
     }
 }

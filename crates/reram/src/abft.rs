@@ -1,0 +1,304 @@
+//! Algorithm-based fault tolerance (ABFT) for crossbar MMVs: one redundant
+//! checksum column per weight block.
+//!
+//! RED-style ReRAM pipelines assume per-crossbar result checking is cheap
+//! relative to the MMV itself; the classic way to get it is Huang–Abraham
+//! checksums. Each weight block stores one extra column holding its weight
+//! **row sums**: `c[r] = Σ_j W[r][j]`. Because an MMV is linear, the
+//! checksum column's output equals the sum of the data outputs in exact
+//! arithmetic — `Σ_r c[r]·x[r] = Σ_j y_j` — so the *residual*
+//! `|s − Σ_j y_j|` of a perceived (fault- and variation-disturbed) MMV is
+//! exactly zero on clean hardware and non-zero whenever a stuck cell
+//! silently corrupted either the data or the checksum column. Detection
+//! therefore rides along with every MMV at a storage and read-op overhead
+//! of `1/cols`, with no second compute pass.
+//!
+//! The block's cells (data first, then the checksum column) live in the
+//! same [`FaultMap`] cell space the programming loop wears out, so a cell
+//! broken mid-run by [`crate::wear::WearModel`] perturbs the very residual
+//! that is supposed to catch it.
+
+use crate::config::ReramConfig;
+use crate::fault::{FaultMap, WritePolicy, WriteReport};
+use crate::variation::VariationModel;
+
+/// A `rows × cols` weight block with one appended checksum column,
+/// anchored at a fixed cell base inside a bank's fault map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbftBlock {
+    /// Input-vector length (weight rows).
+    pub rows: usize,
+    /// Output width (weight columns), excluding the checksum column.
+    pub cols: usize,
+    /// First absolute cell index of the block.
+    pub cell_base: u64,
+}
+
+/// What one checked MMV observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbftObservation {
+    /// Exact integer outputs (what healthy hardware computes).
+    pub outputs_exact: Vec<i64>,
+    /// Perceived outputs under the fault map (and optional variation).
+    pub outputs_perceived: Vec<f64>,
+    /// Perceived output of the checksum column.
+    pub checksum_perceived: f64,
+    /// `|checksum output − Σ data outputs|` of the perceived MMV.
+    pub residual: f64,
+}
+
+impl AbftObservation {
+    /// Whether the residual trips the detection threshold.
+    pub fn flagged(&self, threshold: f64) -> bool {
+        self.residual > threshold
+    }
+}
+
+impl AbftBlock {
+    /// A block of `rows × cols` weights at `cell_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize, cell_base: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "block dimensions must be non-zero");
+        AbftBlock {
+            rows,
+            cols,
+            cell_base,
+        }
+    }
+
+    /// Stored weight values including the checksum column.
+    pub fn stored_values(&self) -> u64 {
+        (self.rows * (self.cols + 1)) as u64
+    }
+
+    /// Cells the block occupies (data then checksum, contiguous).
+    pub fn cells(&self, config: &ReramConfig) -> u64 {
+        self.stored_values() * config.cells_per_weight() as u64
+    }
+
+    /// Fractional storage / read-op overhead of the checksum column.
+    pub fn overhead(&self) -> f64 {
+        1.0 / self.cols as f64
+    }
+
+    /// Cell index of the weight at `(row, col)`; `col == cols` addresses
+    /// the checksum column.
+    fn cell_of(&self, row: usize, col: usize, config: &ReramConfig) -> u64 {
+        debug_assert!(row < self.rows && col <= self.cols);
+        let value_index = if col == self.cols {
+            // Checksum column lives after the data block.
+            (self.rows * self.cols + row) as u64
+        } else {
+            (row * self.cols + col) as u64
+        };
+        self.cell_base + value_index * config.cells_per_weight() as u64
+    }
+
+    /// Row-sum checksum codes for a row-major `rows × cols` weight block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols` or a row sum leaves the
+    /// 16-bit code domain (blocks monitored by the runtime are sized so
+    /// the checksum column stays representable).
+    pub fn checksums(&self, weights: &[i32]) -> Vec<i32> {
+        assert_eq!(weights.len(), self.rows * self.cols, "block shape");
+        (0..self.rows)
+            .map(|r| {
+                let sum: i64 = weights[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .map(|&w| w as i64)
+                    .sum();
+                i32::try_from(sum).expect("checksum code representable")
+            })
+            .collect()
+    }
+
+    /// Programs the data block *and* its derived checksum column through
+    /// the write-and-verify loop (each write advances wear on its cells).
+    pub fn program(
+        &self,
+        map: &mut FaultMap,
+        weights: &[i32],
+        config: &ReramConfig,
+        policy: &WritePolicy,
+    ) -> WriteReport {
+        let checksums = self.checksums(weights);
+        let mut report = WriteReport::default();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                report.absorb(map.program_weight(
+                    weights[r * self.cols + c],
+                    self.cell_of(r, c, config),
+                    config,
+                    policy,
+                ));
+            }
+            report.absorb(map.program_weight(
+                checksums[r],
+                self.cell_of(r, self.cols, config),
+                config,
+                policy,
+            ));
+        }
+        report
+    }
+
+    /// One checked MMV: perceived data outputs, perceived checksum output
+    /// and the residual that flags silent corruption.
+    ///
+    /// With a pristine map and no variation the residual is exactly zero
+    /// (integer sums well inside the f64-exact range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match the block.
+    pub fn checked_mmv(
+        &self,
+        map: &FaultMap,
+        variation: Option<&VariationModel>,
+        weights: &[i32],
+        inputs: &[i32],
+        config: &ReramConfig,
+    ) -> AbftObservation {
+        assert_eq!(weights.len(), self.rows * self.cols, "block shape");
+        assert_eq!(inputs.len(), self.rows, "input length");
+        let checksums = self.checksums(weights);
+        let mut outputs_exact = vec![0i64; self.cols];
+        let mut outputs_perceived = vec![0.0f64; self.cols];
+        let mut checksum_perceived = 0.0f64;
+        for (r, &x) in inputs.iter().enumerate() {
+            for c in 0..self.cols {
+                let w = weights[r * self.cols + c];
+                outputs_exact[c] += w as i64 * x as i64;
+                outputs_perceived[c] += map.perceived_weight(
+                    variation,
+                    w,
+                    self.cell_of(r, c, config),
+                    config,
+                ) * x as f64;
+            }
+            checksum_perceived += map.perceived_weight(
+                variation,
+                checksums[r],
+                self.cell_of(r, self.cols, config),
+                config,
+            ) * x as f64;
+        }
+        let residual = (checksum_perceived - outputs_perceived.iter().sum::<f64>()).abs();
+        AbftObservation {
+            outputs_exact,
+            outputs_perceived,
+            checksum_perceived,
+            residual,
+        }
+    }
+
+    /// Diagnostic read-back: the stuck cells inside this block's cell
+    /// range (what a controller's verify scan pins down after a residual
+    /// trips). These are the cells the runtime quarantines.
+    pub fn suspect_cells(&self, map: &FaultMap, config: &ReramConfig) -> Vec<u64> {
+        let lo = self.cell_base;
+        let hi = self.cell_base + self.cells(config);
+        map.stuck_cells_in(lo..hi).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StuckAt;
+
+    fn block_weights(b: &AbftBlock) -> Vec<i32> {
+        (0..b.rows * b.cols)
+            .map(|i| ((i as i32 * 37) % 201) - 100)
+            .collect()
+    }
+
+    fn inputs(rows: usize) -> Vec<i32> {
+        (0..rows).map(|i| ((i as i32 * 13) % 15) - 7).collect()
+    }
+
+    #[test]
+    fn clean_hardware_has_exactly_zero_residual() {
+        let cfg = ReramConfig::default();
+        let b = AbftBlock::new(8, 6, 0);
+        let w = block_weights(&b);
+        let obs = b.checked_mmv(&FaultMap::pristine(), None, &w, &inputs(8), &cfg);
+        assert_eq!(obs.residual, 0.0);
+        assert!(!obs.flagged(0.0));
+        for (e, p) in obs.outputs_exact.iter().zip(&obs.outputs_perceived) {
+            assert_eq!(*e as f64, *p);
+        }
+    }
+
+    #[test]
+    fn stuck_data_cell_trips_the_residual() {
+        let cfg = ReramConfig::default();
+        let b = AbftBlock::new(8, 6, 0);
+        let w = block_weights(&b);
+        let mut map = FaultMap::pristine();
+        // Weight (0,0) is negative, so its most significant slice is 0xF;
+        // pinning it at zero shifts the perceived weight while the
+        // checksum column stays put — residual fires.
+        map.set_stuck(3, StuckAt::Zero);
+        let obs = b.checked_mmv(&map, None, &w, &inputs(8), &cfg);
+        assert!(obs.residual > 0.0, "silent corruption must be visible");
+        assert_eq!(b.suspect_cells(&map, &cfg), vec![3]);
+    }
+
+    #[test]
+    fn stuck_checksum_cell_also_trips_the_residual() {
+        let cfg = ReramConfig::default();
+        let b = AbftBlock::new(4, 4, 0);
+        let w = block_weights(&b);
+        let mut map = FaultMap::pristine();
+        // First checksum cell sits right after the 16 data weights. Row 0
+        // sums negative, so its top slice is 0xF — pin it at zero.
+        let checksum_cell = 16 * cfg.cells_per_weight() as u64;
+        map.set_stuck(checksum_cell + 3, StuckAt::Zero);
+        let obs = b.checked_mmv(&map, None, &w, &inputs(4), &cfg);
+        assert!(obs.residual > 0.0);
+    }
+
+    #[test]
+    fn stuck_cell_agreeing_with_its_target_is_benign() {
+        let cfg = ReramConfig::default();
+        let b = AbftBlock::new(4, 4, 0);
+        // All-zero weights: a stuck-at-zero cell stores exactly the right
+        // level, so the residual must stay clean (no false positive).
+        let w = vec![0i32; 16];
+        let mut map = FaultMap::pristine();
+        map.set_stuck(0, StuckAt::Zero);
+        let obs = b.checked_mmv(&map, None, &w, &inputs(4), &cfg);
+        assert_eq!(obs.residual, 0.0);
+    }
+
+    #[test]
+    fn programming_covers_data_and_checksum_cells() {
+        let cfg = ReramConfig::default();
+        let b = AbftBlock::new(3, 5, 0);
+        let w = block_weights(&b);
+        let mut map = FaultMap::pristine();
+        let report = b.program(&mut map, &w, &cfg, &WritePolicy::default());
+        assert!(report.succeeded());
+        // One pulse per cell: data + checksum column.
+        assert_eq!(report.attempts, b.cells(&cfg));
+        assert_eq!(b.stored_values(), 3 * 6);
+        assert!((b.overhead() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_mmv_is_deterministic() {
+        let cfg = ReramConfig::default();
+        let b = AbftBlock::new(6, 6, 128);
+        let w = block_weights(&b);
+        let map = FaultMap::seeded(9, 0.05, b.cell_base + b.cells(&cfg));
+        let a = b.checked_mmv(&map, None, &w, &inputs(6), &cfg);
+        let c = b.checked_mmv(&map, None, &w, &inputs(6), &cfg);
+        assert_eq!(a, c);
+    }
+}

@@ -26,7 +26,7 @@ use crate::variation::VariationModel;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Stateless SplitMix64 hash used for every seeded fault decision.
-fn mix(seed: u64, index: u64) -> u64 {
+pub(crate) fn mix(seed: u64, index: u64) -> u64 {
     let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -34,7 +34,7 @@ fn mix(seed: u64, index: u64) -> u64 {
 }
 
 /// Uniform `[0, 1)` deviate from a seeded hash.
-fn unit(seed: u64, index: u64) -> f64 {
+pub(crate) fn unit(seed: u64, index: u64) -> f64 {
     (mix(seed, index) >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -63,8 +63,16 @@ pub struct WritePolicy {
     /// Verify-and-retry attempts after the initial write (bounded backoff:
     /// each retry costs one extra write pulse).
     pub max_retries: u32,
-    /// Per-attempt transient failure probability (deterministic in the
+    /// First-pulse transient failure probability (deterministic in the
     /// seed; a failed attempt leaves the cell unverified and retries).
+    ///
+    /// Failures are *sticky*: once a pulse misses, the cell is in a
+    /// partially-switched state and every follow-up pulse fails with the
+    /// elevated probability `sqrt(transient_fail_rate)`. Independent
+    /// per-pulse coins would make retry exhaustion — and therefore
+    /// quarantine — essentially unobservable (`rate^(1+max_retries)` ≈ 0
+    /// at realistic rates), which is exactly the accounting hole the
+    /// fault sweep used to report as `cells_quarantined: 0`.
     pub transient_fail_rate: f64,
     /// Write pulses after which a cell wears out and freezes (0 disables
     /// endurance wear-out).
@@ -182,6 +190,15 @@ impl FaultMap {
     /// Number of stuck cells.
     pub fn stuck_cells(&self) -> usize {
         self.stuck.len()
+    }
+
+    /// Stuck cells within a cell-index range, ascending (the diagnostic
+    /// read-back scan ABFT localization runs after a residual trips).
+    pub fn stuck_cells_in(
+        &self,
+        range: std::ops::Range<u64>,
+    ) -> impl Iterator<Item = u64> + '_ {
+        self.stuck.range(range).map(|(&cell, _)| cell)
     }
 
     /// Marks a tile dead (peripheral failure: its whole CArray is lost).
@@ -307,7 +324,8 @@ impl FaultMap {
                 continue;
             }
             let mut verified = false;
-            for attempt in 0..=policy.max_retries {
+            let mut missed = false;
+            for _attempt in 0..=policy.max_retries {
                 let pulse = {
                     let w = self.wear.entry(cell).or_insert(0);
                     *w += 1;
@@ -319,12 +337,19 @@ impl FaultMap {
                     report.newly_stuck += 1;
                     break;
                 }
-                let _ = attempt;
+                // Sticky failure: a cell that missed a pulse is partially
+                // switched and misses follow-ups at sqrt(rate) >= rate.
+                let fail_rate = if missed {
+                    policy.transient_fail_rate.sqrt()
+                } else {
+                    policy.transient_fail_rate
+                };
                 let outcome = unit(policy.seed ^ 0x57A7_1C5E_ED5E_ED00, mix(cell, pulse));
-                if outcome >= policy.transient_fail_rate {
+                if outcome >= fail_rate {
                     verified = true;
                     break;
                 }
+                missed = true;
             }
             if !verified {
                 if self.stuck_at(cell).is_none() {
@@ -355,8 +380,47 @@ impl FaultMap {
         report
     }
 
+    /// Advances the wear counter of every healthy cell in `cells` by
+    /// `pulses` write pulses and freezes the cells whose cumulative wear
+    /// crosses their personal endurance limit under `model`, returning the
+    /// newly broken cell indices (ascending). This is the mid-run wear-out
+    /// channel: each training-phase weight update pulses the cells it
+    /// rewrites, and a cell that was healthy at step *k* can be stuck at
+    /// step *k + 1* — the self-healing runtime's ABFT residuals are what
+    /// notice.
+    ///
+    /// Already-stuck cells no longer switch and accumulate no further
+    /// wear. With a disabled model (`endurance_mean == 0`) this only
+    /// advances counters and never breaks anything.
+    pub fn advance_wear(
+        &mut self,
+        cells: std::ops::Range<u64>,
+        pulses: u64,
+        model: &crate::wear::WearModel,
+    ) -> Vec<u64> {
+        let mut newly = Vec::new();
+        if pulses == 0 {
+            return newly;
+        }
+        for cell in cells {
+            if self.stuck_at(cell).is_some() {
+                continue;
+            }
+            let worn = {
+                let w = self.wear.entry(cell).or_insert(0);
+                *w += pulses;
+                *w
+            };
+            if worn > model.limit_of(cell) {
+                self.freeze(cell, model.seed);
+                newly.push(cell);
+            }
+        }
+        newly
+    }
+
     /// Freezes a cell at a seeded polarity (wear-out / give-up path).
-    fn freeze(&mut self, cell: u64, seed: u64) {
+    pub(crate) fn freeze(&mut self, cell: u64, seed: u64) {
         let polarity = if mix(seed ^ 0xF0F0_F0F0_0F0F_0F0F, cell) & 1 == 0 {
             StuckAt::Zero
         } else {
@@ -495,6 +559,32 @@ mod tests {
         let report = m.program_weight(9, 0, &cfg, &policy);
         assert!(!report.succeeded());
         assert_eq!(m.stuck_cells(), cfg.cells_per_weight());
+    }
+
+    #[test]
+    fn realistic_fail_rates_produce_nonzero_quarantine() {
+        // Regression for the fault-sweep accounting hole: at a 2% write
+        // fail rate over ~100k weights, sticky failures must drive a
+        // visible number of cells to retry exhaustion (independent coins
+        // gave 0.02^4 per cell — nothing ever quarantined).
+        let cfg = ReramConfig::default();
+        let policy = WritePolicy::with_fail_rate(0.02, 0xBEEF);
+        let weights: Vec<i32> = (0..100_000).map(|i| (i % 251) - 125).collect();
+        let mut m = FaultMap::pristine();
+        let stuck_pre = m.stuck_cells();
+        let report = m.program_matrix(&weights, &cfg, &policy);
+        assert!(
+            report.newly_stuck > 0,
+            "sticky transient failures must exhaust some retries"
+        );
+        // Accounting invariant: every newly-stuck cell is in the map.
+        assert_eq!(
+            m.stuck_cells() - stuck_pre,
+            report.newly_stuck as usize,
+            "quarantine count must match the fault-map delta"
+        );
+        // Quarantined cells are a subset of the reported failures.
+        assert!(report.failed_cells.len() >= report.newly_stuck as usize);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! cell switching, DAC, shift-and-add, buffer) and supports the paper's
 //! what-if (1-pJ cell switching + 60 % ADC saving ⇒ ≈3× power reduction).
 
+pub mod abft;
 pub mod area;
 pub mod bitslice;
 pub mod config;
@@ -28,10 +29,13 @@ pub mod energy;
 pub mod fault;
 pub mod tile;
 pub mod variation;
+pub mod wear;
 
+pub use abft::{AbftBlock, AbftObservation};
 pub use config::ReramConfig;
 pub use crossbar::CrossbarLayout;
 pub use energy::{EnergyCounts, EnergyModel, TileEnergyBreakdown};
 pub use fault::{FaultMap, StuckAt, WritePolicy, WriteReport};
 pub use tile::{BankSpec, TileSpec};
 pub use variation::VariationModel;
+pub use wear::WearModel;

@@ -1,0 +1,154 @@
+//! Endurance wear-out distribution: per-cell write-pulse limits.
+//!
+//! [`crate::fault::WritePolicy::endurance_limit`] models a single hard
+//! cutoff shared by every cell — good enough for the write-verify loop's
+//! give-up accounting, but real TaOx/HfOx endurance is log-normal-ish:
+//! cells in the same array die orders of magnitude apart. [`WearModel`]
+//! gives every cell its own deterministic limit, log-uniform around a mean
+//! (`limit = mean · spreadᵘ`, `u ∈ [-1, 1)` hashed from the seed and cell
+//! index), so a training run wears cells out *staggered* over time instead
+//! of all at once — exactly the mid-run surprise the self-healing runtime
+//! has to detect and route around. [`crate::fault::FaultMap::advance_wear`]
+//! is the hook that charges pulses against these limits.
+//!
+//! Determinism contract: a cell's limit is a pure function of
+//! `(seed, cell)`; the same model replays the same break schedule
+//! bit-identically.
+
+use crate::fault::{mix, unit};
+
+/// Seeded per-cell endurance distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearModel {
+    /// Mean endurance in write pulses. Zero disables wear-out entirely
+    /// (every cell's limit becomes `u64::MAX`).
+    pub endurance_mean: u64,
+    /// Log-uniform spread factor (≥ 1): per-cell limits range over
+    /// `[mean / spread, mean · spread)`. A spread of 1 pins every cell at
+    /// the mean.
+    pub spread: f64,
+    /// Seed of the per-cell limits and of the polarity each worn-out cell
+    /// freezes at.
+    pub seed: u64,
+}
+
+impl WearModel {
+    /// A model whose cells never wear out.
+    pub fn disabled() -> Self {
+        WearModel {
+            endurance_mean: 0,
+            spread: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// A model with the given mean, spread and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spread < 1`.
+    pub fn new(endurance_mean: u64, spread: f64, seed: u64) -> Self {
+        assert!(spread >= 1.0, "spread is a multiplicative factor >= 1");
+        WearModel {
+            endurance_mean,
+            spread,
+            seed,
+        }
+    }
+
+    /// Whether wear-out is active.
+    pub fn is_enabled(&self) -> bool {
+        self.endurance_mean > 0
+    }
+
+    /// This cell's personal endurance limit in write pulses (at least 1;
+    /// `u64::MAX` when the model is disabled).
+    pub fn limit_of(&self, cell: u64) -> u64 {
+        if self.endurance_mean == 0 {
+            return u64::MAX;
+        }
+        let u = 2.0 * unit(self.seed ^ 0x3C3C_C3C3_3C3C_C3C3, mix(cell, 0x11)) - 1.0;
+        let limit = self.endurance_mean as f64 * self.spread.powf(u);
+        limit.round().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultMap;
+
+    #[test]
+    fn disabled_model_never_breaks_cells() {
+        let model = WearModel::disabled();
+        assert!(!model.is_enabled());
+        assert_eq!(model.limit_of(0), u64::MAX);
+        let mut m = FaultMap::pristine();
+        let newly = m.advance_wear(0..1000, 1_000_000, &model);
+        assert!(newly.is_empty());
+        assert_eq!(m.stuck_cells(), 0);
+        // Counters still advance (observable bookkeeping).
+        assert_eq!(m.wear_of(500), 1_000_000);
+    }
+
+    #[test]
+    fn limits_are_deterministic_and_centred_on_the_mean() {
+        let model = WearModel::new(10_000, 4.0, 42);
+        assert_eq!(model.limit_of(7), model.limit_of(7));
+        let limits: Vec<u64> = (0..2000).map(|c| model.limit_of(c)).collect();
+        // Log-uniform over [mean/4, mean*4).
+        assert!(limits.iter().all(|&l| (2500..40_000).contains(&l)));
+        // Spread actually spreads: both halves of the range are populated.
+        assert!(limits.iter().any(|&l| l < 10_000));
+        assert!(limits.iter().any(|&l| l > 10_000));
+        // Unit spread pins the mean exactly.
+        let flat = WearModel::new(10_000, 1.0, 42);
+        assert!((0..100).all(|c| flat.limit_of(c) == 10_000));
+    }
+
+    #[test]
+    fn wear_breaks_cells_staggered_as_pulses_accumulate() {
+        let model = WearModel::new(100, 4.0, 9);
+        let mut m = FaultMap::pristine();
+        let mut broken = 0usize;
+        let mut rounds_with_breaks = 0usize;
+        for _round in 0..40 {
+            let newly = m.advance_wear(0..256, 10, &model);
+            if !newly.is_empty() {
+                rounds_with_breaks += 1;
+            }
+            broken += newly.len();
+        }
+        // 400 pulses vs limits in [25, 400): everything eventually dies…
+        assert_eq!(broken, 256);
+        assert_eq!(m.stuck_cells(), 256);
+        // …but not all in the same round.
+        assert!(rounds_with_breaks > 1, "wear-out must be staggered");
+    }
+
+    #[test]
+    fn stuck_cells_accumulate_no_further_wear() {
+        let model = WearModel::new(10, 1.0, 1);
+        let mut m = FaultMap::pristine();
+        let newly = m.advance_wear(0..4, 11, &model);
+        assert_eq!(newly, vec![0, 1, 2, 3]);
+        assert_eq!(m.wear_of(2), 11);
+        // A second pass touches nothing: already stuck.
+        assert!(m.advance_wear(0..4, 11, &model).is_empty());
+        assert_eq!(m.wear_of(2), 11);
+    }
+
+    #[test]
+    fn wear_replays_bit_identically() {
+        let model = WearModel::new(50, 2.0, 0xABCD);
+        let run = || {
+            let mut m = FaultMap::pristine();
+            let mut log = Vec::new();
+            for _ in 0..20 {
+                log.push(m.advance_wear(0..128, 7, &model));
+            }
+            (m, log)
+        };
+        assert_eq!(run(), run());
+    }
+}

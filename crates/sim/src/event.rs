@@ -1,0 +1,50 @@
+//! Fault events emitted by the online detection loop.
+//!
+//! The scheduler layer owns the event vocabulary: a checked op that trips
+//! its ABFT residual raises a [`FaultEvent`], and the recovery runtime
+//! records which [`RecoveryAction`] resolved it. Keeping the types here
+//! (rather than in `lergan-core`) lets any consumer of the engine attach a
+//! detection loop without depending on the full accelerator model.
+
+/// What a checked op observed when its residual was evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEventKind {
+    /// The ABFT checksum residual exceeded the detection threshold:
+    /// silent corruption in the op's output.
+    ResidualFlagged {
+        /// Magnitude of the residual (integer MMV domain, exact).
+        residual: f64,
+    },
+    /// Wear-out broke cells during a training-phase write.
+    WearBreak {
+        /// Number of cells that newly failed this step.
+        cells: usize,
+    },
+}
+
+/// One detected fault, timestamped in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Training step (iteration index) during which the fault surfaced.
+    pub step: u64,
+    /// Simulated time of detection, ns from the start of the run.
+    pub time_ns: f64,
+    /// Label of the flagged op (matches the schedule's task labels).
+    pub label: String,
+    /// What was observed.
+    pub kind: FaultEventKind,
+}
+
+/// How the runtime resolved a [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Suspect cells were quarantined and the op replayed cleanly on
+    /// relocated cells — no remap needed.
+    Corrected,
+    /// Quarantine density forced a tile kill; the affected bank was
+    /// remapped with `for_phase_avoiding` and the op replayed.
+    Remapped,
+    /// Remap was impossible or the residual persisted after the retry
+    /// budget: the trainer rolled back to the last checkpoint.
+    RolledBack,
+}

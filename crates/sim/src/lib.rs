@@ -16,12 +16,14 @@
 //! let bank = e.add_resource("bank", 1);
 //! let a = e.add_task(TaskSpec::new("G-forward", 100.0).on(bank));
 //! let b = e.add_task(TaskSpec::new("D-forward", 80.0).on(bank).after(a));
-//! let done = e.run();
+//! let done = e.run().expect("acyclic");
 //! assert_eq!(done.finish_ns(b), 180.0); // serialised on the same bank
 //! ```
 
 pub mod engine;
+pub mod event;
 pub mod stats;
 
-pub use engine::{Engine, ResourceId, Schedule, TaskId, TaskSpec};
+pub use engine::{Engine, ResourceId, Schedule, SimError, TaskId, TaskSpec};
+pub use event::{FaultEvent, FaultEventKind, RecoveryAction};
 pub use stats::Breakdown;

@@ -44,7 +44,7 @@ fn build_and_run(dag: &RandomDag, on_resource: bool) -> (Vec<f64>, Vec<f64>, f64
         }
         ids.push(e.add_task(spec));
     }
-    let s = e.run();
+    let s = e.run().unwrap();
     let starts: Vec<f64> = ids.iter().map(|&t| s.start_ns(t)).collect();
     let finishes: Vec<f64> = ids.iter().map(|&t| s.finish_ns(t)).collect();
     (starts, finishes, s.makespan_ns(), s.resource_busy_ns(r))

@@ -59,8 +59,8 @@ proptest! {
     #[test]
     fn heap_schedule_equals_linear_scan(seeds in task_seeds()) {
         let (engine, ids) = build_engine(&seeds);
-        let heap = engine.run();
-        let linear = engine.run_linear_reference();
+        let heap = engine.run().unwrap();
+        let linear = engine.run_linear_reference().unwrap();
 
         prop_assert_eq!(heap.len(), linear.len());
         for &t in &ids {

@@ -10,11 +10,11 @@
 //! and the restored trainer continues the exact numeric trajectory it
 //! would have followed uninterrupted.
 
-use lergan::core::{LerGan, SystemFaults};
+use lergan::core::{LerGan, RecoveryPolicy, SelfHealingRuntime, SystemFaults};
 use lergan::gan::topology::parse_network;
 use lergan::gan::train::{build_trainable_with, Gan, UpdateRule};
 use lergan::gan::{benchmarks, Phase};
-use lergan::reram::FaultMap;
+use lergan::reram::{FaultMap, WearModel};
 use lergan::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,6 +138,82 @@ fn seeded_fault_sweep_is_deterministic_and_panic_free() {
         assert_eq!(first.broken_wires, 2);
         assert!(first.degraded_latency_ns.is_finite() && first.degraded_latency_ns > 0.0);
         assert!(first.degraded_energy_pj.is_finite() && first.degraded_energy_pj > 0.0);
+    }
+}
+
+#[test]
+fn wear_induced_fault_self_heals_bit_exactly_end_to_end() {
+    // Reference trajectory: the same trainer seeds, no hardware at all.
+    let mut reference = small_gan(31, 77);
+    let mut data_rng = StdRng::seed_from_u64(321);
+    for _ in 0..30 {
+        reference.train_step(&batch(&mut data_rng));
+    }
+
+    // Self-healed run: wear breaks cells of the ABFT-monitored block
+    // mid-run; residuals flag them, the ladder heals them online.
+    let wear = WearModel::new(15, 1.3, 0xFEED);
+    let mut rt = SelfHealingRuntime::new(
+        &benchmarks::dcgan(),
+        small_gan(31, 77),
+        SystemFaults::none(),
+        RecoveryPolicy::default(),
+        wear,
+    )
+    .expect("pristine bank assembles");
+    let mut data_rng = StdRng::seed_from_u64(321);
+    rt.run(30, |_| batch(&mut data_rng)).expect("run completes");
+
+    let r = rt.report().clone();
+    assert!(r.wear_broken_cells > 0, "wear must break cells mid-run");
+    assert!(r.detected > 0, "ABFT residuals must flag the breaks");
+    assert!(
+        r.corrected + r.remapped + r.rolled_back >= r.detected,
+        "every detection resolves: {r:?}"
+    );
+    assert_eq!(
+        rt.into_trainer().checkpoint(),
+        reference.checkpoint(),
+        "healing must cost throughput, never correctness"
+    );
+}
+
+#[test]
+fn recovery_slowdown_never_beats_the_clean_baseline() {
+    // The whole point of the accounting: detection rides on every MMV and
+    // recovery only ever adds work, so slowdown >= 1.0 in every scenario.
+    let scenarios: [(&str, WearModel, f64); 3] = [
+        ("no_wear", WearModel::disabled(), 0.0),
+        ("harsh_wear", WearModel::new(15, 1.3, 0xFEED), 0.0),
+        ("dirty_bank", WearModel::new(10, 1.2, 0xACE), 0.0005),
+    ];
+    for (label, wear, stuck_rate) in scenarios {
+        let run = || {
+            let mut faults = SystemFaults::none();
+            if stuck_rate > 0.0 {
+                *faults.bank_mut(Phase::GForward) =
+                    FaultMap::seeded(0x5EED, stuck_rate, 300_000);
+            }
+            let mut rt = SelfHealingRuntime::new(
+                &benchmarks::dcgan(),
+                small_gan(31, 77),
+                faults,
+                RecoveryPolicy::default(),
+                wear,
+            )
+            .expect("scenarios stay within surviving capacity");
+            let mut data_rng = StdRng::seed_from_u64(7);
+            rt.run(12, |_| batch(&mut data_rng)).expect("run completes");
+            rt.report().clone()
+        };
+        let r = run();
+        assert!(
+            r.slowdown() >= 1.0,
+            "{label}: degraded run must not beat the clean baseline ({})",
+            r.slowdown()
+        );
+        assert!(r.detection_overhead_frac() > 0.0 && r.detection_overhead_frac() < 0.01);
+        assert_eq!(r, run(), "{label}: self-healed runs must be deterministic");
     }
 }
 
