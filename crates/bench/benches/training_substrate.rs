@@ -8,7 +8,7 @@ use lergan_gan::train::{build_trainable_with, BatchNorm, Gan, TrainableLayer, Up
 use lergan_reram::bitslice::sliced_dot;
 use lergan_reram::ReramConfig;
 use lergan_tensor::quant::{quantized_mmv, FixedPoint};
-use lergan_tensor::Tensor;
+use lergan_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -27,15 +27,22 @@ fn bench_train_step(c: &mut Criterion) {
 }
 
 fn bench_batchnorm(c: &mut Criterion) {
+    let mut ws = Workspace::new();
     let mut bn = BatchNorm::new(16);
     let input = Tensor::from_fn(&[16, 16, 16], |i| (i[0] + i[1] * i[2]) as f32 * 0.01);
     c.bench_function("batchnorm_forward_16x16x16", |b| {
-        b.iter(|| bn.forward(black_box(&input)))
+        b.iter(|| {
+            let out = bn.forward(black_box(&input), &mut ws);
+            ws.give_tensor(out);
+        })
     });
-    let _ = bn.forward(&input);
+    let _ = bn.forward(&input, &mut ws);
     let grad = Tensor::ones(&[16, 16, 16]);
     c.bench_function("batchnorm_backward_16x16x16", |b| {
-        b.iter(|| bn.backward(black_box(&grad)))
+        b.iter(|| {
+            let din = bn.backward(black_box(&grad), &mut ws);
+            ws.give_tensor(din);
+        })
     });
 }
 

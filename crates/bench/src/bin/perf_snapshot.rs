@@ -1,29 +1,40 @@
 //! Wall-clock performance snapshot of the ZFDR execution paths and the
 //! training substrate, written to `BENCH_zfdr.json`.
 //!
-//! Times four workloads with `std::time::Instant`:
+//! Times five workloads with `std::time::Instant`:
 //!
-//! * T-CONV ZFDR (batched one-GEMM-per-pattern-class, the per-position
-//!   reference oracle, and a faithful copy of the original lazy
-//!   per-position implementation pinned below as the baseline),
-//! * W-CONV-S ZFDR (same three variants),
+//! * T-CONV ZFDR (batched one-GEMM-per-pattern-class, the cached-engine
+//!   variant, the per-position reference oracle, and a faithful copy of
+//!   the original lazy per-position implementation pinned below as the
+//!   baseline),
+//! * W-CONV-S ZFDR (same variants),
 //! * S-CONV through im2col + GEMM,
+//! * the packed GEMM kernel against the pre-packing kernel preserved in
+//!   [`lergan_bench::naive`], on the dominant GEMM shape of every Table V
+//!   benchmark GAN,
 //! * one full DCGAN training step on the reduced 16 px networks.
 //!
 //! Each ZFDR workload is timed at one worker thread and at the
 //! configured thread count (`LERGAN_THREADS` or the host parallelism),
-//! so the snapshot records both algorithmic and threading speedups.
+//! so the snapshot records both algorithmic and threading speedups. When
+//! the output file already exists, its 1-thread
+//! `gan_train_step_16px/full` time is read back first and the new
+//! snapshot records the ratio as `gan_train_step_vs_previous`.
 //!
 //! Usage: `perf_snapshot [output.json]` (default `BENCH_zfdr.json`).
 
+use lergan_bench::naive;
 use lergan_core::zfdr::exec::{
-    execute_tconv, execute_tconv_reference, execute_wconv, execute_wconv_reference,
+    execute_tconv, execute_tconv_reference, execute_wconv, execute_wconv_reference, TconvEngine,
+    WconvEngine,
 };
 use lergan_core::ZfdrPlan;
+use lergan_gan::benchmarks;
+use lergan_gan::ir::OpGraph;
 use lergan_gan::topology::parse_network;
 use lergan_gan::train::{build_trainable_with, Gan, UpdateRule};
 use lergan_tensor::im2col::conv2d_gemm;
-use lergan_tensor::tensor::mmv;
+use lergan_tensor::tensor::gemm;
 use lergan_tensor::{parallel, SconvGeometry, TconvGeometry, Tensor, WconvGeometry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,7 +114,7 @@ fn seed_tconv(input: &Tensor, weights: &Tensor, geom: &TconvGeometry) -> Tensor 
                     }
                 }
             }
-            let result = mmv(matrix, &vec);
+            let result = naive::mmv(matrix, &vec);
             for (co, &v) in result.iter().enumerate() {
                 out[&[co, oy, ox][..]] = v;
             }
@@ -145,7 +156,7 @@ fn seed_wconv(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> Tensor {
                         vec.push(input[&[ci, iy, ix]]);
                     }
                 }
-                let result = mmv(matrix, &vec);
+                let result = naive::mmv(matrix, &vec);
                 for (co, &v) in result.iter().enumerate() {
                     dw[&[co, ci, wy, wx][..]] = v;
                 }
@@ -156,22 +167,41 @@ fn seed_wconv(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> Tensor {
 }
 
 struct Entry {
-    name: &'static str,
+    name: String,
     threads: usize,
     ns: f64,
+}
+
+/// The 1-thread `gan_train_step_16px/full` time recorded in a previous
+/// snapshot at `path`, if one exists in this tool's output format.
+fn previous_train_step_ns(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if line.contains("\"gan_train_step_16px/full\"") && line.contains("\"threads\": 1") {
+            let key = "\"ns_per_iter\": ";
+            let start = line.find(key)? + key.len();
+            let rest = &line[start..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+                .unwrap_or(rest.len());
+            return rest[..end].parse().ok();
+        }
+    }
+    None
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_zfdr.json".to_string());
+    let previous_step_ns = previous_train_step_ns(&out_path);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = parallel::current_threads();
     let mut entries: Vec<Entry> = Vec::new();
-    let mut record = |name: &'static str, t: usize, ns: f64| {
+    let mut record = |name: &str, t: usize, ns: f64| {
         println!("{name:44} threads={t}  {ns:>12.0} ns/iter");
         entries.push(Entry {
-            name,
+            name: name.to_string(),
             threads: t,
             ns,
         });
@@ -206,6 +236,20 @@ fn main() {
             break;
         }
     }
+    // Cached engine: the plan and the reshaped weight matrices are built
+    // once and reused across iterations, as a training loop would.
+    let engine = TconvEngine::new(&weights, &geom);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(engine.execute(black_box(&input)));
+            })
+        });
+        record("tconv_conv1_16x8ch/engine_cached", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
 
     // T-CONV at realistic mid-network channel counts.
     let geom_w = TconvGeometry::for_upsampling(16, 5, 2).unwrap();
@@ -230,6 +274,18 @@ fn main() {
             })
         });
         record("tconv_16to32_64x32ch/batched", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+    let engine_w = TconvEngine::new(&weights_w, &geom_w);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(engine_w.execute(black_box(&input_w)));
+            })
+        });
+        record("tconv_16to32_64x32ch/engine_cached", t, ns);
         if t == threads && threads == 1 {
             break;
         }
@@ -268,6 +324,20 @@ fn main() {
             break;
         }
     }
+    // Cached engine: only the plan enumeration is reusable here (the
+    // reshaped matrices are built from the per-call ∇output).
+    let engine_g = WconvEngine::new(&geom_g);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(engine_g.execute(black_box(&input_g), black_box(&dout_g)));
+            })
+        });
+        record("wconv_8x8_8ch/engine_cached", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
 
     // S-CONV through im2col + GEMM (discriminator-style layer).
     let geom_s = SconvGeometry::new(16, 5, 2, 2).unwrap();
@@ -288,6 +358,56 @@ fn main() {
             break;
         }
     }
+
+    // Packed vs pre-packing GEMM on the dominant (largest-MAC) im2col
+    // shape of every Table V benchmark GAN, dimensions clamped so the
+    // sweep stays fast while preserving each topology's aspect mix.
+    let mut gemm_ratios: Vec<f64> = Vec::new();
+    for spec in benchmarks::all() {
+        let Some(shape) = OpGraph::build(&spec)
+            .ops()
+            .iter()
+            .map(|op| op.gemm)
+            .max_by_key(|g| g.macs())
+        else {
+            continue;
+        };
+        let clamp = |d: u128| (d as usize).clamp(1, 192);
+        let (m, k, n) = (clamp(shape.m), clamp(shape.k), clamp(shape.n));
+        let a = det(&[m, k], 31);
+        let b = det(&[k, n], 32);
+        let slug: String = spec
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let packed_ns = parallel::with_threads(1, || {
+            time_ns(|| {
+                black_box(gemm(black_box(&a), black_box(&b)));
+            })
+        });
+        let naive_ns = parallel::with_threads(1, || {
+            time_ns(|| {
+                black_box(naive::gemm(black_box(&a), black_box(&b)));
+            })
+        });
+        record(&format!("gemm_{slug}_{m}x{k}x{n}/packed"), 1, packed_ns);
+        record(&format!("gemm_{slug}_{m}x{k}x{n}/naive"), 1, naive_ns);
+        if packed_ns > 0.0 {
+            gemm_ratios.push(naive_ns / packed_ns);
+        }
+    }
+    let gemm_geomean = if gemm_ratios.is_empty() {
+        1.0
+    } else {
+        (gemm_ratios.iter().map(|r| r.ln()).sum::<f64>() / gemm_ratios.len() as f64).exp()
+    };
 
     // One full DCGAN training step on the reduced 16 px networks.
     let mut rng = StdRng::seed_from_u64(1);
@@ -326,6 +446,11 @@ fn main() {
         (Some(one), Some(multi)) if multi > 0.0 => one / multi,
         _ => 1.0,
     };
+    let step_ns = find("gan_train_step_16px/full", 1);
+    let step_vs_previous = match (previous_step_ns, step_ns) {
+        (Some(prev), Some(now)) if now > 0.0 => prev / now,
+        _ => 1.0,
+    };
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -343,11 +468,13 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_speedup:.2}\n  }}\n"
+        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_speedup:.2},\n    \"gemm_packed_vs_naive_geomean\": {gemm_geomean:.2},\n    \"gan_train_step_vs_previous\": {step_vs_previous:.2}\n  }}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("\nbatched vs seed per-position (CONV1, 1 thread): {speedup_conv1:.2}x");
     println!("batched {threads} threads vs 1 thread (CONV1):    {thread_speedup:.2}x");
+    println!("packed vs naive GEMM (geomean over Table V):    {gemm_geomean:.2}x");
+    println!("train step vs previous snapshot (1 thread):     {step_vs_previous:.2}x");
     println!("wrote {out_path}");
 }

@@ -12,6 +12,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod naive;
 pub mod table;
 
 pub use harness::{Format, Report, Section};

@@ -23,6 +23,12 @@
 //! gather order from an f32 zero, so they agree **bit-for-bit**, and both
 //! report identical logical statistics (MMVs are counted per output
 //! position even when the batched path fuses them into one GEMM).
+//!
+//! Iterating callers (training loops, benchmark harnesses) should hold a
+//! [`TconvEngine`] / [`WconvEngine`] instead of calling the free
+//! functions: the engines cache the plan enumeration — and, for T-CONV,
+//! the reshaped weight matrices — across calls, invalidating the matrices
+//! only on [`TconvEngine::set_weights`].
 
 use crate::zfdr::plan::{AxisClass, ZfdrPlan};
 use lergan_tensor::tensor::{gemm, gemm_nt, mmv};
@@ -199,12 +205,183 @@ fn check_tconv_operands(input: &Tensor, weights: &Tensor, geom: &TconvGeometry) 
     (oc, ic)
 }
 
+/// A T-CONV ZFDR engine caching everything that survives across
+/// iterations: the plan (axis classes, position groups, class pairs —
+/// geometry-only) and the reshaped weight matrices (geometry + weights).
+///
+/// A training loop re-executes the same layer every iteration but changes
+/// its weights only at optimiser steps, so the reshape cost is paid once
+/// per weight *update* instead of once per *call*: build the engine once,
+/// call [`TconvEngine::execute`] per iteration, and call
+/// [`TconvEngine::set_weights`] after each update to invalidate and
+/// rebuild the cached matrices.
+///
+/// Execution is bit-identical to [`execute_tconv`] — which is a thin
+/// construct-and-execute wrapper over this engine — and therefore to
+/// [`execute_tconv_reference`].
+#[derive(Debug, Clone)]
+pub struct TconvEngine {
+    geom: TconvGeometry,
+    plan: ZfdrPlan,
+    groups: Vec<Vec<usize>>,
+    pairs: Vec<(usize, usize)>,
+    matrices: Vec<Option<Tensor>>,
+    oc: usize,
+    ic: usize,
+}
+
+impl TconvEngine {
+    /// Enumerates the plan for `geom` and materialises the reshaped
+    /// matrices of `weights` (`[OC, IC, W, W]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel extent disagrees with the geometry.
+    pub fn new(weights: &Tensor, geom: &TconvGeometry) -> Self {
+        let (oc, ic, w) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+        assert_eq!(w, geom.kernel, "kernel extent mismatch");
+        let plan = ZfdrPlan::for_tconv(geom);
+        let groups = positions_by_class(&plan, geom.output);
+        let pairs = class_pairs(plan.axis_classes());
+        let matrices = tconv_class_matrices(weights, plan.axis_classes(), &pairs);
+        TconvEngine {
+            geom: *geom,
+            plan,
+            groups,
+            pairs,
+            matrices,
+            oc,
+            ic,
+        }
+    }
+
+    /// The geometry this engine was planned for.
+    pub fn geometry(&self) -> &TconvGeometry {
+        &self.geom
+    }
+
+    /// Invalidates the cached reshaped matrices and rebuilds them from
+    /// updated weights; the geometry-derived plan is reused untouched.
+    /// Call after every optimiser step that touches this layer's weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shape differs from construction.
+    pub fn set_weights(&mut self, weights: &Tensor) {
+        assert_eq!(
+            weights.shape(),
+            &[self.oc, self.ic, self.geom.kernel, self.geom.kernel],
+            "weight shape changed under cached engine"
+        );
+        self.matrices = tconv_class_matrices(weights, self.plan.axis_classes(), &self.pairs);
+    }
+
+    /// Executes one T-CONV against the cached matrices: `input` is
+    /// `[IC, I, I]`, returns the `[OC, O, O]` output and the statistics.
+    /// Bit-identical to [`execute_tconv`] on the same weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatch.
+    pub fn execute(&self, input: &Tensor) -> (Tensor, ZfdrStats) {
+        let (oc, ic) = (self.oc, self.ic);
+        let geom = &self.geom;
+        let classes = self.plan.axis_classes();
+        let o = geom.output;
+        let p = geom.insertion_pad;
+        let s = geom.converse_stride;
+        let i_ext = geom.input;
+        assert_eq!(input.shape(), &[ic, i_ext, i_ext], "input shape");
+        let (groups, pairs, matrices) = (&self.groups, &self.pairs, &self.matrices);
+        let n = classes.len();
+        let idata = input.data();
+        let iplane = i_ext * i_ext;
+
+        // One gather + one GEMM per pattern class, classes in parallel. The
+        // gather matrix is built transposed — one contiguous row per output
+        // position, in the reshaped matrix's column order — so `gemm_nt`
+        // computes, per output element, the same ascending-order dot product
+        // the reference path's `mmv` computes: the results are bit-identical.
+        let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
+            let (rc, cc) = pairs[pi];
+            let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+            let (rows, cols) = (&groups[rc], &groups[cc]);
+            let npos = rows.len() * cols.len();
+            let dim = pr.len() * pc.len() * ic;
+            let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
+            if npos >= BLOCKED_GEMM_MIN_COLS {
+                // Wide class: row-major gather `[dim, npos]`, blocked GEMM.
+                let mut gathered = vec![0.0f32; dim * npos];
+                let mut r = 0;
+                for &ky in pr {
+                    for &kx in pc {
+                        for ci in 0..ic {
+                            let cbase = ci * iplane;
+                            let grow = &mut gathered[r * npos..(r + 1) * npos];
+                            let mut col = 0;
+                            for &oy in rows {
+                                let rbase = cbase + (oy + ky - p) / s * i_ext;
+                                for &ox in cols {
+                                    grow[col] = idata[rbase + (ox + kx - p) / s];
+                                    col += 1;
+                                }
+                            }
+                            r += 1;
+                        }
+                    }
+                }
+                gemm(matrix, &Tensor::from_vec(&[dim, npos], gathered))
+            } else {
+                // Narrow class: transposed gather `[npos, dim]`, dot kernel.
+                let mut gathered = Vec::with_capacity(npos * dim);
+                for &oy in rows {
+                    for &ox in cols {
+                        for &ky in pr {
+                            let rbase = (oy + ky - p) / s * i_ext;
+                            for &kx in pc {
+                                let off = rbase + (ox + kx - p) / s;
+                                for ci in 0..ic {
+                                    gathered.push(idata[ci * iplane + off]);
+                                }
+                            }
+                        }
+                    }
+                }
+                gemm_nt(matrix, &Tensor::from_vec(&[npos, dim], gathered))
+            }
+        });
+
+        let mut out = Tensor::zeros(&[oc, o, o]);
+        let odata = out.data_mut();
+        for (pi, &(rc, cc)) in pairs.iter().enumerate() {
+            let (rows, cols) = (&groups[rc], &groups[cc]);
+            let npos = rows.len() * cols.len();
+            let rdata = results[pi].data();
+            for co in 0..oc {
+                let obase = co * o * o;
+                let rbase = co * npos;
+                let mut col = 0;
+                for &oy in rows {
+                    for &ox in cols {
+                        odata[obase + oy * o + ox] = rdata[rbase + col];
+                        col += 1;
+                    }
+                }
+            }
+        }
+        (out, tconv_stats(classes, groups, pairs, ic, oc))
+    }
+}
+
 /// Executes a T-CONV through T-CONV ZFDR, batching every pattern class
 /// into one GEMM over its whole reuse set.
 ///
 /// `input` is `[IC, I, I]`, `weights` are `[OC, IC, W, W]`; returns the
 /// `[OC, O, O]` output and the execution statistics. Bit-identical to
 /// [`execute_tconv_reference`] with identical statistics.
+///
+/// One-shot wrapper over [`TconvEngine`]; iterating callers should hold
+/// an engine instead so the reshaped matrices are cached across calls.
 ///
 /// # Panics
 ///
@@ -214,93 +391,8 @@ pub fn execute_tconv(
     weights: &Tensor,
     geom: &TconvGeometry,
 ) -> (Tensor, ZfdrStats) {
-    let (oc, ic) = check_tconv_operands(input, weights, geom);
-    let plan = ZfdrPlan::for_tconv(geom);
-    let classes = plan.axis_classes();
-    let o = geom.output;
-    let p = geom.insertion_pad;
-    let s = geom.converse_stride;
-    let i_ext = geom.input;
-    let groups = positions_by_class(&plan, o);
-    let pairs = class_pairs(classes);
-    let matrices = tconv_class_matrices(weights, classes, &pairs);
-    let n = classes.len();
-    let idata = input.data();
-    let iplane = i_ext * i_ext;
-
-    // One gather + one GEMM per pattern class, classes in parallel. The
-    // gather matrix is built transposed — one contiguous row per output
-    // position, in the reshaped matrix's column order — so `gemm_nt`
-    // computes, per output element, the same ascending-order dot product
-    // the reference path's `mmv` computes: the results are bit-identical.
-    let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
-        let (rc, cc) = pairs[pi];
-        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
-        let (rows, cols) = (&groups[rc], &groups[cc]);
-        let npos = rows.len() * cols.len();
-        let dim = pr.len() * pc.len() * ic;
-        let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
-        if npos >= BLOCKED_GEMM_MIN_COLS {
-            // Wide class: row-major gather `[dim, npos]`, blocked GEMM.
-            let mut gathered = vec![0.0f32; dim * npos];
-            let mut r = 0;
-            for &ky in pr {
-                for &kx in pc {
-                    for ci in 0..ic {
-                        let cbase = ci * iplane;
-                        let grow = &mut gathered[r * npos..(r + 1) * npos];
-                        let mut col = 0;
-                        for &oy in rows {
-                            let rbase = cbase + (oy + ky - p) / s * i_ext;
-                            for &ox in cols {
-                                grow[col] = idata[rbase + (ox + kx - p) / s];
-                                col += 1;
-                            }
-                        }
-                        r += 1;
-                    }
-                }
-            }
-            gemm(matrix, &Tensor::from_vec(&[dim, npos], gathered))
-        } else {
-            // Narrow class: transposed gather `[npos, dim]`, dot kernel.
-            let mut gathered = Vec::with_capacity(npos * dim);
-            for &oy in rows {
-                for &ox in cols {
-                    for &ky in pr {
-                        let rbase = (oy + ky - p) / s * i_ext;
-                        for &kx in pc {
-                            let off = rbase + (ox + kx - p) / s;
-                            for ci in 0..ic {
-                                gathered.push(idata[ci * iplane + off]);
-                            }
-                        }
-                    }
-                }
-            }
-            gemm_nt(matrix, &Tensor::from_vec(&[npos, dim], gathered))
-        }
-    });
-
-    let mut out = Tensor::zeros(&[oc, o, o]);
-    let odata = out.data_mut();
-    for (pi, &(rc, cc)) in pairs.iter().enumerate() {
-        let (rows, cols) = (&groups[rc], &groups[cc]);
-        let npos = rows.len() * cols.len();
-        let rdata = results[pi].data();
-        for co in 0..oc {
-            let obase = co * o * o;
-            let rbase = co * npos;
-            let mut col = 0;
-            for &oy in rows {
-                for &ox in cols {
-                    odata[obase + oy * o + ox] = rdata[rbase + col];
-                    col += 1;
-                }
-            }
-        }
-    }
-    (out, tconv_stats(classes, &groups, &pairs, ic, oc))
+    check_tconv_operands(input, weights, geom);
+    TconvEngine::new(weights, geom).execute(input)
 }
 
 /// Executes a T-CONV through T-CONV ZFDR, one MMV per output position —
@@ -375,6 +467,137 @@ fn check_wconv_operands(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> 
     (ic, oc)
 }
 
+/// A W-CONV-S ZFDR engine caching the geometry-derived plan (axis
+/// classes, position groups, class pairs) across iterations.
+///
+/// Unlike [`TconvEngine`], the reshaped matrices here are built from the
+/// per-call `∇output` — fresh data every training step — so only the plan
+/// enumeration is cacheable; there is no `set_weights` analogue.
+/// Execution is bit-identical to [`execute_wconv`], which wraps this
+/// engine one-shot.
+#[derive(Debug, Clone)]
+pub struct WconvEngine {
+    geom: WconvGeometry,
+    plan: ZfdrPlan,
+    groups: Vec<Vec<usize>>,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl WconvEngine {
+    /// Enumerates and caches the plan for `geom`.
+    pub fn new(geom: &WconvGeometry) -> Self {
+        let plan = ZfdrPlan::for_wconv(geom);
+        let groups = positions_by_class(&plan, geom.gradient_extent());
+        let pairs = class_pairs(plan.axis_classes());
+        WconvEngine {
+            geom: *geom,
+            plan,
+            groups,
+            pairs,
+        }
+    }
+
+    /// The geometry this engine was planned for.
+    pub fn geometry(&self) -> &WconvGeometry {
+        &self.geom
+    }
+
+    /// Executes one weight-gradient convolution against the cached plan:
+    /// `input` is `[IC, I, I]`, `dout` is `[OC, O, O]`; returns
+    /// `[OC, IC, W, W]` and the statistics. Bit-identical to
+    /// [`execute_wconv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand shape mismatches.
+    pub fn execute(&self, input: &Tensor, dout: &Tensor) -> (Tensor, ZfdrStats) {
+        let (ic, oc) = check_wconv_operands(input, dout, &self.geom);
+        let f = self.geom.forward;
+        let classes = self.plan.axis_classes();
+        let w = self.geom.gradient_extent();
+        let i_ext = f.input;
+        let (groups, pairs) = (&self.groups, &self.pairs);
+        let matrices = wconv_class_matrices(dout, classes, pairs);
+        let n = classes.len();
+        let idata = input.data();
+        let iplane = i_ext * i_ext;
+
+        // Transposed gather: one contiguous row per (position, in-channel)
+        // column, in `(oy in pr) × (ox in pc)` order — the reshaped
+        // matrix's column order — so each output element is the reference
+        // `mmv` dot product, bit for bit.
+        let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
+            let (rc, cc) = pairs[pi];
+            let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+            let (rows, cols) = (&groups[rc], &groups[cc]);
+            let ncols = rows.len() * cols.len() * ic;
+            let dim = pr.len() * pc.len();
+            let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
+            if ncols >= BLOCKED_GEMM_MIN_COLS {
+                // Wide class: row-major gather `[dim, ncols]`, blocked GEMM.
+                let mut gathered = vec![0.0f32; dim * ncols];
+                for (oyi, &oh) in pr.iter().enumerate() {
+                    for (oxi, &ow) in pc.iter().enumerate() {
+                        let r = oyi * pc.len() + oxi;
+                        let grow = &mut gathered[r * ncols..(r + 1) * ncols];
+                        let mut col = 0;
+                        for &wy in rows {
+                            let rbase = (wy + oh * f.stride - f.pad) * i_ext;
+                            for &wx in cols {
+                                let off = rbase + wx + ow * f.stride - f.pad;
+                                for ci in 0..ic {
+                                    grow[col] = idata[ci * iplane + off];
+                                    col += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                gemm(matrix, &Tensor::from_vec(&[dim, ncols], gathered))
+            } else {
+                // Narrow class: transposed gather `[ncols, dim]`, dot kernel.
+                let mut gathered = Vec::with_capacity(ncols * dim);
+                for &wy in rows {
+                    for &wx in cols {
+                        for ci in 0..ic {
+                            let cbase = ci * iplane;
+                            for &oh in pr {
+                                let rbase = cbase + (wy + oh * f.stride - f.pad) * i_ext;
+                                for &ow in pc {
+                                    gathered.push(idata[rbase + wx + ow * f.stride - f.pad]);
+                                }
+                            }
+                        }
+                    }
+                }
+                gemm_nt(matrix, &Tensor::from_vec(&[ncols, dim], gathered))
+            }
+        });
+
+        let mut dw = Tensor::zeros(&[oc, ic, w, w]);
+        let ddata = dw.data_mut();
+        for (pi, &(rc, cc)) in pairs.iter().enumerate() {
+            let (rows, cols) = (&groups[rc], &groups[cc]);
+            let ncols = rows.len() * cols.len() * ic;
+            let rdata = results[pi].data();
+            for co in 0..oc {
+                let rbase = co * ncols;
+                let obase = co * ic * w * w;
+                let mut col = 0;
+                for &wy in rows {
+                    for &wx in cols {
+                        for ci in 0..ic {
+                            ddata[obase + ci * w * w + wy * w + wx] = rdata[rbase + col];
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (dw, wconv_stats(classes, groups, pairs, ic, oc))
+    }
+}
+
 /// Executes the discriminator weight-gradient convolution through
 /// W-CONV-S ZFDR, batching every pattern class into one GEMM over all of
 /// its `(position, in-channel)` columns.
@@ -383,96 +606,14 @@ fn check_wconv_operands(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> 
 /// `[OC, IC, W, W]` and the statistics. Bit-identical to
 /// [`execute_wconv_reference`] with identical statistics.
 ///
+/// One-shot wrapper over [`WconvEngine`]; iterating callers should hold
+/// an engine so the plan enumeration is cached across calls.
+///
 /// # Panics
 ///
 /// Panics on operand shape mismatches.
 pub fn execute_wconv(input: &Tensor, dout: &Tensor, geom: &WconvGeometry) -> (Tensor, ZfdrStats) {
-    let (ic, oc) = check_wconv_operands(input, dout, geom);
-    let f = geom.forward;
-    let plan = ZfdrPlan::for_wconv(geom);
-    let classes = plan.axis_classes();
-    let w = geom.gradient_extent();
-    let i_ext = f.input;
-    let groups = positions_by_class(&plan, w);
-    let pairs = class_pairs(classes);
-    let matrices = wconv_class_matrices(dout, classes, &pairs);
-    let n = classes.len();
-    let idata = input.data();
-    let iplane = i_ext * i_ext;
-
-    // Transposed gather: one contiguous row per (position, in-channel)
-    // column, in `(oy in pr) × (ox in pc)` order — the reshaped matrix's
-    // column order — so each output element is the reference `mmv` dot
-    // product, bit for bit.
-    let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
-        let (rc, cc) = pairs[pi];
-        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
-        let (rows, cols) = (&groups[rc], &groups[cc]);
-        let ncols = rows.len() * cols.len() * ic;
-        let dim = pr.len() * pc.len();
-        let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
-        if ncols >= BLOCKED_GEMM_MIN_COLS {
-            // Wide class: row-major gather `[dim, ncols]`, blocked GEMM.
-            let mut gathered = vec![0.0f32; dim * ncols];
-            for (oyi, &oh) in pr.iter().enumerate() {
-                for (oxi, &ow) in pc.iter().enumerate() {
-                    let r = oyi * pc.len() + oxi;
-                    let grow = &mut gathered[r * ncols..(r + 1) * ncols];
-                    let mut col = 0;
-                    for &wy in rows {
-                        let rbase = (wy + oh * f.stride - f.pad) * i_ext;
-                        for &wx in cols {
-                            let off = rbase + wx + ow * f.stride - f.pad;
-                            for ci in 0..ic {
-                                grow[col] = idata[ci * iplane + off];
-                                col += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            gemm(matrix, &Tensor::from_vec(&[dim, ncols], gathered))
-        } else {
-            // Narrow class: transposed gather `[ncols, dim]`, dot kernel.
-            let mut gathered = Vec::with_capacity(ncols * dim);
-            for &wy in rows {
-                for &wx in cols {
-                    for ci in 0..ic {
-                        let cbase = ci * iplane;
-                        for &oh in pr {
-                            let rbase = cbase + (wy + oh * f.stride - f.pad) * i_ext;
-                            for &ow in pc {
-                                gathered.push(idata[rbase + wx + ow * f.stride - f.pad]);
-                            }
-                        }
-                    }
-                }
-            }
-            gemm_nt(matrix, &Tensor::from_vec(&[ncols, dim], gathered))
-        }
-    });
-
-    let mut dw = Tensor::zeros(&[oc, ic, w, w]);
-    let ddata = dw.data_mut();
-    for (pi, &(rc, cc)) in pairs.iter().enumerate() {
-        let (rows, cols) = (&groups[rc], &groups[cc]);
-        let ncols = rows.len() * cols.len() * ic;
-        let rdata = results[pi].data();
-        for co in 0..oc {
-            let rbase = co * ncols;
-            let obase = co * ic * w * w;
-            let mut col = 0;
-            for &wy in rows {
-                for &wx in cols {
-                    for ci in 0..ic {
-                        ddata[obase + ci * w * w + wy * w + wx] = rdata[rbase + col];
-                        col += 1;
-                    }
-                }
-            }
-        }
-    }
-    (dw, wconv_stats(classes, &groups, &pairs, ic, oc))
+    WconvEngine::new(geom).execute(input, dout)
 }
 
 /// Executes the W-CONV-S weight gradient one MMV per
@@ -647,6 +788,55 @@ mod tests {
         let (zf, _) = execute_wconv(&input, &dout, &geom);
         let reference = conv.weight_grad(&input, &dout);
         assert_tensors_close(&zf, &reference, 1e-3);
+    }
+
+    #[test]
+    fn tconv_engine_reuses_matrices_and_invalidates_on_set_weights() {
+        let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+        let w1 = det(&[4, 8, 5, 5], 2);
+        let mut engine = TconvEngine::new(&w1, &geom);
+        // Several executions against the same cached matrices, each
+        // bit-identical to the per-call reference path.
+        for seed in [1, 21, 31] {
+            let input = det(&[8, 4, 4], seed);
+            let (cached, cstats) = engine.execute(&input);
+            let (reference, rstats) = execute_tconv_reference(&input, &w1, &geom);
+            assert_eq!(cached.data(), reference.data(), "seed {seed}");
+            assert_eq!(cstats, rstats, "seed {seed}");
+        }
+        // A weight update must invalidate the cache: after set_weights the
+        // engine computes the new weights' result, not the stale one.
+        let w2 = det(&[4, 8, 5, 5], 40);
+        let input = det(&[8, 4, 4], 50);
+        let (stale, _) = engine.execute(&input);
+        engine.set_weights(&w2);
+        let (fresh, _) = engine.execute(&input);
+        let (reference, _) = execute_tconv_reference(&input, &w2, &geom);
+        assert_eq!(fresh.data(), reference.data());
+        assert_ne!(stale.data(), fresh.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight shape changed")]
+    fn tconv_engine_rejects_weight_shape_change() {
+        let geom = TconvGeometry::for_upsampling(4, 5, 2).unwrap();
+        let mut engine = TconvEngine::new(&det(&[4, 8, 5, 5], 2), &geom);
+        engine.set_weights(&det(&[2, 8, 5, 5], 2));
+    }
+
+    #[test]
+    fn wconv_engine_matches_reference_across_calls() {
+        let geom = WconvGeometry::new(8, 5, 2, 2).unwrap();
+        let o = geom.forward.output;
+        let engine = WconvEngine::new(&geom);
+        for seed in [7, 17, 27] {
+            let input = det(&[3, 8, 8], seed);
+            let dout = det(&[2, o, o], seed + 1);
+            let (cached, cstats) = engine.execute(&input, &dout);
+            let (reference, rstats) = execute_wconv_reference(&input, &dout, &geom);
+            assert_eq!(cached.data(), reference.data(), "seed {seed}");
+            assert_eq!(cstats, rstats, "seed {seed}");
+        }
     }
 
     #[test]

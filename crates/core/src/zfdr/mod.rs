@@ -20,5 +20,5 @@ pub mod closed_form;
 pub mod exec;
 pub mod plan;
 
-pub use exec::{execute_tconv, execute_wconv, ZfdrStats};
+pub use exec::{execute_tconv, execute_wconv, TconvEngine, WconvEngine, ZfdrStats};
 pub use plan::{AxisClass, ClassKind, KindSummary, ZfdrPlan};

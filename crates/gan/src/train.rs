@@ -14,10 +14,9 @@ use crate::ir::{GemmShape, OpId};
 use crate::layer::Layer;
 use crate::phase::Phase;
 use crate::topology::NetworkSpec;
-use lergan_tensor::conv::wconv_weight_grad_zero_insert;
-use lergan_tensor::im2col::conv2d_gemm;
-use lergan_tensor::zero_insert::expand_tconv_input;
-use lergan_tensor::{Conv2d, SconvGeometry, TconvGeometry, Tensor, WconvGeometry};
+use lergan_tensor::im2col::im2col_into;
+use lergan_tensor::kernel::{gemm_buf, gemm_nt_buf, mmv_buf};
+use lergan_tensor::{Conv2d, SconvGeometry, TconvGeometry, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,14 +24,23 @@ use rand::{Rng, SeedableRng};
 ///
 /// `forward` caches whatever `backward` needs; `backward` accumulates
 /// parameter gradients and returns the gradient w.r.t. the layer input.
+///
+/// Every method draws its scratch and result buffers from the caller's
+/// [`Workspace`]: returned tensors are built on pooled buffers, and the
+/// caller recycles them into the same workspace once consumed (see
+/// [`Sequential::recycle`]). With that discipline, a steady-state training
+/// step performs no heap allocation.
 pub trait TrainableLayer {
-    /// Forward pass for a single sample, caching activations.
-    fn forward(&mut self, input: &Tensor) -> Tensor;
-    /// Backward pass; accumulates parameter gradients and returns `∇input`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Forward pass for a single sample, caching activations. The returned
+    /// tensor's buffer is drawn from `ws`.
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor;
+    /// Backward pass; accumulates parameter gradients and returns `∇input`
+    /// (buffer drawn from `ws`).
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor;
     /// Applies accumulated gradients through `rule` (with `step` counting
-    /// optimiser steps, for Adam's bias correction) and clears them.
-    fn apply_update(&mut self, rule: &UpdateRule, step: u64);
+    /// optimiser steps, for Adam's bias correction) and clears them. `ws`
+    /// serves the optimiser's element-wise temporaries.
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64, ws: &mut Workspace);
     /// Clears accumulated gradients without applying them.
     fn zero_grads(&mut self);
 
@@ -213,6 +221,16 @@ fn he_init(rng: &mut StdRng, shape: &[usize], fan_in: usize) -> Tensor {
     Tensor::from_fn(shape, |_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
 }
 
+/// Reuses `slot` as a `shape`-shaped activation cache, allocating only when
+/// the shape changes — in steady state (fixed network geometry) never.
+/// Contents are unspecified; the caller fully overwrites them.
+fn cache_buf<'a>(slot: &'a mut Option<Tensor>, shape: &[usize]) -> &'a mut Tensor {
+    if slot.as_ref().is_none_or(|t| t.shape() != shape) {
+        *slot = Some(Tensor::zeros(shape));
+    }
+    slot.as_mut().expect("slot populated above")
+}
+
 /// The update rule applied to accumulated gradients.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UpdateRule {
@@ -290,8 +308,17 @@ impl OptState {
         Ok(())
     }
 
-    /// Applies `rule` to `weights` given the accumulated `grad`.
-    fn apply(&mut self, rule: &UpdateRule, step: u64, weights: &mut Tensor, grad: &Tensor) {
+    /// Applies `rule` to `weights` given the accumulated `grad`, drawing
+    /// Adam's element-wise temporary from `ws` (moments themselves are
+    /// persistent state, created lazily on the first update).
+    fn apply(
+        &mut self,
+        rule: &UpdateRule,
+        step: u64,
+        weights: &mut Tensor,
+        grad: &Tensor,
+        ws: &mut Workspace,
+    ) {
         match *rule {
             UpdateRule::Sgd { lr } => weights.axpy_in_place(-lr, grad),
             UpdateRule::Momentum { lr, beta } => {
@@ -310,14 +337,21 @@ impl OptState {
                 m.scale_in_place(beta1);
                 m.axpy_in_place(1.0 - beta1, grad);
                 let v = self.v.get_or_insert_with(|| Tensor::zeros(grad.shape()));
-                let g2 = grad.map(|g| g * g);
+                // One pooled temporary serves both g² and the update.
+                let mut tmp = ws.take(grad.len());
+                for (t, &g) in tmp.iter_mut().zip(grad.data()) {
+                    *t = g * g;
+                }
                 v.scale_in_place(beta2);
-                v.axpy_in_place(1.0 - beta2, &g2);
+                v.axpy_slice_in_place(1.0 - beta2, &tmp);
                 let t = step.max(1) as i32;
                 let mc = 1.0 - beta1.powi(t);
                 let vc = 1.0 - beta2.powi(t);
-                let update = m.zip_with(v, |mi, vi| (mi / mc) / ((vi / vc).sqrt() + eps));
-                weights.axpy_in_place(-lr, &update);
+                for ((u, &mi), &vi) in tmp.iter_mut().zip(m.data()).zip(v.data()) {
+                    *u = (mi / mc) / ((vi / vc).sqrt() + eps);
+                }
+                weights.axpy_slice_in_place(-lr, &tmp);
+                ws.give(tmp);
             }
         }
     }
@@ -352,25 +386,29 @@ impl DenseLayer {
 }
 
 impl TrainableLayer for DenseLayer {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.cached_shape = input.shape().to_vec();
-        let flat = input.reshaped(&[input.len()]);
-        let out = lergan_tensor::tensor::mmv(&self.weights, flat.data());
-        self.cached_input = Some(flat);
-        Tensor::from_vec(&[out.len()], out)
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.cached_shape.clear();
+        self.cached_shape.extend_from_slice(input.shape());
+        let cache = cache_buf(&mut self.cached_input, &[input.len()]);
+        cache.data_mut().copy_from_slice(input.data());
+        let (o, i) = (self.weights.shape()[0], self.weights.shape()[1]);
+        let mut out = ws.take(o);
+        mmv_buf(o, i, self.weights.data(), input.data(), &mut out);
+        Tensor::from_vec(&[o], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let (o, i) = (self.weights.shape()[0], self.weights.shape()[1]);
         assert_eq!(grad_out.len(), o, "gradient width mismatch");
         for oi in 0..o {
             let g = grad_out.data()[oi];
-            for ii in 0..i {
-                self.grad.data_mut()[oi * i + ii] += g * input.data()[ii];
+            let grow = &mut self.grad.data_mut()[oi * i..(oi + 1) * i];
+            for (slot, &x) in grow.iter_mut().zip(input.data()) {
+                *slot += g * x;
             }
         }
-        let mut din = vec![0.0f32; i];
+        let mut din = ws.take_zeroed(i);
         for oi in 0..o {
             let g = grad_out.data()[oi];
             let row = &self.weights.data()[oi * i..(oi + 1) * i];
@@ -381,13 +419,13 @@ impl TrainableLayer for DenseLayer {
         Tensor::from_vec(&self.cached_shape, din)
     }
 
-    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
-        self.opt.apply(rule, step, &mut self.weights, &self.grad);
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64, ws: &mut Workspace) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad, ws);
         self.zero_grads();
     }
 
     fn zero_grads(&mut self) {
-        self.grad = Tensor::zeros(self.grad.shape());
+        self.grad.fill(0.0);
     }
 
     fn capture_state(&self) -> LayerState {
@@ -401,7 +439,7 @@ impl TrainableLayer for DenseLayer {
         self.weights = state.require(layer, "weights", self.weights.shape())?;
         self.opt
             .restore_from("opt", state, layer, self.weights.shape())?;
-        self.grad = Tensor::zeros(self.grad.shape());
+        self.grad.fill(0.0);
         self.cached_input = None;
         self.cached_shape.clear();
         Ok(())
@@ -425,7 +463,10 @@ pub struct ConvTrainLayer {
     declared: Option<SconvGeometry>,
     weights: Tensor, // [oc, ic, k, k]
     grad: Tensor,
-    cached_input: Option<Tensor>,
+    /// im2col matrix `[IC·K·K, O·O]` of the last forward input, reused by
+    /// the backward weight-gradient GEMM.
+    cached_cols: Option<Tensor>,
+    cached_extent: usize,
     opt: OptState,
 }
 
@@ -446,7 +487,8 @@ impl ConvTrainLayer {
             declared: None,
             weights: he_init(rng, &shape, in_channels * kernel * kernel),
             grad: Tensor::zeros(&shape),
-            cached_input: None,
+            cached_cols: None,
+            cached_extent: 0,
             opt: OptState::default(),
         })
     }
@@ -473,35 +515,52 @@ impl ConvTrainLayer {
 }
 
 impl TrainableLayer for ConvTrainLayer {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let extent = input.shape()[1];
+        self.cached_extent = extent;
+        let geom = self.op.geometry(extent);
+        let (oc, ic, k) = (
+            self.weights.shape()[0],
+            self.weights.shape()[1],
+            self.weights.shape()[2],
+        );
+        assert_eq!(input.shape()[0], ic, "input channel mismatch");
+        let (red, oo) = (ic * k * k, geom.output * geom.output);
         // im2col + GEMM realisation of the loop-nest `Conv2d::forward`:
         // both accumulate (ci, ky, kx) ascending per output element, so
-        // the results are bit-identical and the GEMM runs on the
-        // thread-parallel blocked kernel.
-        let geom = self.op.geometry(input.shape()[1]);
-        conv2d_gemm(input, &self.weights, &geom)
+        // the results are bit-identical and the GEMM runs on the packed
+        // kernel. The `[OC, IC·K·K]` weight matrix is the kernels tensor's
+        // own row-major layout, so no reshape copy is made.
+        let cols = cache_buf(&mut self.cached_cols, &[red, oo]);
+        im2col_into(input, &geom, cols.data_mut());
+        let mut out = ws.take(oc * oo);
+        gemm_buf(oc, red, oo, self.weights.data(), cols.data(), &mut out);
+        Tensor::from_vec(&[oc, geom.output, geom.output], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward");
-        // D-w path: the zero-inserted-kernel W-CONV of Fig. 6.
-        let geom = WconvGeometry {
-            forward: self.op.geometry(input.shape()[1]),
-        };
-        let dw = wconv_weight_grad_zero_insert(input, grad_out, &geom);
-        self.grad.axpy_in_place(1.0, &dw);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let cols = self.cached_cols.as_ref().expect("backward before forward");
+        let (red, oo) = (cols.shape()[0], cols.shape()[1]);
+        let oc = self.weights.shape()[0];
+        assert_eq!(grad_out.len(), oc * oo, "∇output shape mismatch");
+        // D-w path, the W-CONV of Fig. 6: every weight tap's gradient is a
+        // dot product of ∇output with the matching im2col row — one GEMM
+        // against the transposed column matrix cached by `forward`.
+        let mut dw = ws.take(oc * red);
+        gemm_nt_buf(oc, oo, red, grad_out.data(), cols.data(), &mut dw);
+        self.grad.axpy_slice_in_place(1.0, &dw);
+        ws.give(dw);
         self.op
-            .input_grad(grad_out, &self.weights, input.shape()[1])
+            .input_grad_with(grad_out, &self.weights, self.cached_extent, ws)
     }
 
-    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
-        self.opt.apply(rule, step, &mut self.weights, &self.grad);
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64, ws: &mut Workspace) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad, ws);
         self.zero_grads();
     }
 
     fn zero_grads(&mut self) {
-        self.grad = Tensor::zeros(self.grad.shape());
+        self.grad.fill(0.0);
     }
 
     fn capture_state(&self) -> LayerState {
@@ -515,8 +574,9 @@ impl TrainableLayer for ConvTrainLayer {
         self.weights = state.require(layer, "weights", self.weights.shape())?;
         self.opt
             .restore_from("opt", state, layer, self.weights.shape())?;
-        self.grad = Tensor::zeros(self.grad.shape());
-        self.cached_input = None;
+        self.grad.fill(0.0);
+        self.cached_cols = None;
+        self.cached_extent = 0;
         Ok(())
     }
 
@@ -538,7 +598,11 @@ pub struct TconvTrainLayer {
     inner: Conv2d, // stride-1 conv over the expanded input
     weights: Tensor,
     grad: Tensor,
-    cached_expanded: Option<Tensor>,
+    /// im2col matrix `[IC·K·K, O·O]` of the zero-inserted input from the
+    /// last forward, reused by the backward weight-gradient GEMM.
+    cached_cols: Option<Tensor>,
+    /// Extent of the zero-inserted plane from the last forward.
+    cached_extent: usize,
     opt: OptState,
 }
 
@@ -558,54 +622,90 @@ impl TconvTrainLayer {
             inner,
             weights: he_init(rng, &shape, in_channels * k * k),
             grad: Tensor::zeros(&shape),
-            cached_expanded: None,
+            cached_cols: None,
+            cached_extent: 0,
             opt: OptState::default(),
         }
     }
 }
 
 impl TrainableLayer for TconvTrainLayer {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         // The zero-insertion realisation of Fig. 4 (the zero-free
         // equivalence is proven against it in lergan-core), executed as a
         // stride-1 im2col + GEMM over the expanded input — bit-identical
         // to `tconv_forward_zero_insert`.
-        let expanded = expand_tconv_input(input, &self.geometry);
-        let geom = SconvGeometry::new(expanded.shape()[1], self.geometry.kernel, 1, 0)
-            .expect("validated geometry");
-        let out = conv2d_gemm(&expanded, &self.weights, &geom);
-        self.cached_expanded = Some(expanded);
-        out
+        let g = self.geometry;
+        let ic = input.shape()[0];
+        assert_eq!(input.shape()[1], g.input, "input height mismatch");
+        assert_eq!(input.shape()[2], g.input, "input width mismatch");
+        let e = g.expanded();
+        let (p, s) = (g.insertion_pad, g.converse_stride);
+        // Scatter the input into the zero-inserted plane (pooled scratch).
+        let mut exp = ws.take_zeroed(ic * e * e);
+        for ci in 0..ic {
+            for y in 0..g.input {
+                let src = &input.data()[ci * g.input * g.input + y * g.input..][..g.input];
+                let dst = &mut exp[ci * e * e + (p + y * s) * e + p..];
+                for (x, &v) in src.iter().enumerate() {
+                    dst[x * s] = v;
+                }
+            }
+        }
+        let expanded = Tensor::from_vec(&[ic, e, e], exp);
+        let geom = SconvGeometry::new(e, g.kernel, 1, 0).expect("validated geometry");
+        let oc = self.weights.shape()[0];
+        let (red, oo) = (ic * g.kernel * g.kernel, geom.output * geom.output);
+        let cols = cache_buf(&mut self.cached_cols, &[red, oo]);
+        im2col_into(&expanded, &geom, cols.data_mut());
+        ws.give_tensor(expanded);
+        self.cached_extent = e;
+        let mut out = ws.take(oc * oo);
+        gemm_buf(oc, red, oo, self.weights.data(), cols.data(), &mut out);
+        Tensor::from_vec(&[oc, geom.output, geom.output], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let expanded = self
-            .cached_expanded
-            .as_ref()
-            .expect("backward before forward");
-        // G-w: ∇z scans the zero-inserted input.
-        let dw = self.inner.weight_grad(expanded, grad_out);
-        self.grad.axpy_in_place(1.0, &dw);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let cols = self.cached_cols.as_ref().expect("backward before forward");
+        let (red, oo) = (cols.shape()[0], cols.shape()[1]);
+        let oc = self.weights.shape()[0];
+        assert_eq!(grad_out.len(), oc * oo, "∇output shape mismatch");
+        // G-w: ∇z scans the zero-inserted input — one GEMM against the
+        // column matrix cached by `forward`.
+        let mut dw = ws.take(oc * red);
+        gemm_nt_buf(oc, oo, red, grad_out.data(), cols.data(), &mut dw);
+        self.grad.axpy_slice_in_place(1.0, &dw);
+        ws.give(dw);
         // G←: dense S-CONV back through the expansion, then gather.
         let d_expanded = self
             .inner
-            .input_grad(grad_out, &self.weights, expanded.shape()[1]);
-        let g = &self.geometry;
-        let ic = expanded.shape()[0];
-        Tensor::from_fn(&[ic, g.input, g.input], |idx| {
-            let p = g.insertion_pad;
-            let s = g.converse_stride;
-            d_expanded[&[idx[0], p + idx[1] * s, p + idx[2] * s]]
-        })
+            .input_grad_with(grad_out, &self.weights, self.cached_extent, ws);
+        let g = self.geometry;
+        let ic = self.weights.shape()[1];
+        let e = self.cached_extent;
+        let (p, s) = (g.insertion_pad, g.converse_stride);
+        let mut din = ws.take(ic * g.input * g.input);
+        let dex = d_expanded.data();
+        for ci in 0..ic {
+            for y in 0..g.input {
+                let src = &dex[ci * e * e + (p + y * s) * e + p..];
+                let dst = &mut din[ci * g.input * g.input + y * g.input..][..g.input];
+                for (x, slot) in dst.iter_mut().enumerate() {
+                    *slot = src[x * s];
+                }
+            }
+        }
+        ws.give_tensor(d_expanded);
+        Tensor::from_vec(&[ic, g.input, g.input], din)
     }
 
-    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
-        self.opt.apply(rule, step, &mut self.weights, &self.grad);
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64, ws: &mut Workspace) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad, ws);
         self.zero_grads();
     }
 
     fn zero_grads(&mut self) {
-        self.grad = Tensor::zeros(self.grad.shape());
+        self.grad.fill(0.0);
     }
 
     fn capture_state(&self) -> LayerState {
@@ -619,8 +719,9 @@ impl TrainableLayer for TconvTrainLayer {
         self.weights = state.require(layer, "weights", self.weights.shape())?;
         self.opt
             .restore_from("opt", state, layer, self.weights.shape())?;
-        self.grad = Tensor::zeros(self.grad.shape());
-        self.cached_expanded = None;
+        self.grad.fill(0.0);
+        self.cached_cols = None;
+        self.cached_extent = 0;
         Ok(())
     }
 
@@ -686,27 +787,26 @@ impl BatchNorm {
 }
 
 impl TrainableLayer for BatchNorm {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(input.shape().len(), 3, "BatchNorm expects [C, H, W]");
         let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         assert_eq!(c, self.gamma.len(), "channel mismatch");
-        let n = (h * w) as f32;
-        let mut out = Tensor::zeros(&[c, h, w]);
-        let mut normalized = Tensor::zeros(&[c, h, w]);
+        let plane = h * w;
+        let n = plane as f32;
+        let mut out = ws.take(c * plane);
+        let normalized = cache_buf(&mut self.normalized, &[c, h, w]);
+        let ndata = normalized.data_mut();
         for ci in 0..c {
+            let ip = &input.data()[ci * plane..(ci + 1) * plane];
             let mut mean = 0.0;
-            for y in 0..h {
-                for x in 0..w {
-                    mean += input[&[ci, y, x]];
-                }
+            for &v in ip {
+                mean += v;
             }
             mean /= n;
             let mut var = 0.0;
-            for y in 0..h {
-                for x in 0..w {
-                    let d = input[&[ci, y, x]] - mean;
-                    var += d * d;
-                }
+            for &v in ip {
+                let d = v - mean;
+                var += d * d;
             }
             var /= n;
             let inv_std = 1.0 / (var + self.eps).sqrt();
@@ -716,63 +816,60 @@ impl TrainableLayer for BatchNorm {
             self.running_var[ci] =
                 (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
             let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
-            for y in 0..h {
-                for x in 0..w {
-                    let norm = (input[&[ci, y, x]] - mean) * inv_std;
-                    normalized[&[ci, y, x][..]] = norm;
-                    out[&[ci, y, x][..]] = g * norm + b;
-                }
+            let np = &mut ndata[ci * plane..(ci + 1) * plane];
+            let op = &mut out[ci * plane..(ci + 1) * plane];
+            for ((nslot, oslot), &v) in np.iter_mut().zip(op.iter_mut()).zip(ip) {
+                let norm = (v - mean) * inv_std;
+                *nslot = norm;
+                *oslot = g * norm + b;
             }
         }
-        self.normalized = Some(normalized);
-        out
+        Tensor::from_vec(&[c, h, w], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let normalized = self.normalized.as_ref().expect("backward before forward");
         let (c, h, w) = (
             normalized.shape()[0],
             normalized.shape()[1],
             normalized.shape()[2],
         );
-        let n = (h * w) as f32;
-        let mut din = Tensor::zeros(&[c, h, w]);
+        assert_eq!(grad_out.shape(), normalized.shape(), "gradient mismatch");
+        let plane = h * w;
+        let n = plane as f32;
+        let mut din = ws.take(c * plane);
         for ci in 0..c {
+            let gp = &grad_out.data()[ci * plane..(ci + 1) * plane];
+            let np = &normalized.data()[ci * plane..(ci + 1) * plane];
             let mut sum_dy = 0.0;
             let mut sum_dy_norm = 0.0;
-            for y in 0..h {
-                for x in 0..w {
-                    let dy = grad_out[&[ci, y, x]];
-                    sum_dy += dy;
-                    sum_dy_norm += dy * normalized[&[ci, y, x]];
-                }
+            for (&dy, &norm) in gp.iter().zip(np) {
+                sum_dy += dy;
+                sum_dy_norm += dy * norm;
             }
             self.grad_beta.data_mut()[ci] += sum_dy;
             self.grad_gamma.data_mut()[ci] += sum_dy_norm;
             let g = self.gamma.data()[ci];
             let inv_std = self.inv_std[ci];
-            for y in 0..h {
-                for x in 0..w {
-                    let dy = grad_out[&[ci, y, x]];
-                    let norm = normalized[&[ci, y, x]];
-                    din[&[ci, y, x][..]] = g * inv_std / n * (n * dy - sum_dy - norm * sum_dy_norm);
-                }
+            let dp = &mut din[ci * plane..(ci + 1) * plane];
+            for ((d, &dy), &norm) in dp.iter_mut().zip(gp).zip(np) {
+                *d = g * inv_std / n * (n * dy - sum_dy - norm * sum_dy_norm);
             }
         }
-        din
+        Tensor::from_vec(&[c, h, w], din)
     }
 
-    fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64, ws: &mut Workspace) {
         self.opt_gamma
-            .apply(rule, step, &mut self.gamma, &self.grad_gamma);
+            .apply(rule, step, &mut self.gamma, &self.grad_gamma, ws);
         self.opt_beta
-            .apply(rule, step, &mut self.beta, &self.grad_beta);
+            .apply(rule, step, &mut self.beta, &self.grad_beta, ws);
         self.zero_grads();
     }
 
     fn zero_grads(&mut self) {
-        self.grad_gamma = Tensor::zeros(self.grad_gamma.shape());
-        self.grad_beta = Tensor::zeros(self.grad_beta.shape());
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
     }
 
     fn capture_state(&self) -> LayerState {
@@ -826,19 +923,29 @@ impl LeakyRelu {
 }
 
 impl TrainableLayer for LeakyRelu {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let cache = cache_buf(&mut self.cached_input, input.shape());
+        cache.data_mut().copy_from_slice(input.data());
         let a = self.alpha;
-        input.map(|x| if x > 0.0 { x } else { a * x })
+        let mut out = ws.take(input.len());
+        for (o, &x) in out.iter_mut().zip(input.data()) {
+            *o = if x > 0.0 { x } else { a * x };
+        }
+        Tensor::from_vec(input.shape(), out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
+        assert_eq!(input.shape(), grad_out.shape(), "gradient shape mismatch");
         let a = self.alpha;
-        input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { a * g })
+        let mut din = ws.take(grad_out.len());
+        for ((d, &x), &g) in din.iter_mut().zip(input.data()).zip(grad_out.data()) {
+            *d = if x > 0.0 { g } else { a * g };
+        }
+        Tensor::from_vec(input.shape(), din)
     }
 
-    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64) {}
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64, _ws: &mut Workspace) {}
     fn zero_grads(&mut self) {}
 }
 
@@ -856,21 +963,30 @@ impl Tanh {
 }
 
 impl TrainableLayer for Tanh {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let out = input.map(f32::tanh);
-        self.cached_output = Some(out.clone());
-        out
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut out = ws.take(input.len());
+        for (o, &x) in out.iter_mut().zip(input.data()) {
+            *o = x.tanh();
+        }
+        let cache = cache_buf(&mut self.cached_output, input.shape());
+        cache.data_mut().copy_from_slice(&out);
+        Tensor::from_vec(input.shape(), out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let out = self
             .cached_output
             .as_ref()
             .expect("backward before forward");
-        out.zip_with(grad_out, |y, g| g * (1.0 - y * y))
+        assert_eq!(out.shape(), grad_out.shape(), "gradient shape mismatch");
+        let mut din = ws.take(grad_out.len());
+        for ((d, &y), &g) in din.iter_mut().zip(out.data()).zip(grad_out.data()) {
+            *d = g * (1.0 - y * y);
+        }
+        Tensor::from_vec(out.shape(), din)
     }
 
-    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64) {}
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64, _ws: &mut Workspace) {}
     fn zero_grads(&mut self) {}
 }
 
@@ -901,28 +1017,40 @@ impl Reshape {
 }
 
 impl TrainableLayer for Reshape {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        input.reshaped(&self.to)
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut out = ws.take(input.len());
+        out.copy_from_slice(input.data());
+        Tensor::from_vec(&self.to, out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        grad_out.reshaped(&self.from)
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut din = ws.take(grad_out.len());
+        din.copy_from_slice(grad_out.data());
+        Tensor::from_vec(&self.from, din)
     }
 
-    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64) {}
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64, _ws: &mut Workspace) {}
     fn zero_grads(&mut self) {}
 }
 
-/// A sequential stack of trainable layers.
+/// A sequential stack of trainable layers, owning the [`Workspace`] its
+/// layers draw scratch and result buffers from.
+///
+/// Intermediate activations and gradients are recycled into that pool as
+/// soon as the next layer has consumed them; callers recycle the final
+/// output via [`recycle`](Sequential::recycle). A training loop honouring
+/// that contract allocates nothing after its first (warmup) step.
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn TrainableLayer>>,
+    ws: Workspace,
 }
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
             .field("layers", &self.layers.len())
+            .field("ws", &self.ws)
             .finish()
     }
 }
@@ -954,28 +1082,54 @@ impl Sequential {
         &*self.layers[index]
     }
 
+    /// Returns a tensor this stack produced (a [`forward`]/[`backward`]
+    /// result) to its buffer pool. Dropping outputs instead is correct but
+    /// forgoes reuse — recycling is what keeps the steady-state training
+    /// loop allocation-free.
+    ///
+    /// [`forward`]: Sequential::forward
+    /// [`backward`]: Sequential::backward
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.give_tensor(t);
+    }
+
     /// Forward through all layers.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut x = input.clone();
-        for l in &mut self.layers {
-            x = l.forward(&x);
+        let Sequential { layers, ws } = self;
+        let mut layers = layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input, ws);
+        for l in layers {
+            let y = l.forward(&x, ws);
+            ws.give_tensor(x);
+            x = y;
         }
         x
     }
 
     /// Backward through all layers; returns `∇input`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+        let Sequential { layers, ws } = self;
+        let mut layers = layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return grad_out.clone();
+        };
+        let mut g = last.backward(grad_out, ws);
+        for l in layers {
+            let h = l.backward(&g, ws);
+            ws.give_tensor(g);
+            g = h;
         }
         g
     }
 
     /// Applies and clears all accumulated gradients through `rule`.
     pub fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
-        for l in &mut self.layers {
-            l.apply_update(rule, step);
+        let Sequential { layers, ws } = self;
+        for l in layers {
+            l.apply_update(rule, step, ws);
         }
     }
 
@@ -1231,6 +1385,18 @@ pub struct Gan {
     rule: UpdateRule,
     step: u64,
     rng: StdRng,
+    /// Pool for the trainer's own buffers (noise vectors, loss-gradient
+    /// seeds) — per-stack buffers live in each stack's own workspace.
+    scratch: Workspace,
+}
+
+/// Samples a uniform noise vector in `[-1, 1]` into a pooled buffer.
+fn sample_noise_into(rng: &mut StdRng, dim: usize, ws: &mut Workspace) -> Tensor {
+    let mut buf = ws.take(dim);
+    for slot in buf.iter_mut() {
+        *slot = rng.gen::<f32>() * 2.0 - 1.0;
+    }
+    Tensor::from_vec(&[dim], buf)
 }
 
 impl Gan {
@@ -1249,6 +1415,7 @@ impl Gan {
             rule: UpdateRule::sgd(lr),
             step: 0,
             rng: StdRng::seed_from_u64(seed),
+            scratch: Workspace::new(),
         }
     }
 
@@ -1296,40 +1463,57 @@ impl Gan {
 
     /// Samples a uniform noise vector in `[-1, 1]`.
     pub fn sample_noise(&mut self) -> Tensor {
-        let d = self.noise_dim;
-        let data: Vec<f32> = (0..d).map(|_| self.rng.gen::<f32>() * 2.0 - 1.0).collect();
-        Tensor::from_vec(&[d], data)
+        sample_noise_into(&mut self.rng, self.noise_dim, &mut self.scratch)
     }
 
     /// Generates one sample from fresh noise (no gradients retained).
     pub fn generate(&mut self) -> Tensor {
-        let n = self.sample_noise();
-        self.generator.forward(&n)
+        let noise = sample_noise_into(&mut self.rng, self.noise_dim, &mut self.scratch);
+        let out = self.generator.forward(&noise);
+        self.scratch.give_tensor(noise);
+        out
+    }
+
+    /// A `[1]` loss-gradient seed drawn from the trainer's scratch pool.
+    fn seed_grad(&mut self, v: f32) -> Tensor {
+        let mut buf = self.scratch.take(1);
+        buf[0] = v;
+        Tensor::from_vec(&[1], buf)
     }
 
     /// Runs one minibatch training step (Fig. 3's full dataflow: train D on
     /// real+fake, then train G through the frozen D).
     pub fn train_step(&mut self, reals: &[Tensor]) -> StepStats {
         let m = reals.len().max(1) as f32;
+        // Every buffer taken below is recycled to the pool it came from —
+        // stack outputs to their stack, noise and seeds to the trainer's
+        // scratch — so the step's take/give sequence is identical every
+        // iteration and steady-state heap traffic is zero.
         // ---- Train the discriminator (Eq. 1). ----
         let mut d_loss = 0.0;
         for real in reals {
             // Real sample, target 1.
             let logit = self.discriminator.forward(real);
             let l = logit.data()[0];
+            self.discriminator.recycle(logit);
             d_loss += bce_with_logit(l, 1.0);
-            let grad = Tensor::from_vec(&[1], vec![(sigmoid(l) - 1.0) / m]);
-            self.discriminator.backward(&grad);
+            let grad = self.seed_grad((sigmoid(l) - 1.0) / m);
+            let din = self.discriminator.backward(&grad);
+            self.scratch.give_tensor(grad);
+            self.discriminator.recycle(din);
             // Fake sample, target 0.
-            let fake = {
-                let n = self.sample_noise();
-                self.generator.forward(&n)
-            };
+            let noise = sample_noise_into(&mut self.rng, self.noise_dim, &mut self.scratch);
+            let fake = self.generator.forward(&noise);
+            self.scratch.give_tensor(noise);
             let logit = self.discriminator.forward(&fake);
+            self.generator.recycle(fake);
             let l = logit.data()[0];
+            self.discriminator.recycle(logit);
             d_loss += bce_with_logit(l, 0.0);
-            let grad = Tensor::from_vec(&[1], vec![sigmoid(l) / m]);
-            self.discriminator.backward(&grad);
+            let grad = self.seed_grad(sigmoid(l) / m);
+            let din = self.discriminator.backward(&grad);
+            self.scratch.give_tensor(grad);
+            self.discriminator.recycle(din);
         }
         self.step += 1;
         self.discriminator.apply_update(&self.rule, self.step);
@@ -1338,14 +1522,20 @@ impl Gan {
         // ---- Train the generator (non-saturating form of Eq. 2). ----
         let mut g_loss = 0.0;
         for _ in 0..reals.len() {
-            let n = self.sample_noise();
-            let fake = self.generator.forward(&n);
+            let noise = sample_noise_into(&mut self.rng, self.noise_dim, &mut self.scratch);
+            let fake = self.generator.forward(&noise);
+            self.scratch.give_tensor(noise);
             let logit = self.discriminator.forward(&fake);
+            self.generator.recycle(fake);
             let l = logit.data()[0];
+            self.discriminator.recycle(logit);
             g_loss += bce_with_logit(l, 1.0);
-            let grad = Tensor::from_vec(&[1], vec![(sigmoid(l) - 1.0) / m]);
+            let grad = self.seed_grad((sigmoid(l) - 1.0) / m);
             let d_input_grad = self.discriminator.backward(&grad);
-            self.generator.backward(&d_input_grad);
+            self.scratch.give_tensor(grad);
+            let g_input_grad = self.generator.backward(&d_input_grad);
+            self.discriminator.recycle(d_input_grad);
+            self.generator.recycle(g_input_grad);
         }
         self.generator.apply_update(&self.rule, self.step);
         self.discriminator.zero_grads(); // D gradients from the G pass are discarded.
@@ -1479,11 +1669,12 @@ mod tests {
     #[test]
     fn dense_layer_gradient_check() {
         let mut rng = StdRng::seed_from_u64(1);
+        let mut ws = Workspace::new();
         let mut l = DenseLayer::new(3, 2, &mut rng);
         let x = Tensor::from_vec(&[3], vec![0.5, -0.3, 0.8]);
         let dout = Tensor::from_vec(&[2], vec![1.0, -0.5]);
-        let _ = l.forward(&x);
-        let din = l.backward(&dout);
+        let _ = l.forward(&x, &mut ws);
+        let din = l.backward(&dout, &mut ws);
         // din = W^T dout.
         let w = l.weights.clone();
         for i in 0..3 {
@@ -1495,12 +1686,13 @@ mod tests {
     #[test]
     fn tconv_layer_round_trip_shapes() {
         let mut rng = StdRng::seed_from_u64(2);
+        let mut ws = Workspace::new();
         let geom = TconvGeometry::for_upsampling(4, 3, 2).unwrap();
         let mut l = TconvTrainLayer::new(2, 3, geom, &mut rng);
         let x = Tensor::ones(&[2, 4, 4]);
-        let y = l.forward(&x);
+        let y = l.forward(&x, &mut ws);
         assert_eq!(y.shape(), &[3, 8, 8]);
-        let din = l.backward(&Tensor::ones(&[3, 8, 8]));
+        let din = l.backward(&Tensor::ones(&[3, 8, 8]), &mut ws);
         assert_eq!(din.shape(), &[2, 4, 4]);
     }
 
@@ -1531,11 +1723,12 @@ mod tests {
 
     #[test]
     fn batchnorm_normalizes_and_round_trips_gradients() {
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(2);
         let input = Tensor::from_fn(&[2, 4, 4], |i| {
             (i[0] as f32 + 1.0) * (i[1] * 4 + i[2]) as f32 * 0.25 + 3.0
         });
-        let out = bn.forward(&input);
+        let out = bn.forward(&input, &mut ws);
         // Each channel of the output is ~zero-mean, ~unit-variance
         // (gamma=1, beta=0 initially).
         for ci in 0..2 {
@@ -1559,7 +1752,7 @@ mod tests {
         }
         // Gradient of a constant loss w.r.t. input sums to ~zero per
         // channel (normalisation removes the mean direction).
-        let din = bn.backward(&Tensor::ones(&[2, 4, 4]));
+        let din = bn.backward(&Tensor::ones(&[2, 4, 4]), &mut ws);
         for ci in 0..2 {
             let mut s = 0.0;
             for y in 0..4 {
@@ -1573,15 +1766,20 @@ mod tests {
 
     #[test]
     fn batchnorm_gradient_check() {
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(1);
         let input = Tensor::from_fn(&[1, 3, 3], |i| ((i[1] * 3 + i[2]) as f32).sin());
         let dout = Tensor::from_fn(&[1, 3, 3], |i| ((i[1] + i[2]) as f32).cos() * 0.5);
-        let _ = bn.forward(&input);
-        let din = bn.backward(&dout);
+        let _ = bn.forward(&input, &mut ws);
+        let din = bn.backward(&dout, &mut ws);
         // Finite differences through the full normalise-and-scale path.
         let loss = |inp: &Tensor| -> f32 {
+            let mut probe_ws = Workspace::new();
             let mut probe = BatchNorm::new(1);
-            probe.forward(inp).zip_with(&dout, |a, b| a * b).sum()
+            probe
+                .forward(inp, &mut probe_ws)
+                .zip_with(&dout, |a, b| a * b)
+                .sum()
         };
         let eps = 1e-3;
         for probe_idx in [[0usize, 0, 0], [0, 1, 2], [0, 2, 1]] {
@@ -1600,14 +1798,15 @@ mod tests {
 
     #[test]
     fn batchnorm_learns_affine_parameters() {
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(1);
         let input = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as f32 * 0.1);
         // Push outputs toward a constant 2.0: beta must rise.
         for step in 1..=50u64 {
-            let out = bn.forward(&input);
+            let out = bn.forward(&input, &mut ws);
             let grad = out.map(|y| 2.0 * (y - 2.0) / 16.0);
-            let _ = bn.backward(&grad);
-            bn.apply_update(&UpdateRule::sgd(0.2), step);
+            let _ = bn.backward(&grad, &mut ws);
+            bn.apply_update(&UpdateRule::sgd(0.2), step, &mut ws);
         }
         let beta = bn.beta.data()[0];
         assert!(beta > 1.0, "beta should approach 2.0, got {beta}");
@@ -1628,18 +1827,19 @@ mod tests {
             UpdateRule::dcgan_adam(0.05),
         ] {
             let mut rng = StdRng::seed_from_u64(11);
+            let mut ws = Workspace::new();
             let mut layer = DenseLayer::new(4, 1, &mut rng);
             let x = Tensor::from_vec(&[4], vec![0.5, -0.2, 0.8, 0.1]);
             let target = 1.5f32;
             let mut first_loss = None;
             let mut last_loss = 0.0;
             for step in 1..=60u64 {
-                let y = layer.forward(&x).data()[0];
+                let y = layer.forward(&x, &mut ws).data()[0];
                 let err = y - target;
                 last_loss = err * err;
                 first_loss.get_or_insert(last_loss);
-                layer.backward(&Tensor::from_vec(&[1], vec![2.0 * err]));
-                layer.apply_update(&rule, step);
+                layer.backward(&Tensor::from_vec(&[1], vec![2.0 * err]), &mut ws);
+                layer.apply_update(&rule, step, &mut ws);
             }
             assert!(
                 last_loss < first_loss.unwrap() * 0.05,
@@ -1652,19 +1852,20 @@ mod tests {
     #[test]
     fn momentum_accumulates_velocity() {
         let mut rng = StdRng::seed_from_u64(12);
+        let mut ws = Workspace::new();
         let mut layer = DenseLayer::new(2, 1, &mut rng);
         let rule = UpdateRule::Momentum { lr: 0.1, beta: 0.9 };
         let x = Tensor::from_vec(&[2], vec![1.0, 1.0]);
         // Constant gradient direction: updates should grow while velocity
         // accumulates (second step moves farther than the first).
         let w0 = layer.weights.clone();
-        let _ = layer.forward(&x);
-        layer.backward(&Tensor::from_vec(&[1], vec![1.0]));
-        layer.apply_update(&rule, 1);
+        let _ = layer.forward(&x, &mut ws);
+        layer.backward(&Tensor::from_vec(&[1], vec![1.0]), &mut ws);
+        layer.apply_update(&rule, 1, &mut ws);
         let w1 = layer.weights.clone();
-        let _ = layer.forward(&x);
-        layer.backward(&Tensor::from_vec(&[1], vec![1.0]));
-        layer.apply_update(&rule, 2);
+        let _ = layer.forward(&x, &mut ws);
+        layer.backward(&Tensor::from_vec(&[1], vec![1.0]), &mut ws);
+        layer.apply_update(&rule, 2, &mut ws);
         let w2 = layer.weights.clone();
         let d1 = (w1.data()[0] - w0.data()[0]).abs();
         let d2 = (w2.data()[0] - w1.data()[0]).abs();

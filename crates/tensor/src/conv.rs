@@ -131,39 +131,77 @@ impl Conv2d {
     ///
     /// Panics on operand shape mismatches.
     pub fn input_grad(&self, dout: &Tensor, weights: &Tensor, input_extent: usize) -> Tensor {
+        let mut ws = crate::workspace::Workspace::new();
+        self.input_grad_with(dout, weights, input_extent, &mut ws)
+    }
+
+    /// [`input_grad`](Self::input_grad) drawing its scratch plane and the
+    /// result buffer from a [`Workspace`](crate::workspace::Workspace) —
+    /// the form the trainer's steady-state loop calls, so the backward pass
+    /// performs no heap allocation.
+    ///
+    /// The loop nest is the flat-indexed form of the defining scatter sum:
+    /// for a fixed `∇input` element the additions arrive in ascending
+    /// `(oc, oy, ox, ky, kx)` order — exactly the order of the original
+    /// multi-index kernel and independent of the thread count (workers own
+    /// disjoint input-channel planes) — so results are bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand shape mismatches.
+    pub fn input_grad_with(
+        &self,
+        dout: &Tensor,
+        weights: &Tensor,
+        input_extent: usize,
+        ws: &mut crate::workspace::Workspace,
+    ) -> Tensor {
         let geom = self.geometry(input_extent);
         assert_eq!(
             dout.shape(),
             &[self.out_channels, geom.output, geom.output],
             "∇output shape mismatch"
         );
-        let padded_extent = input_extent + 2 * self.pad;
-        let mut dpad = Tensor::zeros(&[self.in_channels, padded_extent, padded_extent]);
-        // One worker per block of input-channel planes: each ∇pad plane is
-        // written by exactly one worker, and for a fixed element the
-        // additions still arrive in ascending (oc, oy, ox, ky, kx) order —
-        // the same order as the serial oc-outer loop — so the result is
-        // bit-identical for every thread count.
+        assert_eq!(
+            weights.shape(),
+            &[
+                self.out_channels,
+                self.in_channels,
+                self.geometry_kernel,
+                self.geometry_kernel
+            ],
+            "weight shape mismatch"
+        );
+        let pe = input_extent + 2 * self.pad;
         let k = self.geometry_kernel;
-        let flops_per_plane = self.out_channels * geom.output * geom.output * k * k;
+        let o = geom.output;
+        let s = self.stride;
+        let plane = pe * pe;
+        let mut dpad = ws.take_zeroed(self.in_channels * plane);
+        let wdata = weights.data();
+        let ddata = dout.data();
+        let flops_per_plane = self.out_channels * o * o * k * k;
         let min_planes = (crate::tensor::MIN_PARALLEL_FLOPS / flops_per_plane.max(1)).max(1);
-        let plane = padded_extent * padded_extent;
-        let mut planes: Vec<&mut [f32]> = dpad.data_mut().chunks_mut(plane).collect();
-        crate::parallel::for_each_chunk_mut(&mut planes, min_planes, |ic0, planes| {
-            for (d, plane) in planes.iter_mut().enumerate() {
+        // Workers own disjoint blocks of ∇pad planes; see the doc comment
+        // for why this cannot change any accumulation order.
+        crate::parallel::for_each_unit_chunk_mut(&mut dpad, plane, min_planes, |ic0, planes| {
+            for (d, pbuf) in planes.chunks_mut(plane).enumerate() {
                 let ic = ic0 + d;
                 for oc in 0..self.out_channels {
-                    for oy in 0..geom.output {
-                        for ox in 0..geom.output {
-                            let g = dout[&[oc, oy, ox]];
+                    let wbase = (oc * self.in_channels + ic) * k * k;
+                    for oy in 0..o {
+                        let dbase = (oc * o + oy) * o;
+                        for ox in 0..o {
+                            let g = ddata[dbase + ox];
                             if g == 0.0 {
                                 continue;
                             }
                             for ky in 0..k {
-                                let row = (oy * self.stride + ky) * padded_extent;
-                                for kx in 0..k {
-                                    plane[row + ox * self.stride + kx] +=
-                                        g * weights[&[oc, ic, ky, kx]];
+                                let wrow = &wdata[wbase + ky * k..wbase + (ky + 1) * k];
+                                let pbase = (oy * s + ky) * pe + ox * s;
+                                let prow = &mut pbuf[pbase..pbase + k];
+                                for (p, &wv) in prow.iter_mut().zip(wrow.iter()) {
+                                    *p += g * wv;
                                 }
                             }
                         }
@@ -171,10 +209,18 @@ impl Conv2d {
                 }
             }
         });
-        // Crop the padding back off.
-        Tensor::from_fn(&[self.in_channels, input_extent, input_extent], |i| {
-            dpad[&[i[0], i[1] + self.pad, i[2] + self.pad]]
-        })
+        // Crop the padding back off, row by row.
+        let ie = input_extent;
+        let mut din = ws.take(self.in_channels * ie * ie);
+        for ic in 0..self.in_channels {
+            for y in 0..ie {
+                let src = ic * plane + (y + self.pad) * pe + self.pad;
+                let dst = (ic * ie + y) * ie;
+                din[dst..dst + ie].copy_from_slice(&dpad[src..src + ie]);
+            }
+        }
+        ws.give(dpad);
+        Tensor::from_vec(&[self.in_channels, ie, ie], din)
     }
 
     /// Gradient of the loss w.r.t. the weights (Eq. 4), computed by the
@@ -473,6 +519,49 @@ mod tests {
             din[&probe],
             fd
         );
+    }
+
+    #[test]
+    fn input_grad_flat_indexing_matches_multi_index_reference() {
+        // The flat-indexed scatter must be bit-identical to the original
+        // multi-index transcription of the defining sum, at every thread
+        // count.
+        for (ic_n, oc_n, k, s, p, ie) in [(2, 3, 3, 2, 1, 6), (3, 2, 5, 2, 2, 8), (1, 4, 4, 2, 1, 16)]
+        {
+            let conv = Conv2d::new(ic_n, oc_n, k, s, p).unwrap();
+            let geom = conv.geometry(ie);
+            let w = det_tensor(&[oc_n, ic_n, k, k], 40);
+            let dout = det_tensor(&[oc_n, geom.output, geom.output], 41);
+            let pe = ie + 2 * p;
+            let mut dpad = Tensor::zeros(&[ic_n, pe, pe]);
+            for ic in 0..ic_n {
+                for oc in 0..oc_n {
+                    for oy in 0..geom.output {
+                        for ox in 0..geom.output {
+                            let g = dout[&[oc, oy, ox]];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    dpad[&[ic, oy * s + ky, ox * s + kx][..]] +=
+                                        g * w[&[oc, ic, ky, kx]];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let reference =
+                Tensor::from_fn(&[ic_n, ie, ie], |i| dpad[&[i[0], i[1] + p, i[2] + p]]);
+            for threads in [1, 2, 8] {
+                let got = crate::parallel::with_threads(threads, || conv.input_grad(&dout, &w, ie));
+                assert_eq!(got.shape(), reference.shape());
+                for (a, b) in got.data().iter().zip(reference.data().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,39 +9,70 @@
 
 use crate::geometry::SconvGeometry;
 use crate::tensor::Tensor;
-use crate::zero_insert::pad_planes;
 
 /// Unrolls a padded `[C, H, W]` input into the im2col matrix
 /// `[C·K·K, O·O]` for the given geometry: column `(oy·O + ox)` holds the
 /// window at output position `(oy, ox)` in channel-major, then
-/// row-major-kernel order.
+/// row-major-kernel order. Allocating wrapper over [`im2col_into`].
 ///
 /// # Panics
 ///
 /// Panics if the input shape disagrees with the geometry.
 pub fn im2col(input: &Tensor, geom: &SconvGeometry) -> Tensor {
+    let c = input.shape()[0];
+    let k = geom.kernel;
+    let o = geom.output;
+    let mut out = vec![0.0; c * k * k * o * o];
+    im2col_into(input, geom, &mut out);
+    Tensor::from_vec(&[c * k * k, o * o], out)
+}
+
+/// [`im2col`] into a caller-owned buffer of length `C·K·K · O·O`, fully
+/// overwritten. Padding is resolved inline against the unpadded input (no
+/// padded intermediate plane is materialised): out-of-bounds window taps
+/// are written as `0.0`, producing exactly the values of the padded
+/// formulation.
+///
+/// # Panics
+///
+/// Panics if the input shape disagrees with the geometry or the buffer
+/// length is wrong.
+pub fn im2col_into(input: &Tensor, geom: &SconvGeometry, out: &mut [f32]) {
     assert_eq!(input.shape().len(), 3, "im2col expects [C, H, W]");
     assert_eq!(input.shape()[1], geom.input, "input extent mismatch");
     assert_eq!(input.shape()[2], geom.input, "input extent mismatch");
     let c = input.shape()[0];
     let k = geom.kernel;
     let o = geom.output;
-    let padded = pad_planes(input, geom.pad);
-    let mut out = Tensor::zeros(&[c * k * k, o * o]);
+    let h = geom.input;
+    let (stride, pad) = (geom.stride, geom.pad);
+    assert_eq!(out.len(), c * k * k * o * o, "im2col buffer length mismatch");
+    let data = input.data();
     for ci in 0..c {
         for ky in 0..k {
             for kx in 0..k {
                 let row = ci * k * k + ky * k + kx;
+                let orow = &mut out[row * o * o..(row + 1) * o * o];
                 for oy in 0..o {
-                    for ox in 0..o {
-                        out[&[row, oy * o + ox][..]] =
-                            padded[&[ci, oy * geom.stride + ky, ox * geom.stride + kx]];
+                    let y = oy * stride + ky;
+                    let dst = &mut orow[oy * o..(oy + 1) * o];
+                    if y < pad || y >= pad + h {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let irow = &data[ci * h * h + (y - pad) * h..ci * h * h + (y - pad + 1) * h];
+                    for (ox, slot) in dst.iter_mut().enumerate() {
+                        let x = ox * stride + kx;
+                        *slot = if x < pad || x >= pad + h {
+                            0.0
+                        } else {
+                            irow[x - pad]
+                        };
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Reshapes `[OC, IC, K, K]` kernels into the GEMM weight matrix
@@ -134,6 +165,35 @@ mod tests {
         // First column = top-left window, row-major.
         let first: Vec<f32> = (0..9).map(|r| cols[&[r, 0]]).collect();
         assert_eq!(first, vec![0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn inline_padding_matches_padded_formulation() {
+        // im2col_into resolves padding inline; it must reproduce the
+        // materialised pad_planes formulation value-for-value.
+        use crate::zero_insert::pad_planes;
+        for (i, k, s, p, c) in [(8, 3, 1, 1, 2), (8, 5, 2, 2, 3), (16, 4, 2, 1, 2), (6, 3, 3, 0, 1)]
+        {
+            let geom = SconvGeometry::new(i, k, s, p).unwrap();
+            let input = det(&[c, i, i], 5);
+            let cols = im2col(&input, &geom);
+            let padded = pad_planes(&input, p);
+            let o = geom.output;
+            for ci in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let row = ci * k * k + ky * k + kx;
+                        for oy in 0..o {
+                            for ox in 0..o {
+                                let want = padded[&[ci, oy * s + ky, ox * s + kx]];
+                                let got = cols[&[row, oy * o + ox]];
+                                assert_eq!(got.to_bits(), want.to_bits());
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

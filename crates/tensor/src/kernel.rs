@@ -1,0 +1,413 @@
+//! Packed, cache-blocked GEMM microkernels.
+//!
+//! This module is the dense-compute core of the workspace: a BLIS-style
+//! blocked GEMM with an explicit B-panel packing step and a register-tiled
+//! `MR × NR` microkernel. [`gemm_into`], [`gemm_nt_into`] and [`mmv_into`]
+//! write into caller-owned buffers (no allocation on the serial path); the
+//! `gemm`/`gemm_nt`/`mmv` functions in [`crate::tensor`] are thin
+//! allocating wrappers over them.
+//!
+//! # Blocking scheme
+//!
+//! The driver walks the output in the classic `jc → pc → ic → ir → jr`
+//! order: columns in panels of `NC`, the reduction in panels of `KC`
+//! (packed into contiguous [`NR`]-wide strips so the microkernel streams
+//! one cache line per step), rows in blocks of `MC` and register tiles of
+//! [`MR`]. The left operand is row-major and read in place — its rows are
+//! already contiguous along the reduction, so only B is packed.
+//!
+//! # Bit-exactness
+//!
+//! Every output element is accumulated by the `microkernel` as the scalar
+//! chain `((0 + a_0·b_0) + a_1·b_1) + …` with the reduction index strictly
+//! ascending — the same chain the pre-packing kernels produced, and the
+//! same chain for every blocking parameter choice (the running value is
+//! stored to and reloaded from `f32` between `KC` panels, which is exact).
+//! Parallelism only ever splits output *rows* across workers, so the chain
+//! per element is independent of the thread count. Golden tests in the
+//! workspace root pin the packed kernels bit-for-bit against verbatim
+//! copies of the pre-packing kernels across all benchmark GAN shapes.
+
+use crate::parallel;
+use crate::tensor::{Tensor, MIN_PARALLEL_FLOPS};
+use crate::workspace;
+
+/// Register-tile height: output rows accumulated at once.
+pub const MR: usize = 4;
+/// Register-tile width: output columns per packed strip.
+pub const NR: usize = 8;
+/// Row-block size: output rows that stream over one packed panel.
+const MC: usize = 64;
+/// Reduction-panel depth: one packed `[KC × NR]` strip stays in L1.
+const KC: usize = 256;
+/// Column-panel width: one packed `[KC × NC]` panel stays in L2.
+const NC: usize = 1024;
+
+/// The single accumulation-order-defining loop of the crate.
+///
+/// Accumulates `acc[i][j] += a[abase + i·lda + l] · strip[l·NRW + j]` for
+/// `l` ascending over one packed reduction panel. Every output element of
+/// every dense kernel in this crate — [`gemm_into`], [`gemm_nt_into`] and
+/// [`mmv_into`] (`NRW = 1`) alike — is produced by this chain, so the
+/// accumulation order is defined in exactly one place.
+///
+/// The loops are iterator-free with fixed trip counts over the register
+/// tile, which LLVM unrolls and autovectorizes; there is no FMA contraction
+/// (separate multiply and add), so the result is the exact IEEE-754 chain
+/// the naive kernels compute.
+#[allow(clippy::needless_range_loop)] // fixed-width indexed loops vectorize as written
+#[inline(always)]
+fn microkernel<const NRW: usize>(
+    acc: &mut [[f32; NRW]; MR],
+    mr: usize,
+    a: &[f32],
+    abase: usize,
+    lda: usize,
+    strip: &[f32],
+    kc: usize,
+) {
+    for l in 0..kc {
+        let b = &strip[l * NRW..l * NRW + NRW];
+        for i in 0..mr {
+            let av = a[abase + i * lda + l];
+            let row = &mut acc[i];
+            for j in 0..NRW {
+                row[j] += av * b[j];
+            }
+        }
+    }
+}
+
+/// Where packed strips gather their values from.
+enum PackSrc<'a> {
+    /// Row-major `[k, n]` right operand (`b` of [`gemm_into`]).
+    Rows(&'a [f32], usize),
+    /// Row-major `[n, k]` pre-transposed right operand (`bt` of
+    /// [`gemm_nt_into`]): column `j` of the product is row `j` here.
+    Cols(&'a [f32], usize),
+}
+
+/// Packs the `kc × nc` panel rooted at `(pc, jc)` into `NR`-wide strips:
+/// strip `s` covers product columns `jc + s·NR ..`, laid out as `kc` rows
+/// of `NR` contiguous values, zero-padded past the matrix edge so the
+/// microkernel never branches on the column tail. Padding lanes multiply
+/// finite left-operand values by `+0.0` and are never stored, so they
+/// cannot perturb any real output element.
+fn pack_panel(src: &PackSrc<'_>, pc: usize, kc: usize, jc: usize, nc: usize, buf: &mut [f32]) {
+    let nstrips = nc.div_ceil(NR);
+    for s in 0..nstrips {
+        let j0 = jc + s * NR;
+        let jw = NR.min(jc + nc - j0);
+        let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+        match *src {
+            PackSrc::Rows(b, n) => {
+                for l in 0..kc {
+                    let brow = &b[(pc + l) * n + j0..(pc + l) * n + j0 + jw];
+                    let dst = &mut strip[l * NR..l * NR + NR];
+                    dst[..jw].copy_from_slice(brow);
+                    dst[jw..].fill(0.0);
+                }
+            }
+            PackSrc::Cols(bt, k) => {
+                for jj in 0..jw {
+                    let brow = &bt[(j0 + jj) * k + pc..(j0 + jj) * k + pc + kc];
+                    for (l, &v) in brow.iter().enumerate() {
+                        strip[l * NR + jj] = v;
+                    }
+                }
+                for jj in jw..NR {
+                    for l in 0..kc {
+                        strip[l * NR + jj] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial blocked driver over one worker's contiguous row range.
+///
+/// `orows` is the worker's slab of the output (`mw` full rows of width
+/// `n`), `row0` its first absolute row. Each worker packs into its own
+/// thread-local buffer, so no packing state is shared across threads.
+fn gemm_rows_packed(
+    orows: &mut [f32],
+    row0: usize,
+    a: &[f32],
+    k: usize,
+    n: usize,
+    src: &PackSrc<'_>,
+    pack: &mut [f32],
+) {
+    let mw = orows.len() / n;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let nstrips = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let panel = &mut pack[..nstrips * kc * NR];
+            pack_panel(src, pc, kc, jc, nc, panel);
+            for ic in (0..mw).step_by(MC) {
+                let mc = MC.min(mw - ic);
+                for ir in (0..mc).step_by(MR) {
+                    let i0 = ic + ir;
+                    let mr = MR.min(mc - ir);
+                    for s in 0..nstrips {
+                        let j0 = jc + s * NR;
+                        let jw = NR.min(jc + nc - j0);
+                        let strip = &panel[s * kc * NR..(s + 1) * kc * NR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+                            let base = (i0 + i) * n + j0;
+                            row[..jw].copy_from_slice(&orows[base..base + jw]);
+                        }
+                        microkernel(&mut acc, mr, a, (row0 + i0) * k + pc, k, strip, kc);
+                        for (i, row) in acc.iter().enumerate().take(mr) {
+                            let base = (i0 + i) * n + j0;
+                            orows[base..base + jw].copy_from_slice(&row[..jw]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared parallel dispatch: splits output rows across workers (disjoint
+/// rows, full reduction per element — bit-identical for every thread
+/// count) and runs the blocked driver on each range.
+fn run(m: usize, k: usize, n: usize, a: &[f32], src: PackSrc<'_>, out: &mut [f32]) {
+    debug_assert!(m > 0 && k > 0 && n > 0);
+    let min_rows = (MIN_PARALLEL_FLOPS / (k * n)).max(1);
+    let pack_len = n.min(NC).div_ceil(NR) * NR * k.min(KC);
+    parallel::for_each_unit_chunk_mut(out, n, min_rows, |row0, orows| {
+        workspace::with_pack_buffer(pack_len, |pack| {
+            gemm_rows_packed(orows, row0, a, k, n, &src, pack);
+        });
+    });
+}
+
+/// Slice-level packed GEMM: `out[m, n] = a[m, k] × b[k, n]`, all row-major.
+///
+/// `out` is fully overwritten (zeroed first), so stale contents of a pooled
+/// buffer are fine. Degenerate shapes are well-defined: any zero dimension
+/// yields an all-zero (possibly empty) output.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
+pub fn gemm_buf(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm left operand length mismatch");
+    assert_eq!(b.len(), k * n, "gemm right operand length mismatch");
+    assert_eq!(out.len(), m * n, "gemm output length mismatch");
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    run(m, k, n, a, PackSrc::Rows(b, n), out);
+}
+
+/// Slice-level packed GEMM with a pre-transposed right operand:
+/// `out[m, n] = a[m, k] × (bt[n, k])ᵀ`. Same conventions as [`gemm_buf`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
+pub fn gemm_nt_buf(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt left operand length mismatch");
+    assert_eq!(bt.len(), n * k, "gemm_nt right operand length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt output length mismatch");
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    run(m, k, n, a, PackSrc::Cols(bt, k), out);
+}
+
+/// Slice-level matrix-vector product: `out[rows] = mdata[rows, cols] · v`.
+///
+/// The vector is its own packed strip (`NRW = 1`), so this path never
+/// touches the packing buffer. Same conventions as [`gemm_buf`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with `rows`/`cols`.
+pub fn mmv_buf(rows: usize, cols: usize, mdata: &[f32], v: &[f32], out: &mut [f32]) {
+    assert_eq!(mdata.len(), rows * cols, "mmv matrix length mismatch");
+    assert_eq!(v.len(), cols, "mmv vector length mismatch");
+    assert_eq!(out.len(), rows, "mmv output length mismatch");
+    out.fill(0.0);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let min_rows = (MIN_PARALLEL_FLOPS / cols).max(1);
+    parallel::for_each_unit_chunk_mut(out, 1, min_rows, |row0, orows| {
+        let mw = orows.len();
+        for pc in (0..cols).step_by(KC) {
+            let kc = KC.min(cols - pc);
+            let strip = &v[pc..pc + kc];
+            for i0 in (0..mw).step_by(MR) {
+                let mr = MR.min(mw - i0);
+                let mut acc = [[0.0f32; 1]; MR];
+                for (i, row) in acc.iter_mut().enumerate().take(mr) {
+                    row[0] = orows[i0 + i];
+                }
+                microkernel(&mut acc, mr, mdata, (row0 + i0) * cols + pc, cols, strip, kc);
+                for (i, row) in acc.iter().enumerate().take(mr) {
+                    orows[i0 + i] = row[0];
+                }
+            }
+        }
+    });
+}
+
+/// Packed GEMM into a caller-owned buffer: `a` is `[m, k]`, `b` is
+/// `[k, n]`, `out` receives the row-major `[m, n]` product.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2, the inner dimensions differ, or
+/// `out` is not exactly `m · n` long.
+pub fn gemm_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    assert_eq!(a.shape().len(), 2, "gemm expects rank-2 operands");
+    assert_eq!(b.shape().len(), 2, "gemm expects rank-2 operands");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "gemm inner dimensions disagree");
+    gemm_buf(m, k, n, a.data(), b.data(), out);
+}
+
+/// Packed GEMM with pre-transposed right operand into a caller-owned
+/// buffer: `a` is `[m, k]`, `bt` is `[n, k]`, `out` receives `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2, the inner dimensions (the
+/// *second* extent of both operands) differ, or `out` is not `m · n` long.
+pub fn gemm_nt_into(a: &Tensor, bt: &Tensor, out: &mut [f32]) {
+    assert_eq!(a.shape().len(), 2, "gemm_nt expects rank-2 operands");
+    assert_eq!(bt.shape().len(), 2, "gemm_nt expects rank-2 operands");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, kb) = (bt.shape()[0], bt.shape()[1]);
+    assert_eq!(k, kb, "gemm_nt inner dimensions disagree");
+    gemm_nt_buf(m, k, n, a.data(), bt.data(), out);
+}
+
+/// Matrix-vector product into a caller-owned buffer: `m` is `[rows,
+/// cols]`, `out` receives the `rows` results.
+///
+/// # Panics
+///
+/// Panics if `m` is not rank-2 or either slice length mismatches.
+pub fn mmv_into(m: &Tensor, v: &[f32], out: &mut [f32]) {
+    assert_eq!(m.shape().len(), 2, "mmv expects a rank-2 matrix");
+    let (rows, cols) = (m.shape()[0], m.shape()[1]);
+    mmv_buf(rows, cols, m.data(), v, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_threads;
+    use crate::tensor::{gemm, gemm_nt, mmv};
+
+    fn det(shape: &[usize]) -> Tensor {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        Tensor::from_fn(shape, |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f64 / (1u64 << 24) as f64) as f32 - 0.5
+        })
+    }
+
+    /// Reference chain: one ascending dot product per element, exactly the
+    /// pre-packing kernels' order.
+    fn gemm_ref(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                let av = a.data()[i * k + l];
+                for j in 0..n {
+                    out[i * n + j] += av * b.data()[l * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference_chain_bitwise() {
+        // Shapes straddling every blocking boundary: MR/NR tails, multiple
+        // KC panels, single-element edges.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 8, 8),
+            (5, 300, 17),
+            (13, 520, 33),
+            (64, 64, 64),
+        ] {
+            let a = det(&[m, k]);
+            let b = det(&[k, n]);
+            let r = gemm_ref(&a, &b);
+            for threads in [1, 2, 8] {
+                let got = with_threads(threads, || gemm(&a, &b));
+                assert_eq!(
+                    got.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "gemm {m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_column_matches_mmv_bitwise() {
+        // The documented contract: gemm_nt(a, bt) column j == mmv(a, bt
+        // row j), bit for bit.
+        let a = det(&[6, 37]);
+        let bt = det(&[9, 37]);
+        let full = gemm_nt(&a, &bt);
+        for j in 0..9 {
+            let row = &bt.data()[j * 37..(j + 1) * 37];
+            let col = mmv(&a, row);
+            for (i, &v) in col.iter().enumerate() {
+                assert_eq!(full.data()[i * 9 + j].to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let a = det(&[3, 5]);
+        let b = det(&[5, 4]);
+        let mut out = vec![f32::NAN; 12];
+        gemm_into(&a, &b, &mut out);
+        assert_eq!(out, gemm(&a, &b).data());
+        let bt = det(&[4, 5]);
+        let mut out = vec![f32::NAN; 12];
+        gemm_nt_into(&a, &bt, &mut out);
+        assert_eq!(out, gemm_nt(&a, &bt).data());
+        let mut out = vec![f32::NAN; 3];
+        mmv_into(&a, &b.data()[..5], &mut out);
+        assert_eq!(out, mmv(&a, &b.data()[..5]));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_well_defined() {
+        for &(m, k, n) in &[(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0), (1, 1, 1)] {
+            let a = det(&[m, k]);
+            let b = det(&[k, n]);
+            let out = gemm(&a, &b);
+            assert_eq!(out.shape(), &[m, n]);
+            if k == 0 {
+                assert!(out.data().iter().all(|&x| x == 0.0));
+            }
+            let bt = det(&[n, k]);
+            assert_eq!(gemm_nt(&a, &bt).shape(), &[m, n]);
+            let v = vec![1.0; k];
+            assert_eq!(mmv(&a, &v).len(), m);
+        }
+    }
+}

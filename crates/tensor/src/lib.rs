@@ -25,14 +25,18 @@
 pub mod conv;
 pub mod geometry;
 pub mod im2col;
+pub mod kernel;
 pub mod parallel;
 pub mod quant;
 pub mod tensor;
+pub mod workspace;
 pub mod zero_insert;
 
 pub use conv::Conv2d;
 pub use geometry::{SconvGeometry, TconvGeometry, WconvGeometry};
+pub use kernel::{gemm_into, gemm_nt_into, mmv_into};
 pub use tensor::{gemm, gemm_nt, Tensor};
+pub use workspace::Workspace;
 
 /// Absolute tolerance used by test helpers when comparing two floating point
 /// tensors produced by algebraically equivalent computations.

@@ -147,6 +147,58 @@ pub fn for_each_chunk_mut<T: Send>(
     });
 }
 
+/// Like [`for_each_chunk_mut`], but chunk boundaries land on multiples of
+/// `unit` elements — the shape needed to hand each worker whole rows of a
+/// row-major matrix without collecting per-row slices. `f(first_unit,
+/// chunk)` receives the index of the chunk's first unit. With one worker
+/// the full slice is passed straight through, so the serial path performs
+/// no allocation at all.
+///
+/// # Panics
+///
+/// Panics (debug) if `data.len()` is not a multiple of `unit`.
+pub fn for_each_unit_chunk_mut<T: Send>(
+    data: &mut [T],
+    unit: usize,
+    min_units: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let unit = unit.max(1);
+    debug_assert_eq!(data.len() % unit, 0, "length must be a unit multiple");
+    let units = data.len() / unit;
+    if units == 0 {
+        return;
+    }
+    let max_workers = units.div_ceil(min_units.max(1));
+    let threads = current_threads().min(max_workers).max(1);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk_units = units.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut unit0 = 0;
+        let mut first: Option<&mut [T]> = None;
+        while !rest.is_empty() {
+            let take = (chunk_units * unit).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            if unit0 == 0 {
+                first = Some(head);
+            } else {
+                let u0 = unit0;
+                scope.spawn(move || run_as_worker(|| f(u0, head)));
+            }
+            unit0 += take / unit;
+            rest = tail;
+        }
+        if let Some(head) = first {
+            run_as_worker(|| f(0, head));
+        }
+    });
+}
+
 /// Computes `f(i)` for `i in 0..n` in parallel, preserving order.
 pub fn map_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -207,6 +259,24 @@ mod tests {
                 });
             });
             assert_eq!(data, (0..57).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn unit_chunks_align_to_rows() {
+        // 13 rows of width 5: every chunk boundary must land on a row
+        // boundary, and offsets must be reported in rows.
+        for threads in [1, 2, 8] {
+            let mut data = vec![0usize; 13 * 5];
+            with_threads(threads, || {
+                for_each_unit_chunk_mut(&mut data, 5, 1, |row0, chunk| {
+                    assert_eq!(chunk.len() % 5, 0);
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = row0 * 5 + i;
+                    }
+                });
+            });
+            assert_eq!(data, (0..65).collect::<Vec<_>>(), "threads={threads}");
         }
     }
 

@@ -3,11 +3,24 @@
 //! The accelerator simulation only needs shapes, but the functional GAN
 //! substrate and the ZFDR correctness proofs need real arithmetic, so this
 //! module provides just enough of an ndarray: construction, indexing,
-//! element-wise maps, and a couple of linear-algebra helpers.
+//! element-wise maps, and a couple of linear-algebra helpers. The dense
+//! kernels ([`gemm`], [`gemm_nt`], [`mmv`]) are thin allocating wrappers
+//! over the packed, cache-blocked microkernels in [`crate::kernel`].
 
 use std::fmt;
 
+/// Maximum tensor rank. Shapes and strides are stored inline (no per-tensor
+/// heap allocation for metadata), and nothing in the workspace needs more
+/// than `[N, C, H, W]`.
+pub(crate) const MAX_RANK: usize = 4;
+
 /// Dense row-major `f32` tensor.
+///
+/// Shape and strides live in fixed `[usize; 4]` arrays (rank ≤ 4), so
+/// constructing a tensor around an existing buffer performs no heap
+/// allocation — the property the training workspace's zero-allocation
+/// steady state relies on. Zero-sized dimensions are allowed; such tensors
+/// simply hold no elements.
 ///
 /// # Example
 ///
@@ -17,28 +30,43 @@ use std::fmt;
 /// assert_eq!(t[&[1, 2]], 5.0);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    shape: Vec<usize>,
-    strides: Vec<usize>,
+    rank: usize,
+    shape: [usize; MAX_RANK],
+    strides: [usize; MAX_RANK],
     data: Vec<f32>,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape() == other.shape() && self.data == other.data
+    }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Tensor")
-            .field("shape", &self.shape)
+            .field("shape", &self.shape())
             .field("len", &self.data.len())
             .finish()
     }
 }
 
-fn strides_for(shape: &[usize]) -> Vec<usize> {
-    let mut strides = vec![1; shape.len()];
-    for i in (0..shape.len().saturating_sub(1)).rev() {
-        strides[i] = strides[i + 1] * shape[i + 1];
+/// Validates a shape and lays out its inline dimension/stride arrays
+/// (unused trailing slots hold 1, which keeps the stride recurrence
+/// well-defined; they are never compared or exposed).
+fn dims_for(shape: &[usize]) -> (usize, [usize; MAX_RANK], [usize; MAX_RANK]) {
+    let rank = shape.len();
+    assert!(rank >= 1, "tensor shape must have at least one dim");
+    assert!(rank <= MAX_RANK, "tensor rank {rank} exceeds {MAX_RANK}");
+    let mut dims = [1usize; MAX_RANK];
+    dims[..rank].copy_from_slice(shape);
+    let mut strides = [1usize; MAX_RANK];
+    for i in (0..rank.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
     }
-    strides
+    (rank, dims, strides)
 }
 
 impl Tensor {
@@ -46,7 +74,7 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if `shape` is empty or any dimension is zero.
+    /// Panics if `shape` is empty or longer than four dimensions.
     pub fn zeros(shape: &[usize]) -> Self {
         Self::filled(shape, 0.0)
     }
@@ -58,15 +86,12 @@ impl Tensor {
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn filled(shape: &[usize], value: f32) -> Self {
-        assert!(!shape.is_empty(), "tensor shape must have at least one dim");
-        assert!(
-            shape.iter().all(|&d| d > 0),
-            "tensor dimensions must be non-zero: {shape:?}"
-        );
+        let (rank, dims, strides) = dims_for(shape);
         let len = shape.iter().product();
         Tensor {
-            shape: shape.to_vec(),
-            strides: strides_for(shape),
+            rank,
+            shape: dims,
+            strides,
             data: vec![value; len],
         }
     }
@@ -84,9 +109,11 @@ impl Tensor {
             "buffer length {} does not match shape {shape:?}",
             data.len()
         );
+        let (rank, dims, strides) = dims_for(shape);
         Tensor {
-            shape: shape.to_vec(),
-            strides: strides_for(shape),
+            rank,
+            shape: dims,
+            strides,
             data,
         }
     }
@@ -94,17 +121,18 @@ impl Tensor {
     /// Creates a tensor by evaluating `f` at every multi-index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
         let mut t = Tensor::zeros(shape);
-        let mut idx = vec![0usize; shape.len()];
+        let mut idx = [0usize; MAX_RANK];
+        let rank = t.rank;
         for flat in 0..t.data.len() {
-            t.unflatten(flat, &mut idx);
-            t.data[flat] = f(&idx);
+            t.unflatten(flat, &mut idx[..rank]);
+            t.data[flat] = f(&idx[..rank]);
         }
         t
     }
 
     /// The shape of the tensor.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        &self.shape[..self.rank]
     }
 
     /// Number of elements.
@@ -112,7 +140,8 @@ impl Tensor {
         self.data.len()
     }
 
-    /// Whether the tensor holds no elements (never true by construction).
+    /// Whether the tensor holds no elements (true only when some dimension
+    /// is zero).
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -138,11 +167,11 @@ impl Tensor {
     ///
     /// Panics if the index rank or any coordinate is out of bounds.
     pub fn offset(&self, idx: &[usize]) -> usize {
-        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        assert_eq!(idx.len(), self.rank, "index rank mismatch");
         let mut off = 0;
         for (d, (&i, (&dim, &stride))) in idx
             .iter()
-            .zip(self.shape.iter().zip(self.strides.iter()))
+            .zip(self.shape().iter().zip(self.strides.iter()))
             .enumerate()
         {
             assert!(i < dim, "index {i} out of bounds for dim {d} (size {dim})");
@@ -170,8 +199,9 @@ impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            shape: self.shape.clone(),
-            strides: self.strides.clone(),
+            rank: self.rank,
+            shape: self.shape,
+            strides: self.strides,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
     }
@@ -182,10 +212,11 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "zip_with shape mismatch");
+        assert_eq!(self.shape(), other.shape(), "zip_with shape mismatch");
         Tensor {
-            shape: self.shape.clone(),
-            strides: self.strides.clone(),
+            rank: self.rank,
+            shape: self.shape,
+            strides: self.strides,
             data: self
                 .data
                 .iter()
@@ -205,6 +236,11 @@ impl Tensor {
         self.data.iter().filter(|&&x| x == 0.0).count()
     }
 
+    /// Overwrites every element with `value` in place.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
     /// Scales every element in place.
     pub fn scale_in_place(&mut self, k: f32) {
         for x in &mut self.data {
@@ -218,8 +254,20 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn axpy_in_place(&mut self, k: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += k * b;
+        }
+    }
+
+    /// Adds `k * other` into `self` from a flat slice of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy_slice_in_place(&mut self, k: f32, other: &[f32]) {
+        assert_eq!(self.data.len(), other.len(), "axpy length mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.iter()) {
             *a += k * b;
         }
     }
@@ -260,46 +308,34 @@ impl std::ops::Index<&[usize; 4]> for Tensor {
     }
 }
 
+/// Work floor (multiply-adds) below which kernels stay single-threaded:
+/// spawning scoped threads costs more than this much arithmetic.
+pub(crate) const MIN_PARALLEL_FLOPS: usize = 32 * 1024;
+
 /// Matrix-multiply-vector: `m` is `[rows, cols]`, `v` has `cols` elements.
 ///
 /// This is the primitive the ReRAM CArray executes in one read cycle; the
-/// functional ZFDR execution path is built out of calls to it.
+/// functional ZFDR execution path is built out of calls to it. Allocating
+/// wrapper over [`crate::kernel::mmv_into`]; every element accumulates
+/// along `cols` in ascending order, bit-identically for every thread
+/// count.
 ///
 /// # Panics
 ///
 /// Panics if `m` is not rank-2 or the vector length does not match.
 pub fn mmv(m: &Tensor, v: &[f32]) -> Vec<f32> {
     assert_eq!(m.shape().len(), 2, "mmv expects a rank-2 matrix");
-    let (rows, cols) = (m.shape()[0], m.shape()[1]);
-    assert_eq!(v.len(), cols, "mmv vector length mismatch");
-    let mut out = vec![0.0; rows];
-    // Rows are independent, so the parallel split cannot change any
-    // per-element accumulation order: results are bit-identical for every
-    // thread count. The chunk floor keeps small products serial.
-    let min_rows = (MIN_PARALLEL_FLOPS / cols.max(1)).max(1);
-    crate::parallel::for_each_chunk_mut(&mut out, min_rows, |row0, chunk| {
-        for (i, slot) in chunk.iter_mut().enumerate() {
-            let r = row0 + i;
-            let row = &m.data()[r * cols..(r + 1) * cols];
-            *slot = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
-        }
-    });
+    let mut out = vec![0.0; m.shape()[0]];
+    crate::kernel::mmv_into(m, v, &mut out);
     out
 }
 
-/// Work floor (multiply-adds) below which kernels stay single-threaded:
-/// spawning scoped threads costs more than this much arithmetic.
-pub(crate) const MIN_PARALLEL_FLOPS: usize = 32 * 1024;
-
-/// Inner-kernel K-blocking factor: one `[KC]`-deep panel of `b` stays in
-/// cache while a block of output rows streams over it.
-const GEMM_KC: usize = 256;
-
-/// Blocked matrix-matrix product: `a` is `[m, k]`, `b` is `[k, n]`,
+/// Packed matrix-matrix product: `a` is `[m, k]`, `b` is `[k, n]`,
 /// returning `[m, n]`.
 ///
 /// This is the batched-execution primitive behind the ZFDR
-/// one-GEMM-per-pattern-class path and the im2col convolution. The kernel
+/// one-GEMM-per-pattern-class path and the im2col convolution. Allocating
+/// wrapper over the cache-blocked [`crate::kernel::gemm_into`], which
 /// accumulates along `k` in ascending order exactly like [`mmv`] does, so
 /// for any column vector `b` the two agree bit-for-bit; row blocks are
 /// distributed over the [`crate::parallel`] substrate with each worker
@@ -322,30 +358,20 @@ const GEMM_KC: usize = 256;
 pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape().len(), 2, "gemm expects rank-2 operands");
     assert_eq!(b.shape().len(), 2, "gemm expects rank-2 operands");
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (kb, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, kb, "gemm inner dimensions disagree");
-    let mut out = Tensor::zeros(&[m, n]);
-    // Split output rows across workers; each chunk of rows is written by
-    // exactly one worker with the serial kernel, so the accumulation order
-    // per element never depends on the thread count.
-    let min_rows = (MIN_PARALLEL_FLOPS / (k * n).max(1)).max(1);
-    let mut rows: Vec<&mut [f32]> = out.data.chunks_mut(n).collect();
-    crate::parallel::for_each_chunk_mut(&mut rows, min_rows, |row0, out_rows| {
-        gemm_rows(out_rows, row0, a.data(), b.data(), k, n);
-    });
+    let mut out = Tensor::zeros(&[a.shape()[0], b.shape()[1]]);
+    crate::kernel::gemm_into(a, b, out.data_mut());
     out
 }
 
 /// GEMM with a pre-transposed right operand:
-/// `[m, k] × ([n, k])ᵀ → [m, n]`, each output element one contiguous dot
-/// product.
+/// `[m, k] × ([n, k])ᵀ → [m, n]`.
 ///
 /// Every element accumulates over `l` ascending from `0.0` with the same
-/// expression as [`mmv`], so `gemm_nt(a, bt)` column `j` is bit-identical
-/// to `mmv(a, bt_row_j)` — the property the batched ZFDR execution relies
-/// on. Prefer this over [`gemm`] when the right operand is naturally
-/// gathered row-per-column (few columns, long inner dimension).
+/// chain as [`mmv`], so `gemm_nt(a, bt)` column `j` is bit-identical to
+/// `mmv(a, bt_row_j)` — the property the batched ZFDR execution relies on.
+/// Allocating wrapper over [`crate::kernel::gemm_nt_into`]. Prefer this
+/// over [`gemm`] when the right operand is naturally gathered
+/// row-per-column (few columns, long inner dimension).
 ///
 /// # Panics
 ///
@@ -354,45 +380,9 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn gemm_nt(a: &Tensor, bt: &Tensor) -> Tensor {
     assert_eq!(a.shape().len(), 2, "gemm_nt expects rank-2 operands");
     assert_eq!(bt.shape().len(), 2, "gemm_nt expects rank-2 operands");
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (n, kb) = (bt.shape()[0], bt.shape()[1]);
-    assert_eq!(k, kb, "gemm_nt inner dimensions disagree");
-    let mut out = Tensor::zeros(&[m, n]);
-    let adata = a.data.as_slice();
-    let bdata = bt.data.as_slice();
-    let min_rows = (MIN_PARALLEL_FLOPS / (k * n).max(1)).max(1);
-    let mut rows: Vec<&mut [f32]> = out.data.chunks_mut(n.max(1)).collect();
-    crate::parallel::for_each_chunk_mut(&mut rows, min_rows, |row0, out_rows| {
-        for (i, orow) in out_rows.iter_mut().enumerate() {
-            let abase = (row0 + i) * k;
-            let arow = &adata[abase..abase + k];
-            for (j, slot) in orow.iter_mut().enumerate() {
-                let brow = &bdata[j * k..j * k + k];
-                *slot = arow.iter().zip(brow.iter()).map(|(&x, &y)| x * y).sum();
-            }
-        }
-    });
+    let mut out = Tensor::zeros(&[a.shape()[0], bt.shape()[0]]);
+    crate::kernel::gemm_nt_into(a, bt, out.data_mut());
     out
-}
-
-/// Serial kernel: accumulates `out_rows[i] += a[row0+i, :] * b` with `k`
-/// blocked into panels of [`GEMM_KC`]. The `j` loop is an iterator-free
-/// indexed loop over two equal-length slices, which LLVM autovectorizes.
-fn gemm_rows(out_rows: &mut [&mut [f32]], row0: usize, a: &[f32], b: &[f32], k: usize, n: usize) {
-    for kb in (0..k).step_by(GEMM_KC) {
-        let kend = (kb + GEMM_KC).min(k);
-        for (i, orow) in out_rows.iter_mut().enumerate() {
-            let abase = (row0 + i) * k;
-            let arow = &a[abase..abase + k];
-            let orow = &mut orow[..n];
-            for (l, &av) in arow.iter().enumerate().take(kend).skip(kb) {
-                let brow = &b[l * n..l * n + n];
-                for j in 0..n {
-                    orow[j] += av * brow[j];
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -406,6 +396,31 @@ mod tests {
         assert_eq!(t.len(), 24);
         assert_eq!(t.count_zeros(), 24);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_sized_dimensions_are_allowed() {
+        let t = Tensor::zeros(&[3, 0]);
+        assert_eq!(t.shape(), &[3, 0]);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rank_above_four_panics() {
+        let _ = Tensor::zeros(&[1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn equality_ignores_inline_padding() {
+        // Same shape built through different paths must compare equal, and
+        // different ranks with the same element count must not.
+        let a = Tensor::from_vec(&[2, 3], vec![0.0; 6]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert_eq!(a, b);
+        let c = Tensor::zeros(&[2, 3, 1]);
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -454,11 +469,20 @@ mod tests {
     }
 
     #[test]
+    fn fill_overwrites_in_place() {
+        let mut t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        t.fill(0.5);
+        assert_eq!(t.data(), &[0.5; 4]);
+    }
+
+    #[test]
     fn axpy_accumulates() {
         let mut a = Tensor::ones(&[2, 2]);
         let b = Tensor::filled(&[2, 2], 3.0);
         a.axpy_in_place(0.5, &b);
         assert_eq!(a.data(), &[2.5, 2.5, 2.5, 2.5]);
+        a.axpy_slice_in_place(1.0, &[0.5; 4]);
+        assert_eq!(a.data(), &[3.0, 3.0, 3.0, 3.0]);
     }
 
     #[test]

@@ -108,3 +108,85 @@ proptest! {
         prop_assert!(geom.useful_multiplications_per_channel() >= geom.input * geom.input);
     }
 }
+
+/// Triple-loop oracle with the kernels' contract order: each element sums
+/// its `k` products ascending from `0.0`. For degenerate shapes (any
+/// dimension zero) the oracle is the empty sum — exactly `0.0` — over an
+/// `m·n`-element (possibly empty) output.
+fn oracle_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Degenerate and tiny GEMM shapes — `m`, `k`, or `n` of 0, and the
+    /// 1×1×1 product — must be well-defined (no panic, no stale output)
+    /// through every kernel entry point: the allocating wrappers, the
+    /// `_into` variants, and the raw `_buf` kernels. All must agree with
+    /// the triple-loop oracle bit-for-bit.
+    #[test]
+    fn degenerate_gemm_shapes_through_all_entry_points(
+        m in 0usize..3,
+        k in 0usize..3,
+        n in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        use lergan_tensor::kernel::{gemm_buf, gemm_nt_buf, mmv_buf};
+        use lergan_tensor::tensor::{gemm, gemm_nt, mmv};
+        use lergan_tensor::{gemm_into, gemm_nt_into, mmv_into};
+
+        let val = |i: usize| ((i as u64 * 37 + seed * 11) % 13) as f32 * 0.5 - 3.0;
+        let a = Tensor::from_fn(&[m, k], |idx| val(idx[0] * k + idx[1]));
+        let b = Tensor::from_fn(&[k, n], |idx| val(100 + idx[0] * n + idx[1]));
+        let bt = Tensor::from_fn(&[n, k], |idx| {
+            // bt is b transposed, so gemm and gemm_nt share one oracle.
+            b.data()[idx[1] * n + idx[0]]
+        });
+        let v: Vec<f32> = (0..k).map(|i| val(200 + i)).collect();
+        let want = oracle_gemm(m, k, n, a.data(), b.data());
+        let want_v = oracle_gemm(m, k, 1, a.data(), &v);
+
+        // Allocating wrappers.
+        let g = gemm(&a, &b);
+        prop_assert_eq!(g.shape(), &[m, n]);
+        prop_assert_eq!(g.data(), &want[..]);
+        let gnt = gemm_nt(&a, &bt);
+        prop_assert_eq!(gnt.data(), &want[..]);
+        let gv = mmv(&a, &v);
+        prop_assert_eq!(&gv[..], &want_v[..]);
+
+        // `_into` variants over a poisoned buffer: every element must be
+        // overwritten (a surviving NaN fails the comparison).
+        let mut out = vec![f32::NAN; m * n];
+        gemm_into(&a, &b, &mut out);
+        prop_assert_eq!(&out[..], &want[..]);
+        out.fill(f32::NAN);
+        gemm_nt_into(&a, &bt, &mut out);
+        prop_assert_eq!(&out[..], &want[..]);
+        let mut vout = vec![f32::NAN; m];
+        mmv_into(&a, &v, &mut vout);
+        prop_assert_eq!(&vout[..], &want_v[..]);
+
+        // Raw slice kernels.
+        out.fill(f32::NAN);
+        gemm_buf(m, k, n, a.data(), b.data(), &mut out);
+        prop_assert_eq!(&out[..], &want[..]);
+        out.fill(f32::NAN);
+        gemm_nt_buf(m, k, n, a.data(), bt.data(), &mut out);
+        prop_assert_eq!(&out[..], &want[..]);
+        vout.fill(f32::NAN);
+        mmv_buf(m, k, a.data(), &v, &mut vout);
+        prop_assert_eq!(&vout[..], &want_v[..]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Steady-state allocation discipline of the GAN trainer.
+//!
+//! The workspace-pooled trainer promises that after a one-step warmup —
+//! which populates the activation caches, the Adam moment tensors, and
+//! every workspace pool — a training step performs **zero heap
+//! allocations**. This harness proves it with a counting `GlobalAlloc`
+//! wrapper around the system allocator: the counter is armed after the
+//! warmup step and every subsequent step must leave it at zero.
+//!
+//! The guarantee holds at one thread (the scoped-thread substrate
+//! allocates per spawn, and the packed-GEMM pack buffers are
+//! thread-local), so the whole test runs under
+//! `parallel::with_threads(1)` — which is also the configuration the
+//! determinism CI job pins.
+
+use lergan::gan::topology::parse_network;
+use lergan::gan::train::{build_trainable_with, Gan, UpdateRule};
+use lergan::tensor::{parallel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts every allocation and reallocation while armed; frees are not
+/// counted (returning pooled buffers is allowed to be a no-op, and drops
+/// of warmup-era buffers are not steady-state traffic).
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_train_step_performs_zero_heap_allocations() {
+    parallel::with_threads(1, || {
+        // The same DCGAN-style topology the benchmark suite times.
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen_spec = parse_network("g", "8f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+        let disc_spec = parse_network("d", "(1c-8c)(3k2s)-f1", 2, 16).unwrap();
+        let g = build_trainable_with(&gen_spec, true, false, &mut rng);
+        let d = build_trainable_with(&disc_spec, false, false, &mut rng);
+        let mut gan = Gan::new(g, d, 8, 0.01, 2).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let reals: Vec<Tensor> = (0..2).map(|_| Tensor::filled(&[1, 16, 16], 0.5)).collect();
+
+        // One warmup step: fills the workspace pools, the activation
+        // caches, the Adam moments, and the thread-local pack buffers.
+        let _ = gan.train_step(&reals);
+
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        for _ in 0..5 {
+            let stats = gan.train_step(&reals);
+            assert!(stats.d_loss.is_finite() && stats.g_loss.is_finite());
+        }
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert_eq!(
+            ALLOCATIONS.load(Ordering::SeqCst),
+            0,
+            "steady-state train steps must not touch the heap"
+        );
+    });
+}
