@@ -9,15 +9,20 @@
 //!   baseline),
 //! * W-CONV-S ZFDR (same variants),
 //! * S-CONV through im2col + GEMM,
-//! * the packed GEMM kernel against the pre-packing kernel preserved in
-//!   [`lergan_bench::naive`], on the dominant GEMM shape of every Table V
-//!   benchmark GAN,
+//! * every GEMM execution strategy (`direct`, `packed`, `simd`), the
+//!   shape-adaptive `dispatch` that picks among them, and the pre-packing
+//!   kernel preserved in [`lergan_bench::naive`], on the dominant GEMM
+//!   shape of every Table V benchmark GAN,
+//! * the `mmv` direct kernel against the forced blocked path (dispatch
+//!   always routes `n = 1` direct; this entry proves it right),
 //! * one full DCGAN training step on the reduced 16 px networks.
 //!
 //! Each ZFDR workload is timed at one worker thread and at the
 //! configured thread count (`LERGAN_THREADS` or the host parallelism),
-//! so the snapshot records both algorithmic and threading speedups. When
-//! the output file already exists, its 1-thread
+//! so the snapshot records both algorithmic and threading speedups —
+//! except on single-core hosts, where the thread-scaling speedup keys
+//! are recorded as `"skipped_single_core"` instead of a meaningless
+//! 1.00. When the output file already exists, its 1-thread
 //! `gan_train_step_16px/full` time is read back first and the new
 //! snapshot records the ratio as `gan_train_step_vs_previous`.
 //!
@@ -33,8 +38,9 @@ use lergan_gan::benchmarks;
 use lergan_gan::ir::OpGraph;
 use lergan_gan::topology::parse_network;
 use lergan_gan::train::{build_trainable_with, Gan, UpdateRule};
+use lergan_tensor::dispatch::{with_strategy, ForcedStrategy};
 use lergan_tensor::im2col::conv2d_gemm;
-use lergan_tensor::tensor::gemm;
+use lergan_tensor::tensor::{gemm, mmv};
 use lergan_tensor::{parallel, SconvGeometry, TconvGeometry, Tensor, WconvGeometry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,23 +56,37 @@ fn det(shape: &[usize], seed: u32) -> Tensor {
     })
 }
 
-/// Mean nanoseconds per iteration: one warmup call, then enough
-/// iterations to fill ~200 ms of wall clock.
+/// Nanoseconds per iteration: one warmup call, a calibration loop
+/// growing the iteration count until a window spans ~70 ms, then two
+/// more windows at that count. Returns the *minimum* window mean —
+/// scheduler preemption and interrupt noise only ever inflate a
+/// window, so the min is the stable estimator (a single long window's
+/// mean absorbs every hiccup and jitters >10% on a busy 1-core host).
 fn time_ns(mut f: impl FnMut()) -> f64 {
     f();
+    let window = Duration::from_millis(70);
     let mut iters: u64 = 1;
-    loop {
+    let (mut best, iters) = loop {
         let start = Instant::now();
         for _ in 0..iters {
             f();
         }
         let elapsed = start.elapsed();
         let per = (elapsed.as_nanos() as f64 / iters as f64).max(1.0);
-        if elapsed >= Duration::from_millis(200) || iters >= 1_000_000 {
-            return per;
+        if elapsed >= window || iters >= 1_000_000 {
+            break (per, iters);
         }
-        iters = ((2.0e8 / per).ceil() as u64).clamp(iters * 2, 1_000_000);
+        iters = ((7.0e7 / per).ceil() as u64).clamp(iters * 2, 1_000_000);
+    };
+    for _ in 0..2 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = (start.elapsed().as_nanos() as f64 / iters as f64).max(1.0);
+        best = best.min(per);
     }
+    best
 }
 
 // ---------------------------------------------------------------------
@@ -359,9 +379,13 @@ fn main() {
         }
     }
 
-    // Packed vs pre-packing GEMM on the dominant (largest-MAC) im2col
-    // shape of every Table V benchmark GAN, dimensions clamped so the
-    // sweep stays fast while preserving each topology's aspect mix.
+    // Every GEMM strategy, the shape-adaptive dispatch, and the
+    // pre-packing naive kernel on the dominant (largest-MAC) im2col shape
+    // of every Table V benchmark GAN, dimensions clamped so the sweep
+    // stays fast while preserving each topology's aspect mix. The
+    // dispatch entries are the ones CI gates on: the committed
+    // `dispatch_thresholds.json` must keep `dispatch` at or ahead of
+    // `naive` on every one of these shapes.
     let mut gemm_ratios: Vec<f64> = Vec::new();
     for spec in benchmarks::all() {
         let Some(shape) = OpGraph::build(&spec)
@@ -387,26 +411,64 @@ fn main() {
                 }
             })
             .collect();
-        let packed_ns = parallel::with_threads(1, || {
-            time_ns(|| {
-                black_box(gemm(black_box(&a), black_box(&b)));
+        let forced_ns = |fs: ForcedStrategy| {
+            parallel::with_threads(1, || {
+                with_strategy(fs, || {
+                    time_ns(|| {
+                        black_box(gemm(black_box(&a), black_box(&b)));
+                    })
+                })
             })
-        });
+        };
+        let direct_ns = forced_ns(ForcedStrategy::Direct);
+        let packed_ns = forced_ns(ForcedStrategy::Packed);
+        let simd_ns = forced_ns(ForcedStrategy::Simd);
+        let dispatch_ns = forced_ns(ForcedStrategy::Auto);
         let naive_ns = parallel::with_threads(1, || {
             time_ns(|| {
                 black_box(naive::gemm(black_box(&a), black_box(&b)));
             })
         });
+        record(&format!("gemm_{slug}_{m}x{k}x{n}/direct"), 1, direct_ns);
         record(&format!("gemm_{slug}_{m}x{k}x{n}/packed"), 1, packed_ns);
+        record(&format!("gemm_{slug}_{m}x{k}x{n}/simd"), 1, simd_ns);
+        record(&format!("gemm_{slug}_{m}x{k}x{n}/dispatch"), 1, dispatch_ns);
         record(&format!("gemm_{slug}_{m}x{k}x{n}/naive"), 1, naive_ns);
-        if packed_ns > 0.0 {
-            gemm_ratios.push(naive_ns / packed_ns);
+        if dispatch_ns > 0.0 {
+            gemm_ratios.push(naive_ns / dispatch_ns);
         }
     }
     let gemm_geomean = if gemm_ratios.is_empty() {
         1.0
     } else {
         (gemm_ratios.iter().map(|r| r.ln()).sum::<f64>() / gemm_ratios.len() as f64).exp()
+    };
+
+    // The mmv direct kernel against the forced blocked path on an
+    // FC-discriminator-head shape: dispatch routes every `n = 1` product
+    // direct, and this entry keeps that choice honest.
+    let mmv_mat = det(&[64, 1024], 33);
+    let mmv_vec: Vec<f32> = det(&[1024], 34).data().to_vec();
+    let mmv_direct_ns = parallel::with_threads(1, || {
+        with_strategy(ForcedStrategy::Auto, || {
+            time_ns(|| {
+                black_box(mmv(black_box(&mmv_mat), black_box(&mmv_vec)));
+            })
+        })
+    });
+    let mmv_blocked_ns = parallel::with_threads(1, || {
+        with_strategy(ForcedStrategy::Packed, || {
+            time_ns(|| {
+                black_box(mmv(black_box(&mmv_mat), black_box(&mmv_vec)));
+            })
+        })
+    });
+    record("mmv_fc_64x1024/direct", 1, mmv_direct_ns);
+    record("mmv_fc_64x1024/blocked", 1, mmv_blocked_ns);
+    let mmv_speedup = if mmv_direct_ns > 0.0 {
+        mmv_blocked_ns / mmv_direct_ns
+    } else {
+        1.0
     };
 
     // One full DCGAN training step on the reduced 16 px networks.
@@ -441,10 +503,22 @@ fn main() {
         (Some(s), Some(b)) if b > 0.0 => s / b,
         _ => 0.0,
     };
-    let batched_multi = find("tconv_conv1_16x8ch/batched", threads);
-    let thread_speedup = match (batched_conv1, batched_multi) {
-        (Some(one), Some(multi)) if multi > 0.0 => one / multi,
-        _ => 1.0,
+    let reference_conv1 = find("tconv_conv1_16x8ch/reference", 1);
+    let dispatch_vs_reference = match (reference_conv1, batched_conv1) {
+        (Some(r), Some(b)) if b > 0.0 => r / b,
+        _ => 0.0,
+    };
+    // Thread-scaling numbers are meaningless on a single-core host (the
+    // "multi" run is the same 1-worker run), so record a marker instead.
+    let thread_scaling_json = if cores == 1 || threads == 1 {
+        "\"skipped_single_core\"".to_string()
+    } else {
+        let batched_multi = find("tconv_conv1_16x8ch/batched", threads);
+        let thread_speedup = match (batched_conv1, batched_multi) {
+            (Some(one), Some(multi)) if multi > 0.0 => one / multi,
+            _ => 1.0,
+        };
+        format!("{thread_speedup:.2}")
     };
     let step_ns = find("gan_train_step_16px/full", 1);
     let step_vs_previous = match (previous_step_ns, step_ns) {
@@ -468,13 +542,15 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_speedup:.2},\n    \"gemm_packed_vs_naive_geomean\": {gemm_geomean:.2},\n    \"gan_train_step_vs_previous\": {step_vs_previous:.2}\n  }}\n"
+        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_dispatch_vs_reference\": {dispatch_vs_reference:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_scaling_json},\n    \"gemm_dispatch_vs_naive_geomean\": {gemm_geomean:.2},\n    \"mmv_direct_vs_blocked\": {mmv_speedup:.2},\n    \"gan_train_step_vs_previous\": {step_vs_previous:.2}\n  }}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("\nbatched vs seed per-position (CONV1, 1 thread): {speedup_conv1:.2}x");
-    println!("batched {threads} threads vs 1 thread (CONV1):    {thread_speedup:.2}x");
-    println!("packed vs naive GEMM (geomean over Table V):    {gemm_geomean:.2}x");
+    println!("batched vs per-position reference (CONV1):      {dispatch_vs_reference:.2}x");
+    println!("batched {threads} threads vs 1 thread (CONV1):    {thread_scaling_json}");
+    println!("dispatch vs naive GEMM (geomean over Table V):  {gemm_geomean:.2}x");
+    println!("mmv direct vs forced blocked (64x1024):         {mmv_speedup:.2}x");
     println!("train step vs previous snapshot (1 thread):     {step_vs_previous:.2}x");
     println!("wrote {out_path}");
 }

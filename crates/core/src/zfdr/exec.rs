@@ -31,7 +31,7 @@
 //! only on [`TconvEngine::set_weights`].
 
 use crate::zfdr::plan::{AxisClass, ZfdrPlan};
-use lergan_tensor::tensor::{gemm, gemm_nt, mmv};
+use lergan_tensor::tensor::{gemm, mmv};
 use lergan_tensor::{parallel, TconvGeometry, Tensor, WconvGeometry};
 
 /// Statistics from one zero-free execution.
@@ -164,11 +164,48 @@ fn tconv_class_matrices(
     matrices
 }
 
-/// Column count from which the blocked row-major [`gemm`] (vectorised over
-/// columns) overtakes the scalar-dot [`gemm_nt`] kernel. Both accumulate
-/// each output element over `l` ascending from `0.0`, so the choice never
-/// affects results, only speed.
-const BLOCKED_GEMM_MIN_COLS: usize = 32;
+/// Pre-materialises the *transposed* T-CONV reshaped weight matrix of
+/// every class pair: `[|pr|·|pc|·IC, OC]` with row order
+/// `(ky in pr) × (kx in pc) × ic`.
+///
+/// The batched path computes `gemm(gathered_t, matrix_t)`, which makes OC
+/// the contiguous output dimension the dispatched kernels vectorise over,
+/// while each output element still accumulates over the reshaped columns
+/// in the exact ascending order the reference `mmv` uses. The weights are
+/// first transposed once into one `[IC, OC]` slab per kernel tap, so every
+/// pair matrix is a concatenation of contiguous `IC·OC` slab blocks.
+fn tconv_class_matrices_t(
+    weights: &Tensor,
+    classes: &[AxisClass],
+    pairs: &[(usize, usize)],
+) -> Vec<Option<Tensor>> {
+    let (oc, ic, w) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    let wdata = weights.data();
+    let mut slabs = vec![0.0f32; w * w * ic * oc];
+    for co in 0..oc {
+        for ci in 0..ic {
+            let kbase = (co * ic + ci) * w * w;
+            for tap in 0..w * w {
+                slabs[(tap * ic + ci) * oc + co] = wdata[kbase + tap];
+            }
+        }
+    }
+    let n = classes.len();
+    let mut matrices = vec![None; n * n];
+    for &(rc, cc) in pairs {
+        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+        let rows = pr.len() * pc.len() * ic;
+        let mut data = Vec::with_capacity(rows * oc);
+        for &ky in pr {
+            for &kx in pc {
+                let tbase = (ky * w + kx) * ic * oc;
+                data.extend_from_slice(&slabs[tbase..tbase + ic * oc]);
+            }
+        }
+        matrices[rc * n + cc] = Some(Tensor::from_vec(&[rows, oc], data));
+    }
+    matrices
+}
 
 /// Pre-materialises the W-CONV-S reshaped `∇output` matrix of every class
 /// pair: `[OC, |pr|·|pc|]` with column order `(oy in pr) × (ox in pc)`.
@@ -194,6 +231,35 @@ fn wconv_class_matrices(
             }
         }
         matrices[rc * n + cc] = Some(Tensor::from_vec(&[oc, cols], data));
+    }
+    matrices
+}
+
+/// Transposed analogue of [`wconv_class_matrices`]: `[|pr|·|pc|, OC]` with
+/// row order `(oy in pr) × (ox in pc)`, for the batched
+/// `gemm(gathered_t, matrix_t)` formulation.
+fn wconv_class_matrices_t(
+    dout: &Tensor,
+    classes: &[AxisClass],
+    pairs: &[(usize, usize)],
+) -> Vec<Option<Tensor>> {
+    let (oc, o) = (dout.shape()[0], dout.shape()[1]);
+    let ddata = dout.data();
+    let n = classes.len();
+    let mut matrices = vec![None; n * n];
+    for &(rc, cc) in pairs {
+        let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
+        let rows = pr.len() * pc.len();
+        let mut data = Vec::with_capacity(rows * oc);
+        for &oy in pr {
+            for &ox in pc {
+                let pbase = oy * o + ox;
+                for co in 0..oc {
+                    data.push(ddata[co * o * o + pbase]);
+                }
+            }
+        }
+        matrices[rc * n + cc] = Some(Tensor::from_vec(&[rows, oc], data));
     }
     matrices
 }
@@ -225,7 +291,9 @@ pub struct TconvEngine {
     plan: ZfdrPlan,
     groups: Vec<Vec<usize>>,
     pairs: Vec<(usize, usize)>,
-    matrices: Vec<Option<Tensor>>,
+    /// Transposed reshaped matrices (`[cols, OC]`, see
+    /// [`tconv_class_matrices_t`]), indexed `rc * n_classes + cc`.
+    matrices_t: Vec<Option<Tensor>>,
     oc: usize,
     ic: usize,
 }
@@ -243,13 +311,13 @@ impl TconvEngine {
         let plan = ZfdrPlan::for_tconv(geom);
         let groups = positions_by_class(&plan, geom.output);
         let pairs = class_pairs(plan.axis_classes());
-        let matrices = tconv_class_matrices(weights, plan.axis_classes(), &pairs);
+        let matrices_t = tconv_class_matrices_t(weights, plan.axis_classes(), &pairs);
         TconvEngine {
             geom: *geom,
             plan,
             groups,
             pairs,
-            matrices,
+            matrices_t,
             oc,
             ic,
         }
@@ -273,7 +341,7 @@ impl TconvEngine {
             &[self.oc, self.ic, self.geom.kernel, self.geom.kernel],
             "weight shape changed under cached engine"
         );
-        self.matrices = tconv_class_matrices(weights, self.plan.axis_classes(), &self.pairs);
+        self.matrices_t = tconv_class_matrices_t(weights, self.plan.axis_classes(), &self.pairs);
     }
 
     /// Executes one T-CONV against the cached matrices: `input` is
@@ -292,80 +360,56 @@ impl TconvEngine {
         let s = geom.converse_stride;
         let i_ext = geom.input;
         assert_eq!(input.shape(), &[ic, i_ext, i_ext], "input shape");
-        let (groups, pairs, matrices) = (&self.groups, &self.pairs, &self.matrices);
+        let (groups, pairs, matrices_t) = (&self.groups, &self.pairs, &self.matrices_t);
         let n = classes.len();
         let idata = input.data();
         let iplane = i_ext * i_ext;
 
-        // One gather + one GEMM per pattern class, classes in parallel. The
-        // gather matrix is built transposed — one contiguous row per output
-        // position, in the reshaped matrix's column order — so `gemm_nt`
-        // computes, per output element, the same ascending-order dot product
-        // the reference path's `mmv` computes: the results are bit-identical.
+        // One gather + one GEMM per pattern class, classes in parallel.
+        // The gather is one contiguous row per output position, in the
+        // transposed matrix's row order, so `gemm(gathered_t, matrix_t)`
+        // accumulates each output element over the gathered values in the
+        // reference `mmv`'s ascending order — bit-identical results — while
+        // OC is the contiguous dimension the shape-adaptive dispatch
+        // (`lergan_tensor::dispatch`) hands to the SIMD lanes.
         let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
             let (rc, cc) = pairs[pi];
             let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
             let (rows, cols) = (&groups[rc], &groups[cc]);
             let npos = rows.len() * cols.len();
             let dim = pr.len() * pc.len() * ic;
-            let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
-            if npos >= BLOCKED_GEMM_MIN_COLS {
-                // Wide class: row-major gather `[dim, npos]`, blocked GEMM.
-                let mut gathered = vec![0.0f32; dim * npos];
-                let mut r = 0;
-                for &ky in pr {
-                    for &kx in pc {
-                        for ci in 0..ic {
-                            let cbase = ci * iplane;
-                            let grow = &mut gathered[r * npos..(r + 1) * npos];
-                            let mut col = 0;
-                            for &oy in rows {
-                                let rbase = cbase + (oy + ky - p) / s * i_ext;
-                                for &ox in cols {
-                                    grow[col] = idata[rbase + (ox + kx - p) / s];
-                                    col += 1;
-                                }
-                            }
-                            r += 1;
-                        }
-                    }
-                }
-                gemm(matrix, &Tensor::from_vec(&[dim, npos], gathered))
-            } else {
-                // Narrow class: transposed gather `[npos, dim]`, dot kernel.
-                let mut gathered = Vec::with_capacity(npos * dim);
-                for &oy in rows {
-                    for &ox in cols {
-                        for &ky in pr {
-                            let rbase = (oy + ky - p) / s * i_ext;
-                            for &kx in pc {
-                                let off = rbase + (ox + kx - p) / s;
-                                for ci in 0..ic {
-                                    gathered.push(idata[ci * iplane + off]);
-                                }
+            let matrix_t = matrices_t[rc * n + cc].as_ref().expect("pair materialised");
+            let mut gathered = Vec::with_capacity(npos * dim);
+            for &oy in rows {
+                for &ox in cols {
+                    for &ky in pr {
+                        let rbase = (oy + ky - p) / s * i_ext;
+                        for &kx in pc {
+                            let off = rbase + (ox + kx - p) / s;
+                            for ci in 0..ic {
+                                gathered.push(idata[ci * iplane + off]);
                             }
                         }
                     }
                 }
-                gemm_nt(matrix, &Tensor::from_vec(&[npos, dim], gathered))
             }
+            gemm(&Tensor::from_vec(&[npos, dim], gathered), matrix_t)
         });
 
         let mut out = Tensor::zeros(&[oc, o, o]);
         let odata = out.data_mut();
         for (pi, &(rc, cc)) in pairs.iter().enumerate() {
             let (rows, cols) = (&groups[rc], &groups[cc]);
-            let npos = rows.len() * cols.len();
             let rdata = results[pi].data();
-            for co in 0..oc {
-                let obase = co * o * o;
-                let rbase = co * npos;
-                let mut col = 0;
-                for &oy in rows {
-                    for &ox in cols {
-                        odata[obase + oy * o + ox] = rdata[rbase + col];
-                        col += 1;
+            let mut pos = 0;
+            for &oy in rows {
+                for &ox in cols {
+                    let rbase = pos * oc;
+                    let obase = oy * o + ox;
+                    for co in 0..oc {
+                        odata[co * o * o + obase] = rdata[rbase + co];
                     }
+                    pos += 1;
                 }
             }
         }
@@ -517,79 +561,55 @@ impl WconvEngine {
         let w = self.geom.gradient_extent();
         let i_ext = f.input;
         let (groups, pairs) = (&self.groups, &self.pairs);
-        let matrices = wconv_class_matrices(dout, classes, pairs);
+        let matrices_t = wconv_class_matrices_t(dout, classes, pairs);
         let n = classes.len();
         let idata = input.data();
         let iplane = i_ext * i_ext;
 
-        // Transposed gather: one contiguous row per (position, in-channel)
-        // column, in `(oy in pr) × (ox in pc)` order — the reshaped
-        // matrix's column order — so each output element is the reference
-        // `mmv` dot product, bit for bit.
+        // Transposed gather: one contiguous row per (position, in-channel),
+        // in `(oy in pr) × (ox in pc)` order — the transposed matrix's row
+        // order — so `gemm(gathered_t, matrix_t)` gives each ∇W element the
+        // reference `mmv` dot product, bit for bit, with OC as the
+        // contiguous dimension the dispatched kernels vectorise over.
         let results: Vec<Tensor> = parallel::map_indexed(pairs.len(), |pi| {
             let (rc, cc) = pairs[pi];
             let (pr, pc) = (&classes[rc].pattern, &classes[cc].pattern);
             let (rows, cols) = (&groups[rc], &groups[cc]);
             let ncols = rows.len() * cols.len() * ic;
             let dim = pr.len() * pc.len();
-            let matrix = matrices[rc * n + cc].as_ref().expect("pair materialised");
-            if ncols >= BLOCKED_GEMM_MIN_COLS {
-                // Wide class: row-major gather `[dim, ncols]`, blocked GEMM.
-                let mut gathered = vec![0.0f32; dim * ncols];
-                for (oyi, &oh) in pr.iter().enumerate() {
-                    for (oxi, &ow) in pc.iter().enumerate() {
-                        let r = oyi * pc.len() + oxi;
-                        let grow = &mut gathered[r * ncols..(r + 1) * ncols];
-                        let mut col = 0;
-                        for &wy in rows {
-                            let rbase = (wy + oh * f.stride - f.pad) * i_ext;
-                            for &wx in cols {
-                                let off = rbase + wx + ow * f.stride - f.pad;
-                                for ci in 0..ic {
-                                    grow[col] = idata[ci * iplane + off];
-                                    col += 1;
-                                }
+            let matrix_t = matrices_t[rc * n + cc].as_ref().expect("pair materialised");
+            let mut gathered = Vec::with_capacity(ncols * dim);
+            for &wy in rows {
+                for &wx in cols {
+                    for ci in 0..ic {
+                        let cbase = ci * iplane;
+                        for &oh in pr {
+                            let rbase = cbase + (wy + oh * f.stride - f.pad) * i_ext;
+                            for &ow in pc {
+                                gathered.push(idata[rbase + wx + ow * f.stride - f.pad]);
                             }
                         }
                     }
                 }
-                gemm(matrix, &Tensor::from_vec(&[dim, ncols], gathered))
-            } else {
-                // Narrow class: transposed gather `[ncols, dim]`, dot kernel.
-                let mut gathered = Vec::with_capacity(ncols * dim);
-                for &wy in rows {
-                    for &wx in cols {
-                        for ci in 0..ic {
-                            let cbase = ci * iplane;
-                            for &oh in pr {
-                                let rbase = cbase + (wy + oh * f.stride - f.pad) * i_ext;
-                                for &ow in pc {
-                                    gathered.push(idata[rbase + wx + ow * f.stride - f.pad]);
-                                }
-                            }
-                        }
-                    }
-                }
-                gemm_nt(matrix, &Tensor::from_vec(&[ncols, dim], gathered))
             }
+            gemm(&Tensor::from_vec(&[ncols, dim], gathered), matrix_t)
         });
 
         let mut dw = Tensor::zeros(&[oc, ic, w, w]);
         let ddata = dw.data_mut();
         for (pi, &(rc, cc)) in pairs.iter().enumerate() {
             let (rows, cols) = (&groups[rc], &groups[cc]);
-            let ncols = rows.len() * cols.len() * ic;
             let rdata = results[pi].data();
-            for co in 0..oc {
-                let rbase = co * ncols;
-                let obase = co * ic * w * w;
-                let mut col = 0;
-                for &wy in rows {
-                    for &wx in cols {
-                        for ci in 0..ic {
-                            ddata[obase + ci * w * w + wy * w + wx] = rdata[rbase + col];
-                            col += 1;
+            let mut col = 0;
+            for &wy in rows {
+                for &wx in cols {
+                    for ci in 0..ic {
+                        let obase = ci * w * w + wy * w + wx;
+                        let rbase = col * oc;
+                        for co in 0..oc {
+                            ddata[co * ic * w * w + obase] = rdata[rbase + co];
                         }
+                        col += 1;
                     }
                 }
             }

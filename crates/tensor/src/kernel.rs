@@ -1,40 +1,50 @@
-//! Packed, cache-blocked GEMM microkernels.
+//! Shape-adaptive GEMM: SIMD microkernels, a no-pack direct path, and the
+//! packed, cache-blocked BLIS-style driver.
 //!
-//! This module is the dense-compute core of the workspace: a BLIS-style
-//! blocked GEMM with an explicit B-panel packing step and a register-tiled
-//! `MR × NR` microkernel. [`gemm_into`], [`gemm_nt_into`] and [`mmv_into`]
-//! write into caller-owned buffers (no allocation on the serial path); the
-//! `gemm`/`gemm_nt`/`mmv` functions in [`crate::tensor`] are thin
-//! allocating wrappers over them.
+//! This module is the dense-compute core of the workspace. Every product
+//! enters through [`gemm_buf`], [`gemm_nt_buf`] or [`mmv_buf`] (the
+//! `_into` variants and the allocating wrappers in [`crate::tensor`] are
+//! thin shells over them) and is routed by [`crate::dispatch`] to one of
+//! three strategies:
 //!
-//! # Blocking scheme
-//!
-//! The driver walks the output in the classic `jc → pc → ic → ir → jr`
-//! order: columns in panels of `NC`, the reduction in panels of `KC`
-//! (packed into contiguous [`NR`]-wide strips so the microkernel streams
-//! one cache line per step), rows in blocks of `MC` and register tiles of
-//! [`MR`]. The left operand is row-major and read in place — its rows are
-//! already contiguous along the reduction, so only B is packed.
+//! * **Direct** — no packing: register tiles accumulate straight out of
+//!   the row-major right operand. This wins on the small `m = 16–64`
+//!   products the benchmark GANs issue, where packing the right operand
+//!   costs more than it saves. `mmv` (`n = 1`) always takes this path.
+//! * **Packed** — the classic `jc → pc → ic → ir → jr` blocked driver:
+//!   columns in panels of `NC`, the reduction in panels of `KC` packed
+//!   into contiguous [`NR`]-wide strips, rows in blocks of `MC` and
+//!   register tiles of [`MR`], with the scalar microkernel.
+//! * **Packed + SIMD** — the same driver with the explicit AVX
+//!   microkernel ([`NR`] = 8 = one 256-bit register of f32 lanes),
+//!   runtime-detected. The direct path also uses the AVX kernel on its
+//!   full-width column tiles when the host has it.
 //!
 //! # Bit-exactness
 //!
-//! Every output element is accumulated by the `microkernel` as the scalar
+//! Every output element of every strategy is accumulated as the scalar
 //! chain `((0 + a_0·b_0) + a_1·b_1) + …` with the reduction index strictly
-//! ascending — the same chain the pre-packing kernels produced, and the
-//! same chain for every blocking parameter choice (the running value is
-//! stored to and reloaded from `f32` between `KC` panels, which is exact).
-//! Parallelism only ever splits output *rows* across workers, so the chain
-//! per element is independent of the thread count. Golden tests in the
-//! workspace root pin the packed kernels bit-for-bit against verbatim
-//! copies of the pre-packing kernels across all benchmark GAN shapes.
+//! ascending — the same chain the pre-packing kernels produced. The SIMD
+//! kernel preserves it because its vectors run across *output columns*:
+//! lane `j` performs exactly the scalar column-`j` chain (separate IEEE-754
+//! multiply and add per step, never FMA-contracted), and lanes never mix.
+//! Blocking only ever stores the running value to and reloads it from
+//! `f32` between panels, which is exact, and parallelism only splits
+//! output *rows* across workers, so the chain per element is independent
+//! of strategy, blocking, SIMD width, and thread count alike. Golden tests
+//! in the workspace root pin all three strategies bit-for-bit against
+//! verbatim copies of the pre-packing kernels across all benchmark GAN
+//! shapes.
 
+use crate::dispatch::{self, OpKind, Strategy};
 use crate::parallel;
 use crate::tensor::{Tensor, MIN_PARALLEL_FLOPS};
 use crate::workspace;
 
 /// Register-tile height: output rows accumulated at once.
 pub const MR: usize = 4;
-/// Register-tile width: output columns per packed strip.
+/// Register-tile width: output columns per packed strip, and the f32 lane
+/// count of one AVX register.
 pub const NR: usize = 8;
 /// Row-block size: output rows that stream over one packed panel.
 const MC: usize = 64;
@@ -43,39 +53,151 @@ const KC: usize = 256;
 /// Column-panel width: one packed `[KC × NC]` panel stays in L2.
 const NC: usize = 1024;
 
-/// The single accumulation-order-defining loop of the crate.
+/// The scalar accumulation-order-defining loop of the crate.
 ///
-/// Accumulates `acc[i][j] += a[abase + i·lda + l] · strip[l·NRW + j]` for
-/// `l` ascending over one packed reduction panel. Every output element of
-/// every dense kernel in this crate — [`gemm_into`], [`gemm_nt_into`] and
-/// [`mmv_into`] (`NRW = 1`) alike — is produced by this chain, so the
-/// accumulation order is defined in exactly one place.
+/// Accumulates `acc[i][j] += a[abase + i·lda + l] · b[bbase + l·ldb + j]`
+/// for `l` ascending over one reduction panel. `ldb` is the row stride of
+/// the right operand: [`NR`] for packed strips, the full matrix width `n`
+/// for the direct path, and 1 for the blocked `mmv` (`NRW = 1`).
 ///
 /// The loops are iterator-free with fixed trip counts over the register
-/// tile, which LLVM unrolls and autovectorizes; there is no FMA contraction
-/// (separate multiply and add), so the result is the exact IEEE-754 chain
-/// the naive kernels compute.
+/// tile, which LLVM unrolls and autovectorizes at the build's baseline
+/// SIMD width; there is no FMA contraction (separate multiply and add), so
+/// the result is the exact IEEE-754 chain the naive kernels compute. The
+/// AVX twin (`microkernel_avx`) computes the same chain eight lanes at a
+/// time; [`microkernel`] picks between them.
 #[allow(clippy::needless_range_loop)] // fixed-width indexed loops vectorize as written
+#[allow(clippy::too_many_arguments)] // mirrors the BLIS microkernel signature
 #[inline(always)]
-fn microkernel<const NRW: usize>(
+fn microkernel_scalar<const NRW: usize>(
     acc: &mut [[f32; NRW]; MR],
     mr: usize,
     a: &[f32],
     abase: usize,
     lda: usize,
-    strip: &[f32],
+    b: &[f32],
+    bbase: usize,
+    ldb: usize,
     kc: usize,
 ) {
     for l in 0..kc {
-        let b = &strip[l * NRW..l * NRW + NRW];
+        let bv = &b[bbase + l * ldb..bbase + l * ldb + NRW];
         for i in 0..mr {
             let av = a[abase + i * lda + l];
             let row = &mut acc[i];
             for j in 0..NRW {
-                row[j] += av * b[j];
+                row[j] += av * bv[j];
             }
         }
     }
+}
+
+/// Variable-width tail of the direct path: like [`microkernel_scalar`]
+/// but over `jw < NR` live columns, for the right edge of an un-packed
+/// (and therefore un-padded) right operand.
+#[allow(clippy::too_many_arguments)]
+fn microkernel_tail(
+    acc: &mut [[f32; NR]; MR],
+    mr: usize,
+    jw: usize,
+    a: &[f32],
+    abase: usize,
+    lda: usize,
+    b: &[f32],
+    bbase: usize,
+    ldb: usize,
+    kc: usize,
+) {
+    for l in 0..kc {
+        let bv = &b[bbase + l * ldb..bbase + l * ldb + jw];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            let av = a[abase + i * lda + l];
+            for (j, &bj) in bv.iter().enumerate() {
+                row[j] += av * bj;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    #[allow(clippy::wildcard_imports)] // the intrinsics module is designed for this
+    use std::arch::x86_64::*;
+
+    /// AVX twin of the scalar microkernel: one 256-bit register of eight
+    /// f32 lanes per accumulator row, separate `_mm256_mul_ps` and
+    /// `_mm256_add_ps` per step (never FMA), `l` strictly ascending — so
+    /// lane `j`'s value is exactly the scalar kernel's column-`j` chain.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX support at runtime, `mr` must be
+    /// at most [`MR`], `a` must cover the `mr × kc` tile rooted at `abase`
+    /// with leading dimension `lda`, and `b` must hold [`NR`] readable
+    /// values at `bbase + l·ldb` for every `l < kc`.
+    #[target_feature(enable = "avx")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn microkernel_avx(
+        acc: &mut [[f32; NR]; MR],
+        mr: usize,
+        a: &[f32],
+        abase: usize,
+        lda: usize,
+        b: &[f32],
+        bbase: usize,
+        ldb: usize,
+        kc: usize,
+    ) {
+        debug_assert!(mr <= MR);
+        debug_assert!(kc == 0 || bbase + (kc - 1) * ldb + NR <= b.len());
+        debug_assert!(mr == 0 || kc == 0 || abase + (mr - 1) * lda + kc <= a.len());
+        let mut va = [_mm256_setzero_ps(); MR];
+        for (i, row) in acc.iter().enumerate().take(mr) {
+            va[i] = _mm256_loadu_ps(row.as_ptr());
+        }
+        let ap = a.as_ptr();
+        let bp = b.as_ptr().add(bbase);
+        for l in 0..kc {
+            let bv = _mm256_loadu_ps(bp.add(l * ldb));
+            for (i, v) in va.iter_mut().enumerate().take(mr) {
+                let av = _mm256_set1_ps(*ap.add(abase + i * lda + l));
+                *v = _mm256_add_ps(*v, _mm256_mul_ps(av, bv));
+            }
+        }
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            _mm256_storeu_ps(row.as_mut_ptr(), va[i]);
+        }
+    }
+}
+
+/// Full-width microkernel step: the AVX kernel when `use_simd` (the caller
+/// pairs it with runtime detection), the scalar kernel otherwise. Both
+/// compute the identical accumulation chain.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn microkernel(
+    acc: &mut [[f32; NR]; MR],
+    mr: usize,
+    a: &[f32],
+    abase: usize,
+    lda: usize,
+    b: &[f32],
+    bbase: usize,
+    ldb: usize,
+    kc: usize,
+    use_simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: callers set `use_simd` only when `dispatch::simd_available`
+        // confirmed AVX, and the drivers uphold the tile bounds.
+        unsafe { x86::microkernel_avx(acc, mr, a, abase, lda, b, bbase, ldb, kc) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_simd;
+    microkernel_scalar::<NR>(acc, mr, a, abase, lda, b, bbase, ldb, kc);
 }
 
 /// Where packed strips gather their values from.
@@ -130,6 +252,7 @@ fn pack_panel(src: &PackSrc<'_>, pc: usize, kc: usize, jc: usize, nc: usize, buf
 /// `orows` is the worker's slab of the output (`mw` full rows of width
 /// `n`), `row0` its first absolute row. Each worker packs into its own
 /// thread-local buffer, so no packing state is shared across threads.
+#[allow(clippy::too_many_arguments)]
 fn gemm_rows_packed(
     orows: &mut [f32],
     row0: usize,
@@ -138,6 +261,7 @@ fn gemm_rows_packed(
     n: usize,
     src: &PackSrc<'_>,
     pack: &mut [f32],
+    use_simd: bool,
 ) {
     let mw = orows.len() / n;
     for jc in (0..n).step_by(NC) {
@@ -155,13 +279,23 @@ fn gemm_rows_packed(
                     for s in 0..nstrips {
                         let j0 = jc + s * NR;
                         let jw = NR.min(jc + nc - j0);
-                        let strip = &panel[s * kc * NR..(s + 1) * kc * NR];
                         let mut acc = [[0.0f32; NR]; MR];
                         for (i, row) in acc.iter_mut().enumerate().take(mr) {
                             let base = (i0 + i) * n + j0;
                             row[..jw].copy_from_slice(&orows[base..base + jw]);
                         }
-                        microkernel(&mut acc, mr, a, (row0 + i0) * k + pc, k, strip, kc);
+                        microkernel(
+                            &mut acc,
+                            mr,
+                            a,
+                            (row0 + i0) * k + pc,
+                            k,
+                            panel,
+                            s * kc * NR,
+                            NR,
+                            kc,
+                            use_simd,
+                        );
                         for (i, row) in acc.iter().enumerate().take(mr) {
                             let base = (i0 + i) * n + j0;
                             orows[base..base + jw].copy_from_slice(&row[..jw]);
@@ -173,25 +307,78 @@ fn gemm_rows_packed(
     }
 }
 
-/// Shared parallel dispatch: splits output rows across workers (disjoint
-/// rows, full reduction per element — bit-identical for every thread
-/// count) and runs the blocked driver on each range.
-fn run(m: usize, k: usize, n: usize, a: &[f32], src: PackSrc<'_>, out: &mut [f32]) {
+/// Serial direct (no-pack) driver over one worker's contiguous row range:
+/// register tiles accumulate straight out of the row-major `[k, n]` right
+/// operand, the whole reduction held in registers. For the small shapes
+/// dispatch routes here, `b` is cache-resident anyway and the packed
+/// driver's copy of it is pure overhead.
+fn gemm_rows_direct(orows: &mut [f32], row0: usize, a: &[f32], k: usize, n: usize, b: &[f32]) {
+    let mw = orows.len() / n;
+    let use_simd = dispatch::simd_available();
+    let full = n - n % NR;
+    for i0 in (0..mw).step_by(MR) {
+        let mr = MR.min(mw - i0);
+        let abase = (row0 + i0) * k;
+        let mut j0 = 0;
+        while j0 < full {
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(&mut acc, mr, a, abase, k, b, j0, n, k, use_simd);
+            for (i, row) in acc.iter().enumerate().take(mr) {
+                let base = (i0 + i) * n + j0;
+                orows[base..base + NR].copy_from_slice(row);
+            }
+            j0 += NR;
+        }
+        if j0 < n {
+            let jw = n - j0;
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel_tail(&mut acc, mr, jw, a, abase, k, b, j0, n, k);
+            for (i, row) in acc.iter().enumerate().take(mr) {
+                let base = (i0 + i) * n + j0;
+                orows[base..base + jw].copy_from_slice(&row[..jw]);
+            }
+        }
+    }
+}
+
+/// Serial direct driver for the pre-transposed right operand: each output
+/// element is one contiguous ascending dot product over `a` row `i` and
+/// `bt` row `j` — the exact chain, with no pack and no padding lanes.
+fn gemm_nt_rows_direct(orows: &mut [f32], row0: usize, a: &[f32], k: usize, n: usize, bt: &[f32]) {
+    let mw = orows.len() / n;
+    for i in 0..mw {
+        let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+        let orow = &mut orows[i * n..(i + 1) * n];
+        for (j, slot) in orow.iter_mut().enumerate() {
+            let brow = &bt[j * k..j * k + k];
+            *slot = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+}
+
+/// Shared parallel dispatch of the packed strategies: splits output rows
+/// across workers (disjoint rows, full reduction per element —
+/// bit-identical for every thread count) and runs the blocked driver on
+/// each range.
+fn run_packed(m: usize, k: usize, n: usize, a: &[f32], src: PackSrc<'_>, out: &mut [f32], strategy: Strategy) {
     debug_assert!(m > 0 && k > 0 && n > 0);
+    let use_simd = strategy == Strategy::PackedSimd && dispatch::simd_available();
     let min_rows = (MIN_PARALLEL_FLOPS / (k * n)).max(1);
     let pack_len = n.min(NC).div_ceil(NR) * NR * k.min(KC);
     parallel::for_each_unit_chunk_mut(out, n, min_rows, |row0, orows| {
         workspace::with_pack_buffer(pack_len, |pack| {
-            gemm_rows_packed(orows, row0, a, k, n, &src, pack);
+            gemm_rows_packed(orows, row0, a, k, n, &src, pack, use_simd);
         });
     });
 }
 
-/// Slice-level packed GEMM: `out[m, n] = a[m, k] × b[k, n]`, all row-major.
+/// Slice-level shape-dispatched GEMM: `out[m, n] = a[m, k] × b[k, n]`,
+/// all row-major.
 ///
 /// `out` is fully overwritten (zeroed first), so stale contents of a pooled
 /// buffer are fine. Degenerate shapes are well-defined: any zero dimension
-/// yields an all-zero (possibly empty) output.
+/// yields an all-zero (possibly empty) output. The strategy is chosen by
+/// [`dispatch::select`] from the shape alone and never affects the result.
 ///
 /// # Panics
 ///
@@ -204,10 +391,18 @@ pub fn gemm_buf(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    run(m, k, n, a, PackSrc::Rows(b, n), out);
+    match dispatch::select(OpKind::Gemm, m, k, n) {
+        Strategy::Direct => {
+            let min_rows = (MIN_PARALLEL_FLOPS / (k * n)).max(1);
+            parallel::for_each_unit_chunk_mut(out, n, min_rows, |row0, orows| {
+                gemm_rows_direct(orows, row0, a, k, n, b);
+            });
+        }
+        s => run_packed(m, k, n, a, PackSrc::Rows(b, n), out, s),
+    }
 }
 
-/// Slice-level packed GEMM with a pre-transposed right operand:
+/// Slice-level shape-dispatched GEMM with a pre-transposed right operand:
 /// `out[m, n] = a[m, k] × (bt[n, k])ᵀ`. Same conventions as [`gemm_buf`].
 ///
 /// # Panics
@@ -221,13 +416,25 @@ pub fn gemm_nt_buf(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], out: &mu
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    run(m, k, n, a, PackSrc::Cols(bt, k), out);
+    match dispatch::select(OpKind::GemmNt, m, k, n) {
+        Strategy::Direct => {
+            let min_rows = (MIN_PARALLEL_FLOPS / (k * n)).max(1);
+            parallel::for_each_unit_chunk_mut(out, n, min_rows, |row0, orows| {
+                gemm_nt_rows_direct(orows, row0, a, k, n, bt);
+            });
+        }
+        s => run_packed(m, k, n, a, PackSrc::Cols(bt, k), out, s),
+    }
 }
 
 /// Slice-level matrix-vector product: `out[rows] = mdata[rows, cols] · v`.
 ///
-/// The vector is its own packed strip (`NRW = 1`), so this path never
-/// touches the packing buffer. Same conventions as [`gemm_buf`].
+/// With one output column, packing can never amortise, so shape-based
+/// selection always takes the direct path: one contiguous ascending dot
+/// product per row. (A pinned packed strategy still exercises the blocked
+/// `NRW = 1` driver — the bit-identity suite and the `mmv` bench entry use
+/// that to prove the two agree and the direct path wins.) Same conventions
+/// as [`gemm_buf`].
 ///
 /// # Panics
 ///
@@ -241,28 +448,49 @@ pub fn mmv_buf(rows: usize, cols: usize, mdata: &[f32], v: &[f32], out: &mut [f3
         return;
     }
     let min_rows = (MIN_PARALLEL_FLOPS / cols).max(1);
-    parallel::for_each_unit_chunk_mut(out, 1, min_rows, |row0, orows| {
-        let mw = orows.len();
-        for pc in (0..cols).step_by(KC) {
-            let kc = KC.min(cols - pc);
-            let strip = &v[pc..pc + kc];
-            for i0 in (0..mw).step_by(MR) {
-                let mr = MR.min(mw - i0);
-                let mut acc = [[0.0f32; 1]; MR];
-                for (i, row) in acc.iter_mut().enumerate().take(mr) {
-                    row[0] = orows[i0 + i];
+    match dispatch::select(OpKind::Mmv, rows, cols, 1) {
+        Strategy::Direct => {
+            parallel::for_each_chunk_mut(out, min_rows, |row0, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let row = &mdata[(row0 + i) * cols..(row0 + i + 1) * cols];
+                    *slot = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
                 }
-                microkernel(&mut acc, mr, mdata, (row0 + i0) * cols + pc, cols, strip, kc);
-                for (i, row) in acc.iter().enumerate().take(mr) {
-                    orows[i0 + i] = row[0];
-                }
-            }
+            });
         }
-    });
+        _ => {
+            parallel::for_each_unit_chunk_mut(out, 1, min_rows, |row0, orows| {
+                let mw = orows.len();
+                for pc in (0..cols).step_by(KC) {
+                    let kc = KC.min(cols - pc);
+                    for i0 in (0..mw).step_by(MR) {
+                        let mr = MR.min(mw - i0);
+                        let mut acc = [[0.0f32; 1]; MR];
+                        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+                            row[0] = orows[i0 + i];
+                        }
+                        microkernel_scalar::<1>(
+                            &mut acc,
+                            mr,
+                            mdata,
+                            (row0 + i0) * cols + pc,
+                            cols,
+                            v,
+                            pc,
+                            1,
+                            kc,
+                        );
+                        for (i, row) in acc.iter().enumerate().take(mr) {
+                            orows[i0 + i] = row[0];
+                        }
+                    }
+                }
+            });
+        }
+    }
 }
 
-/// Packed GEMM into a caller-owned buffer: `a` is `[m, k]`, `b` is
-/// `[k, n]`, `out` receives the row-major `[m, n]` product.
+/// Shape-dispatched GEMM into a caller-owned buffer: `a` is `[m, k]`, `b`
+/// is `[k, n]`, `out` receives the row-major `[m, n]` product.
 ///
 /// # Panics
 ///
@@ -277,8 +505,9 @@ pub fn gemm_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     gemm_buf(m, k, n, a.data(), b.data(), out);
 }
 
-/// Packed GEMM with pre-transposed right operand into a caller-owned
-/// buffer: `a` is `[m, k]`, `bt` is `[n, k]`, `out` receives `[m, n]`.
+/// Shape-dispatched GEMM with pre-transposed right operand into a
+/// caller-owned buffer: `a` is `[m, k]`, `bt` is `[n, k]`, `out` receives
+/// `[m, n]`.
 ///
 /// # Panics
 ///
@@ -308,8 +537,16 @@ pub fn mmv_into(m: &Tensor, v: &[f32], out: &mut [f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dispatch::{with_strategy, ForcedStrategy};
     use crate::parallel::with_threads;
     use crate::tensor::{gemm, gemm_nt, mmv};
+
+    const ALL_FORCED: [ForcedStrategy; 4] = [
+        ForcedStrategy::Auto,
+        ForcedStrategy::Direct,
+        ForcedStrategy::Packed,
+        ForcedStrategy::Simd,
+    ];
 
     fn det(shape: &[usize]) -> Tensor {
         let mut state = 0x9e3779b97f4a7c15u64;
@@ -337,7 +574,7 @@ mod tests {
     }
 
     #[test]
-    fn packed_gemm_matches_reference_chain_bitwise() {
+    fn every_strategy_matches_reference_chain_bitwise() {
         // Shapes straddling every blocking boundary: MR/NR tails, multiple
         // KC panels, single-element edges.
         for &(m, k, n) in &[
@@ -351,29 +588,34 @@ mod tests {
             let a = det(&[m, k]);
             let b = det(&[k, n]);
             let r = gemm_ref(&a, &b);
-            for threads in [1, 2, 8] {
-                let got = with_threads(threads, || gemm(&a, &b));
-                assert_eq!(
-                    got.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                    r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                    "gemm {m}x{k}x{n} threads={threads}"
-                );
+            for forced in ALL_FORCED {
+                for threads in [1, 2, 8] {
+                    let got =
+                        with_strategy(forced, || with_threads(threads, || gemm(&a, &b)));
+                    assert_eq!(
+                        got.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "gemm {m}x{k}x{n} {forced:?} threads={threads}"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn gemm_nt_column_matches_mmv_bitwise() {
+    fn gemm_nt_column_matches_mmv_bitwise_per_strategy() {
         // The documented contract: gemm_nt(a, bt) column j == mmv(a, bt
-        // row j), bit for bit.
+        // row j), bit for bit, whatever strategies the two dispatch to.
         let a = det(&[6, 37]);
         let bt = det(&[9, 37]);
-        let full = gemm_nt(&a, &bt);
-        for j in 0..9 {
-            let row = &bt.data()[j * 37..(j + 1) * 37];
-            let col = mmv(&a, row);
-            for (i, &v) in col.iter().enumerate() {
-                assert_eq!(full.data()[i * 9 + j].to_bits(), v.to_bits());
+        for forced in ALL_FORCED {
+            let full = with_strategy(forced, || gemm_nt(&a, &bt));
+            for j in 0..9 {
+                let row = &bt.data()[j * 37..(j + 1) * 37];
+                let col = mmv(&a, row);
+                for (i, &v) in col.iter().enumerate() {
+                    assert_eq!(full.data()[i * 9 + j].to_bits(), v.to_bits(), "{forced:?}");
+                }
             }
         }
     }
@@ -395,19 +637,39 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_shapes_are_well_defined() {
-        for &(m, k, n) in &[(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0), (1, 1, 1)] {
-            let a = det(&[m, k]);
-            let b = det(&[k, n]);
-            let out = gemm(&a, &b);
-            assert_eq!(out.shape(), &[m, n]);
-            if k == 0 {
-                assert!(out.data().iter().all(|&x| x == 0.0));
-            }
-            let bt = det(&[n, k]);
-            assert_eq!(gemm_nt(&a, &bt).shape(), &[m, n]);
-            let v = vec![1.0; k];
-            assert_eq!(mmv(&a, &v).len(), m);
+    fn degenerate_shapes_are_well_defined_per_strategy() {
+        for forced in ALL_FORCED {
+            with_strategy(forced, || {
+                for &(m, k, n) in &[(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0), (1, 1, 1)] {
+                    let a = det(&[m, k]);
+                    let b = det(&[k, n]);
+                    let out = gemm(&a, &b);
+                    assert_eq!(out.shape(), &[m, n]);
+                    if k == 0 {
+                        assert!(out.data().iter().all(|&x| x == 0.0));
+                    }
+                    let bt = det(&[n, k]);
+                    assert_eq!(gemm_nt(&a, &bt).shape(), &[m, n]);
+                    let v = vec![1.0; k];
+                    assert_eq!(mmv(&a, &v).len(), m);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn mmv_blocked_and_direct_agree_bitwise() {
+        // The satellite contract behind `mmv` always dispatching direct:
+        // the retired blocked path and the direct dot agree exactly, so
+        // the change is pure speed.
+        let m = det(&[37, 520]);
+        let v: Vec<f32> = (0..520).map(|i| (i as f32 * 0.37).sin()).collect();
+        let direct = with_strategy(ForcedStrategy::Direct, || mmv(&m, &v));
+        let blocked = with_strategy(ForcedStrategy::Packed, || mmv(&m, &v));
+        let auto = mmv(&m, &v);
+        for ((d, b), x) in direct.iter().zip(&blocked).zip(&auto) {
+            assert_eq!(d.to_bits(), b.to_bits());
+            assert_eq!(d.to_bits(), x.to_bits());
         }
     }
 }

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod conv;
+pub mod dispatch;
 pub mod geometry;
 pub mod im2col;
 pub mod kernel;
