@@ -38,11 +38,14 @@ impl BalanceReport {
     }
 }
 
+// Exhaustive match, so adding a fourth kind is a compile error here
+// rather than a runtime panic in the old position-search lookup.
 fn kind_index(kind: ClassKind) -> usize {
-    ClassKind::ALL
-        .iter()
-        .position(|k| *k == kind)
-        .expect("kind enumerable")
+    match kind {
+        ClassKind::Corner => 0,
+        ClassKind::Edge => 1,
+        ClassKind::Inside => 2,
+    }
 }
 
 /// Analyses the execution balance of a plan under a replica assignment.
@@ -83,6 +86,15 @@ mod tests {
 
     fn conv1_plan() -> ZfdrPlan {
         ZfdrPlan::for_tconv(&TconvGeometry::for_upsampling(4, 5, 2).unwrap())
+    }
+
+    #[test]
+    fn kind_index_matches_the_canonical_order() {
+        // The match-based lookup must agree with ClassKind::ALL, which the
+        // busy/idle arrays are indexed by everywhere else.
+        for (i, kind) in ClassKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind_index(kind), i, "{kind:?}");
+        }
     }
 
     #[test]

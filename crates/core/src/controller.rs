@@ -410,6 +410,26 @@ mod tests {
     }
 
     #[test]
+    fn fsm_is_reusable_across_iterations() {
+        // A serving layer drives the same controller for many jobs in a
+        // row: after an iteration completes (advance returns None) the FSM
+        // must start a fresh, identical iteration rather than wedge.
+        let mut fsm = MemoryController::new();
+        let mut first = Vec::new();
+        while let Some(events) = fsm.advance() {
+            first.extend(events);
+        }
+        assert_eq!(fsm.state(), FsmState::Idle);
+        let mut second = Vec::new();
+        while let Some(events) = fsm.advance() {
+            second.extend(events);
+        }
+        assert_eq!(fsm.state(), FsmState::Idle);
+        assert_eq!(first, second, "iterations must be identical scripts");
+        assert_eq!(first, MemoryController::iteration_script());
+    }
+
+    #[test]
     fn mapping_overlaps_with_forward_in_the_script() {
         // MapPhase events for D-w / D← appear in the same FSM step as the
         // forward runs (they overlap in the task graph).

@@ -54,7 +54,7 @@ pub use fault::{DegradationReport, FaultError, SystemFaults};
 pub use lergan::{BuildError, LerGan, LerGanBuilder, TrainingReport};
 pub use mapping::{MappingError, TileAllocation};
 pub use recovery::{
-    RecoveryError, RecoveryPolicy, RecoveryReport, SelfHealingRuntime, StepReport,
+    DrainedRuntime, RecoveryError, RecoveryPolicy, RecoveryReport, SelfHealingRuntime, StepReport,
 };
 pub use replica::{ReplicaDegree, ReplicaPlan};
 pub use schedule::{LoweredIteration, OpTask, ScheduleContext};

@@ -108,9 +108,18 @@ pub struct TileAllocation {
 impl TileAllocation {
     /// Allocates a phase's layers onto consecutive tiles of a fault-free
     /// bank.
-    pub fn for_phase(phase: &CompiledPhase, tiles_per_bank: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::NoHealthyTiles`] when `tiles_per_bank` is
+    /// zero — the one way a fault-free bank can still be unmappable. (This
+    /// used to panic; a zero-tile configuration now surfaces as the same
+    /// typed error the fault-aware path reports.)
+    pub fn for_phase(
+        phase: &CompiledPhase,
+        tiles_per_bank: usize,
+    ) -> Result<Self, MappingError> {
         Self::for_phase_avoiding(phase, tiles_per_bank, &BTreeSet::new())
-            .expect("a fault-free bank has healthy tiles")
     }
 
     /// Allocates a phase's layers onto the bank's healthy tiles, skipping
@@ -285,7 +294,7 @@ mod tests {
     #[test]
     fn ranges_are_consecutive_and_disjoint() {
         let phase = dcgan_gforward();
-        let alloc = TileAllocation::for_phase(&phase, 16);
+        let alloc = TileAllocation::for_phase(&phase, 16).unwrap();
         assert_eq!(alloc.len(), phase.layers.len());
         let mut expected_start = 0;
         for i in 0..alloc.len() {
@@ -300,7 +309,7 @@ mod tests {
     #[test]
     fn handoffs_connect_adjacent_ranges() {
         let phase = dcgan_gforward();
-        let alloc = TileAllocation::for_phase(&phase, 16);
+        let alloc = TileAllocation::for_phase(&phase, 16).unwrap();
         for i in 0..alloc.len() - 1 {
             let (from, to) = alloc.handoff(i).unwrap();
             assert!(from < 16 && to < 16);
@@ -326,14 +335,14 @@ mod tests {
     #[test]
     fn overflow_counts_extra_pairs() {
         let phase = dcgan_gforward();
-        let alloc = TileAllocation::for_phase(&phase, 16);
+        let alloc = TileAllocation::for_phase(&phase, 16).unwrap();
         if alloc.tiles_demanded() <= 16 {
             assert_eq!(alloc.overflow_pairs(), 0);
         } else {
             assert!(alloc.overflow_pairs() >= 1);
         }
         // A phase squeezed into tiny banks must overflow.
-        let tiny = TileAllocation::for_phase(&phase, 2);
+        let tiny = TileAllocation::for_phase(&phase, 2).unwrap();
         assert!(tiny.overflow_pairs() >= 1);
         let crossings = (0..tiny.len() - 1)
             .filter(|&i| tiny.handoff_crosses_bank(i).unwrap())
@@ -344,7 +353,7 @@ mod tests {
     #[test]
     fn bad_layer_indices_return_typed_errors() {
         let phase = dcgan_gforward();
-        let alloc = TileAllocation::for_phase(&phase, 16);
+        let alloc = TileAllocation::for_phase(&phase, 16).unwrap();
         let n = alloc.len();
         assert_eq!(
             alloc.range(n),
@@ -361,7 +370,7 @@ mod tests {
     #[test]
     fn zero_dead_tiles_is_identical_to_fault_free() {
         let phase = dcgan_gforward();
-        let clean = TileAllocation::for_phase(&phase, 16);
+        let clean = TileAllocation::for_phase(&phase, 16).unwrap();
         let avoided =
             TileAllocation::for_phase_avoiding(&phase, 16, &BTreeSet::new()).unwrap();
         assert_eq!(clean, avoided);
@@ -400,7 +409,7 @@ mod tests {
     #[test]
     fn remap_preserves_positions_and_substitutes_spares() {
         let phase = dcgan_gforward();
-        let clean = TileAllocation::for_phase(&phase, 16);
+        let clean = TileAllocation::for_phase(&phase, 16).unwrap();
         let demanded = clean.tiles_demanded();
         assert!(demanded < 16, "test assumes the phase leaves spare tiles");
         let dead: BTreeSet<usize> = [3usize].into_iter().collect();
@@ -430,6 +439,18 @@ mod tests {
     }
 
     #[test]
+    fn zero_tile_bank_is_a_typed_error_not_a_panic() {
+        let phase = dcgan_gforward();
+        assert_eq!(
+            TileAllocation::for_phase(&phase, 0),
+            Err(MappingError::NoHealthyTiles {
+                tiles_per_bank: 0,
+                dead: 0
+            })
+        );
+    }
+
+    #[test]
     fn all_tiles_dead_is_a_typed_error() {
         let phase = dcgan_gforward();
         let dead: BTreeSet<usize> = (0..16).collect();
@@ -445,7 +466,7 @@ mod tests {
     #[test]
     fn shrunken_banks_overflow_earlier() {
         let phase = dcgan_gforward();
-        let demanded = TileAllocation::for_phase(&phase, 16).tiles_demanded();
+        let demanded = TileAllocation::for_phase(&phase, 16).unwrap().tiles_demanded();
         // Kill tiles until fewer healthy ones remain than the phase needs:
         // the allocation must spill onto extra pairs.
         if demanded >= 2 {

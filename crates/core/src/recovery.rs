@@ -61,8 +61,14 @@ pub struct RecoveryPolicy {
     pub checkpoint_interval: u64,
     /// Relocate-and-replay attempts before a fault is uncorrectable.
     pub max_retries: u32,
-    /// First retry's backoff (ns); attempt `a` waits `base · 2^(a-1)`.
+    /// First retry's backoff (ns); attempt `a` waits
+    /// `min(base · 2^(a-1), cap)` — see [`RecoveryPolicy::backoff_ns`].
     pub backoff_base_ns: f64,
+    /// Ceiling of the exponential backoff (ns). Without a cap a long retry
+    /// ladder (the serving layer re-admits jobs with the same semantics)
+    /// would wait geometrically forever; with one, late attempts degrade
+    /// to constant-interval retries.
+    pub backoff_cap_ns: f64,
     /// ABFT residual magnitude above which an MMV is flagged.
     pub residual_threshold: f64,
     /// Stuck cells accumulated across the hosting tile's monitored cell
@@ -80,10 +86,24 @@ impl Default for RecoveryPolicy {
             checkpoint_interval: 4,
             max_retries: 3,
             backoff_base_ns: 200.0,
+            backoff_cap_ns: 1_600.0,
             residual_threshold: 0.5,
             tile_kill_cells: 512,
             pulses_per_step: 1,
         }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry `attempt` (1-based): capped exponential,
+    /// `min(base · 2^(attempt-1), cap)`. Pure, seedless arithmetic, so the
+    /// delay ladder is bit-deterministic regardless of thread count; the
+    /// exponent saturates at 2^62 so huge attempt numbers cannot overflow
+    /// before the cap applies.
+    pub fn backoff_ns(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(62);
+        let factor = (1u64 << exp) as f64; // powers of two are exact in f64
+        (self.backoff_base_ns * factor).min(self.backoff_cap_ns)
     }
 }
 
@@ -239,6 +259,18 @@ const BLOCK_COLS: usize = 32;
 /// condemn a specific tile).
 const REGIONS_PER_TILE: usize = 4;
 
+/// What [`SelfHealingRuntime::drain`] hands back when a supervising layer
+/// (e.g. the `lergan-serve` fleet) retires a pair mid-service.
+#[derive(Debug)]
+pub struct DrainedRuntime {
+    /// The wrapped trainer, resumable bit-exactly elsewhere.
+    pub trainer: Gan,
+    /// The pair's live fault state, wear damage included.
+    pub faults: SystemFaults,
+    /// The cumulative recovery accounting up to the drain.
+    pub report: RecoveryReport,
+}
+
 /// A training loop wrapped in the online detect → quarantine → remap →
 /// rollback ladder. See the module docs for the state machine.
 #[derive(Debug)]
@@ -328,6 +360,21 @@ impl SelfHealingRuntime {
         self.trainer
     }
 
+    /// Drains the runtime: hands back everything a supervising layer needs
+    /// to move the work elsewhere — the trainer (resumable bit-exactly),
+    /// the live fault state (wear damage and tile kills accumulated during
+    /// the run, so the *hardware's* history survives even though the job
+    /// leaves), and the recovery ledger. This is the hook the serving
+    /// layer uses to quarantine a pair: drain it, re-admit its work to a
+    /// healthy pair, and retire the damaged fault map with the hardware.
+    pub fn drain(self) -> DrainedRuntime {
+        DrainedRuntime {
+            trainer: self.trainer,
+            faults: self.faults,
+            report: self.report,
+        }
+    }
+
     /// One self-healed training step: checkpoint if due, train, charge
     /// compute + detection overhead, advance wear, run the checked MMV,
     /// and walk the recovery ladder if the residual flags.
@@ -411,8 +458,7 @@ impl SelfHealingRuntime {
         // Bounded relocate-and-replay with exponential backoff.
         for attempt in 1..=self.policy.max_retries {
             self.report.retries += 1;
-            self.report.recovery_latency_ns +=
-                self.policy.backoff_base_ns * f64::from(1u32 << (attempt - 1));
+            self.report.recovery_latency_ns += self.policy.backoff_ns(attempt);
             if !self.advance_region() {
                 break; // spare space exhausted: escalate
             }

@@ -1,0 +1,76 @@
+//! LerGAN serving: a deterministic multi-tenant serving runtime over a
+//! fleet of simulated 3DCU pairs.
+//!
+//! Everything below this crate trains *one* GAN on *one* accelerator; the
+//! ROADMAP's north star is a production-scale system serving heavy traffic.
+//! This crate closes that gap with a discrete-event serving layer that is
+//! robust by construction:
+//!
+//! * [`queue`] — **admission control and load shedding**: a bounded
+//!   central queue with per-tenant in-flight quotas. Requests the fleet
+//!   cannot absorb are rejected with a typed [`AdmissionError`]
+//!   (`QueueFull`, `QuotaExceeded`, `DeadlineInfeasible`) instead of
+//!   growing state without bound.
+//! * [`job`] — job requests over the Table V benchmark topologies, each
+//!   with its own seed, tenant, step budget and optional deadline; plus
+//!   [`job::run_standalone`], the single-tenant reference a zero-fault
+//!   serve must match **bit-exactly**.
+//! * [`plan`] — [`PlanCache`]: same-topology jobs share one compiled
+//!   accelerator plan (one [`lergan_core::CompiledGan`], and with it one
+//!   op graph) instead of recompiling per job; hit/miss counters make the
+//!   reuse observable.
+//! * [`fleet`] — the simulated 3DCU pairs. Faults are **per-pair state**:
+//!   each faulted pair wraps its jobs in a [`lergan_core::SelfHealingRuntime`]
+//!   that heals in place, and the accumulated wear and tile kills survive
+//!   from job to job via [`lergan_core::DrainedRuntime`] — one tenant's
+//!   dying hardware never leaks into another pair.
+//! * [`runtime`] — the deterministic event loop: Poisson arrivals, FIFO
+//!   dispatch, a seeded capped-exponential retry ladder (reusing
+//!   [`lergan_core::RecoveryPolicy::backoff_ns`]) for jobs killed by
+//!   hardware faults, and **pair quarantine**: a pair that exhausts its
+//!   recovery ladder is drained, its queued jobs re-admitted to healthy
+//!   pairs — admitted work is never silently dropped.
+//! * [`metrics`] — the [`ServeReport`]: throughput, p50/p99 sojourn
+//!   latency, utilisation, shed/retry/requeue/quarantine counters and the
+//!   per-job final checkpoints for bit-identity audits.
+//!
+//! Every decision in the loop is seeded and every tie deterministically
+//! broken, so a sweep replays byte-identically at any worker thread count
+//! — the same guarantee the training-side benches already make.
+//!
+//! # Example
+//!
+//! ```
+//! use lergan_serve::{PlanCache, ServeConfig, ServeRuntime};
+//! use lergan_serve::job::{poisson_workload, WorkloadSpec};
+//!
+//! let mut plans = PlanCache::table_v();
+//! let jobs = poisson_workload(&WorkloadSpec {
+//!     jobs: 4,
+//!     tenants: 2,
+//!     topologies: vec![0],
+//!     steps: 2,
+//!     seed: 7,
+//!     rate_jobs_per_s: 50.0,
+//!     deadline_slack: None,
+//! });
+//! let report = ServeRuntime::new(ServeConfig::pristine(2))
+//!     .run(jobs, &mut plans)
+//!     .expect("fault-free topologies compile");
+//! assert_eq!(report.completed, 4);
+//! assert_eq!(report.shed_total(), 0);
+//! ```
+
+pub mod fleet;
+pub mod job;
+pub mod metrics;
+pub mod plan;
+pub mod queue;
+pub mod runtime;
+
+pub use fleet::{HealingTotals, Pair};
+pub use job::JobSpec;
+pub use metrics::ServeReport;
+pub use plan::PlanCache;
+pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
+pub use runtime::{ServeConfig, ServeRuntime};

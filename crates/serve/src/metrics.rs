@@ -1,0 +1,185 @@
+//! The serve report: what a serving run did, in deterministic numbers.
+//!
+//! Counters follow the job lifecycle — submitted → admitted (or shed with
+//! a typed reason) → completed/failed — plus the robustness machinery's
+//! activity: hardware retries, quarantine evacuations, deadline misses
+//! and the healing ladder's totals. The conservation law
+//!
+//! ```text
+//! submitted = completed + failed + stranded + shed_total
+//! ```
+//!
+//! is checked by [`ServeReport::check_conservation`] and asserted by the
+//! sweep: a serving layer may *refuse* work loudly, but an admitted job
+//! must end in exactly one terminal state — never vanish.
+//!
+//! Latency percentiles use the nearest-rank definition over completed
+//! jobs' sojourn times (completion − arrival), so they are exact,
+//! deterministic and stable across thread counts. The report derives
+//! `PartialEq`; two runs of the same configuration must compare equal —
+//! the determinism tests rely on it.
+
+use crate::fleet::HealingTotals;
+use lergan_gan::train::GanCheckpoint;
+use std::collections::BTreeMap;
+
+/// Everything a serving run is accountable for.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Jobs offered to the front door.
+    pub submitted: u64,
+    /// Jobs past admission control.
+    pub admitted: u64,
+    /// Shed: central queue at depth bound.
+    pub shed_queue_full: u64,
+    /// Shed: tenant at quota.
+    pub shed_quota: u64,
+    /// Shed: deadline infeasible at arrival.
+    pub shed_deadline: u64,
+    /// Jobs that finished training.
+    pub completed: u64,
+    /// Jobs that exhausted the hardware retry ladder (terminal).
+    pub failed: u64,
+    /// Admitted jobs left unservable because every pair quarantined.
+    /// Non-zero only in pathological configurations; the sweep asserts 0.
+    pub stranded: u64,
+    /// Hardware-death retries taken (capped-backoff ladder).
+    pub job_retries: u64,
+    /// Jobs evacuated from quarantined pairs and re-admitted.
+    pub requeued: u64,
+    /// Completed jobs that overran their deadline.
+    pub deadline_misses: u64,
+    /// Pairs quarantined during the run.
+    pub quarantined_pairs: u64,
+    /// Pairs in the fleet.
+    pub pairs: u64,
+    /// Simulated makespan: the last event's clock (ns).
+    pub wall_ns: f64,
+    /// Σ pair busy time (ns).
+    pub busy_ns: f64,
+    /// Sojourn latency (completion − arrival) of every completed job,
+    /// sorted ascending (ns).
+    pub latencies_ns: Vec<f64>,
+    /// Healing-ladder totals across the fleet.
+    pub healing: HealingTotals,
+    /// Plan-cache compilations this run caused.
+    pub plan_misses: u64,
+    /// Plan-cache hits this run caused (same-topology reuse).
+    pub plan_hits: u64,
+    /// Final trainer checkpoint per completed job id — the bit-identity
+    /// audit trail against [`crate::job::run_standalone`].
+    pub outcomes: BTreeMap<u64, GanCheckpoint>,
+}
+
+impl ServeReport {
+    /// Jobs shed at admission, all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_quota + self.shed_deadline
+    }
+
+    /// Shed fraction of submitted work.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted > 0 {
+            self.shed_total() as f64 / self.submitted as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed jobs per second of simulated time.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        if self.wall_ns > 0.0 {
+            self.completed as f64 / (self.wall_ns / 1e9)
+        } else {
+            0.0
+        }
+    }
+
+    /// Fleet utilisation: busy time over pairs × makespan.
+    pub fn utilisation(&self) -> f64 {
+        let capacity = self.pairs as f64 * self.wall_ns;
+        if capacity > 0.0 {
+            self.busy_ns / capacity
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile of the sojourn latencies (q in (0, 1]);
+    /// 0 when nothing completed.
+    pub fn percentile_ns(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_ns[rank - 1]
+    }
+
+    /// Median sojourn latency (ns).
+    pub fn p50_ns(&self) -> f64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// Tail sojourn latency (ns).
+    pub fn p99_ns(&self) -> f64 {
+        self.percentile_ns(0.99)
+    }
+
+    /// The lifecycle conservation law: every submitted job is accounted
+    /// for by exactly one terminal counter.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let accounted = self.completed + self.failed + self.stranded + self.shed_total();
+        if accounted == self.submitted {
+            Ok(())
+        } else {
+            Err(format!(
+                "job leak: submitted {} ≠ completed {} + failed {} + stranded {} + shed {}",
+                self.submitted,
+                self.completed,
+                self.failed,
+                self.stranded,
+                self.shed_total()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank_exactly() {
+        let r = ServeReport {
+            latencies_ns: vec![10.0, 20.0, 30.0, 40.0],
+            ..ServeReport::default()
+        };
+        assert_eq!(r.percentile_ns(0.50), 20.0);
+        assert_eq!(r.percentile_ns(0.99), 40.0);
+        assert_eq!(r.percentile_ns(0.25), 10.0);
+        assert_eq!(r.percentile_ns(1.0), 40.0);
+        assert_eq!(ServeReport::default().p99_ns(), 0.0);
+    }
+
+    #[test]
+    fn conservation_catches_a_leaked_job() {
+        let mut r = ServeReport {
+            submitted: 3,
+            completed: 1,
+            shed_quota: 1,
+            ..ServeReport::default()
+        };
+        assert!(r.check_conservation().is_err());
+        r.failed = 1;
+        assert!(r.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn rates_are_zero_on_an_empty_run() {
+        let r = ServeReport::default();
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.throughput_jobs_per_s(), 0.0);
+        assert_eq!(r.utilisation(), 0.0);
+    }
+}

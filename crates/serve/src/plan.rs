@@ -1,0 +1,162 @@
+//! Compiled-plan reuse across same-topology jobs.
+//!
+//! Compiling a GAN onto the accelerator ([`LerGan::builder`]) costs real
+//! work — ZFDR pattern enumeration, replica selection, tile allocation,
+//! and a discrete-event dry run for the iteration latency. A serving
+//! fleet sees the same handful of Table V topologies over and over, so
+//! the cache compiles each fault-free plan **once** and hands every
+//! subsequent job of that topology the same [`Arc`]'d accelerator: one
+//! [`CompiledGan`] (and with it one op graph) shared by all of them.
+//! Sharing is safe precisely because the multi-tenant trainer state lives
+//! *outside* the plan — each job carries its own [`lergan_gan::train::Gan`]
+//! and checkpoints — which the interleaved checkpoint/restore tests in
+//! `lergan-gan` guard.
+//!
+//! Hit/miss counters make the reuse observable in the serve report, and
+//! the per-topology iteration latency is memoised beside the plan so
+//! admission-time feasibility checks are O(1).
+
+use lergan_core::{BuildError, CompiledGan, LerGan};
+use lergan_gan::{benchmarks, GanSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A cache of fault-free compiled plans, keyed by topology index.
+pub struct PlanCache {
+    specs: Vec<GanSpec>,
+    built: BTreeMap<usize, Arc<LerGan>>,
+    iteration_ns: BTreeMap<usize, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache over an explicit topology table.
+    pub fn new(specs: Vec<GanSpec>) -> Self {
+        PlanCache {
+            specs,
+            built: BTreeMap::new(),
+            iteration_ns: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A cache over the full Table V benchmark suite, in
+    /// [`benchmarks::all`] order.
+    pub fn table_v() -> Self {
+        Self::new(benchmarks::all())
+    }
+
+    /// The topology table.
+    pub fn specs(&self) -> &[GanSpec] {
+        &self.specs
+    }
+
+    /// The spec at `topology`. Panics on an out-of-table index — job
+    /// construction is the caller's code, not tenant input.
+    pub fn spec(&self, topology: usize) -> &GanSpec {
+        &self.specs[topology]
+    }
+
+    /// The shared fault-free plan of `topology`, compiling it on first
+    /// use. Same-topology callers get clones of one [`Arc`]: the plan,
+    /// its [`CompiledGan`] and the op graph inside are all shared.
+    pub fn plan(&mut self, topology: usize) -> Result<Arc<LerGan>, BuildError> {
+        if let Some(p) = self.built.get(&topology) {
+            self.hits += 1;
+            return Ok(Arc::clone(p));
+        }
+        self.misses += 1;
+        let accel = Arc::new(LerGan::builder(&self.specs[topology]).build()?);
+        let iter_ns = accel.train_iterations(1).iteration_latency_ns;
+        self.iteration_ns.insert(topology, iter_ns);
+        self.built.insert(topology, Arc::clone(&accel));
+        Ok(accel)
+    }
+
+    /// The compiled artifact all same-topology jobs share.
+    pub fn compiled(&mut self, topology: usize) -> Result<Arc<LerGan>, BuildError> {
+        self.plan(topology)
+    }
+
+    /// Fault-free per-iteration latency of `topology` (ns), memoised with
+    /// the plan.
+    pub fn iteration_ns(&mut self, topology: usize) -> Result<f64, BuildError> {
+        if let Some(ns) = self.iteration_ns.get(&topology) {
+            self.hits += 1;
+            return Ok(*ns);
+        }
+        self.plan(topology)?;
+        Ok(self.iteration_ns[&topology])
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct plans resident.
+    pub fn resident(&self) -> usize {
+        self.built.len()
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("topologies", &self.specs.len())
+            .field("resident", &self.built.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+/// The op graph a plan was lowered from (convenience for callers that
+/// only need the shared graph, not the whole accelerator).
+pub fn shared_graph(plan: &Arc<LerGan>) -> &CompiledGan {
+    plan.compiled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_topology_jobs_share_one_compiled_plan() {
+        let mut cache = PlanCache::table_v();
+        let a = cache.plan(0).unwrap();
+        let b = cache.plan(0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second job must reuse the first plan");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // The shared artifact really is one CompiledGan / one op graph.
+        assert!(std::ptr::eq(shared_graph(&a), shared_graph(&b)));
+    }
+
+    #[test]
+    fn distinct_topologies_compile_independently() {
+        let mut cache = PlanCache::table_v();
+        let dcgan = cache.plan(0).unwrap();
+        let cgan = cache.plan(1).unwrap();
+        assert!(!Arc::ptr_eq(&dcgan, &cgan));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.resident(), 2);
+    }
+
+    #[test]
+    fn iteration_latency_is_memoised_with_the_plan() {
+        let mut cache = PlanCache::table_v();
+        let first = cache.iteration_ns(0).unwrap();
+        let again = cache.iteration_ns(0).unwrap();
+        assert!(first > 0.0);
+        assert_eq!(first.to_bits(), again.to_bits());
+        assert_eq!(cache.misses(), 1, "latency queries must not recompile");
+    }
+}

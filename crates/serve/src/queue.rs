@@ -1,0 +1,272 @@
+//! Admission control: the bounded central queue and per-tenant quotas.
+//!
+//! Robust serving starts at the front door. The queue refuses work it
+//! cannot absorb with a *typed* rejection instead of queueing unboundedly:
+//!
+//! * [`AdmissionError::QueueFull`] — the central queue is at its depth
+//!   bound (load shedding under overload);
+//! * [`AdmissionError::QuotaExceeded`] — the tenant already has its full
+//!   quota of jobs in flight (one noisy tenant cannot starve the rest);
+//! * [`AdmissionError::DeadlineInfeasible`] — even the best-case service
+//!   time overruns the job's deadline, so admitting it would only burn a
+//!   pair on work that is already lost.
+//!
+//! Checks run in that order, so an overloaded queue sheds before quota
+//! accounting is consulted.
+//!
+//! Re-admission ([`JobQueue::readmit`]) is the one unguarded path: a job
+//! evacuated from a quarantined pair or retried after a hardware death
+//! was *already* admitted, and the zero-drop guarantee ("every admitted
+//! job either finishes or is re-admitted and finishes") requires it to
+//! re-enter even through a full queue. Tenant accounting is unchanged by
+//! re-admission — the job never stopped being in flight.
+
+use crate::job::JobSpec;
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Knobs of the admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Central queue depth past which new work is shed.
+    pub max_queue_depth: usize,
+    /// Jobs one tenant may have in flight (queued + assigned + running +
+    /// awaiting retry).
+    pub per_tenant_quota: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_queue_depth: 16,
+            per_tenant_quota: 8,
+        }
+    }
+}
+
+/// Why a job was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionError {
+    /// The central queue is at its bound.
+    QueueFull {
+        /// The configured depth the queue already holds.
+        depth: usize,
+    },
+    /// The tenant is at its in-flight quota.
+    QuotaExceeded {
+        /// The offending tenant.
+        tenant: u32,
+        /// Jobs it already has in flight.
+        in_flight: usize,
+    },
+    /// Best-case service time already overruns the deadline.
+    DeadlineInfeasible {
+        /// Minimum service time of the job (ns).
+        best_case_ns: f64,
+        /// Time left until the deadline at arrival (ns).
+        budget_ns: f64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { depth } => {
+                write!(f, "queue full at depth {depth}")
+            }
+            AdmissionError::QuotaExceeded { tenant, in_flight } => {
+                write!(f, "tenant {tenant} already has {in_flight} jobs in flight")
+            }
+            AdmissionError::DeadlineInfeasible {
+                best_case_ns,
+                budget_ns,
+            } => write!(
+                f,
+                "best-case service {best_case_ns} ns exceeds deadline budget {budget_ns} ns"
+            ),
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// The bounded central FIFO plus tenant in-flight accounting.
+#[derive(Debug, Clone, Default)]
+pub struct JobQueue {
+    policy: AdmissionPolicy,
+    queue: VecDeque<JobSpec>,
+    in_flight: BTreeMap<u32, usize>,
+}
+
+impl JobQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        JobQueue {
+            policy,
+            queue: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+        }
+    }
+
+    /// Admits a freshly arrived job or sheds it with a typed error.
+    /// `best_case_ns` is the job's minimum service time (used for the
+    /// deadline-feasibility check when the job carries a deadline).
+    pub fn admit(&mut self, job: JobSpec, best_case_ns: f64) -> Result<(), AdmissionError> {
+        if self.queue.len() >= self.policy.max_queue_depth {
+            return Err(AdmissionError::QueueFull {
+                depth: self.queue.len(),
+            });
+        }
+        let used = self.in_flight.get(&job.tenant).copied().unwrap_or(0);
+        if used >= self.policy.per_tenant_quota {
+            return Err(AdmissionError::QuotaExceeded {
+                tenant: job.tenant,
+                in_flight: used,
+            });
+        }
+        if let Some(slack) = job.deadline_slack {
+            let budget_ns = slack * best_case_ns;
+            if best_case_ns > budget_ns {
+                return Err(AdmissionError::DeadlineInfeasible {
+                    best_case_ns,
+                    budget_ns,
+                });
+            }
+        }
+        *self.in_flight.entry(job.tenant).or_insert(0) += 1;
+        self.queue.push_back(job);
+        Ok(())
+    }
+
+    /// Re-admits an already-admitted job at the queue *front*, bypassing
+    /// every admission check: evacuated and retried work outranks new
+    /// arrivals and must never be shed.
+    pub fn readmit(&mut self, job: JobSpec) {
+        self.queue.push_front(job);
+    }
+
+    /// Pops the next job to dispatch (FIFO). Tenant accounting is not
+    /// touched: a dispatched job is still in flight.
+    pub fn pop(&mut self) -> Option<JobSpec> {
+        self.queue.pop_front()
+    }
+
+    /// Releases one in-flight slot of `tenant` — call exactly once when a
+    /// job reaches a terminal state (finished or permanently failed).
+    pub fn release(&mut self, tenant: u32) {
+        if let Some(n) = self.in_flight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.in_flight.remove(&tenant);
+            }
+        }
+    }
+
+    /// Jobs waiting in the central queue.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no job waits centrally.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Jobs tenant `t` currently has in flight.
+    pub fn in_flight(&self, tenant: u32) -> usize {
+        self.in_flight.get(&tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, tenant: u32, slack: Option<f64>) -> JobSpec {
+        JobSpec {
+            id,
+            tenant,
+            topology: 0,
+            steps: 4,
+            seed: id,
+            arrival_ns: 0.0,
+            deadline_slack: slack,
+        }
+    }
+
+    #[test]
+    fn depth_bound_sheds_with_queue_full() {
+        let mut q = JobQueue::new(AdmissionPolicy {
+            max_queue_depth: 2,
+            per_tenant_quota: 8,
+        });
+        q.admit(job(0, 0, None), 1.0).unwrap();
+        q.admit(job(1, 1, None), 1.0).unwrap();
+        assert_eq!(
+            q.admit(job(2, 2, None), 1.0),
+            Err(AdmissionError::QueueFull { depth: 2 })
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn tenant_quota_sheds_and_releases() {
+        let mut q = JobQueue::new(AdmissionPolicy {
+            max_queue_depth: 16,
+            per_tenant_quota: 1,
+        });
+        q.admit(job(0, 7, None), 1.0).unwrap();
+        assert_eq!(
+            q.admit(job(1, 7, None), 1.0),
+            Err(AdmissionError::QuotaExceeded {
+                tenant: 7,
+                in_flight: 1
+            })
+        );
+        // Another tenant is unaffected — isolation at the front door.
+        q.admit(job(2, 8, None), 1.0).unwrap();
+        // Dispatch does not release the slot; terminal completion does.
+        let j = q.pop().unwrap();
+        assert_eq!(j.id, 0);
+        assert_eq!(
+            q.admit(job(3, 7, None), 1.0),
+            Err(AdmissionError::QuotaExceeded {
+                tenant: 7,
+                in_flight: 1
+            })
+        );
+        q.release(7);
+        q.admit(job(3, 7, None), 1.0).unwrap();
+    }
+
+    #[test]
+    fn infeasible_deadline_is_refused_at_the_door() {
+        let mut q = JobQueue::new(AdmissionPolicy::default());
+        // Slack < 1 means even a best-case run overruns the deadline.
+        let err = q.admit(job(0, 0, Some(0.5)), 1_000.0).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::DeadlineInfeasible {
+                best_case_ns: 1_000.0,
+                budget_ns: 500.0
+            }
+        );
+        // A feasible deadline with the same service time is admitted.
+        q.admit(job(1, 0, Some(2.0)), 1_000.0).unwrap();
+    }
+
+    #[test]
+    fn readmit_bypasses_every_check_and_goes_to_the_front() {
+        let mut q = JobQueue::new(AdmissionPolicy {
+            max_queue_depth: 1,
+            per_tenant_quota: 1,
+        });
+        q.admit(job(0, 0, None), 1.0).unwrap();
+        // Full queue, exhausted quota, infeasible deadline — none of it
+        // applies to evacuated work.
+        q.readmit(job(9, 0, Some(0.1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().id, 9);
+    }
+}

@@ -10,7 +10,8 @@
 //! * [`noc`] — H-tree and 3D-connected PIM interconnect,
 //! * [`core`] — ZFDR, the ZFDM compiler and the LerGAN accelerator,
 //! * [`sim`] — the discrete-event execution engine,
-//! * [`baselines`] — analytical GPU / FPGA-GAN / PRIME comparators.
+//! * [`baselines`] — analytical GPU / FPGA-GAN / PRIME comparators,
+//! * [`serve`] — the multi-tenant serving runtime over a fleet of pairs.
 //!
 //! # Quickstart
 //!
@@ -32,5 +33,6 @@ pub use lergan_core as core;
 pub use lergan_gan as gan;
 pub use lergan_noc as noc;
 pub use lergan_reram as reram;
+pub use lergan_serve as serve;
 pub use lergan_sim as sim;
 pub use lergan_tensor as tensor;
