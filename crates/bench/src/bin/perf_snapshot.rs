@@ -1,13 +1,15 @@
 //! Wall-clock performance snapshot of the ZFDR execution paths and the
 //! training substrate, written to `BENCH_zfdr.json`.
 //!
-//! Times five workloads with `std::time::Instant`:
+//! Times six workloads with `std::time::Instant`:
 //!
 //! * T-CONV ZFDR (batched one-GEMM-per-pattern-class, the cached-engine
 //!   variant, the per-position reference oracle, and a faithful copy of
 //!   the original lazy per-position implementation pinned below as the
 //!   baseline),
 //! * W-CONV-S ZFDR (same variants),
+//! * D-CONV dilated convolution: the zero-free direct gather against
+//!   the naive zero-inserted-kernel formulation,
 //! * S-CONV through im2col + GEMM,
 //! * every GEMM execution strategy (`direct`, `packed`, `simd`), the
 //!   shape-adaptive `dispatch` that picks among them, and the pre-packing
@@ -38,6 +40,7 @@ use lergan_gan::benchmarks;
 use lergan_gan::ir::OpGraph;
 use lergan_gan::topology::parse_network;
 use lergan_gan::train::{build_trainable_with, Gan, UpdateRule};
+use lergan_tensor::dconv::{dconv_zero_free, dconv_zero_insertion};
 use lergan_tensor::dispatch::{with_strategy, ForcedStrategy};
 use lergan_tensor::im2col::conv2d_gemm;
 use lergan_tensor::tensor::{gemm, mmv};
@@ -359,6 +362,45 @@ fn main() {
         }
     }
 
+    // D-CONV: the zero-free compact-im2col GEMM against the naive
+    // formulation that materialises the zero-inserted dilated kernel
+    // (the EcoFlow dual of T-CONV's zero-inserted input); both run the
+    // same GEMM dispatch, so the gap is purely the skipped zeros.
+    // Geometry mirrors the ResDilatedGAN refiner block: 3x3 kernel at
+    // dilation 2 over a 16 px plane, extent-preserving.
+    let geom_d = {
+        let axis = lergan_tensor::DconvAxis::for_target(16, 3, 1, 2, 16)
+            .expect("stride-1 dilated conv keeps the extent");
+        lergan_tensor::DconvGeometry::new(axis, axis)
+    };
+    let input_d = det(&[16, 16, 16], 9);
+    let weights_d = det(&[16, 16, 3, 3], 10);
+    for t in [1, threads] {
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(dconv_zero_insertion(
+                    black_box(&input_d),
+                    black_box(&weights_d),
+                    &geom_d,
+                ));
+            })
+        });
+        record("dconv_16px_16x16ch_d2/zero_inserted", t, ns);
+        let ns = parallel::with_threads(t, || {
+            time_ns(|| {
+                black_box(dconv_zero_free(
+                    black_box(&input_d),
+                    black_box(&weights_d),
+                    &geom_d,
+                ));
+            })
+        });
+        record("dconv_16px_16x16ch_d2/zero_free", t, ns);
+        if t == threads && threads == 1 {
+            break;
+        }
+    }
+
     // S-CONV through im2col + GEMM (discriminator-style layer).
     let geom_s = SconvGeometry::new(16, 5, 2, 2).unwrap();
     let input_s = det(&[32, 16, 16], 7);
@@ -520,6 +562,12 @@ fn main() {
         };
         format!("{thread_speedup:.2}")
     };
+    let dconv_naive = find("dconv_16px_16x16ch_d2/zero_inserted", 1);
+    let dconv_free = find("dconv_16px_16x16ch_d2/zero_free", 1);
+    let dconv_speedup = match (dconv_naive, dconv_free) {
+        (Some(n), Some(f)) if f > 0.0 => n / f,
+        _ => 0.0,
+    };
     let step_ns = find("gan_train_step_16px/full", 1);
     let step_vs_previous = match (previous_step_ns, step_ns) {
         (Some(prev), Some(now)) if now > 0.0 => prev / now,
@@ -542,13 +590,14 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_dispatch_vs_reference\": {dispatch_vs_reference:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_scaling_json},\n    \"gemm_dispatch_vs_naive_geomean\": {gemm_geomean:.2},\n    \"mmv_direct_vs_blocked\": {mmv_speedup:.2},\n    \"gan_train_step_vs_previous\": {step_vs_previous:.2}\n  }}\n"
+        "  \"speedups\": {{\n    \"tconv_conv1_batched_vs_seed_1thread\": {speedup_conv1:.2},\n    \"tconv_conv1_dispatch_vs_reference\": {dispatch_vs_reference:.2},\n    \"tconv_conv1_batched_multi_vs_1thread\": {thread_scaling_json},\n    \"dconv_zero_free_vs_naive\": {dconv_speedup:.2},\n    \"gemm_dispatch_vs_naive_geomean\": {gemm_geomean:.2},\n    \"mmv_direct_vs_blocked\": {mmv_speedup:.2},\n    \"gan_train_step_vs_previous\": {step_vs_previous:.2}\n  }}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("\nbatched vs seed per-position (CONV1, 1 thread): {speedup_conv1:.2}x");
     println!("batched vs per-position reference (CONV1):      {dispatch_vs_reference:.2}x");
     println!("batched {threads} threads vs 1 thread (CONV1):    {thread_scaling_json}");
+    println!("dconv zero-free vs zero-inserted (d=2, 16 px):  {dconv_speedup:.2}x");
     println!("dispatch vs naive GEMM (geomean over Table V):  {gemm_geomean:.2}x");
     println!("mmv direct vs forced blocked (64x1024):         {mmv_speedup:.2}x");
     println!("train step vs previous snapshot (1 thread):     {step_vs_previous:.2}x");

@@ -285,6 +285,13 @@ fn map_layer(
             Some(ZfdrPlan::for_wconv(g)),
             (g.gradient_extent() as u128).pow(dims),
         ),
+        WorkloadKind::DconvKernel(g) => (
+            // Symmetric geometry composes one axis-class set across both
+            // dimensions, exactly as T-CONV; asymmetric geometry has no
+            // pow-composable plan and maps dense.
+            g.is_symmetric().then(|| ZfdrPlan::for_dconv(&g.rows)),
+            g.rows.output as u128 * g.cols.output as u128,
+        ),
     };
 
     let use_zfdr = options.scheme == ReshapeScheme::Zfdr && plan.is_some();
@@ -417,6 +424,7 @@ fn dense_positions(w: &ConvWorkload) -> u128 {
         }
         WorkloadKind::TconvInput(g) => (g.output as u128).pow(w.dims),
         WorkloadKind::WconvKernel(g) => (g.gradient_extent() as u128).pow(w.dims),
+        WorkloadKind::DconvKernel(g) => g.rows.output as u128 * g.cols.output as u128,
     }
 }
 
@@ -434,6 +442,10 @@ fn dense_matrix_rows(w: &ConvWorkload) -> usize {
         }
         WorkloadKind::TconvInput(g) => (g.kernel as u128).pow(w.dims) as usize * w.in_channels,
         WorkloadKind::WconvKernel(g) => (g.inserted_kernel_extent() as u128).pow(w.dims) as usize,
+        WorkloadKind::DconvKernel(g) => {
+            // Reduction length of the zero-inserted-kernel GEMM.
+            g.rows.effective_kernel() * g.cols.effective_kernel() * w.in_channels
+        }
     }
 }
 
@@ -443,6 +455,13 @@ fn dense_operand_values(w: &ConvWorkload) -> u128 {
     match &w.kind {
         WorkloadKind::WconvKernel(g) => {
             (g.inserted_kernel_extent() as u128).pow(w.dims) * w.in_channels as u128
+        }
+        WorkloadKind::DconvKernel(g) => {
+            // Dense mapping materialises the effective (zero-inserted)
+            // kernel per channel pair.
+            w.in_channels as u128
+                * w.out_channels as u128
+                * (g.rows.effective_kernel() * g.cols.effective_kernel()) as u128
         }
         _ => w.weight_values,
     }
@@ -477,7 +496,7 @@ fn dense_scheme_replicas(
                     let z = rp.storage_values(&plan, w.dims, pairs);
                     ((z / w.weight_values.max(1)) as usize).max(1)
                 }
-                WorkloadKind::WconvKernel(_) => 1,
+                WorkloadKind::WconvKernel(_) | WorkloadKind::DconvKernel(_) => 1,
             }
         }
         ReshapeScheme::Zfdr => {

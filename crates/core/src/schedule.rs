@@ -258,8 +258,12 @@ impl<'a> Lowering<'a> {
         debug_assert_eq!(ops.len(), cp.layers.len(), "graph and mapping agree");
         let comp_r = self.compute_res[&phase];
         let alloc = &self.ctx.allocs[&phase];
+        let base = ops.first().map(|o| o.id.0).unwrap_or(0);
         let mut prev: Option<TaskId> = dep;
         let mut first: Option<TaskId> = None;
+        // Compute task of each already-emitted op in this run, for
+        // skip-edge dependencies.
+        let mut computes: Vec<TaskId> = Vec::with_capacity(ops.len());
         for (li, (op, layer)) in ops.iter().zip(&cp.layers).enumerate() {
             debug_assert_eq!(op.id, layer.op, "mapping binds the same op");
             let wire_r = self.wire_res[&(op.bank.side, op.bank.bank)];
@@ -323,12 +327,46 @@ impl<'a> Lowering<'a> {
             self.counts.buffer_values += moved as u128;
             self.phase_cost.add(&phase.to_string(), lat);
 
+            // Skip-edge dataflow: a non-adjacent same-phase producer (a
+            // residual edge in the op graph) also feeds this op. Its
+            // stashed output rides the bank's wires from the producer's
+            // tiles, and compute waits on that stream too. Cross-phase
+            // producers are ordered by the Fig. 13 script instead.
+            let mut skip_deps: Vec<TaskId> = Vec::new();
+            for p in &op.producers {
+                let Some(pi) = p.0.checked_sub(base).filter(|&pi| pi < ops.len()) else {
+                    continue;
+                };
+                if pi + 1 >= li {
+                    continue; // the linear chain already orders neighbours
+                }
+                let volume = ops[pi].workload.output_values as u64 * self.batch;
+                let from_tile = alloc.handoff(pi).expect("producer precedes a layer").0;
+                let to_tile = alloc.tile_for(li, 0).expect("layer is allocated");
+                let route = self.tile_route(op.bank, from_tile, to_tile);
+                let (lat, en) = route.transfer(volume, self.ctx.noc);
+                let t = self.engine.add_task(
+                    TaskSpec::new(
+                        format!("{phase} skip L{}->L{}", ops[pi].layer_index, op.layer_index),
+                        lat,
+                    )
+                    .on(wire_r)
+                    .after(computes[pi]),
+                );
+                self.energy.add("communication", en);
+                self.counts.buffer_values += volume as u128;
+                self.phase_cost.add(&phase.to_string(), lat);
+                skip_deps.push(t);
+            }
+
             // Compute.
             let dur = layer.cycles_per_sample as f64 * self.t_m * self.batch as f64;
             let comp = TaskSpec::new(format!("{phase} comp L{}", op.layer_index), dur)
                 .on(comp_r)
-                .after(xfer_id);
+                .after(xfer_id)
+                .after_all(&skip_deps);
             let comp_id = self.engine.add_task(comp);
+            computes.push(comp_id);
             let crossbar_ops = layer.crossbar_ops_per_sample * self.batch as u128;
             self.counts.crossbar_mmv_ops += crossbar_ops;
             self.phase_cost.add(&phase.to_string(), dur);

@@ -11,7 +11,7 @@
 //! * **EdgeReshape** — a mix of boundary and interior axes,
 //! * **InsideReshape** — every axis interior (most reuse).
 
-use lergan_tensor::{TconvGeometry, WconvGeometry};
+use lergan_tensor::{DconvAxis, TconvGeometry, WconvGeometry};
 use std::collections::HashMap;
 
 /// Kind of a reshape class (Sec. IV-A's three cases).
@@ -118,6 +118,27 @@ impl ZfdrPlan {
         let span_end = geom.insertion_pad + (geom.input - 1) * geom.converse_stride + 1;
         let interior: Vec<bool> = (0..o)
             .map(|oy| oy >= span_start && oy + geom.kernel <= span_end)
+            .collect();
+        dedupe_patterns(patterns, &interior)
+    }
+
+    /// Enumerates the D-CONV ZFDR plan for one (symmetric) axis: output
+    /// positions grouped by which effective-kernel offsets land on true
+    /// taps *and* true (unpadded) input — the kernel-side dual of
+    /// [`for_tconv`](ZfdrPlan::for_tconv), per the EcoFlow duality. The
+    /// caller composes the axis across both dimensions exactly as for
+    /// T-CONV; asymmetric geometries map dense instead.
+    pub fn for_dconv(axis: &DconvAxis) -> Self {
+        let o = axis.output;
+        let patterns: Vec<Vec<usize>> = (0..o).map(|oy| axis.axis_pattern(oy)).collect();
+        // Interior: the effective window lies fully inside the unpadded
+        // input, so every true tap reads a true value.
+        let eff = axis.effective_kernel();
+        let interior: Vec<bool> = (0..o)
+            .map(|oy| {
+                let start = oy * axis.stride;
+                start >= axis.pad && start + eff <= axis.pad + axis.input
+            })
             .collect();
         dedupe_patterns(patterns, &interior)
     }

@@ -94,6 +94,41 @@ pub fn discogan_5pairs() -> GanSpec {
     .expect("Table V row is well-formed")
 }
 
+/// Residual dilated-refiner GAN, 32×32 items — the first extended-grammar
+/// benchmark: both networks carry dilated convolutions (`2d`/`4d`) and a
+/// residual skip (`+2`), so every backend must lower D-CONV workloads and
+/// skip dataflow edges.
+pub fn res_dilated_gan() -> GanSpec {
+    GanSpec::parse(
+        "ResDilatedGAN",
+        "100f-(256t-128t)(4k2s)-64c3k1s2d+2-64c3k1s-64c3k1s-t3",
+        "3c4k2s-64c3k1s2d+2-64c3k1s-64c3k1s4d-(64c-128c)(4k2s)-f1",
+        &[32, 32],
+    )
+    .expect("extended benchmark row is well-formed")
+}
+
+/// Pixel-normalised atrous GAN, 64×64 items — the second extended-grammar
+/// benchmark: per-layer norm tags (`pn`, `bn`), an asymmetric `3x5`
+/// kernel in the discriminator, and a dilated residual pair in the
+/// generator.
+pub fn atrous_pixel_gan() -> GanSpec {
+    GanSpec::parse(
+        "AtrousPixelGAN",
+        "100f-(512t-256t-128t)(4k2s)-64c3k1s2dpn+2-64c3k1spn-64c3k1s-t3",
+        "3c3x5k1x1s-64c4k2sbn-(64c-128c-256c)(4k2s)-f1",
+        &[64, 64],
+    )
+    .expect("extended benchmark row is well-formed")
+}
+
+/// The extended-grammar benchmarks: dilated convolutions, skip edges,
+/// normalisation variants and asymmetric kernels. Kept out of [`all`] so
+/// the Table V result set stays byte-stable.
+pub fn extended() -> Vec<GanSpec> {
+    vec![res_dilated_gan(), atrous_pixel_gan()]
+}
+
 /// All eight benchmarks in Table V order.
 pub fn all() -> Vec<GanSpec> {
     vec![
@@ -204,7 +239,7 @@ mod tests {
 
     #[test]
     fn generator_output_matches_item_size() {
-        for g in all() {
+        for g in all().into_iter().chain(extended()) {
             let last = g.generator.layers.last().unwrap();
             assert_eq!(
                 last.out_spatial(),
@@ -212,6 +247,60 @@ mod tests {
                 "{} generator output extent",
                 g.name
             );
+        }
+    }
+
+    #[test]
+    fn extended_benchmarks_exercise_dconv_and_skips() {
+        let gans = extended();
+        assert_eq!(gans.len(), 2);
+        for g in &gans {
+            assert!(
+                g.generator.has_dconv(),
+                "{} generator exercises D-CONV",
+                g.name
+            );
+            assert!(
+                !g.generator.skips.is_empty(),
+                "{} generator exercises skip edges",
+                g.name
+            );
+        }
+        // ResDilatedGAN's discriminator carries its own dilated residual
+        // block; AtrousPixelGAN's carries the asymmetric 3×5 kernel.
+        assert!(!gans[0].discriminator.skips.is_empty());
+        assert!(gans[0].discriminator.has_dconv());
+        assert!(gans[1].discriminator.has_dconv());
+    }
+
+    #[test]
+    fn extended_benchmarks_stay_out_of_table_v() {
+        // The Table V result set must remain byte-stable: no dilated
+        // convolutions, skip edges or explicit norm tags in `all()`.
+        assert_eq!(all().len(), 8);
+        for g in all() {
+            for net in [&g.generator, &g.discriminator] {
+                assert!(!net.has_dconv(), "{}", g.name);
+                assert!(net.skips.is_empty(), "{}", g.name);
+                assert!(
+                    net.norms.iter().all(|n| matches!(n, crate::layer::Norm::Legacy)),
+                    "{}",
+                    g.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_benchmarks_produce_workloads_in_every_phase() {
+        for g in extended() {
+            for phase in Phase::ALL {
+                assert!(
+                    !g.workloads(phase).is_empty(),
+                    "{} lowers no workloads for {phase:?}",
+                    g.name
+                );
+            }
         }
     }
 }

@@ -36,7 +36,7 @@
 //! assert!(graph.ops().iter().all(|op| op.gemm.macs() == op.workload.macs_dense));
 //! ```
 
-use crate::layer::Layer;
+use crate::layer::{Layer, Norm};
 use crate::phase::Phase;
 use crate::topology::{GanSpec, NetworkSpec};
 use crate::workload::{ConvWorkload, WorkloadKind};
@@ -45,6 +45,45 @@ use lergan_tensor::{TconvGeometry, WconvGeometry};
 /// Identifier of a [`PhaseOp`] inside one [`OpGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub usize);
+
+/// The algebraic kind of an op — the small op algebra every backend lowers.
+///
+/// The kind is determined by the op's zero structure together with the layer
+/// it touches: a dense op on an FC layer is [`OpKind::Fc`], a dense op on any
+/// conv-like layer is S-CONV-shaped, input-zero ops are T-CONV-shaped,
+/// kernel-zero ops are W-CONV-S (stride-induced) or D-CONV (dilation-induced,
+/// the EcoFlow dual of T-CONV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Fully-connected matrix–vector product.
+    Fc,
+    /// Dense strided convolution.
+    Sconv,
+    /// Transposed convolution: zeros inserted in the input plane.
+    Tconv,
+    /// W-CONV-S weight gradient: zeros inserted in the moving `∇output`.
+    Wconv,
+    /// Dilated convolution: zeros inserted in the kernel by dilation.
+    Dconv,
+}
+
+impl OpKind {
+    /// Derives the kind from the layer and the analytic workload.
+    pub fn of(layer: &Layer, workload: &ConvWorkload) -> OpKind {
+        match workload.kind {
+            WorkloadKind::Dense => {
+                if matches!(layer, Layer::Fc(_)) {
+                    OpKind::Fc
+                } else {
+                    OpKind::Sconv
+                }
+            }
+            WorkloadKind::TconvInput(_) => OpKind::Tconv,
+            WorkloadKind::WconvKernel(_) => OpKind::Wconv,
+            WorkloadKind::DconvKernel(_) => OpKind::Dconv,
+        }
+    }
+}
 
 /// The bank of the 3DCU pair an op executes in — the paper's B1–B6 map:
 /// forward phases on the top banks, ∇weight in the middle, error transfer
@@ -114,6 +153,10 @@ pub struct PhaseOp {
     /// Position of this op in its phase's dataflow order (backward phases
     /// run layers in reverse, so `seq` differs from `layer_index` there).
     pub seq: usize,
+    /// Algebraic kind of the op (FC / S-CONV / T-CONV / W-CONV-S / D-CONV).
+    pub kind: OpKind,
+    /// Normalization applied after the layer this op belongs to.
+    pub norm: Norm,
     /// The analytic workload: zero structure, MAC/traffic/storage counts.
     pub workload: ConvWorkload,
     /// The naive im2col GEMM shape (`m · k · n == workload.macs_dense`).
@@ -254,12 +297,36 @@ fn ops_with_base(net: &NetworkSpec, phase: Phase, base: usize) -> Vec<PhaseOp> {
             phase,
             layer_index: idx,
             seq,
+            kind: OpKind::of(&net.layers[idx], &workload),
+            norm: net.norm_of(idx),
             workload,
             gemm,
             bank,
             producers,
             consumers,
         });
+    }
+    // Skip connections are first-class dataflow edges: in forward phases
+    // the skipped-from op feeds the skipped-to op; in error transfer the
+    // edge reverses (the error at `to`'s input flows straight back to
+    // `from`'s output). ∇weight ops are per-layer independent, so skips
+    // add no edges there.
+    if !phase.is_weight_grad() {
+        for sk in &net.skips {
+            let (p, c) = if phase.is_forward() {
+                (sk.from, sk.to)
+            } else {
+                (n - 1 - sk.to, n - 1 - sk.from)
+            };
+            let pid = OpId(base + p);
+            let cid = OpId(base + c);
+            if !out[p].consumers.contains(&cid) {
+                out[p].consumers.push(cid);
+            }
+            if !out[c].producers.contains(&pid) {
+                out[c].producers.push(pid);
+            }
+        }
     }
     out
 }
@@ -342,6 +409,42 @@ fn layer_op(net: &NetworkSpec, phase: Phase, idx: usize) -> (ConvWorkload, GemmS
                     m: powd(g.output, d),
                     k: t.in_channels as u128 * powd(g.kernel, d),
                     n: t.out_channels as u128,
+                },
+            )
+        }
+        (true, _, Layer::Dconv(dc)) => {
+            // D-CONV forward: the kernel is zero-inserted by dilation (the
+            // EcoFlow dual of T-CONV's input insertion). The input plane
+            // itself is dense, so the savings are MACs and kernel storage,
+            // not input traffic.
+            let g = dc.geometry;
+            let pair = dc.in_channels as u128 * dc.out_channels as u128;
+            let positions = g.rows.output as u128 * g.cols.output as u128;
+            (
+                ConvWorkload {
+                    phase,
+                    layer_index: idx,
+                    kind: WorkloadKind::DconvKernel(g),
+                    in_channels: dc.in_channels,
+                    out_channels: dc.out_channels,
+                    macs_dense: pair * g.total_multiplications_per_pair() as u128,
+                    macs_useful: pair * g.useful_multiplications_per_pair() as u128,
+                    moved_values_dense: dc.in_channels as u128
+                        * g.rows.input as u128
+                        * g.cols.input as u128,
+                    moved_values_useful: dc.in_channels as u128
+                        * g.rows.input as u128
+                        * g.cols.input as u128,
+                    weight_values: pair * g.kernel_taps() as u128,
+                    output_values: dc.out_channels as u128 * positions,
+                    dims: d,
+                },
+                GemmShape {
+                    m: positions,
+                    k: dc.in_channels as u128
+                        * g.rows.effective_kernel() as u128
+                        * g.cols.effective_kernel() as u128,
+                    n: dc.out_channels as u128,
                 },
             )
         }
@@ -430,6 +533,45 @@ fn layer_op(net: &NetworkSpec, phase: Phase, idx: usize) -> (ConvWorkload, GemmS
                 },
             )
         }
+        (false, true, Layer::Dconv(dc)) => {
+            // ∇W of a D-CONV: ∇output scans the dense input, but gradients
+            // land only on the dilated true taps — the same kernel-zero
+            // structure as the forward pass, transposed (each true tap
+            // reduces over the valid output positions, so the useful count
+            // is the same double sum read tap-major).
+            let g = dc.geometry;
+            let pair = dc.in_channels as u128 * dc.out_channels as u128;
+            let positions = g.rows.output as u128 * g.cols.output as u128;
+            (
+                ConvWorkload {
+                    phase,
+                    layer_index: idx,
+                    kind: WorkloadKind::DconvKernel(g),
+                    in_channels: dc.out_channels, // the moving ∇output
+                    out_channels: dc.in_channels,
+                    macs_dense: pair * g.total_multiplications_per_pair() as u128,
+                    macs_useful: pair * g.useful_multiplications_per_pair() as u128,
+                    moved_values_dense: dc.in_channels as u128
+                        * g.rows.input as u128
+                        * g.cols.input as u128
+                        + dc.out_channels as u128 * positions,
+                    moved_values_useful: dc.in_channels as u128
+                        * g.rows.input as u128
+                        * g.cols.input as u128
+                        + dc.out_channels as u128 * positions,
+                    weight_values: 0,
+                    output_values: pair * g.kernel_taps() as u128,
+                    dims: d,
+                },
+                // Per channel pair: each expanded-kernel position reduces
+                // ∇output over every output position.
+                GemmShape {
+                    m: g.rows.effective_kernel() as u128 * g.cols.effective_kernel() as u128,
+                    k: positions,
+                    n: pair,
+                },
+            )
+        }
         // ---- error transfer ----
         (false, false, Layer::Fc(f)) => (
             dense(
@@ -499,6 +641,35 @@ fn layer_op(net: &NetworkSpec, phase: Phase, idx: usize) -> (ConvWorkload, GemmS
                     m: powd(g.input, d),
                     k: t.out_channels as u128 * powd(g.kernel, d),
                     n: t.in_channels as u128,
+                },
+            )
+        }
+        (false, false, Layer::Dconv(dc)) => {
+            // Error through a D-CONV: each output-position error scatters
+            // through the expanded kernel taps that produced it. The gather
+            // formulation touches every (output position, expanded tap)
+            // pair once, so the dense count equals the forward dense count.
+            let g = dc.geometry;
+            let pair = dc.in_channels as u128 * dc.out_channels as u128;
+            let positions = g.rows.output as u128 * g.cols.output as u128;
+            (
+                dense(
+                    phase,
+                    idx,
+                    d,
+                    dc.out_channels,
+                    dc.in_channels,
+                    pair * g.total_multiplications_per_pair() as u128,
+                    dc.out_channels as u128 * positions,
+                    pair * g.kernel_taps() as u128,
+                    dc.in_channels as u128 * g.rows.input as u128 * g.cols.input as u128,
+                ),
+                GemmShape {
+                    m: positions,
+                    k: dc.out_channels as u128
+                        * g.rows.effective_kernel() as u128
+                        * g.cols.effective_kernel() as u128,
+                    n: dc.in_channels as u128,
                 },
             )
         }

@@ -6,7 +6,7 @@
 //! counting methods take the network dimensionality (`2` for images, `3`
 //! for 3D-GAN's volumes) so volumetric layers cube their spatial terms.
 
-use lergan_tensor::{SconvGeometry, TconvGeometry};
+use lergan_tensor::{DconvGeometry, SconvGeometry, TconvGeometry};
 
 /// A fully-connected layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,6 +39,54 @@ pub struct TconvLayer {
     pub geometry: TconvGeometry,
 }
 
+/// A dilated and/or asymmetric strided convolution layer (D-CONV).
+///
+/// Covers dilation ≥ 1 and `Kh×Kw` / `Sh×Sw` geometry. A dilation-1
+/// symmetric configuration is normalised to [`Layer::Conv`] by the
+/// topology parser, so a `Dconv` layer always carries genuinely new
+/// structure (zero-inserted kernel and/or per-axis geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DconvLayer {
+    /// Input feature-map count.
+    pub in_channels: usize,
+    /// Output feature-map count.
+    pub out_channels: usize,
+    /// Per-axis spatial geometry including dilation.
+    pub geometry: DconvGeometry,
+}
+
+/// Per-layer normalisation variant in the op algebra.
+///
+/// `Legacy` preserves the pre-algebra behaviour: the trainer's
+/// network-wide `batch_norm` flag decides whether a conv-like layer is
+/// followed by BatchNorm. Explicitly tagged layers (`bn`/`pn`/`nn` in
+/// the topology grammar) override that flag per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Norm {
+    /// Untagged: defer to the network-wide trainer flag (pre-algebra
+    /// behaviour; keeps the eight Table V GANs bit-identical).
+    #[default]
+    Legacy,
+    /// Batch normalisation after this layer.
+    Batch,
+    /// Pixel normalisation (per-position channel RMS) after this layer.
+    Pixel,
+    /// No normalisation after this layer, regardless of the flag.
+    None,
+}
+
+impl Norm {
+    /// The grammar suffix of an explicit tag (`None` for [`Norm::Legacy`]).
+    pub fn suffix(&self) -> Option<&'static str> {
+        match self {
+            Norm::Legacy => None,
+            Norm::Batch => Some("bn"),
+            Norm::Pixel => Some("pn"),
+            Norm::None => Some("nn"),
+        }
+    }
+}
+
 /// Any layer of a Table V network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layer {
@@ -48,6 +96,8 @@ pub enum Layer {
     Conv(ConvLayer),
     /// Transposed convolution.
     Tconv(TconvLayer),
+    /// Dilated / asymmetric strided convolution.
+    Dconv(DconvLayer),
 }
 
 fn powd(base: usize, dims: u32) -> u128 {
@@ -66,6 +116,11 @@ impl Layer {
             Layer::Tconv(t) => {
                 t.in_channels as u128 * t.out_channels as u128 * powd(t.geometry.kernel, dims)
             }
+            // Only the true taps are stored (the dilation zeros are never
+            // materialised by the zero-free mapping).
+            Layer::Dconv(dc) => {
+                dc.in_channels as u128 * dc.out_channels as u128 * dc.geometry.kernel_taps() as u128
+            }
         }
     }
 
@@ -75,6 +130,11 @@ impl Layer {
             Layer::Fc(f) => f.in_units as u128,
             Layer::Conv(c) => c.in_channels as u128 * powd(c.geometry.input, dims),
             Layer::Tconv(t) => t.in_channels as u128 * powd(t.geometry.input, dims),
+            Layer::Dconv(dc) => {
+                dc.in_channels as u128
+                    * dc.geometry.rows.input as u128
+                    * dc.geometry.cols.input as u128
+            }
         }
     }
 
@@ -84,6 +144,11 @@ impl Layer {
             Layer::Fc(f) => f.out_units as u128,
             Layer::Conv(c) => c.out_channels as u128 * powd(c.geometry.output, dims),
             Layer::Tconv(t) => t.out_channels as u128 * powd(t.geometry.output, dims),
+            Layer::Dconv(dc) => {
+                dc.out_channels as u128
+                    * dc.geometry.rows.output as u128
+                    * dc.geometry.cols.output as u128
+            }
         }
     }
 
@@ -105,17 +170,30 @@ impl Layer {
                     * powd(t.geometry.output, dims)
                     * powd(t.geometry.kernel, dims)
             }
+            // The naive formulation scans the full zero-inserted
+            // (effective-extent) kernel at every output position.
+            Layer::Dconv(dc) => {
+                dc.in_channels as u128
+                    * dc.out_channels as u128
+                    * dc.geometry.total_multiplications_per_pair() as u128
+            }
         }
     }
 
     /// Forward multiply-accumulates that touch a useful (non-inserted)
-    /// value. Equal to the dense count except for T-CONV layers.
+    /// value. Equal to the dense count except for zero-inserted layers
+    /// (T-CONV input zeros, D-CONV kernel zeros).
     pub fn forward_macs_useful(&self, dims: u32) -> u128 {
         match self {
             Layer::Tconv(t) => {
                 t.in_channels as u128
                     * t.out_channels as u128
                     * (t.geometry.useful_row_weight_sum() as u128).pow(dims)
+            }
+            Layer::Dconv(dc) => {
+                dc.in_channels as u128
+                    * dc.out_channels as u128
+                    * dc.geometry.useful_multiplications_per_pair() as u128
             }
             _ => self.forward_macs_dense(dims),
         }
@@ -140,15 +218,25 @@ impl Layer {
                 t.in_channels as u128 * powd(t.geometry.kernel, dims),
                 powd(t.geometry.output, dims),
             ),
+            Layer::Dconv(dc) => {
+                let g = &dc.geometry;
+                (
+                    dc.out_channels as u128,
+                    dc.in_channels as u128
+                        * g.rows.effective_kernel() as u128
+                        * g.cols.effective_kernel() as u128,
+                    g.rows.output as u128 * g.cols.output as u128,
+                )
+            }
         }
     }
 
     /// Human-oriented kind tag (`f`, `c` or `t`, as in the Table V
-    /// notation).
+    /// notation; D-CONV renders as a `c` token with suffixes).
     pub fn kind_tag(&self) -> char {
         match self {
             Layer::Fc(_) => 'f',
-            Layer::Conv(_) => 'c',
+            Layer::Conv(_) | Layer::Dconv(_) => 'c',
             Layer::Tconv(_) => 't',
         }
     }
@@ -159,6 +247,7 @@ impl Layer {
             Layer::Fc(f) => f.in_units,
             Layer::Conv(c) => c.in_channels,
             Layer::Tconv(t) => t.in_channels,
+            Layer::Dconv(dc) => dc.in_channels,
         }
     }
 
@@ -168,15 +257,19 @@ impl Layer {
             Layer::Fc(f) => f.out_units,
             Layer::Conv(c) => c.out_channels,
             Layer::Tconv(t) => t.out_channels,
+            Layer::Dconv(dc) => dc.out_channels,
         }
     }
 
-    /// Spatial output extent (1 for FC layers).
+    /// Spatial output extent (1 for FC layers; D-CONV geometry is
+    /// constrained to square outputs by the parser, so the row extent is
+    /// the extent).
     pub fn out_spatial(&self) -> usize {
         match self {
             Layer::Fc(_) => 1,
             Layer::Conv(c) => c.geometry.output,
             Layer::Tconv(t) => t.geometry.output,
+            Layer::Dconv(dc) => dc.geometry.rows.output,
         }
     }
 
@@ -186,6 +279,7 @@ impl Layer {
             Layer::Fc(_) => 1,
             Layer::Conv(c) => c.geometry.input,
             Layer::Tconv(t) => t.geometry.input,
+            Layer::Dconv(dc) => dc.geometry.rows.input,
         }
     }
 }

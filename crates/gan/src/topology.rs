@@ -11,6 +11,20 @@
 //!   producing 3 output feature maps;
 //! * `(1024t-512t-256t-128t)(5k2s)` — factored common kernel/stride.
 //!
+//! The op-algebra extensions add suffixes to `c` tokens:
+//!
+//! * `64c3k1s2d` — dilated convolution (D-CONV) with dilation 2; the
+//!   kernel's zero-insertion is the dual of T-CONV's input insertion;
+//! * `64c3x5k1x2s` — per-axis `KhxKw` kernel / `ShxSw` stride extents
+//!   (rows × cols); the output must stay square, each axis deriving its
+//!   own padding;
+//! * `64c3k1sbn` / `…pn` / `…nn` — per-layer normalization tags
+//!   (BatchNorm / PixelNorm / none); untagged layers keep the legacy
+//!   network-wide behaviour;
+//! * `64c3k1s+2` — a skip edge: this layer's output is added to the input
+//!   of the layer two positions downstream (`+N`, N ≥ 2, matching
+//!   channels and extent).
+//!
 //! Because tokens name layer *inputs*, each layer's output channel count is
 //! the next conv-like token's input count (or the trailing `tK`/`fK` spec).
 //!
@@ -30,12 +44,23 @@
 //!   to two FC layers: a projection into the declared width followed by the
 //!   re-expansion the next conv chain requires.
 
-use crate::layer::{ConvLayer, FcLayer, Layer, TconvLayer};
+use crate::layer::{ConvLayer, DconvLayer, FcLayer, Layer, Norm, TconvLayer};
 use crate::phase::Phase;
 use crate::workload::{phase_workloads, ConvWorkload};
-use lergan_tensor::{SconvGeometry, TconvGeometry};
+use lergan_tensor::{DconvAxis, DconvGeometry, SconvGeometry, TconvGeometry};
 use std::error::Error;
 use std::fmt;
+
+/// A residual/skip connection: the output of layer `from` is added to the
+/// input of layer `to` (`to ≥ from + 2`, channel counts and spatial
+/// extents must match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SkipEdge {
+    /// Index of the layer whose output is forwarded.
+    pub from: usize,
+    /// Index of the layer whose input receives the addition.
+    pub to: usize,
+}
 
 /// A parsed network: an ordered list of layers plus the dimensionality the
 /// spatial extents live in (2 for images, 3 for 3D-GAN volumes).
@@ -47,6 +72,11 @@ pub struct NetworkSpec {
     pub layers: Vec<Layer>,
     /// Spatial dimensionality (2 or 3).
     pub dims: u32,
+    /// Residual/skip edges declared by `+N` suffixes, in parse order.
+    pub skips: Vec<SkipEdge>,
+    /// Per-layer normalization variants (same length as `layers`;
+    /// [`Norm::Legacy`] for untagged layers).
+    pub norms: Vec<Norm>,
 }
 
 impl NetworkSpec {
@@ -85,6 +115,23 @@ impl NetworkSpec {
     /// discriminator).
     pub fn is_fully_connected(&self) -> bool {
         self.layers.iter().all(|l| matches!(l, Layer::Fc(_)))
+    }
+
+    /// Whether the network contains at least one dilated/asymmetric
+    /// D-CONV layer.
+    pub fn has_dconv(&self) -> bool {
+        self.layers.iter().any(|l| matches!(l, Layer::Dconv(_)))
+    }
+
+    /// The normalization variant of layer `idx` ([`Norm::Legacy`] when the
+    /// spec predates per-layer tags).
+    pub fn norm_of(&self, idx: usize) -> Norm {
+        self.norms.get(idx).copied().unwrap_or_default()
+    }
+
+    /// Skip edges whose addition lands on the input of layer `idx`.
+    pub fn skips_into(&self, idx: usize) -> Vec<SkipEdge> {
+        self.skips.iter().copied().filter(|s| s.to == idx).collect()
     }
 }
 
@@ -172,7 +219,32 @@ impl GanSpec {
     }
 }
 
-/// Renders a parsed network back into (un-factored) Table V notation.
+/// Renders a per-axis extent as the grammar writes it: `5` when symmetric,
+/// `3x5` (rows × cols) otherwise.
+fn fmt_extent(rows: usize, cols: usize) -> String {
+    if rows == cols {
+        rows.to_string()
+    } else {
+        format!("{rows}x{cols}")
+    }
+}
+
+/// The trailing norm/skip annotations of the conv-like layer at `i`.
+fn layer_annotations(net: &NetworkSpec, i: usize) -> String {
+    let mut s = String::new();
+    if let Some(tag) = net.norm_of(i).suffix() {
+        s.push_str(tag);
+    }
+    if let Some(sk) = net.skips.iter().find(|sk| sk.from == i) {
+        s.push('+');
+        s.push_str(&(sk.to - sk.from).to_string());
+    }
+    s
+}
+
+/// Renders a parsed network back into (un-factored) Table V notation,
+/// including the extended-grammar suffixes (dilation `Dd`, asymmetric
+/// `KhxKw` extents, `bn`/`pn`/`nn` norm tags, `+N` skips).
 ///
 /// Group factoring is not reconstructed — every conv-like token carries
 /// its own `WkSs` suffix — so `parse → render → parse` is the identity on
@@ -180,6 +252,12 @@ impl GanSpec {
 pub fn render_notation(net: &NetworkSpec) -> String {
     let mut parts: Vec<String> = Vec::new();
     let layers = &net.layers;
+    let conv_like = |l: Option<&Layer>| {
+        matches!(
+            l,
+            Some(Layer::Conv(_) | Layer::Tconv(_) | Layer::Dconv(_))
+        )
+    };
     let mut i = 0;
     while i < layers.len() {
         match &layers[i] {
@@ -188,20 +266,16 @@ pub fn render_notation(net: &NetworkSpec) -> String {
                 // DiscoGAN-5pairs) renders as the single `Nf` token the
                 // parser expands back into the projection/expansion pair.
                 let is_bridge = i > 0
-                    && matches!(layers.get(i - 1), Some(Layer::Conv(_) | Layer::Tconv(_)))
+                    && conv_like(layers.get(i - 1))
                     && matches!(layers.get(i + 1), Some(Layer::Fc(g)) if g.in_units == f.out_units)
-                    && matches!(layers.get(i + 2), Some(Layer::Conv(_) | Layer::Tconv(_)));
+                    && conv_like(layers.get(i + 2));
                 let terminal = i + 1 == layers.len();
                 if terminal {
                     // The last FC needs both its input token and the
                     // output-width spec (the parser folds `Nf-fK` into one
                     // layer, and a bare `fK` after a conv chain flattens
                     // implicitly, so either string round-trips).
-                    if matches!(
-                        layers.get(i.wrapping_sub(1)),
-                        Some(Layer::Conv(_) | Layer::Tconv(_))
-                    ) && i > 0
-                    {
+                    if i > 0 && conv_like(layers.get(i.wrapping_sub(1))) {
                         parts.push(format!("f{}", f.out_units));
                     } else {
                         parts.push(format!("{}f", f.in_units));
@@ -216,21 +290,45 @@ pub fn render_notation(net: &NetworkSpec) -> String {
             }
             Layer::Conv(c) => {
                 parts.push(format!(
-                    "{}c{}k{}s",
-                    c.in_channels, c.geometry.kernel, c.geometry.stride
+                    "{}c{}k{}s{}",
+                    c.in_channels,
+                    c.geometry.kernel,
+                    c.geometry.stride,
+                    layer_annotations(net, i)
                 ));
-                if !matches!(layers.get(i + 1), Some(Layer::Conv(_) | Layer::Tconv(_))) {
-                    // Channel count of the final conv is implied (= input).
+                // Without a successor token the parser infers oc = ic, so
+                // a channel-changing chain tail needs the explicit mark.
+                if !conv_like(layers.get(i + 1)) && c.out_channels != c.in_channels {
+                    parts.push(format!("t{}", c.out_channels));
+                }
+            }
+            Layer::Dconv(dc) => {
+                let g = &dc.geometry;
+                let mut tok = format!(
+                    "{}c{}k{}s",
+                    dc.in_channels,
+                    fmt_extent(g.rows.kernel, g.cols.kernel),
+                    fmt_extent(g.rows.stride, g.cols.stride),
+                );
+                if (g.rows.dilation, g.cols.dilation) != (1, 1) {
+                    tok.push_str(&fmt_extent(g.rows.dilation, g.cols.dilation));
+                    tok.push('d');
+                }
+                tok.push_str(&layer_annotations(net, i));
+                parts.push(tok);
+                if !conv_like(layers.get(i + 1)) && dc.out_channels != dc.in_channels {
+                    parts.push(format!("t{}", dc.out_channels));
                 }
             }
             Layer::Tconv(tl) => {
                 parts.push(format!(
-                    "{}t{}k{}s",
-                    tl.in_channels, tl.geometry.kernel, tl.geometry.converse_stride
+                    "{}t{}k{}s{}",
+                    tl.in_channels,
+                    tl.geometry.kernel,
+                    tl.geometry.converse_stride,
+                    layer_annotations(net, i)
                 ));
-                let last_convlike =
-                    !matches!(layers.get(i + 1), Some(Layer::Conv(_) | Layer::Tconv(_)));
-                if last_convlike {
+                if !conv_like(layers.get(i + 1)) {
                     parts.push(format!("t{}", tl.out_channels));
                 }
             }
@@ -254,6 +352,16 @@ impl ParseTopologyError {
             message: message.into(),
         }
     }
+
+    /// An error anchored at a specific token: the message names the
+    /// offending token text and its character position in the notation
+    /// string.
+    fn at(network: &str, token: &str, pos: usize, message: impl Into<String>) -> Self {
+        ParseTopologyError {
+            network: network.to_string(),
+            message: format!("token `{token}` at char {pos}: {}", message.into()),
+        }
+    }
 }
 
 impl fmt::Display for ParseTopologyError {
@@ -271,22 +379,41 @@ enum Token {
     FcIn(usize),
     /// `fK` — final FC output width.
     FcOut(usize),
-    /// `NcWkSs` / `NtWkSs` — conv-like layer.
+    /// `NcWkSs[Dd][bn|pn|nn][+N]` / `NtWkSs[...]` — conv-like layer; the
+    /// kernel/stride/dilation extents are per-axis `(rows, cols)` pairs
+    /// (written `KhxKw` when asymmetric).
     ConvLike {
         in_channels: usize,
         transposed: bool,
-        kernel: usize,
-        stride: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        dilation: (usize, usize),
+        norm: Norm,
+        skip: Option<usize>,
     },
     /// `tK` — final T-CONV output channel count.
     FinalChannels(usize),
 }
 
-fn parse_token(network: &str, tok: &str) -> Result<Token, ParseTopologyError> {
-    let err = |m: &str| ParseTopologyError::new(network, format!("token `{tok}`: {m}"));
+/// The decoded suffix of a conv-like token.
+struct ConvSuffix {
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    dilation: (usize, usize),
+    norm: Norm,
+    skip: Option<usize>,
+}
+
+fn parse_token(network: &str, tok: &str, pos: usize) -> Result<Token, ParseTopologyError> {
+    let err = |m: &str| ParseTopologyError::at(network, tok, pos, m);
     let bytes = tok.as_bytes();
     if bytes.is_empty() {
-        return Err(err("empty token"));
+        return Err(ParseTopologyError::at(
+            network,
+            "",
+            pos,
+            "empty token",
+        ));
     }
     // fK / tK (leading letter).
     if bytes[0] == b'f' || bytes[0] == b't' {
@@ -311,37 +438,105 @@ fn parse_token(network: &str, tok: &str) -> Result<Token, ParseTopologyError> {
             if ks.is_empty() {
                 return Err(err("conv token missing kernel/stride suffix"));
             }
-            let (kernel, stride) = parse_kernel_stride(network, ks)?;
+            let sx = parse_conv_suffix(network, tok, pos, ks)?;
+            if k == 't'
+                && (sx.kernel.0 != sx.kernel.1
+                    || sx.stride.0 != sx.stride.1
+                    || sx.dilation != (1, 1))
+            {
+                return Err(err(
+                    "T-CONV tokens take a symmetric kernel/stride and no dilation",
+                ));
+            }
             Ok(Token::ConvLike {
                 in_channels: n,
                 transposed: k == 't',
-                kernel,
-                stride,
+                kernel: sx.kernel,
+                stride: sx.stride,
+                dilation: sx.dilation,
+                norm: sx.norm,
+                skip: sx.skip,
             })
         }
         _ => Err(err("unknown layer kind")),
     }
 }
 
-/// Parses `WkSs` (e.g. `5k2s`).
-fn parse_kernel_stride(network: &str, s: &str) -> Result<(usize, usize), ParseTopologyError> {
-    let err = |m: &str| ParseTopologyError::new(network, format!("suffix `{s}`: {m}"));
-    let kpos = s.find('k').ok_or_else(|| err("missing `k`"))?;
-    let spos = s.find('s').ok_or_else(|| err("missing `s`"))?;
-    if spos != s.len() - 1 || kpos + 1 >= spos {
-        return Err(err("expected `<W>k<S>s`"));
+/// Parses a per-axis extent: `5` (symmetric) or `3x5` (rows × cols).
+fn parse_extent(s: &str) -> Option<(usize, usize)> {
+    let (a, b) = match s.split_once('x') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let v: usize = s.parse().ok()?;
+            (v, v)
+        }
+    };
+    if a == 0 || b == 0 {
+        return None;
     }
-    let kernel = s[..kpos].parse().map_err(|_| err("bad kernel"))?;
-    let stride = s[kpos + 1..spos].parse().map_err(|_| err("bad stride"))?;
-    if kernel == 0 || stride == 0 {
-        return Err(err("kernel and stride must be positive"));
+    Some((a, b))
+}
+
+/// Parses the conv-token suffix `<K>k<S>s[<D>d][bn|pn|nn][+N]`
+/// (e.g. `5k2s`, `3k1s2d`, `3x5k1x2s`, `3k1sbn+2`).
+fn parse_conv_suffix(
+    network: &str,
+    tok: &str,
+    pos: usize,
+    suffix: &str,
+) -> Result<ConvSuffix, ParseTopologyError> {
+    let err = |m: String| ParseTopologyError::at(network, tok, pos, m);
+    let mut s = suffix;
+    // Trailing `+N` skip distance.
+    let mut skip = None;
+    if let Some(plus) = s.find('+') {
+        let n: usize = s[plus + 1..]
+            .parse()
+            .map_err(|_| err("bad skip distance after `+`".into()))?;
+        skip = Some(n);
+        s = &s[..plus];
     }
-    Ok((kernel, stride))
+    // Trailing norm tag. Geometry sections never contain `n`, so the tags
+    // are unambiguous.
+    let mut norm = Norm::Legacy;
+    for (tag, v) in [("bn", Norm::Batch), ("pn", Norm::Pixel), ("nn", Norm::None)] {
+        if let Some(stripped) = s.strip_suffix(tag) {
+            norm = v;
+            s = stripped;
+            break;
+        }
+    }
+    // Geometry: `<K>k<S>s` with an optional `<D>d` dilation.
+    let kpos = s.find('k').ok_or_else(|| err("missing `k`".into()))?;
+    let spos = s.find('s').ok_or_else(|| err("missing `s`".into()))?;
+    if kpos + 1 >= spos {
+        return Err(err("expected `<K>k<S>s[<D>d]`".into()));
+    }
+    let kernel =
+        parse_extent(&s[..kpos]).ok_or_else(|| err(format!("bad kernel `{}`", &s[..kpos])))?;
+    let stride = parse_extent(&s[kpos + 1..spos])
+        .ok_or_else(|| err(format!("bad stride `{}`", &s[kpos + 1..spos])))?;
+    let dilation = if spos == s.len() - 1 {
+        (1, 1)
+    } else {
+        let d = s[spos + 1..]
+            .strip_suffix('d')
+            .ok_or_else(|| err(format!("trailing `{}` is not a `<D>d` dilation", &s[spos + 1..])))?;
+        parse_extent(d).ok_or_else(|| err(format!("bad dilation `{d}`")))?
+    };
+    Ok(ConvSuffix {
+        kernel,
+        stride,
+        dilation,
+        norm,
+        skip,
+    })
 }
 
 /// Splits a notation string into raw token strings, expanding
-/// `(A-B-C)(WkSs)` groups.
-fn tokenize(network: &str, s: &str) -> Result<Vec<String>, ParseTopologyError> {
+/// `(A-B-C)(WkSs)` groups. Each token carries the character position it
+/// starts at in `s`, so parse errors can point at the offending token.
+fn tokenize(network: &str, s: &str) -> Result<Vec<(String, usize)>, ParseTopologyError> {
     let err = |m: &str| ParseTopologyError::new(network, m.to_string());
     let mut out = Vec::new();
     let chars: Vec<char> = s.chars().collect();
@@ -366,8 +561,12 @@ fn tokenize(network: &str, s: &str) -> Result<Vec<String>, ParseTopologyError> {
                 .find(|&j| chars[j] == ')')
                 .ok_or_else(|| err("unbalanced suffix `(`"))?;
             let suffix: String = chars[close + 2..close2].iter().collect();
-            for part in body.split('-').filter(|p| !p.is_empty()) {
-                out.push(format!("{part}{suffix}"));
+            let mut off = 0;
+            for part in body.split('-') {
+                if !part.is_empty() {
+                    out.push((format!("{part}{suffix}"), i + 1 + off));
+                }
+                off += part.chars().count() + 1;
             }
             i = close2 + 1;
         } else {
@@ -377,7 +576,7 @@ fn tokenize(network: &str, s: &str) -> Result<Vec<String>, ParseTopologyError> {
             if chars.get(end) == Some(&'(') {
                 return Err(err("unexpected `(` inside a token"));
             }
-            out.push(chars[i..end].iter().collect());
+            out.push((chars[i..end].iter().collect(), i));
             i = end;
         }
     }
@@ -405,7 +604,7 @@ pub fn parse_network(
     let raw = tokenize(name, notation)?;
     let tokens: Vec<Token> = raw
         .iter()
-        .map(|t| parse_token(name, t))
+        .map(|(t, p)| parse_token(name, t, *p))
         .collect::<Result<_, _>>()?;
 
     // --- Pass 1: spatial trajectory for every conv-like token. ---
@@ -436,7 +635,10 @@ pub fn parse_network(
                 .all(|t| matches!(t, Token::FinalChannels(_)))
         };
         if starts_network {
-            // Anchor at the start: the first conv consumes the item.
+            // Anchor at the start: the first conv consumes the item. The
+            // row-axis stride drives the scalar spatial trajectory; the
+            // column axis must realise the same square output via its own
+            // padding (checked at emission).
             let mut cur = item_extent;
             for &p in seg {
                 let Token::ConvLike {
@@ -447,9 +649,9 @@ pub fn parse_network(
                 };
                 spatial_in[p] = cur;
                 cur = if transposed {
-                    cur * stride
+                    cur * stride.0
                 } else {
-                    cur.div_ceil(stride)
+                    cur.div_ceil(stride.0)
                 };
                 spatial_out[p] = cur;
             }
@@ -465,9 +667,9 @@ pub fn parse_network(
                 };
                 spatial_out[p] = cur;
                 cur = if transposed {
-                    cur.div_ceil(stride)
+                    cur.div_ceil(stride.0)
                 } else {
-                    cur * stride
+                    cur * stride.0
                 };
                 spatial_in[p] = cur;
             }
@@ -482,6 +684,9 @@ pub fn parse_network(
 
     // --- Pass 2: emit layers with channel chaining. ---
     let mut layers = Vec::new();
+    let mut norms: Vec<Norm> = Vec::new();
+    // `+N` skip declarations, recorded as (from-layer-index, distance).
+    let mut skips_raw: Vec<(usize, usize)> = Vec::new();
     let mut i = 0;
     // Flattened width of the data currently flowing (None before any layer).
     let mut flat: Option<u128> = None;
@@ -492,6 +697,9 @@ pub fn parse_network(
                 transposed,
                 kernel,
                 stride,
+                dilation,
+                norm,
+                skip,
             } => {
                 let out_channels = match tokens.get(i + 1) {
                     Some(Token::ConvLike { in_channels, .. }) => *in_channels,
@@ -499,7 +707,13 @@ pub fn parse_network(
                     _ => in_channels,
                 };
                 let (sin, sout) = (spatial_in[i], spatial_out[i]);
+                // A `c` token with per-axis structure or dilation > 1 is a
+                // D-CONV; symmetric dilation-1 tokens normalise to the
+                // plain S-CONV layer (bit-identity with the old grammar).
+                let symmetric =
+                    kernel.0 == kernel.1 && stride.0 == stride.1 && dilation == (1, 1);
                 let layer = if transposed {
+                    let (kernel, stride) = (kernel.0, stride.0);
                     let geometry = TconvGeometry::for_target(sin, kernel, stride, sout)
                         .filter(|g| g.output == sout)
                         .ok_or_else(|| {
@@ -516,7 +730,8 @@ pub fn parse_network(
                         out_channels,
                         geometry,
                     })
-                } else {
+                } else if symmetric {
+                    let (kernel, stride) = (kernel.0, stride.0);
                     let geometry = (0..kernel)
                         .filter_map(|p| SconvGeometry::new(sin, kernel, stride, p))
                         .find(|g| g.output == sout)
@@ -534,9 +749,38 @@ pub fn parse_network(
                         out_channels,
                         geometry,
                     })
+                } else {
+                    if dims != 2 {
+                        return Err(ParseTopologyError::new(
+                            name,
+                            "dilated/asymmetric convolutions support 2-D networks only",
+                        ));
+                    }
+                    let axis = |k: usize, s: usize, dil: usize, which: &str| {
+                        DconvAxis::for_target(sin, k, s, dil, sout).ok_or_else(|| {
+                            ParseTopologyError::new(
+                                name,
+                                format!(
+                                    "no padding realises dilated conv {sin}->{sout} with \
+                                     kernel {k} stride {s} dilation {dil} on the {which} axis"
+                                ),
+                            )
+                        })
+                    };
+                    let rows = axis(kernel.0, stride.0, dilation.0, "row")?;
+                    let cols = axis(kernel.1, stride.1, dilation.1, "column")?;
+                    Layer::Dconv(DconvLayer {
+                        in_channels,
+                        out_channels,
+                        geometry: DconvGeometry::new(rows, cols),
+                    })
                 };
                 flat = Some(out_channels as u128 * (sout as u128).pow(dims));
                 layers.push(layer);
+                norms.push(norm);
+                if let Some(n) = skip {
+                    skips_raw.push((layers.len() - 1, n));
+                }
                 // Consume a FinalChannels spec if it closed this chain.
                 if matches!(tokens.get(i + 1), Some(Token::FinalChannels(_))) {
                     i += 1;
@@ -552,6 +796,7 @@ pub fn parse_network(
                             in_units: f as usize,
                             out_units: n,
                         }));
+                        norms.push(Norm::Legacy);
                     }
                 }
                 // Output width: what the next token needs.
@@ -575,6 +820,7 @@ pub fn parse_network(
                     in_units: n,
                     out_units: out_units as usize,
                 }));
+                norms.push(Norm::Legacy);
                 flat = Some(out_units);
                 // `fK` right after is consumed as this layer's output spec.
                 if matches!(tokens.get(i + 1), Some(Token::FcOut(_))) {
@@ -591,6 +837,7 @@ pub fn parse_network(
                     in_units,
                     out_units: k,
                 }));
+                norms.push(Norm::Legacy);
                 flat = Some(k as u128);
                 i += 1;
             }
@@ -603,10 +850,52 @@ pub fn parse_network(
         }
     }
 
+    // --- Resolve skip declarations into validated edges. ---
+    let mut skips = Vec::new();
+    for (from, n) in skips_raw {
+        if n < 2 {
+            return Err(ParseTopologyError::new(
+                name,
+                format!("skip `+{n}` on layer {from} must span at least 2 layers"),
+            ));
+        }
+        let to = from + n;
+        let Some(target) = layers.get(to) else {
+            return Err(ParseTopologyError::new(
+                name,
+                format!(
+                    "skip `+{n}` on layer {from} points past the last layer \
+                     (network has {} layers)",
+                    layers.len()
+                ),
+            ));
+        };
+        if matches!(target, Layer::Fc(_)) {
+            return Err(ParseTopologyError::new(
+                name,
+                format!("skip `+{n}` on layer {from} targets an FC layer"),
+            ));
+        }
+        let (oc, os) = (layers[from].fan_out_channels(), layers[from].out_spatial());
+        let (ic, is) = (target.fan_in_channels(), target.in_spatial());
+        if oc != ic || os != is {
+            return Err(ParseTopologyError::new(
+                name,
+                format!(
+                    "skip from layer {from} carries {oc} channels at extent {os} \
+                     but layer {to} consumes {ic} channels at extent {is}"
+                ),
+            ));
+        }
+        skips.push(SkipEdge { from, to });
+    }
+
     Ok(NetworkSpec {
         name: name.to_string(),
         layers,
         dims,
+        skips,
+        norms,
     })
 }
 
@@ -617,8 +906,9 @@ mod tests {
     #[test]
     fn tokenize_expands_groups() {
         let t = tokenize("t", "100f-(1024t-512t-256t-128t)(5k2s)-t3").unwrap();
+        let strings: Vec<&str> = t.iter().map(|(s, _)| s.as_str()).collect();
         assert_eq!(
-            t,
+            strings,
             vec![
                 "100f",
                 "1024t5k2s",
@@ -628,6 +918,9 @@ mod tests {
                 "t3"
             ]
         );
+        // Positions point at where each token (or group member) starts.
+        let positions: Vec<usize> = t.iter().map(|(_, p)| *p).collect();
+        assert_eq!(positions, vec![0, 6, 12, 17, 22, 34]);
     }
 
     #[test]
@@ -639,30 +932,96 @@ mod tests {
 
     #[test]
     fn token_kinds() {
-        assert_eq!(parse_token("t", "100f").unwrap(), Token::FcIn(100));
-        assert_eq!(parse_token("t", "f11").unwrap(), Token::FcOut(11));
-        assert_eq!(parse_token("t", "t3").unwrap(), Token::FinalChannels(3));
+        assert_eq!(parse_token("t", "100f", 0).unwrap(), Token::FcIn(100));
+        assert_eq!(parse_token("t", "f11", 0).unwrap(), Token::FcOut(11));
+        assert_eq!(parse_token("t", "t3", 0).unwrap(), Token::FinalChannels(3));
         assert_eq!(
-            parse_token("t", "512c5k2s").unwrap(),
+            parse_token("t", "512c5k2s", 0).unwrap(),
             Token::ConvLike {
                 in_channels: 512,
                 transposed: false,
-                kernel: 5,
-                stride: 2
+                kernel: (5, 5),
+                stride: (2, 2),
+                dilation: (1, 1),
+                norm: Norm::Legacy,
+                skip: None,
             }
         );
         assert_eq!(
-            parse_token("t", "128t4k1s").unwrap(),
+            parse_token("t", "128t4k1s", 0).unwrap(),
             Token::ConvLike {
                 in_channels: 128,
                 transposed: true,
-                kernel: 4,
-                stride: 1
+                kernel: (4, 4),
+                stride: (1, 1),
+                dilation: (1, 1),
+                norm: Norm::Legacy,
+                skip: None,
             }
         );
-        assert!(parse_token("t", "128x").is_err());
-        assert!(parse_token("t", "128c").is_err());
-        assert!(parse_token("t", "").is_err());
+        assert!(parse_token("t", "128x", 0).is_err());
+        assert!(parse_token("t", "128c", 0).is_err());
+        assert!(parse_token("t", "", 0).is_err());
+    }
+
+    #[test]
+    fn extended_token_suffixes() {
+        assert_eq!(
+            parse_token("t", "64c3k1s2d", 0).unwrap(),
+            Token::ConvLike {
+                in_channels: 64,
+                transposed: false,
+                kernel: (3, 3),
+                stride: (1, 1),
+                dilation: (2, 2),
+                norm: Norm::Legacy,
+                skip: None,
+            }
+        );
+        assert_eq!(
+            parse_token("t", "64c3x5k1x2sbn+2", 0).unwrap(),
+            Token::ConvLike {
+                in_channels: 64,
+                transposed: false,
+                kernel: (3, 5),
+                stride: (1, 2),
+                dilation: (1, 1),
+                norm: Norm::Batch,
+                skip: Some(2),
+            }
+        );
+        assert_eq!(
+            parse_token("t", "32c3k1s4dpn", 0).unwrap(),
+            Token::ConvLike {
+                in_channels: 32,
+                transposed: false,
+                kernel: (3, 3),
+                stride: (1, 1),
+                dilation: (4, 4),
+                norm: Norm::Pixel,
+                skip: None,
+            }
+        );
+        // Dilation and asymmetry are S-CONV-only.
+        assert!(parse_token("t", "64t3k1s2d", 0).is_err());
+        assert!(parse_token("t", "64t3x5k1s", 0).is_err());
+        // Malformed pieces are rejected.
+        assert!(parse_token("t", "64c3k1s0d", 0).is_err());
+        assert!(parse_token("t", "64c3k1s+x", 0).is_err());
+        assert!(parse_token("t", "64c3k1s2q", 0).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_token_and_position() {
+        let e = parse_network("X", "100f-64c3k", 2, 64).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("`64c3k`"), "{msg}");
+        assert!(msg.contains("char 5"), "{msg}");
+        // Group members are located inside the group body.
+        let e = parse_network("X", "(3c-64q)(5k2s)-f1", 2, 64).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("`64q5k2s`"), "{msg}");
+        assert!(msg.contains("char 4"), "{msg}");
     }
 
     #[test]
@@ -849,6 +1208,87 @@ mod tests {
                     net.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dilated_conv_parses_to_dconv_layer() {
+        let net = parse_network("dil", "(3c-32c)(3k1s)-64c3k1s2d-32c3k1s4d-f1", 2, 32).unwrap();
+        assert!(net.has_dconv());
+        let Layer::Dconv(dc) = net.layers[2] else {
+            panic!("expected D-CONV at layer 2, got {:?}", net.layers[2]);
+        };
+        assert_eq!(dc.geometry.rows.dilation, 2);
+        assert_eq!(dc.geometry.rows.effective_kernel(), 5);
+        // Dilation with stride 1 keeps the extent: pad = (Keff-1)/2.
+        assert_eq!((dc.geometry.rows.input, dc.geometry.rows.output), (32, 32));
+        assert_eq!(dc.geometry.rows.pad, 2);
+        let Layer::Dconv(dc4) = net.layers[3] else {
+            panic!();
+        };
+        assert_eq!(dc4.geometry.rows.effective_kernel(), 9);
+    }
+
+    #[test]
+    fn asymmetric_conv_requires_square_output() {
+        // 3x5 kernel with per-axis padding keeps 32x32 square.
+        let net = parse_network("asym", "3c3x5k1x1s-16c3k1s-f1", 2, 32).unwrap();
+        let Layer::Dconv(dc) = net.layers[0] else {
+            panic!("expected D-CONV, got {:?}", net.layers[0]);
+        };
+        assert_eq!((dc.geometry.rows.kernel, dc.geometry.cols.kernel), (3, 5));
+        assert_eq!(dc.geometry.rows.output, dc.geometry.cols.output);
+        // A column geometry that cannot reach the row-axis target errors.
+        assert!(parse_network("asym", "3c3x4k1x3s-16c3k1s-f1", 2, 31).is_err());
+    }
+
+    #[test]
+    fn skip_edges_resolve_and_validate() {
+        let net = parse_network("skip", "(3c-32c)(3k1s)-32c3k1s+2-32c3k1s-32c3k1s-f1", 2, 32)
+            .unwrap();
+        assert_eq!(net.skips, vec![SkipEdge { from: 2, to: 4 }]);
+        // Channel mismatch between skip source output and target input.
+        let e = parse_network("skip", "(3c-32c)(3k1s)-32c3k1s+2-32c3k1s-64c3k1s-f1", 2, 32)
+            .unwrap_err();
+        assert!(e.to_string().contains("channels"), "{e}");
+        // Skips shorter than 2 layers or past the end are rejected.
+        assert!(parse_network("skip", "(3c-32c-32c)(3k1s)-32c3k1s+1-f1", 2, 32).is_err());
+        assert!(parse_network("skip", "(3c-32c-32c)(3k1s)-32c3k1s+9-f1", 2, 32).is_err());
+    }
+
+    #[test]
+    fn norm_tags_attach_per_layer() {
+        let net = parse_network("norm", "(3c-32c)(3k1s)-32c3k1sbn-32c3k1spn-32c3k1snn-f1", 2, 32)
+            .unwrap();
+        assert_eq!(
+            net.norms,
+            vec![
+                Norm::Legacy,
+                Norm::Legacy,
+                Norm::Batch,
+                Norm::Pixel,
+                Norm::None,
+                Norm::Legacy
+            ]
+        );
+        assert_eq!(net.norm_of(3), Norm::Pixel);
+    }
+
+    #[test]
+    fn render_round_trips_extended_grammar() {
+        for notation in [
+            "(3c-32c)(3k1s)-64c3k1s2d-32c3k1s4d-f1",
+            "(3c-32c)(3k1s)-32c3k1s+2-32c3k1spn-32c3k1s-f1",
+            "3c3x5k1x1s-16c3k1sbn-f1",
+            "100f-(64t-32t)(4k2s)-t3",
+        ] {
+            let net = parse_network("ext", notation, 2, 32).unwrap();
+            let rendered = render_notation(&net);
+            let reparsed = parse_network("ext", &rendered, 2, 32)
+                .unwrap_or_else(|e| panic!("`{rendered}`: {e}"));
+            assert_eq!(reparsed.layers, net.layers, "via `{rendered}`");
+            assert_eq!(reparsed.skips, net.skips, "via `{rendered}`");
+            assert_eq!(reparsed.norms, net.norms, "via `{rendered}`");
         }
     }
 

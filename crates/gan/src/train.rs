@@ -11,12 +11,13 @@
 //! `σ(logit) − target`.
 
 use crate::ir::{GemmShape, OpId};
-use crate::layer::Layer;
+use crate::layer::{Layer, Norm};
 use crate::phase::Phase;
 use crate::topology::NetworkSpec;
+use lergan_tensor::dconv::{expand_dilated_kernel_into, im2col_dconv_into};
 use lergan_tensor::im2col::im2col_into;
 use lergan_tensor::kernel::{gemm_buf, gemm_nt_buf, mmv_buf};
-use lergan_tensor::{Conv2d, SconvGeometry, TconvGeometry, Tensor, Workspace};
+use lergan_tensor::{Conv2d, DconvGeometry, SconvGeometry, TconvGeometry, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -737,6 +738,167 @@ impl TrainableLayer for TconvTrainLayer {
     }
 }
 
+/// Dilated / asymmetric convolution trainable layer (D-CONV).
+///
+/// Runs the *zero-insertion* formulation — the effective-extent kernel is
+/// materialised with `D − 1` zeros between taps and driven through a dense
+/// im2col + GEMM — exactly the workload the analytics count as
+/// `macs_dense`, and the exact dual of [`TconvTrainLayer`]'s expanded
+/// input. The backward pass is zero-free: weight gradients gather only the
+/// true taps, and the input gradient scatters through them directly.
+#[derive(Debug)]
+pub struct DconvTrainLayer {
+    geometry: DconvGeometry,
+    weights: Tensor, // [oc, ic, Kh, Kw] — true taps only
+    grad: Tensor,
+    /// Zero-inserted kernel `[OC, IC, Kh_eff, Kw_eff]`, rebuilt each
+    /// forward (the taps move as the weights update).
+    expanded: Option<Tensor>,
+    /// im2col matrix `[IC·Kh_eff·Kw_eff, Oh·Ow]` of the last forward
+    /// input, reused by the backward weight-gradient GEMM.
+    cached_cols: Option<Tensor>,
+    opt: OptState,
+}
+
+impl DconvTrainLayer {
+    /// Creates the layer for the given D-CONV geometry.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        geometry: DconvGeometry,
+        rng: &mut StdRng,
+    ) -> Self {
+        let (kh, kw) = (geometry.rows.kernel, geometry.cols.kernel);
+        let shape = [out_channels, in_channels, kh, kw];
+        DconvTrainLayer {
+            geometry,
+            weights: he_init(rng, &shape, in_channels * kh * kw),
+            grad: Tensor::zeros(&shape),
+            expanded: None,
+            cached_cols: None,
+            opt: OptState::default(),
+        }
+    }
+}
+
+impl TrainableLayer for DconvTrainLayer {
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let g = self.geometry;
+        let (oc, ic) = (self.weights.shape()[0], self.weights.shape()[1]);
+        assert_eq!(input.shape()[0], ic, "input channel mismatch");
+        let (eh, ew) = (g.rows.effective_kernel(), g.cols.effective_kernel());
+        let (oh, ow) = (g.rows.output, g.cols.output);
+        let (red, oo) = (ic * eh * ew, oh * ow);
+        let expanded = cache_buf(&mut self.expanded, &[oc, ic, eh, ew]);
+        expand_dilated_kernel_into(&self.weights, &g, expanded.data_mut());
+        let cols = cache_buf(&mut self.cached_cols, &[red, oo]);
+        im2col_dconv_into(input, &g, cols.data_mut());
+        let mut out = ws.take(oc * oo);
+        gemm_buf(oc, red, oo, expanded.data(), cols.data(), &mut out);
+        Tensor::from_vec(&[oc, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let g = self.geometry;
+        let cols = self.cached_cols.as_ref().expect("backward before forward");
+        let (red, oo) = (cols.shape()[0], cols.shape()[1]);
+        let (oc, ic) = (self.weights.shape()[0], self.weights.shape()[1]);
+        assert_eq!(grad_out.len(), oc * oo, "∇output shape mismatch");
+        let (kh, kw) = (g.rows.kernel, g.cols.kernel);
+        let (eh, ew) = (g.rows.effective_kernel(), g.cols.effective_kernel());
+        let (dil_h, dil_w) = (g.rows.dilation, g.cols.dilation);
+        // ∇W over the expanded layout — one GEMM against the cached
+        // column matrix — then gather the true taps at their dilation
+        // multiples. Off-tap slots are gradients of structural zeros.
+        let mut dwbuf = ws.take(oc * red);
+        gemm_nt_buf(oc, oo, red, grad_out.data(), cols.data(), &mut dwbuf);
+        let gd = self.grad.data_mut();
+        for p in 0..oc * ic {
+            let src = &dwbuf[p * eh * ew..(p + 1) * eh * ew];
+            let dst = &mut gd[p * kh * kw..(p + 1) * kh * kw];
+            for jy in 0..kh {
+                for jx in 0..kw {
+                    dst[jy * kw + jx] += src[jy * dil_h * ew + jx * dil_w];
+                }
+            }
+        }
+        ws.give(dwbuf);
+        // ∇input: zero-free scatter through the true taps only.
+        let (h, w) = (g.rows.input, g.cols.input);
+        let (oh, ow) = (g.rows.output, g.cols.output);
+        let (sh, sw) = (g.rows.stride, g.cols.stride);
+        let (ph, pw) = (g.rows.pad, g.cols.pad);
+        let mut din = ws.take_zeroed(ic * h * w);
+        let gdata = grad_out.data();
+        let wdata = self.weights.data();
+        for co in 0..oc {
+            let gplane = &gdata[co * oh * ow..(co + 1) * oh * ow];
+            for ci in 0..ic {
+                let taps = &wdata[(co * ic + ci) * kh * kw..(co * ic + ci + 1) * kh * kw];
+                let dplane = &mut din[ci * h * w..(ci + 1) * h * w];
+                for oy in 0..oh {
+                    for jy in 0..kh {
+                        let y = oy * sh + jy * dil_h;
+                        if y < ph || y >= ph + h {
+                            continue;
+                        }
+                        let drow = &mut dplane[(y - ph) * w..(y - ph + 1) * w];
+                        let grow = &gplane[oy * ow..(oy + 1) * ow];
+                        for (ox, &gv) in grow.iter().enumerate() {
+                            for jx in 0..kw {
+                                let x = ox * sw + jx * dil_w;
+                                if x < pw || x >= pw + w {
+                                    continue;
+                                }
+                                drow[x - pw] += taps[jy * kw + jx] * gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[ic, h, w], din)
+    }
+
+    fn apply_update(&mut self, rule: &UpdateRule, step: u64, ws: &mut Workspace) {
+        self.opt.apply(rule, step, &mut self.weights, &self.grad, ws);
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    fn capture_state(&self) -> LayerState {
+        let mut s = LayerState::empty();
+        s.push("weights", self.weights.clone());
+        self.opt.capture_into("opt", &mut s);
+        s
+    }
+
+    fn restore_state(&mut self, state: &LayerState, layer: usize) -> Result<(), CheckpointError> {
+        self.weights = state.require(layer, "weights", self.weights.shape())?;
+        self.opt
+            .restore_from("opt", state, layer, self.weights.shape())?;
+        self.grad.fill(0.0);
+        self.expanded = None;
+        self.cached_cols = None;
+        Ok(())
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        // The dense GEMM over the zero-inserted kernel: output positions ×
+        // (in_channels · effective kernel extent) × out_channels.
+        let g = &self.geometry;
+        let (eh, ew) = (g.rows.effective_kernel(), g.cols.effective_kernel());
+        Some(GemmShape {
+            m: (g.rows.output * g.cols.output) as u128,
+            k: (self.weights.shape()[1] * eh * ew) as u128,
+            n: self.weights.shape()[0] as u128,
+        })
+    }
+}
+
 /// Per-channel batch normalisation (DCGAN applies it after every
 /// conv/T-CONV except the output layers).
 ///
@@ -905,6 +1067,91 @@ impl TrainableLayer for BatchNorm {
     }
 }
 
+/// Per-position pixelwise feature normalisation (ProGAN-style, the `pn`
+/// topology tag): each spatial position's channel vector is scaled to unit
+/// RMS, `y_c = x_c / sqrt(mean_c x_c² + ε)`. Parameter-free — unlike
+/// [`BatchNorm`] it carries no optimiser state and checkpoints empty.
+#[derive(Debug)]
+pub struct PixelNorm {
+    eps: f32,
+    // caches
+    normalized: Option<Tensor>,
+    inv_norm: Vec<f32>, // per spatial position
+}
+
+impl PixelNorm {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        PixelNorm {
+            eps: 1e-8,
+            normalized: None,
+            inv_norm: Vec::new(),
+        }
+    }
+}
+
+impl Default for PixelNorm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrainableLayer for PixelNorm {
+    fn forward(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "PixelNorm expects [C, H, W]");
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let plane = h * w;
+        let cn = c as f32;
+        self.inv_norm.resize(plane, 0.0);
+        let mut out = ws.take(c * plane);
+        let normalized = cache_buf(&mut self.normalized, input.shape());
+        let ndata = normalized.data_mut();
+        let data = input.data();
+        for p in 0..plane {
+            let mut ss = 0.0;
+            for ci in 0..c {
+                let v = data[ci * plane + p];
+                ss += v * v;
+            }
+            let inv = 1.0 / (ss / cn + self.eps).sqrt();
+            self.inv_norm[p] = inv;
+            for ci in 0..c {
+                let y = data[ci * plane + p] * inv;
+                ndata[ci * plane + p] = y;
+                out[ci * plane + p] = y;
+            }
+        }
+        Tensor::from_vec(input.shape(), out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let normalized = self.normalized.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), normalized.shape(), "gradient mismatch");
+        let c = normalized.shape()[0];
+        let plane = normalized.shape()[1] * normalized.shape()[2];
+        let cn = c as f32;
+        let mut din = ws.take(c * plane);
+        let nd = normalized.data();
+        let gd = grad_out.data();
+        // dx_k = r·(dy_k − y_k·(Σ_c dy_c y_c)/C), with r cached from the
+        // forward — the exact Jacobian of the unit-RMS rescale.
+        for p in 0..plane {
+            let mut dot = 0.0;
+            for ci in 0..c {
+                dot += gd[ci * plane + p] * nd[ci * plane + p];
+            }
+            let inv = self.inv_norm[p];
+            for ci in 0..c {
+                din[ci * plane + p] = inv * (gd[ci * plane + p] - nd[ci * plane + p] * dot / cn);
+            }
+        }
+        Tensor::from_vec(normalized.shape(), din)
+    }
+
+    fn apply_update(&mut self, _rule: &UpdateRule, _step: u64, _ws: &mut Workspace) {}
+    fn zero_grads(&mut self) {}
+}
+
 /// Leaky-ReLU activation (the paper's DCGAN uses slope 0.2 in D).
 #[derive(Debug)]
 pub struct LeakyRelu {
@@ -1043,13 +1290,28 @@ impl TrainableLayer for Reshape {
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn TrainableLayer>>,
+    skips: Vec<SkipTap>,
     ws: Workspace,
+}
+
+/// One residual connection inside a [`Sequential`], in stack-position
+/// space: the output of stack layer `from` is added element-wise to the
+/// input of stack layer `to`. The stash buffers persist across steps
+/// (zero-alloc steady state) and are dead outside a forward/backward pair,
+/// so checkpoints ignore them.
+#[derive(Debug, Default)]
+struct SkipTap {
+    from: usize,
+    to: usize,
+    stash: Option<Tensor>,
+    grad_stash: Option<Tensor>,
 }
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
             .field("layers", &self.layers.len())
+            .field("skips", &self.skips.len())
             .field("ws", &self.ws)
             .finish()
     }
@@ -1093,41 +1355,86 @@ impl Sequential {
         self.ws.give_tensor(t);
     }
 
+    /// Registers a residual connection: the output of stack layer `from`
+    /// is added element-wise to the input of stack layer `to` on every
+    /// forward pass, with the matching gradient routing on backward. The
+    /// two activation shapes must agree (validated by the topology
+    /// parser's skip resolution when built from a spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to < len`.
+    pub fn add_skip(&mut self, from: usize, to: usize) {
+        assert!(from < to, "skip must flow forward ({from} -> {to})");
+        assert!(to < self.layers.len(), "skip target {to} out of range");
+        self.skips.push(SkipTap {
+            from,
+            to,
+            ..SkipTap::default()
+        });
+    }
+
     /// Forward through all layers.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
-        let Sequential { layers, ws } = self;
-        let mut layers = layers.iter_mut();
-        let Some(first) = layers.next() else {
+        let Sequential { layers, skips, ws } = self;
+        if layers.is_empty() {
             return input.clone();
-        };
-        let mut x = first.forward(input, ws);
-        for l in layers {
+        }
+        let mut x = layers[0].forward(input, ws);
+        for tap in skips.iter_mut().filter(|t| t.from == 0) {
+            let s = cache_buf(&mut tap.stash, x.shape());
+            s.data_mut().copy_from_slice(x.data());
+        }
+        for (li, l) in layers.iter_mut().enumerate().skip(1) {
+            for tap in skips.iter_mut().filter(|t| t.to == li) {
+                let stash = tap.stash.as_ref().expect("skip source precedes target");
+                x.axpy_in_place(1.0, stash);
+            }
             let y = l.forward(&x, ws);
             ws.give_tensor(x);
             x = y;
+            for tap in skips.iter_mut().filter(|t| t.from == li) {
+                let s = cache_buf(&mut tap.stash, x.shape());
+                s.data_mut().copy_from_slice(x.data());
+            }
         }
         x
     }
 
     /// Backward through all layers; returns `∇input`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let Sequential { layers, ws } = self;
-        let mut layers = layers.iter_mut().rev();
-        let Some(last) = layers.next() else {
+        let Sequential { layers, skips, ws } = self;
+        let n = layers.len();
+        if n == 0 {
             return grad_out.clone();
-        };
-        let mut g = last.backward(grad_out, ws);
-        for l in layers {
-            let h = l.backward(&g, ws);
+        }
+        let mut g = layers[n - 1].backward(grad_out, ws);
+        for tap in skips.iter_mut().filter(|t| t.to == n - 1) {
+            let s = cache_buf(&mut tap.grad_stash, g.shape());
+            s.data_mut().copy_from_slice(g.data());
+        }
+        for li in (0..n - 1).rev() {
+            // The output of layer `li` also fed every skip tapped here:
+            // fold the branch gradients stashed at their targets back in
+            // before descending through the layer.
+            for tap in skips.iter_mut().filter(|t| t.from == li) {
+                let gs = tap.grad_stash.as_ref().expect("skip target follows source");
+                g.axpy_in_place(1.0, gs);
+            }
+            let h = layers[li].backward(&g, ws);
             ws.give_tensor(g);
             g = h;
+            for tap in skips.iter_mut().filter(|t| t.to == li) {
+                let s = cache_buf(&mut tap.grad_stash, g.shape());
+                s.data_mut().copy_from_slice(g.data());
+            }
         }
         g
     }
 
     /// Applies and clears all accumulated gradients through `rule`.
     pub fn apply_update(&mut self, rule: &UpdateRule, step: u64) {
-        let Sequential { layers, ws } = self;
+        let Sequential { layers, ws, .. } = self;
         for l in layers {
             l.apply_update(rule, step, ws);
         }
@@ -1340,18 +1647,50 @@ pub fn build_trainable_bound(
                     rng,
                 )));
             }
+            Layer::Dconv(d) => {
+                net.push(Box::new(DconvTrainLayer::new(
+                    d.in_channels,
+                    d.out_channels,
+                    d.geometry,
+                    rng,
+                )));
+            }
         }
         let last = i + 1 == n;
-        if batch_norm && !last {
-            if let Layer::Conv(_) | Layer::Tconv(_) = layer {
-                net.push(Box::new(BatchNorm::new(layer.fan_out_channels())));
+        let conv_like = !matches!(layer, Layer::Fc(_));
+        match spec.norm_of(i) {
+            // Untagged layers keep the historical contract: normalise
+            // every hidden conv-like layer iff the caller asked for it.
+            Norm::Legacy => {
+                if batch_norm && !last && conv_like {
+                    net.push(Box::new(BatchNorm::new(layer.fan_out_channels())));
+                }
             }
+            Norm::Batch => {
+                if conv_like {
+                    net.push(Box::new(BatchNorm::new(layer.fan_out_channels())));
+                }
+            }
+            Norm::Pixel => {
+                if conv_like {
+                    net.push(Box::new(PixelNorm::new()));
+                }
+            }
+            Norm::None => {}
         }
         if last && is_generator {
             net.push(Box::new(Tanh::new()));
         } else if !last {
             net.push(Box::new(LeakyRelu::new(0.2)));
         }
+    }
+    for sk in &spec.skips {
+        // Tap the full output of the block realising `from` — conv plus
+        // its norm and activation, i.e. the stack slot just before the
+        // block realising `from + 1` — and land it on the parameterised
+        // layer realising `to`, matching the IR's skip dataflow edge.
+        let tap = bindings[sk.from + 1].train_index - 1;
+        net.add_skip(tap, bindings[sk.to].train_index);
     }
     (net, bindings)
 }

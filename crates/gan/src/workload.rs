@@ -17,7 +17,7 @@
 
 use crate::phase::Phase;
 use crate::topology::NetworkSpec;
-use lergan_tensor::{TconvGeometry, WconvGeometry};
+use lergan_tensor::{DconvGeometry, TconvGeometry, WconvGeometry};
 
 /// Where the zeros are in one convolution workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +29,9 @@ pub enum WorkloadKind {
     /// Zeros inserted in the *kernel* (`∇output`); removable by W-CONV-S
     /// ZFDR.
     WconvKernel(WconvGeometry),
+    /// Zeros inserted in the *kernel* by dilation (the EcoFlow dual of
+    /// T-CONV's input insertion); removable by D-CONV ZFDR.
+    DconvKernel(DconvGeometry),
 }
 
 impl WorkloadKind {
@@ -39,7 +42,10 @@ impl WorkloadKind {
 
     /// Whether this workload inserts zeros into its kernel.
     pub fn is_zero_inserted_kernel(&self) -> bool {
-        matches!(self, WorkloadKind::WconvKernel(_))
+        matches!(
+            self,
+            WorkloadKind::WconvKernel(_) | WorkloadKind::DconvKernel(_)
+        )
     }
 }
 

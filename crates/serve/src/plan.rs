@@ -48,6 +48,17 @@ impl PlanCache {
         Self::new(benchmarks::all())
     }
 
+    /// A cache over Table V *plus* the extended-grammar benchmarks
+    /// ([`benchmarks::extended`]: dilated convs, skip edges, norm
+    /// variants), appended after the eight Table V rows so existing
+    /// topology indices stay valid and every new topology gets its own
+    /// cache key.
+    pub fn extended() -> Self {
+        let mut specs = benchmarks::all();
+        specs.extend(benchmarks::extended());
+        Self::new(specs)
+    }
+
     /// The topology table.
     pub fn specs(&self) -> &[GanSpec] {
         &self.specs
@@ -148,6 +159,26 @@ mod tests {
         assert!(!Arc::ptr_eq(&dcgan, &cgan));
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.resident(), 2);
+    }
+
+    #[test]
+    fn extended_topologies_get_distinct_cache_keys() {
+        let mut cache = PlanCache::extended();
+        assert_eq!(cache.specs().len(), 10);
+        assert_eq!(cache.spec(8).name, "ResDilatedGAN");
+        assert_eq!(cache.spec(9).name, "AtrousPixelGAN");
+        // Each extended topology compiles its own plan; re-requests hit.
+        let res = cache.plan(8).unwrap();
+        let atrous = cache.plan(9).unwrap();
+        assert!(!Arc::ptr_eq(&res, &atrous));
+        assert!(Arc::ptr_eq(&res, &cache.plan(8).unwrap()));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.resident(), 2);
+        // And their latencies are memoised independently.
+        let a = cache.iteration_ns(8).unwrap();
+        let b = cache.iteration_ns(9).unwrap();
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -215,6 +215,48 @@ fn deadline_misses_are_counted_without_dropping_jobs() {
 }
 
 #[test]
+fn mixed_table_v_and_extended_workload_conserves_jobs() {
+    // Jobs round-robin across DCGAN and both extended-grammar topologies
+    // (dilated convs, skip edges): admission must treat the new rows as
+    // first-class, the cache must key each topology separately, and the
+    // conservation law must hold over the mixed stream.
+    let mut warm = PlanCache::extended();
+    let rate = rate_for(0.5, 2, 4, &mut warm, 8);
+    let jobs = poisson_workload(&WorkloadSpec {
+        jobs: 9,
+        tenants: 3,
+        topologies: vec![0, 8, 9],
+        steps: 4,
+        seed: 0xD11A7ED,
+        rate_jobs_per_s: rate,
+        deadline_slack: None,
+    });
+    let mut plans = PlanCache::extended();
+    let report = ServeRuntime::new(ServeConfig::pristine(2))
+        .run(jobs.clone(), &mut plans)
+        .unwrap();
+    report.check_conservation().unwrap();
+    assert_eq!(report.completed, 9, "low-load pristine fleet finishes the mix");
+    assert_eq!(report.shed_total(), 0);
+    assert_eq!(report.failed + report.stranded, 0);
+    assert_eq!(
+        report.plan_misses, 3,
+        "DCGAN and the two extended topologies each compile exactly once"
+    );
+    assert_eq!(plans.resident(), 3);
+    // The serving layer still adds scheduling, never arithmetic.
+    for job in &jobs {
+        assert_eq!(
+            &report.outcomes[&job.id],
+            &run_standalone(job),
+            "job {} (topology {}) diverged from standalone",
+            job.id,
+            job.topology
+        );
+    }
+}
+
+#[test]
 fn serve_reports_are_bit_deterministic_across_runs_and_thread_counts() {
     let run = |threads: usize| -> ServeReport {
         with_threads(threads, || {

@@ -430,6 +430,181 @@ impl WconvGeometry {
     }
 }
 
+/// One axis of a (possibly dilated, possibly asymmetric) strided
+/// convolution — D-CONV in the op algebra.
+///
+/// Dilation realises the EcoFlow observation that a dilated convolution
+/// is the *dual* of a transposed one: where T-CONV zero-inserts the
+/// input, D-CONV zero-inserts the **kernel** — a dilation-`D` kernel of
+/// `K` true taps behaves like a dense kernel of effective extent
+/// `K_eff = (K − 1)·D + 1` whose non-tap positions are all zero (exactly
+/// the structure of W-CONV-S, where the zero-inserted `∇output` acts as
+/// the kernel). The ZFDR pattern-class machinery therefore applies
+/// verbatim: group output positions by which effective-kernel offsets
+/// land on true taps *and* true (unpadded) input.
+///
+/// # Example
+///
+/// ```
+/// use lergan_tensor::DconvAxis;
+/// // 8-wide input, 3 taps dilated by 2 (effective extent 5), stride 1, pad 2.
+/// let a = DconvAxis::new(8, 3, 1, 2, 2).unwrap();
+/// assert_eq!(a.effective_kernel(), 5);
+/// assert_eq!(a.output, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DconvAxis {
+    /// Spatial input extent `I` along this axis.
+    pub input: usize,
+    /// True kernel tap count `K` along this axis.
+    pub kernel: usize,
+    /// Stride `S` along this axis.
+    pub stride: usize,
+    /// Dilation `D` (`1` = dense).
+    pub dilation: usize,
+    /// Padding `P` applied on both ends of this axis.
+    pub pad: usize,
+    /// Output extent `O`, derived.
+    pub output: usize,
+}
+
+impl DconvAxis {
+    /// Builds one axis, deriving `O = (I + 2P − K_eff)/S + 1`.
+    ///
+    /// Returns `None` for degenerate parameters or when the padded input
+    /// cannot fit one effective kernel window.
+    pub fn new(
+        input: usize,
+        kernel: usize,
+        stride: usize,
+        dilation: usize,
+        pad: usize,
+    ) -> Option<Self> {
+        if input == 0 || kernel == 0 || stride == 0 || dilation == 0 {
+            return None;
+        }
+        let eff = (kernel - 1) * dilation + 1;
+        let span = input + 2 * pad;
+        if span < eff {
+            return None;
+        }
+        Some(DconvAxis {
+            input,
+            kernel,
+            stride,
+            dilation,
+            pad,
+            output: (span - eff) / stride + 1,
+        })
+    }
+
+    /// The axis whose output extent equals `target`, searching padding
+    /// `0..K_eff`; exact matches only.
+    pub fn for_target(
+        input: usize,
+        kernel: usize,
+        stride: usize,
+        dilation: usize,
+        target: usize,
+    ) -> Option<Self> {
+        let eff = (kernel.checked_sub(1)?) * dilation + 1;
+        (0..eff)
+            .filter_map(|p| Self::new(input, kernel, stride, dilation, p))
+            .find(|a| a.output == target)
+    }
+
+    /// Effective (zero-inserted) kernel extent `K_eff = (K − 1)·D + 1`.
+    pub fn effective_kernel(&self) -> usize {
+        (self.kernel - 1) * self.dilation + 1
+    }
+
+    /// Effective-kernel offsets at output position `o` that are true taps
+    /// (multiples of `D`) *and* read a true (unpadded) input value — the
+    /// ZFDR pattern of this axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not a valid output position.
+    pub fn axis_pattern(&self, o: usize) -> Vec<usize> {
+        assert!(o < self.output, "output position out of range");
+        (0..self.kernel)
+            .map(|j| j * self.dilation)
+            .filter(|&e| {
+                let pos = o * self.stride + e;
+                pos >= self.pad && pos < self.pad + self.input
+            })
+            .collect()
+    }
+
+    /// Sum over output positions of true-tap counts; the per-axis factor
+    /// of the useful MAC count (axes factorise exactly as for T-CONV).
+    pub fn useful_row_weight_sum(&self) -> usize {
+        (0..self.output).map(|o| self.axis_pattern(o).len()).sum()
+    }
+
+    /// Per-axis factor of the dense (zero-inserted-kernel) MAC count:
+    /// every output position scans the full effective kernel.
+    pub fn dense_row_weight_count(&self) -> usize {
+        self.output * self.effective_kernel()
+    }
+}
+
+/// Full 2-D geometry of a dilated / asymmetric strided convolution.
+///
+/// Rows and columns carry independent [`DconvAxis`] parameters, so
+/// `Kh×Kw` kernels and `Sh×Sw` strides are first-class. When the two
+/// axes are identical ([`DconvGeometry::is_symmetric`]) the ZFDR plan
+/// machinery composes one axis-class set across both dimensions exactly
+/// as it does for T-CONV; asymmetric geometry maps dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DconvGeometry {
+    /// Vertical (row) axis.
+    pub rows: DconvAxis,
+    /// Horizontal (column) axis.
+    pub cols: DconvAxis,
+}
+
+impl DconvGeometry {
+    /// Builds a geometry from two axes.
+    pub fn new(rows: DconvAxis, cols: DconvAxis) -> Self {
+        DconvGeometry { rows, cols }
+    }
+
+    /// Square geometry: both axes share every parameter.
+    pub fn square(input: usize, kernel: usize, stride: usize, dilation: usize, pad: usize) -> Option<Self> {
+        let axis = DconvAxis::new(input, kernel, stride, dilation, pad)?;
+        Some(DconvGeometry { rows: axis, cols: axis })
+    }
+
+    /// Whether the two axes are identical — the precondition for the
+    /// pattern-class (pow-composed) ZFDR plan.
+    pub fn is_symmetric(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Whether any axis dilates (`D > 1`).
+    pub fn is_dilated(&self) -> bool {
+        self.rows.dilation > 1 || self.cols.dilation > 1
+    }
+
+    /// True kernel taps per channel pair (`Kh·Kw`).
+    pub fn kernel_taps(&self) -> usize {
+        self.rows.kernel * self.cols.kernel
+    }
+
+    /// Dense multiplications per channel pair of the zero-inserted-kernel
+    /// formulation: `(O_h·K_eff_h)·(O_w·K_eff_w)`.
+    pub fn total_multiplications_per_pair(&self) -> usize {
+        self.rows.dense_row_weight_count() * self.cols.dense_row_weight_count()
+    }
+
+    /// Multiplications per channel pair that touch a true kernel tap and
+    /// a true input value (axes factorise).
+    pub fn useful_multiplications_per_pair(&self) -> usize {
+        self.rows.useful_row_weight_sum() * self.cols.useful_row_weight_sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +774,84 @@ mod tests {
         let g = WconvGeometry::new(8, 5, 2, 2).unwrap();
         assert!(g.useful_multiplications_per_pair() <= g.total_multiplications_per_pair());
         assert!(g.useful_multiplications_per_pair() > 0);
+    }
+
+    #[test]
+    fn dconv_dense_axis_matches_sconv() {
+        // Dilation 1 degenerates to plain S-CONV geometry.
+        let d = DconvAxis::new(8, 5, 2, 1, 2).unwrap();
+        let s = SconvGeometry::new(8, 5, 2, 2).unwrap();
+        assert_eq!(d.output, s.output);
+        assert_eq!(d.effective_kernel(), 5);
+        // Dense == useful when nothing is inserted and padding is absent.
+        let nopad = DconvAxis::new(8, 3, 1, 1, 0).unwrap();
+        assert_eq!(nopad.useful_row_weight_sum(), nopad.dense_row_weight_count());
+    }
+
+    #[test]
+    fn dconv_dilated_pattern_structure() {
+        // 3 taps dilated by 2: effective extent 5, true taps at {0, 2, 4}.
+        let a = DconvAxis::new(8, 3, 1, 2, 2).unwrap();
+        assert_eq!(a.output, 8);
+        // Interior positions see all three taps.
+        assert_eq!(a.axis_pattern(2), vec![0, 2, 4]);
+        // The first window starts at pad offset: tap 0 reads padding.
+        assert_eq!(a.axis_pattern(0), vec![2, 4]);
+        // Useful < dense: the inserted kernel zeros are 2/5 of the scan,
+        // and the pad positions shave the borders further.
+        assert!(a.useful_row_weight_sum() < a.dense_row_weight_count());
+        assert_eq!(a.dense_row_weight_count(), 8 * 5);
+    }
+
+    #[test]
+    fn dconv_useful_count_by_enumeration() {
+        for (i, k, s, d, p) in [(8, 3, 1, 2, 2), (9, 3, 2, 3, 3), (16, 2, 2, 4, 0)] {
+            let a = DconvAxis::new(i, k, s, d, p).unwrap();
+            let mut count = 0usize;
+            for o in 0..a.output {
+                for j in 0..k {
+                    let pos = o * s + j * d;
+                    if pos >= p && pos < p + i {
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(a.useful_row_weight_sum(), count, "axis ({i},{k},{s},{d},{p})");
+        }
+    }
+
+    #[test]
+    fn dconv_asymmetric_axes() {
+        let rows = DconvAxis::new(12, 3, 1, 1, 1).unwrap();
+        let cols = DconvAxis::new(12, 5, 2, 1, 2).unwrap();
+        let g = DconvGeometry::new(rows, cols);
+        assert!(!g.is_symmetric());
+        assert!(!g.is_dilated());
+        assert_eq!(g.rows.output, 12);
+        assert_eq!(g.cols.output, 6);
+        assert_eq!(g.kernel_taps(), 15);
+        assert_eq!(
+            g.useful_multiplications_per_pair(),
+            rows.useful_row_weight_sum() * cols.useful_row_weight_sum()
+        );
+    }
+
+    #[test]
+    fn dconv_for_target_finds_same_size_padding() {
+        let a = DconvAxis::for_target(8, 3, 1, 2, 8).unwrap();
+        assert_eq!(a.pad, 2);
+        assert_eq!(a.output, 8);
+        assert!(DconvAxis::for_target(8, 3, 1, 2, 100).is_none());
+    }
+
+    #[test]
+    fn dconv_rejects_degenerate() {
+        assert!(DconvAxis::new(0, 3, 1, 1, 0).is_none());
+        assert!(DconvAxis::new(8, 0, 1, 1, 0).is_none());
+        assert!(DconvAxis::new(8, 3, 0, 1, 0).is_none());
+        assert!(DconvAxis::new(8, 3, 1, 0, 0).is_none());
+        // Effective kernel larger than the padded input.
+        assert!(DconvAxis::new(4, 3, 1, 4, 0).is_none());
     }
 
     #[test]

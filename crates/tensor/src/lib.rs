@@ -23,6 +23,7 @@
 //! ```
 
 pub mod conv;
+pub mod dconv;
 pub mod dispatch;
 pub mod geometry;
 pub mod im2col;
@@ -34,7 +35,7 @@ pub mod workspace;
 pub mod zero_insert;
 
 pub use conv::Conv2d;
-pub use geometry::{SconvGeometry, TconvGeometry, WconvGeometry};
+pub use geometry::{DconvAxis, DconvGeometry, SconvGeometry, TconvGeometry, WconvGeometry};
 pub use kernel::{gemm_into, gemm_nt_into, mmv_into};
 pub use tensor::{gemm, gemm_nt, Tensor};
 pub use workspace::Workspace;
