@@ -10,10 +10,12 @@
 //! shape comparison is immediate (see `EXPERIMENTS.md` for the full
 //! paper-vs-measured record).
 
+pub mod chaos;
 pub mod figures;
 pub mod harness;
 pub mod naive;
 pub mod table;
 
+pub use chaos::{campaigns, run_campaign, shrink, ArmCoverage, CampaignOutcome, ChaosSpec};
 pub use harness::{Format, Report, Section};
 pub use table::TextTable;

@@ -43,6 +43,7 @@ pub mod compiler;
 pub mod controller;
 pub mod fault;
 pub mod lergan;
+pub mod link;
 pub mod mapping;
 pub mod recovery;
 pub mod replica;
@@ -55,6 +56,9 @@ pub use lergan::{BuildError, LerGan, LerGanBuilder, TrainingReport};
 pub use mapping::{MappingError, TileAllocation};
 pub use recovery::{
     DrainedRuntime, RecoveryError, RecoveryPolicy, RecoveryReport, SelfHealingRuntime, StepReport,
+};
+pub use link::{
+    LinkChaos, LinkError, LinkReport, ReliableFabric, TransferOutcome,
 };
 pub use replica::{ReplicaDegree, ReplicaPlan};
 pub use schedule::{LoweredIteration, OpTask, ScheduleContext};

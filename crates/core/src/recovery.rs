@@ -46,8 +46,10 @@
 
 use crate::fault::SystemFaults;
 use crate::lergan::{BuildError, LerGan, LerGanBuilder};
+use crate::link::{LinkError, ReliableFabric};
 use lergan_gan::train::{AutoCheckpoint, CheckpointError, Gan, StepStats};
 use lergan_gan::{GanSpec, Phase};
+use lergan_noc::{Endpoint, Mode, NocConfig, TransientFaults};
 use lergan_reram::{AbftBlock, ReramConfig, WearModel, WritePolicy};
 use lergan_sim::{FaultEvent, FaultEventKind, RecoveryAction};
 use lergan_tensor::Tensor;
@@ -121,6 +123,9 @@ pub enum RecoveryError {
     },
     /// Restoring the rollback checkpoint failed.
     Checkpoint(CheckpointError),
+    /// The link layer exhausted its retransmit and reroute budgets (or
+    /// hard faults partitioned the monitored transfer's endpoints).
+    Link(LinkError),
 }
 
 impl fmt::Display for RecoveryError {
@@ -131,6 +136,7 @@ impl fmt::Display for RecoveryError {
                 write!(f, "no clean spare region among {scanned} candidates")
             }
             RecoveryError::Checkpoint(e) => write!(f, "rollback restore failed: {e}"),
+            RecoveryError::Link(e) => write!(f, "link recovery failed: {e}"),
         }
     }
 }
@@ -149,6 +155,12 @@ impl From<CheckpointError> for RecoveryError {
     }
 }
 
+impl From<LinkError> for RecoveryError {
+    fn from(e: LinkError) -> Self {
+        RecoveryError::Link(e)
+    }
+}
+
 /// What one [`SelfHealingRuntime::step`] did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepReport {
@@ -160,6 +172,9 @@ pub struct StepReport {
     pub wear_broken: usize,
     /// Recovery action, when the residual flagged.
     pub action: Option<RecoveryAction>,
+    /// Retransmit attempts the step's monitored NoC transfer needed
+    /// (0 with no link model or a clean first attempt).
+    pub retransmits: u32,
 }
 
 /// Cumulative accounting of a self-healing run.
@@ -188,6 +203,17 @@ pub struct RecoveryReport {
     pub quarantined_cells: u64,
     /// Spare regions scanned while relocating.
     pub regions_scanned: u64,
+    /// Transfers delivered only after link-level retransmission (the
+    /// [`RecoveryAction::Retransmitted`] arm's fire count).
+    pub retransmitted: u64,
+    /// Retransmit attempts across all monitored transfers.
+    pub link_retries: u64,
+    /// Transfer attempts the CRC rejected (in-flight corruption caught).
+    pub link_corrupted: u64,
+    /// Transfer attempts lost outright (receiver timeout).
+    pub link_dropped: u64,
+    /// Flaky wires soft-quarantined and routed around.
+    pub link_quarantined: u64,
     /// Fault-free per-iteration latency of the same workload (ns).
     pub clean_iteration_ns: f64,
     /// Productive compute time: Σ per-step iteration latency (ns).
@@ -289,8 +315,15 @@ pub struct SelfHealingRuntime {
     tiles: usize,
     iteration_ns: f64,
     detect_ns: f64,
+    link: Option<ReliableFabric>,
+    link_values: u64,
     report: RecoveryReport,
 }
+
+/// Words of the monitored per-step activation transfer: one 16×16
+/// feature map of 16-bit values handed from the `G` banks to the `D`
+/// banks each iteration.
+const LINK_TRANSFER_VALUES: u64 = 256;
 
 impl SelfHealingRuntime {
     /// Assembles the runtime: builds the accelerator under the starting
@@ -323,6 +356,8 @@ impl SelfHealingRuntime {
             tiles: 0,
             iteration_ns: 0.0,
             detect_ns: 0.0,
+            link: None,
+            link_values: LINK_TRANSFER_VALUES,
             report: RecoveryReport::default(),
         };
         let accel = rt.build()?;
@@ -337,6 +372,27 @@ impl SelfHealingRuntime {
         rt.report.recovery_energy_pj = 0.0;
         rt.report.regions_scanned = 0;
         Ok(rt)
+    }
+
+    /// Opts the runtime into transient-link modelling: every step's
+    /// monitored `G→D` activation transfer goes through a
+    /// [`ReliableFabric`] under `transients`, layered on the scenario's
+    /// *hard* [`lergan_noc::LinkFaults`]. With no link model (the
+    /// default) nothing in the run — accounting included — changes.
+    pub fn with_link(mut self, transients: TransientFaults) -> Self {
+        self.link = Some(ReliableFabric::new(
+            NocConfig::default(),
+            self.faults.links().clone(),
+            transients,
+            self.policy,
+        ));
+        self
+    }
+
+    /// The link fabric's cumulative accounting, when a link model is
+    /// attached.
+    pub fn link_report(&self) -> Option<&crate::link::LinkReport> {
+        self.link.as_ref().map(|l| l.report())
     }
 
     /// The live fault state (grows as wear breaks cells and tiles die).
@@ -388,8 +444,34 @@ impl SelfHealingRuntime {
         self.report.compute_latency_ns += self.iteration_ns;
         self.report.detection_overhead_ns += self.detect_ns;
 
-        // The update rewrote the monitored block: wear its cells.
+        // The step's G→D activation handoff rides the (possibly flaky)
+        // fabric: CRC detection + the retransmit ladder. The clean
+        // transfer is already inside `iteration_ns`; only the recovery
+        // surcharge (timeouts, backoffs, retransmissions) is added here.
         let step = self.report.steps;
+        let mut retransmits = 0u32;
+        if let Some(link) = self.link.as_mut() {
+            let now = self.report.total_latency_ns();
+            let out = link.send(
+                Endpoint::tile(0, 0),
+                Endpoint::pair_tile(0, 2, 0),
+                Mode::Cmode,
+                self.link_values,
+                step,
+                now,
+            )?;
+            retransmits = out.attempts - 1;
+            self.report.recovery_latency_ns += out.extra_latency_ns;
+            self.report.recovery_energy_pj += out.extra_energy_pj;
+            let lr = link.report();
+            self.report.retransmitted = lr.retransmitted;
+            self.report.link_retries = lr.retransmits;
+            self.report.link_corrupted = lr.corrupted;
+            self.report.link_dropped = lr.dropped;
+            self.report.link_quarantined = lr.quarantined_wires;
+            let events = link.drain_events();
+            self.report.events.extend(events);
+        }
         let block = self.block();
         let range = block.cell_base..block.cell_base + block.cells(&self.reram);
         let newly = self.faults.bank_mut(Phase::GForward).advance_wear(
@@ -417,6 +499,7 @@ impl SelfHealingRuntime {
             residual: obs,
             wear_broken,
             action,
+            retransmits,
         })
     }
 
@@ -787,6 +870,109 @@ mod tests {
         assert!(r.rolled_back > 0, "uncorrectable fault must roll back: {r:?}");
         assert!(r.replayed_steps > 0, "rollback replays the buffered steps");
         assert!(r.slowdown() > 1.0);
+    }
+
+    #[test]
+    fn transient_link_chaos_retransmits_without_perturbing_training() {
+        use lergan_noc::TransientFaults;
+
+        // Reference: identical trainer seeds, no hardware model at all.
+        let mut reference = small_trainer(31, 77);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            reference.train_step(&batch(&mut rng));
+        }
+
+        let mut rt = runtime(WearModel::disabled(), SystemFaults::none())
+            .with_link(TransientFaults::seeded(0xF1A5, 0.3, 0.1));
+        let mut rng = StdRng::seed_from_u64(8);
+        rt.run(30, |_| batch(&mut rng)).unwrap();
+        let r = rt.report().clone();
+        assert!(
+            r.retransmitted > 0,
+            "30% flip + 10% drop must force retransmissions: {r:?}"
+        );
+        assert!(r.link_retries >= r.retransmitted);
+        assert!(r.link_corrupted + r.link_dropped > 0);
+        assert!(r.recovery_latency_ns > 0.0, "retries must cost time");
+        assert!(r.slowdown() > 1.0);
+        // The Retransmitted arm surfaces as fault events.
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::LinkCorrupted { .. })
+                || matches!(e.kind, FaultEventKind::LinkDropped)));
+        assert!(r.events.iter().any(|e| matches!(
+            e.kind,
+            FaultEventKind::LinkRecovered {
+                action: RecoveryAction::Retransmitted,
+                ..
+            }
+        )));
+        // Link recovery is pure accounting: the trajectory is untouched.
+        assert_eq!(
+            rt.into_trainer().checkpoint(),
+            reference.checkpoint(),
+            "link-level recovery must never perturb training"
+        );
+    }
+
+    #[test]
+    fn quiet_link_model_changes_no_accounting() {
+        use lergan_noc::TransientFaults;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut plain = runtime(WearModel::disabled(), SystemFaults::none());
+        plain.run(6, |_| batch(&mut rng)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut linked = runtime(WearModel::disabled(), SystemFaults::none())
+            .with_link(TransientFaults::quiet());
+        linked.run(6, |_| batch(&mut rng)).unwrap();
+        assert_eq!(plain.report(), linked.report());
+        assert_eq!(linked.link_report().unwrap().retransmits, 0);
+    }
+
+    #[test]
+    fn extended_topologies_heal_wear_breaks_bit_exactly() {
+        // PR 8's extended op algebra (dilated convs, skip edges) must ride
+        // the same ladder: inject mid-run wear breaks while the runtime is
+        // built over each extended accelerator topology and prove the
+        // healed trajectory matches the never-faulted twin bit for bit.
+        for name in ["ResDilatedGAN", "AtrousPixelGAN"] {
+            let spec = benchmarks::extended()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing extended benchmark {name}"));
+
+            let mut reference = small_trainer(47, 90);
+            let mut rng = StdRng::seed_from_u64(12);
+            for _ in 0..25 {
+                reference.train_step(&batch(&mut rng));
+            }
+
+            let wear = WearModel::new(14, 1.3, 0x0DD + name.len() as u64);
+            let mut rt = SelfHealingRuntime::new(
+                &spec,
+                small_trainer(47, 90),
+                SystemFaults::none(),
+                RecoveryPolicy::default(),
+                wear,
+            )
+            .expect("extended runtime assembles");
+            let mut rng = StdRng::seed_from_u64(12);
+            rt.run(25, |_| batch(&mut rng)).unwrap();
+            let r = rt.report();
+            assert!(r.detected > 0, "{name}: the run must actually fault");
+            assert!(
+                r.corrected + r.remapped + r.rolled_back >= r.detected,
+                "{name}: every detection resolves"
+            );
+            assert!(r.slowdown() >= 1.0, "{name}");
+            assert_eq!(
+                rt.into_trainer().checkpoint(),
+                reference.checkpoint(),
+                "{name}: healing must preserve the trajectory bit-exactly"
+            );
+        }
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl LayerState {
             .map(|(_, t)| t)
     }
 
+    /// Mutable access to the tensor stored under `key`, if any. Mutating a
+    /// captured state invalidates the owning [`GanCheckpoint`]'s checksum,
+    /// which is exactly what corruption-detection tests rely on.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Tensor> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, t)| t)
+    }
+
+    /// Iterates the `(key, tensor)` entries in capture order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(k, t)| (k.as_str(), t))
+    }
+
     /// Clones the tensor under `key`, requiring it to exist with `shape`.
     fn require(&self, layer: usize, key: &str, shape: &[usize]) -> Result<Tensor, CheckpointError> {
         match self.optional(layer, key, shape)? {
@@ -185,6 +200,15 @@ pub enum CheckpointError {
         /// Entries the state carried.
         count: usize,
     },
+    /// The checkpoint's payload no longer matches its stored checksum —
+    /// the snapshot was corrupted in flight or at rest. Restoring it would
+    /// silently resume from garbage, so the restore is refused outright.
+    Corrupted {
+        /// Checksum recorded when the checkpoint was taken.
+        expected: u64,
+        /// Checksum recomputed over the payload at restore time.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -210,6 +234,11 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::UnexpectedEntries { layer, count } => write!(
                 f,
                 "checkpoint mismatch: stateless layer {layer} received {count} tensor(s)"
+            ),
+            CheckpointError::Corrupted { expected, actual } => write!(
+                f,
+                "checkpoint corrupted: stored checksum {expected:#018x}, \
+                 payload hashes to {actual:#018x}"
             ),
         }
     }
@@ -1487,6 +1516,63 @@ pub struct GanCheckpoint {
     pub step: u64,
     /// Noise-generator position (SplitMix64 state).
     pub rng_state: u64,
+    /// FNV-1a digest over the full payload (keys, shapes, tensor bits,
+    /// step and RNG state), recorded at capture time. [`Gan::restore`]
+    /// recomputes it and refuses a mismatching snapshot with
+    /// [`CheckpointError::Corrupted`] — a bit flip in a stored moment
+    /// would otherwise resume training from silently wrong state.
+    pub checksum: u64,
+}
+
+impl GanCheckpoint {
+    /// Recomputes the payload digest (everything except the stored
+    /// [`checksum`](Self::checksum) field itself). Equal payloads hash
+    /// equal, so bit-identical checkpoints keep bit-identical digests.
+    pub fn payload_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for stack in [&self.generator, &self.discriminator] {
+            eat(&(stack.len() as u64).to_le_bytes());
+            for layer in stack.iter() {
+                eat(&(layer.len() as u64).to_le_bytes());
+                for (key, tensor) in layer.entries() {
+                    eat(&(key.len() as u64).to_le_bytes());
+                    eat(key.as_bytes());
+                    eat(&(tensor.shape().len() as u64).to_le_bytes());
+                    for &d in tensor.shape() {
+                        eat(&(d as u64).to_le_bytes());
+                    }
+                    for &v in tensor.data() {
+                        eat(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        eat(&self.step.to_le_bytes());
+        eat(&self.rng_state.to_le_bytes());
+        h
+    }
+
+    /// Checks the stored checksum against the payload, returning
+    /// [`CheckpointError::Corrupted`] on mismatch.
+    pub fn verify(&self) -> Result<(), CheckpointError> {
+        let actual = self.payload_digest();
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(CheckpointError::Corrupted {
+                expected: self.checksum,
+                actual,
+            })
+        }
+    }
 }
 
 /// Periodic checkpoint cadence: retains the most recent [`GanCheckpoint`],
@@ -1776,12 +1862,15 @@ impl Gan {
     ///
     /// [`train_step`]: Gan::train_step
     pub fn checkpoint(&self) -> GanCheckpoint {
-        GanCheckpoint {
+        let mut ckpt = GanCheckpoint {
             generator: self.generator.capture_state(),
             discriminator: self.discriminator.capture_state(),
             step: self.step,
             rng_state: self.rng.state(),
-        }
+            checksum: 0,
+        };
+        ckpt.checksum = ckpt.payload_digest();
+        ckpt
     }
 
     /// Restores a [`checkpoint`] into this trainer. The receiving GAN must
@@ -1793,6 +1882,7 @@ impl Gan {
     /// [`checkpoint`]: Gan::checkpoint
     /// [`train_step`]: Gan::train_step
     pub fn restore(&mut self, ckpt: &GanCheckpoint) -> Result<(), CheckpointError> {
+        ckpt.verify()?;
         self.generator.restore_state(&ckpt.generator)?;
         self.discriminator.restore_state(&ckpt.discriminator)?;
         self.step = ckpt.step;
@@ -2280,6 +2370,67 @@ mod tests {
             reference_tail, resumed_tail,
             "resume after restore must be bit-exact"
         );
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_refused_not_restored() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = tiny_generator(&mut rng);
+        let d = tiny_discriminator(&mut rng);
+        let mut gan = Gan::new(g, d, 4, 0.0, 88).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let mut data_rng = StdRng::seed_from_u64(600);
+        for _ in 0..2 {
+            let reals: Vec<Tensor> = (0..2).map(|_| blob_sample(&mut data_rng)).collect();
+            gan.train_step(&reals);
+        }
+        let clean = gan.checkpoint();
+        clean.verify().expect("fresh checkpoints verify");
+
+        // Flip a single mantissa bit in the first stored tensor we find —
+        // the smallest corruption a storage or transfer fault can inflict.
+        let mut bad = clean.clone();
+        let layer = bad
+            .generator
+            .iter_mut()
+            .find(|s| !s.is_empty())
+            .expect("the generator has parameters");
+        let key = layer
+            .entries()
+            .next()
+            .map(|(k, _)| k.to_string())
+            .unwrap();
+        let tensor = layer.get_mut(&key).unwrap();
+        tensor.data_mut()[0] = f32::from_bits(tensor.data()[0].to_bits() ^ 1);
+
+        match bad.verify() {
+            Err(CheckpointError::Corrupted { expected, actual }) => {
+                assert_eq!(expected, clean.checksum);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+        // restore() refuses the snapshot and leaves the trainer resumable.
+        let before = gan.checkpoint();
+        assert!(matches!(
+            gan.restore(&bad),
+            Err(CheckpointError::Corrupted { .. })
+        ));
+        assert_eq!(gan.checkpoint(), before, "refused restore mutates nothing");
+        gan.restore(&clean).expect("the clean twin still restores");
+
+        // Metadata corruption (step / RNG position) is caught too.
+        let mut skewed = clean.clone();
+        skewed.step += 1;
+        assert!(matches!(
+            skewed.verify(),
+            Err(CheckpointError::Corrupted { .. })
+        ));
+        let mut reseeded = clean;
+        reseeded.rng_state ^= 0x8000_0000_0000_0000;
+        assert!(matches!(
+            reseeded.verify(),
+            Err(CheckpointError::Corrupted { .. })
+        ));
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl LinkFaults {
             || self.switch_is_stuck(side, bank + 1, node)
     }
 
+    /// The union of two fault sets: everything either set severs or
+    /// freezes. The recovery layer overlays its *soft* quarantines (flaky
+    /// links retired by the retransmit ladder) on the hard manufacturing
+    /// faults this way before rebuilding a fabric.
+    pub fn union(&self, other: &LinkFaults) -> LinkFaults {
+        let mut merged = self.clone();
+        merged.horizontal.extend(other.horizontal.iter().copied());
+        merged.vertical.extend(other.vertical.iter().copied());
+        merged.stuck.extend(other.stuck.iter().copied());
+        merged.tree.extend(other.tree.iter().copied());
+        merged
+    }
+
     /// Count of broken wires (horizontal + vertical, excluding stuck
     /// switches).
     pub fn broken_wires(&self) -> usize {

@@ -38,6 +38,7 @@ pub mod flows;
 pub mod htree;
 pub mod reduction;
 pub mod switch;
+pub mod transient;
 
 pub use config::NocConfig;
 pub use dcu::{DcuPair, Endpoint, Mode, Route, RouteError, ThreeDcu};
@@ -45,3 +46,7 @@ pub use fault::LinkFaults;
 pub use flows::{Flow, FlowSchedule};
 pub use htree::HTree;
 pub use switch::{SwitchConfig, SwitchError, SwitchState};
+pub use transient::{
+    checked_transfer, crc32, route_wires, timeout_ns, BurstEpisode, CheckedTransfer,
+    TransientFaults, TransientOutcome, WireId,
+};

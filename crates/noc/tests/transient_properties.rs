@@ -1,0 +1,177 @@
+//! Property tests stacking the *transient* fault model on top of the
+//! *permanent* link faults: a fabric can have broken wires and frozen
+//! switches (Dijkstra must route around them) while the surviving wires
+//! are simultaneously flaky (CRC-checked transfers may corrupt or drop).
+//!
+//! The standing contract: routing either succeeds — and then every
+//! checked transfer over the route is bit-deterministic and names only
+//! wires the route actually crossed — or fails with the typed
+//! [`RouteError`]; never a panic, never an outcome that depends on
+//! evaluation order.
+
+use lergan_noc::{
+    checked_transfer, route_wires, timeout_ns, BurstEpisode, DcuPair, Endpoint, LinkFaults, Mode,
+    NocConfig, RouteError, ThreeDcu, TransientFaults, TransientOutcome,
+};
+use proptest::prelude::*;
+
+fn pair_endpoint() -> impl Strategy<Value = Endpoint> {
+    (0usize..2, 0usize..3, 0usize..16)
+        .prop_map(|(side, bank, tile)| Endpoint::pair_tile(side, bank, tile))
+}
+
+/// A random combined *permanent* fault set (same shape as the PR 2
+/// routing properties): horizontal breaks, vertical breaks and frozen
+/// switches, all at once.
+fn permanent_faults() -> impl Strategy<Value = LinkFaults> {
+    let horizontal = proptest::collection::vec((0usize..2, 0usize..3, 2usize..15), 0..12);
+    let vertical = proptest::collection::vec((0usize..2, 0usize..2, 1usize..15), 0..12);
+    let stuck = proptest::collection::vec((0usize..2, 0usize..3, 1usize..15), 0..4);
+    (horizontal, vertical, stuck).prop_map(|(h, v, s)| {
+        let mut f = LinkFaults::none();
+        for (side, bank, node) in h {
+            f.break_horizontal(side, bank, node);
+        }
+        for (side, bank, node) in v {
+            f.break_vertical(side, bank, node);
+        }
+        for (side, bank, node) in s {
+            f.stick_switch(side, bank, node);
+        }
+        f
+    })
+}
+
+/// A random *transient* fault model: seeded rates, optionally with a
+/// fabric-wide burst window.
+fn transient_faults() -> impl Strategy<Value = TransientFaults> {
+    (
+        0u64..u64::MAX,
+        0.0f64..0.9,
+        0.0f64..0.5,
+        (0u64..2, 0u64..8, 1u64..12, 0.5f64..1.0),
+    )
+        .prop_map(|(seed, flip, drop, (bursty, from, len, rate))| {
+            let base = TransientFaults::seeded(seed, flip, drop);
+            if bursty == 0 {
+                base
+            } else {
+                base.with_burst(BurstEpisode {
+                    wire: None,
+                    from_seq: from,
+                    until_seq: from + len,
+                    flip_rate: rate,
+                    drop_rate: rate / 2.0,
+                })
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stacked_faults_transfer_bit_deterministically(
+        hard in permanent_faults(),
+        flaky in transient_faults(),
+        a in pair_endpoint(),
+        b in pair_endpoint(),
+        seq in 0u64..16,
+        attempt in 1u32..5,
+        values in 1u64..5000,
+    ) {
+        // Broken wires and flaky wires at once: routing still succeeds
+        // (added-wire faults never partition the tree+bus fallback), and
+        // replaying the same (seq, attempt) yields the same outcome,
+        // latency bits and energy bits — no hidden RNG state.
+        let cfg = NocConfig::default();
+        let pair = DcuPair::with_faults(&cfg, &hard);
+        let route = pair.route(a, b, Mode::Cmode).unwrap();
+        let first = checked_transfer(&route, values, &cfg, &flaky, seq, attempt);
+        let replay = checked_transfer(&route, values, &cfg, &flaky, seq, attempt);
+        prop_assert_eq!(first.outcome, replay.outcome);
+        prop_assert_eq!(first.delivered, replay.delivered);
+        prop_assert_eq!(first.crc_ok, replay.crc_ok);
+        prop_assert_eq!(first.latency_ns.to_bits(), replay.latency_ns.to_bits());
+        prop_assert_eq!(first.energy_pj.to_bits(), replay.energy_pj.to_bits());
+    }
+
+    #[test]
+    fn transient_outcomes_name_only_wires_on_the_route(
+        hard in permanent_faults(),
+        flaky in transient_faults(),
+        a in pair_endpoint(),
+        b in pair_endpoint(),
+        seq in 0u64..16,
+        attempt in 1u32..5,
+    ) {
+        // The hazard can only blame a wire the route actually crossed —
+        // and a permanently broken wire is never on a route, so it can
+        // never also be the one that "flaked".
+        let cfg = NocConfig::default();
+        let pair = DcuPair::with_faults(&cfg, &hard);
+        let route = pair.route(a, b, Mode::Cmode).unwrap();
+        let wires = route_wires(&route);
+        let transfer = checked_transfer(&route, 256, &cfg, &flaky, seq, attempt);
+        match transfer.outcome {
+            TransientOutcome::Delivered => {
+                prop_assert!(transfer.delivered && transfer.crc_ok);
+            }
+            TransientOutcome::Corrupted { wire, flipped_bits } => {
+                prop_assert!(wires.contains(&wire), "{wire} not on route");
+                prop_assert!((1..=3).contains(&flipped_bits));
+                prop_assert!(transfer.delivered);
+                prop_assert!(!transfer.crc_ok, "CRC must catch 1-3 flipped bits");
+            }
+            TransientOutcome::Dropped { wire } => {
+                prop_assert!(wires.contains(&wire), "{wire} not on route");
+                prop_assert!(!transfer.delivered && !transfer.crc_ok);
+                let timeout = timeout_ns(&route, 256, &cfg);
+                prop_assert_eq!(transfer.latency_ns.to_bits(), timeout.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_transients_cost_exactly_the_clean_transfer(
+        hard in permanent_faults(),
+        a in pair_endpoint(),
+        b in pair_endpoint(),
+        values in 1u64..5000,
+    ) {
+        // The quiet model over a (possibly detoured) route is a no-op:
+        // same latency and energy bits as Route::transfer, always
+        // delivered, CRC always clean.
+        let cfg = NocConfig::default();
+        let pair = DcuPair::with_faults(&cfg, &hard);
+        let route = pair.route(a, b, Mode::Cmode).unwrap();
+        let (latency, energy) = route.transfer(values, &cfg);
+        let t = checked_transfer(&route, values, &cfg, &TransientFaults::quiet(), 0, 1);
+        prop_assert_eq!(t.outcome, TransientOutcome::Delivered);
+        prop_assert!(t.delivered && t.crc_ok);
+        prop_assert_eq!(t.latency_ns.to_bits(), latency.to_bits());
+        prop_assert_eq!(t.energy_pj.to_bits(), energy.to_bits());
+    }
+
+    #[test]
+    fn partitioned_fabric_stays_a_typed_error_under_flakiness(
+        hard in permanent_faults(),
+        flaky in transient_faults(),
+        bank in 0usize..3,
+        tile in 0usize..16,
+        other in 0usize..16,
+    ) {
+        // Transient flakiness never changes reachability: severing a
+        // leaf's tree link partitions it exactly as it does on a calm
+        // fabric, and the error is the same typed RouteError.
+        prop_assume!(tile != other);
+        let _ = &flaky; // the transient layer has no say in routing
+        let mut hard = hard;
+        hard.sever_tree(0, bank, 16 + tile);
+        let dcu = ThreeDcu::with_faults(&NocConfig::default(), &hard);
+        let from = Endpoint::pair_tile(0, bank, other);
+        let to = Endpoint::pair_tile(0, bank, tile);
+        let err = dcu.route(from, to, Mode::Cmode).unwrap_err();
+        prop_assert_eq!(err, RouteError::Unreachable { from, to, mode: Mode::Cmode });
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::job::{batch, batch_seed, job_trainer, JobSpec};
 use crate::plan::PlanCache;
-use lergan_core::{RecoveryPolicy, SelfHealingRuntime, SystemFaults};
+use lergan_core::{LinkChaos, RecoveryPolicy, SelfHealingRuntime, SystemFaults};
 use lergan_gan::train::GanCheckpoint;
 use lergan_reram::WearModel;
 use rand::rngs::StdRng;
@@ -35,6 +35,10 @@ pub struct HealingTotals {
     pub rolled_back: u64,
     /// Relocation attempts across the ladder.
     pub retries: u64,
+    /// NoC transfers delivered only after link-level retransmission.
+    pub retransmitted: u64,
+    /// Flaky wires soft-quarantined and routed around.
+    pub link_quarantined: u64,
 }
 
 impl HealingTotals {
@@ -45,6 +49,8 @@ impl HealingTotals {
         self.remapped += other.remapped;
         self.rolled_back += other.rolled_back;
         self.retries += other.retries;
+        self.retransmitted += other.retransmitted;
+        self.link_quarantined += other.link_quarantined;
     }
 }
 
@@ -96,6 +102,9 @@ pub struct Pair {
     /// True when the pair can never fault (no seeded faults, wear
     /// disabled): such jobs run the raw-trainer fast path.
     pub pristine: bool,
+    /// Transient hazard on the pair's NoC, reseeded per pair; `None`
+    /// skips the link model.
+    pub link: Option<LinkChaos>,
     /// Quarantined pairs accept no further work.
     pub quarantined: bool,
     /// The job in service, if any.
@@ -120,6 +129,7 @@ impl Pair {
             faults,
             wear,
             pristine,
+            link: None,
             quarantined: false,
             running: None,
             assigned: VecDeque::new(),
@@ -198,7 +208,7 @@ impl Pair {
     ) -> (f64, JobRunResult, HealingTotals) {
         let spec = plans.spec(job.topology).clone();
         let trainer = job_trainer(job.seed);
-        let mut rt = match SelfHealingRuntime::new(
+        let rt = match SelfHealingRuntime::new(
             &spec,
             trainer,
             self.faults.clone(),
@@ -219,6 +229,14 @@ impl Pair {
                 )
             }
         };
+        // Layer the transient-link hazard on, reseeded per pair so each
+        // pair's flakiness develops independently from one fleet spec.
+        let mut rt = match self.link {
+            Some(chaos) if !chaos.is_quiet() => rt.with_link(
+                chaos.transients((self.id as u64).wrapping_mul(0xA5A5_5A5A_D00D_F00D)),
+            ),
+            _ => rt,
+        };
         let mut rng = StdRng::seed_from_u64(batch_seed(job.seed));
         let mut death: Option<(u64, String)> = None;
         for s in 0..job.steps {
@@ -237,6 +255,8 @@ impl Pair {
             remapped: drained.report.remapped,
             rolled_back: drained.report.rolled_back,
             retries: drained.report.retries,
+            retransmitted: drained.report.retransmitted,
+            link_quarantined: drained.report.link_quarantined,
         };
         let duration = drained.report.total_latency_ns();
         let result = match death {

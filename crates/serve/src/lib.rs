@@ -73,4 +73,4 @@ pub use job::JobSpec;
 pub use metrics::ServeReport;
 pub use plan::PlanCache;
 pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
-pub use runtime::{ServeConfig, ServeRuntime};
+pub use runtime::{ServeConfig, ServeError, ServeRuntime};

@@ -30,10 +30,62 @@ use crate::job::JobSpec;
 use crate::metrics::ServeReport;
 use crate::plan::PlanCache;
 use crate::queue::{AdmissionError, JobQueue};
-use lergan_core::{BuildError, RecoveryPolicy, SystemFaults};
+use lergan_core::{BuildError, LinkChaos, RecoveryPolicy, SystemFaults};
 use lergan_gan::Phase;
 use lergan_reram::{FaultMap, WearModel};
 use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Typed failure of a serving run. Everything traffic can cause lands in
+/// the report's counters; these are the *caller* errors — a malformed
+/// workload or fleet — reported instead of aborting the process.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A workload topology failed to compile fault-free.
+    Build(BuildError),
+    /// A job references a topology index outside the plan cache's table.
+    UnknownTopology {
+        /// The offending job.
+        job: u64,
+        /// The out-of-table index it carried.
+        topology: usize,
+        /// Topologies the cache actually knows.
+        known: usize,
+    },
+    /// A job carries a non-finite arrival time and cannot be ordered in
+    /// simulated time.
+    InvalidArrival {
+        /// The offending job.
+        job: u64,
+    },
+    /// The fleet has zero pairs: nothing could ever run.
+    EmptyFleet,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Build(e) => write!(f, "plan build failed: {e}"),
+            ServeError::UnknownTopology { job, topology, known } => write!(
+                f,
+                "job {job} references topology {topology}, but only {known} are registered"
+            ),
+            ServeError::InvalidArrival { job } => {
+                write!(f, "job {job} has a non-finite arrival time")
+            }
+            ServeError::EmptyFleet => write!(f, "the fleet has no pairs"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}
 
 /// Knobs of a serving run. Fault knobs apply uniformly to every pair
 /// (each pair still gets its *own* seeded instance, so damage develops
@@ -65,6 +117,10 @@ pub struct ServeConfig {
     pub wear: Option<(u64, f64)>,
     /// `(pair, tiles)` pre-killed on that pair's monitored bank.
     pub dead_tiles: Vec<(usize, usize)>,
+    /// Transient-link hazard applied to every pair's NoC (each pair draws
+    /// an independently seeded hazard stream); `None` disables the link
+    /// model entirely.
+    pub link: Option<LinkChaos>,
     /// Seed of all per-pair fault/wear streams.
     pub seed: u64,
 }
@@ -84,6 +140,7 @@ impl ServeConfig {
             fault_cells: 300_000,
             wear: None,
             dead_tiles: Vec::new(),
+            link: None,
             seed: 0x5EED,
         }
     }
@@ -100,9 +157,18 @@ impl ServeConfig {
         self
     }
 
+    /// Applies a transient-link hazard to every pair's NoC.
+    pub fn with_link_chaos(mut self, chaos: LinkChaos) -> Self {
+        self.link = Some(chaos);
+        self
+    }
+
     /// True when no pair can ever observe a hardware fault.
     pub fn is_pristine(&self) -> bool {
-        self.fault_rate == 0.0 && self.wear.is_none() && self.dead_tiles.is_empty()
+        self.fault_rate == 0.0
+            && self.wear.is_none()
+            && self.dead_tiles.is_empty()
+            && self.link.as_ref().is_none_or(|l| l.is_quiet())
     }
 }
 
@@ -120,9 +186,10 @@ pub struct ServeRuntime {
 }
 
 impl ServeRuntime {
-    /// A runtime under `cfg`.
+    /// A runtime under `cfg`. A zero-pair fleet is accepted here and
+    /// rejected with [`ServeError::EmptyFleet`] at [`ServeRuntime::run`]
+    /// time — construction never aborts.
     pub fn new(cfg: ServeConfig) -> Self {
-        assert!(cfg.pairs > 0, "a fleet needs at least one pair");
         ServeRuntime { cfg }
     }
 
@@ -131,14 +198,34 @@ impl ServeRuntime {
         &self.cfg
     }
 
-    /// Serves `jobs` to completion. Returns `Err` only when a workload
-    /// topology fails to compile fault-free — a caller bug, not traffic;
-    /// everything traffic-induced lands in the report's counters.
+    /// Serves `jobs` to completion. Returns `Err` only for caller bugs —
+    /// a malformed workload (non-finite arrival, out-of-table topology),
+    /// an empty fleet, or a topology that fails to compile fault-free;
+    /// everything traffic-induced lands in the report's counters, and
+    /// poisoned inputs surface as typed [`ServeError`]s, never aborts.
     pub fn run(
         &self,
         mut jobs: Vec<JobSpec>,
         plans: &mut PlanCache,
-    ) -> Result<ServeReport, BuildError> {
+    ) -> Result<ServeReport, ServeError> {
+        if self.cfg.pairs == 0 {
+            return Err(ServeError::EmptyFleet);
+        }
+        // Reject poisoned jobs up front: a NaN arrival cannot be ordered
+        // in simulated time, and an out-of-table topology would otherwise
+        // become an index panic deep inside dispatch.
+        for j in &jobs {
+            if !j.arrival_ns.is_finite() {
+                return Err(ServeError::InvalidArrival { job: j.id });
+            }
+            if j.topology >= plans.specs().len() {
+                return Err(ServeError::UnknownTopology {
+                    job: j.id,
+                    topology: j.topology,
+                    known: plans.specs().len(),
+                });
+            }
+        }
         // Pre-validate every topology once so admission-time latency
         // queries cannot fail mid-run.
         let topologies: BTreeSet<usize> = jobs.iter().map(|j| j.topology).collect();
@@ -148,12 +235,9 @@ impl ServeRuntime {
             plans.plan(t)?;
         }
 
-        jobs.sort_by(|a, b| {
-            a.arrival_ns
-                .partial_cmp(&b.arrival_ns)
-                .expect("arrival times are finite")
-                .then(a.id.cmp(&b.id))
-        });
+        // total_cmp: arrivals are verified finite above, and a total
+        // order can never panic even if that invariant rots.
+        jobs.sort_by(|a, b| a.arrival_ns.total_cmp(&b.arrival_ns).then(a.id.cmp(&b.id)));
 
         let mut pairs = self.build_pairs();
         let mut queue = JobQueue::new(self.cfg.admission);
@@ -206,12 +290,9 @@ impl ServeRuntime {
             }
 
             // 2. Retry timers that matured: back into the queue's front.
-            retries.sort_by(|a, b| {
-                a.ready_ns
-                    .partial_cmp(&b.ready_ns)
-                    .expect("retry times are finite")
-                    .then(a.job.id.cmp(&b.job.id))
-            });
+            // (total_cmp: ready times are arrival + finite backoff, and a
+            // total order cannot abort regardless.)
+            retries.sort_by(|a, b| a.ready_ns.total_cmp(&b.ready_ns).then(a.job.id.cmp(&b.job.id)));
             while retries.first().is_some_and(|r| r.ready_ns <= now) {
                 let r = retries.remove(0);
                 queue.readmit(r.job);
@@ -258,9 +339,7 @@ impl ServeRuntime {
         for p in &pairs {
             report.busy_ns += p.busy_ns;
         }
-        report
-            .latencies_ns
-            .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        report.latencies_ns.sort_by(f64::total_cmp);
         report.plan_hits = plans.hits() - hits0;
         report.plan_misses = plans.misses() - misses0;
         debug_assert!(report.check_conservation().is_ok());
@@ -294,9 +373,16 @@ impl ServeRuntime {
                     }
                     None => WearModel::disabled(),
                 };
-                let pristine =
-                    self.cfg.fault_rate == 0.0 && self.cfg.wear.is_none() && !crippled;
-                Pair::new(id, faults, wear, pristine)
+                let noisy_link = self.cfg.link.as_ref().is_some_and(|l| !l.is_quiet());
+                let pristine = self.cfg.fault_rate == 0.0
+                    && self.cfg.wear.is_none()
+                    && !crippled
+                    && !noisy_link;
+                let mut pair = Pair::new(id, faults, wear, pristine);
+                if noisy_link {
+                    pair.link = self.cfg.link;
+                }
+                pair
             })
             .collect()
     }
@@ -314,7 +400,11 @@ impl ServeRuntime {
         deadlines: &BTreeMap<u64, f64>,
         report: &mut ServeReport,
     ) {
-        let run = pairs[i].running.take().expect("completion without a job");
+        // The caller only invokes `complete` for pairs whose `running` is
+        // due; a bare return keeps even a violated invariant abort-free.
+        let Some(run) = pairs[i].running.take() else {
+            return;
+        };
         pairs[i].busy_ns += run.finish_ns - run.started_ns;
         report.healing.add(&run.healing);
         let mut died = false;
@@ -398,11 +488,13 @@ impl ServeRuntime {
                 .filter(|&i| !pairs[i].quarantined)
                 .filter(|&i| pairs[i].assigned.len() < self.cfg.local_queue_depth)
                 .min_by_key(|&i| (pairs[i].assigned.len(), i));
+            // The loop condition guarantees the queue is non-empty, but a
+            // defensive break beats an abort if that ever changes.
             match target {
-                Some(i) => {
-                    let job = queue.pop().expect("non-empty queue");
-                    pairs[i].assigned.push_back(job);
-                }
+                Some(i) => match queue.pop() {
+                    Some(job) => pairs[i].assigned.push_back(job),
+                    None => break,
+                },
                 None => break,
             }
         }

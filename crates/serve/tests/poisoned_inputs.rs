@@ -1,0 +1,93 @@
+//! Satellite regression: poisoned serving inputs must surface as typed
+//! [`ServeError`]s from [`ServeRuntime::run`], never as a panic/abort.
+//!
+//! Before the panic audit the runtime `assert!`ed on an empty fleet and
+//! indexed the plan table with whatever topology index a job carried, so
+//! a malformed job could abort the whole serving process. These tests pin
+//! the typed-error contract for each poisoned-input class.
+
+use lergan_serve::job::JobSpec;
+use lergan_serve::{PlanCache, ServeConfig, ServeError, ServeRuntime};
+
+fn job(id: u64, topology: usize, arrival_ns: f64) -> JobSpec {
+    JobSpec {
+        id,
+        tenant: 0,
+        topology,
+        steps: 1,
+        seed: 7,
+        arrival_ns,
+        deadline_slack: None,
+    }
+}
+
+#[test]
+fn empty_fleet_is_a_typed_error_not_an_abort() {
+    let mut plans = PlanCache::table_v();
+    let err = ServeRuntime::new(ServeConfig::pristine(0))
+        .run(vec![job(0, 0, 0.0)], &mut plans)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::EmptyFleet), "got {err}");
+}
+
+#[test]
+fn nan_arrival_is_rejected_with_the_job_id() {
+    let mut plans = PlanCache::table_v();
+    let err = ServeRuntime::new(ServeConfig::pristine(2))
+        .run(
+            vec![job(0, 0, 0.0), job(1, 0, f64::NAN)],
+            &mut plans,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::InvalidArrival { job: 1 }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn infinite_arrival_is_rejected_like_nan() {
+    let mut plans = PlanCache::table_v();
+    let err = ServeRuntime::new(ServeConfig::pristine(2))
+        .run(vec![job(3, 0, f64::INFINITY)], &mut plans)
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::InvalidArrival { job: 3 }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn out_of_table_topology_is_rejected_with_context() {
+    let mut plans = PlanCache::table_v();
+    let known = plans.specs().len();
+    let err = ServeRuntime::new(ServeConfig::pristine(2))
+        .run(vec![job(0, known + 5, 0.0)], &mut plans)
+        .unwrap_err();
+    match err {
+        ServeError::UnknownTopology {
+            job: 0,
+            topology,
+            known: k,
+        } => {
+            assert_eq!(topology, known + 5);
+            assert_eq!(k, known);
+        }
+        other => panic!("expected UnknownTopology, got {other}"),
+    }
+}
+
+#[test]
+fn validation_rejects_before_any_work_is_done() {
+    // A poisoned job anywhere in the batch fails the whole run up front:
+    // no partial state, no admitted-then-lost work.
+    let mut plans = PlanCache::table_v();
+    let err = ServeRuntime::new(ServeConfig::pristine(2))
+        .run(
+            vec![job(0, 0, 0.0), job(1, usize::MAX, 10.0), job(2, 0, 20.0)],
+            &mut plans,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::UnknownTopology { job: 1, .. }));
+    assert_eq!(plans.hits() + plans.misses(), 0, "no plan was compiled");
+}

@@ -20,6 +20,27 @@ pub enum FaultEventKind {
         /// Number of cells that newly failed this step.
         cells: usize,
     },
+    /// A CRC check caught in-flight corruption on an added NoC wire; the
+    /// wire's identity is in the event label.
+    LinkCorrupted {
+        /// How many payload bits the wire flipped.
+        flipped_bits: u32,
+    },
+    /// The receiver timed out: an added NoC wire dropped the transfer
+    /// outright (wire identity in the event label).
+    LinkDropped,
+    /// The retransmit ladder gave up on a flaky wire and soft-quarantined
+    /// it: Dijkstra re-routes subsequent transfers around the wire named
+    /// in the event label.
+    LinkQuarantined,
+    /// A transfer ultimately succeeded after link-level recovery.
+    LinkRecovered {
+        /// How the link layer resolved it (normally
+        /// [`RecoveryAction::Retransmitted`]).
+        action: RecoveryAction,
+        /// Total attempts the transfer took, including the success.
+        attempts: u32,
+    },
 }
 
 /// One detected fault, timestamped in simulated time.
@@ -47,4 +68,8 @@ pub enum RecoveryAction {
     /// Remap was impossible or the residual persisted after the retry
     /// budget: the trainer rolled back to the last checkpoint.
     RolledBack,
+    /// A CRC-failed or dropped NoC transfer was delivered by the link
+    /// layer's bounded retransmit ladder (possibly after re-routing
+    /// around a soft-quarantined wire).
+    Retransmitted,
 }
