@@ -29,6 +29,15 @@ use std::time::{Duration, Instant};
 /// Dimension clamp matching `perf_snapshot`'s per-GAN GEMM entries.
 const DIM_CAP: usize = 192;
 
+/// Batch size of the batched trainer, whose fused forward GEMMs are the
+/// n-multiplied duals of the op-graph shapes.
+const TRAIN_BATCH: usize = 8;
+
+/// Clamp for the batched `n = B·positions` axis: wide enough to reach the
+/// regime where the right operand far exceeds cache, without letting the
+/// sweep degenerate into megabyte products.
+const BATCH_N_CAP: usize = 2048;
+
 fn det(shape: &[usize], seed: u32) -> Tensor {
     let mut state = seed.wrapping_mul(747796405).wrapping_add(1);
     Tensor::from_fn(shape, |_| {
@@ -122,12 +131,21 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "crates/tensor/dispatch_thresholds.json".to_string());
 
-    // Every distinct (m, k, n) the benchmark op graphs issue, clamped.
+    // Every distinct (m, k, n) the benchmark op graphs issue, clamped —
+    // plus the batched trainer's fused forward duals `(n, k, B·m)`: one
+    // GEMM per layer whose row count is the (small) channel count and
+    // whose column count is the batch-multiplied position count, the
+    // regime where packing the huge right operand cannot amortise over a
+    // handful of rows.
     let mut shapes: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
     for spec in benchmarks::all() {
         for op in OpGraph::build(&spec).ops() {
             let clamp = |d: u128| (d as usize).clamp(1, DIM_CAP);
             shapes.insert((clamp(op.gemm.m), clamp(op.gemm.k), clamp(op.gemm.n)));
+            let bn = (op.gemm.m as usize)
+                .saturating_mul(TRAIN_BATCH)
+                .clamp(1, BATCH_N_CAP);
+            shapes.insert((clamp(op.gemm.n), clamp(op.gemm.k), bn));
         }
     }
     println!(

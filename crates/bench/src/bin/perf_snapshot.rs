@@ -22,9 +22,11 @@
 //! Each ZFDR workload is timed at one worker thread and at the
 //! configured thread count (`LERGAN_THREADS` or the host parallelism),
 //! so the snapshot records both algorithmic and threading speedups —
-//! except on single-core hosts, where the thread-scaling speedup keys
-//! are recorded as `"skipped_single_core"` instead of a meaningless
-//! 1.00. When the output file already exists, its 1-thread
+//! except on single-core hosts, where the thread-scaling speedup key
+//! becomes an object carrying the `skipped_single_core` marker *and*
+//! the 1-thread measurement it is based on, so the trajectory stays
+//! comparable across hosts instead of a meaningless 1.00 or a dropped
+//! entry. When the output file already exists, its 1-thread
 //! `gan_train_step_16px/full` time is read back first and the new
 //! snapshot records the ratio as `gan_train_step_vs_previous`.
 //!
@@ -551,9 +553,12 @@ fn main() {
         _ => 0.0,
     };
     // Thread-scaling numbers are meaningless on a single-core host (the
-    // "multi" run is the same 1-worker run), so record a marker instead.
+    // "multi" run is the same 1-worker run), so record the marker with
+    // the 1-thread measurement it would have been computed from — the
+    // entry stays in the trajectory instead of being dropped.
     let thread_scaling_json = if cores == 1 || threads == 1 {
-        "\"skipped_single_core\"".to_string()
+        let one = batched_conv1.unwrap_or(0.0);
+        format!("{{ \"marker\": \"skipped_single_core\", \"one_thread_ns\": {one:.0} }}")
     } else {
         let batched_multi = find("tconv_conv1_16x8ch/batched", threads);
         let thread_speedup = match (batched_conv1, batched_multi) {

@@ -50,6 +50,7 @@ pub use layer::{ConvLayer, FcLayer, Layer, TconvLayer};
 pub use phase::Phase;
 pub use topology::{GanSpec, NetworkSpec, ParseTopologyError};
 pub use train::{
-    CheckpointError, Gan, GanCheckpoint, LayerState, OpBinding, Sequential, UpdateRule,
+    pack_batch, tree_reduce_in_place, CheckpointError, Gan, GanCheckpoint, LayerState, OpBinding,
+    Sequential, TrainError, UpdateRule,
 };
 pub use workload::{ConvWorkload, WorkloadKind};

@@ -1,29 +1,38 @@
-//! Scoped-thread worker substrate for the compute kernels.
+//! Persistent worker-pool substrate for the compute kernels.
 //!
 //! All data-parallel kernels in the workspace (GEMM row blocks, per-channel
-//! convolution loops, per-pattern-class ZFDR batches) funnel through the
-//! helpers here, so one knob controls the whole workspace:
+//! convolution loops, per-pattern-class ZFDR batches, per-sample batched
+//! training stages) funnel through the helpers here, so one knob controls
+//! the whole workspace:
 //!
 //! * `LERGAN_THREADS` — environment override for the worker count
 //!   (default: [`std::thread::available_parallelism`]);
 //! * [`with_threads`] — a thread-local override for tests and benches that
 //!   must compare thread counts without racing on the environment.
 //!
-//! Threads are plain [`std::thread::scope`] workers: no pool is kept alive
-//! between calls, there are no locks, and every helper partitions its
-//! output disjointly. Each parallel element is computed exactly as the
-//! serial code would compute it (same per-element accumulation order), so
-//! results are **bit-identical for every thread count** — determinism tests
-//! assert this.
+//! Workers live in a lazily grown, process-wide pool and park on a condvar
+//! between regions. Keeping the threads alive does two things the previous
+//! scoped-thread substrate could not: dispatching a region performs **zero
+//! heap allocations** once the pool has grown to the requested width (the
+//! job is a plain pointer pair written into a pre-existing slot), and each
+//! worker's thread-local state — the GEMM packing panel and the per-worker
+//! [`Workspace`](crate::workspace::Workspace) pool — survives across
+//! regions instead of being torn down with the thread.
 //!
-//! Nested parallel regions run serially: a worker spawned here that calls
-//! back into these helpers executes inline rather than spawning a second
-//! generation of threads, which bounds the total thread count at the
-//! configured width.
+//! Every helper partitions its output disjointly, and each parallel element
+//! is computed exactly as the serial code would compute it (same
+//! per-element accumulation order), so results are **bit-identical for
+//! every thread count** — determinism tests assert this.
+//!
+//! Nested parallel regions run serially: a worker that calls back into
+//! these helpers executes inline rather than re-entering the pool, which
+//! bounds the total thread count at the configured width and makes the
+//! dispatch free of self-deadlock by construction.
 
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 thread_local! {
     /// Per-thread override installed by [`with_threads`].
@@ -77,6 +86,143 @@ fn run_as_worker<R>(f: impl FnOnce() -> R) -> R {
     result
 }
 
+/// A dispatched unit of work: a type-erased pointer to the region's `Fn`
+/// plus a monomorphized trampoline that calls it with this worker's index.
+/// Raw pointers stay valid because the dispatching frame blocks on
+/// [`DoneState`] until every job has finished.
+struct Job {
+    func: *const (),
+    call: unsafe fn(*const (), usize),
+    index: usize,
+    done: *const DoneState,
+}
+
+// SAFETY: `func` points at a `Sync` closure (enforced by `pool_run`'s
+// bound) and `done` at completion state designed for cross-thread use; the
+// dispatcher keeps both alive until the job completes.
+unsafe impl Send for Job {}
+
+/// One parked worker's mailbox.
+struct WorkerSlot {
+    job: Mutex<Option<Job>>,
+    ready: Condvar,
+}
+
+/// Stack-allocated completion latch for one parallel region.
+struct DoneState {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(slot: Arc<WorkerSlot>) {
+    loop {
+        let job = {
+            let mut guard = lock_ignore_poison(&slot.job);
+            loop {
+                if let Some(job) = guard.take() {
+                    break job;
+                }
+                guard = slot.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: the dispatcher guarantees `func` outlives this call.
+            run_as_worker(|| unsafe { (job.call)(job.func, job.index) });
+        }));
+        // SAFETY: `done` is kept alive by the dispatcher's wait guard.
+        let done = unsafe { &*job.done };
+        if outcome.is_err() {
+            done.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut remaining = lock_ignore_poison(&done.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            done.all_done.notify_all();
+        }
+    }
+}
+
+/// The process-wide pool: one parked worker per entry, grown on demand and
+/// never shrunk. The mutex is held for the duration of a region, which
+/// serializes concurrent top-level regions from different threads — the
+/// kernels are CPU-bound, so overlapping them would only thrash.
+fn pool() -> &'static Mutex<Vec<Arc<WorkerSlot>>> {
+    static POOL: Mutex<Vec<Arc<WorkerSlot>>> = Mutex::new(Vec::new());
+    &POOL
+}
+
+/// Runs `f(0)..f(threads-1)` across the pool: indices `1..` are dispatched
+/// to parked workers, the calling thread runs `f(0)` itself, and the call
+/// returns only after every index has finished. Dispatch allocates nothing
+/// once the pool has grown to `threads - 1` workers.
+fn pool_run<F: Fn(usize) + Sync>(threads: usize, f: &F) {
+    unsafe fn call_thunk<F: Fn(usize)>(ptr: *const (), index: usize) {
+        // SAFETY: `ptr` was erased from an `&F` by `pool_run` below and the
+        // referent is kept alive until the region completes.
+        let f = unsafe { &*(ptr as *const F) };
+        f(index);
+    }
+    debug_assert!(threads >= 2, "serial regions never enter the pool");
+    let done = DoneState {
+        remaining: Mutex::new(threads - 1),
+        all_done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    };
+    let mut workers = lock_ignore_poison(pool());
+    while workers.len() < threads - 1 {
+        let slot = Arc::new(WorkerSlot {
+            job: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let looped = Arc::clone(&slot);
+        std::thread::Builder::new()
+            .name(format!("lergan-worker-{}", workers.len() + 1))
+            .spawn(move || worker_loop(looped))
+            .expect("spawn pool worker");
+        workers.push(slot);
+    }
+    /// Blocks until the region's jobs have all finished. Running this in
+    /// `Drop` keeps the stack frame (and the pointers the jobs hold) alive
+    /// even if the caller's own `f(0)` panics mid-region.
+    struct WaitGuard<'a>(&'a DoneState);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            let mut remaining = lock_ignore_poison(&self.0.remaining);
+            while *remaining != 0 {
+                remaining = self
+                    .0
+                    .all_done
+                    .wait(remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+    {
+        let _wait = WaitGuard(&done);
+        for index in 1..threads {
+            let slot = &workers[index - 1];
+            let job = Job {
+                func: f as *const F as *const (),
+                call: call_thunk::<F>,
+                index,
+                done: &done,
+            };
+            *lock_ignore_poison(&slot.job) = Some(job);
+            slot.ready.notify_one();
+        }
+        run_as_worker(|| f(0));
+    }
+    drop(workers);
+    if done.panicked.load(Ordering::SeqCst) {
+        panic!("a parallel worker panicked");
+    }
+}
+
 /// Splits `0..len` into at most [`current_threads`] contiguous ranges of at
 /// least `min_chunk` items and runs `f` on each, in parallel.
 ///
@@ -94,16 +240,13 @@ pub fn for_each_range(len: usize, min_chunk: usize, f: impl Fn(Range<usize>) + S
         return;
     }
     let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        for t in 1..threads {
-            let (start, end) = (t * chunk, ((t + 1) * chunk).min(len));
-            if start < end {
-                scope.spawn(move || run_as_worker(|| f(start..end)));
-            }
+    let g = move |t: usize| {
+        let (start, end) = (t * chunk, ((t + 1) * chunk).min(len));
+        if start < end {
+            f(start..end);
         }
-        run_as_worker(|| f(0..chunk.min(len)));
-    });
+    };
+    pool_run(threads, &g);
 }
 
 /// Splits `data` into at most [`current_threads`] contiguous chunks of at
@@ -125,26 +268,20 @@ pub fn for_each_chunk_mut<T: Send>(
         return;
     }
     let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest = data;
-        let mut offset = 0;
-        let mut first: Option<&mut [T]> = None;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            if offset == 0 {
-                first = Some(head);
-            } else {
-                scope.spawn(move || run_as_worker(|| f(offset, head)));
-            }
-            offset += take;
-            rest = tail;
+    let base = data.as_mut_ptr() as usize;
+    let g = move |t: usize| {
+        let start = t * chunk;
+        if start >= len {
+            return;
         }
-        if let Some(head) = first {
-            run_as_worker(|| f(0, head));
-        }
-    });
+        let take = chunk.min(len - start);
+        // SAFETY: chunks `[start, start + take)` are disjoint across worker
+        // indices and within the live `&mut [T]` borrow held by this frame.
+        let part =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), take) };
+        f(start, part);
+    };
+    pool_run(threads, &g);
 }
 
 /// Like [`for_each_chunk_mut`], but chunk boundaries land on multiples of
@@ -176,27 +313,21 @@ pub fn for_each_unit_chunk_mut<T: Send>(
         return;
     }
     let chunk_units = units.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest = data;
-        let mut unit0 = 0;
-        let mut first: Option<&mut [T]> = None;
-        while !rest.is_empty() {
-            let take = (chunk_units * unit).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            if unit0 == 0 {
-                first = Some(head);
-            } else {
-                let u0 = unit0;
-                scope.spawn(move || run_as_worker(|| f(u0, head)));
-            }
-            unit0 += take / unit;
-            rest = tail;
+    let len = data.len();
+    let base = data.as_mut_ptr() as usize;
+    let g = move |t: usize| {
+        let start = t * chunk_units * unit;
+        if start >= len {
+            return;
         }
-        if let Some(head) = first {
-            run_as_worker(|| f(0, head));
-        }
-    });
+        let take = (chunk_units * unit).min(len - start);
+        // SAFETY: unit-aligned chunks are disjoint across worker indices
+        // and within the live `&mut [T]` borrow held by this frame.
+        let part =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), take) };
+        f(start / unit, part);
+    };
+    pool_run(threads, &g);
 }
 
 /// Computes `f(i)` for `i in 0..n` in parallel, preserving order.
@@ -311,5 +442,49 @@ mod tests {
             });
         });
         assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        // A panic on a pooled worker must surface on the dispatching thread
+        // — and the worker itself must stay parked and serviceable, so the
+        // very next region over the same pool still completes.
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                for_each_range(4, 1, |r| {
+                    if r.start > 0 {
+                        panic!("injected worker failure");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err(), "worker panic must propagate");
+        let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            for_each_range(hits.len(), 1, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_workers_keep_thread_identity_across_regions() {
+        // The pool must reuse the same OS threads between regions —
+        // thread-local pack buffers and per-worker workspaces depend on it.
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let ids: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        for _ in 0..4 {
+            with_threads(4, || {
+                for_each_range(4, 1, |_r| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+        }
+        // 4 regions × 4 lanes land on the caller + at most 3 pooled workers.
+        assert!(ids.lock().unwrap().len() <= 4, "threads must be reused");
     }
 }

@@ -36,10 +36,16 @@ use std::fmt;
 thread_local! {
     /// Per-thread packing buffer for the blocked GEMM kernels. Worker
     /// threads spawned by [`crate::parallel`] each get their own, so no
-    /// packing state is ever shared; on the serial path the calling
-    /// thread's buffer persists across calls, making steady-state packing
-    /// allocation-free.
+    /// packing state is ever shared; workers persist in a pool, so the
+    /// buffer survives across parallel regions, making steady-state packing
+    /// allocation-free on every thread.
     static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread [`Workspace`] for parallel stages whose workers need
+    /// pooled scratch (e.g. the batched trainer's per-sample backward
+    /// scatter). Like the pack buffer it lives for the life of the pooled
+    /// worker thread: each worker warms its sizes once and then serves
+    /// every later region allocation-free.
+    static WORKER_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
 }
 
 /// Runs `f` over this thread's packing buffer, grown to at least `len`
@@ -53,6 +59,21 @@ pub(crate) fn with_pack_buffer<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -
         }
         f(&mut buf[..len])
     })
+}
+
+/// Runs `f` over this thread's persistent [`Workspace`].
+///
+/// This is the scratch pool for code that runs *inside* a parallel worker,
+/// where no caller-owned workspace can be threaded through (workers from
+/// different regions interleave arbitrarily). Because the
+/// [`crate::parallel`] substrate keeps worker threads alive in a pool, the
+/// per-thread workspace persists across regions: one warmup pass populates
+/// each worker's size buckets and the steady state allocates nothing.
+///
+/// Buffers taken from it must be given back before `f` returns — the
+/// workspace is shared by every later region that lands on this thread.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    WORKER_WS.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// Size-keyed pool of reusable `f32` buffers (see the module docs for the

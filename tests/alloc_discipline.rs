@@ -7,11 +7,12 @@
 //! wrapper around the system allocator: the counter is armed after the
 //! warmup step and every subsequent step must leave it at zero.
 //!
-//! The guarantee holds at one thread (the scoped-thread substrate
-//! allocates per spawn, and the packed-GEMM pack buffers are
-//! thread-local), so the whole test runs under
-//! `parallel::with_threads(1)` — which is also the configuration the
-//! determinism CI job pins.
+//! The guarantee holds at one thread — the configuration the
+//! determinism CI job pins — and, for the batched trainer, at eight
+//! worker threads: the persistent worker pool dispatches regions without
+//! allocating, and every per-worker scratch buffer (the thread-local
+//! workspaces the batched backward draws its per-sample partials from,
+//! and the packed-GEMM pack buffers) is warmed by the first step.
 
 use lergan::gan::topology::parse_network;
 use lergan::gan::train::{build_trainable_with, Gan, UpdateRule};
@@ -87,6 +88,45 @@ fn steady_state_train_step_performs_zero_heap_allocations() {
             ALLOCATIONS.load(Ordering::SeqCst),
             0,
             "steady-state train steps must not touch the heap"
+        );
+    });
+}
+
+#[test]
+fn steady_state_batched_step_is_alloc_free_at_eight_threads() {
+    // The batched train step must hold the same zero-allocation promise
+    // with the worker pool engaged: per-sample gradient partials live in
+    // per-worker thread workspaces, and the fixed reduction tree runs in
+    // buffers the warmup step already pooled.
+    parallel::with_threads(8, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen_spec = parse_network("g", "8f-(8t-4t)(3k2s)-t1", 2, 16).unwrap();
+        let disc_spec = parse_network("d", "(1c-8c)(3k2s)-f1", 2, 16).unwrap();
+        let g = build_trainable_with(&gen_spec, true, false, &mut rng);
+        let d = build_trainable_with(&disc_spec, false, false, &mut rng);
+        let mut gan = Gan::new(g, d, 8, 0.01, 4).with_optimizer(UpdateRule::dcgan_adam(0.01));
+        let reals = lergan::gan::train::pack_batch(
+            &(0..8).map(|_| Tensor::filled(&[1, 16, 16], 0.5)).collect::<Vec<_>>(),
+        );
+
+        // Two warmup steps: the first fills pools and caches on whichever
+        // workers take each region; the second catches any buffer whose
+        // steady-state size differs from its first-step size.
+        let _ = gan.train_step_batched(&reals).unwrap();
+        let _ = gan.train_step_batched(&reals).unwrap();
+
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        for _ in 0..5 {
+            let stats = gan.train_step_batched(&reals).unwrap();
+            assert!(stats.d_loss.is_finite() && stats.g_loss.is_finite());
+        }
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert_eq!(
+            ALLOCATIONS.load(Ordering::SeqCst),
+            0,
+            "steady-state batched train steps must not touch the heap at 8 threads"
         );
     });
 }
